@@ -1,0 +1,44 @@
+// Ablation: query-block size vs core count (Section IV-A's tuning
+// discussion). Larger blocks amortize DB partition reloads per query and
+// win at small core counts; smaller blocks create more work units and win
+// at large core counts through better load balancing.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/options.hpp"
+#include "mrblast/mrblast.hpp"
+
+using namespace mrbio;
+
+int main(int argc, char** argv) {
+  Options opts("ablation_block_size: wall minutes for 80K queries at several block sizes");
+  opts.add("max-cores", "1024", "largest simulated core count");
+  if (!opts.parse(argc, argv)) return 0;
+  const auto max_cores = opts.integer("max-cores");
+
+  const std::vector<std::uint64_t> block_sizes{500, 1'000, 2'000, 4'000};
+
+  std::printf("=== Ablation: query block size (80K queries; wall minutes) ===\n");
+  std::vector<std::string> header{"cores"};
+  for (const auto b : block_sizes) header.push_back(std::to_string(b) + "/blk");
+  bench::print_row(header);
+
+  for (const int cores : {32, 128, 512, 1024}) {
+    if (cores > max_cores) break;
+    std::vector<std::string> row{std::to_string(cores)};
+    for (const auto b : block_sizes) {
+      mrblast::SimRunConfig config;
+      config.workload.total_queries = 80'000;
+      config.workload.queries_per_block = b;
+      const double t = bench::run_cluster(
+          cores, [&](mpi::Comm& comm) { mrblast::run_blast_sim(comm, config); },
+          bench::paper_net());
+      row.push_back(bench::fmt(bench::seconds_to_minutes(t)));
+    }
+    bench::print_row(row);
+  }
+  std::printf(
+      "\nShape checks (paper): larger blocks win at 32 cores (fewer DB reloads per\n"
+      "query); smaller blocks win at 1024 cores (more units to balance).\n");
+  return 0;
+}

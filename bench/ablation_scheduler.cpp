@@ -1,0 +1,53 @@
+// Ablation: the MapReduce-MPI task-distribution styles on the BLAST
+// workload. The paper uses the master-worker mode because BLAST unit costs
+// are "highly non-uniform and unpredictable"; this quantifies what the
+// static modes would have cost.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/options.hpp"
+#include "mrblast/mrblast.hpp"
+
+using namespace mrbio;
+
+namespace {
+
+double run_style(mrmpi::MapStyle style, int cores, double sigma) {
+  mrblast::SimRunConfig config;
+  config.workload.total_queries = 40'000;
+  config.workload.lognormal_sigma = sigma;
+  config.map_style = style;
+  return bench::run_cluster(
+      cores, [&](mpi::Comm& comm) { mrblast::run_blast_sim(comm, config); },
+      bench::paper_net());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts("ablation_scheduler: map styles (chunk/stride/master-worker) on MR-MPI BLAST");
+  opts.add("max-cores", "512", "largest simulated core count");
+  if (!opts.parse(argc, argv)) return 0;
+  const auto max_cores = opts.integer("max-cores");
+
+  for (const double sigma : {0.35, 1.0}) {
+    std::printf("=== Ablation: map style, 40K queries, unit-cost sigma %.2f (wall min) ===\n",
+                sigma);
+    bench::print_row({"cores", "chunk", "stride", "master-worker", "mw gain"});
+    for (const int cores : {32, 128, 512}) {
+      if (cores > max_cores) break;
+      const double tc = run_style(mrmpi::MapStyle::Chunk, cores, sigma);
+      const double ts = run_style(mrmpi::MapStyle::Stride, cores, sigma);
+      const double tm = run_style(mrmpi::MapStyle::MasterWorker, cores, sigma);
+      bench::print_row({std::to_string(cores), bench::fmt(bench::seconds_to_minutes(tc)),
+                        bench::fmt(bench::seconds_to_minutes(ts)),
+                        bench::fmt(bench::seconds_to_minutes(tm)),
+                        bench::fmt(100.0 * (std::min(tc, ts) / tm - 1.0), 1) + "%"});
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape checks: master-worker wins whenever unit costs vary; its advantage\n"
+      "grows with the cost heterogeneity (sigma) and the core count.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: the Section V dynamic query chunking ("progressively smaller
+// query chunks toward the end ... a more uniform filling of the cores").
+// Uniform block schedules are compared against tapered ones at high core
+// counts, where end-of-stage idling dominates.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "blast/fasta_index.hpp"
+#include "common/options.hpp"
+#include "mrblast/mrblast.hpp"
+
+using namespace mrbio;
+
+namespace {
+
+double run_schedule(int cores, std::vector<std::uint64_t> blocks) {
+  mrblast::SimRunConfig config;
+  config.workload.total_queries = 80'000;
+  config.workload.block_sizes = std::move(blocks);
+  // Dynamic chunking targets the granularity tail (cores idling while the
+  // last few large units finish). Pathological outlier units are a
+  // different tail the schedule cannot fix, so they are disabled here to
+  // isolate the effect under study.
+  config.workload.outlier_prob = 0.0;
+  return bench::seconds_to_minutes(bench::run_cluster(
+      cores, [&](mpi::Comm& comm) { mrblast::run_blast_sim(comm, config); },
+      bench::paper_net()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts("ablation_tapered_blocks: uniform vs tapered query-block schedules");
+  opts.add("max-cores", "1024", "largest simulated core count");
+  if (!opts.parse(argc, argv)) return 0;
+  const auto max_cores = opts.integer("max-cores");
+
+  std::printf("=== Ablation: tapered query blocks (80K queries, wall minutes) ===\n");
+  bench::print_row({"cores", "uniform 2000", "uniform 1000", "tapered 2000->125"}, 18);
+  for (const int cores : {128, 256, 512, 1024}) {
+    if (cores > max_cores) break;
+    const double u2000 = run_schedule(cores, std::vector<std::uint64_t>(40, 2'000));
+    const double u1000 = run_schedule(cores, std::vector<std::uint64_t>(80, 1'000));
+    const double taper =
+        run_schedule(cores, blast::tapered_block_sizes(80'000, 2'000, 125, 0.3));
+    bench::print_row({std::to_string(cores), bench::fmt(u2000), bench::fmt(u1000),
+                      bench::fmt(taper)},
+                     18);
+  }
+  std::printf(
+      "\nShape checks: at high core counts the tapered schedule beats the uniform\n"
+      "2000-block schedule (its large early blocks amortize DB loads, its small\n"
+      "final blocks fill the cores uniformly at the end of the stage).\n");
+  return 0;
+}

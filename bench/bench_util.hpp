@@ -1,0 +1,56 @@
+// Shared helpers for the figure-reproduction benchmark drivers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "sim/engine.hpp"
+
+namespace mrbio::bench {
+
+/// Core counts used across the paper's scaling charts (multiples of the
+/// 16-core Ranger nodes, 16..1024).
+inline std::vector<int> paper_core_counts() { return {16, 32, 64, 128, 256, 512, 1024}; }
+
+/// Network model approximating Ranger's Infiniband fabric: ~2.3 us
+/// latency, ~1.5 GB/s point-to-point bandwidth.
+inline sim::NetworkModel paper_net() {
+  sim::NetworkModel net;
+  net.latency = 2.3e-6;
+  net.byte_time = 6.7e-10;
+  return net;
+}
+
+/// Runs `body` on a simulated cluster of `cores` ranks and returns the
+/// virtual elapsed wall-clock in seconds.
+inline double run_cluster(int cores, const std::function<void(mpi::Comm&)>& body,
+                          sim::NetworkModel net = sim::NetworkModel{}) {
+  sim::EngineConfig config;
+  config.nprocs = cores;
+  config.net = net;
+  config.stack_bytes = 256 * 1024;
+  sim::Engine engine(config);
+  engine.run([&](sim::Process& p) {
+    mpi::Comm comm(p);
+    body(comm);
+  });
+  return engine.elapsed();
+}
+
+inline double seconds_to_minutes(double s) { return s / 60.0; }
+
+/// Prints one header + rows of a fixed-width table.
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace mrbio::bench

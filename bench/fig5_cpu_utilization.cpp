@@ -1,0 +1,77 @@
+// Figure 5: "useful" CPU utilization per core over the course of a protein
+// MR-MPI BLAST run on 1024 cores, plus the Section IV-A protein scaling
+// claims (1024-core run spends only ~6% more core-minutes per query than
+// the 512-core run).
+//
+// Useful utilization is the fraction of cores inside search compute at a
+// given moment -- I/O and MapReduce bookkeeping excluded -- exactly the
+// getrusage()-based metric of the paper. Shape targets: a long plateau
+// near 1.0 and a taper at the end as the last work units straggle.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/options.hpp"
+#include "mrblast/mrblast.hpp"
+
+using namespace mrbio;
+
+namespace {
+
+struct ProteinRun {
+  double wall_minutes = 0.0;
+  double core_min_per_query = 0.0;
+  std::vector<double> utilization;
+};
+
+ProteinRun run_protein(int cores, std::size_t buckets) {
+  mrblast::SimRunConfig config;
+  config.workload = workload::protein_workload_config();
+  workload::UtilizationTracker tracker;
+  config.tracker = &tracker;
+  const double elapsed = bench::run_cluster(
+      cores, [&](mpi::Comm& comm) { mrblast::run_blast_sim(comm, config); },
+      bench::paper_net());
+  ProteinRun out;
+  out.wall_minutes = bench::seconds_to_minutes(elapsed);
+  out.core_min_per_query = out.wall_minutes * static_cast<double>(cores) /
+                           static_cast<double>(config.workload.total_queries);
+  out.utilization = tracker.series(elapsed / static_cast<double>(buckets), cores);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts("fig5_cpu_utilization: reproduces Fig. 5 and the protein scaling text");
+  opts.add("buckets", "32", "number of time buckets in the utilization series");
+  if (!opts.parse(argc, argv)) return 0;
+  const auto buckets = static_cast<std::size_t>(opts.integer("buckets"));
+
+  std::printf("=== Fig. 5: protein BLAST, useful CPU utilization on 1024 cores ===\n");
+  const ProteinRun run1024 = run_protein(1024, buckets);
+  std::printf("time%%    utilization\n");
+  for (std::size_t b = 0; b < run1024.utilization.size(); ++b) {
+    const double pct = 100.0 * static_cast<double>(b + 1) /
+                       static_cast<double>(run1024.utilization.size());
+    std::printf("%5.1f    %.3f  ", pct, run1024.utilization[b]);
+    const int bar = static_cast<int>(run1024.utilization[b] * 50.0);
+    for (int i = 0; i < bar; ++i) std::printf("#");
+    std::printf("\n");
+  }
+
+  std::printf("\n=== Section IV-A: protein scaling 512 vs 1024 cores ===\n");
+  const ProteinRun run512 = run_protein(512, buckets);
+  bench::print_row({"cores", "wall (min)", "core-min/query"}, 16);
+  bench::print_row({"512", bench::fmt(run512.wall_minutes, 1),
+                    bench::fmt(run512.core_min_per_query, 4)},
+                   16);
+  bench::print_row({"1024", bench::fmt(run1024.wall_minutes, 1),
+                    bench::fmt(run1024.core_min_per_query, 4)},
+                   16);
+  const double penalty =
+      100.0 * (run1024.core_min_per_query / run512.core_min_per_query - 1.0);
+  std::printf("1024-core core-min/query penalty vs 512: %.1f%% (paper: ~6%%)\n", penalty);
+  std::printf("1024-core wall clock: %.0f min (paper: 294 min absolute on Ranger)\n",
+              run1024.wall_minutes);
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Kernel micro-benchmarks (google-benchmark): the inner loops whose
+// throughput determines the constants of the cost models used by the
+// figure reproductions.
+#include <benchmark/benchmark.h>
+
+#include "blast/extend.hpp"
+#include "blast/filter.hpp"
+#include "blast/lookup.hpp"
+#include "blast/sequence.hpp"
+#include "blast/translate.hpp"
+#include "mrmpi/keyvalue.hpp"
+#include "som/som.hpp"
+
+using namespace mrbio;
+
+namespace {
+
+std::vector<std::uint8_t> random_dna(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return blast::random_sequence(rng, "s", n, blast::SeqType::Dna).data;
+}
+
+std::vector<std::uint8_t> random_protein(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return blast::random_sequence(rng, "s", n, blast::SeqType::Protein).data;
+}
+
+void BM_NucLookupBuild(benchmark::State& state) {
+  const auto query = random_dna(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    blast::NucLookup lut(query, 11);
+    benchmark::DoNotOptimize(lut.total_positions());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NucLookupBuild)->Arg(10'000)->Arg(100'000);
+
+void BM_NucScan(benchmark::State& state) {
+  const auto query = random_dna(10'000, 2);
+  const auto subject = random_dna(static_cast<std::size_t>(state.range(0)), 3);
+  const blast::NucLookup lut(query, 11);
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    std::uint32_t word = 0;
+    std::size_t run = 0;
+    const std::uint32_t mask = (1u << 22) - 1;
+    for (const std::uint8_t c : subject) {
+      word = ((word << 2) | c) & mask;
+      if (++run >= 11) hits += lut.hits(word).size();
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NucScan)->Arg(100'000)->Arg(1'000'000);
+
+void BM_ProtLookupBuildNeighbourhood(benchmark::State& state) {
+  const auto query = random_protein(static_cast<std::size_t>(state.range(0)), 4);
+  const blast::Scorer scorer = blast::Scorer::blosum62();
+  for (auto _ : state) {
+    blast::ProtLookup lut(query, 11, scorer);
+    benchmark::DoNotOptimize(lut.total_positions());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ProtLookupBuildNeighbourhood)->Arg(300)->Arg(3'000);
+
+void BM_UngappedExtension(benchmark::State& state) {
+  Rng rng(5);
+  const auto parent = blast::random_sequence(rng, "p", 2'000, blast::SeqType::Dna);
+  const auto homolog = blast::mutate(rng, parent, "h", 0.05, blast::SeqType::Dna);
+  const blast::Scorer scorer = blast::Scorer::dna();
+  for (auto _ : state) {
+    const auto seg =
+        blast::extend_ungapped(parent.data, homolog.data, 1'000, 1'000, 11, scorer, 20);
+    benchmark::DoNotOptimize(seg.score);
+  }
+}
+BENCHMARK(BM_UngappedExtension);
+
+void BM_GappedExtension(benchmark::State& state) {
+  Rng rng(6);
+  const auto parent = blast::random_sequence(rng, "p", 2'000, blast::SeqType::Dna);
+  const auto homolog = blast::mutate(rng, parent, "h", 0.05, blast::SeqType::Dna);
+  const blast::Scorer scorer = blast::Scorer::dna();
+  for (auto _ : state) {
+    const auto aln =
+        blast::extend_gapped(parent.data, homolog.data, 1'000, 1'000, scorer, 30);
+    benchmark::DoNotOptimize(aln.score);
+  }
+}
+BENCHMARK(BM_GappedExtension);
+
+void BM_DustFilter(benchmark::State& state) {
+  const auto seq = random_dna(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blast::dust_mask(seq));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DustFilter)->Arg(100'000);
+
+void BM_BmuSearch(benchmark::State& state) {
+  const auto cells = static_cast<std::size_t>(state.range(0));
+  som::Codebook cb(som::SomGrid{cells, cells}, 256);
+  Rng rng(8);
+  cb.init_random(rng);
+  std::vector<float> x(256);
+  for (float& v : x) v = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(som::find_bmu(cb, x));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(cells * cells) * 256);
+}
+BENCHMARK(BM_BmuSearch)->Arg(10)->Arg(50);
+
+void BM_BatchAccumulate(benchmark::State& state) {
+  som::Codebook cb(som::SomGrid{50, 50}, 256);
+  Rng rng(9);
+  cb.init_random(rng);
+  std::vector<float> x(256);
+  for (float& v : x) v = static_cast<float>(rng.uniform());
+  som::BatchAccumulator acc(cb.grid(), 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acc.add(cb, x, 5.0));
+  }
+  state.SetItemsProcessed(state.iterations() * 2'500 * 256);
+}
+BENCHMARK(BM_BatchAccumulate);
+
+void BM_KeyValueAdd(benchmark::State& state) {
+  const std::string key = "query_00012345";
+  const std::string value(120, 'x');
+  for (auto _ : state) {
+    mrmpi::KeyValue kv;
+    for (int i = 0; i < 1'000; ++i) kv.add(key, value);
+    benchmark::DoNotOptimize(kv.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_KeyValueAdd);
+
+void BM_Translate6Frames(benchmark::State& state) {
+  const auto dna = random_dna(static_cast<std::size_t>(state.range(0)), 10);
+  for (auto _ : state) {
+    for (int f = 0; f < 6; ++f) {
+      benchmark::DoNotOptimize(blast::translate(dna, f));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 6);
+}
+BENCHMARK(BM_Translate6Frames)->Arg(10'000);
+
+void BM_KeyValueSpillRoundTrip(benchmark::State& state) {
+  mrmpi::SpillPolicy policy;
+  policy.page_bytes = 64 * 1024;
+  policy.max_resident_pages = 4;
+  policy.dir = "/tmp";
+  const std::string value(200, 'v');
+  for (auto _ : state) {
+    mrmpi::KeyValue kv(policy);
+    for (int i = 0; i < 5'000; ++i) kv.add("key" + std::to_string(i), value);
+    std::size_t n = 0;
+    kv.for_each([&](const mrmpi::KvPair&) { ++n; });
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetBytesProcessed(state.iterations() * 5'000 * 210);
+}
+BENCHMARK(BM_KeyValueSpillRoundTrip);
+
+void BM_KeyHash(benchmark::State& state) {
+  const std::string key = "query_00012345";
+  const auto bytes = std::as_bytes(std::span(key.data(), key.size()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mrmpi::key_hash(bytes));
+  }
+}
+BENCHMARK(BM_KeyHash);
+
+}  // namespace
+
+BENCHMARK_MAIN();

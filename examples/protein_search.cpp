@@ -1,0 +1,111 @@
+// Protein BLAST example: remote-homology detection with BLOSUM62
+// neighbourhood seeding, mirroring the paper's env_nr-vs-UniRef100 search
+// at desktop scale.
+//
+//   1. create a protein "family": one ancestor mutated to several depths,
+//      buried in a database of unrelated proteins split into partitions,
+//   2. search with the two-hit BLOSUM62 pipeline through the MR-MPI
+//      driver,
+//   3. compare neighbourhood seeding (T=11) with exact-match seeding (the
+//      mode the paper notes the FPGA accelerator uses) to show why the
+//      neighbourhood matters for remote homologs.
+//
+// Run:  ./protein_search [--ranks N]
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/options.hpp"
+#include "mrblast/mrblast.hpp"
+#include "sim/engine.hpp"
+
+using namespace mrbio;
+
+namespace {
+
+std::uint64_t run_search(const mrblast::RealRunConfig& base, int ranks,
+                         int threshold, const std::string& outdir,
+                         std::vector<std::string>* files_out) {
+  mrblast::RealRunConfig config = base;
+  config.options.threshold = threshold;
+  config.output_dir = outdir;
+  std::filesystem::remove_all(outdir);
+  sim::EngineConfig ec;
+  ec.nprocs = ranks;
+  sim::Engine engine(ec);
+  std::vector<std::string> files(static_cast<std::size_t>(ranks));
+  std::uint64_t total = 0;
+  engine.run([&](sim::Process& p) {
+    mpi::Comm comm(p);
+    const auto result = mrblast::run_blast_mr(comm, config);
+    files[static_cast<std::size_t>(p.rank())] = result.output_file;
+    if (p.rank() == 0) total = result.total_hsps;
+  });
+  if (files_out != nullptr) *files_out = files;
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts("protein_search: remote protein homology with BLOSUM62 neighbourhood seeding");
+  opts.add("ranks", "6", "simulated MPI ranks");
+  opts.add("workdir", "protein_work", "scratch directory");
+  if (!opts.parse(argc, argv)) return 0;
+  const int ranks = static_cast<int>(opts.integer("ranks"));
+  const std::string workdir = opts.str("workdir");
+  std::filesystem::create_directories(workdir);
+
+  std::printf("[1/3] building a protein family and database...\n");
+  Rng rng(7);
+  const auto ancestor = blast::random_sequence(rng, "ancestor", 320, blast::SeqType::Protein);
+  std::vector<blast::Sequence> db;
+  for (const double divergence : {0.1, 0.25, 0.4, 0.55, 0.7}) {
+    db.push_back(blast::mutate(rng, ancestor,
+                               "homolog_d" + std::to_string(static_cast<int>(divergence * 100)),
+                               divergence, blast::SeqType::Protein));
+  }
+  for (int i = 0; i < 30; ++i) {
+    db.push_back(blast::random_sequence(rng, "unrelated" + std::to_string(i), 350,
+                                        blast::SeqType::Protein));
+  }
+  const blast::DbInfo info =
+      blast::build_db(db, workdir + "/prot_db", blast::SeqType::Protein, 2'500);
+  std::printf("      %zu sequences in %zu partitions\n", db.size(), info.volume_paths.size());
+
+  mrblast::RealRunConfig base;
+  base.query_blocks = {{ancestor}};
+  base.partition_paths = info.volume_paths;
+  base.options = blast::make_protein_options();
+  base.options.evalue_cutoff = 1e-3;
+  base.options.filter_low_complexity = false;
+
+  std::printf("[2/3] searching with BLOSUM62 neighbourhood words (T=11)...\n");
+  std::vector<std::string> files;
+  const auto hits_nb = run_search(base, ranks, 11, workdir + "/out_nb", &files);
+  std::printf("      %llu HSPs:\n", static_cast<unsigned long long>(hits_nb));
+  for (const auto& path : files) {
+    if (path.empty()) continue;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) std::printf("      %s\n", line.c_str());
+  }
+
+  std::printf("[3/3] same search with exact-word seeding (threshold off)...\n");
+  const auto hits_exact = run_search(base, ranks, 0, workdir + "/out_exact", nullptr);
+  std::printf("      neighbourhood found %llu HSPs, exact-only found %llu\n",
+              static_cast<unsigned long long>(hits_nb),
+              static_cast<unsigned long long>(hits_exact));
+  if (hits_nb > hits_exact) {
+    std::printf(
+        "The most diverged homologs were reachable only through scored\n"
+        "neighbourhood words -- why the paper notes the FPGA accelerator's\n"
+        "exact-seed default mainly helps less sensitive searches.\n");
+  } else {
+    std::printf(
+        "On this run both seedings found the same homolog set (long queries\n"
+        "still share some exact 3-mers); neighbourhood seeding matters as\n"
+        "divergence grows and exact words become vanishingly rare.\n");
+  }
+  return 0;
+}

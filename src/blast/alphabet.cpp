@@ -1,0 +1,112 @@
+#include "blast/alphabet.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace mrbio::blast {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 256> make_dna_table() {
+  std::array<std::uint8_t, 256> t{};
+  for (auto& v : t) v = kDnaAmbig;
+  t['A'] = t['a'] = 0;
+  t['C'] = t['c'] = 1;
+  t['G'] = t['g'] = 2;
+  t['T'] = t['t'] = 3;
+  t['U'] = t['u'] = 3;  // RNA input tolerated
+  return t;
+}
+
+// The 20 standard amino acids in alphabetical letter order.
+constexpr char kProtLetters[kProtAlphabet + 1] = "ACDEFGHIKLMNPQRSTVWY";
+
+constexpr std::array<std::uint8_t, 256> make_prot_table() {
+  std::array<std::uint8_t, 256> t{};
+  for (auto& v : t) v = kProtAmbig;
+  for (std::uint8_t i = 0; i < kProtAlphabet; ++i) {
+    const char c = kProtLetters[i];
+    t[static_cast<unsigned char>(c)] = i;
+    t[static_cast<unsigned char>(c + ('a' - 'A'))] = i;
+  }
+  return t;
+}
+
+const std::array<std::uint8_t, 256> kDnaTable = make_dna_table();
+const std::array<std::uint8_t, 256> kProtTable = make_prot_table();
+constexpr char kDnaLetters[] = "ACGT";
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_dna(std::string_view seq) {
+  std::vector<std::uint8_t> out(seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    out[i] = kDnaTable[static_cast<unsigned char>(seq[i])];
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_protein(std::string_view seq) {
+  std::vector<std::uint8_t> out(seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    out[i] = kProtTable[static_cast<unsigned char>(seq[i])];
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode(std::string_view seq, SeqType type) {
+  return type == SeqType::Dna ? encode_dna(seq) : encode_protein(seq);
+}
+
+std::string decode_dna(std::span<const std::uint8_t> codes) {
+  std::string out(codes.size(), 'N');
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] < kDnaAlphabet) out[i] = kDnaLetters[codes[i]];
+  }
+  return out;
+}
+
+std::string decode_protein(std::span<const std::uint8_t> codes) {
+  std::string out(codes.size(), 'X');
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] < kProtAlphabet) out[i] = kProtLetters[codes[i]];
+  }
+  return out;
+}
+
+std::string decode(std::span<const std::uint8_t> codes, SeqType type) {
+  return type == SeqType::Dna ? decode_dna(codes) : decode_protein(codes);
+}
+
+std::vector<std::uint8_t> reverse_complement(std::span<const std::uint8_t> codes) {
+  std::vector<std::uint8_t> out(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const std::uint8_t c = codes[codes.size() - 1 - i];
+    out[i] = c < kDnaAlphabet ? static_cast<std::uint8_t>(3 - c) : c;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> pack_2bit(std::span<const std::uint8_t> codes) {
+  std::vector<std::uint8_t> out((codes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    // Ambiguous bases pack as 'A'; the DB format records their true
+    // positions in a side table so nothing is lost.
+    const std::uint8_t c = codes[i] < kDnaAlphabet ? codes[i] : 0;
+    out[i / 4] = static_cast<std::uint8_t>(out[i / 4] | (c << ((i % 4) * 2)));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> unpack_2bit(std::span<const std::uint8_t> packed, std::size_t n) {
+  MRBIO_REQUIRE(packed.size() >= (n + 3) / 4, "packed buffer too small: ", packed.size(),
+                " bytes for ", n, " bases");
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = (packed[i / 4] >> ((i % 4) * 2)) & 0x3;
+  }
+  return out;
+}
+
+}  // namespace mrbio::blast

@@ -1,0 +1,59 @@
+// Sequence alphabets and encodings.
+//
+// Internally every residue is one byte holding a small code:
+//   DNA:     A=0 C=1 G=2 T=3, kDnaAmbig(=4) for IUPAC ambiguity codes/N,
+//            kSentinel(=15) separates concatenated sequences.
+//   Protein: the 20 standard residues get codes 0..19 (alphabetical by
+//            letter), B/Z/X/U/* collapse to kProtAmbig(=20), kSentinel
+//            separates sequences.
+//
+// Words containing ambiguity or sentinel codes never enter lookup tables,
+// which both matches NCBI behaviour (N is not seeded) and makes the
+// concatenated query trick of the scanning stage safe.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrbio::blast {
+
+enum class SeqType { Dna, Protein };
+
+inline constexpr std::uint8_t kDnaAmbig = 4;
+inline constexpr std::uint8_t kProtAmbig = 20;
+inline constexpr std::uint8_t kSentinel = 31;  ///< shared by both alphabets
+inline constexpr int kDnaAlphabet = 4;
+inline constexpr int kProtAlphabet = 20;
+
+/// Encodes an ASCII nucleotide sequence (case-insensitive); unknown or
+/// ambiguous characters map to kDnaAmbig.
+std::vector<std::uint8_t> encode_dna(std::string_view seq);
+
+/// Encodes an ASCII protein sequence; nonstandard residues map to
+/// kProtAmbig.
+std::vector<std::uint8_t> encode_protein(std::string_view seq);
+
+std::vector<std::uint8_t> encode(std::string_view seq, SeqType type);
+
+/// Decodes back to ASCII ('N' / 'X' for ambiguity codes).
+std::string decode_dna(std::span<const std::uint8_t> codes);
+std::string decode_protein(std::span<const std::uint8_t> codes);
+std::string decode(std::span<const std::uint8_t> codes, SeqType type);
+
+/// Reverse complement of encoded DNA (ambiguity maps to itself).
+std::vector<std::uint8_t> reverse_complement(std::span<const std::uint8_t> codes);
+
+/// True if the code is a real residue of the alphabet (not ambig/sentinel).
+inline bool is_dna_base(std::uint8_t c) { return c < kDnaAlphabet; }
+inline bool is_prot_residue(std::uint8_t c) { return c < kProtAlphabet; }
+
+/// 2-bit packing of unambiguous DNA codes, 4 bases per byte, for the
+/// database volume format. Ambiguous positions must be handled separately
+/// by the caller (the DB format stores an exception list).
+std::vector<std::uint8_t> pack_2bit(std::span<const std::uint8_t> codes);
+std::vector<std::uint8_t> unpack_2bit(std::span<const std::uint8_t> packed, std::size_t n);
+
+}  // namespace mrbio::blast

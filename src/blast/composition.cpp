@@ -1,0 +1,38 @@
+#include "blast/composition.hpp"
+
+#include "common/error.hpp"
+
+namespace mrbio::blast {
+
+std::size_t kmer_dims(int k) {
+  MRBIO_REQUIRE(k >= 1 && k <= 8, "k-mer size must be in [1, 8], got ", k);
+  return std::size_t{1} << (2 * k);
+}
+
+std::vector<float> kmer_frequencies(std::span<const std::uint8_t> seq, int k) {
+  const std::size_t dims = kmer_dims(k);
+  std::vector<float> out(dims, 0.0f);
+  const std::uint32_t mask = static_cast<std::uint32_t>(dims - 1);
+  std::uint32_t word = 0;
+  int run = 0;
+  std::uint64_t total = 0;
+  std::vector<std::uint32_t> counts(dims, 0);
+  for (const std::uint8_t c : seq) {
+    if (c < kDnaAlphabet) {
+      word = ((word << 2) | c) & mask;
+      if (++run >= k) {
+        ++counts[word];
+        ++total;
+      }
+    } else {
+      run = 0;
+    }
+  }
+  if (total == 0) return out;
+  for (std::size_t i = 0; i < dims; ++i) {
+    out[i] = static_cast<float>(counts[i]) / static_cast<float>(total);
+  }
+  return out;
+}
+
+}  // namespace mrbio::blast

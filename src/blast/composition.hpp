@@ -1,0 +1,31 @@
+// Sequence composition features: normalized k-mer frequency vectors.
+//
+// The paper's motivating SOM application is "unsupervised clustering and
+// semi-supervised classification of metagenomic sequences in a
+// multi-dimensional sequence composition space" -- concretely, the
+// tetranucleotide (k=4, 256-D) frequency vectors its authors intended to
+// explore. This module turns encoded DNA into those vectors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "blast/alphabet.hpp"
+
+namespace mrbio::blast {
+
+/// Number of dimensions of a k-mer frequency vector (4^k).
+std::size_t kmer_dims(int k);
+
+/// Normalized k-mer frequency vector of an encoded DNA sequence. Windows
+/// containing ambiguity codes are skipped; the result sums to 1 when any
+/// clean window exists, else it is all zeros. k in [1, 8].
+std::vector<float> kmer_frequencies(std::span<const std::uint8_t> seq, int k);
+
+/// Convenience for the paper's tetranucleotide space (k=4, 256-D).
+inline std::vector<float> tetranucleotide_frequencies(std::span<const std::uint8_t> seq) {
+  return kmer_frequencies(seq, 4);
+}
+
+}  // namespace mrbio::blast

@@ -1,0 +1,165 @@
+#include "blast/dbformat.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace mrbio::blast {
+
+namespace {
+
+constexpr std::uint64_t kVolumeMagic = 0x4d52424442563101ULL;  // "MRBDBV1" + 0x01
+
+std::string volume_name(const std::string& base, std::size_t index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), ".%03zu.vol", index);
+  return base + buf;
+}
+
+void write_file(const std::string& path, std::span<const std::byte> bytes) {
+  std::ofstream out(path, std::ios::binary);
+  MRBIO_REQUIRE(out.good(), "cannot open for writing: ", path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  MRBIO_REQUIRE(out.good(), "short write to ", path);
+}
+
+std::vector<std::byte> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  MRBIO_REQUIRE(in.good(), "cannot open: ", path);
+  const std::streamsize n = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> out(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(out.data()), n);
+  MRBIO_REQUIRE(in.good(), "short read from ", path);
+  return out;
+}
+
+}  // namespace
+
+DbVolume DbVolume::load(const std::string& path) {
+  const std::vector<std::byte> bytes = read_file(path);
+  ByteReader r(bytes);
+  MRBIO_REQUIRE(r.get<std::uint64_t>() == kVolumeMagic, "not a mrbio DB volume: ", path);
+  DbVolume vol;
+  vol.type_ = static_cast<SeqType>(r.get<std::uint8_t>());
+  const auto nseqs = r.get<std::uint64_t>();
+  vol.residues_ = r.get<std::uint64_t>();
+  vol.seqs_.reserve(nseqs);
+  for (std::uint64_t i = 0; i < nseqs; ++i) {
+    Sequence s;
+    s.id = r.get_string();
+    s.description = r.get_string();
+    const auto len = r.get<std::uint64_t>();
+    if (vol.type_ == SeqType::Dna) {
+      const auto packed = r.get_vector<std::uint8_t>();
+      s.data = unpack_2bit(packed, len);
+      const auto ambig = r.get_vector<std::uint64_t>();
+      for (const std::uint64_t pos : ambig) {
+        MRBIO_REQUIRE(pos < len, "ambiguity position out of range in ", path);
+        s.data[pos] = kDnaAmbig;
+      }
+    } else {
+      s.data = r.get_vector<std::uint8_t>();
+      MRBIO_REQUIRE(s.data.size() == len, "protein record length mismatch in ", path);
+    }
+    vol.seqs_.push_back(std::move(s));
+  }
+  MRBIO_REQUIRE(r.done(), "trailing bytes in DB volume ", path);
+  return vol;
+}
+
+const Sequence& DbVolume::seq(std::size_t i) const {
+  MRBIO_CHECK(i < seqs_.size(), "DbVolume::seq index out of range");
+  return seqs_[i];
+}
+
+DbBuilder::DbBuilder(std::string base_path, SeqType type,
+                     std::uint64_t target_volume_residues)
+    : base_(std::move(base_path)), type_(type), target_(target_volume_residues) {
+  MRBIO_REQUIRE(target_ > 0, "target volume size must be positive");
+  info_.type = type;
+}
+
+DbBuilder::~DbBuilder() = default;
+
+void DbBuilder::add(Sequence seq) {
+  MRBIO_CHECK(!finished_, "DbBuilder::add after finish()");
+  MRBIO_REQUIRE(!seq.id.empty(), "database sequence with empty id");
+  pending_residues_ += seq.length();
+  info_.total_residues += seq.length();
+  info_.total_seqs += 1;
+  pending_.push_back(std::move(seq));
+  if (pending_residues_ >= target_) flush_volume();
+}
+
+void DbBuilder::flush_volume() {
+  if (pending_.empty()) return;
+  ByteWriter w;
+  w.put(kVolumeMagic);
+  w.put(static_cast<std::uint8_t>(type_));
+  w.put<std::uint64_t>(pending_.size());
+  w.put<std::uint64_t>(pending_residues_);
+  for (const Sequence& s : pending_) {
+    w.put_string(s.id);
+    w.put_string(s.description);
+    w.put<std::uint64_t>(s.length());
+    if (type_ == SeqType::Dna) {
+      w.put_vector(pack_2bit(s.data));
+      std::vector<std::uint64_t> ambig;
+      for (std::size_t i = 0; i < s.data.size(); ++i) {
+        if (s.data[i] >= kDnaAlphabet) ambig.push_back(i);
+      }
+      w.put_vector(ambig);
+    } else {
+      w.put_vector(s.data);
+    }
+  }
+  const std::string path = volume_name(base_, info_.volume_paths.size());
+  write_file(path, w.bytes());
+  info_.volume_paths.push_back(path);
+  pending_.clear();
+  pending_residues_ = 0;
+}
+
+DbInfo DbBuilder::finish() {
+  MRBIO_CHECK(!finished_, "DbBuilder::finish called twice");
+  finished_ = true;
+  flush_volume();
+
+  ByteWriter w;
+  w.put_string("MRBDBAL1");
+  w.put(static_cast<std::uint8_t>(type_));
+  w.put<std::uint64_t>(info_.total_residues);
+  w.put<std::uint64_t>(info_.total_seqs);
+  w.put<std::uint64_t>(info_.volume_paths.size());
+  for (const std::string& p : info_.volume_paths) w.put_string(p);
+  write_file(base_ + ".mal", w.bytes());
+  return info_;
+}
+
+DbInfo build_db(const std::vector<Sequence>& seqs, const std::string& base_path,
+                SeqType type, std::uint64_t target_volume_residues) {
+  DbBuilder b(base_path, type, target_volume_residues);
+  for (const Sequence& s : seqs) b.add(s);
+  return b.finish();
+}
+
+DbInfo read_db_info(const std::string& alias_path) {
+  const std::vector<std::byte> bytes = read_file(alias_path);
+  ByteReader r(bytes);
+  MRBIO_REQUIRE(r.get_string() == "MRBDBAL1", "not a mrbio DB alias: ", alias_path);
+  DbInfo info;
+  info.type = static_cast<SeqType>(r.get<std::uint8_t>());
+  info.total_residues = r.get<std::uint64_t>();
+  info.total_seqs = r.get<std::uint64_t>();
+  const auto nvol = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < nvol; ++i) info.volume_paths.push_back(r.get_string());
+  MRBIO_REQUIRE(r.done(), "trailing bytes in alias ", alias_path);
+  return info;
+}
+
+}  // namespace mrbio::blast

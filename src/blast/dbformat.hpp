@@ -1,0 +1,83 @@
+// BLAST database volumes: the `formatdb` equivalent.
+//
+// The paper's pipeline formats the full FASTA database into fixed-size
+// two-bit-encoded partitions ("The database partitions are created by
+// running the standard NCBI BLAST tool formatdb ... in a two-bit encoded
+// format that is optimized for scanning"). This module reproduces that:
+// a DbBuilder splits an input sequence stream into volumes capped at a
+// target residue count, nucleotide payloads are stored 2-bit packed with
+// an ambiguity-exception list, and an alias file records the volume list
+// plus database-wide totals (the numbers the searcher needs to override
+// per-partition statistics with whole-database statistics).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blast/sequence.hpp"
+
+namespace mrbio::blast {
+
+/// Whole-database metadata kept in the alias file ("<base>.mal").
+struct DbInfo {
+  SeqType type = SeqType::Dna;
+  std::vector<std::string> volume_paths;
+  std::uint64_t total_residues = 0;
+  std::uint64_t total_seqs = 0;
+};
+
+/// One loaded database partition.
+class DbVolume {
+ public:
+  static DbVolume load(const std::string& path);
+
+  SeqType type() const { return type_; }
+  std::size_t num_seqs() const { return seqs_.size(); }
+  std::uint64_t residues() const { return residues_; }
+  const Sequence& seq(std::size_t i) const;
+  const std::vector<Sequence>& sequences() const { return seqs_; }
+
+ private:
+  SeqType type_ = SeqType::Dna;
+  std::uint64_t residues_ = 0;
+  std::vector<Sequence> seqs_;
+};
+
+/// Streaming builder that cuts volumes at `target_volume_residues`.
+class DbBuilder {
+ public:
+  /// Volumes are written as "<base>.<nn>.vol"; the alias as "<base>.mal".
+  DbBuilder(std::string base_path, SeqType type, std::uint64_t target_volume_residues);
+  ~DbBuilder();
+
+  DbBuilder(const DbBuilder&) = delete;
+  DbBuilder& operator=(const DbBuilder&) = delete;
+
+  void add(Sequence seq);
+
+  /// Flushes the last volume and writes the alias file. Must be called
+  /// exactly once; add() is invalid afterwards.
+  DbInfo finish();
+
+ private:
+  void flush_volume();
+
+  std::string base_;
+  SeqType type_;
+  std::uint64_t target_;
+  std::vector<Sequence> pending_;
+  std::uint64_t pending_residues_ = 0;
+  DbInfo info_;
+  bool finished_ = false;
+};
+
+/// Convenience: formats a sequence set into volumes in one call.
+DbInfo build_db(const std::vector<Sequence>& seqs, const std::string& base_path,
+                SeqType type, std::uint64_t target_volume_residues);
+
+/// Reads an alias file written by DbBuilder::finish().
+DbInfo read_db_info(const std::string& alias_path);
+
+}  // namespace mrbio::blast

@@ -1,0 +1,136 @@
+#include "blast/display.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mrbio::blast {
+
+std::string render_hsp_header(const Hsp& hsp, SeqType type) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                " Score = %.1f bits (%d), Expect = %.2e\n"
+                " Identities = %u/%u (%.0f%%), Gaps = %u/%u",
+                hsp.bit_score, hsp.raw_score, hsp.evalue, hsp.identities, hsp.align_len,
+                100.0 * hsp.identity_fraction(), hsp.gaps, hsp.align_len);
+  std::string out = buf;
+  if (type == SeqType::Dna) {
+    out += hsp.minus_strand ? "\n Strand = Plus/Minus" : "\n Strand = Plus/Plus";
+  }
+  return out;
+}
+
+std::string render_pairwise(const Sequence& query, const Sequence& subject, const Hsp& hsp,
+                            const Scorer& scorer, std::size_t width) {
+  MRBIO_REQUIRE(width >= 10, "alignment display width too small: ", width);
+  const SeqType type = scorer.type();
+  const int alphabet = type == SeqType::Dna ? kDnaAlphabet : kProtAlphabet;
+
+  // Work in the frame the alignment was computed in: for minus-strand hits
+  // that is the reverse complement of the query.
+  std::vector<std::uint8_t> qframe;
+  std::size_t q0;
+  if (hsp.minus_strand) {
+    MRBIO_REQUIRE(type == SeqType::Dna, "minus-strand HSP on a non-DNA search");
+    qframe = reverse_complement(query.data);
+    q0 = query.length() - hsp.q_end;
+  } else {
+    qframe = query.data;
+    q0 = hsp.q_start;
+  }
+
+  // Expand the edit script into three character rows; record, per column,
+  // the consumed query/subject offset (-1 for gap columns).
+  std::string qrow;
+  std::string mrow;
+  std::string srow;
+  std::vector<std::int64_t> qcol;
+  std::vector<std::int64_t> scol;
+  std::size_t qi = q0;
+  std::size_t si = hsp.s_start;
+  for (const EditOp& op : hsp.ops) {
+    for (std::uint32_t k = 0; k < op.len; ++k) {
+      switch (op.type) {
+        case EditOp::Type::Match: {
+          const std::uint8_t qc = qframe[qi];
+          const std::uint8_t sc = subject.data[si];
+          const std::string qch = decode(std::span(&qc, 1), type);
+          qrow += qch;
+          srow += decode(std::span(&sc, 1), type);
+          if (qc == sc && qc < alphabet) {
+            mrow += type == SeqType::Dna ? "|" : qch;
+          } else if (type == SeqType::Protein && qc < alphabet && sc < alphabet &&
+                     scorer.score(qc, sc) > 0) {
+            mrow += "+";
+          } else {
+            mrow += " ";
+          }
+          qcol.push_back(static_cast<std::int64_t>(qi++));
+          scol.push_back(static_cast<std::int64_t>(si++));
+          break;
+        }
+        case EditOp::Type::InsertQ:
+          qrow += decode(std::span(&qframe[qi], 1), type);
+          mrow += " ";
+          srow += "-";
+          qcol.push_back(static_cast<std::int64_t>(qi++));
+          scol.push_back(-1);
+          break;
+        case EditOp::Type::InsertS:
+          qrow += "-";
+          mrow += " ";
+          srow += decode(std::span(&subject.data[si], 1), type);
+          qcol.push_back(-1);
+          scol.push_back(static_cast<std::int64_t>(si++));
+          break;
+      }
+    }
+  }
+
+  // 1-based display coordinates; a minus-strand query counts backwards on
+  // the plus strand, as in BLAST reports.
+  auto q_display = [&](std::int64_t frame_pos) -> std::int64_t {
+    if (hsp.minus_strand) return static_cast<std::int64_t>(query.length()) - frame_pos;
+    return frame_pos + 1;
+  };
+
+  auto bounds = [](const std::vector<std::int64_t>& cols, std::size_t lo, std::size_t hi,
+                   std::int64_t* first, std::int64_t* last) {
+    *first = -1;
+    *last = -1;
+    for (std::size_t i = lo; i <= hi; ++i) {
+      if (cols[i] < 0) continue;
+      if (*first < 0) *first = cols[i];
+      *last = cols[i];
+    }
+  };
+
+  std::ostringstream os;
+  for (std::size_t start = 0; start < qrow.size(); start += width) {
+    const std::size_t n = std::min(width, qrow.size() - start);
+    const std::size_t end = start + n - 1;
+    std::int64_t qa = 0;
+    std::int64_t qb = 0;
+    std::int64_t sa = 0;
+    std::int64_t sb = 0;
+    bounds(qcol, start, end, &qa, &qb);
+    bounds(scol, start, end, &sa, &sb);
+    char line[1024];
+    std::snprintf(line, sizeof(line), "Query  %-6lld %s  %lld\n",
+                  static_cast<long long>(qa >= 0 ? q_display(qa) : 0),
+                  qrow.substr(start, n).c_str(),
+                  static_cast<long long>(qb >= 0 ? q_display(qb) : 0));
+    os << line;
+    os << "              " << mrow.substr(start, n) << "\n";
+    std::snprintf(line, sizeof(line), "Sbjct  %-6lld %s  %lld\n",
+                  static_cast<long long>(sa >= 0 ? sa + 1 : 0),
+                  srow.substr(start, n).c_str(),
+                  static_cast<long long>(sb >= 0 ? sb + 1 : 0));
+    os << line;
+    if (start + width < qrow.size()) os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mrbio::blast

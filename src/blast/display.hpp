@@ -1,0 +1,31 @@
+// Human-readable pairwise alignment rendering, the classic BLAST report
+// block:
+//
+//   Query  1    ACGTACGTAC-GT  12
+//               |||||| ||| ||
+//   Sbjct  101  ACGTACTTACAGT  113
+//
+// DNA match lines use '|' for identities; protein match lines follow the
+// BLAST convention of the residue letter for identities, '+' for positive
+// BLOSUM scores and space otherwise.
+#pragma once
+
+#include <string>
+
+#include "blast/hsp.hpp"
+#include "blast/score.hpp"
+#include "blast/sequence.hpp"
+
+namespace mrbio::blast {
+
+/// Renders the HSP's alignment between `query` (plus-strand as stored) and
+/// `subject`. The HSP must carry its edit script (hsp.ops non-empty unless
+/// the alignment is empty). `width` sets residues per block.
+std::string render_pairwise(const Sequence& query, const Sequence& subject, const Hsp& hsp,
+                            const Scorer& scorer, std::size_t width = 60);
+
+/// Renders a summary header line ("Score = 98.7 bits (200), Expect =
+/// 1e-30, Identities = 95/100 (95%), Gaps = 2/100, Strand = Plus/Minus").
+std::string render_hsp_header(const Hsp& hsp, SeqType type);
+
+}  // namespace mrbio::blast

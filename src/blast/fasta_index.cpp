@@ -1,0 +1,69 @@
+#include "blast/fasta_index.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace mrbio::blast {
+
+FastaIndex::FastaIndex(std::string path, SeqType type)
+    : path_(std::move(path)), type_(type) {
+  std::ifstream in(path_, std::ios::binary);
+  MRBIO_REQUIRE(in.good(), "cannot open FASTA file: ", path_);
+  std::string line;
+  std::uint64_t offset = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '>') offsets_.push_back(offset);
+    offset += static_cast<std::uint64_t>(line.size()) + 1;  // '\n'
+  }
+  file_size_ = offset;
+}
+
+std::uint64_t FastaIndex::offset(std::size_t i) const {
+  MRBIO_CHECK(i < offsets_.size(), "FastaIndex::offset out of range");
+  return offsets_[i];
+}
+
+std::vector<Sequence> FastaIndex::read_range(std::size_t first, std::size_t count) const {
+  if (first >= offsets_.size() || count == 0) return {};
+  const std::size_t last = std::min(first + count, offsets_.size());
+  const std::uint64_t begin = offsets_[first];
+  const std::uint64_t end = last < offsets_.size() ? offsets_[last] : file_size_;
+
+  std::ifstream in(path_, std::ios::binary);
+  MRBIO_REQUIRE(in.good(), "cannot reopen FASTA file: ", path_);
+  in.seekg(static_cast<std::streamoff>(begin));
+  std::string chunk(static_cast<std::size_t>(end - begin), '\0');
+  in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+  MRBIO_REQUIRE(in.gcount() == static_cast<std::streamsize>(chunk.size()),
+                "short read from ", path_);
+  return parse_fasta(chunk, type_);
+}
+
+std::vector<std::uint64_t> tapered_block_sizes(std::uint64_t total_queries,
+                                               std::uint64_t initial_block,
+                                               std::uint64_t min_block,
+                                               double taper_fraction) {
+  MRBIO_REQUIRE(initial_block > 0 && min_block > 0 && min_block <= initial_block,
+                "bad tapered block sizes");
+  MRBIO_REQUIRE(taper_fraction >= 0.0 && taper_fraction < 1.0,
+                "taper_fraction must be in [0, 1)");
+  std::vector<std::uint64_t> blocks;
+  const auto bulk =
+      static_cast<std::uint64_t>(static_cast<double>(total_queries) * (1.0 - taper_fraction));
+  std::uint64_t done = 0;
+  while (done + initial_block <= bulk) {
+    blocks.push_back(initial_block);
+    done += initial_block;
+  }
+  std::uint64_t size = initial_block;
+  while (done < total_queries) {
+    size = std::max(min_block, size / 2);
+    const std::uint64_t take = std::min<std::uint64_t>(size, total_queries - done);
+    blocks.push_back(take);
+    done += take;
+  }
+  return blocks;
+}
+
+}  // namespace mrbio::blast

@@ -1,0 +1,53 @@
+// FASTA offset index: random access to query blocks without pre-splitting.
+//
+// The paper's second planned improvement: "we are eliminating the need to
+// pre-partition the query dataset by building an index of sequence offsets
+// in the input FASTA file. This will allow selecting the size of the query
+// blocks dynamically after the start of the program". FastaIndex scans a
+// FASTA file once, records each record's byte offset, and serves arbitrary
+// [first, count) record ranges with pread-style random access -- so any
+// rank can fetch exactly the block its work unit names.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blast/sequence.hpp"
+
+namespace mrbio::blast {
+
+class FastaIndex {
+ public:
+  /// Scans the file and builds the offset table.
+  explicit FastaIndex(std::string path, SeqType type);
+
+  std::size_t num_records() const { return offsets_.size(); }
+  const std::string& path() const { return path_; }
+  SeqType type() const { return type_; }
+
+  /// Reads records [first, first + count), clamped at the end of the file.
+  std::vector<Sequence> read_range(std::size_t first, std::size_t count) const;
+
+  /// Byte offset of record i (for tests / tooling).
+  std::uint64_t offset(std::size_t i) const;
+
+ private:
+  std::string path_;
+  SeqType type_;
+  std::vector<std::uint64_t> offsets_;  ///< start of each '>' defline
+  std::uint64_t file_size_ = 0;
+};
+
+/// Block-size schedule for dynamic chunking: `initial`-sized blocks over
+/// the bulk of the queries, then geometrically halving block sizes (down
+/// to min_block) over the final `taper_fraction` of the data -- the
+/// paper's "progressively smaller query chunks toward the end of each
+/// iteration [for] a more uniform filling of the cores". Returns per-block
+/// query counts summing to total_queries.
+std::vector<std::uint64_t> tapered_block_sizes(std::uint64_t total_queries,
+                                               std::uint64_t initial_block,
+                                               std::uint64_t min_block,
+                                               double taper_fraction = 0.25);
+
+}  // namespace mrbio::blast

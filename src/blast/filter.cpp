@@ -1,0 +1,102 @@
+#include "blast/filter.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mrbio::blast {
+
+std::vector<MaskRange> merge_ranges(std::vector<MaskRange> ranges) {
+  std::sort(ranges.begin(), ranges.end(),
+            [](const MaskRange& a, const MaskRange& b) { return a.begin < b.begin; });
+  std::vector<MaskRange> out;
+  for (const MaskRange& r : ranges) {
+    if (r.begin >= r.end) continue;
+    if (!out.empty() && r.begin <= out.back().end) {
+      out.back().end = std::max(out.back().end, r.end);
+    } else {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::vector<MaskRange> dust_mask(std::span<const std::uint8_t> seq, double level,
+                                 std::size_t window, std::size_t step) {
+  MRBIO_REQUIRE(window >= 8 && step >= 1 && step <= window, "bad dust window/step");
+  std::vector<MaskRange> hits;
+  if (seq.size() < 3) return hits;
+
+  for (std::size_t start = 0; start < seq.size(); start += step) {
+    const std::size_t end = std::min(start + window, seq.size());
+    if (end - start < 3) break;
+    std::array<std::uint16_t, 64> counts{};
+    std::size_t k = 0;
+    for (std::size_t i = start; i + 3 <= end; ++i) {
+      const std::uint8_t a = seq[i];
+      const std::uint8_t b = seq[i + 1];
+      const std::uint8_t c = seq[i + 2];
+      if (a >= kDnaAlphabet || b >= kDnaAlphabet || c >= kDnaAlphabet) continue;
+      ++counts[static_cast<std::size_t>(a) * 16 + b * 4 + c];
+      ++k;
+    }
+    if (k < 2) continue;
+    double score = 0.0;
+    for (const std::uint16_t c : counts) {
+      score += static_cast<double>(c) * static_cast<double>(c - (c > 0 ? 1 : 0)) / 2.0;
+    }
+    score /= static_cast<double>(k - 1);
+    if (score > level) hits.push_back({start, end});
+    if (end == seq.size()) break;
+  }
+  return merge_ranges(std::move(hits));
+}
+
+std::vector<MaskRange> seg_mask(std::span<const std::uint8_t> seq, double max_entropy,
+                                std::size_t window) {
+  MRBIO_REQUIRE(window >= 4, "seg window too small: ", window);
+  std::vector<MaskRange> hits;
+  if (seq.size() < window) return hits;
+
+  std::array<std::uint16_t, kProtAlphabet> counts{};
+  std::size_t valid = 0;
+  auto add = [&](std::uint8_t c, int delta) {
+    if (c < kProtAlphabet) {
+      counts[c] = static_cast<std::uint16_t>(counts[c] + delta);
+      valid = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(valid) + delta);
+    }
+  };
+  for (std::size_t i = 0; i < window; ++i) add(seq[i], +1);
+
+  for (std::size_t start = 0;; ++start) {
+    if (valid == window) {  // windows touching ambiguity codes are skipped
+      double h = 0.0;
+      for (const std::uint16_t c : counts) {
+        if (c == 0) continue;
+        const double p = static_cast<double>(c) / static_cast<double>(window);
+        h -= p * std::log2(p);
+      }
+      if (h < max_entropy) hits.push_back({start, start + window});
+    }
+    if (start + window >= seq.size()) break;
+    add(seq[start], -1);
+    add(seq[start + window], +1);
+  }
+  return merge_ranges(std::move(hits));
+}
+
+std::vector<std::uint8_t> apply_mask(std::span<const std::uint8_t> seq,
+                                     std::span<const MaskRange> ranges, SeqType type) {
+  std::vector<std::uint8_t> out(seq.begin(), seq.end());
+  const std::uint8_t ambig = type == SeqType::Dna ? kDnaAmbig : kProtAmbig;
+  for (const MaskRange& r : ranges) {
+    MRBIO_CHECK(r.end <= out.size(), "mask range out of bounds");
+    std::fill(out.begin() + static_cast<std::ptrdiff_t>(r.begin),
+              out.begin() + static_cast<std::ptrdiff_t>(r.end), ambig);
+  }
+  return out;
+}
+
+}  // namespace mrbio::blast

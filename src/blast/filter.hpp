@@ -1,0 +1,52 @@
+// Low-complexity filters.
+//
+// BLAST masks low-complexity sequence before seeding ("the low-complexity
+// filtering is usually requested", as the paper notes when discussing why
+// output-limit overheads rarely matter). Two filters are provided:
+//
+//   dust_mask: the DUST triplet-statistic filter for nucleotides. Windows
+//   whose triplet composition score exceeds `level` are masked. Score of a
+//   window with triplet counts c_t over k triplets is
+//   sum_t c_t (c_t - 1) / 2 / (k - 1); the default level 2.0 corresponds
+//   to NCBI's default of 20 (NCBI scales by 10).
+//
+//   seg_mask: an entropy filter for proteins in the spirit of SEG: windows
+//   whose Shannon entropy falls below `max_entropy` bits are masked.
+//
+// Masking replaces residues with the alphabet's ambiguity code in a copy
+// used for lookup-table construction only (soft masking): seeds never
+// start in masked regions, but extensions may run through them, which is
+// NCBI's default behaviour.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "blast/alphabet.hpp"
+
+namespace mrbio::blast {
+
+/// Half-open masked interval.
+struct MaskRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// DUST-style nucleotide mask; window/step in bases.
+std::vector<MaskRange> dust_mask(std::span<const std::uint8_t> seq, double level = 2.0,
+                                 std::size_t window = 64, std::size_t step = 32);
+
+/// SEG-style protein mask; entropy threshold in bits.
+std::vector<MaskRange> seg_mask(std::span<const std::uint8_t> seq,
+                                double max_entropy = 2.2, std::size_t window = 12);
+
+/// Returns a copy of `seq` with masked ranges replaced by the ambiguity
+/// code of the sequence type.
+std::vector<std::uint8_t> apply_mask(std::span<const std::uint8_t> seq,
+                                     std::span<const MaskRange> ranges, SeqType type);
+
+/// Merges overlapping/adjacent ranges (helper shared by both filters).
+std::vector<MaskRange> merge_ranges(std::vector<MaskRange> ranges);
+
+}  // namespace mrbio::blast

@@ -1,0 +1,109 @@
+#include "blast/hsp.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mrbio::blast {
+
+void Hsp::serialize(ByteWriter& w) const {
+  w.put_string(subject_id);
+  w.put(q_start);
+  w.put(q_end);
+  w.put(s_start);
+  w.put(s_end);
+  w.put(static_cast<std::uint8_t>(minus_strand ? 1 : 0));
+  w.put(raw_score);
+  w.put(bit_score);
+  w.put(evalue);
+  w.put(identities);
+  w.put(align_len);
+  w.put(gaps);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(ops.size()));
+  for (const EditOp& op : ops) {
+    w.put(static_cast<std::uint8_t>(op.type));
+    w.put(op.len);
+  }
+}
+
+Hsp Hsp::deserialize(ByteReader& r) {
+  Hsp h;
+  h.subject_id = r.get_string();
+  h.q_start = r.get<std::uint64_t>();
+  h.q_end = r.get<std::uint64_t>();
+  h.s_start = r.get<std::uint64_t>();
+  h.s_end = r.get<std::uint64_t>();
+  h.minus_strand = r.get<std::uint8_t>() != 0;
+  h.raw_score = r.get<std::int32_t>();
+  h.bit_score = r.get<double>();
+  h.evalue = r.get<double>();
+  h.identities = r.get<std::uint32_t>();
+  h.align_len = r.get<std::uint32_t>();
+  h.gaps = r.get<std::uint32_t>();
+  const auto nops = r.get<std::uint32_t>();
+  h.ops.reserve(nops);
+  for (std::uint32_t i = 0; i < nops; ++i) {
+    EditOp op;
+    op.type = static_cast<EditOp::Type>(r.get<std::uint8_t>());
+    op.len = r.get<std::uint32_t>();
+    h.ops.push_back(op);
+  }
+  return h;
+}
+
+bool hsp_better(const Hsp& a, const Hsp& b) {
+  if (a.evalue != b.evalue) return a.evalue < b.evalue;
+  if (a.raw_score != b.raw_score) return a.raw_score > b.raw_score;
+  if (a.subject_id != b.subject_id) return a.subject_id < b.subject_id;
+  if (a.s_start != b.s_start) return a.s_start < b.s_start;
+  return a.q_start < b.q_start;
+}
+
+void sort_and_truncate(std::vector<Hsp>& hsps, std::size_t max_hits) {
+  std::sort(hsps.begin(), hsps.end(), hsp_better);
+  if (max_hits > 0 && hsps.size() > max_hits) hsps.resize(max_hits);
+}
+
+void cull_contained(std::vector<Hsp>& hsps) {
+  std::sort(hsps.begin(), hsps.end(), [](const Hsp& a, const Hsp& b) {
+    if (a.raw_score != b.raw_score) return a.raw_score > b.raw_score;
+    return hsp_better(a, b);
+  });
+  std::vector<Hsp> kept;
+  for (Hsp& h : hsps) {
+    bool contained = false;
+    for (const Hsp& k : kept) {
+      if (k.subject_id == h.subject_id && k.minus_strand == h.minus_strand &&
+          k.q_start <= h.q_start && h.q_end <= k.q_end && k.s_start <= h.s_start &&
+          h.s_end <= k.s_end) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) kept.push_back(std::move(h));
+  }
+  hsps = std::move(kept);
+}
+
+std::string to_tabular(const std::string& query_id, const Hsp& h) {
+  // Mirrors BLAST outfmt 6: qid sid pident length mismatch gapopen qstart
+  // qend sstart send evalue bitscore -- with 1-based inclusive coordinates
+  // and subject coordinates swapped on the minus strand.
+  char buf[512];
+  const double pident = 100.0 * h.identity_fraction();
+  const auto mismatches =
+      static_cast<std::uint32_t>(h.align_len - h.identities - h.gaps);
+  std::uint64_t qs = h.q_start + 1;
+  std::uint64_t qe = h.q_end;
+  std::uint64_t ss = h.s_start + 1;
+  std::uint64_t se = h.s_end;
+  if (h.minus_strand) std::swap(ss, se);
+  std::snprintf(buf, sizeof(buf),
+                "%s\t%s\t%.2f\t%u\t%u\t%u\t%llu\t%llu\t%llu\t%llu\t%.2e\t%.1f",
+                query_id.c_str(), h.subject_id.c_str(), pident, h.align_len, mismatches,
+                h.gaps, static_cast<unsigned long long>(qs),
+                static_cast<unsigned long long>(qe), static_cast<unsigned long long>(ss),
+                static_cast<unsigned long long>(se), h.evalue, h.bit_score);
+  return buf;
+}
+
+}  // namespace mrbio::blast

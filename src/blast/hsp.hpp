@@ -1,0 +1,59 @@
+// High-Scoring Pair records, the unit of BLAST output, plus serialization
+// for shipping HSPs as MapReduce values and the culling helpers applied
+// before reporting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "blast/extend.hpp"
+#include "common/serialize.hpp"
+
+namespace mrbio::blast {
+
+struct Hsp {
+  std::string subject_id;
+  /// Coordinates are 0-based half-open on the plus strand of each sequence.
+  std::uint64_t q_start = 0;
+  std::uint64_t q_end = 0;
+  std::uint64_t s_start = 0;
+  std::uint64_t s_end = 0;
+  bool minus_strand = false;  ///< query matched on its reverse complement
+  std::int32_t raw_score = 0;
+  double bit_score = 0.0;
+  double evalue = 0.0;
+  std::uint32_t identities = 0;
+  std::uint32_t align_len = 0;
+  std::uint32_t gaps = 0;
+  /// Edit script of the alignment. For minus-strand hits the script is in
+  /// the coordinates of the reverse-complemented query (the frame the
+  /// alignment was computed in).
+  std::vector<EditOp> ops;
+
+  double identity_fraction() const {
+    return align_len == 0 ? 0.0 : static_cast<double>(identities) / align_len;
+  }
+
+  void serialize(ByteWriter& w) const;
+  static Hsp deserialize(ByteReader& r);
+};
+
+/// Orders by E-value ascending, breaking ties by raw score descending then
+/// subject id / coordinates, so result files are fully deterministic.
+bool hsp_better(const Hsp& a, const Hsp& b);
+
+/// Sorts and truncates a query's HSP list to `max_hits` (0 = unlimited),
+/// the reduce-stage behaviour of the paper's Fig. 1 ("sorts each query
+/// hits by the E-value, selects the requested number of top hits").
+void sort_and_truncate(std::vector<Hsp>& hsps, std::size_t max_hits);
+
+/// Removes HSPs whose query and subject ranges are both contained inside a
+/// higher-scoring HSP of the same subject (the basic redundancy cull).
+void cull_contained(std::vector<Hsp>& hsps);
+
+/// Tabular rendering (BLAST outfmt-6 style).
+std::string to_tabular(const std::string& query_id, const Hsp& hsp);
+
+}  // namespace mrbio::blast

@@ -1,0 +1,112 @@
+#include "blast/lookup.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mrbio::blast {
+
+NucLookup::NucLookup(std::span<const std::uint8_t> concat, int word_size)
+    : word_size_(word_size) {
+  MRBIO_REQUIRE(word_size >= kMinWord && word_size <= kMaxWord,
+                "nucleotide word size must be in [", kMinWord, ", ", kMaxWord, "], got ",
+                word_size);
+  const std::size_t nbuckets = std::size_t{1} << (2 * word_size);
+  const std::uint32_t mask = static_cast<std::uint32_t>(nbuckets - 1);
+
+  // Pass 1: count words. A word is indexable only if all its bases are
+  // unambiguous; `run` tracks the number of consecutive clean bases.
+  std::vector<std::uint32_t> counts(nbuckets + 1, 0);
+  std::uint32_t word = 0;
+  int run = 0;
+  for (std::size_t i = 0; i < concat.size(); ++i) {
+    const std::uint8_t c = concat[i];
+    if (c < kDnaAlphabet) {
+      word = ((word << 2) | c) & mask;
+      ++run;
+      if (run >= word_size) ++counts[word];
+    } else {
+      run = 0;
+    }
+  }
+
+  starts_.assign(nbuckets + 1, 0);
+  for (std::size_t b = 0; b < nbuckets; ++b) starts_[b + 1] = starts_[b] + counts[b];
+  positions_.resize(starts_[nbuckets]);
+
+  // Pass 2: fill. Positions are the offsets of the word's first base.
+  std::vector<std::uint32_t> cursor(starts_.begin(), starts_.end() - 1);
+  word = 0;
+  run = 0;
+  for (std::size_t i = 0; i < concat.size(); ++i) {
+    const std::uint8_t c = concat[i];
+    if (c < kDnaAlphabet) {
+      word = ((word << 2) | c) & mask;
+      ++run;
+      if (run >= word_size) {
+        positions_[cursor[word]++] =
+            static_cast<std::uint32_t>(i + 1 - static_cast<std::size_t>(word_size));
+      }
+    } else {
+      run = 0;
+    }
+  }
+}
+
+ProtLookup::ProtLookup(std::span<const std::uint8_t> concat, int threshold,
+                       const Scorer& scorer) {
+  MRBIO_REQUIRE(scorer.type() == SeqType::Protein, "ProtLookup needs a protein scorer");
+
+  // Per-position row maxima of the score matrix, for pruning the
+  // neighbourhood enumeration.
+  std::array<int, kProtAlphabet> row_max{};
+  for (int a = 0; a < kProtAlphabet; ++a) {
+    int mx = kSentinelScore;
+    for (int b = 0; b < kProtAlphabet; ++b) {
+      mx = std::max(mx, scorer.score(static_cast<std::uint8_t>(a),
+                                     static_cast<std::uint8_t>(b)));
+    }
+    row_max[static_cast<std::size_t>(a)] = mx;
+  }
+
+  // Collect (bucket, position) pairs, then bucket-sort into the flat table.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
+  for (std::size_t i = 0; i + kWordSize <= concat.size(); ++i) {
+    const std::uint8_t q0 = concat[i];
+    const std::uint8_t q1 = concat[i + 1];
+    const std::uint8_t q2 = concat[i + 2];
+    if (q0 >= kProtAlphabet || q1 >= kProtAlphabet || q2 >= kProtAlphabet) continue;
+    const auto pos = static_cast<std::uint32_t>(i);
+
+    if (threshold <= 0) {
+      entries.emplace_back(pack(q0, q1, q2), pos);
+      continue;
+    }
+
+    const int max1 = row_max[q1];
+    const int max2 = row_max[q2];
+    for (std::uint8_t w0 = 0; w0 < kProtAlphabet; ++w0) {
+      const int s0 = scorer.score(q0, w0);
+      if (s0 + max1 + max2 < threshold) continue;
+      for (std::uint8_t w1 = 0; w1 < kProtAlphabet; ++w1) {
+        const int s01 = s0 + scorer.score(q1, w1);
+        if (s01 + max2 < threshold) continue;
+        for (std::uint8_t w2 = 0; w2 < kProtAlphabet; ++w2) {
+          if (s01 + scorer.score(q2, w2) >= threshold) {
+            entries.emplace_back(pack(w0, w1, w2), pos);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> counts(kIndexSize + 1, 0);
+  for (const auto& [bucket, pos] : entries) ++counts[bucket];
+  starts_.assign(kIndexSize + 1, 0);
+  for (std::uint32_t b = 0; b < kIndexSize; ++b) starts_[b + 1] = starts_[b] + counts[b];
+  positions_.resize(entries.size());
+  std::vector<std::uint32_t> cursor(starts_.begin(), starts_.end() - 1);
+  for (const auto& [bucket, pos] : entries) positions_[cursor[bucket]++] = pos;
+}
+
+}  // namespace mrbio::blast

@@ -1,0 +1,132 @@
+#include "blast/score.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mrbio::blast {
+
+namespace {
+
+// BLOSUM62 in its conventional publication order; remapped to this
+// library's alphabetical codes at startup.
+constexpr char kBlosumOrder[] = "ARNDCQEGHILKMFPSTWYV";
+constexpr int kBlosum62Raw[20][20] = {
+    /*A*/ {4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0},
+    /*R*/ {-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3},
+    /*N*/ {-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3},
+    /*D*/ {-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3},
+    /*C*/ {0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1},
+    /*Q*/ {-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2},
+    /*E*/ {-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2},
+    /*G*/ {0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3},
+    /*H*/ {-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3},
+    /*I*/ {-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3},
+    /*L*/ {-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1},
+    /*K*/ {-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2},
+    /*M*/ {-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1},
+    /*F*/ {-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1},
+    /*P*/ {-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2},
+    /*S*/ {1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2},
+    /*T*/ {0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0},
+    /*W*/ {-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3},
+    /*Y*/ {-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -2},
+    /*V*/ {0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -2, 4},
+};
+
+/// BLOSUM62 remapped to this library's protein codes, built once.
+const std::array<int, kProtAlphabet * kProtAlphabet>& blosum_table() {
+  static const auto table = [] {
+    std::array<int, kProtAlphabet * kProtAlphabet> t{};
+    std::array<std::uint8_t, 20> code{};
+    for (int i = 0; i < 20; ++i) {
+      const auto enc = encode_protein(std::string_view(&kBlosumOrder[i], 1));
+      code[static_cast<std::size_t>(i)] = enc[0];
+      MRBIO_CHECK(enc[0] < kProtAlphabet, "BLOSUM order letter not in alphabet");
+    }
+    for (int i = 0; i < 20; ++i) {
+      for (int j = 0; j < 20; ++j) {
+        t[static_cast<std::size_t>(code[i]) * kProtAlphabet + code[j]] = kBlosum62Raw[i][j];
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
+// Robinson & Robinson (1991) amino-acid background frequencies, in this
+// library's alphabetical residue order ACDEFGHIKLMNPQRSTVWY.
+constexpr std::array<double, kProtAlphabet> kRobinsonFreqs = {
+    0.07805, /*A*/ 0.01925, /*C*/ 0.05364, /*D*/ 0.06295, /*E*/ 0.03856, /*F*/
+    0.07377, /*G*/ 0.02199, /*H*/ 0.05142, /*I*/ 0.05744, /*K*/ 0.09019, /*L*/
+    0.02243, /*M*/ 0.04487, /*N*/ 0.05203, /*P*/ 0.04264, /*Q*/ 0.05129, /*R*/
+    0.07120, /*S*/ 0.05841, /*T*/ 0.06441, /*V*/ 0.01330, /*W*/ 0.03216, /*Y*/
+};
+
+constexpr std::array<double, kDnaAlphabet> kUniformDna = {0.25, 0.25, 0.25, 0.25};
+
+}  // namespace
+
+int blosum62_score(std::uint8_t a, std::uint8_t b) {
+  MRBIO_CHECK(a < kProtAlphabet && b < kProtAlphabet, "blosum62_score on non-residue");
+  return blosum_table()[static_cast<std::size_t>(a) * kProtAlphabet + b];
+}
+
+Scorer Scorer::dna(int match, int mismatch, int gap_open, int gap_extend) {
+  MRBIO_REQUIRE(match > 0, "DNA match reward must be positive, got ", match);
+  MRBIO_REQUIRE(mismatch < 0, "DNA mismatch penalty must be negative, got ", mismatch);
+  MRBIO_REQUIRE(gap_open >= 0 && gap_extend > 0, "bad gap penalties");
+  Scorer s;
+  s.type_ = SeqType::Dna;
+  s.match_ = match;
+  s.mismatch_ = mismatch;
+  s.gap_open_ = gap_open;
+  s.gap_extend_ = gap_extend;
+  s.max_score_ = match;
+  for (int a = 0; a < kScoreDim; ++a) {
+    for (int b = 0; b < kScoreDim; ++b) {
+      int v;
+      if (a == kSentinel || b == kSentinel) {
+        v = kSentinelScore;
+      } else if (a < kDnaAlphabet && b < kDnaAlphabet) {
+        v = (a == b) ? match : mismatch;
+      } else {
+        v = mismatch;  // ambiguity scores as mismatch, as in blastn
+      }
+      s.table_[static_cast<std::size_t>(a) * kScoreDim + b] = v;
+    }
+  }
+  return s;
+}
+
+Scorer Scorer::blosum62(int gap_open, int gap_extend) {
+  MRBIO_REQUIRE(gap_open >= 0 && gap_extend > 0, "bad gap penalties");
+  Scorer s;
+  s.type_ = SeqType::Protein;
+  s.gap_open_ = gap_open;
+  s.gap_extend_ = gap_extend;
+  int mx = 0;
+  for (int a = 0; a < kScoreDim; ++a) {
+    for (int b = 0; b < kScoreDim; ++b) {
+      int v;
+      if (a == kSentinel || b == kSentinel) {
+        v = kSentinelScore;
+      } else if (a < kProtAlphabet && b < kProtAlphabet) {
+        v = blosum62_score(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b));
+        mx = std::max(mx, v);
+      } else {
+        v = -1;  // X row convention
+      }
+      s.table_[static_cast<std::size_t>(a) * kScoreDim + b] = v;
+    }
+  }
+  s.max_score_ = mx;
+  return s;
+}
+
+std::span<const double> Scorer::background() const {
+  if (type_ == SeqType::Dna) return kUniformDna;
+  return kRobinsonFreqs;
+}
+
+}  // namespace mrbio::blast

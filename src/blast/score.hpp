@@ -1,0 +1,66 @@
+// Scoring systems: DNA match/mismatch and BLOSUM62, plus gap penalties.
+//
+// The score table is indexed by the byte codes of alphabet.hpp over a
+// 32x32 grid so ambiguity codes and the sentinel have well-defined rows:
+// ambiguity scores like a mismatch (DNA) or -1 (protein X, the BLOSUM62
+// convention), and any pairing with the sentinel scores kSentinelScore,
+// which is negative enough to stop every extension dead at sequence
+// boundaries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "blast/alphabet.hpp"
+
+namespace mrbio::blast {
+
+inline constexpr int kScoreDim = 32;
+inline constexpr int kSentinelScore = -16384;
+
+class Scorer {
+ public:
+  /// Default-constructed scorers are placeholders; use the factories below.
+  Scorer() = default;
+
+  /// DNA scoring: `match` > 0 reward, `mismatch` < 0 penalty. Defaults are
+  /// NCBI blastn's reward 2 / penalty -3, gap open 5, gap extend 2.
+  static Scorer dna(int match = 2, int mismatch = -3, int gap_open = 5, int gap_extend = 2);
+
+  /// BLOSUM62 with affine gaps; defaults are blastp's 11/1.
+  static Scorer blosum62(int gap_open = 11, int gap_extend = 1);
+
+  int score(std::uint8_t a, std::uint8_t b) const {
+    return table_[static_cast<std::size_t>(a) * kScoreDim + b];
+  }
+
+  /// Score of the best possible residue pairing (used for seed thresholds).
+  int max_score() const { return max_score_; }
+
+  int gap_open() const { return gap_open_; }
+  int gap_extend() const { return gap_extend_; }
+  SeqType type() const { return type_; }
+  int match() const { return match_; }
+  int mismatch() const { return mismatch_; }
+
+  /// Background residue frequencies of the alphabet (uniform for DNA,
+  /// Robinson & Robinson for protein), used by the statistics module.
+  std::span<const double> background() const;
+
+ private:
+  std::array<int, kScoreDim * kScoreDim> table_{};
+  int max_score_ = 0;
+  int gap_open_ = 0;
+  int gap_extend_ = 0;
+  int match_ = 0;
+  int mismatch_ = 0;
+  SeqType type_ = SeqType::Dna;
+};
+
+/// Raw BLOSUM62 lookup on encoded protein codes (also used by the
+/// neighbourhood word generator).
+int blosum62_score(std::uint8_t a, std::uint8_t b);
+
+}  // namespace mrbio::blast

@@ -1,0 +1,288 @@
+#include "blast/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blast/extend.hpp"
+#include "blast/filter.hpp"
+#include "blast/lookup.hpp"
+#include "common/error.hpp"
+
+namespace mrbio::blast {
+
+SearchOptions make_protein_options() {
+  SearchOptions o;
+  o.type = SeqType::Protein;
+  o.word_size = 3;
+  o.threshold = 11;
+  o.two_hit = true;
+  o.gap_open = 11;
+  o.gap_extend = 1;
+  o.xdrop_ungapped = 16;
+  o.xdrop_gapped = 38;
+  o.both_strands = false;
+  return o;
+}
+
+namespace {
+
+/// One strand of one query inside the concatenated block coordinate space.
+struct QueryEntry {
+  std::uint32_t query_idx;
+  bool reverse;
+  std::size_t begin;  ///< offset of the first residue in the concat space
+  std::size_t len;
+};
+
+/// Per-diagonal bookkeeping, stamped per subject so no clearing is needed
+/// between subjects.
+struct DiagState {
+  std::uint32_t stamp = 0;
+  std::int64_t last_end = -1;  ///< subject offset up to which we extended
+  std::int64_t last_hit = -1;  ///< subject end of the last unextended hit
+};
+
+/// True when a shredded query fragment "parent/123-456" hits its own
+/// parent record "parent".
+bool is_self_hit(const std::string& query_id, const std::string& subject_id) {
+  if (query_id == subject_id) return true;
+  return query_id.size() > subject_id.size() + 1 &&
+         query_id.compare(0, subject_id.size(), subject_id) == 0 &&
+         query_id[subject_id.size()] == '/';
+}
+
+}  // namespace
+
+BlastSearcher::BlastSearcher(std::shared_ptr<const DbVolume> volume, SearchOptions options)
+    : volume_(std::move(volume)), options_(options) {
+  MRBIO_REQUIRE(volume_ != nullptr, "BlastSearcher needs a database volume");
+  MRBIO_REQUIRE(volume_->type() == options_.type,
+                "database type does not match search options");
+  scorer_ = options_.type == SeqType::Dna
+                ? Scorer::dna(options_.match, options_.mismatch, options_.gap_open,
+                              options_.gap_extend)
+                : Scorer::blosum62(options_.gap_open, options_.gap_extend);
+  params_ungapped_ = karlin_ungapped(scorer_);
+  params_gapped_ = karlin_gapped(scorer_);
+}
+
+std::vector<QueryResult> BlastSearcher::search(const std::vector<Sequence>& queries) const {
+  stats_ = SearchStats{};
+  const bool dna = options_.type == SeqType::Dna;
+
+  // ---- build the concatenated query block ----
+  std::vector<std::uint8_t> concat_raw;     // real residues, for extension
+  std::vector<std::uint8_t> concat_masked;  // filtered residues, for seeding
+  std::vector<QueryEntry> entries;
+  std::vector<std::size_t> entry_bounds;  // begin offsets, for binary search
+  concat_raw.push_back(kSentinel);
+  concat_masked.push_back(kSentinel);
+
+  auto add_entry = [&](std::uint32_t qidx, bool reverse,
+                       std::span<const std::uint8_t> raw,
+                       std::span<const std::uint8_t> masked) {
+    QueryEntry e;
+    e.query_idx = qidx;
+    e.reverse = reverse;
+    e.begin = concat_raw.size();
+    e.len = raw.size();
+    concat_raw.insert(concat_raw.end(), raw.begin(), raw.end());
+    concat_raw.push_back(kSentinel);
+    concat_masked.insert(concat_masked.end(), masked.begin(), masked.end());
+    concat_masked.push_back(kSentinel);
+    entry_bounds.push_back(e.begin);
+    entries.push_back(e);
+  };
+
+  for (std::uint32_t qi = 0; qi < queries.size(); ++qi) {
+    const Sequence& q = queries[qi];
+    std::vector<std::uint8_t> masked = q.data;
+    if (options_.filter_low_complexity) {
+      const auto ranges = dna ? dust_mask(q.data) : seg_mask(q.data);
+      masked = apply_mask(q.data, ranges, options_.type);
+    }
+    add_entry(qi, false, q.data, masked);
+    if (dna && options_.both_strands) {
+      const auto rev_raw = reverse_complement(q.data);
+      const auto rev_masked = reverse_complement(masked);
+      add_entry(qi, true, rev_raw, rev_masked);
+    }
+  }
+
+  auto entry_of = [&](std::size_t concat_pos) -> const QueryEntry& {
+    const auto it =
+        std::upper_bound(entry_bounds.begin(), entry_bounds.end(), concat_pos);
+    MRBIO_CHECK(it != entry_bounds.begin(), "concat position before first entry");
+    return entries[static_cast<std::size_t>(it - entry_bounds.begin() - 1)];
+  };
+
+  // ---- stage 1 tables ----
+  std::unique_ptr<NucLookup> nuc_lookup;
+  std::unique_ptr<ProtLookup> prot_lookup;
+  if (dna) {
+    nuc_lookup = std::make_unique<NucLookup>(concat_masked, options_.word_size);
+  } else {
+    prot_lookup = std::make_unique<ProtLookup>(concat_masked, options_.threshold, scorer_);
+  }
+  const std::size_t word_len =
+      dna ? static_cast<std::size_t>(options_.word_size) : ProtLookup::kWordSize;
+
+  // ---- statistics setup ----
+  const std::uint64_t db_len = options_.effective_db_length > 0
+                                   ? options_.effective_db_length
+                                   : volume_->residues();
+  const std::uint64_t db_seqs =
+      options_.effective_db_seqs > 0 ? options_.effective_db_seqs : volume_->num_seqs();
+  // Raw ungapped score required to trigger the gapped stage.
+  const int gap_trigger_raw = static_cast<int>(
+      std::ceil((options_.gap_trigger_bits * std::log(2.0) + std::log(params_ungapped_.K)) /
+                params_ungapped_.lambda));
+
+  // Per-query effective search spaces (depend only on query length).
+  std::vector<SearchSpace> spaces(queries.size());
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    spaces[qi] =
+        effective_search_space(params_gapped_, queries[qi].length(), db_len, db_seqs);
+  }
+
+  // ---- scan every subject ----
+  std::vector<std::vector<Hsp>> per_query(queries.size());
+  std::size_t max_subject = 0;
+  for (std::size_t si = 0; si < volume_->num_seqs(); ++si) {
+    max_subject = std::max(max_subject, volume_->seq(si).length());
+  }
+  std::vector<DiagState> diags(concat_raw.size() + max_subject + 1);
+  std::uint32_t stamp = 0;
+
+  for (std::size_t si = 0; si < volume_->num_seqs(); ++si) {
+    const Sequence& subject = volume_->seq(si);
+    if (subject.length() < word_len) continue;
+    ++stamp;
+    const std::span<const std::uint8_t> sdata(subject.data);
+    const std::int64_t diag_off = static_cast<std::int64_t>(subject.length()) - 1;
+
+    auto handle_hit = [&](std::size_t qpos, std::size_t spos) {
+      ++stats_.word_hits;
+      const std::size_t diag_idx = static_cast<std::size_t>(
+          static_cast<std::int64_t>(qpos) - static_cast<std::int64_t>(spos) + diag_off);
+      DiagState& d = diags[diag_idx];
+      if (d.stamp != stamp) {
+        d.stamp = stamp;
+        d.last_end = -1;
+        d.last_hit = -1;
+      }
+      const auto s_end_of_hit = static_cast<std::int64_t>(spos + word_len);
+      if (static_cast<std::int64_t>(spos) < d.last_end) return;  // inside a prior HSP
+
+      if (!dna && options_.two_hit) {
+        // Require a second non-overlapping hit within the window before
+        // paying for an extension. A hit overlapping the recorded one is
+        // dropped (the recorded hit stays, so a later non-overlapping hit
+        // can still pair with it); a hit beyond the window replaces the
+        // record and waits for its own partner.
+        const std::int64_t prev_end = d.last_hit;
+        if (prev_end >= 0 && static_cast<std::int64_t>(spos) < prev_end) {
+          return;
+        }
+        if (prev_end < 0 ||
+            static_cast<std::int64_t>(spos) - prev_end > options_.two_hit_window) {
+          d.last_hit = s_end_of_hit;
+          return;
+        }
+        // Partner found: fall through to the extension.
+      }
+
+      const QueryEntry& entry = entry_of(qpos);
+      ++stats_.ungapped_extensions;
+      const UngappedSegment seg =
+          extend_ungapped(concat_raw, sdata, qpos, spos, word_len, scorer_,
+                          options_.xdrop_ungapped);
+      d.last_end = static_cast<std::int64_t>(seg.s_end);
+      if (seg.score < gap_trigger_raw) return;
+
+      ++stats_.gapped_extensions;
+      const GappedAlignment aln = extend_gapped(concat_raw, sdata, seg.q_best, seg.s_best,
+                                                scorer_, options_.xdrop_gapped);
+      const SearchSpace& space = spaces[entry.query_idx];
+      const double ev = evalue(aln.score, space.m_eff, space.n_eff, params_gapped_);
+      if (ev > options_.evalue_cutoff) return;
+
+      const Sequence& q = queries[entry.query_idx];
+      if (options_.exclude_self_hits && is_self_hit(q.id, subject.id)) return;
+
+      Hsp h;
+      h.subject_id = subject.id;
+      h.raw_score = aln.score;
+      h.bit_score = bit_score(aln.score, params_gapped_);
+      h.evalue = ev;
+      h.identities = aln.identities;
+      h.align_len = aln.align_len;
+      h.gaps = aln.gaps;
+      h.ops = aln.ops;
+      h.s_start = aln.s_start;
+      h.s_end = aln.s_end;
+      // Map concat coordinates back into the query, flipping minus-strand
+      // matches onto plus-strand coordinates.
+      const std::size_t qa = aln.q_start - entry.begin;
+      const std::size_t qb = aln.q_end - entry.begin;
+      MRBIO_CHECK(qb <= entry.len, "alignment crossed a sentinel");
+      if (entry.reverse) {
+        h.minus_strand = true;
+        h.q_start = entry.len - qb;
+        h.q_end = entry.len - qa;
+      } else {
+        h.q_start = qa;
+        h.q_end = qb;
+      }
+      per_query[entry.query_idx].push_back(std::move(h));
+      // Push the diagonal high-water mark past the gapped alignment too.
+      d.last_end = std::max(d.last_end, static_cast<std::int64_t>(aln.s_end));
+    };
+
+    if (dna) {
+      const auto w = static_cast<std::size_t>(options_.word_size);
+      const std::uint32_t mask =
+          static_cast<std::uint32_t>((std::uint64_t{1} << (2 * w)) - 1);
+      std::uint32_t word = 0;
+      std::size_t run = 0;
+      for (std::size_t i = 0; i < sdata.size(); ++i) {
+        const std::uint8_t c = sdata[i];
+        if (c < kDnaAlphabet) {
+          word = ((word << 2) | c) & mask;
+          ++run;
+          if (run >= w) {
+            for (const std::uint32_t qpos : nuc_lookup->hits(word)) {
+              handle_hit(qpos, i + 1 - w);
+            }
+          }
+        } else {
+          run = 0;
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i + ProtLookup::kWordSize <= sdata.size(); ++i) {
+        const std::uint8_t a = sdata[i];
+        const std::uint8_t b = sdata[i + 1];
+        const std::uint8_t c = sdata[i + 2];
+        if (a >= kProtAlphabet || b >= kProtAlphabet || c >= kProtAlphabet) continue;
+        for (const std::uint32_t qpos : prot_lookup->hits(ProtLookup::pack(a, b, c))) {
+          handle_hit(qpos, i);
+        }
+      }
+    }
+  }
+
+  // ---- reporting ----
+  std::vector<QueryResult> results(queries.size());
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    results[qi].query_id = queries[qi].id;
+    auto& hsps = per_query[qi];
+    cull_contained(hsps);
+    sort_and_truncate(hsps, options_.max_hits_per_query);
+    stats_.hsps_reported += hsps.size();
+    results[qi].hsps = std::move(hsps);
+  }
+  return results;
+}
+
+}  // namespace mrbio::blast

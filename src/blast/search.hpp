@@ -1,0 +1,108 @@
+// The high-level BLAST search API, standing in for the NCBI C++ Toolkit
+// calls the paper wraps ("the map() function uses high-level NCBI C++
+// Toolkit API calls to initialize both the query input and the DB input
+// objects and to execute BLAST search").
+//
+// A BlastSearcher is constructed from one database partition plus options
+// and searches a block of queries through the canonical three stages:
+//
+//   1. word scan      -- lookup table over the concatenated query block,
+//                        database streamed past it
+//   2. ungapped X-drop extension (two-hit triggered for protein)
+//   3. gapped X-drop extension with traceback, for seeds whose ungapped
+//      score reaches the gap trigger
+//
+// with Karlin-Altschul E-values over an effective search space. The
+// DB-length override implements the paper's matrix-split convention ("the
+// DB length is overridden in the BLAST call to be the entire length of
+// the DB instead of the length of the current partition").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blast/dbformat.hpp"
+#include "blast/hsp.hpp"
+#include "blast/score.hpp"
+#include "blast/sequence.hpp"
+#include "blast/stats.hpp"
+
+namespace mrbio::blast {
+
+struct SearchOptions {
+  SeqType type = SeqType::Dna;
+
+  // Stage 1.
+  int word_size = 11;       ///< nucleotide word length (protein is fixed at 3)
+  int threshold = 11;       ///< protein neighbourhood T; <= 0 = exact words only
+  bool two_hit = true;      ///< protein two-hit seeding
+  int two_hit_window = 40;  ///< max diagonal distance between the two hits
+  bool both_strands = true; ///< DNA: search plus and minus query strands
+
+  // Scoring.
+  int match = 2;
+  int mismatch = -3;
+  int gap_open = 5;   ///< protein default is 11 (set via make_protein_options)
+  int gap_extend = 2; ///< protein default is 1
+
+  // Stages 2-3.
+  int xdrop_ungapped = 20;
+  int xdrop_gapped = 30;
+  double gap_trigger_bits = 22.0;  ///< ungapped bits needed to run stage 3
+
+  // Reporting.
+  double evalue_cutoff = 10.0;
+  std::size_t max_hits_per_query = 500;  ///< paper's K limit; 0 = unlimited
+  bool filter_low_complexity = true;
+  bool exclude_self_hits = false;  ///< drop hits of a shredded fragment on its parent
+
+  // Whole-database statistics for partition searches (0 = use the
+  // partition's own totals).
+  std::uint64_t effective_db_length = 0;
+  std::uint64_t effective_db_seqs = 0;
+};
+
+/// Options preset for protein searches (BLOSUM62 11/1, word 3, T=11).
+SearchOptions make_protein_options();
+
+/// Hits of one query against the searched partition.
+struct QueryResult {
+  std::string query_id;
+  std::vector<Hsp> hsps;  ///< E-value sorted, truncated to max_hits
+};
+
+/// Pipeline counters for tests, tuning and the utilization benchmarks.
+struct SearchStats {
+  std::uint64_t word_hits = 0;
+  std::uint64_t ungapped_extensions = 0;
+  std::uint64_t gapped_extensions = 0;
+  std::uint64_t hsps_reported = 0;
+};
+
+class BlastSearcher {
+ public:
+  /// The volume is shared so the paper's DB-object caching between map()
+  /// invocations is expressible without copying partitions.
+  BlastSearcher(std::shared_ptr<const DbVolume> volume, SearchOptions options);
+
+  /// Searches a block of queries; results are returned in query order.
+  std::vector<QueryResult> search(const std::vector<Sequence>& queries) const;
+
+  const SearchOptions& options() const { return options_; }
+  const DbVolume& volume() const { return *volume_; }
+  const SearchStats& last_stats() const { return stats_; }
+  const KarlinParams& ungapped_params() const { return params_ungapped_; }
+  const KarlinParams& gapped_params() const { return params_gapped_; }
+
+ private:
+  std::shared_ptr<const DbVolume> volume_;
+  SearchOptions options_;
+  Scorer scorer_;
+  KarlinParams params_ungapped_;
+  KarlinParams params_gapped_;
+  mutable SearchStats stats_;
+};
+
+}  // namespace mrbio::blast

@@ -1,0 +1,135 @@
+#include "blast/sequence.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mrbio::blast {
+
+std::vector<Sequence> parse_fasta(std::string_view text, SeqType type) {
+  std::vector<Sequence> out;
+  std::string residues;
+  bool in_record = false;
+
+  auto flush = [&]() {
+    if (in_record) {
+      out.back().data = encode(residues, type);
+      residues.clear();
+    }
+  };
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = eol + 1;
+
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      std::string_view defline = line.substr(1);
+      const std::size_t sp = defline.find_first_of(" \t");
+      Sequence seq;
+      seq.id = std::string(defline.substr(0, sp));
+      if (sp != std::string_view::npos) {
+        const std::size_t rest = defline.find_first_not_of(" \t", sp);
+        if (rest != std::string_view::npos) seq.description = std::string(defline.substr(rest));
+      }
+      MRBIO_REQUIRE(!seq.id.empty(), "FASTA record with empty id");
+      out.push_back(std::move(seq));
+      in_record = true;
+    } else {
+      MRBIO_REQUIRE(in_record, "FASTA residues before any '>' defline");
+      residues.append(line);
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<Sequence> read_fasta_file(const std::string& path, SeqType type) {
+  std::ifstream in(path, std::ios::binary);
+  MRBIO_REQUIRE(in.good(), "cannot open FASTA file: ", path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_fasta(ss.str(), type);
+}
+
+std::string to_fasta(const std::vector<Sequence>& seqs, SeqType type) {
+  std::string out;
+  for (const Sequence& s : seqs) {
+    out.push_back('>');
+    out.append(s.id);
+    if (!s.description.empty()) {
+      out.push_back(' ');
+      out.append(s.description);
+    }
+    out.push_back('\n');
+    const std::string ascii = decode(s.data, type);
+    for (std::size_t i = 0; i < ascii.size(); i += 70) {
+      out.append(ascii.substr(i, 70));
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+void write_fasta_file(const std::string& path, const std::vector<Sequence>& seqs,
+                      SeqType type) {
+  std::ofstream out(path, std::ios::binary);
+  MRBIO_REQUIRE(out.good(), "cannot open for writing: ", path);
+  out << to_fasta(seqs, type);
+  MRBIO_REQUIRE(out.good(), "short write to ", path);
+}
+
+std::vector<Sequence> shred(const std::vector<Sequence>& seqs, std::size_t fragment_len,
+                            std::size_t overlap, std::size_t min_len) {
+  MRBIO_REQUIRE(fragment_len > overlap, "fragment length ", fragment_len,
+                " must exceed overlap ", overlap);
+  const std::size_t step = fragment_len - overlap;
+  std::vector<Sequence> out;
+  for (const Sequence& s : seqs) {
+    for (std::size_t start = 0; start < s.length(); start += step) {
+      const std::size_t end = std::min(start + fragment_len, s.length());
+      if (end - start < min_len) break;
+      Sequence frag;
+      frag.id = s.id + "/" + std::to_string(start) + "-" + std::to_string(end);
+      frag.data.assign(s.data.begin() + static_cast<std::ptrdiff_t>(start),
+                       s.data.begin() + static_cast<std::ptrdiff_t>(end));
+      out.push_back(std::move(frag));
+      if (end == s.length()) break;
+    }
+  }
+  return out;
+}
+
+Sequence random_sequence(Rng& rng, std::string id, std::size_t length, SeqType type) {
+  const int alphabet = type == SeqType::Dna ? kDnaAlphabet : kProtAlphabet;
+  Sequence s;
+  s.id = std::move(id);
+  s.data.resize(length);
+  for (auto& c : s.data) {
+    c = static_cast<std::uint8_t>(rng.below(static_cast<std::uint64_t>(alphabet)));
+  }
+  return s;
+}
+
+Sequence mutate(Rng& rng, const Sequence& src, std::string new_id, double sub_rate,
+                SeqType type) {
+  const int alphabet = type == SeqType::Dna ? kDnaAlphabet : kProtAlphabet;
+  Sequence out;
+  out.id = std::move(new_id);
+  out.data = src.data;
+  for (auto& c : out.data) {
+    if (c < alphabet && rng.uniform() < sub_rate) {
+      const auto shift = 1 + rng.below(static_cast<std::uint64_t>(alphabet - 1));
+      c = static_cast<std::uint8_t>((c + shift) % static_cast<std::uint64_t>(alphabet));
+    }
+  }
+  return out;
+}
+
+}  // namespace mrbio::blast

@@ -1,0 +1,52 @@
+// Sequence records and FASTA I/O.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blast/alphabet.hpp"
+#include "common/rng.hpp"
+
+namespace mrbio::blast {
+
+/// One biological sequence with its FASTA identifiers, residues kept in
+/// the encoded byte-per-residue form.
+struct Sequence {
+  std::string id;           ///< first token of the defline
+  std::string description;  ///< remainder of the defline (may be empty)
+  std::vector<std::uint8_t> data;
+
+  std::size_t length() const { return data.size(); }
+};
+
+/// Parses FASTA text into encoded sequences. Throws InputError on records
+/// without a defline or empty ids.
+std::vector<Sequence> parse_fasta(std::string_view text, SeqType type);
+
+/// Reads and parses a FASTA file.
+std::vector<Sequence> read_fasta_file(const std::string& path, SeqType type);
+
+/// Renders sequences back to FASTA (wrapping at 70 columns).
+std::string to_fasta(const std::vector<Sequence>& seqs, SeqType type);
+
+void write_fasta_file(const std::string& path, const std::vector<Sequence>& seqs,
+                      SeqType type);
+
+/// Shreds sequences into overlapping fragments, the paper's procedure for
+/// simulating sequencing reads ("shredded them into 400 bp fragments
+/// overlapping by 200 bp"). Fragments shorter than min_len are dropped.
+/// Fragment ids are "<parent_id>/<start>-<end>" (0-based, half-open).
+std::vector<Sequence> shred(const std::vector<Sequence>& seqs, std::size_t fragment_len,
+                            std::size_t overlap, std::size_t min_len = 1);
+
+/// Generates a random sequence of the given length.
+Sequence random_sequence(Rng& rng, std::string id, std::size_t length, SeqType type);
+
+/// Generates a "mutated copy": point substitutions with the given rate.
+/// Used by tests and examples to create homologous pairs that BLAST must
+/// find.
+Sequence mutate(Rng& rng, const Sequence& src, std::string new_id, double sub_rate,
+                SeqType type);
+
+}  // namespace mrbio::blast

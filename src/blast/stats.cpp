@@ -1,0 +1,237 @@
+#include "blast/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace mrbio::blast {
+
+namespace {
+
+/// Probability distribution over pair scores, offset so index 0 holds the
+/// probability of `lo`.
+struct ScoreDist {
+  int lo = 0;
+  std::vector<double> p;  ///< p[s - lo]
+  double prob(int s) const {
+    const int i = s - lo;
+    if (i < 0 || i >= static_cast<int>(p.size())) return 0.0;
+    return p[static_cast<std::size_t>(i)];
+  }
+  int hi() const { return lo + static_cast<int>(p.size()) - 1; }
+};
+
+ScoreDist pair_score_distribution(const Scorer& scorer) {
+  const auto freqs = scorer.background();
+  const int alphabet = scorer.type() == SeqType::Dna ? kDnaAlphabet : kProtAlphabet;
+  int lo = 0;
+  int hi = 0;
+  for (int a = 0; a < alphabet; ++a) {
+    for (int b = 0; b < alphabet; ++b) {
+      lo = std::min(lo, scorer.score(static_cast<std::uint8_t>(a),
+                                     static_cast<std::uint8_t>(b)));
+      hi = std::max(hi, scorer.score(static_cast<std::uint8_t>(a),
+                                     static_cast<std::uint8_t>(b)));
+    }
+  }
+  ScoreDist d;
+  d.lo = lo;
+  d.p.assign(static_cast<std::size_t>(hi - lo + 1), 0.0);
+  for (int a = 0; a < alphabet; ++a) {
+    for (int b = 0; b < alphabet; ++b) {
+      const int s = scorer.score(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b));
+      d.p[static_cast<std::size_t>(s - lo)] +=
+          freqs[static_cast<std::size_t>(a)] * freqs[static_cast<std::size_t>(b)];
+    }
+  }
+  // Background frequencies may not sum exactly to 1; renormalize.
+  const double total = std::accumulate(d.p.begin(), d.p.end(), 0.0);
+  for (double& v : d.p) v /= total;
+  return d;
+}
+
+double expectation(const ScoreDist& d) {
+  double e = 0.0;
+  for (std::size_t i = 0; i < d.p.size(); ++i) {
+    e += d.p[i] * static_cast<double>(d.lo + static_cast<int>(i));
+  }
+  return e;
+}
+
+/// sum_s p(s) exp(lambda s)
+double mgf(const ScoreDist& d, double lambda) {
+  double v = 0.0;
+  for (std::size_t i = 0; i < d.p.size(); ++i) {
+    v += d.p[i] * std::exp(lambda * static_cast<double>(d.lo + static_cast<int>(i)));
+  }
+  return v;
+}
+
+double solve_lambda(const ScoreDist& d) {
+  // f(lambda) = mgf - 1 has f(0) = 0, dips negative (E[s] < 0) and then
+  // grows without bound (some positive score exists). Bracket the positive
+  // root and bisect.
+  double hi = 0.5;
+  while (mgf(d, hi) < 1.0) {
+    hi *= 2.0;
+    MRBIO_CHECK(hi < 1e4, "lambda search diverged");
+  }
+  double lo = hi / 2.0;
+  while (lo > 1e-9 && mgf(d, lo) > 1.0) lo /= 2.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (mgf(d, mid) > 1.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double entropy_h(const ScoreDist& d, double lambda) {
+  double h = 0.0;
+  for (std::size_t i = 0; i < d.p.size(); ++i) {
+    const double s = static_cast<double>(d.lo + static_cast<int>(i));
+    h += d.p[i] * s * std::exp(lambda * s);
+  }
+  return lambda * h;
+}
+
+int score_gcd(const ScoreDist& d) {
+  int g = 0;
+  for (std::size_t i = 0; i < d.p.size(); ++i) {
+    if (d.p[i] > 0.0) {
+      g = std::gcd(g, std::abs(d.lo + static_cast<int>(i)));
+    }
+  }
+  return g == 0 ? 1 : g;
+}
+
+/// Karlin & Altschul (1990) renewal-series computation of K (lattice case).
+double compute_k(const ScoreDist& d1, double lambda, double h) {
+  const int gcd = score_gcd(d1);
+
+  // Distribution of S_k via iterated convolution of the pair distribution.
+  ScoreDist dk = d1;
+  double sigma = 0.0;
+  const int kmax = 400;
+  for (int k = 1; k <= kmax; ++k) {
+    double term = 0.0;
+    for (std::size_t i = 0; i < dk.p.size(); ++i) {
+      if (dk.p[i] <= 0.0) continue;
+      const int s = dk.lo + static_cast<int>(i);
+      term += (s >= 0) ? dk.p[i] : dk.p[i] * std::exp(lambda * static_cast<double>(s));
+    }
+    term /= static_cast<double>(k);
+    sigma += term;
+    if (term < 1e-12 && k > 8) break;
+    if (k == kmax) {
+      MRBIO_LOG(Warn, "Karlin K series truncated at ", kmax, " terms (term=", term, ")");
+    }
+    // dk <- dk * d1 (convolution)
+    if (k < kmax) {
+      ScoreDist next;
+      next.lo = dk.lo + d1.lo;
+      next.p.assign(dk.p.size() + d1.p.size() - 1, 0.0);
+      for (std::size_t i = 0; i < dk.p.size(); ++i) {
+        if (dk.p[i] == 0.0) continue;
+        for (std::size_t j = 0; j < d1.p.size(); ++j) {
+          next.p[i + j] += dk.p[i] * d1.p[j];
+        }
+      }
+      dk = std::move(next);
+    }
+  }
+
+  const double delta = static_cast<double>(gcd);
+  return delta * lambda * std::exp(-2.0 * sigma) /
+         (h * (1.0 - std::exp(-lambda * delta)));
+}
+
+}  // namespace
+
+KarlinParams karlin_ungapped(const Scorer& scorer) {
+  const ScoreDist d = pair_score_distribution(scorer);
+  MRBIO_REQUIRE(expectation(d) < 0.0,
+                "scoring system has non-negative expected score; "
+                "Karlin-Altschul statistics are undefined");
+  MRBIO_REQUIRE(d.hi() > 0, "scoring system has no positive score");
+  KarlinParams p;
+  p.lambda = solve_lambda(d);
+  p.H = entropy_h(d, p.lambda);
+  p.K = compute_k(d, p.lambda, p.H);
+  return p;
+}
+
+KarlinParams karlin_gapped(const Scorer& scorer) {
+  if (scorer.type() == SeqType::Protein && scorer.gap_open() == 11 &&
+      scorer.gap_extend() == 1) {
+    // Published NCBI values for BLOSUM62 11/1 (from the BLAST+ tables).
+    return KarlinParams{0.267, 0.041, 0.14};
+  }
+  // NCBI uses the ungapped parameters for blastn's default gap costs, and
+  // we extend the same fallback to untabulated protein costs (with a note).
+  if (scorer.type() == SeqType::Protein) {
+    MRBIO_LOG(Info, "no gapped K-A table for protein gap costs ", scorer.gap_open(), "/",
+              scorer.gap_extend(), "; using ungapped parameters");
+  }
+  return karlin_ungapped(scorer);
+}
+
+double bit_score(int raw_score, const KarlinParams& params) {
+  return (params.lambda * static_cast<double>(raw_score) - std::log(params.K)) /
+         std::log(2.0);
+}
+
+double evalue(int raw_score, double m_eff, double n_eff, const KarlinParams& params) {
+  return params.K * m_eff * n_eff *
+         std::exp(-params.lambda * static_cast<double>(raw_score));
+}
+
+int cutoff_score(double max_evalue, double m_eff, double n_eff, const KarlinParams& params) {
+  MRBIO_REQUIRE(max_evalue > 0.0, "E-value cutoff must be positive");
+  const double s = std::log(params.K * m_eff * n_eff / max_evalue) / params.lambda;
+  return std::max(1, static_cast<int>(std::ceil(s)));
+}
+
+std::uint64_t length_adjustment(const KarlinParams& params, std::uint64_t query_len,
+                                std::uint64_t db_len, std::uint64_t db_seqs) {
+  const double m = static_cast<double>(query_len);
+  const double n = static_cast<double>(db_len);
+  const double nseq = static_cast<double>(std::max<std::uint64_t>(db_seqs, 1));
+  double ell = 0.0;
+  for (int iter = 0; iter < 20; ++iter) {
+    const double m_eff = std::max(m - ell, 1.0);
+    const double n_eff = std::max(n - nseq * ell, nseq);
+    const double space = params.K * m_eff * n_eff;
+    if (space <= 1.0) break;
+    const double next = std::log(space) / params.H;
+    if (std::abs(next - ell) < 0.5) {
+      ell = next;
+      break;
+    }
+    ell = next;
+  }
+  ell = std::max(0.0, std::min({ell, m - 1.0, (n - 1.0) / nseq}));
+  return static_cast<std::uint64_t>(ell);
+}
+
+SearchSpace effective_search_space(const KarlinParams& params, std::uint64_t query_len,
+                                   std::uint64_t db_len, std::uint64_t db_seqs) {
+  const std::uint64_t ell = length_adjustment(params, query_len, db_len, db_seqs);
+  SearchSpace s;
+  s.m_eff = std::max<double>(static_cast<double>(query_len) - static_cast<double>(ell), 1.0);
+  s.n_eff = std::max<double>(
+      static_cast<double>(db_len) -
+          static_cast<double>(db_seqs) * static_cast<double>(ell),
+      1.0);
+  return s;
+}
+
+}  // namespace mrbio::blast

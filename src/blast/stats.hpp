@@ -1,0 +1,64 @@
+// Karlin-Altschul statistics: lambda, K, H, bit scores, E-values and
+// effective search-space (length adjustment) computation.
+//
+// Ungapped parameters are computed numerically from the scoring system and
+// background frequencies:
+//   lambda: unique positive root of sum_ij p_i p_j exp(lambda * s_ij) = 1
+//   H:      lambda * sum_ij p_i p_j s_ij exp(lambda * s_ij)   (nats/pair)
+//   K:      Karlin & Altschul (1990) renewal formula
+//             K = gcd * lambda * exp(-2 sigma) / (H * (1 - exp(-gcd*lambda)))
+//           with sigma = sum_{k>=1} (1/k) [P(S_k >= 0) + E(e^{lambda S_k}; S_k < 0)]
+//           evaluated by convolving the pair-score distribution.
+// Gapped parameters come from a small table of published NCBI values (the
+// reference implementation does the same: gapped K-A parameters are not
+// computable analytically and are tabulated from simulation), falling back
+// to the ungapped values when a scoring system is not tabulated -- which
+// is also NCBI's behaviour for default blastn costs.
+#pragma once
+
+#include <cstdint>
+
+#include "blast/score.hpp"
+
+namespace mrbio::blast {
+
+struct KarlinParams {
+  double lambda = 0.0;  ///< nats per score unit
+  double K = 0.0;       ///< search-space scale factor
+  double H = 0.0;       ///< relative entropy, nats per aligned pair
+};
+
+/// Computes ungapped Karlin-Altschul parameters for the scoring system.
+/// Throws InputError if the score expectation is non-negative or no
+/// positive score exists (statistics are undefined there).
+KarlinParams karlin_ungapped(const Scorer& scorer);
+
+/// Gapped parameters for the scoring system (see file comment).
+KarlinParams karlin_gapped(const Scorer& scorer);
+
+/// Normalized bit score: (lambda * raw - ln K) / ln 2.
+double bit_score(int raw_score, const KarlinParams& params);
+
+/// E-value over an effective search space of m_eff * n_eff.
+double evalue(int raw_score, double m_eff, double n_eff, const KarlinParams& params);
+
+/// Smallest raw score whose E-value is <= `max_evalue` for the given
+/// effective search space.
+int cutoff_score(double max_evalue, double m_eff, double n_eff, const KarlinParams& params);
+
+/// NCBI-style iterative length adjustment: the expected HSP length
+/// subtracted from query and database lengths to form the effective
+/// search space. db_len is the total residue count, db_seqs the number of
+/// database sequences.
+std::uint64_t length_adjustment(const KarlinParams& params, std::uint64_t query_len,
+                                std::uint64_t db_len, std::uint64_t db_seqs);
+
+/// Effective search space helper combining the above.
+struct SearchSpace {
+  double m_eff = 1.0;
+  double n_eff = 1.0;
+};
+SearchSpace effective_search_space(const KarlinParams& params, std::uint64_t query_len,
+                                   std::uint64_t db_len, std::uint64_t db_seqs);
+
+}  // namespace mrbio::blast

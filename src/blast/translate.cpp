@@ -1,0 +1,121 @@
+#include "blast/translate.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/error.hpp"
+
+namespace mrbio::blast {
+
+namespace {
+
+// The standard genetic code in the conventional TCAG ordering; '*' = stop.
+constexpr char kStandardCode[] =
+    "FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG";
+
+/// Maps this library's base codes (A=0 C=1 G=2 T=3) onto TCAG indices.
+constexpr std::array<int, 4> kTcag = {2, 1, 3, 0};
+
+/// Amino-acid code of an unambiguous codon; kProtAmbig for stops.
+std::uint8_t translate_codon(std::uint8_t b1, std::uint8_t b2, std::uint8_t b3) {
+  const int idx = kTcag[b1] * 16 + kTcag[b2] * 4 + kTcag[b3];
+  const char aa = kStandardCode[idx];
+  if (aa == '*') return kProtAmbig;
+  return encode_protein(std::string_view(&aa, 1))[0];
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> translate(std::span<const std::uint8_t> dna, int frame) {
+  MRBIO_REQUIRE(frame >= 0 && frame < 6, "frame index must be 0..5, got ", frame);
+  std::vector<std::uint8_t> strand;
+  std::span<const std::uint8_t> src = dna;
+  if (frame >= 3) {
+    strand = reverse_complement(dna);
+    src = strand;
+  }
+  const std::size_t offset = static_cast<std::size_t>(frame % 3);
+  std::vector<std::uint8_t> out;
+  if (src.size() < offset + 3) return out;
+  out.reserve((src.size() - offset) / 3);
+  for (std::size_t i = offset; i + 3 <= src.size(); i += 3) {
+    const std::uint8_t b1 = src[i];
+    const std::uint8_t b2 = src[i + 1];
+    const std::uint8_t b3 = src[i + 2];
+    if (b1 >= kDnaAlphabet || b2 >= kDnaAlphabet || b3 >= kDnaAlphabet) {
+      out.push_back(kProtAmbig);
+    } else {
+      out.push_back(translate_codon(b1, b2, b3));
+    }
+  }
+  return out;
+}
+
+int frame_label(int frame_index) {
+  MRBIO_REQUIRE(frame_index >= 0 && frame_index < 6, "bad frame index ", frame_index);
+  return frame_index < 3 ? frame_index + 1 : -(frame_index - 3 + 1);
+}
+
+std::vector<BlastxResult> blastx_search(const std::shared_ptr<const DbVolume>& volume,
+                                        const std::vector<Sequence>& dna_queries,
+                                        const SearchOptions& options) {
+  MRBIO_REQUIRE(options.type == SeqType::Protein,
+                "blastx needs protein search options (make_protein_options())");
+
+  // Build the 6N translated queries; remember each entry's source.
+  struct FrameEntry {
+    std::size_t query_idx;
+    int frame_index;
+  };
+  std::vector<Sequence> translated;
+  std::vector<FrameEntry> entries;
+  for (std::size_t qi = 0; qi < dna_queries.size(); ++qi) {
+    for (int f = 0; f < 6; ++f) {
+      Sequence s;
+      s.id = dna_queries[qi].id + "|frame" + std::to_string(frame_label(f));
+      s.data = translate(dna_queries[qi].data, f);
+      translated.push_back(std::move(s));
+      entries.push_back({qi, f});
+    }
+  }
+
+  BlastSearcher searcher(volume, options);
+  const auto frame_results = searcher.search(translated);
+
+  std::vector<BlastxResult> out(dna_queries.size());
+  for (std::size_t qi = 0; qi < dna_queries.size(); ++qi) {
+    out[qi].query_id = dna_queries[qi].id;
+  }
+  for (std::size_t e = 0; e < frame_results.size(); ++e) {
+    const FrameEntry& entry = entries[e];
+    const std::size_t dna_len = dna_queries[entry.query_idx].length();
+    for (const Hsp& hsp : frame_results[e].hsps) {
+      BlastxHsp bx;
+      bx.protein = hsp;
+      bx.frame = frame_label(entry.frame_index);
+      const std::size_t off = static_cast<std::size_t>(entry.frame_index % 3);
+      const std::uint64_t a = off + 3 * hsp.q_start;
+      const std::uint64_t b = off + 3 * hsp.q_end;
+      if (entry.frame_index < 3) {
+        bx.q_dna_start = a;
+        bx.q_dna_end = b;
+      } else {
+        bx.q_dna_start = dna_len - b;
+        bx.q_dna_end = dna_len - a;
+      }
+      out[entry.query_idx].hsps.push_back(std::move(bx));
+    }
+  }
+  for (auto& result : out) {
+    std::sort(result.hsps.begin(), result.hsps.end(),
+              [](const BlastxHsp& a, const BlastxHsp& b) {
+                return hsp_better(a.protein, b.protein);
+              });
+    if (options.max_hits_per_query > 0 && result.hsps.size() > options.max_hits_per_query) {
+      result.hsps.resize(options.max_hits_per_query);
+    }
+  }
+  return out;
+}
+
+}  // namespace mrbio::blast

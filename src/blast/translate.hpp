@@ -1,0 +1,49 @@
+// Genetic-code translation and six-frame translated search (blastx).
+//
+// Metagenomic pipelines — the paper's driving use case — usually search
+// "protein fragments predicted on reads" against protein databases. The
+// blastx mode implemented here covers the step before that prediction:
+// translating the read in all six frames and searching each frame as a
+// protein query, reporting hits mapped back onto the DNA coordinates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "blast/search.hpp"
+
+namespace mrbio::blast {
+
+/// Translates encoded DNA in the given frame (+1..+3 as 0..2 on the plus
+/// strand, -1..-3 as 3..5 on the reverse complement) with the standard
+/// genetic code. Stop codons become kProtAmbig (breaking seed words, as in
+/// real translated searches); codons containing ambiguous bases also map
+/// to kProtAmbig.
+std::vector<std::uint8_t> translate(std::span<const std::uint8_t> dna, int frame);
+
+/// Frame labels in blastx convention: +1, +2, +3, -1, -2, -3.
+int frame_label(int frame_index);
+
+/// One translated-search hit: a protein-space HSP plus its frame and the
+/// corresponding DNA coordinates on the original (plus-strand) query.
+struct BlastxHsp {
+  Hsp protein;       ///< coordinates in the translated frame
+  int frame = 1;     ///< +1..+3 / -1..-3
+  std::uint64_t q_dna_start = 0;  ///< half-open, plus-strand DNA coordinates
+  std::uint64_t q_dna_end = 0;
+};
+
+struct BlastxResult {
+  std::string query_id;
+  std::vector<BlastxHsp> hsps;  ///< E-value sorted across frames
+};
+
+/// Translated search of DNA queries against a protein database volume.
+/// `options` must be protein options (make_protein_options()); each of the
+/// six frames is searched and results are merged per query.
+std::vector<BlastxResult> blastx_search(const std::shared_ptr<const DbVolume>& volume,
+                                        const std::vector<Sequence>& dna_queries,
+                                        const SearchOptions& options);
+
+}  // namespace mrbio::blast

@@ -1,0 +1,66 @@
+// Error handling primitives shared by every mrbio library.
+//
+// Invariant violations and unrecoverable conditions throw mrbio::Error,
+// carrying a formatted message with the failing site. The CHECK macros are
+// always on (they guard algorithmic invariants, not debug-only assertions).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mrbio {
+
+/// Base exception for all mrbio failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on malformed external input (files, CLI arguments).
+class InputError : public Error {
+ public:
+  explicit InputError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (a bug in this library).
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+/// Builds a message from stream-formattable parts.
+template <typename... Parts>
+std::string format_msg(const Parts&... parts) {
+  std::ostringstream os;
+  detail::format_into(os, parts...);
+  return os.str();
+}
+
+}  // namespace mrbio
+
+#define MRBIO_CHECK(cond, ...)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      throw ::mrbio::LogicError(::mrbio::format_msg(                        \
+          "CHECK failed: ", #cond, " at ", __FILE__, ":", __LINE__, ": ",   \
+          ##__VA_ARGS__));                                                  \
+    }                                                                       \
+  } while (0)
+
+#define MRBIO_REQUIRE(cond, ...)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      throw ::mrbio::InputError(::mrbio::format_msg(                        \
+          "requirement failed: ", #cond, ": ", ##__VA_ARGS__));             \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,70 @@
+#include "common/image.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace mrbio {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_for_write(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  MRBIO_REQUIRE(f != nullptr, "cannot open for writing: ", path);
+  return f;
+}
+
+std::uint8_t to_byte(double v) {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+}  // namespace
+
+void write_pgm(const std::string& path, const MatrixView& image) {
+  MRBIO_REQUIRE(!image.empty(), "write_pgm: empty image");
+  float lo = image(0, 0);
+  float hi = image(0, 0);
+  for (std::size_t r = 0; r < image.rows(); ++r) {
+    for (float v : image.row(r)) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const double scale = (hi > lo) ? 255.0 / (hi - lo) : 0.0;
+
+  auto f = open_for_write(path);
+  std::fprintf(f.get(), "P5\n%zu %zu\n255\n", image.cols(), image.rows());
+  std::vector<std::uint8_t> row_bytes(image.cols());
+  for (std::size_t r = 0; r < image.rows(); ++r) {
+    auto row = image.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      row_bytes[c] = to_byte((row[c] - lo) * scale);
+    }
+    std::fwrite(row_bytes.data(), 1, row_bytes.size(), f.get());
+  }
+}
+
+void write_ppm(const std::string& path, const MatrixView& rgb, std::size_t width) {
+  MRBIO_REQUIRE(!rgb.empty(), "write_ppm: empty image");
+  MRBIO_REQUIRE(rgb.cols() == width * 3, "write_ppm: cols must be 3*width");
+
+  auto f = open_for_write(path);
+  std::fprintf(f.get(), "P6\n%zu %zu\n255\n", width, rgb.rows());
+  std::vector<std::uint8_t> row_bytes(rgb.cols());
+  for (std::size_t r = 0; r < rgb.rows(); ++r) {
+    auto row = rgb.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      row_bytes[c] = to_byte(row[c] * 255.0);
+    }
+    std::fwrite(row_bytes.data(), 1, row_bytes.size(), f.get());
+  }
+}
+
+}  // namespace mrbio

@@ -1,0 +1,23 @@
+// Portable anymap (PGM/PPM) writers for SOM visualizations.
+//
+// The paper's Figs. 7-8 are grayscale U-matrix and RGB codebook images;
+// binary PGM/PPM is the simplest lossless interchange with no dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace mrbio {
+
+/// Writes a grayscale image (values scaled from [min,max] of the matrix
+/// to 0..255) as binary PGM (P5).
+void write_pgm(const std::string& path, const MatrixView& image);
+
+/// Writes an RGB image as binary PPM (P6). `rgb` must have cols = 3*width;
+/// channel values are clamped from [0,1] to 0..255.
+void write_ppm(const std::string& path, const MatrixView& rgb, std::size_t width);
+
+}  // namespace mrbio

@@ -1,0 +1,37 @@
+// Minimal leveled logger. Thread-safe line-at-a-time output to stderr.
+//
+// Usage: MRBIO_LOG(Info, "loaded ", n, " sequences");
+// The global level defaults to Warn so library code stays quiet in tests;
+// executables raise it from the command line.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mrbio {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, ErrorLevel = 3, Off = 4 };
+
+/// Process-wide minimum level that will be emitted.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+}  // namespace mrbio
+
+#define MRBIO_LOG(level_, ...)                                            \
+  do {                                                                    \
+    if (static_cast<int>(::mrbio::LogLevel::level_) >=                    \
+        static_cast<int>(::mrbio::log_level())) {                         \
+      ::mrbio::detail::log_line(::mrbio::LogLevel::level_,                \
+                                ::mrbio::format_msg(__VA_ARGS__));        \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,94 @@
+// Dense row-major matrix of floats plus a non-owning view.
+//
+// Used for SOM codebooks and input pattern sets. Rows are the natural unit
+// (one pattern / one code-vector per row), so row(i) spans are the main
+// accessor.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mrbio {
+
+/// Non-owning view over row-major float data.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(const float* data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  std::span<const float> row(std::size_t r) const {
+    MRBIO_CHECK(r < rows_, "MatrixView row ", r, " out of ", rows_);
+    return {data_ + r * cols_, cols_};
+  }
+
+  float operator()(std::size_t r, std::size_t c) const {
+    MRBIO_CHECK(r < rows_ && c < cols_, "MatrixView index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  const float* data() const { return data_; }
+
+  /// Sub-view of consecutive rows [first, first+count).
+  MatrixView rows_slice(std::size_t first, std::size_t count) const {
+    MRBIO_CHECK(first + count <= rows_, "rows_slice out of range");
+    return {data_ + first * cols_, count, cols_};
+  }
+
+ private:
+  const float* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+/// Owning row-major float matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  std::span<float> row(std::size_t r) {
+    MRBIO_CHECK(r < rows_, "Matrix row ", r, " out of ", rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const {
+    MRBIO_CHECK(r < rows_, "Matrix row ", r, " out of ", rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    MRBIO_CHECK(r < rows_ && c < cols_, "Matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    MRBIO_CHECK(r < rows_ && c < cols_, "Matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+
+  MatrixView view() const { return {data_.data(), rows_, cols_}; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace mrbio

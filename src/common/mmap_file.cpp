@@ -1,0 +1,78 @@
+#include "common/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mrbio {
+
+MmapFile::MmapFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  MRBIO_REQUIRE(fd >= 0, "cannot open for mmap: ", path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw InputError("fstat failed: " + path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    ::close(fd);
+    return;  // empty file: valid, no mapping
+  }
+  void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  MRBIO_REQUIRE(p != MAP_FAILED, "mmap failed: ", path);
+  data_ = p;
+}
+
+MmapFile::~MmapFile() { close(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void MmapFile::close() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+std::span<const std::byte> MmapFile::bytes() const {
+  return {static_cast<const std::byte*>(data_), size_};
+}
+
+MatrixView MmapFile::as_matrix(std::size_t cols) const {
+  MRBIO_REQUIRE(cols > 0, "as_matrix: cols must be positive");
+  const std::size_t row_bytes = cols * sizeof(float);
+  MRBIO_REQUIRE(size_ % row_bytes == 0, "file size ", size_,
+                " is not a multiple of row size ", row_bytes);
+  return {static_cast<const float*>(data_), size_ / row_bytes, cols};
+}
+
+void write_raw_matrix(const std::string& path, const MatrixView& m) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  MRBIO_REQUIRE(f != nullptr, "cannot open for writing: ", path);
+  const std::size_t n = m.rows() * m.cols();
+  const std::size_t written = std::fwrite(m.data(), sizeof(float), n, f);
+  std::fclose(f);
+  MRBIO_REQUIRE(written == n, "short write to ", path);
+}
+
+}  // namespace mrbio

@@ -1,0 +1,45 @@
+// Read-only memory-mapped file.
+//
+// The paper's SOM reads its dense input matrix through mmap so datasets
+// larger than RAM can be processed; this wrapper provides that access path
+// (and a convenience for writing a raw float matrix file to map later).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "common/matrix.hpp"
+
+namespace mrbio {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  explicit MmapFile(const std::string& path);
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  bool is_open() const { return data_ != nullptr; }
+  std::size_t size() const { return size_; }
+  std::span<const std::byte> bytes() const;
+
+  /// Interprets the mapping as a row-major float matrix with `cols`
+  /// columns. File size must be a multiple of cols*sizeof(float).
+  MatrixView as_matrix(std::size_t cols) const;
+
+ private:
+  void close() noexcept;
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Writes a matrix as raw platform floats, the format MmapFile::as_matrix
+/// and the paper's SOM input loader expect.
+void write_raw_matrix(const std::string& path, const MatrixView& m);
+
+}  // namespace mrbio

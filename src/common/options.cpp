@@ -1,0 +1,113 @@
+#include "common/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mrbio {
+
+void Options::add(const std::string& name, const std::string& default_value,
+                  const std::string& help) {
+  MRBIO_CHECK(specs_.find(name) == specs_.end(), "duplicate option --", name);
+  specs_[name] = Spec{default_value, help, /*is_flag=*/false};
+  order_.push_back(name);
+}
+
+void Options::add_flag(const std::string& name, const std::string& help) {
+  MRBIO_CHECK(specs_.find(name) == specs_.end(), "duplicate option --", name);
+  specs_[name] = Spec{"false", help, /*is_flag=*/true};
+  order_.push_back(name);
+}
+
+bool Options::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = specs_.find(name);
+    MRBIO_REQUIRE(it != specs_.end(), "unknown option --", name, "\n", usage());
+    if (it->second.is_flag) {
+      MRBIO_REQUIRE(!has_value || value == "true" || value == "false",
+                    "flag --", name, " takes no value or true/false");
+      values_[name] = has_value ? value : "true";
+    } else {
+      if (!has_value) {
+        MRBIO_REQUIRE(i + 1 < argc, "option --", name, " needs a value");
+        value = argv[++i];
+      }
+      values_[name] = value;
+    }
+  }
+  return true;
+}
+
+const Options::Spec& Options::spec(const std::string& name) const {
+  const auto it = specs_.find(name);
+  MRBIO_CHECK(it != specs_.end(), "undeclared option --", name);
+  return it->second;
+}
+
+std::string Options::str(const std::string& name) const {
+  const auto& s = spec(name);
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : s.default_value;
+}
+
+std::int64_t Options::integer(const std::string& name) const {
+  const std::string v = str(name);
+  try {
+    std::size_t pos = 0;
+    const std::int64_t out = std::stoll(v, &pos);
+    MRBIO_REQUIRE(pos == v.size(), "trailing characters");
+    return out;
+  } catch (const std::exception&) {
+    throw InputError(format_msg("option --", name, " expects an integer, got '", v, "'"));
+  }
+}
+
+double Options::real(const std::string& name) const {
+  const std::string v = str(name);
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    MRBIO_REQUIRE(pos == v.size(), "trailing characters");
+    return out;
+  } catch (const std::exception&) {
+    throw InputError(format_msg("option --", name, " expects a number, got '", v, "'"));
+  }
+}
+
+bool Options::flag(const std::string& name) const { return str(name) == "true"; }
+
+std::string Options::usage() const {
+  std::ostringstream os;
+  os << summary_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const auto& s = specs_.at(name);
+    os << "  --" << name;
+    if (!s.is_flag) os << " <value>";
+    os << "\n      " << s.help;
+    if (!s.is_flag) os << " (default: " << s.default_value << ")";
+    os << "\n";
+  }
+  os << "  --help\n      Show this message\n";
+  return os.str();
+}
+
+}  // namespace mrbio

@@ -1,0 +1,51 @@
+// Tiny command-line option parser for examples and benchmark drivers.
+//
+// Supports --name value, --name=value, and boolean --flag forms. Options
+// are declared with defaults and help text; --help prints usage and the
+// caller exits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mrbio {
+
+class Options {
+ public:
+  explicit Options(std::string program_summary) : summary_(std::move(program_summary)) {}
+
+  void add(const std::string& name, const std::string& default_value, const std::string& help);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv; throws InputError on unknown options or missing values.
+  /// Returns false if --help was requested (usage already printed).
+  bool parse(int argc, const char* const* argv);
+
+  std::string str(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  double real(const std::string& name) const;
+  bool flag(const std::string& name) const;
+
+  /// Positional arguments remaining after option parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+  const Spec& spec(const std::string& name) const;
+
+  std::string summary_;
+  std::vector<std::string> order_;
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mrbio

@@ -1,0 +1,39 @@
+// Small statistics helpers used by benchmarks and load-balance reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mrbio {
+
+/// Welford running mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample set by linear interpolation; q in [0, 1].
+/// Copies and sorts internally; for hot paths sort once and use
+/// percentile_sorted.
+double percentile(std::vector<double> samples, double q);
+
+/// Percentile over already-sorted samples.
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace mrbio

@@ -1,0 +1,145 @@
+#include "mpi/comm.hpp"
+
+namespace mrbio::mpi {
+
+void Comm::barrier() {
+  reduce_tree(
+      0, [&](int dst) { proc_->send(dst, kTagBarrierUp, {}); },
+      [&](int src) { proc_->recv(src, kTagBarrierUp); });
+  bcast_tree(
+      0, [&](int dst) { proc_->send(dst, kTagBarrierDown, {}); },
+      [&](int src) { proc_->recv(src, kTagBarrierDown); });
+}
+
+void Comm::bcast_bytes(std::vector<std::byte>& data, int root) {
+  bcast_tree(
+      root,
+      [&](int dst) {
+        std::vector<std::byte> copy = data;
+        proc_->send(dst, kTagBcast, std::move(copy));
+      },
+      [&](int src) { data = proc_->recv(src, kTagBcast).payload; });
+}
+
+std::vector<std::vector<std::byte>> Comm::gather_bytes(std::vector<std::byte> mine, int root) {
+  std::vector<std::vector<std::byte>> out;
+  if (rank() == root) {
+    out.resize(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(root)] = std::move(mine);
+    for (int src = 0; src < size(); ++src) {
+      if (src == root) continue;
+      out[static_cast<std::size_t>(src)] = proc_->recv(src, kTagGather).payload;
+    }
+  } else {
+    proc_->send(root, kTagGather, std::move(mine));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoallv(
+    std::vector<std::vector<std::byte>> sendbufs) {
+  std::vector<std::uint64_t> nominal(sendbufs.size());
+  for (std::size_t i = 0; i < sendbufs.size(); ++i) nominal[i] = sendbufs[i].size();
+  return alltoallv_nominal(std::move(sendbufs), nominal);
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoallv_nominal(
+    std::vector<std::vector<std::byte>> sendbufs,
+    const std::vector<std::uint64_t>& nominal_bytes) {
+  const int p = size();
+  MRBIO_REQUIRE(sendbufs.size() == static_cast<std::size_t>(p),
+                "alltoallv needs one buffer per rank, got ", sendbufs.size());
+  MRBIO_REQUIRE(nominal_bytes.size() == static_cast<std::size_t>(p),
+                "alltoallv needs one nominal size per rank");
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(p));
+  out[static_cast<std::size_t>(rank())] = std::move(sendbufs[static_cast<std::size_t>(rank())]);
+  for (int offset = 1; offset < p; ++offset) {
+    const int dst = (rank() + offset) % p;
+    proc_->send(dst, kTagAlltoall, std::move(sendbufs[static_cast<std::size_t>(dst)]),
+                nominal_bytes[static_cast<std::size_t>(dst)]);
+  }
+  for (int offset = 1; offset < p; ++offset) {
+    const int src = (rank() - offset + p) % p;
+    out[static_cast<std::size_t>(src)] = proc_->recv(src, kTagAlltoall).payload;
+  }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Comm::allgather_bytes(std::vector<std::byte> mine) {
+  auto all = gather_bytes(std::move(mine), 0);
+  // Broadcast the gathered set: length-prefixed concatenation.
+  ByteWriter w;
+  if (rank() == 0) {
+    w.put<std::uint64_t>(all.size());
+    for (const auto& buf : all) w.put_bytes(buf);
+  }
+  std::vector<std::byte> packed = w.take();
+  bcast_bytes(packed, 0);
+  if (rank() != 0) {
+    ByteReader r(packed);
+    const auto n = r.get<std::uint64_t>();
+    all.resize(n);
+    for (auto& buf : all) buf = r.get_bytes();
+  }
+  return all;
+}
+
+std::vector<std::byte> Comm::scatter_bytes(std::vector<std::vector<std::byte>> buffers,
+                                           int root) {
+  if (rank() == root) {
+    MRBIO_REQUIRE(buffers.size() == static_cast<std::size_t>(size()),
+                  "scatter needs one buffer per rank, got ", buffers.size());
+    std::vector<std::byte> mine = std::move(buffers[static_cast<std::size_t>(root)]);
+    for (int dst = 0; dst < size(); ++dst) {
+      if (dst == root) continue;
+      proc_->send(dst, kTagScatter, std::move(buffers[static_cast<std::size_t>(dst)]));
+    }
+    return mine;
+  }
+  return proc_->recv(root, kTagScatter).payload;
+}
+
+void Comm::bcast_phantom(std::uint64_t nominal_bytes, int root) {
+  bcast_tree(
+      root,
+      [&](int dst) { proc_->send(dst, kTagBcast, {}, nominal_bytes); },
+      [&](int src) { proc_->recv(src, kTagBcast); });
+}
+
+void Comm::bcast_phantom_pipelined(std::uint64_t nominal_bytes, int root) {
+  // Synchronize on the root's readiness through a latency-only tree, then
+  // charge the pipelined bandwidth term identically on every rank.
+  bcast_tree(
+      root, [&](int dst) { proc_->send(dst, kTagBcast, {}, 0); },
+      [&](int src) { proc_->recv(src, kTagBcast); });
+  const double p = static_cast<double>(size());
+  const double bw_term = 2.0 * (p - 1.0) / p * static_cast<double>(nominal_bytes) *
+                         proc_->net().byte_time;
+  proc_->compute(bw_term);
+}
+
+void Comm::reduce_phantom_pipelined(std::uint64_t nominal_bytes, int root,
+                                    double combine_seconds) {
+  // Everyone must have produced its contribution before the root can own
+  // the result: latency-only tree toward the root, then the bandwidth and
+  // combine charges.
+  reduce_tree(
+      root, [&](int dst) { proc_->send(dst, kTagReduce, {}, 0); },
+      [&](int src) { proc_->recv(src, kTagReduce); });
+  const double p = static_cast<double>(size());
+  const double bw_term = 2.0 * (p - 1.0) / p * static_cast<double>(nominal_bytes) *
+                         proc_->net().byte_time;
+  proc_->compute(bw_term + combine_seconds);
+}
+
+void Comm::reduce_phantom(std::uint64_t nominal_bytes, int root, double combine_seconds) {
+  reduce_tree(
+      root,
+      [&](int dst) { proc_->send(dst, kTagReduce, {}, nominal_bytes); },
+      [&](int src) {
+        proc_->recv(src, kTagReduce);
+        if (combine_seconds > 0.0) proc_->compute(combine_seconds);
+      });
+}
+
+}  // namespace mrbio::mpi

@@ -1,0 +1,397 @@
+// MPI-flavoured communicator over the discrete-event engine.
+//
+// This is the layer application code is written against, mirroring the MPI
+// calls the paper's implementations use (MPI_Send/Recv, MPI_Bcast,
+// MPI_Reduce/Allreduce, MPI_Barrier, and the alltoallv that backs
+// MapReduce-MPI's aggregate()). Collectives are binomial trees built on
+// point-to-point sends, so their log2(p) cost emerges from the network
+// model instead of being asserted.
+//
+// Tag space: application tags must lie in [0, kUserTagLimit); the
+// collective implementations use reserved tags above that range. The
+// engine's per-channel FIFO guarantee makes fixed collective tags safe.
+//
+// "Phantom" variants (bcast_phantom, reduce_phantom, ...) execute the same
+// communication trees but carry empty payloads with a nominal byte count:
+// that is how paper-scale transfers (e.g. broadcasting a multi-megabyte
+// SOM codebook to 1024 ranks) are timed without moving real gigabytes
+// through host memory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "sim/engine.hpp"
+
+namespace mrbio::mpi {
+
+constexpr int kAnySource = sim::Process::kAnySource;
+constexpr int kAnyTag = sim::Process::kAnyTag;
+constexpr int kUserTagLimit = 1 << 20;
+
+/// Element-wise reduction operators.
+enum class ReduceOp { Sum, Max, Min };
+
+class Comm {
+ public:
+  explicit Comm(sim::Process& proc) : proc_(&proc) {}
+
+  int rank() const { return proc_->rank(); }
+  int size() const { return proc_->size(); }
+  double now() const { return proc_->now(); }
+  void compute(double seconds) { proc_->compute(seconds); }
+  sim::Process& process() { return *proc_; }
+
+  // ---- point to point ----
+
+  void send_bytes(int dst, int tag, std::vector<std::byte> payload) {
+    check_user_tag(tag);
+    proc_->send(dst, tag, std::move(payload));
+  }
+
+  /// Sends with an explicit nominal size for the timing model.
+  void send_bytes(int dst, int tag, std::vector<std::byte> payload,
+                  std::uint64_t nominal_bytes) {
+    check_user_tag(tag);
+    proc_->send(dst, tag, std::move(payload), nominal_bytes);
+  }
+
+  sim::Message recv_bytes(int src = kAnySource, int tag = kAnyTag) {
+    return proc_->recv(src, tag);
+  }
+
+  bool has_message(int src = kAnySource, int tag = kAnyTag) const {
+    return proc_->has_message(src, tag);
+  }
+
+  /// Sends a single trivially-copyable value.
+  template <typename T>
+  void send_value(int dst, int tag, const T& value) {
+    ByteWriter w;
+    w.put(value);
+    send_bytes(dst, tag, w.take());
+  }
+
+  /// Receives a single value; optionally reports the actual source rank.
+  template <typename T>
+  T recv_value(int src = kAnySource, int tag = kAnyTag, int* actual_src = nullptr,
+               int* actual_tag = nullptr) {
+    sim::Message m = recv_bytes(src, tag);
+    if (actual_src != nullptr) *actual_src = m.source;
+    if (actual_tag != nullptr) *actual_tag = m.tag;
+    ByteReader r(m.payload);
+    return r.get<T>();
+  }
+
+  template <typename T>
+  void send_span(int dst, int tag, std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ByteWriter w;
+    w.put<std::uint64_t>(values.size());
+    w.append(values.data(), values.size_bytes());
+    send_bytes(dst, tag, w.take());
+  }
+
+  template <typename T>
+  std::vector<T> recv_vector(int src = kAnySource, int tag = kAnyTag,
+                             int* actual_src = nullptr) {
+    sim::Message m = recv_bytes(src, tag);
+    if (actual_src != nullptr) *actual_src = m.source;
+    ByteReader r(m.payload);
+    return r.get_vector<T>();
+  }
+
+  // ---- nonblocking operations ----
+  //
+  // isend is complete immediately (the runtime buffers eagerly, like an
+  // MPI_Ibsend); irecv registers interest and the matching happens at
+  // wait()/test() time, which models the same completion instant as a
+  // blocking receive posted there: completion = max(now, arrival).
+
+  class Request {
+   public:
+    bool is_send() const { return is_send_; }
+    bool completed() const { return done_; }
+
+   private:
+    friend class Comm;
+    int src_ = kAnySource;
+    int tag_ = kAnyTag;
+    bool is_send_ = false;
+    bool done_ = false;
+    sim::Message message_;
+  };
+
+  /// Buffered nonblocking send: returns an already-complete request.
+  Request isend(int dst, int tag, std::vector<std::byte> payload) {
+    send_bytes(dst, tag, std::move(payload));
+    Request r;
+    r.is_send_ = true;
+    r.done_ = true;
+    return r;
+  }
+
+  /// Nonblocking receive: match deferred to wait()/test().
+  Request irecv(int src = kAnySource, int tag = kAnyTag) {
+    Request r;
+    r.src_ = src;
+    r.tag_ = tag;
+    return r;
+  }
+
+  /// Blocks until the request completes; returns the message for receives
+  /// (an empty message for sends). Idempotent once completed.
+  sim::Message wait(Request& request) {
+    if (!request.done_) {
+      request.message_ = recv_bytes(request.src_, request.tag_);
+      request.done_ = true;
+    }
+    return request.message_;
+  }
+
+  /// Nonblocking completion check; on success the message is available
+  /// via wait() without blocking.
+  bool test(Request& request) {
+    if (request.done_) return true;
+    if (!has_message(request.src_, request.tag_)) return false;
+    wait(request);
+    return true;
+  }
+
+  /// Waits for every request (in index order; completion instants are
+  /// order-independent because matching is by arrival time).
+  void waitall(std::span<Request> requests) {
+    for (Request& r : requests) wait(r);
+  }
+
+  // ---- collectives (must be called by every rank, in the same order) ----
+
+  void barrier();
+
+  /// Broadcasts `data` from `root`; on non-root ranks `data` is replaced.
+  void bcast_bytes(std::vector<std::byte>& data, int root);
+
+  template <typename T>
+  void bcast(std::vector<T>& data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> buf;
+    if (rank() == root) {
+      buf.resize(data.size() * sizeof(T));
+      std::memcpy(buf.data(), data.data(), buf.size());
+    }
+    bcast_bytes(buf, root);
+    if (rank() != root) {
+      MRBIO_CHECK(buf.size() % sizeof(T) == 0, "bcast size mismatch");
+      data.resize(buf.size() / sizeof(T));
+      std::memcpy(data.data(), buf.data(), buf.size());
+    }
+  }
+
+  template <typename T>
+  void bcast_value(T& value, int root) {
+    std::vector<T> one(1);
+    if (rank() == root) one[0] = value;
+    bcast(one, root);
+    value = one[0];
+  }
+
+  /// Element-wise reduction of `data` into root's `data` (other ranks'
+  /// buffers are left in an unspecified combined state, as with MPI).
+  template <typename T>
+  void reduce(std::vector<T>& data, ReduceOp op, int root);
+
+  /// Reduce followed by broadcast; every rank ends with the result.
+  template <typename T>
+  void allreduce(std::vector<T>& data, ReduceOp op) {
+    reduce(data, op, 0);
+    bcast(data, 0);
+  }
+
+  double allreduce_scalar(double value, ReduceOp op) {
+    std::vector<double> v{value};
+    allreduce(v, op);
+    return v[0];
+  }
+
+  std::uint64_t allreduce_scalar(std::uint64_t value, ReduceOp op) {
+    std::vector<std::uint64_t> v{value};
+    allreduce(v, op);
+    return v[0];
+  }
+
+  /// Gathers each rank's byte buffer at root; result[i] is rank i's buffer.
+  /// Non-root ranks receive an empty result.
+  std::vector<std::vector<std::byte>> gather_bytes(std::vector<std::byte> mine, int root);
+
+  /// Gather followed by broadcast: every rank gets every buffer.
+  std::vector<std::vector<std::byte>> allgather_bytes(std::vector<std::byte> mine);
+
+  /// Root distributes buffers[i] to rank i; returns this rank's buffer.
+  /// Non-root ranks pass an empty vector.
+  std::vector<std::byte> scatter_bytes(std::vector<std::vector<std::byte>> buffers,
+                                       int root);
+
+  template <typename T>
+  std::vector<T> gather_value(const T& value, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> buf(sizeof(T));
+    std::memcpy(buf.data(), &value, sizeof(T));
+    auto all = gather_bytes(std::move(buf), root);
+    std::vector<T> out;
+    if (rank() == root) {
+      out.resize(all.size());
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        MRBIO_CHECK(all[i].size() == sizeof(T), "gather_value size mismatch");
+        std::memcpy(&out[i], all[i].data(), sizeof(T));
+      }
+    }
+    return out;
+  }
+
+  /// Personalized all-to-all: sendbufs[d] goes to rank d; returns one
+  /// buffer per source rank. sendbufs must have size() == comm size.
+  std::vector<std::vector<std::byte>> alltoallv(std::vector<std::vector<std::byte>> sendbufs);
+
+  /// alltoallv with explicit per-destination nominal byte counts for the
+  /// timing model (payloads may be token-sized stand-ins).
+  std::vector<std::vector<std::byte>> alltoallv_nominal(
+      std::vector<std::vector<std::byte>> sendbufs,
+      const std::vector<std::uint64_t>& nominal_bytes);
+
+  // ---- phantom collectives: timing-only transfers of nominal size ----
+
+  /// Same tree and timing as bcast of `nominal_bytes`, empty payloads.
+  void bcast_phantom(std::uint64_t nominal_bytes, int root);
+
+  /// Same tree and timing as reduce of `nominal_bytes`; `combine_seconds`
+  /// is charged at each interior combine step (modeling the element-wise
+  /// arithmetic a real reduce performs).
+  void reduce_phantom(std::uint64_t nominal_bytes, int root, double combine_seconds = 0.0);
+
+  void allreduce_phantom(std::uint64_t nominal_bytes, double combine_seconds = 0.0) {
+    reduce_phantom(nominal_bytes, 0, combine_seconds);
+    bcast_phantom(nominal_bytes, 0);
+  }
+
+  // Pipelined phantom collectives. Production MPI implementations switch
+  // to pipelined / scatter-allgather algorithms for large messages, whose
+  // cost is ~ log2(p) * latency + 2 * bytes / bandwidth rather than the
+  // binomial tree's log2(p) * bytes / bandwidth. These variants model
+  // that: a latency-only tree synchronization (so completion ordering is
+  // still enforced through real messages) followed by an analytic
+  // bandwidth charge on every rank. Use them for multi-megabyte
+  // collectives such as the SOM codebook exchange.
+
+  void bcast_phantom_pipelined(std::uint64_t nominal_bytes, int root);
+
+  /// `combine_seconds` models the element-wise arithmetic of the whole
+  /// reduction (charged once, overlapped across the pipeline).
+  void reduce_phantom_pipelined(std::uint64_t nominal_bytes, int root,
+                                double combine_seconds = 0.0);
+
+ private:
+  static void check_user_tag(int tag) {
+    MRBIO_REQUIRE(tag >= 0 && tag < kUserTagLimit, "user tag out of range: ", tag);
+  }
+
+  // Reserved internal tags.
+  static constexpr int kTagBcast = kUserTagLimit + 1;
+  static constexpr int kTagReduce = kUserTagLimit + 2;
+  static constexpr int kTagBarrierUp = kUserTagLimit + 3;
+  static constexpr int kTagBarrierDown = kUserTagLimit + 4;
+  static constexpr int kTagGather = kUserTagLimit + 5;
+  static constexpr int kTagAlltoall = kUserTagLimit + 6;
+  static constexpr int kTagScatter = kUserTagLimit + 7;
+
+  int vrank(int root) const { return (rank() - root + size()) % size(); }
+  int from_vrank(int vr, int root) const { return (vr + root) % size(); }
+
+  /// Binomial-tree downward pass: calls send/recv hooks. Used by bcast.
+  template <typename SendFn, typename RecvFn>
+  void bcast_tree(int root, const SendFn& send_to, const RecvFn& recv_from);
+
+  /// Binomial-tree upward pass: combine at interior nodes toward root.
+  template <typename SendFn, typename RecvFn>
+  void reduce_tree(int root, const SendFn& send_to, const RecvFn& recv_from);
+
+  sim::Process* proc_;
+};
+
+// ---- template implementations ----
+
+template <typename SendFn, typename RecvFn>
+void Comm::bcast_tree(int root, const SendFn& send_to, const RecvFn& recv_from) {
+  const int p = size();
+  const int vr = vrank(root);
+  int mask = 1;
+  while (mask < p) {
+    if ((vr & mask) != 0) {
+      recv_from(from_vrank(vr ^ mask, root));
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < p && (vr & (mask - 1)) == 0) {
+      send_to(from_vrank(vr + mask, root));
+    }
+    mask >>= 1;
+  }
+}
+
+template <typename SendFn, typename RecvFn>
+void Comm::reduce_tree(int root, const SendFn& send_to, const RecvFn& recv_from) {
+  const int p = size();
+  const int vr = vrank(root);
+  int mask = 1;
+  while (mask < p) {
+    if ((vr & mask) != 0) {
+      send_to(from_vrank(vr ^ mask, root));
+      return;
+    }
+    const int partner = vr | mask;
+    if (partner < p) {
+      recv_from(from_vrank(partner, root));
+    }
+    mask <<= 1;
+  }
+}
+
+template <typename T>
+void Comm::reduce(std::vector<T>& data, ReduceOp op, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  reduce_tree(
+      root,
+      [&](int dst) {
+        ByteWriter w;
+        w.put_vector(data);
+        proc_->send(dst, kTagReduce, w.take());
+      },
+      [&](int src) {
+        const sim::Message m = proc_->recv(src, kTagReduce);
+        ByteReader r(m.payload);
+        std::vector<T> other = r.get_vector<T>();
+        MRBIO_CHECK(other.size() == data.size(), "reduce length mismatch: ", other.size(),
+                    " vs ", data.size());
+        switch (op) {
+          case ReduceOp::Sum:
+            for (std::size_t i = 0; i < data.size(); ++i) data[i] += other[i];
+            break;
+          case ReduceOp::Max:
+            for (std::size_t i = 0; i < data.size(); ++i)
+              data[i] = std::max(data[i], other[i]);
+            break;
+          case ReduceOp::Min:
+            for (std::size_t i = 0; i < data.size(); ++i)
+              data[i] = std::min(data[i], other[i]);
+            break;
+        }
+      });
+}
+
+}  // namespace mrbio::mpi

@@ -1,0 +1,316 @@
+#include "mrblast/mrblast.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace mrbio::mrblast {
+
+namespace {
+
+/// Rank-local cache of the most recently used DB partition, reproducing
+/// the paper's "DB object is cached between map() invocations on a given
+/// rank, and only re-initialized if the different DB partition is
+/// required".
+struct PartitionCache {
+  std::int64_t current = -1;
+  std::shared_ptr<const blast::DbVolume> volume;
+  std::uint64_t loads = 0;
+
+  const blast::DbVolume& get(const std::vector<std::string>& paths, std::uint64_t p) {
+    if (current != static_cast<std::int64_t>(p)) {
+      volume = std::make_shared<blast::DbVolume>(
+          blast::DbVolume::load(paths.at(static_cast<std::size_t>(p))));
+      current = static_cast<std::int64_t>(p);
+      ++loads;
+    }
+    return *volume;
+  }
+};
+
+}  // namespace
+
+RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
+  MRBIO_REQUIRE(!config.partition_paths.empty(), "no database partitions");
+  const bool indexed_input = !config.query_fasta.empty();
+  MRBIO_REQUIRE(config.query_blocks.empty() || !indexed_input,
+                "provide either query_blocks or query_fasta, not both");
+
+  // In indexed mode each rank builds its own offset index (the paper's
+  // "index of sequence offsets in the input FASTA file") and fetches only
+  // the block a work unit names.
+  std::unique_ptr<blast::FastaIndex> index;
+  std::vector<std::size_t> block_starts;  // first record of each block
+  if (indexed_input) {
+    MRBIO_REQUIRE(!config.query_block_sizes.empty(),
+                  "indexed-FASTA input needs query_block_sizes");
+    index = std::make_unique<blast::FastaIndex>(config.query_fasta, config.options.type);
+    std::size_t cursor = 0;
+    for (const std::uint64_t b : config.query_block_sizes) {
+      block_starts.push_back(cursor);
+      cursor += static_cast<std::size_t>(b);
+    }
+    MRBIO_REQUIRE(cursor >= index->num_records(), "block schedule covers only ", cursor,
+                  " of ", index->num_records(), " records");
+  }
+  const std::uint64_t nblocks =
+      indexed_input ? config.query_block_sizes.size() : config.query_blocks.size();
+  const std::uint64_t nparts = config.partition_paths.size();
+
+  auto load_block = [&](std::uint64_t block) -> std::vector<blast::Sequence> {
+    if (indexed_input) {
+      return index->read_range(block_starts[static_cast<std::size_t>(block)],
+                               static_cast<std::size_t>(
+                                   config.query_block_sizes[static_cast<std::size_t>(block)]));
+    }
+    return config.query_blocks[static_cast<std::size_t>(block)];
+  };
+
+  // Whole-database statistics for the partition searches, as in the paper.
+  blast::SearchOptions options = config.options;
+  if (options.effective_db_length == 0) {
+    std::uint64_t total_len = 0;
+    std::uint64_t total_seqs = 0;
+    for (const auto& path : config.partition_paths) {
+      const auto vol = blast::DbVolume::load(path);
+      total_len += vol.residues();
+      total_seqs += vol.num_seqs();
+    }
+    options.effective_db_length = total_len;
+    options.effective_db_seqs = total_seqs;
+  }
+
+  RealRunResult result;
+  PartitionCache cache;
+  std::ofstream out;
+
+  mrmpi::MapReduceConfig mr_config;
+  mr_config.map_style = config.map_style;
+  mrmpi::MapReduce mr(comm, mr_config);
+
+  const std::size_t blocks_per_iter =
+      config.blocks_per_iteration == 0 ? nblocks : config.blocks_per_iteration;
+
+  for (std::uint64_t first_block = 0; first_block < nblocks;
+       first_block += blocks_per_iter) {
+    const std::uint64_t iter_blocks = std::min<std::uint64_t>(blocks_per_iter,
+                                                              nblocks - first_block);
+    const std::uint64_t units = iter_blocks * nparts;
+
+    const auto map_fn = [&](std::uint64_t unit, mrmpi::KeyValue& kv) {
+      const std::uint64_t block = first_block + unit / nparts;
+      const std::uint64_t part = unit % nparts;
+      const blast::DbVolume& vol = cache.get(config.partition_paths, part);
+      // The searcher is lightweight relative to the volume; constructing it
+      // per unit mirrors re-initializing the query object per map() call.
+      auto shared_vol = cache.volume;
+      blast::BlastSearcher searcher(shared_vol, options);
+      const auto results = searcher.search(load_block(block));
+      for (const auto& qr : results) {
+        for (const auto& hsp : qr.hsps) {
+          ByteWriter w;
+          hsp.serialize(w);
+          const auto payload = w.take();
+          kv.add(std::as_bytes(std::span(qr.query_id.data(), qr.query_id.size())),
+                 payload);
+        }
+      }
+      (void)vol;
+    };
+    if (config.locality_aware && config.map_style == mrmpi::MapStyle::MasterWorker) {
+      mr.map_locality(units, [&](std::uint64_t unit) { return unit % nparts; }, map_fn);
+    } else {
+      mr.map(units, map_fn);
+    }
+
+    mr.collate();
+
+    mr.reduce([&](const mrmpi::KmvGroup& group, mrmpi::KeyValue&) {
+      const std::string query_id(reinterpret_cast<const char*>(group.key.data()),
+                                 group.key.size());
+      std::vector<blast::Hsp> hsps;
+      hsps.reserve(group.values.size());
+      for (const auto& value : group.values) {
+        ByteReader r(value);
+        hsps.push_back(blast::Hsp::deserialize(r));
+      }
+      blast::sort_and_truncate(hsps, options.max_hits_per_query);
+      if (!out.is_open()) {
+        std::filesystem::create_directories(config.output_dir);
+        result.output_file =
+            config.output_dir + "/hits." + std::to_string(comm.rank()) + ".tsv";
+        out.open(result.output_file, std::ios::app);
+        MRBIO_REQUIRE(out.good(), "cannot open output file ", result.output_file);
+      }
+      for (const auto& hsp : hsps) {
+        out << blast::to_tabular(query_id, hsp) << "\n";
+      }
+      result.total_hsps += hsps.size();
+    });
+  }
+  if (out.is_open()) out.flush();
+
+  result.total_hsps = comm.allreduce_scalar(result.total_hsps, mpi::ReduceOp::Sum);
+  result.local_map_tasks = mr.stats().map_tasks_run;
+  result.db_loads = cache.loads;
+  return result;
+}
+
+BlastxRunResult run_blastx_mr(mpi::Comm& comm, const BlastxRunConfig& config) {
+  MRBIO_REQUIRE(!config.partition_paths.empty(), "no database partitions");
+  MRBIO_REQUIRE(config.options.type == blast::SeqType::Protein,
+                "blastx needs protein search options");
+  const std::uint64_t nblocks = config.query_blocks.size();
+  const std::uint64_t nparts = config.partition_paths.size();
+
+  // Whole-database statistics, as in the nucleotide driver.
+  blast::SearchOptions options = config.options;
+  if (options.effective_db_length == 0) {
+    std::uint64_t total_len = 0;
+    std::uint64_t total_seqs = 0;
+    for (const auto& path : config.partition_paths) {
+      const auto vol = blast::DbVolume::load(path);
+      total_len += vol.residues();
+      total_seqs += vol.num_seqs();
+    }
+    options.effective_db_length = total_len;
+    options.effective_db_seqs = total_seqs;
+  }
+
+  BlastxRunResult result;
+  PartitionCache cache;
+  std::ofstream out;
+
+  mrmpi::MapReduceConfig mr_config;
+  mr_config.map_style = config.map_style;
+  mrmpi::MapReduce mr(comm, mr_config);
+
+  mr.map(nblocks * nparts, [&](std::uint64_t unit, mrmpi::KeyValue& kv) {
+    const std::uint64_t block = unit / nparts;
+    const std::uint64_t part = unit % nparts;
+    cache.get(config.partition_paths, part);
+    const auto results = blast::blastx_search(
+        cache.volume, config.query_blocks[static_cast<std::size_t>(block)], options);
+    for (const auto& qr : results) {
+      for (const auto& bx : qr.hsps) {
+        ByteWriter w;
+        w.put<std::int32_t>(bx.frame);
+        w.put(bx.q_dna_start);
+        w.put(bx.q_dna_end);
+        bx.protein.serialize(w);
+        const auto payload = w.take();
+        kv.add(std::as_bytes(std::span(qr.query_id.data(), qr.query_id.size())), payload);
+      }
+    }
+  });
+
+  mr.collate();
+
+  mr.reduce([&](const mrmpi::KmvGroup& group, mrmpi::KeyValue&) {
+    const std::string query_id(reinterpret_cast<const char*>(group.key.data()),
+                               group.key.size());
+    std::vector<blast::BlastxHsp> hsps;
+    hsps.reserve(group.values.size());
+    for (const auto& value : group.values) {
+      ByteReader r(value);
+      blast::BlastxHsp bx;
+      bx.frame = r.get<std::int32_t>();
+      bx.q_dna_start = r.get<std::uint64_t>();
+      bx.q_dna_end = r.get<std::uint64_t>();
+      bx.protein = blast::Hsp::deserialize(r);
+      hsps.push_back(std::move(bx));
+    }
+    std::sort(hsps.begin(), hsps.end(), [](const auto& a, const auto& b) {
+      return blast::hsp_better(a.protein, b.protein);
+    });
+    if (options.max_hits_per_query > 0 && hsps.size() > options.max_hits_per_query) {
+      hsps.resize(options.max_hits_per_query);
+    }
+    if (!out.is_open()) {
+      std::filesystem::create_directories(config.output_dir);
+      result.output_file =
+          config.output_dir + "/blastx." + std::to_string(comm.rank()) + ".tsv";
+      out.open(result.output_file, std::ios::app);
+      MRBIO_REQUIRE(out.good(), "cannot open output file ", result.output_file);
+    }
+    for (const auto& bx : hsps) {
+      out << query_id << '\t' << bx.frame << '\t' << bx.q_dna_start << '\t' << bx.q_dna_end
+          << '\t' << blast::to_tabular(query_id, bx.protein) << "\n";
+    }
+    result.total_hsps += hsps.size();
+  });
+  if (out.is_open()) out.flush();
+
+  result.total_hsps = comm.allreduce_scalar(result.total_hsps, mpi::ReduceOp::Sum);
+  return result;
+}
+
+SimRunStats run_blast_sim(mpi::Comm& comm, const SimRunConfig& config) {
+  const workload::BlastWorkload wl(config.workload);
+  const std::uint64_t nblocks = wl.num_blocks();
+  const std::uint64_t nparts = config.workload.db_partitions;
+
+  SimRunStats stats;
+  std::int64_t current_partition = -1;
+
+  mrmpi::MapReduceConfig mr_config;
+  mr_config.map_style = config.map_style;
+  mrmpi::MapReduce mr(comm, mr_config);
+
+  const std::size_t blocks_per_iter =
+      config.blocks_per_iteration == 0 ? nblocks : config.blocks_per_iteration;
+
+  for (std::uint64_t first_block = 0; first_block < nblocks;
+       first_block += blocks_per_iter) {
+    const std::uint64_t iter_blocks = std::min<std::uint64_t>(blocks_per_iter,
+                                                              nblocks - first_block);
+    const std::uint64_t units = iter_blocks * nparts;
+
+    const auto map_fn = [&](std::uint64_t iter_unit, mrmpi::KeyValue& kv) {
+      const std::uint64_t unit = first_block * nparts + iter_unit;
+      const std::uint64_t part = wl.partition_of(unit);
+      // Partition switch: pay the (cold or warm) load, which is I/O, not
+      // useful compute.
+      if (current_partition != static_cast<std::int64_t>(part)) {
+        const double load = wl.load_seconds(unit, comm.rank(), comm.size());
+        comm.compute(load);
+        stats.load_seconds += load;
+        current_partition = static_cast<std::int64_t>(part);
+        ++stats.db_loads;
+      }
+      const double cost = wl.unit_compute_seconds(unit);
+      const double t0 = comm.now();
+      comm.compute(cost);
+      stats.compute_seconds += cost;
+      if (config.tracker != nullptr) config.tracker->add(comm.rank(), t0, comm.now());
+
+      // One token KV per work unit keyed by query block; its nominal size
+      // is the real hit payload the unit would have produced.
+      const std::string key = "block" + std::to_string(wl.block_of(unit));
+      kv.add(std::as_bytes(std::span(key.data(), key.size())), {},
+             wl.unit_hit_bytes(unit));
+    };
+    if (config.locality_aware && config.map_style == mrmpi::MapStyle::MasterWorker) {
+      mr.map_locality(
+          units, [&](std::uint64_t iter_unit) { return iter_unit % nparts; }, map_fn);
+    } else {
+      mr.map(units, map_fn);
+    }
+
+    mr.collate();
+
+    mr.reduce([&](const mrmpi::KmvGroup& group, mrmpi::KeyValue&) {
+      const std::uint64_t hits = group.nominal_bytes / config.workload.bytes_per_hit;
+      stats.total_hits += hits;
+      comm.compute(static_cast<double>(hits) * config.reduce_seconds_per_hit);
+    });
+  }
+
+  stats.total_hits = comm.allreduce_scalar(stats.total_hits, mpi::ReduceOp::Sum);
+  return stats;
+}
+
+}  // namespace mrbio::mrblast

@@ -1,0 +1,114 @@
+// MR-MPI BLAST: the paper's first application (Section III-A, Fig. 1).
+//
+// A work item pairs a block of query sequences with one database
+// partition. map() runs the unmodified search engine on that pair and
+// emits (query id -> HSP) pairs; collate() groups every query's hits from
+// all partitions onto one rank; reduce() sorts them by E-value, applies
+// the top-K cut and appends to the rank's own output file. Arbitrarily
+// large query sets are processed by looping the whole MapReduce cycle
+// over consecutive block subsets to bound the in-memory KV working set.
+//
+// Two drivers share this control flow:
+//   run_blast_mr  -- functional: real sequences, real engine, real output
+//                    files. Used by tests and examples.
+//   run_blast_sim -- paper-scale: costs come from the workload oracle and
+//                    KV payloads are nominal-sized tokens. Used by the
+//                    scaling benchmarks (Figs. 3-5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blast/fasta_index.hpp"
+#include "blast/translate.hpp"
+#include "blast/search.hpp"
+#include "mpi/comm.hpp"
+#include "mrmpi/mapreduce.hpp"
+#include "workload/blast_model.hpp"
+
+namespace mrbio::mrblast {
+
+struct RealRunConfig {
+  /// Query blocks (the pre-split FASTA files of the paper's pipeline).
+  /// Leave empty to use the indexed-FASTA input below instead.
+  std::vector<std::vector<blast::Sequence>> query_blocks;
+
+  /// Dynamic-chunking input (the paper's Section V improvement): a single
+  /// FASTA file accessed through an offset index, split into
+  /// `query_block_sizes` records per block at run time -- no
+  /// pre-partitioning of the query set.
+  std::string query_fasta;
+  std::vector<std::uint64_t> query_block_sizes;
+
+  /// Database partition volume files (formatdb output).
+  std::vector<std::string> partition_paths;
+  blast::SearchOptions options;
+  /// Directory for per-rank result files ("hits.<rank>.tsv").
+  std::string output_dir;
+  mrmpi::MapStyle map_style = mrmpi::MapStyle::MasterWorker;
+  /// Use the location-aware scheduler (applies in master-worker mode).
+  bool locality_aware = false;
+  /// Blocks per MapReduce iteration; 0 = all blocks in one cycle.
+  std::size_t blocks_per_iteration = 0;
+};
+
+struct RealRunResult {
+  std::uint64_t total_hsps = 0;        ///< across all ranks
+  std::string output_file;             ///< this rank's file (empty if none written)
+  std::uint64_t local_map_tasks = 0;   ///< work units executed on this rank
+  std::uint64_t db_loads = 0;          ///< partition (re)initializations here
+};
+
+/// Collective: every rank of `comm` must call with identical config.
+RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config);
+
+// ---- translated (blastx) driver ----
+
+struct BlastxRunConfig {
+  /// DNA read blocks searched in all six frames.
+  std::vector<std::vector<blast::Sequence>> query_blocks;
+  /// Protein database partition volumes.
+  std::vector<std::string> partition_paths;
+  /// Protein search options (make_protein_options()).
+  blast::SearchOptions options;
+  std::string output_dir;
+  mrmpi::MapStyle map_style = mrmpi::MapStyle::MasterWorker;
+};
+
+struct BlastxRunResult {
+  std::uint64_t total_hsps = 0;
+  std::string output_file;
+};
+
+/// Collective: the Fig. 1 control flow with blastx in map() -- the
+/// searched object per work unit is (DNA read block x protein partition),
+/// keys are read ids, values are frame-annotated HSPs. Output lines are
+/// "<qid> <frame> <dna_start> <dna_end> <protein tabular fields...>".
+BlastxRunResult run_blastx_mr(mpi::Comm& comm, const BlastxRunConfig& config);
+
+struct SimRunConfig {
+  workload::BlastWorkloadConfig workload;
+  mrmpi::MapStyle map_style = mrmpi::MapStyle::MasterWorker;
+  /// Use the location-aware scheduler keyed on the DB partition (applies
+  /// in master-worker mode).
+  bool locality_aware = false;
+  /// Blocks per MapReduce iteration; 0 = all blocks in one cycle.
+  std::size_t blocks_per_iteration = 0;
+  /// Virtual seconds to process one hit in reduce() (sort + output).
+  double reduce_seconds_per_hit = 5e-6;
+  /// Optional collector of per-rank useful-compute intervals (Fig. 5).
+  workload::UtilizationTracker* tracker = nullptr;
+};
+
+struct SimRunStats {
+  std::uint64_t total_hits = 0;
+  std::uint64_t db_loads = 0;       ///< partition switches on this rank
+  double compute_seconds = 0.0;     ///< useful BLAST seconds on this rank
+  double load_seconds = 0.0;        ///< partition I/O seconds on this rank
+};
+
+/// Collective. Virtual elapsed time is read from the engine by the caller.
+SimRunStats run_blast_sim(mpi::Comm& comm, const SimRunConfig& config);
+
+}  // namespace mrbio::mrblast

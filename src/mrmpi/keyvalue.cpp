@@ -1,0 +1,306 @@
+#include "mrmpi/keyvalue.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <list>
+#include <numeric>
+#include <unordered_map>
+
+namespace mrbio::mrmpi {
+
+namespace {
+std::atomic<std::uint64_t> g_store_counter{0};
+}
+
+// One fixed-capacity page of entries. A page is either resident (buf
+// holds the bytes) or spilled (buf empty, bytes live at `file_offset` in
+// the store's spill file).
+struct KeyValue::Page {
+  std::vector<std::byte> buf;
+  std::vector<Entry> entries;
+  std::size_t first_entry = 0;   ///< global index of entries.front()
+  std::size_t byte_size = 0;     ///< logical size (valid also when spilled)
+  bool spilled = false;
+  std::uint64_t file_offset = 0;
+};
+
+struct KeyValue::Impl {
+  std::vector<Page> pages;
+  std::FILE* spill_file = nullptr;
+  std::string spill_path;
+  std::uint64_t spill_end = 0;  ///< bytes written to the spill file
+  /// Recently loaded spilled pages (indices into `pages`), LRU order,
+  /// front = most recent. Loaded copies live in the page's buf.
+  std::list<std::size_t> lru;
+
+  ~Impl() {
+    if (spill_file != nullptr) {
+      std::fclose(spill_file);
+      std::remove(spill_path.c_str());
+    }
+  }
+};
+
+KeyValue::KeyValue(SpillPolicy policy) : policy_(std::move(policy)) {
+  MRBIO_REQUIRE(policy_.page_bytes >= 1024, "spill pages must be >= 1 KiB");
+  MRBIO_REQUIRE(policy_.max_resident_pages >= 2,
+                "need at least 2 resident pages (writer + reader)");
+}
+
+KeyValue::KeyValue() = default;
+KeyValue::~KeyValue() = default;
+KeyValue::KeyValue(KeyValue&&) noexcept = default;
+KeyValue& KeyValue::operator=(KeyValue&&) noexcept = default;
+
+KeyValue::Page& KeyValue::writable_page(std::size_t need_bytes) {
+  if (!impl_) impl_ = std::make_unique<Impl>();
+  auto& pages = impl_->pages;
+  const bool need_new =
+      pages.empty() || pages.back().spilled ||
+      pages.back().byte_size + need_bytes > policy_.page_bytes;
+  if (need_new) {
+    maybe_spill();
+    Page page;
+    page.first_entry = num_entries_;
+    page.buf.reserve(std::min<std::uint64_t>(policy_.page_bytes, 1ull << 20));
+    pages.push_back(std::move(page));
+  }
+  return pages.back();
+}
+
+void KeyValue::maybe_spill() {
+  if (policy_.max_resident_pages == SIZE_MAX || !impl_) return;
+  auto& pages = impl_->pages;
+  std::size_t resident = 0;
+  for (const Page& p : pages) resident += p.spilled ? 0 : 1;
+  // Spill oldest non-LRU-pinned resident pages until under budget,
+  // leaving room for the new page about to be created.
+  for (std::size_t i = 0; i < pages.size() && resident + 1 > policy_.max_resident_pages;
+       ++i) {
+    Page& p = pages[i];
+    if (p.spilled || p.buf.empty()) continue;
+    if (impl_->spill_file == nullptr) {
+      impl_->spill_path = policy_.dir + "/mrbio_kv_" + std::to_string(::getpid()) + "_" +
+                          std::to_string(g_store_counter.fetch_add(1)) + ".spill";
+      impl_->spill_file = std::fopen(impl_->spill_path.c_str(), "w+b");
+      MRBIO_REQUIRE(impl_->spill_file != nullptr, "cannot create spill file ",
+                    impl_->spill_path);
+    }
+    std::fseek(impl_->spill_file, static_cast<long>(impl_->spill_end), SEEK_SET);
+    const std::size_t written =
+        std::fwrite(p.buf.data(), 1, p.byte_size, impl_->spill_file);
+    MRBIO_REQUIRE(written == p.byte_size, "short write to spill file");
+    p.file_offset = impl_->spill_end;
+    impl_->spill_end += p.byte_size;
+    spilled_bytes_ += p.byte_size;
+    p.buf.clear();
+    p.buf.shrink_to_fit();
+    p.spilled = true;
+    --resident;
+    impl_->lru.remove(i);
+  }
+}
+
+const KeyValue::Page& KeyValue::load_page(std::size_t page_index) const {
+  MRBIO_CHECK(impl_ && page_index < impl_->pages.size(), "page index out of range");
+  Page& p = impl_->pages[page_index];
+  if (!p.spilled || !p.buf.empty()) {
+    return p;  // resident, or a spilled page already cached
+  }
+  // Re-read from the spill file into the page's buffer.
+  MRBIO_CHECK(impl_->spill_file != nullptr, "spilled page without a spill file");
+  p.buf.resize(p.byte_size);
+  std::fseek(impl_->spill_file, static_cast<long>(p.file_offset), SEEK_SET);
+  const std::size_t got = std::fread(p.buf.data(), 1, p.byte_size, impl_->spill_file);
+  MRBIO_REQUIRE(got == p.byte_size, "short read from spill file");
+  // Track in the LRU; evict cached copies beyond the budget (the page
+  // stays spilled, its buffer is just dropped).
+  impl_->lru.push_front(page_index);
+  const std::size_t cache_cap = std::max<std::size_t>(policy_.max_resident_pages / 2, 2);
+  while (impl_->lru.size() > cache_cap) {
+    const std::size_t victim = impl_->lru.back();
+    impl_->lru.pop_back();
+    if (victim != page_index) {
+      impl_->pages[victim].buf.clear();
+      impl_->pages[victim].buf.shrink_to_fit();
+    }
+  }
+  return p;
+}
+
+void KeyValue::add(std::span<const std::byte> key, std::span<const std::byte> value) {
+  add(key, value, key.size() + value.size());
+}
+
+void KeyValue::add(std::span<const std::byte> key, std::span<const std::byte> value,
+                   std::uint64_t nominal_bytes) {
+  const std::size_t need = key.size() + value.size();
+  MRBIO_REQUIRE(need <= policy_.page_bytes || policy_.max_resident_pages == SIZE_MAX,
+                "entry of ", need, " bytes exceeds the page size ", policy_.page_bytes);
+  Page& page = writable_page(need);
+  Entry e;
+  e.key_off = static_cast<std::uint32_t>(page.byte_size);
+  e.key_len = static_cast<std::uint32_t>(key.size());
+  page.buf.insert(page.buf.end(), key.begin(), key.end());
+  e.val_off = static_cast<std::uint32_t>(page.byte_size + key.size());
+  e.val_len = static_cast<std::uint32_t>(value.size());
+  page.buf.insert(page.buf.end(), value.begin(), value.end());
+  e.nominal = nominal_bytes;
+  page.byte_size += need;
+  page.entries.push_back(e);
+  ++num_entries_;
+  total_bytes_ += need;
+  nominal_total_ += nominal_bytes;
+}
+
+void KeyValue::add(std::string_view key, std::string_view value) {
+  add(std::as_bytes(std::span(key.data(), key.size())),
+      std::as_bytes(std::span(value.data(), value.size())));
+}
+
+KvPair KeyValue::pair(std::size_t i) const {
+  MRBIO_CHECK(i < num_entries_, "KeyValue::pair index ", i, " out of ", num_entries_);
+  // Locate the page by first_entry (pages are ordered).
+  const auto& pages = impl_->pages;
+  std::size_t lo = 0;
+  std::size_t hi = pages.size();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (pages[mid].first_entry <= i) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const Page& page = load_page(lo);
+  const Entry& e = page.entries[i - page.first_entry];
+  return KvPair{{page.buf.data() + e.key_off, e.key_len},
+                {page.buf.data() + e.val_off, e.val_len},
+                e.nominal};
+}
+
+void KeyValue::for_each(const std::function<void(const KvPair&)>& fn) const {
+  if (!impl_) return;
+  for (std::size_t pi = 0; pi < impl_->pages.size(); ++pi) {
+    const Page& page = load_page(pi);
+    for (const Entry& e : page.entries) {
+      fn(KvPair{{page.buf.data() + e.key_off, e.key_len},
+                {page.buf.data() + e.val_off, e.val_len},
+                e.nominal});
+    }
+  }
+}
+
+void KeyValue::clear() {
+  impl_.reset();
+  num_entries_ = 0;
+  total_bytes_ = 0;
+  nominal_total_ = 0;
+  spilled_bytes_ = 0;
+}
+
+void KeyValue::absorb(KeyValue&& other) {
+  if (other.empty()) {
+    other.clear();
+    return;
+  }
+  if (empty()) {
+    const SpillPolicy policy = policy_;  // keep this store's policy
+    *this = std::move(other);
+    policy_ = policy;
+    return;
+  }
+  other.for_each([&](const KvPair& p) { add(p.key, p.value, p.nominal_bytes); });
+  other.clear();
+}
+
+void KeyValue::sort_by_key() {
+  if (num_entries_ < 2) return;
+  // Extract keys once (sequentially, spill-friendly), argsort, rebuild.
+  std::vector<std::string> keys;
+  keys.reserve(num_entries_);
+  for_each([&](const KvPair& p) {
+    keys.emplace_back(reinterpret_cast<const char*>(p.key.data()), p.key.size());
+  });
+  std::vector<std::size_t> order(num_entries_);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+
+  KeyValue sorted(policy_);
+  for (const std::size_t i : order) {
+    const KvPair p = pair(i);  // random access through the page cache
+    sorted.add(p.key, p.value, p.nominal_bytes);
+  }
+  *this = std::move(sorted);
+}
+
+namespace {
+struct SpanHash {
+  std::size_t operator()(const std::string_view& s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+}  // namespace
+
+KeyMultiValue KeyMultiValue::from_keyvalue(const KeyValue& kv) {
+  KeyMultiValue out;
+  std::unordered_map<std::string, std::size_t> index;
+  index.reserve(kv.size());
+  out.buf_.reserve(kv.bytes());
+  kv.for_each([&](const KvPair& p) {
+    const std::string key_copy(reinterpret_cast<const char*>(p.key.data()), p.key.size());
+    auto it = index.find(key_copy);
+    std::size_t gi;
+    if (it == index.end()) {
+      Group g;
+      g.key_off = out.buf_.size();
+      g.key_len = p.key.size();
+      out.buf_.insert(out.buf_.end(), p.key.begin(), p.key.end());
+      g.nominal = 0;
+      gi = out.groups_.size();
+      out.groups_.push_back(std::move(g));
+      index.emplace(key_copy, gi);
+    } else {
+      gi = it->second;
+    }
+    Group& g = out.groups_[gi];
+    ValueRef v;
+    v.off = out.buf_.size();
+    v.len = p.value.size();
+    out.buf_.insert(out.buf_.end(), p.value.begin(), p.value.end());
+    g.values.push_back(v);
+    g.nominal += p.nominal_bytes;
+    out.nominal_total_ += p.nominal_bytes;
+  });
+  return out;
+}
+
+KmvGroup KeyMultiValue::group(std::size_t i) const {
+  MRBIO_CHECK(i < groups_.size(), "KeyMultiValue::group index ", i, " out of ",
+              groups_.size());
+  const Group& g = groups_[i];
+  KmvGroup out;
+  out.key = {buf_.data() + g.key_off, g.key_len};
+  out.values.reserve(g.values.size());
+  for (const ValueRef& v : g.values) {
+    out.values.push_back({buf_.data() + v.off, v.len});
+  }
+  out.nominal_bytes = g.nominal;
+  return out;
+}
+
+std::uint64_t key_hash(std::span<const std::byte> key) {
+  // FNV-1a 64-bit: deterministic, order-free, adequate key spread.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::byte b : key) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace mrbio::mrmpi

@@ -1,0 +1,169 @@
+// Key-value and key-multivalue stores, the data containers of the
+// MapReduce-MPI programming model.
+//
+// Layout mirrors the Sandia library: a KeyValue is an append-only log of
+// (key, value) byte pairs owned by one rank; a KeyMultiValue groups the
+// values of identical keys. Keys and values are opaque byte strings.
+//
+// Out-of-core paging: like the Sandia library, a KeyValue can operate
+// under a resident-memory budget. Data is stored in fixed-size pages;
+// when the number of resident pages exceeds the budget, the oldest full
+// pages are written to a per-store spill file and dropped from RAM, and
+// are transparently re-read on access (sequential scans load one page at
+// a time; random access goes through a small LRU of resident pages).
+// The default policy is fully resident (no I/O).
+//
+// Span validity: views returned by pair(i) / group(i) reference page
+// memory and are invalidated by ANY subsequent non-const call or by
+// another pair(i) access (which may evict the page). Copy out what you
+// keep; for whole-store scans prefer for_each(), whose spans are valid
+// for the duration of the callback only.
+//
+// Each entry carries a nominal byte count for the timing model, defaulting
+// to its real size. Paper-scale drivers emit token payloads with
+// paper-sized nominals; everything downstream (aggregate's alltoallv,
+// spill-time accounting) times against nominal bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mrbio::mrmpi {
+
+/// One key-value pair viewed in place (no ownership; see span validity
+/// rules in the file comment).
+struct KvPair {
+  std::span<const std::byte> key;
+  std::span<const std::byte> value;
+  std::uint64_t nominal_bytes = 0;
+};
+
+/// Out-of-core policy for a KeyValue.
+struct SpillPolicy {
+  std::uint64_t page_bytes = 1ull << 20;
+  /// Pages kept in RAM before spilling; max() disables spilling entirely.
+  std::size_t max_resident_pages = SIZE_MAX;
+  /// Directory for spill files (created lazily, removed with the store).
+  std::string dir = "/tmp";
+};
+
+class KeyValue {
+ public:
+  KeyValue();
+  explicit KeyValue(SpillPolicy policy);
+  ~KeyValue();
+
+  KeyValue(KeyValue&&) noexcept;
+  KeyValue& operator=(KeyValue&&) noexcept;
+  KeyValue(const KeyValue&) = delete;
+  KeyValue& operator=(const KeyValue&) = delete;
+
+  /// Appends a pair; nominal_bytes defaults to the real entry size.
+  void add(std::span<const std::byte> key, std::span<const std::byte> value);
+  void add(std::span<const std::byte> key, std::span<const std::byte> value,
+           std::uint64_t nominal_bytes);
+
+  /// Convenience for string keys / values.
+  void add(std::string_view key, std::string_view value);
+
+  std::size_t size() const { return num_entries_; }
+  bool empty() const { return num_entries_ == 0; }
+
+  /// Random access; may perform I/O if the entry's page is spilled.
+  KvPair pair(std::size_t i) const;
+
+  /// Sequential scan over all pairs in insertion order; loads spilled
+  /// pages one at a time. Spans are valid only inside the callback.
+  void for_each(const std::function<void(const KvPair&)>& fn) const;
+
+  /// Total real payload bytes stored (resident + spilled).
+  std::uint64_t bytes() const { return total_bytes_; }
+
+  /// Total nominal (timing-model) bytes stored.
+  std::uint64_t nominal_bytes() const { return nominal_total_; }
+
+  /// Real bytes currently in the spill file.
+  std::uint64_t spilled_bytes() const { return spilled_bytes_; }
+
+  void clear();
+
+  /// Moves all pairs of `other` into this store (sequential copy; the
+  /// source is cleared).
+  void absorb(KeyValue&& other);
+
+  /// Stable lexicographic sort by key bytes (Sandia's sortkeys). Works on
+  /// spilled stores via the page cache.
+  void sort_by_key();
+
+ private:
+  struct Entry {
+    std::uint32_t key_off;
+    std::uint32_t key_len;
+    std::uint32_t val_off;
+    std::uint32_t val_len;
+    std::uint64_t nominal;
+  };
+  struct Page;
+  struct Impl;
+
+  Page& writable_page(std::size_t need_bytes);
+  const Page& load_page(std::size_t page_index) const;
+  void maybe_spill();
+
+  SpillPolicy policy_;
+  std::unique_ptr<Impl> impl_;
+  std::size_t num_entries_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t nominal_total_ = 0;
+  std::uint64_t spilled_bytes_ = 0;
+};
+
+/// A key with all its grouped values, viewed in place.
+struct KmvGroup {
+  std::span<const std::byte> key;
+  /// Values in first-emission order (stable across runs).
+  std::vector<std::span<const std::byte>> values;
+  std::uint64_t nominal_bytes = 0;  ///< sum over grouped entries
+};
+
+class KeyMultiValue {
+ public:
+  /// Builds groups from a KeyValue, preserving first-occurrence key order.
+  static KeyMultiValue from_keyvalue(const KeyValue& kv);
+
+  std::size_t size() const { return groups_.size(); }
+  bool empty() const { return groups_.empty(); }
+
+  /// Group i; spans reference internal storage valid for this object's
+  /// lifetime.
+  KmvGroup group(std::size_t i) const;
+
+  std::uint64_t nominal_bytes() const { return nominal_total_; }
+
+ private:
+  struct ValueRef {
+    std::uint64_t off;
+    std::uint64_t len;
+  };
+  struct Group {
+    std::uint64_t key_off;
+    std::uint64_t key_len;
+    std::vector<ValueRef> values;
+    std::uint64_t nominal;
+  };
+  std::vector<std::byte> buf_;
+  std::vector<Group> groups_;
+  std::uint64_t nominal_total_ = 0;
+};
+
+/// Deterministic hash of a key used to assign keys to ranks in aggregate().
+std::uint64_t key_hash(std::span<const std::byte> key);
+
+}  // namespace mrbio::mrmpi

@@ -1,0 +1,337 @@
+#include "mrmpi/mapreduce.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <numeric>
+
+#include "common/serialize.hpp"
+
+namespace mrbio::mrmpi {
+
+namespace {
+// Tags inside the user range, reserved by convention for this library.
+constexpr int kTagTask = 990001;   ///< master -> worker: task id or -1 stop
+constexpr int kTagDone = 990002;   ///< worker -> master: ready for work
+}  // namespace
+
+MapReduce::MapReduce(mpi::Comm& comm, MapReduceConfig config)
+    : comm_(comm), config_(config) {
+  MRBIO_REQUIRE(config_.memsize_bytes > 0, "memsize must be positive");
+  kv_ = make_kv();
+}
+
+KeyValue MapReduce::make_kv() const {
+  if (!config_.page_to_disk) return KeyValue{};
+  SpillPolicy policy;
+  policy.page_bytes = config_.page_bytes;
+  policy.max_resident_pages = std::max<std::size_t>(
+      2, static_cast<std::size_t>(config_.memsize_bytes / config_.page_bytes));
+  policy.dir = config_.spill_dir;
+  return KeyValue{policy};
+}
+
+std::uint64_t MapReduce::map(std::uint64_t ntasks, const MapFn& fn) {
+  return run_map(ntasks, fn, /*append=*/false);
+}
+
+std::uint64_t MapReduce::map_append(std::uint64_t ntasks, const MapFn& fn) {
+  return run_map(ntasks, fn, /*append=*/true);
+}
+
+std::uint64_t MapReduce::run_map(std::uint64_t ntasks, const MapFn& fn, bool append) {
+  KeyValue out = make_kv();
+  const int rank = comm_.rank();
+  const int p = comm_.size();
+
+  switch (config_.map_style) {
+    case MapStyle::Chunk: {
+      const std::uint64_t lo = ntasks * static_cast<std::uint64_t>(rank) /
+                               static_cast<std::uint64_t>(p);
+      const std::uint64_t hi = ntasks * (static_cast<std::uint64_t>(rank) + 1) /
+                               static_cast<std::uint64_t>(p);
+      for (std::uint64_t t = lo; t < hi; ++t) {
+        fn(t, out);
+        ++stats_.map_tasks_run;
+      }
+      break;
+    }
+    case MapStyle::Stride: {
+      for (std::uint64_t t = static_cast<std::uint64_t>(rank); t < ntasks;
+           t += static_cast<std::uint64_t>(p)) {
+        fn(t, out);
+        ++stats_.map_tasks_run;
+      }
+      break;
+    }
+    case MapStyle::MasterWorker: {
+      if (p == 1) {
+        for (std::uint64_t t = 0; t < ntasks; ++t) {
+          fn(t, out);
+          ++stats_.map_tasks_run;
+        }
+      } else if (rank == 0) {
+        run_master(ntasks);
+      } else {
+        run_worker(fn, out);
+      }
+      break;
+    }
+  }
+
+  if (append) {
+    kv_.absorb(std::move(out));
+  } else {
+    kv_ = std::move(out);
+  }
+  have_kmv_ = false;
+  stats_.kv_pairs_emitted += kv_.size();
+  charge_spill();
+  return global_count(kv_.size());
+}
+
+void MapReduce::run_master(std::uint64_t ntasks) {
+  const int workers = comm_.size() - 1;
+  std::uint64_t next = 0;
+  int stopped = 0;
+  // Each worker announces readiness (initially and after each task); the
+  // master answers with the next task id, or -1 when exhausted.
+  while (stopped < workers) {
+    int src = -1;
+    comm_.recv_value<std::uint8_t>(mpi::kAnySource, kTagDone, &src);
+    if (next < ntasks) {
+      comm_.send_value<std::int64_t>(src, kTagTask, static_cast<std::int64_t>(next));
+      ++next;
+    } else {
+      comm_.send_value<std::int64_t>(src, kTagTask, -1);
+      ++stopped;
+    }
+  }
+}
+
+void MapReduce::run_worker(const MapFn& fn, KeyValue& out) {
+  for (;;) {
+    comm_.send_value<std::uint8_t>(0, kTagDone, 1);
+    const auto task = comm_.recv_value<std::int64_t>(0, kTagTask);
+    if (task < 0) break;
+    fn(static_cast<std::uint64_t>(task), out);
+    ++stats_.map_tasks_run;
+  }
+}
+
+std::uint64_t MapReduce::map_locality(std::uint64_t ntasks, const AffinityFn& affinity,
+                                      const MapFn& fn) {
+  MRBIO_REQUIRE(affinity != nullptr, "map_locality needs an affinity function");
+  KeyValue out = make_kv();
+  if (comm_.size() == 1) {
+    for (std::uint64_t t = 0; t < ntasks; ++t) {
+      fn(t, out);
+      ++stats_.map_tasks_run;
+    }
+  } else if (comm_.rank() == 0) {
+    run_master_locality(ntasks, affinity);
+  } else {
+    run_worker(fn, out);
+  }
+  kv_ = std::move(out);
+  have_kmv_ = false;
+  stats_.kv_pairs_emitted += kv_.size();
+  charge_spill();
+  return global_count(kv_.size());
+}
+
+void MapReduce::run_master_locality(std::uint64_t ntasks, const AffinityFn& affinity) {
+  // Pending tasks grouped by locality key; within a key, FIFO by task id.
+  std::map<std::uint64_t, std::deque<std::uint64_t>> pending;
+  for (std::uint64_t t = 0; t < ntasks; ++t) pending[affinity(t)].push_back(t);
+
+  std::map<int, std::uint64_t> worker_key;  ///< last key each worker ran
+  const int workers = comm_.size() - 1;
+  std::uint64_t remaining = ntasks;
+  int stopped = 0;
+  while (stopped < workers) {
+    int src = -1;
+    comm_.recv_value<std::uint8_t>(mpi::kAnySource, kTagDone, &src);
+    if (remaining == 0) {
+      comm_.send_value<std::int64_t>(src, kTagTask, -1);
+      ++stopped;
+      continue;
+    }
+    // Prefer the worker's current key; otherwise hand it the key with the
+    // most remaining tasks so future requests can stay local to it.
+    auto it = pending.end();
+    const auto known = worker_key.find(src);
+    if (known != worker_key.end()) {
+      it = pending.find(known->second);
+      if (it != pending.end() && it->second.empty()) it = pending.end();
+    }
+    if (it == pending.end()) {
+      std::size_t best = 0;
+      for (auto cand = pending.begin(); cand != pending.end(); ++cand) {
+        if (cand->second.size() > best) {
+          best = cand->second.size();
+          it = cand;
+        }
+      }
+    }
+    MRBIO_CHECK(it != pending.end() && !it->second.empty(), "scheduler lost tasks");
+    const std::uint64_t task = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty()) pending.erase(it);
+    worker_key[src] = affinity(task);
+    comm_.send_value<std::int64_t>(src, kTagTask, static_cast<std::int64_t>(task));
+    --remaining;
+  }
+}
+
+std::uint64_t MapReduce::aggregate() {
+  const int p = comm_.size();
+  const int rank = comm_.rank();
+
+  // Serialize each pair toward its destination rank; track nominal bytes so
+  // the network charge reflects paper-scale payloads.
+  std::vector<ByteWriter> writers(static_cast<std::size_t>(p));
+  std::vector<std::uint64_t> nominal(static_cast<std::size_t>(p), 0);
+  kv_.for_each([&](const KvPair& pair) {
+    const auto dst = static_cast<std::size_t>(key_hash(pair.key) %
+                                              static_cast<std::uint64_t>(p));
+    ByteWriter& w = writers[dst];
+    w.put<std::uint64_t>(pair.key.size());
+    w.append(pair.key.data(), pair.key.size());
+    w.put<std::uint64_t>(pair.value.size());
+    w.append(pair.value.data(), pair.value.size());
+    w.put<std::uint64_t>(pair.nominal_bytes);
+    nominal[dst] += pair.nominal_bytes;
+  });
+
+  std::vector<std::vector<std::byte>> sendbufs(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d) {
+    sendbufs[static_cast<std::size_t>(d)] = writers[static_cast<std::size_t>(d)].take();
+    if (d != rank) stats_.aggregate_bytes_sent += nominal[static_cast<std::size_t>(d)];
+  }
+  auto recvbufs = comm_.alltoallv_nominal(std::move(sendbufs), nominal);
+
+  KeyValue merged = make_kv();
+  for (const auto& buf : recvbufs) {
+    ByteReader r(buf);
+    while (!r.done()) {
+      const auto klen = r.get<std::uint64_t>();
+      const auto kbytes = r.raw(klen);
+      const auto vlen = r.get<std::uint64_t>();
+      const auto vbytes = r.raw(vlen);
+      const auto nom = r.get<std::uint64_t>();
+      merged.add(kbytes, vbytes, nom);
+    }
+  }
+  kv_ = std::move(merged);
+  have_kmv_ = false;
+  charge_spill();
+  return global_count(kv_.size());
+}
+
+std::uint64_t MapReduce::convert() {
+  // Charge the local group-by: one hash+compare pass over the data.
+  kmv_ = KeyMultiValue::from_keyvalue(kv_);
+  have_kmv_ = true;
+  return global_count(kmv_.size());
+}
+
+std::uint64_t MapReduce::collate() {
+  aggregate();
+  return convert();
+}
+
+std::uint64_t MapReduce::reduce(const ReduceFn& fn) {
+  MRBIO_REQUIRE(have_kmv_, "reduce() requires a prior convert()/collate()");
+  KeyValue out = make_kv();
+  for (std::size_t i = 0; i < kmv_.size(); ++i) {
+    const KmvGroup g = kmv_.group(i);
+    fn(g, out);
+  }
+  kv_ = std::move(out);
+  have_kmv_ = false;
+  stats_.kv_pairs_emitted += kv_.size();
+  charge_spill();
+  return global_count(kv_.size());
+}
+
+std::uint64_t MapReduce::compress(const ReduceFn& fn) {
+  const KeyMultiValue groups = KeyMultiValue::from_keyvalue(kv_);
+  KeyValue out = make_kv();
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    fn(groups.group(i), out);
+  }
+  kv_ = std::move(out);
+  have_kmv_ = false;
+  stats_.kv_pairs_emitted += kv_.size();
+  charge_spill();
+  return global_count(kv_.size());
+}
+
+std::uint64_t MapReduce::map_kv(const MapKvFn& fn) {
+  KeyValue out = make_kv();
+  kv_.for_each([&](const KvPair& pair) { fn(pair, out); });
+  kv_ = std::move(out);
+  have_kmv_ = false;
+  stats_.kv_pairs_emitted += kv_.size();
+  charge_spill();
+  return global_count(kv_.size());
+}
+
+std::uint64_t MapReduce::gather() {
+  ByteWriter w;
+  kv_.for_each([&](const KvPair& pair) {
+    w.put<std::uint64_t>(pair.key.size());
+    w.append(pair.key.data(), pair.key.size());
+    w.put<std::uint64_t>(pair.value.size());
+    w.append(pair.value.data(), pair.value.size());
+    w.put<std::uint64_t>(pair.nominal_bytes);
+  });
+  auto all = comm_.gather_bytes(w.take(), 0);
+  if (comm_.rank() == 0) {
+    KeyValue merged = make_kv();
+    for (const auto& buf : all) {
+      ByteReader r(buf);
+      while (!r.done()) {
+        const auto klen = r.get<std::uint64_t>();
+        const auto kbytes = r.raw(klen);
+        const auto vlen = r.get<std::uint64_t>();
+        const auto vbytes = r.raw(vlen);
+        const auto nom = r.get<std::uint64_t>();
+        merged.add(kbytes, vbytes, nom);
+      }
+    }
+    kv_ = std::move(merged);
+  } else {
+    kv_.clear();
+  }
+  have_kmv_ = false;
+  charge_spill();
+  return global_count(kv_.size());
+}
+
+void MapReduce::sort_keys() {
+  kv_.sort_by_key();
+  have_kmv_ = false;
+}
+
+void MapReduce::charge_spill() {
+  const std::uint64_t nominal = kv_.nominal_bytes();
+  if (nominal > config_.memsize_bytes) {
+    const std::uint64_t spilled = nominal - config_.memsize_bytes;
+    if (spilled > charged_spill_) {
+      const std::uint64_t fresh = spilled - charged_spill_;
+      comm_.compute(static_cast<double>(fresh) * config_.spill_byte_seconds);
+      stats_.spilled_bytes += fresh;
+      charged_spill_ = spilled;
+    }
+  } else {
+    charged_spill_ = 0;
+  }
+}
+
+std::uint64_t MapReduce::global_count(std::uint64_t local) {
+  return comm_.allreduce_scalar(local, mpi::ReduceOp::Sum);
+}
+
+}  // namespace mrbio::mrmpi

@@ -1,0 +1,130 @@
+#include "mrsom/mrsom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mrbio::mrsom {
+
+som::Codebook train_som_mr(mpi::Comm& comm, const MatrixView& data,
+                           const som::Codebook& initial, const ParallelSomConfig& config) {
+  MRBIO_REQUIRE(data.cols() == initial.dim(), "data dimension mismatch");
+  MRBIO_REQUIRE(config.block_vectors > 0, "block_vectors must be positive");
+
+  som::Codebook cb = initial;
+  const som::SomGrid grid = cb.grid();
+  const std::size_t dim = cb.dim();
+  const std::size_t cells = grid.cells();
+  const std::uint64_t nblocks =
+      (data.rows() + config.block_vectors - 1) / config.block_vectors;
+
+  mrmpi::MapReduceConfig mr_config;
+  mr_config.map_style = config.map_style;
+  mrmpi::MapReduce mr(comm, mr_config);
+
+  const double per_vector_cost =
+      config.flop_seconds * static_cast<double>(dim) * static_cast<double>(cells);
+
+  for (std::size_t epoch = 0; epoch < config.params.epochs; ++epoch) {
+    // Fig. 2: "The copy of the codebook is distributed with MPI_Broadcast()
+    // from the master to all worker nodes at the start of each epoch."
+    std::vector<float> weights(cells * dim);
+    if (comm.rank() == 0) {
+      std::copy(cb.weights().data(), cb.weights().data() + weights.size(), weights.begin());
+    }
+    comm.bcast(weights, 0);
+    std::copy(weights.begin(), weights.end(), cb.weights().data());
+
+    const double sigma = som::sigma_at(config.params, grid, epoch);
+    som::BatchAccumulator acc(grid, dim);
+    double local_qerr = 0.0;
+
+    mr.map(nblocks, [&](std::uint64_t block, mrmpi::KeyValue&) {
+      const std::size_t first = static_cast<std::size_t>(block) * config.block_vectors;
+      const std::size_t count = std::min(config.block_vectors, data.rows() - first);
+      for (std::size_t r = first; r < first + count; ++r) {
+        local_qerr += acc.add(cb, data.row(r), sigma, config.params.kernel);
+      }
+      if (per_vector_cost > 0.0) {
+        comm.compute(per_vector_cost * static_cast<double>(count));
+      }
+    });
+
+    // Fig. 2: "a collective MPI_Reduce() call is used to sum all newly
+    // computed numerators and denominators" -- direct MPI, no reduce().
+    std::vector<float> packed(acc.numerator().size() + acc.denominator().size());
+    std::copy(acc.numerator().begin(), acc.numerator().end(), packed.begin());
+    std::copy(acc.denominator().begin(), acc.denominator().end(),
+              packed.begin() + static_cast<std::ptrdiff_t>(acc.numerator().size()));
+    comm.reduce(packed, mpi::ReduceOp::Sum, 0);
+    std::vector<double> qerr_buf{local_qerr};
+    comm.reduce(qerr_buf, mpi::ReduceOp::Sum, 0);
+
+    if (comm.rank() == 0) {
+      som::BatchAccumulator total(grid, dim);
+      std::copy(packed.begin(), packed.begin() + static_cast<std::ptrdiff_t>(cells * dim),
+                total.numerator().begin());
+      std::copy(packed.begin() + static_cast<std::ptrdiff_t>(cells * dim), packed.end(),
+                total.denominator().begin());
+      total.apply(cb);
+      if (config.on_epoch) {
+        config.on_epoch(epoch, sigma,
+                        data.rows() > 0 ? qerr_buf[0] / static_cast<double>(data.rows())
+                                        : 0.0);
+      }
+    }
+  }
+
+  // Leave every rank with the final codebook.
+  std::vector<float> weights(cells * dim);
+  if (comm.rank() == 0) {
+    std::copy(cb.weights().data(), cb.weights().data() + weights.size(), weights.begin());
+  }
+  comm.bcast(weights, 0);
+  std::copy(weights.begin(), weights.end(), cb.weights().data());
+  return cb;
+}
+
+SimSomStats run_som_sim(mpi::Comm& comm, const SimSomConfig& config) {
+  MRBIO_REQUIRE(config.block_vectors > 0, "block_vectors must be positive");
+  const std::size_t cells = config.grid.cells();
+  const std::uint64_t nblocks =
+      (config.num_vectors + config.block_vectors - 1) / config.block_vectors;
+  const std::uint64_t codebook_bytes =
+      static_cast<std::uint64_t>(cells) * config.dim * sizeof(float);
+  // The reduction ships numerator (cells x dim) plus denominator (cells).
+  const std::uint64_t accum_bytes =
+      codebook_bytes + static_cast<std::uint64_t>(cells) * sizeof(float);
+  const double per_vector_cost =
+      config.flop_seconds * static_cast<double>(config.dim) * static_cast<double>(cells);
+
+  mrmpi::MapReduceConfig mr_config;
+  mr_config.map_style = config.map_style;
+  mrmpi::MapReduce mr(comm, mr_config);
+
+  SimSomStats stats;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Multi-megabyte codebook: pipelined collective model (see comm.hpp).
+    comm.bcast_phantom_pipelined(codebook_bytes, 0);
+    mr.map(nblocks, [&](std::uint64_t block, mrmpi::KeyValue&) {
+      const std::uint64_t first = block * config.block_vectors;
+      const std::uint64_t count =
+          std::min<std::uint64_t>(config.block_vectors, config.num_vectors - first);
+      const double cost = per_vector_cost * static_cast<double>(count);
+      comm.compute(cost);
+      stats.compute_seconds += cost;
+      ++stats.blocks_processed;
+    });
+    comm.reduce_phantom_pipelined(
+        accum_bytes, 0, static_cast<double>(accum_bytes) * config.combine_seconds_per_byte);
+    // Master applies Eq. 5 over the full codebook.
+    if (comm.rank() == 0) {
+      comm.compute(static_cast<double>(cells) * static_cast<double>(config.dim) *
+                   config.flop_seconds);
+    }
+  }
+  return stats;
+}
+
+}  // namespace mrbio::mrsom

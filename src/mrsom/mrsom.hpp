@@ -1,0 +1,68 @@
+// MR-MPI batch SOM: the paper's second application (Section III-B, Fig. 2).
+//
+// Per epoch: the codebook is broadcast from the master to all workers;
+// the input-vector set is split into blocks that form the map() work
+// units; each map() call accumulates the numerator and denominator of
+// Eq. 5 into its rank's accumulator; at the epoch end a direct MPI
+// reduction sums the accumulators on the master, which computes the new
+// codebook. No MapReduce reduce() stage is used ("a mix of MapReduce-MPI
+// and direct MPI calls").
+//
+// train_som_mr is the functional driver (real data, every rank returns the
+// trained codebook); run_som_sim is the paper-scale driver behind the
+// Fig. 6 scaling benchmark (analytic compute costs, phantom collectives of
+// codebook-sized messages).
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.hpp"
+#include "mpi/comm.hpp"
+#include "mrmpi/mapreduce.hpp"
+#include "som/som.hpp"
+
+namespace mrbio::mrsom {
+
+struct ParallelSomConfig {
+  som::SomParams params;
+  std::size_t block_vectors = 40;  ///< input vectors per work unit (Fig. 6)
+  mrmpi::MapStyle map_style = mrmpi::MapStyle::MasterWorker;
+  /// Modeled seconds per (input-dim x map-cell) multiply-accumulate; used
+  /// to charge virtual compute for real runs so timing stays meaningful.
+  double flop_seconds = 0.0;
+  /// Progress callback on the master rank.
+  som::EpochCallback on_epoch = nullptr;
+};
+
+/// Collective: trains on `data` (visible to all ranks via shared memory,
+/// standing in for the paper's memory-mapped file on a shared filesystem).
+/// `initial` is the epoch-0 codebook on the master; other ranks may pass a
+/// same-shaped codebook which is overwritten by broadcast. Every rank
+/// returns the final codebook.
+som::Codebook train_som_mr(mpi::Comm& comm, const MatrixView& data,
+                           const som::Codebook& initial, const ParallelSomConfig& config);
+
+struct SimSomConfig {
+  std::uint64_t num_vectors = 81'920;  ///< the paper's Fig. 6 dataset
+  std::size_t dim = 256;
+  som::SomGrid grid{50, 50};
+  std::size_t epochs = 10;
+  std::size_t block_vectors = 40;
+  mrmpi::MapStyle map_style = mrmpi::MapStyle::MasterWorker;
+  /// Seconds per (dim x cell) pair per input vector. The default yields
+  /// roughly minutes-per-epoch serial times at the paper's dimensions
+  /// (Ranger-era Barcelona cores), matching the magnitudes of Fig. 6.
+  double flop_seconds = 4.0e-9;
+  /// Seconds to combine one byte in the accumulator reduction.
+  double combine_seconds_per_byte = 2.5e-10;
+};
+
+struct SimSomStats {
+  double compute_seconds = 0.0;  ///< useful accumulate time on this rank
+  std::uint64_t blocks_processed = 0;
+};
+
+/// Collective; virtual elapsed time is read from the engine by the caller.
+SimSomStats run_som_sim(mpi::Comm& comm, const SimSomConfig& config);
+
+}  // namespace mrbio::mrsom

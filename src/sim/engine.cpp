@@ -1,0 +1,407 @@
+#include "sim/engine.hpp"
+
+#include <pthread.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mrbio::sim {
+
+namespace {
+
+/// Thrown inside rank code when the run is being torn down (another rank
+/// failed or a deadlock was detected). Caught by the rank trampoline.
+struct SimAborted {};
+
+struct MailboxEntry {
+  Message msg;
+  std::uint64_t seq = 0;  ///< global send sequence, for deterministic ties
+};
+
+bool matches(const MailboxEntry& e, int want_src, int want_tag) {
+  return (want_src == Process::kAnySource || e.msg.source == want_src) &&
+         (want_tag == Process::kAnyTag || e.msg.tag == want_tag);
+}
+
+/// Ordering of deliveries and matches: arrival time, then send sequence.
+bool earlier(const MailboxEntry& a, const MailboxEntry& b) {
+  if (a.msg.arrival != b.msg.arrival) return a.msg.arrival < b.msg.arrival;
+  return a.seq < b.seq;
+}
+
+struct InFlight {
+  double arrival = 0.0;
+  std::uint64_t seq = 0;
+  int dst = -1;
+  Message msg;
+};
+
+struct InFlightLater {
+  bool operator()(const InFlight& a, const InFlight& b) const {
+    if (a.arrival != b.arrival) return a.arrival > b.arrival;
+    return a.seq > b.seq;
+  }
+};
+
+enum class State { NotStarted, Runnable, Running, BlockedRecv, Finished };
+
+}  // namespace
+
+struct Engine::Impl {
+  struct Pcb {
+    Process proc;
+    pthread_t thread{};
+    bool thread_started = false;
+    State state = State::NotStarted;
+    std::condition_variable cv;
+    bool run_granted = false;
+
+    // Pending blocking receive, valid while state == BlockedRecv.
+    int want_src = Process::kAnySource;
+    int want_tag = Process::kAnyTag;
+    double recv_post_time = 0.0;
+    std::optional<MailboxEntry> handed;  ///< message handed to a woken receiver
+
+    std::deque<MailboxEntry> mailbox;  ///< delivered, unmatched; arrival-sorted
+    std::exception_ptr error;
+    double final_time = 0.0;
+  };
+
+  explicit Impl(const EngineConfig& config)
+      : cfg(config),
+        pcbs(config.nprocs),
+        channel_last(static_cast<std::size_t>(config.nprocs) *
+                     static_cast<std::size_t>(config.nprocs)) {}
+
+  EngineConfig cfg;
+  std::mutex mutex;
+  std::condition_variable sched_cv;
+  std::vector<Pcb> pcbs;
+  std::priority_queue<InFlight, std::vector<InFlight>, InFlightLater> events;
+  /// Last arrival time per (src, dst) channel; enforces FIFO (non-overtaking)
+  /// delivery so a small message cannot pass a large one on the same channel.
+  std::vector<double> channel_last;
+  std::uint64_t send_seq = 0;
+  int finished = 0;
+  bool aborted = false;
+  bool ran = false;
+  const std::function<void(Process&)>* body = nullptr;
+  EngineStats stats;
+  std::vector<double> final_times;
+
+  // ---- helpers, all called with `mutex` held ----
+
+  void insert_mailbox(Pcb& pcb, MailboxEntry entry) {
+    // Deliveries already happen in (arrival, seq) order, so append is
+    // almost always correct; keep the invariant explicit anyway.
+    auto it = std::upper_bound(pcb.mailbox.begin(), pcb.mailbox.end(), entry,
+                               [](const MailboxEntry& a, const MailboxEntry& b) {
+                                 return earlier(a, b);
+                               });
+    pcb.mailbox.insert(it, std::move(entry));
+  }
+
+  void deliver(InFlight event) {
+    Pcb& dst = pcbs[static_cast<std::size_t>(event.dst)];
+    stats.messages += 1;
+    stats.payload_bytes += event.msg.payload.size();
+    stats.nominal_bytes += event.msg.nominal_bytes;
+    MailboxEntry entry{std::move(event.msg), event.seq};
+    if (dst.state == State::BlockedRecv && matches(entry, dst.want_src, dst.want_tag)) {
+      dst.proc.vtime_ = std::max(dst.recv_post_time, entry.msg.arrival) + cfg.net.recv_overhead;
+      dst.handed = std::move(entry);
+      dst.state = State::Runnable;
+    } else {
+      insert_mailbox(dst, std::move(entry));
+    }
+  }
+
+  /// Delivers every in-flight message with arrival <= `horizon`.
+  void drain_events_until(double horizon) {
+    while (!events.empty() && events.top().arrival <= horizon) {
+      InFlight ev = events.top();
+      events.pop();
+      deliver(std::move(ev));
+    }
+  }
+
+  int pick_runnable() const {
+    int best = -1;
+    for (int i = 0; i < cfg.nprocs; ++i) {
+      const Pcb& p = pcbs[static_cast<std::size_t>(i)];
+      if (p.state != State::Runnable && p.state != State::NotStarted) continue;
+      if (best < 0 || p.proc.vtime_ < pcbs[static_cast<std::size_t>(best)].proc.vtime_) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  void abort_blocked_ranks() {
+    aborted = true;
+    for (auto& pcb : pcbs) {
+      if (pcb.state == State::BlockedRecv) {
+        pcb.state = State::Runnable;  // will observe `aborted` and unwind
+      }
+    }
+  }
+
+  std::string blocked_report() const {
+    std::ostringstream os;
+    for (int i = 0; i < cfg.nprocs; ++i) {
+      const Pcb& p = pcbs[static_cast<std::size_t>(i)];
+      if (p.state == State::BlockedRecv) {
+        os << " rank " << i << " recv(src=" << p.want_src << ", tag=" << p.want_tag
+           << ") since t=" << p.recv_post_time << ";";
+      }
+    }
+    return os.str();
+  }
+
+  /// Scheduler side: hands the CPU to `pid` and waits for it to yield back.
+  void grant(int pid, std::unique_lock<std::mutex>& lock) {
+    Pcb& pcb = pcbs[static_cast<std::size_t>(pid)];
+    pcb.state = State::Running;
+    pcb.run_granted = true;
+    pcb.cv.notify_one();
+    sched_cv.wait(lock, [&] { return pcb.state != State::Running; });
+  }
+
+  /// Process side: yields back to the scheduler and waits to be re-granted.
+  /// `state` must already be set to a non-Running value by the caller.
+  void yield_and_wait(Pcb& pcb, std::unique_lock<std::mutex>& lock) {
+    sched_cv.notify_one();
+    pcb.cv.wait(lock, [&] { return pcb.run_granted; });
+    pcb.run_granted = false;
+  }
+
+  void finish_rank(Pcb& pcb, std::exception_ptr error) {
+    std::unique_lock<std::mutex> lock(mutex);
+    pcb.state = State::Finished;
+    pcb.final_time = pcb.proc.vtime_;
+    if (error) pcb.error = error;
+    ++finished;
+    sched_cv.notify_one();
+  }
+
+  void check_abort(const Pcb& pcb) const {
+    if (aborted && pcb.state != State::Finished) throw SimAborted{};
+  }
+
+  struct Trampoline {
+    Impl* impl;
+    Pcb* pcb;
+  };
+
+  static void* rank_main(void* arg) {
+    std::unique_ptr<Trampoline> t(static_cast<Trampoline*>(arg));
+    Impl& impl = *t->impl;
+    Pcb& pcb = *t->pcb;
+    {
+      // Wait for the first grant before touching any shared state.
+      std::unique_lock<std::mutex> lock(impl.mutex);
+      pcb.cv.wait(lock, [&] { return pcb.run_granted; });
+      pcb.run_granted = false;
+    }
+    std::exception_ptr error;
+    try {
+      if (impl.aborted) throw SimAborted{};
+      (*impl.body)(pcb.proc);
+    } catch (const SimAborted&) {
+      // Teardown in progress; not this rank's failure.
+    } catch (...) {
+      error = std::current_exception();
+    }
+    impl.finish_rank(pcb, error);
+    return nullptr;
+  }
+};
+
+Engine::Engine(EngineConfig config) : config_(config) {
+  MRBIO_REQUIRE(config.nprocs >= 1, "Engine needs at least 1 process, got ", config.nprocs);
+  MRBIO_REQUIRE(config.net.latency >= 0 && config.net.byte_time >= 0 &&
+                    config.net.send_overhead >= 0 && config.net.recv_overhead >= 0,
+                "network model times must be non-negative");
+  impl_ = std::make_unique<Impl>(config_);
+  for (int i = 0; i < config_.nprocs; ++i) {
+    auto& pcb = impl_->pcbs[static_cast<std::size_t>(i)];
+    pcb.proc.engine_ = this;
+    pcb.proc.rank_ = i;
+  }
+}
+
+Engine::~Engine() {
+  // run() joins all threads before returning, including on error paths, so
+  // nothing to clean up here beyond member destruction.
+}
+
+void Engine::run(const std::function<void(Process&)>& body) {
+  MRBIO_CHECK(!impl_->ran, "Engine::run may only be called once");
+  impl_->ran = true;
+  impl_->body = &body;
+
+  pthread_attr_t attr;
+  pthread_attr_init(&attr);
+  const std::size_t stack = std::max<std::size_t>(config_.stack_bytes, 128 * 1024);
+  pthread_attr_setstacksize(&attr, stack);
+  for (int i = 0; i < config_.nprocs; ++i) {
+    auto& pcb = impl_->pcbs[static_cast<std::size_t>(i)];
+    auto* t = new Impl::Trampoline{impl_.get(), &pcb};
+    const int rc = pthread_create(&pcb.thread, &attr, &Impl::rank_main, t);
+    if (rc != 0) {
+      delete t;
+      pthread_attr_destroy(&attr);
+      throw Error(format_msg("pthread_create failed for rank ", i, " (rc=", rc, ")"));
+    }
+    pcb.thread_started = true;
+  }
+  pthread_attr_destroy(&attr);
+
+  std::string deadlock_msg;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    while (impl_->finished < config_.nprocs) {
+      const int pid = impl_->pick_runnable();
+      const bool have_event = !impl_->events.empty();
+      if (pid < 0 && !have_event) {
+        deadlock_msg = impl_->blocked_report();
+        impl_->abort_blocked_ranks();
+        continue;
+      }
+      const double proc_time =
+          pid >= 0 ? impl_->pcbs[static_cast<std::size_t>(pid)].proc.vtime_ : 0.0;
+      if (have_event && (pid < 0 || impl_->events.top().arrival <= proc_time)) {
+        InFlight ev = impl_->events.top();
+        impl_->events.pop();
+        impl_->deliver(std::move(ev));
+        continue;
+      }
+      impl_->grant(pid, lock);
+    }
+  }
+
+  for (auto& pcb : impl_->pcbs) {
+    if (pcb.thread_started) pthread_join(pcb.thread, nullptr);
+  }
+
+  impl_->final_times.resize(static_cast<std::size_t>(config_.nprocs));
+  for (int i = 0; i < config_.nprocs; ++i) {
+    impl_->final_times[static_cast<std::size_t>(i)] =
+        impl_->pcbs[static_cast<std::size_t>(i)].final_time;
+  }
+
+  for (const auto& pcb : impl_->pcbs) {
+    if (pcb.error) std::rethrow_exception(pcb.error);
+  }
+  if (!deadlock_msg.empty()) {
+    throw LogicError("simulation deadlock:" + deadlock_msg);
+  }
+}
+
+double Engine::elapsed() const {
+  double t = 0.0;
+  for (double ft : impl_->final_times) t = std::max(t, ft);
+  return t;
+}
+
+const std::vector<double>& Engine::final_times() const { return impl_->final_times; }
+
+const EngineStats& Engine::stats() const { return impl_->stats; }
+
+// ---- Process methods (run on rank threads) ----
+
+int Process::size() const { return engine_->config().nprocs; }
+
+const NetworkModel& Process::net() const { return engine_->config().net; }
+
+void Process::compute(double seconds) {
+  MRBIO_REQUIRE(seconds >= 0.0, "compute() needs non-negative time, got ", seconds);
+  auto& impl = *engine_->impl_;
+  std::unique_lock<std::mutex> lock(impl.mutex);
+  auto& pcb = impl.pcbs[static_cast<std::size_t>(rank_)];
+  impl.check_abort(pcb);
+  vtime_ += seconds;
+  impl.stats.total_compute += seconds;
+}
+
+void Process::send(int dst, int tag, std::vector<std::byte> payload) {
+  const auto n = static_cast<std::uint64_t>(payload.size());
+  send(dst, tag, std::move(payload), n);
+}
+
+void Process::send(int dst, int tag, std::vector<std::byte> payload,
+                   std::uint64_t nominal_bytes) {
+  auto& impl = *engine_->impl_;
+  std::unique_lock<std::mutex> lock(impl.mutex);
+  MRBIO_REQUIRE(dst >= 0 && dst < engine_->config().nprocs, "send to invalid rank ", dst);
+  auto& pcb = impl.pcbs[static_cast<std::size_t>(rank_)];
+  impl.check_abort(pcb);
+  const auto& net = impl.cfg.net;
+  Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.sent = vtime_;
+  msg.nominal_bytes = nominal_bytes;
+  msg.arrival = vtime_ + net.latency + static_cast<double>(nominal_bytes) * net.byte_time;
+  double& channel = impl.channel_last[static_cast<std::size_t>(rank_) *
+                                          static_cast<std::size_t>(engine_->config().nprocs) +
+                                      static_cast<std::size_t>(dst)];
+  msg.arrival = std::max(msg.arrival, channel);
+  channel = msg.arrival;
+  msg.payload = std::move(payload);
+  const std::uint64_t seq = ++impl.send_seq;
+  impl.events.push(InFlight{msg.arrival, seq, dst, std::move(msg)});
+  vtime_ += net.send_overhead;
+}
+
+Message Process::recv(int src, int tag) {
+  auto& impl = *engine_->impl_;
+  std::unique_lock<std::mutex> lock(impl.mutex);
+  auto& pcb = impl.pcbs[static_cast<std::size_t>(rank_)];
+  impl.check_abort(pcb);
+
+  // Messages already delivered to the mailbox arrived no later than this
+  // rank's current time, so the earliest match completes immediately.
+  for (auto it = pcb.mailbox.begin(); it != pcb.mailbox.end(); ++it) {
+    if (matches(*it, src, tag)) {
+      Message out = std::move(it->msg);
+      pcb.mailbox.erase(it);
+      vtime_ = std::max(vtime_, out.arrival) + impl.cfg.net.recv_overhead;
+      return out;
+    }
+  }
+
+  pcb.want_src = src;
+  pcb.want_tag = tag;
+  pcb.recv_post_time = vtime_;
+  pcb.state = State::BlockedRecv;
+  impl.yield_and_wait(pcb, lock);
+  impl.check_abort(pcb);
+  MRBIO_CHECK(pcb.handed.has_value(), "rank ", rank_, " woken from recv without a message");
+  Message out = std::move(pcb.handed->msg);
+  pcb.handed.reset();
+  return out;
+}
+
+bool Process::has_message(int src, int tag) const {
+  auto& impl = *engine_->impl_;
+  std::unique_lock<std::mutex> lock(impl.mutex);
+  auto& pcb = impl.pcbs[static_cast<std::size_t>(rank_)];
+  impl.check_abort(pcb);
+  // Make everything that should have arrived by now visible first.
+  impl.drain_events_until(vtime_);
+  for (const auto& entry : pcb.mailbox) {
+    if (matches(entry, src, tag)) return true;
+  }
+  return false;
+}
+
+}  // namespace mrbio::sim

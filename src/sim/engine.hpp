@@ -1,0 +1,131 @@
+// Deterministic discrete-event simulation of a message-passing machine.
+//
+// The paper's experiments ran on up to 1024 cores of TACC Ranger. This
+// engine substitutes for that cluster: every simulated process (rank) runs
+// real application code on its own thread, but threads execute one at a
+// time under a conservative scheduler that always resumes the runnable
+// process with the smallest (virtual time, rank). Communication advances
+// virtual time through an alpha-beta network model. The result is a
+// bit-reproducible virtual-time trace for any simulated core count,
+// independent of the host's real parallelism.
+//
+// Timing model
+//   send:  the message's arrival time is sender_now + latency +
+//          nominal_bytes * byte_time; the sender then advances by
+//          send_overhead (eager buffered send, never blocks).
+//   recv:  completes at max(post_time, arrival) + recv_overhead.
+//   Messages are matched strictly in arrival order (ties broken by sender
+//   rank, then send sequence), including MPI_ANY_SOURCE-style wildcards.
+//
+// Causality: the scheduler interleaves process execution with message
+// delivery events in global virtual-time order, so a receive can never
+// match a message "from the future" while an earlier one is still unsent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace mrbio::sim {
+
+/// Network cost parameters (seconds). Defaults approximate an Infiniband
+/// DDR fabric of the Ranger era: ~2 us latency, ~1 GB/s point-to-point.
+struct NetworkModel {
+  double latency = 2e-6;        ///< per-message latency (alpha)
+  double byte_time = 1e-9;      ///< per-byte transfer time (beta = 1/bandwidth)
+  double send_overhead = 5e-7;  ///< CPU time charged to the sender
+  double recv_overhead = 5e-7;  ///< CPU time charged to the receiver
+};
+
+struct EngineConfig {
+  int nprocs = 1;
+  NetworkModel net;
+  std::size_t stack_bytes = 1 << 20;  ///< stack per simulated process
+};
+
+/// Aggregate counters collected over a run.
+struct EngineStats {
+  std::uint64_t messages = 0;       ///< point-to-point messages delivered
+  std::uint64_t payload_bytes = 0;  ///< real payload bytes moved
+  std::uint64_t nominal_bytes = 0;  ///< modeled bytes (timing-relevant)
+  double total_compute = 0.0;       ///< sum of compute() seconds, all ranks
+};
+
+class Engine;
+
+/// Handle through which application code running inside a simulated rank
+/// interacts with the virtual machine. Passed by reference to the process
+/// body; never stored beyond the body's lifetime.
+class Process {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Current virtual time of this rank, in seconds.
+  double now() const { return vtime_; }
+
+  /// Advances this rank's clock by `seconds` of modeled computation.
+  void compute(double seconds);
+
+  /// Sends `payload` to rank `dst`. `nominal_bytes` is the byte count used
+  /// by the timing model; it defaults to the real payload size but may
+  /// differ when simulating paper-scale transfers with token payloads.
+  void send(int dst, int tag, std::vector<std::byte> payload);
+  void send(int dst, int tag, std::vector<std::byte> payload, std::uint64_t nominal_bytes);
+
+  /// Blocking receive. src = kAnySource and tag = kAnyTag act as wildcards.
+  /// Messages match in arrival-time order.
+  Message recv(int src = kAnySource, int tag = kAnyTag);
+
+  /// True if a matching message has already arrived (non-blocking probe).
+  bool has_message(int src = kAnySource, int tag = kAnyTag) const;
+
+  /// The network cost model of the owning engine.
+  const NetworkModel& net() const;
+
+  static constexpr int kAnySource = -1;
+  static constexpr int kAnyTag = -1;
+
+ private:
+  friend class Engine;
+  Engine* engine_ = nullptr;
+  int rank_ = -1;
+  double vtime_ = 0.0;
+};
+
+/// Owns the simulated machine. Construct, call run() once, then read
+/// elapsed()/stats(). A fresh Engine is required per run.
+class Engine {
+ public:
+  explicit Engine(EngineConfig config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executes `body` on every rank to completion. Rethrows the first
+  /// exception (by rank order) raised inside any rank. Throws
+  /// mrbio::LogicError on deadlock (all ranks blocked, no events pending).
+  void run(const std::function<void(Process&)>& body);
+
+  /// Virtual wall-clock of the run: max over ranks of their final time.
+  double elapsed() const;
+
+  /// Per-rank final virtual times.
+  const std::vector<double>& final_times() const;
+
+  const EngineStats& stats() const;
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  friend class Process;
+  struct Impl;
+  EngineConfig config_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mrbio::sim

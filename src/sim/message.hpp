@@ -1,0 +1,19 @@
+// Message record exchanged between simulated processes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mrbio::sim {
+
+struct Message {
+  int source = -1;
+  int tag = -1;
+  double sent = 0.0;     ///< virtual time the send was issued
+  double arrival = 0.0;  ///< virtual time the message reached the receiver
+  std::uint64_t nominal_bytes = 0;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace mrbio::sim

@@ -1,0 +1,167 @@
+// Self-Organizing Map: serial reference implementation of the paper's
+// Section II-D, both the classic "online" formulation (Eqs. 1-4) and the
+// "batch" formulation (Eq. 5) that the parallel implementation builds on.
+//
+// A map is a rows x cols grid of neurons, each carrying an n-dimensional
+// weight vector ("code-vector"); the full weight matrix is the codebook.
+// Batch training accumulates, for every neuron j, the numerator
+// sum_t h_{b(t) j} x(t) and denominator sum_t h_{b(t) j} over an epoch
+// (b(t) = BMU of input t) and replaces the codebook at the epoch end --
+// exactly the two arrays the paper's map() tasks accumulate and
+// MPI_Reduce() sums.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace mrbio::som {
+
+/// Grid layouts: rectangular lattice or hexagonal (odd rows shifted half a
+/// cell, unit spacing between adjacent cells).
+enum class GridTopology { Rectangular, Hexagonal };
+
+/// Map geometry. `toroidal` wraps both axes (no map border), a common
+/// option for avoiding edge effects on large maps.
+struct SomGrid {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  GridTopology topology = GridTopology::Rectangular;
+  bool toroidal = false;
+
+  std::size_t cells() const { return rows * cols; }
+  std::size_t row_of(std::size_t cell) const { return cell / cols; }
+  std::size_t col_of(std::size_t cell) const { return cell % cols; }
+  /// Squared Euclidean distance between two cells in map coordinates
+  /// (topology- and wrap-aware).
+  double grid_dist2(std::size_t a, std::size_t b) const;
+  /// True if the two cells are lattice neighbours (4-neighbourhood on the
+  /// rectangular grid, 6-neighbourhood on the hexagonal one).
+  bool adjacent(std::size_t a, std::size_t b) const;
+};
+
+/// Neighbourhood kernels: the paper's Gaussian (Eq. 4) and the classic
+/// bubble (1 within sigma, 0 outside).
+enum class Kernel { Gaussian, Bubble };
+
+/// The codebook: one weight vector per grid cell, row-major by cell index.
+class Codebook {
+ public:
+  Codebook() = default;
+  Codebook(SomGrid grid, std::size_t dim);
+
+  const SomGrid& grid() const { return grid_; }
+  std::size_t dim() const { return dim_; }
+  std::span<float> vector(std::size_t cell) { return weights_.row(cell); }
+  std::span<const float> vector(std::size_t cell) const { return weights_.row(cell); }
+  Matrix& weights() { return weights_; }
+  const Matrix& weights() const { return weights_; }
+
+  /// Uniform random initialization in [lo, hi).
+  void init_random(Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+  /// Linear initialization spanning the plane of the data's two principal
+  /// components (the paper's "linearly generated from the first two PCA
+  /// eigen-vectors").
+  void init_pca(const MatrixView& data);
+
+ private:
+  SomGrid grid_;
+  std::size_t dim_ = 0;
+  Matrix weights_;
+};
+
+/// Squared Euclidean distance between an input and a code vector (Eq. 1).
+double dist2(std::span<const float> a, std::span<const float> b);
+
+/// Best Matching Unit (Eq. 2). Ties break to the lowest cell index so runs
+/// are reproducible (the paper breaks ties randomly).
+std::size_t find_bmu(const Codebook& cb, std::span<const float> x);
+
+/// BMU plus the runner-up, for the topographic error metric.
+std::pair<std::size_t, std::size_t> find_bmu2(const Codebook& cb, std::span<const float> x);
+
+/// Neighbourhood h_{bj} of width sigma (Eq. 4 for the Gaussian kernel).
+double neighborhood(const SomGrid& grid, std::size_t bmu, std::size_t j, double sigma,
+                    Kernel kernel = Kernel::Gaussian);
+
+/// Training schedule shared by batch and online training.
+struct SomParams {
+  std::size_t epochs = 10;
+  double sigma_start = 0.0;  ///< 0 = max(rows, cols) / 2, the paper's start
+  double sigma_end = 1.0;    ///< "width of a single cell"
+  double alpha_start = 0.5;  ///< online learning rate, decays linearly
+  double alpha_end = 0.01;
+  Kernel kernel = Kernel::Gaussian;
+};
+
+/// sigma(t) for epoch t of `epochs` (exponential decay start -> end).
+double sigma_at(const SomParams& params, const SomGrid& grid, std::size_t epoch);
+
+/// Per-neuron accumulators of Eq. 5 for one epoch. add() may be called
+/// from disjoint data shards and merged, which is exactly the parallel
+/// decomposition of the paper's Fig. 2.
+class BatchAccumulator {
+ public:
+  BatchAccumulator(SomGrid grid, std::size_t dim);
+
+  /// Accumulates one input vector with the given neighbourhood width.
+  /// Returns the BMU's squared distance (for quantization-error tracking).
+  double add(const Codebook& cb, std::span<const float> x, double sigma,
+             Kernel kernel = Kernel::Gaussian);
+
+  /// Element-wise merge of another shard's accumulators.
+  void merge(const BatchAccumulator& other);
+
+  /// Applies Eq. 5, writing new weights into `cb`. Neurons with zero
+  /// denominator keep their previous weights.
+  void apply(Codebook& cb) const;
+
+  std::span<const float> numerator() const { return {num_.data(), num_.size()}; }
+  std::span<const float> denominator() const { return denom_; }
+  std::span<float> numerator() { return {num_.data(), num_.size()}; }
+  std::span<float> denominator() { return denom_; }
+
+ private:
+  SomGrid grid_;
+  std::size_t dim_;
+  Matrix num_;                ///< cells x dim
+  std::vector<float> denom_;  ///< cells
+};
+
+/// Progress callback: (epoch, sigma, mean quantization error).
+using EpochCallback = std::function<void(std::size_t, double, double)>;
+
+/// Serial batch training (the reference the parallel version must match).
+void train_batch(Codebook& cb, const MatrixView& data, const SomParams& params,
+                 const EpochCallback& on_epoch = nullptr);
+
+/// Serial online training (Eqs. 1-4), the classic baseline.
+void train_online(Codebook& cb, const MatrixView& data, const SomParams& params, Rng& rng);
+
+/// U-matrix: per-cell mean distance to grid neighbours; ridge structure
+/// visualizes cluster boundaries (Figs. 7-8).
+Matrix u_matrix(const Codebook& cb);
+
+/// Mean distance of each input to its BMU.
+double quantization_error(const Codebook& cb, const MatrixView& data);
+
+/// Fraction of inputs whose first and second BMU are not grid neighbours.
+double topographic_error(const Codebook& cb, const MatrixView& data);
+
+/// Renders a 3-D codebook as an RGB image (cols = 3 * grid cols), clamping
+/// weights to [0,1]; the paper's Fig. 7 visual check.
+Matrix codebook_rgb(const Codebook& cb);
+
+/// Component plane: the value of one weight dimension across the map, the
+/// classic per-feature SOM visualization (render with write_pgm).
+Matrix component_plane(const Codebook& cb, std::size_t dimension);
+
+/// Binary codebook persistence (magic + grid dims + topology + weights).
+void save_codebook(const std::string& path, const Codebook& cb);
+Codebook load_codebook(const std::string& path);
+
+}  // namespace mrbio::som

@@ -1,0 +1,134 @@
+#include "workload/blast_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mrbio::workload {
+
+BlastWorkloadConfig protein_workload_config() {
+  BlastWorkloadConfig c;
+  c.total_queries = 139'846;
+  c.queries_per_block = 500;
+  c.db_partitions = 58;
+  c.partition_bytes = 200ull << 20;  // 200K protein seqs per partition
+  // Protein search is far more CPU-bound: remote homologies mean many more
+  // candidate extensions per database residue. ~2.2 s per query per
+  // partition reproduces the paper's 294-minute wall clock at 1024 cores.
+  c.mean_seconds_per_query = 2.2;
+  c.lognormal_sigma = 0.3;
+  c.outlier_prob = 0.0005;
+  c.outlier_factor = 2.5;
+  c.cold_load_seconds = 1.5;
+  c.warm_load_seconds = 0.1;
+  c.hits_per_query = 20.0;
+  c.seed = 4321;
+  return c;
+}
+
+BlastWorkload::BlastWorkload(BlastWorkloadConfig config) : config_(std::move(config)) {
+  MRBIO_REQUIRE(config_.total_queries > 0 && config_.queries_per_block > 0 &&
+                    config_.db_partitions > 0,
+                "empty BLAST workload");
+  MRBIO_REQUIRE(config_.lognormal_sigma >= 0.0, "negative lognormal sigma");
+  if (config_.block_sizes.empty()) {
+    num_blocks_ = (config_.total_queries + config_.queries_per_block - 1) /
+                  config_.queries_per_block;
+  } else {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t b : config_.block_sizes) {
+      MRBIO_REQUIRE(b > 0, "empty query block in schedule");
+      sum += b;
+    }
+    MRBIO_REQUIRE(sum == config_.total_queries, "block schedule sums to ", sum,
+                  " but total_queries is ", config_.total_queries);
+    num_blocks_ = config_.block_sizes.size();
+  }
+}
+
+std::uint64_t BlastWorkload::block_queries(std::uint64_t block) const {
+  MRBIO_CHECK(block < num_blocks_, "block out of range");
+  if (!config_.block_sizes.empty()) {
+    return config_.block_sizes[static_cast<std::size_t>(block)];
+  }
+  if (block + 1 < num_blocks_) return config_.queries_per_block;
+  const std::uint64_t rem = config_.total_queries % config_.queries_per_block;
+  return rem == 0 ? config_.queries_per_block : rem;
+}
+
+double BlastWorkload::unit_compute_seconds(std::uint64_t unit) const {
+  MRBIO_CHECK(unit < num_units(), "unit out of range");
+  // Lognormal with mean mean_seconds_per_query * block_queries: choose
+  // mu = ln(mean) - sigma^2/2 so E[exp(N(mu, sigma))] equals the mean.
+  const double mean = config_.mean_seconds_per_query *
+                      static_cast<double>(block_queries(block_of(unit)));
+  const double sigma = config_.lognormal_sigma;
+  const double mu = std::log(mean) - 0.5 * sigma * sigma;
+  Rng rng(mix64(config_.seed ^ (unit * 0x9e3779b97f4a7c15ULL + 1)));
+  double cost = rng.lognormal(mu, sigma);
+  if (rng.uniform() < config_.outlier_prob) cost *= config_.outlier_factor;
+  return cost;
+}
+
+std::uint64_t BlastWorkload::unit_hits(std::uint64_t unit) const {
+  MRBIO_CHECK(unit < num_units(), "unit out of range");
+  // Hits are spread over partitions: a query's hits_per_query total splits
+  // across the db_partitions it is searched against, with noise.
+  const double mean = config_.hits_per_query *
+                      static_cast<double>(block_queries(block_of(unit))) /
+                      static_cast<double>(config_.db_partitions);
+  Rng rng(mix64(config_.seed ^ (unit * 0x2545f4914f6cdd1dULL + 2)));
+  const double n = rng.lognormal(std::log(std::max(mean, 0.5)), 0.5);
+  return static_cast<std::uint64_t>(std::max(0.0, std::round(n)));
+}
+
+double BlastWorkload::warm_fraction(int total_cores) const {
+  const double cluster_ram = static_cast<double>(config_.ram_bytes_per_core) *
+                             static_cast<double>(total_cores);
+  const double db_bytes = static_cast<double>(config_.partition_bytes) *
+                          static_cast<double>(config_.db_partitions);
+  return std::clamp(cluster_ram / db_bytes, 0.0, 1.0);
+}
+
+double BlastWorkload::load_seconds(std::uint64_t unit, int rank, int total_cores) const {
+  const double f = warm_fraction(total_cores);
+  Rng rng(mix64(config_.seed ^ mix64(unit * 1315423911ULL + static_cast<std::uint64_t>(rank))));
+  const bool warm = rng.uniform() < f;
+  return warm ? config_.warm_load_seconds : config_.cold_load_seconds;
+}
+
+void UtilizationTracker::add(int rank, double t0, double t1) {
+  MRBIO_REQUIRE(t1 >= t0, "utilization interval ends before it starts");
+  std::lock_guard<std::mutex> lock(mutex_);
+  intervals_.push_back({rank, t0, t1});
+}
+
+std::vector<double> UtilizationTracker::series(double bucket_seconds, int total_cores) const {
+  MRBIO_REQUIRE(bucket_seconds > 0.0 && total_cores > 0, "bad utilization series params");
+  std::lock_guard<std::mutex> lock(mutex_);
+  double horizon = 0.0;
+  for (const Interval& iv : intervals_) horizon = std::max(horizon, iv.t1);
+  const auto nbuckets = static_cast<std::size_t>(std::ceil(horizon / bucket_seconds));
+  std::vector<double> busy(nbuckets, 0.0);
+  for (const Interval& iv : intervals_) {
+    const auto first = static_cast<std::size_t>(iv.t0 / bucket_seconds);
+    for (std::size_t b = first; b < nbuckets; ++b) {
+      const double lo = static_cast<double>(b) * bucket_seconds;
+      const double hi = lo + bucket_seconds;
+      if (iv.t1 <= lo) break;
+      busy[b] += std::max(0.0, std::min(iv.t1, hi) - std::max(iv.t0, lo));
+    }
+  }
+  for (double& b : busy) b /= bucket_seconds * static_cast<double>(total_cores);
+  return busy;
+}
+
+double UtilizationTracker::total_busy_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0.0;
+  for (const Interval& iv : intervals_) total += iv.t1 - iv.t0;
+  return total;
+}
+
+}  // namespace mrbio::workload

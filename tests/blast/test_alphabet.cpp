@@ -1,0 +1,98 @@
+// Tests for alphabet encoding, complementation and 2-bit packing.
+#include "blast/alphabet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mrbio::blast {
+namespace {
+
+TEST(Alphabet, DnaEncodeDecodeRoundTrip) {
+  const auto codes = encode_dna("ACGTacgt");
+  ASSERT_EQ(codes.size(), 8u);
+  EXPECT_EQ(codes[0], 0);
+  EXPECT_EQ(codes[1], 1);
+  EXPECT_EQ(codes[2], 2);
+  EXPECT_EQ(codes[3], 3);
+  EXPECT_EQ(codes[4], 0);  // lowercase accepted
+  EXPECT_EQ(decode_dna(codes), "ACGTACGT");
+}
+
+TEST(Alphabet, DnaAmbiguityCodes) {
+  const auto codes = encode_dna("ANRYX-");
+  EXPECT_EQ(codes[0], 0);
+  for (std::size_t i = 1; i < codes.size(); ++i) EXPECT_EQ(codes[i], kDnaAmbig);
+  EXPECT_EQ(decode_dna(codes), "ANNNNN");
+}
+
+TEST(Alphabet, RnaUracilMapsToT) {
+  EXPECT_EQ(encode_dna("U")[0], 3);
+}
+
+TEST(Alphabet, ProteinEncodeDecodeRoundTrip) {
+  const std::string all = "ACDEFGHIKLMNPQRSTVWY";
+  const auto codes = encode_protein(all);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    EXPECT_EQ(codes[i], i) << "residue " << all[i];
+  }
+  EXPECT_EQ(decode_protein(codes), all);
+}
+
+TEST(Alphabet, ProteinNonStandardToAmbig) {
+  for (char c : {'B', 'Z', 'X', 'U', 'O', '*', 'J'}) {
+    EXPECT_EQ(encode_protein(std::string(1, c))[0], kProtAmbig) << c;
+  }
+}
+
+TEST(Alphabet, SentinelDistinctFromAllResidues) {
+  EXPECT_GE(kSentinel, kProtAlphabet + 1);
+  EXPECT_NE(kSentinel, kDnaAmbig);
+  EXPECT_NE(kSentinel, kProtAmbig);
+}
+
+TEST(Alphabet, ReverseComplement) {
+  const auto codes = encode_dna("AACGT");
+  const auto rc = reverse_complement(codes);
+  EXPECT_EQ(decode_dna(rc), "ACGTT");
+}
+
+TEST(Alphabet, ReverseComplementPreservesAmbiguity) {
+  const auto codes = encode_dna("ANT");
+  const auto rc = reverse_complement(codes);
+  EXPECT_EQ(decode_dna(rc), "ANT");  // A->T, N->N, T->A, then reversed
+}
+
+TEST(Alphabet, ReverseComplementInvolution) {
+  const auto codes = encode_dna("ACGTTGCAGTN");
+  EXPECT_EQ(reverse_complement(reverse_complement(codes)), codes);
+}
+
+TEST(Alphabet, Pack2BitRoundTrip) {
+  const auto codes = encode_dna("ACGTACGTACG");  // 11 bases, partial last byte
+  const auto packed = pack_2bit(codes);
+  EXPECT_EQ(packed.size(), 3u);
+  EXPECT_EQ(unpack_2bit(packed, 11), codes);
+}
+
+TEST(Alphabet, Pack2BitAmbiguityPacksAsA) {
+  const auto codes = encode_dna("NT");
+  const auto packed = pack_2bit(codes);
+  const auto unpacked = unpack_2bit(packed, 2);
+  EXPECT_EQ(unpacked[0], 0);  // N became A; caller restores via exceptions
+  EXPECT_EQ(unpacked[1], 3);
+}
+
+TEST(Alphabet, UnpackTooSmallBufferThrows) {
+  EXPECT_THROW(unpack_2bit(std::vector<std::uint8_t>{0}, 5), InputError);
+}
+
+TEST(Alphabet, EmptySequences) {
+  EXPECT_TRUE(encode_dna("").empty());
+  EXPECT_TRUE(pack_2bit({}).empty());
+  EXPECT_TRUE(unpack_2bit({}, 0).empty());
+  EXPECT_TRUE(reverse_complement({}).empty());
+}
+
+}  // namespace
+}  // namespace mrbio::blast

@@ -1,0 +1,90 @@
+// Tests for k-mer composition vectors.
+#include "blast/composition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "blast/sequence.hpp"
+#include "common/error.hpp"
+
+namespace mrbio::blast {
+namespace {
+
+TEST(Composition, DimsArePowersOfFour) {
+  EXPECT_EQ(kmer_dims(1), 4u);
+  EXPECT_EQ(kmer_dims(2), 16u);
+  EXPECT_EQ(kmer_dims(4), 256u);
+  EXPECT_THROW(kmer_dims(0), InputError);
+  EXPECT_THROW(kmer_dims(9), InputError);
+}
+
+TEST(Composition, MononucleotideFrequencies) {
+  const auto freqs = kmer_frequencies(encode_dna("AACG"), 1);
+  ASSERT_EQ(freqs.size(), 4u);
+  EXPECT_FLOAT_EQ(freqs[0], 0.5f);   // A
+  EXPECT_FLOAT_EQ(freqs[1], 0.25f);  // C
+  EXPECT_FLOAT_EQ(freqs[2], 0.25f);  // G
+  EXPECT_FLOAT_EQ(freqs[3], 0.0f);   // T
+}
+
+TEST(Composition, SumsToOne) {
+  Rng rng(60);
+  const auto seq = random_sequence(rng, "s", 5'000, SeqType::Dna);
+  for (int k : {1, 2, 4}) {
+    const auto freqs = kmer_frequencies(seq.data, k);
+    const double sum = std::accumulate(freqs.begin(), freqs.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-4) << "k=" << k;
+  }
+}
+
+TEST(Composition, AmbiguityBreaksWindows) {
+  // "AANA": only windows of size 2 are "AA" (first) and nothing spanning N.
+  const auto freqs = kmer_frequencies(encode_dna("AANA"), 2);
+  EXPECT_FLOAT_EQ(freqs[0], 1.0f);  // AA is the only counted dimer
+}
+
+TEST(Composition, AllAmbiguousGivesZeros) {
+  const auto freqs = kmer_frequencies(encode_dna("NNNNNN"), 4);
+  for (const float f : freqs) EXPECT_FLOAT_EQ(f, 0.0f);
+}
+
+TEST(Composition, ShortSequenceGivesZeros) {
+  const auto freqs = kmer_frequencies(encode_dna("ACG"), 4);
+  for (const float f : freqs) EXPECT_FLOAT_EQ(f, 0.0f);
+}
+
+TEST(Composition, HomopolymerIsAPoint) {
+  const auto freqs = tetranucleotide_frequencies(encode_dna(std::string(100, 'A')));
+  EXPECT_FLOAT_EQ(freqs[0], 1.0f);  // AAAA
+  for (std::size_t i = 1; i < freqs.size(); ++i) EXPECT_FLOAT_EQ(freqs[i], 0.0f);
+}
+
+TEST(Composition, DistinguishesCompositionBiases) {
+  // GC-rich vs AT-rich random sequences are far apart in tetra space,
+  // while two AT-rich samples are close: the property metagenomic binning
+  // relies on.
+  Rng rng(61);
+  auto biased = [&](double gc, std::size_t len) {
+    std::vector<std::uint8_t> seq(len);
+    for (auto& c : seq) {
+      const bool is_gc = rng.uniform() < gc;
+      c = static_cast<std::uint8_t>(is_gc ? 1 + rng.below(2) : (rng.below(2) == 0 ? 0 : 3));
+    }
+    return seq;
+  };
+  auto l2 = [](const std::vector<float>& a, const std::vector<float>& b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      acc += (a[i] - b[i]) * (a[i] - b[i]);
+    }
+    return acc;
+  };
+  const auto gc1 = tetranucleotide_frequencies(biased(0.8, 20'000));
+  const auto at1 = tetranucleotide_frequencies(biased(0.2, 20'000));
+  const auto at2 = tetranucleotide_frequencies(biased(0.2, 20'000));
+  EXPECT_GT(l2(gc1, at1), 20.0 * l2(at1, at2));
+}
+
+}  // namespace
+}  // namespace mrbio::blast

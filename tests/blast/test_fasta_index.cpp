@@ -1,0 +1,126 @@
+// Tests for the FASTA offset index and the tapered block schedule (the
+// paper's Section V dynamic-chunking machinery).
+#include "blast/fasta_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mrbio::blast {
+namespace {
+
+class FastaIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mrbio_faidx_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::create_directories(dir_);
+    Rng rng(99);
+    for (int i = 0; i < 23; ++i) {
+      seqs_.push_back(random_sequence(rng, "rec" + std::to_string(i),
+                                      50 + 37 * (static_cast<std::size_t>(i) % 5),
+                                      SeqType::Dna));
+    }
+    seqs_[4].description = "a description with spaces";
+    path_ = (dir_ / "queries.fa").string();
+    write_fasta_file(path_, seqs_, SeqType::Dna);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::string path_;
+  std::vector<Sequence> seqs_;
+};
+
+TEST_F(FastaIndexTest, CountsAllRecords) {
+  const FastaIndex idx(path_, SeqType::Dna);
+  EXPECT_EQ(idx.num_records(), seqs_.size());
+}
+
+TEST_F(FastaIndexTest, OffsetsPointAtDeflines) {
+  const FastaIndex idx(path_, SeqType::Dna);
+  std::ifstream in(path_, std::ios::binary);
+  for (std::size_t i = 0; i < idx.num_records(); ++i) {
+    in.seekg(static_cast<std::streamoff>(idx.offset(i)));
+    char c = 0;
+    in.get(c);
+    EXPECT_EQ(c, '>') << "record " << i;
+  }
+}
+
+TEST_F(FastaIndexTest, ReadRangeMatchesOriginal) {
+  const FastaIndex idx(path_, SeqType::Dna);
+  const auto got = idx.read_range(5, 4);
+  ASSERT_EQ(got.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(got[i].id, seqs_[5 + i].id);
+    EXPECT_EQ(got[i].data, seqs_[5 + i].data);
+  }
+  EXPECT_EQ(got[0].description, "");
+}
+
+TEST_F(FastaIndexTest, ReadRangeKeepsDescriptions) {
+  const FastaIndex idx(path_, SeqType::Dna);
+  const auto got = idx.read_range(4, 1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].description, "a description with spaces");
+}
+
+TEST_F(FastaIndexTest, RangeClampsAtEnd) {
+  const FastaIndex idx(path_, SeqType::Dna);
+  const auto got = idx.read_range(20, 100);
+  EXPECT_EQ(got.size(), 3u);
+  EXPECT_TRUE(idx.read_range(23, 5).empty());
+  EXPECT_TRUE(idx.read_range(0, 0).empty());
+}
+
+TEST_F(FastaIndexTest, FullScanEqualsWholeFile) {
+  const FastaIndex idx(path_, SeqType::Dna);
+  const auto all = idx.read_range(0, idx.num_records());
+  ASSERT_EQ(all.size(), seqs_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i].data, seqs_[i].data);
+}
+
+TEST_F(FastaIndexTest, MissingFileThrows) {
+  EXPECT_THROW(FastaIndex((dir_ / "absent.fa").string(), SeqType::Dna), InputError);
+}
+
+TEST(TaperedBlocks, SumsToTotal) {
+  for (const std::uint64_t total : {1'000ull, 80'000ull, 12'345ull}) {
+    const auto blocks = tapered_block_sizes(total, 1'000, 125);
+    EXPECT_EQ(std::accumulate(blocks.begin(), blocks.end(), std::uint64_t{0}), total);
+  }
+}
+
+TEST(TaperedBlocks, ShrinksTowardTheEnd) {
+  const auto blocks = tapered_block_sizes(80'000, 2'000, 125, 0.25);
+  // Bulk prefix at the initial size.
+  EXPECT_EQ(blocks.front(), 2'000u);
+  // Strictly non-increasing, ending at or above min_block-sized pieces.
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    EXPECT_LE(blocks[i], blocks[i - 1]) << i;
+  }
+  EXPECT_LE(blocks.back(), 250u);
+  // More blocks than the uniform split would produce.
+  EXPECT_GT(blocks.size(), 40u);
+}
+
+TEST(TaperedBlocks, NoTaperIsUniform) {
+  const auto blocks = tapered_block_sizes(10'000, 1'000, 1'000, 0.0);
+  EXPECT_EQ(blocks.size(), 10u);
+  for (const auto b : blocks) EXPECT_EQ(b, 1'000u);
+}
+
+TEST(TaperedBlocks, BadParamsRejected) {
+  EXPECT_THROW(tapered_block_sizes(100, 0, 10), InputError);
+  EXPECT_THROW(tapered_block_sizes(100, 10, 20), InputError);
+  EXPECT_THROW(tapered_block_sizes(100, 10, 5, 1.0), InputError);
+}
+
+}  // namespace
+}  // namespace mrbio::blast

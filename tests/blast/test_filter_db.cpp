@@ -1,0 +1,283 @@
+// Tests for the low-complexity filters, the database format and HSP helpers.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "blast/dbformat.hpp"
+#include "blast/filter.hpp"
+#include "blast/hsp.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mrbio::blast {
+namespace {
+
+TEST(Dust, MasksHomopolymerRun) {
+  Rng rng(20);
+  auto seq = random_sequence(rng, "s", 300, SeqType::Dna).data;
+  std::fill(seq.begin() + 100, seq.begin() + 200, std::uint8_t{0});  // poly-A
+  const auto ranges = dust_mask(seq);
+  ASSERT_FALSE(ranges.empty());
+  bool covers = false;
+  for (const auto& r : ranges) {
+    if (r.begin <= 120 && r.end >= 180) covers = true;
+  }
+  EXPECT_TRUE(covers);
+}
+
+TEST(Dust, LeavesRandomSequenceAlone) {
+  Rng rng(21);
+  const auto seq = random_sequence(rng, "s", 2000, SeqType::Dna).data;
+  EXPECT_TRUE(dust_mask(seq).empty());
+}
+
+TEST(Dust, MasksDinucleotideRepeat) {
+  std::vector<std::uint8_t> seq;
+  for (int i = 0; i < 50; ++i) {
+    seq.push_back(0);
+    seq.push_back(3);  // ATATAT...
+  }
+  const auto ranges = dust_mask(seq);
+  ASSERT_FALSE(ranges.empty());
+  EXPECT_EQ(ranges[0].begin, 0u);
+  EXPECT_EQ(ranges[0].end, seq.size());
+}
+
+TEST(Dust, ShortSequenceNoMask) {
+  EXPECT_TRUE(dust_mask(encode_dna("AC")).empty());
+}
+
+TEST(Seg, MasksLowEntropyRun) {
+  Rng rng(22);
+  auto seq = random_sequence(rng, "p", 100, SeqType::Protein).data;
+  std::fill(seq.begin() + 40, seq.begin() + 60, std::uint8_t{5});
+  const auto ranges = seg_mask(seq);
+  ASSERT_FALSE(ranges.empty());
+  bool covers = false;
+  for (const auto& r : ranges) {
+    if (r.begin <= 45 && r.end >= 55) covers = true;
+  }
+  EXPECT_TRUE(covers);
+}
+
+TEST(Seg, LeavesDiverseSequenceAlone) {
+  const auto seq = encode_protein("ACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWY");
+  EXPECT_TRUE(seg_mask(seq).empty());
+}
+
+TEST(Filter, ApplyMaskReplacesWithAmbig) {
+  const auto seq = encode_dna("ACGTACGT");
+  const std::vector<MaskRange> ranges{{2, 5}};
+  const auto masked = apply_mask(seq, ranges, SeqType::Dna);
+  EXPECT_EQ(masked[1], seq[1]);
+  EXPECT_EQ(masked[2], kDnaAmbig);
+  EXPECT_EQ(masked[4], kDnaAmbig);
+  EXPECT_EQ(masked[5], seq[5]);
+}
+
+TEST(Filter, MergeRangesCoalesces) {
+  const auto merged = merge_ranges({{5, 10}, {0, 3}, {8, 12}, {3, 5}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].begin, 0u);
+  EXPECT_EQ(merged[0].end, 12u);
+}
+
+TEST(Filter, MergeRangesKeepsDisjoint) {
+  const auto merged = merge_ranges({{10, 20}, {0, 5}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].begin, 0u);
+  EXPECT_EQ(merged[1].begin, 10u);
+}
+
+// ---- database format ----
+
+class DbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mrbio_db_" + std::string(
+                              ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string base() const { return (dir_ / "db").string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(DbTest, BuildAndLoadRoundTripDna) {
+  Rng rng(23);
+  std::vector<Sequence> seqs;
+  for (int i = 0; i < 5; ++i) {
+    seqs.push_back(random_sequence(rng, "seq" + std::to_string(i), 100 + i * 13,
+                                   SeqType::Dna));
+  }
+  seqs[2].data[50] = kDnaAmbig;  // exercise the ambiguity exception list
+  seqs[2].description = "with an N";
+  const DbInfo info = build_db(seqs, base(), SeqType::Dna, 1'000'000);
+  ASSERT_EQ(info.volume_paths.size(), 1u);
+  EXPECT_EQ(info.total_seqs, 5u);
+
+  const DbVolume vol = DbVolume::load(info.volume_paths[0]);
+  ASSERT_EQ(vol.num_seqs(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(vol.seq(i).id, seqs[i].id);
+    EXPECT_EQ(vol.seq(i).data, seqs[i].data) << "sequence " << i;
+  }
+  EXPECT_EQ(vol.seq(2).description, "with an N");
+  EXPECT_EQ(vol.seq(2).data[50], kDnaAmbig);
+}
+
+TEST_F(DbTest, PartitionsAtTargetSize) {
+  Rng rng(24);
+  std::vector<Sequence> seqs;
+  for (int i = 0; i < 10; ++i) {
+    seqs.push_back(random_sequence(rng, "s" + std::to_string(i), 100, SeqType::Dna));
+  }
+  const DbInfo info = build_db(seqs, base(), SeqType::Dna, 250);
+  // Each volume closes once it reaches 250 residues: 3 seqs x 100 -> 300.
+  EXPECT_EQ(info.volume_paths.size(), 4u);
+  std::uint64_t total = 0;
+  std::uint64_t nseqs = 0;
+  for (const auto& p : info.volume_paths) {
+    const DbVolume v = DbVolume::load(p);
+    total += v.residues();
+    nseqs += v.num_seqs();
+  }
+  EXPECT_EQ(total, 1000u);
+  EXPECT_EQ(nseqs, 10u);
+}
+
+TEST_F(DbTest, AliasFileRoundTrip) {
+  Rng rng(25);
+  const std::vector<Sequence> seqs{random_sequence(rng, "a", 500, SeqType::Protein)};
+  const DbInfo info = build_db(seqs, base(), SeqType::Protein, 100);
+  const DbInfo read = read_db_info(base() + ".mal");
+  EXPECT_EQ(read.type, SeqType::Protein);
+  EXPECT_EQ(read.total_residues, 500u);
+  EXPECT_EQ(read.total_seqs, 1u);
+  EXPECT_EQ(read.volume_paths, info.volume_paths);
+}
+
+TEST_F(DbTest, ProteinRoundTrip) {
+  Rng rng(26);
+  const std::vector<Sequence> seqs{random_sequence(rng, "p1", 77, SeqType::Protein)};
+  const DbInfo info = build_db(seqs, base(), SeqType::Protein, 1000);
+  const DbVolume vol = DbVolume::load(info.volume_paths[0]);
+  EXPECT_EQ(vol.seq(0).data, seqs[0].data);
+  EXPECT_EQ(vol.type(), SeqType::Protein);
+}
+
+TEST_F(DbTest, CorruptFileRejected) {
+  const std::string path = (dir_ / "junk.vol").string();
+  std::ofstream(path) << "not a volume";
+  EXPECT_THROW(DbVolume::load(path), InputError);
+}
+
+TEST_F(DbTest, EmptyIdRejected) {
+  DbBuilder b(base(), SeqType::Dna, 100);
+  Sequence s;
+  EXPECT_THROW(b.add(s), InputError);
+}
+
+TEST_F(DbTest, FinishTwiceRejected) {
+  DbBuilder b(base(), SeqType::Dna, 100);
+  b.finish();
+  EXPECT_THROW(b.finish(), LogicError);
+}
+
+// ---- HSP helpers ----
+
+Hsp make_hsp(const std::string& sid, double ev, int score, std::uint64_t q0 = 0,
+             std::uint64_t q1 = 10, std::uint64_t s0 = 0, std::uint64_t s1 = 10) {
+  Hsp h;
+  h.subject_id = sid;
+  h.evalue = ev;
+  h.raw_score = score;
+  h.q_start = q0;
+  h.q_end = q1;
+  h.s_start = s0;
+  h.s_end = s1;
+  h.align_len = static_cast<std::uint32_t>(q1 - q0);
+  h.identities = h.align_len;
+  return h;
+}
+
+TEST(Hsp, SerializationRoundTrip) {
+  Hsp h = make_hsp("subj", 1e-30, 200, 5, 105, 1000, 1100);
+  h.minus_strand = true;
+  h.bit_score = 98.7;
+  h.gaps = 3;
+  ByteWriter w;
+  h.serialize(w);
+  ByteReader r(w.bytes());
+  const Hsp back = Hsp::deserialize(r);
+  EXPECT_EQ(back.subject_id, "subj");
+  EXPECT_EQ(back.q_start, 5u);
+  EXPECT_EQ(back.s_end, 1100u);
+  EXPECT_TRUE(back.minus_strand);
+  EXPECT_DOUBLE_EQ(back.evalue, 1e-30);
+  EXPECT_DOUBLE_EQ(back.bit_score, 98.7);
+  EXPECT_EQ(back.gaps, 3u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Hsp, SortAndTruncateByEvalue) {
+  std::vector<Hsp> hsps{make_hsp("a", 1e-5, 50), make_hsp("b", 1e-20, 90),
+                        make_hsp("c", 1e-10, 70)};
+  sort_and_truncate(hsps, 2);
+  ASSERT_EQ(hsps.size(), 2u);
+  EXPECT_EQ(hsps[0].subject_id, "b");
+  EXPECT_EQ(hsps[1].subject_id, "c");
+}
+
+TEST(Hsp, SortZeroMaxKeepsAll) {
+  std::vector<Hsp> hsps{make_hsp("a", 1.0, 1), make_hsp("b", 2.0, 1)};
+  sort_and_truncate(hsps, 0);
+  EXPECT_EQ(hsps.size(), 2u);
+}
+
+TEST(Hsp, TieBreakIsDeterministic) {
+  std::vector<Hsp> hsps{make_hsp("b", 1e-5, 50), make_hsp("a", 1e-5, 50)};
+  sort_and_truncate(hsps, 0);
+  EXPECT_EQ(hsps[0].subject_id, "a");
+}
+
+TEST(Hsp, CullRemovesContained) {
+  std::vector<Hsp> hsps{make_hsp("s", 1e-20, 100, 0, 100, 0, 100),
+                        make_hsp("s", 1e-5, 40, 10, 50, 10, 50)};
+  cull_contained(hsps);
+  ASSERT_EQ(hsps.size(), 1u);
+  EXPECT_EQ(hsps[0].raw_score, 100);
+}
+
+TEST(Hsp, CullKeepsDifferentSubjects) {
+  std::vector<Hsp> hsps{make_hsp("s1", 1e-20, 100, 0, 100, 0, 100),
+                        make_hsp("s2", 1e-5, 40, 10, 50, 10, 50)};
+  cull_contained(hsps);
+  EXPECT_EQ(hsps.size(), 2u);
+}
+
+TEST(Hsp, CullKeepsPartialOverlap) {
+  std::vector<Hsp> hsps{make_hsp("s", 1e-20, 100, 0, 100, 0, 100),
+                        make_hsp("s", 1e-5, 40, 50, 150, 50, 150)};
+  cull_contained(hsps);
+  EXPECT_EQ(hsps.size(), 2u);
+}
+
+TEST(Hsp, TabularFormatFields) {
+  Hsp h = make_hsp("subj", 1e-9, 80, 0, 50, 100, 150);
+  h.bit_score = 95.3;
+  const std::string line = to_tabular("query1", h);
+  EXPECT_NE(line.find("query1\tsubj\t100.00\t50\t0\t0\t1\t50\t101\t150"), std::string::npos);
+}
+
+TEST(Hsp, TabularMinusStrandSwapsSubjectCoords) {
+  Hsp h = make_hsp("s", 1e-9, 80, 0, 50, 100, 150);
+  h.minus_strand = true;
+  const std::string line = to_tabular("q", h);
+  EXPECT_NE(line.find("\t150\t101\t"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrbio::blast

@@ -1,0 +1,286 @@
+// Tests for the lookup tables and both extension stages.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "blast/extend.hpp"
+#include "blast/lookup.hpp"
+#include "common/error.hpp"
+
+namespace mrbio::blast {
+namespace {
+
+std::uint32_t pack_word(std::string_view w) {
+  std::uint32_t packed = 0;
+  for (const std::uint8_t c : encode_dna(w)) packed = (packed << 2) | c;
+  return packed;
+}
+
+TEST(NucLookup, FindsAllOccurrences) {
+  const auto seq = encode_dna("ACGTACGTAA");
+  NucLookup lut(seq, 4);
+  const auto hits = lut.hits(pack_word("ACGT"));
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(hits[1], 4u);
+  EXPECT_TRUE(lut.hits(pack_word("GGGG")).empty());
+}
+
+TEST(NucLookup, AmbiguityBreaksWords) {
+  const auto seq = encode_dna("ACGTNACGT");
+  NucLookup lut(seq, 4);
+  const auto hits = lut.hits(pack_word("ACGT"));
+  ASSERT_EQ(hits.size(), 2u);  // the word straddling N is not indexed
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(hits[1], 5u);
+  EXPECT_TRUE(lut.hits(pack_word("GTNA") & 0xFF).empty());
+}
+
+TEST(NucLookup, SentinelBreaksWords) {
+  auto seq = encode_dna("ACGT");
+  seq.push_back(kSentinel);
+  const auto more = encode_dna("ACGT");
+  seq.insert(seq.end(), more.begin(), more.end());
+  NucLookup lut(seq, 4);
+  EXPECT_EQ(lut.hits(pack_word("ACGT")).size(), 2u);
+  EXPECT_EQ(lut.total_positions(), 2u);
+}
+
+TEST(NucLookup, WordSizeBoundsEnforced) {
+  const auto seq = encode_dna("ACGT");
+  EXPECT_THROW(NucLookup(seq, 3), InputError);
+  EXPECT_THROW(NucLookup(seq, 14), InputError);
+}
+
+TEST(NucLookup, CountsMatchBruteForce) {
+  // Property: total indexed positions == number of clean windows.
+  const auto seq = encode_dna("ACGTACGTNACGTTTTACGTA");
+  const int w = 5;
+  NucLookup lut(seq, w);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i + w <= seq.size(); ++i) {
+    bool clean = true;
+    for (int k = 0; k < w; ++k) clean &= seq[i + static_cast<std::size_t>(k)] < 4;
+    expected += clean ? 1 : 0;
+  }
+  EXPECT_EQ(lut.total_positions(), expected);
+}
+
+TEST(ProtLookup, ExactModeIndexesOnlyOwnWords) {
+  const auto seq = encode_protein("WWWAAA");
+  const Scorer sc = Scorer::blosum62();
+  ProtLookup lut(seq, /*threshold=*/0, sc);
+  const auto www = encode_protein("WWW");
+  const auto hits = lut.hits(ProtLookup::pack(www[0], www[1], www[2]));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+  // In exact mode, a near-neighbour word like WWY finds nothing.
+  const auto wwy = encode_protein("WWY");
+  EXPECT_TRUE(lut.hits(ProtLookup::pack(wwy[0], wwy[1], wwy[2])).empty());
+}
+
+TEST(ProtLookup, NeighbourhoodContainsHighScoringWords) {
+  const auto seq = encode_protein("WWW");
+  const Scorer sc = Scorer::blosum62();
+  ProtLookup lut(seq, /*threshold=*/11, sc);
+  // WWW vs WWW scores 33 >= 11: own word present.
+  const auto www = encode_protein("WWW");
+  EXPECT_EQ(lut.hits(ProtLookup::pack(www[0], www[1], www[2])).size(), 1u);
+  // WWY scores 11+11+2(W vs Y) = 24 >= 11: neighbour present.
+  const auto wwy = encode_protein("WWY");
+  EXPECT_EQ(lut.hits(ProtLookup::pack(wwy[0], wwy[1], wwy[2])).size(), 1u);
+  // PPP vs WWW scores 3*(-4) < 11: absent.
+  const auto ppp = encode_protein("PPP");
+  EXPECT_TRUE(lut.hits(ProtLookup::pack(ppp[0], ppp[1], ppp[2])).empty());
+}
+
+TEST(ProtLookup, NeighbourhoodMatchesBruteForce) {
+  // Property: for a single query word, the bucket set equals the set of all
+  // 3-mers scoring >= T against it.
+  const auto seq = encode_protein("LQR");
+  const Scorer sc = Scorer::blosum62();
+  const int threshold = 12;
+  ProtLookup lut(seq, threshold, sc);
+  std::size_t expected = 0;
+  for (std::uint8_t a = 0; a < kProtAlphabet; ++a) {
+    for (std::uint8_t b = 0; b < kProtAlphabet; ++b) {
+      for (std::uint8_t c = 0; c < kProtAlphabet; ++c) {
+        const int s = sc.score(seq[0], a) + sc.score(seq[1], b) + sc.score(seq[2], c);
+        const bool in_table = !lut.hits(ProtLookup::pack(a, b, c)).empty();
+        EXPECT_EQ(in_table, s >= threshold);
+        expected += (s >= threshold) ? 1u : 0u;
+      }
+    }
+  }
+  EXPECT_EQ(lut.total_positions(), expected);
+}
+
+TEST(ProtLookup, AmbiguousResiduesNotIndexed) {
+  auto seq = encode_protein("AXA");  // X in the middle: no valid word
+  const Scorer sc = Scorer::blosum62();
+  ProtLookup lut(seq, 11, sc);
+  EXPECT_EQ(lut.total_positions(), 0u);
+}
+
+// ---- ungapped extension ----
+
+TEST(ExtendUngapped, PerfectMatchExtendsFully) {
+  const auto q = encode_dna("AAACGTACGTCCC");
+  const auto s = q;
+  const Scorer sc = Scorer::dna(1, -2);
+  const auto seg = extend_ungapped(q, s, 3, 3, 4, sc, 10);
+  EXPECT_EQ(seg.q_start, 0u);
+  EXPECT_EQ(seg.q_end, q.size());
+  EXPECT_EQ(seg.score, static_cast<int>(q.size()));
+}
+
+TEST(ExtendUngapped, StopsAtMismatchRun) {
+  //            0123456789
+  const auto q = encode_dna("ACGTACGTTTTTTTTT");
+  const auto s = encode_dna("ACGTACGTGGGGGGGG");
+  const Scorer sc = Scorer::dna(1, -3);
+  const auto seg = extend_ungapped(q, s, 0, 0, 4, sc, 4);
+  EXPECT_EQ(seg.q_start, 0u);
+  EXPECT_EQ(seg.q_end, 8u);
+  EXPECT_EQ(seg.score, 8);
+}
+
+TEST(ExtendUngapped, ExtendsThroughIsolatedMismatch) {
+  const auto q = encode_dna("ACGTACGTAACGTACGT");
+  auto s = q;
+  s[8] = static_cast<std::uint8_t>((s[8] + 1) % 4);  // single mismatch mid-way
+  const Scorer sc = Scorer::dna(1, -2);
+  const auto seg = extend_ungapped(q, s, 0, 0, 4, sc, 10);
+  EXPECT_EQ(seg.q_end, q.size());
+  EXPECT_EQ(seg.score, static_cast<int>(q.size()) - 1 - 2);
+}
+
+TEST(ExtendUngapped, LeftExtensionWorks) {
+  const auto q = encode_dna("CCCCACGT");
+  const auto s = encode_dna("CCCCACGT");
+  const Scorer sc = Scorer::dna(1, -2);
+  const auto seg = extend_ungapped(q, s, 4, 4, 4, sc, 10);
+  EXPECT_EQ(seg.q_start, 0u);
+  EXPECT_EQ(seg.score, 8);
+}
+
+TEST(ExtendUngapped, SentinelHardStops) {
+  auto q = encode_dna("ACGTACGT");
+  q.push_back(kSentinel);
+  const auto more = encode_dna("ACGTACGT");
+  q.insert(q.end(), more.begin(), more.end());
+  const auto s = encode_dna("ACGTACGTACGTACGTACGT");
+  const Scorer sc = Scorer::dna(1, -2);
+  // Seed within the first query entry; extension must not cross into the
+  // second even though the subject continues matching.
+  const auto seg = extend_ungapped(q, s, 0, 0, 4, sc, 1000);
+  EXPECT_LE(seg.q_end, 8u);
+}
+
+TEST(ExtendUngapped, BestAnchorIsInsideSegment) {
+  const auto q = encode_dna("ACGTACGTACGT");
+  const auto s = q;
+  const Scorer sc = Scorer::dna(1, -2);
+  const auto seg = extend_ungapped(q, s, 4, 4, 4, sc, 10);
+  EXPECT_GE(seg.q_best, seg.q_start);
+  EXPECT_LT(seg.q_best, seg.q_end);
+  EXPECT_EQ(seg.q_best - seg.q_start, seg.s_best - seg.s_start);
+}
+
+// ---- gapped extension ----
+
+TEST(ExtendGapped, ExactSequencesAlignEndToEnd) {
+  const auto q = encode_dna("ACGTACGTACGTACGTACGT");
+  const auto s = q;
+  const Scorer sc = Scorer::dna(1, -2, 2, 1);
+  const auto aln = extend_gapped(q, s, 10, 10, sc, 20);
+  EXPECT_EQ(aln.q_start, 0u);
+  EXPECT_EQ(aln.q_end, q.size());
+  EXPECT_EQ(aln.s_start, 0u);
+  EXPECT_EQ(aln.s_end, s.size());
+  EXPECT_EQ(aln.score, static_cast<int>(q.size()));
+  EXPECT_EQ(aln.identities, q.size());
+  EXPECT_EQ(aln.align_len, q.size());
+  EXPECT_EQ(aln.gaps, 0u);
+}
+
+TEST(ExtendGapped, BridgesASingleDeletion) {
+  // Subject is missing 2 bases from the middle of the query.
+  const std::string left = "ACGGTCAGATCG";
+  const std::string right = "TTCAGGACCTGA";
+  const auto q = encode_dna(left + "GG" + right);
+  const auto s = encode_dna(left + right);
+  const Scorer sc = Scorer::dna(1, -3, 2, 1);  // gap of len 2 costs 2+2*1=4
+  const auto aln = extend_gapped(q, s, 2, 2, sc, 16);
+  EXPECT_EQ(aln.q_end, q.size());
+  EXPECT_EQ(aln.s_end, s.size());
+  EXPECT_EQ(aln.gaps, 2u);
+  EXPECT_EQ(aln.identities, left.size() + right.size());
+  EXPECT_EQ(aln.align_len, q.size());
+  EXPECT_EQ(aln.score, static_cast<int>(left.size() + right.size()) - 2 - 2 * 1);
+}
+
+TEST(ExtendGapped, BridgesAnInsertionInSubject) {
+  const std::string left = "ACGGTCAGATCG";
+  const std::string right = "TTCAGGACCTGA";
+  const auto q = encode_dna(left + right);
+  const auto s = encode_dna(left + "AAA" + right);
+  const Scorer sc = Scorer::dna(1, -3, 2, 1);
+  const auto aln = extend_gapped(q, s, 2, 2, sc, 20);
+  EXPECT_EQ(aln.q_end, q.size());
+  EXPECT_EQ(aln.s_end, s.size());
+  EXPECT_EQ(aln.gaps, 3u);
+  EXPECT_EQ(aln.score, static_cast<int>(left.size() + right.size()) - 2 - 3);
+}
+
+TEST(ExtendGapped, XdropPreventsCrossingLongJunk) {
+  // Two matching segments separated by 30 junk bases; with a small X-drop
+  // the alignment must stay in the seeded segment.
+  const std::string seg1 = "ACGGTCAGATCGAT";
+  const auto q = encode_dna(seg1 + std::string(30, 'T') + seg1);
+  const auto s = encode_dna(seg1 + std::string(30, 'G') + seg1);
+  const Scorer sc = Scorer::dna(1, -3, 5, 2);
+  const auto aln = extend_gapped(q, s, 2, 2, sc, 8);
+  EXPECT_EQ(aln.q_start, 0u);
+  EXPECT_EQ(aln.q_end, seg1.size());
+  EXPECT_EQ(aln.score, static_cast<int>(seg1.size()));
+}
+
+TEST(ExtendGapped, ProteinAlignmentWithBlosum) {
+  const auto q = encode_protein("MKVLAAGWQERTYHD");
+  const auto s = encode_protein("MKVLAAGWQERTYHD");
+  const Scorer sc = Scorer::blosum62();
+  const auto aln = extend_gapped(q, s, 7, 7, sc, 30);
+  EXPECT_EQ(aln.identities, q.size());
+  int self_score = 0;
+  for (const auto c : q) self_score += sc.score(c, c);
+  EXPECT_EQ(aln.score, self_score);
+}
+
+TEST(ExtendGapped, SeedAtSequenceEdges) {
+  const auto q = encode_dna("ACGTACGT");
+  const auto s = q;
+  const Scorer sc = Scorer::dna(1, -2, 2, 1);
+  const auto a0 = extend_gapped(q, s, 0, 0, sc, 10);
+  EXPECT_EQ(a0.score, 8);
+  const auto a7 = extend_gapped(q, s, 7, 7, sc, 10);
+  EXPECT_EQ(a7.score, 8);
+}
+
+TEST(ExtendGapped, EditOpsSpanCoordinates) {
+  const auto q = encode_dna("ACGGTCAGATCGAATTCAGGACCTGA");
+  const auto s = encode_dna("ACGGTCAGATCGTTCAGGACCTGA");
+  const Scorer sc = Scorer::dna(1, -3, 2, 1);
+  const auto aln = extend_gapped(q, s, 2, 2, sc, 16);
+  std::size_t q_span = 0;
+  std::size_t s_span = 0;
+  for (const auto& op : aln.ops) {
+    if (op.type != EditOp::Type::InsertS) q_span += op.len;
+    if (op.type != EditOp::Type::InsertQ) s_span += op.len;
+  }
+  EXPECT_EQ(q_span, aln.q_end - aln.q_start);
+  EXPECT_EQ(s_span, aln.s_end - aln.s_start);
+}
+
+}  // namespace
+}  // namespace mrbio::blast

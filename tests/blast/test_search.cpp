@@ -1,0 +1,359 @@
+// End-to-end searcher tests: homology detection, strands, statistics
+// overrides, reporting limits, and determinism.
+#include "blast/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.hpp"
+
+namespace mrbio::blast {
+namespace {
+
+/// Builds an in-memory volume from sequences via a temp-free path: we round
+/// trip through DbBuilder files in a temp dir.
+std::shared_ptr<const DbVolume> make_volume(const std::vector<Sequence>& seqs,
+                                            SeqType type) {
+  static int counter = 0;
+  const auto dir = std::filesystem::temp_directory_path() / "mrbio_search_test";
+  std::filesystem::create_directories(dir);
+  const std::string base = (dir / ("db" + std::to_string(counter++))).string();
+  const DbInfo info = build_db(seqs, base, type, 1ull << 40);
+  auto vol = std::make_shared<DbVolume>(DbVolume::load(info.volume_paths.at(0)));
+  return vol;
+}
+
+SearchOptions dna_options() {
+  SearchOptions o;  // defaults are blastn-like
+  o.filter_low_complexity = false;
+  return o;
+}
+
+TEST(Search, FindsIdenticalSequence) {
+  Rng rng(31);
+  std::vector<Sequence> db;
+  for (int i = 0; i < 10; ++i) {
+    db.push_back(random_sequence(rng, "bg" + std::to_string(i), 500, SeqType::Dna));
+  }
+  db.push_back(random_sequence(rng, "target", 600, SeqType::Dna));
+  const auto vol = make_volume(db, SeqType::Dna);
+
+  Sequence query;
+  query.id = "q";
+  query.data.assign(db.back().data.begin() + 100, db.back().data.begin() + 500);
+
+  BlastSearcher searcher(vol, dna_options());
+  const auto results = searcher.search({query});
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_FALSE(results[0].hsps.empty());
+  const Hsp& top = results[0].hsps.front();
+  EXPECT_EQ(top.subject_id, "target");
+  EXPECT_EQ(top.s_start, 100u);
+  EXPECT_EQ(top.s_end, 500u);
+  EXPECT_EQ(top.q_start, 0u);
+  EXPECT_EQ(top.q_end, 400u);
+  EXPECT_EQ(top.identities, 400u);
+  EXPECT_LT(top.evalue, 1e-50);
+  EXPECT_FALSE(top.minus_strand);
+}
+
+TEST(Search, FindsDivergedHomolog) {
+  Rng rng(32);
+  std::vector<Sequence> db;
+  for (int i = 0; i < 5; ++i) {
+    db.push_back(random_sequence(rng, "bg" + std::to_string(i), 800, SeqType::Dna));
+  }
+  const Sequence parent = random_sequence(rng, "parent", 500, SeqType::Dna);
+  db.push_back(mutate(rng, parent, "homolog", 0.10, SeqType::Dna));
+  const auto vol = make_volume(db, SeqType::Dna);
+
+  Sequence query = parent;
+  query.id = "q";
+  BlastSearcher searcher(vol, dna_options());
+  const auto results = searcher.search({query});
+  ASSERT_FALSE(results[0].hsps.empty());
+  const Hsp& top = results[0].hsps.front();
+  EXPECT_EQ(top.subject_id, "homolog");
+  EXPECT_GT(top.identity_fraction(), 0.8);
+  EXPECT_LT(top.identity_fraction(), 0.97);
+}
+
+TEST(Search, FindsReverseStrandHit) {
+  Rng rng(33);
+  std::vector<Sequence> db;
+  db.push_back(random_sequence(rng, "bg", 600, SeqType::Dna));
+  const Sequence target = random_sequence(rng, "fwd", 400, SeqType::Dna);
+  db.push_back(target);
+  const auto vol = make_volume(db, SeqType::Dna);
+
+  Sequence query;
+  query.id = "q_rc";
+  query.data = reverse_complement(target.data);
+
+  BlastSearcher searcher(vol, dna_options());
+  const auto results = searcher.search({query});
+  ASSERT_FALSE(results[0].hsps.empty());
+  const Hsp& top = results[0].hsps.front();
+  EXPECT_EQ(top.subject_id, "fwd");
+  EXPECT_TRUE(top.minus_strand);
+  EXPECT_EQ(top.q_start, 0u);
+  EXPECT_EQ(top.q_end, 400u);
+  EXPECT_EQ(top.identities, 400u);
+}
+
+TEST(Search, MinusStrandDisabled) {
+  Rng rng(33);
+  std::vector<Sequence> db;
+  db.push_back(random_sequence(rng, "bg", 600, SeqType::Dna));
+  const Sequence target = random_sequence(rng, "fwd", 400, SeqType::Dna);
+  db.push_back(target);
+  const auto vol = make_volume(db, SeqType::Dna);
+  Sequence query;
+  query.id = "q_rc";
+  query.data = reverse_complement(target.data);
+  SearchOptions opts = dna_options();
+  opts.both_strands = false;
+  // Tiny DB: chance word matches can clear a permissive E-value cutoff, so
+  // demand the significance only the true reverse-strand hit would reach.
+  opts.evalue_cutoff = 1e-6;
+  BlastSearcher searcher(vol, opts);
+  const auto results = searcher.search({query});
+  EXPECT_TRUE(results[0].hsps.empty());
+}
+
+TEST(Search, RandomQueryFindsNothingSignificant) {
+  Rng rng(34);
+  std::vector<Sequence> db;
+  for (int i = 0; i < 10; ++i) {
+    db.push_back(random_sequence(rng, "bg" + std::to_string(i), 1000, SeqType::Dna));
+  }
+  const auto vol = make_volume(db, SeqType::Dna);
+  Rng rng2(999);
+  const Sequence query = random_sequence(rng2, "noise", 400, SeqType::Dna);
+  SearchOptions opts = dna_options();
+  opts.evalue_cutoff = 1e-6;
+  BlastSearcher searcher(vol, opts);
+  const auto results = searcher.search({query});
+  EXPECT_TRUE(results[0].hsps.empty());
+}
+
+TEST(Search, MaxHitsTruncates) {
+  Rng rng(35);
+  const Sequence target = random_sequence(rng, "t", 300, SeqType::Dna);
+  std::vector<Sequence> db;
+  for (int i = 0; i < 8; ++i) {
+    db.push_back(mutate(rng, target, "copy" + std::to_string(i), 0.02, SeqType::Dna));
+  }
+  const auto vol = make_volume(db, SeqType::Dna);
+  Sequence query = target;
+  query.id = "q";
+
+  SearchOptions opts = dna_options();
+  opts.max_hits_per_query = 3;
+  BlastSearcher searcher(vol, opts);
+  const auto results = searcher.search({query});
+  EXPECT_EQ(results[0].hsps.size(), 3u);
+  // Sorted by E-value ascending.
+  for (std::size_t i = 1; i < results[0].hsps.size(); ++i) {
+    EXPECT_LE(results[0].hsps[i - 1].evalue, results[0].hsps[i].evalue);
+  }
+}
+
+TEST(Search, EffectiveDbLengthRaisesEvalue) {
+  Rng rng(36);
+  std::vector<Sequence> db;
+  db.push_back(random_sequence(rng, "t", 400, SeqType::Dna));
+  const auto vol = make_volume(db, SeqType::Dna);
+  Sequence query;
+  query.id = "q";
+  query.data.assign(db[0].data.begin(), db[0].data.begin() + 200);
+
+  SearchOptions small = dna_options();
+  BlastSearcher s1(vol, small);
+  const double ev_small = s1.search({query})[0].hsps.front().evalue;
+
+  SearchOptions big = dna_options();
+  big.effective_db_length = 364'000'000'000ULL;  // the paper's 364 Gbp
+  big.effective_db_seqs = 62'000'000;
+  BlastSearcher s2(vol, big);
+  const double ev_big = s2.search({query})[0].hsps.front().evalue;
+  EXPECT_GT(ev_big, ev_small * 1e3);
+}
+
+TEST(Search, ExcludeSelfHitsDropsParentMatch) {
+  Rng rng(37);
+  std::vector<Sequence> db;
+  db.push_back(random_sequence(rng, "refseq1", 800, SeqType::Dna));
+  const auto vol = make_volume(db, SeqType::Dna);
+
+  // Shredded fragment of the DB sequence, named as the shredder names it.
+  Sequence frag;
+  frag.id = "refseq1/100-500";
+  frag.data.assign(db[0].data.begin() + 100, db[0].data.begin() + 500);
+
+  SearchOptions opts = dna_options();
+  opts.exclude_self_hits = true;
+  BlastSearcher searcher(vol, opts);
+  EXPECT_TRUE(searcher.search({frag})[0].hsps.empty());
+
+  opts.exclude_self_hits = false;
+  BlastSearcher searcher2(vol, opts);
+  EXPECT_FALSE(searcher2.search({frag})[0].hsps.empty());
+}
+
+TEST(Search, MultipleQueriesKeepOrder) {
+  Rng rng(38);
+  std::vector<Sequence> db;
+  db.push_back(random_sequence(rng, "t1", 400, SeqType::Dna));
+  db.push_back(random_sequence(rng, "t2", 400, SeqType::Dna));
+  const auto vol = make_volume(db, SeqType::Dna);
+
+  Sequence q1;
+  q1.id = "q1";
+  q1.data.assign(db[0].data.begin(), db[0].data.begin() + 150);
+  Sequence q2;
+  q2.id = "q2";
+  q2.data.assign(db[1].data.begin() + 200, db[1].data.begin() + 380);
+
+  BlastSearcher searcher(vol, dna_options());
+  const auto results = searcher.search({q1, q2});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].query_id, "q1");
+  EXPECT_EQ(results[0].hsps.front().subject_id, "t1");
+  EXPECT_EQ(results[1].query_id, "q2");
+  EXPECT_EQ(results[1].hsps.front().subject_id, "t2");
+}
+
+TEST(Search, ProteinFindsRemoteHomolog) {
+  Rng rng(39);
+  std::vector<Sequence> db;
+  for (int i = 0; i < 5; ++i) {
+    db.push_back(random_sequence(rng, "bg" + std::to_string(i), 400, SeqType::Protein));
+  }
+  const Sequence parent = random_sequence(rng, "parent", 300, SeqType::Protein);
+  db.push_back(mutate(rng, parent, "homolog", 0.3, SeqType::Protein));
+  const auto vol = make_volume(db, SeqType::Protein);
+
+  Sequence query = parent;
+  query.id = "q";
+  SearchOptions opts = make_protein_options();
+  opts.filter_low_complexity = false;
+  BlastSearcher searcher(vol, opts);
+  const auto results = searcher.search({query});
+  ASSERT_FALSE(results[0].hsps.empty());
+  EXPECT_EQ(results[0].hsps.front().subject_id, "homolog");
+  EXPECT_LT(results[0].hsps.front().evalue, 1e-10);
+}
+
+TEST(Search, ProteinExactSeedingFindsLessThanNeighbourhood) {
+  // The paper notes the FPGA accelerator defaults to exact seed matches
+  // only; neighbourhood seeding must find at least as many hits.
+  Rng rng(40);
+  std::vector<Sequence> db;
+  const Sequence parent = random_sequence(rng, "parent", 250, SeqType::Protein);
+  db.push_back(mutate(rng, parent, "homolog", 0.35, SeqType::Protein));
+  const auto vol = make_volume(db, SeqType::Protein);
+
+  Sequence query = parent;
+  query.id = "q";
+  SearchOptions nb = make_protein_options();
+  nb.filter_low_complexity = false;
+  SearchOptions exact = nb;
+  exact.threshold = 0;
+
+  BlastSearcher s_nb(vol, nb);
+  BlastSearcher s_ex(vol, exact);
+  const auto r_nb = s_nb.search({query});
+  s_nb.last_stats();
+  const auto r_ex = s_ex.search({query});
+  EXPECT_GE(r_nb[0].hsps.size(), r_ex[0].hsps.size());
+}
+
+TEST(Search, LowComplexityFilterSuppressesRepeatSeeds) {
+  // A poly-A query against a poly-A-containing subject explodes without
+  // DUST; with DUST the repeat region generates no seeds.
+  std::vector<Sequence> db;
+  Sequence subj;
+  subj.id = "repeat";
+  subj.data.assign(500, 0);  // poly-A
+  db.push_back(subj);
+  const auto vol = make_volume(db, SeqType::Dna);
+
+  Sequence query;
+  query.id = "q";
+  query.data.assign(300, 0);
+
+  SearchOptions with_filter = dna_options();
+  with_filter.filter_low_complexity = true;
+  BlastSearcher s1(vol, with_filter);
+  EXPECT_TRUE(s1.search({query})[0].hsps.empty());
+
+  SearchOptions no_filter = dna_options();
+  no_filter.filter_low_complexity = false;
+  BlastSearcher s2(vol, no_filter);
+  EXPECT_FALSE(s2.search({query})[0].hsps.empty());
+}
+
+TEST(Search, StatsCountersPopulated) {
+  Rng rng(41);
+  std::vector<Sequence> db{random_sequence(rng, "t", 500, SeqType::Dna)};
+  const auto vol = make_volume(db, SeqType::Dna);
+  Sequence query;
+  query.id = "q";
+  query.data.assign(db[0].data.begin(), db[0].data.begin() + 300);
+  BlastSearcher searcher(vol, dna_options());
+  searcher.search({query});
+  const SearchStats& st = searcher.last_stats();
+  EXPECT_GT(st.word_hits, 0u);
+  EXPECT_GT(st.ungapped_extensions, 0u);
+  EXPECT_GT(st.gapped_extensions, 0u);
+  EXPECT_EQ(st.hsps_reported, 1u);
+}
+
+TEST(Search, DeterministicAcrossRuns) {
+  Rng rng(42);
+  std::vector<Sequence> db;
+  const Sequence parent = random_sequence(rng, "p", 600, SeqType::Dna);
+  db.push_back(mutate(rng, parent, "h1", 0.1, SeqType::Dna));
+  db.push_back(mutate(rng, parent, "h2", 0.15, SeqType::Dna));
+  const auto vol = make_volume(db, SeqType::Dna);
+  Sequence query = parent;
+  query.id = "q";
+
+  BlastSearcher searcher(vol, dna_options());
+  const auto r1 = searcher.search({query});
+  const auto r2 = searcher.search({query});
+  ASSERT_EQ(r1[0].hsps.size(), r2[0].hsps.size());
+  for (std::size_t i = 0; i < r1[0].hsps.size(); ++i) {
+    EXPECT_EQ(r1[0].hsps[i].subject_id, r2[0].hsps[i].subject_id);
+    EXPECT_EQ(r1[0].hsps[i].raw_score, r2[0].hsps[i].raw_score);
+    EXPECT_DOUBLE_EQ(r1[0].hsps[i].evalue, r2[0].hsps[i].evalue);
+  }
+}
+
+TEST(Search, MismatchedDbTypeRejected) {
+  Rng rng(43);
+  const auto vol = make_volume({random_sequence(rng, "t", 100, SeqType::Dna)}, SeqType::Dna);
+  EXPECT_THROW(BlastSearcher(vol, make_protein_options()), InputError);
+}
+
+TEST(Search, EmptyQueryBlockOk) {
+  Rng rng(44);
+  const auto vol = make_volume({random_sequence(rng, "t", 100, SeqType::Dna)}, SeqType::Dna);
+  BlastSearcher searcher(vol, dna_options());
+  EXPECT_TRUE(searcher.search({}).empty());
+}
+
+TEST(Search, QueryShorterThanWordFindsNothing) {
+  Rng rng(45);
+  const auto vol = make_volume({random_sequence(rng, "t", 200, SeqType::Dna)}, SeqType::Dna);
+  Sequence tiny;
+  tiny.id = "tiny";
+  tiny.data.assign(vol->seq(0).data.begin(), vol->seq(0).data.begin() + 6);
+  BlastSearcher searcher(vol, dna_options());  // word size 11 > 6
+  EXPECT_TRUE(searcher.search({tiny})[0].hsps.empty());
+}
+
+}  // namespace
+}  // namespace mrbio::blast

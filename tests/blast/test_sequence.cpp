@@ -1,0 +1,143 @@
+// Tests for FASTA parsing/writing, shredding and synthetic generators.
+#include "blast/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+
+namespace mrbio::blast {
+namespace {
+
+TEST(Fasta, ParsesMultiRecord) {
+  const auto seqs = parse_fasta(">s1 first seq\nACGT\nACGT\n>s2\nTTTT\n", SeqType::Dna);
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0].id, "s1");
+  EXPECT_EQ(seqs[0].description, "first seq");
+  EXPECT_EQ(seqs[0].length(), 8u);
+  EXPECT_EQ(decode_dna(seqs[0].data), "ACGTACGT");
+  EXPECT_EQ(seqs[1].id, "s2");
+  EXPECT_TRUE(seqs[1].description.empty());
+}
+
+TEST(Fasta, HandlesCrlfAndBlankLines) {
+  const auto seqs = parse_fasta(">a\r\nAC\r\n\r\nGT\r\n", SeqType::Dna);
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(decode_dna(seqs[0].data), "ACGT");
+}
+
+TEST(Fasta, EmptySequenceRecordAllowed) {
+  const auto seqs = parse_fasta(">empty\n>full\nAC\n", SeqType::Dna);
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0].length(), 0u);
+  EXPECT_EQ(seqs[1].length(), 2u);
+}
+
+TEST(Fasta, ResidracesBeforeDeflineThrow) {
+  EXPECT_THROW(parse_fasta("ACGT\n>a\nAC\n", SeqType::Dna), InputError);
+}
+
+TEST(Fasta, EmptyIdThrows) {
+  EXPECT_THROW(parse_fasta("> desc only\nAC\n", SeqType::Dna), InputError);
+}
+
+TEST(Fasta, RoundTripThroughText) {
+  Rng rng(3);
+  std::vector<Sequence> seqs;
+  seqs.push_back(random_sequence(rng, "long", 200, SeqType::Dna));
+  seqs.push_back(random_sequence(rng, "short", 5, SeqType::Dna));
+  seqs[0].description = "some description";
+  const auto parsed = parse_fasta(to_fasta(seqs, SeqType::Dna), SeqType::Dna);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].id, seqs[0].id);
+  EXPECT_EQ(parsed[0].description, seqs[0].description);
+  EXPECT_EQ(parsed[0].data, seqs[0].data);
+  EXPECT_EQ(parsed[1].data, seqs[1].data);
+}
+
+TEST(Fasta, FileRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "mrbio_fasta_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "t.fa").string();
+  Rng rng(4);
+  const std::vector<Sequence> seqs{random_sequence(rng, "q1", 50, SeqType::Protein)};
+  write_fasta_file(path, seqs, SeqType::Protein);
+  const auto back = read_fasta_file(path, SeqType::Protein);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].data, seqs[0].data);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Fasta, MissingFileThrows) {
+  EXPECT_THROW(read_fasta_file("/nonexistent/x.fa", SeqType::Dna), InputError);
+}
+
+TEST(Shred, PaperParameters400By200) {
+  Rng rng(5);
+  const std::vector<Sequence> src{random_sequence(rng, "genome", 1000, SeqType::Dna)};
+  const auto frags = shred(src, 400, 200);
+  // starts at 0,200,400,600: [0,400) [200,600) [400,800) [600,1000)
+  ASSERT_EQ(frags.size(), 4u);
+  EXPECT_EQ(frags[0].id, "genome/0-400");
+  EXPECT_EQ(frags[1].id, "genome/200-600");
+  EXPECT_EQ(frags[3].id, "genome/600-1000");
+  for (const auto& f : frags) EXPECT_EQ(f.length(), 400u);
+  // Fragment contents match the parent.
+  for (std::size_t i = 0; i < 400; ++i) {
+    EXPECT_EQ(frags[1].data[i], src[0].data[200 + i]);
+  }
+}
+
+TEST(Shred, ShortTailFragmentKept) {
+  Rng rng(6);
+  const std::vector<Sequence> src{random_sequence(rng, "g", 500, SeqType::Dna)};
+  const auto frags = shred(src, 400, 200);
+  // [0,400) [200,500)
+  ASSERT_EQ(frags.size(), 2u);
+  EXPECT_EQ(frags[1].length(), 300u);
+}
+
+TEST(Shred, MinLenDropsTinyTail) {
+  Rng rng(7);
+  const std::vector<Sequence> src{random_sequence(rng, "g", 410, SeqType::Dna)};
+  const auto frags = shred(src, 400, 200, 50);
+  ASSERT_EQ(frags.size(), 2u);  // [0,400) and [200,410): 210 >= 50 kept
+  const auto frags2 = shred(src, 400, 10, 50);
+  // starts 0, 390: second frag [390,410) = 20 < 50 dropped
+  ASSERT_EQ(frags2.size(), 1u);
+}
+
+TEST(Shred, OverlapMustBeSmallerThanFragment) {
+  EXPECT_THROW(shred({}, 200, 200), InputError);
+}
+
+TEST(Generators, RandomSequenceInAlphabet) {
+  Rng rng(8);
+  const auto dna = random_sequence(rng, "d", 1000, SeqType::Dna);
+  for (auto c : dna.data) EXPECT_LT(c, kDnaAlphabet);
+  const auto prot = random_sequence(rng, "p", 1000, SeqType::Protein);
+  for (auto c : prot.data) EXPECT_LT(c, kProtAlphabet);
+}
+
+TEST(Generators, MutateRateZeroIsIdentity) {
+  Rng rng(9);
+  const auto src = random_sequence(rng, "s", 300, SeqType::Dna);
+  const auto copy = mutate(rng, src, "c", 0.0, SeqType::Dna);
+  EXPECT_EQ(copy.data, src.data);
+}
+
+TEST(Generators, MutateRateChangesRoughlyThatFraction) {
+  Rng rng(10);
+  const auto src = random_sequence(rng, "s", 10000, SeqType::Dna);
+  const auto mut = mutate(rng, src, "m", 0.1, SeqType::Dna);
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < src.length(); ++i) {
+    if (src.data[i] != mut.data[i]) ++diffs;
+  }
+  EXPECT_GT(diffs, 800u);
+  EXPECT_LT(diffs, 1200u);
+}
+
+}  // namespace
+}  // namespace mrbio::blast

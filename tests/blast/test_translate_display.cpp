@@ -1,0 +1,292 @@
+// Tests for genetic-code translation, blastx search, and the pairwise
+// alignment display.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "blast/display.hpp"
+#include "blast/translate.hpp"
+#include "common/error.hpp"
+
+namespace mrbio::blast {
+namespace {
+
+std::string translate_str(const std::string& dna, int frame) {
+  return decode_protein(translate(encode_dna(dna), frame));
+}
+
+TEST(Translate, KnownCodons) {
+  EXPECT_EQ(translate_str("ATG", 0), "M");
+  EXPECT_EQ(translate_str("TGG", 0), "W");
+  EXPECT_EQ(translate_str("AAA", 0), "K");
+  EXPECT_EQ(translate_str("GGG", 0), "G");
+  EXPECT_EQ(translate_str("TTT", 0), "F");
+  EXPECT_EQ(translate_str("GCA", 0), "A");
+  EXPECT_EQ(translate_str("CGC", 0), "R");
+}
+
+TEST(Translate, StopCodonsBecomeAmbig) {
+  for (const char* stop : {"TAA", "TAG", "TGA"}) {
+    const auto prot = translate(encode_dna(stop), 0);
+    ASSERT_EQ(prot.size(), 1u);
+    EXPECT_EQ(prot[0], kProtAmbig) << stop;
+  }
+}
+
+TEST(Translate, MultiCodonOrf) {
+  // ATG AAA TGG TAA -> M K W *
+  EXPECT_EQ(translate_str("ATGAAATGGTAA", 0), "MKWX");
+}
+
+TEST(Translate, FramesShiftTheReadingWindow) {
+  const std::string dna = "CATGAAATGG";
+  EXPECT_EQ(translate_str(dna, 0), translate_str("CATGAAATG", 0));  // CAT GAA ATG
+  EXPECT_EQ(translate_str(dna, 1), "MKW");                          // ATG AAA TGG
+  EXPECT_EQ(translate_str(dna, 2), translate_str("TGAAATGG", 0));   // TGA AAT (GG dropped)
+}
+
+TEST(Translate, ReverseFramesUseReverseComplement) {
+  // revcomp(CCATTTCATG) = CATGAAATGG; frame -1 = frames 3..5 on that.
+  const std::string dna = "CCATTTCATG";
+  EXPECT_EQ(translate_str(dna, 3), translate_str("CATGAAATGG", 0));
+  EXPECT_EQ(translate_str(dna, 4), translate_str("CATGAAATGG", 1));
+}
+
+TEST(Translate, AmbiguousCodonsBecomeAmbig) {
+  const auto prot = translate(encode_dna("ATNAAA"), 0);
+  ASSERT_EQ(prot.size(), 2u);
+  EXPECT_EQ(prot[0], kProtAmbig);
+  EXPECT_EQ(decode_protein({&prot[1], 1}), "K");
+}
+
+TEST(Translate, ShortInputsGiveEmpty) {
+  EXPECT_TRUE(translate(encode_dna("AT"), 0).empty());
+  EXPECT_TRUE(translate(encode_dna("ATGC"), 2).empty());
+}
+
+TEST(Translate, FrameLabels) {
+  EXPECT_EQ(frame_label(0), 1);
+  EXPECT_EQ(frame_label(2), 3);
+  EXPECT_EQ(frame_label(3), -1);
+  EXPECT_EQ(frame_label(5), -3);
+  EXPECT_THROW(frame_label(6), InputError);
+}
+
+class BlastxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "mrbio_blastx";
+    std::filesystem::create_directories(dir_);
+    // A protein database containing the translation of a known ORF.
+    Rng rng(70);
+    protein_ = random_sequence(rng, "target_protein", 150, SeqType::Protein);
+    std::vector<Sequence> db{protein_};
+    for (int i = 0; i < 4; ++i) {
+      db.push_back(random_sequence(rng, "bg" + std::to_string(i), 200, SeqType::Protein));
+    }
+    const DbInfo info = build_db(db, (dir_ / "pdb").string(), SeqType::Protein, 1ull << 30);
+    volume_ = std::make_shared<DbVolume>(DbVolume::load(info.volume_paths[0]));
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Back-translates protein codes to one valid DNA coding sequence.
+  static std::string back_translate(std::span<const std::uint8_t> prot) {
+    // Any codon per residue will do; search the code table via translate().
+    static const char* bases = "ACGT";
+    std::string dna;
+    for (const std::uint8_t aa : prot) {
+      bool found = false;
+      for (int a = 0; a < 4 && !found; ++a) {
+        for (int b = 0; b < 4 && !found; ++b) {
+          for (int c = 0; c < 4 && !found; ++c) {
+            const std::string codon{bases[a], bases[b], bases[c]};
+            const auto t = translate(encode_dna(codon), 0);
+            if (t.size() == 1 && t[0] == aa) {
+              dna += codon;
+              found = true;
+            }
+          }
+        }
+      }
+      MRBIO_CHECK(found, "no codon for residue");
+    }
+    return dna;
+  }
+
+  std::filesystem::path dir_;
+  Sequence protein_;
+  std::shared_ptr<const DbVolume> volume_;
+};
+
+TEST_F(BlastxTest, FindsOrfOnPlusStrand) {
+  // DNA query: junk + coding sequence of residues 20..120 + junk.
+  const std::string cds =
+      back_translate(std::span(protein_.data).subspan(20, 100));
+  Sequence dna;
+  dna.id = "read_plus";
+  dna.data = encode_dna("ACGTACGTAC" + cds + "GTACGTA");
+
+  SearchOptions opts = make_protein_options();
+  opts.filter_low_complexity = false;
+  opts.evalue_cutoff = 1e-6;
+  const auto results = blastx_search(volume_, {dna}, opts);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_FALSE(results[0].hsps.empty());
+  const BlastxHsp& top = results[0].hsps.front();
+  EXPECT_EQ(top.protein.subject_id, "target_protein");
+  EXPECT_EQ(top.frame, 1 + 10 % 3);  // 10 junk bases -> frame +2
+  // The local alignment covers the planted region and may extend a few
+  // chance-matching residues beyond it.
+  EXPECT_LE(top.protein.s_start, 20u);
+  EXPECT_GE(top.protein.s_end, 120u);
+  EXPECT_LE(top.q_dna_start, 10u);
+  EXPECT_GE(top.q_dna_end, 10u + 300u);
+  EXPECT_LE(top.q_dna_end, dna.length());
+}
+
+TEST_F(BlastxTest, FindsOrfOnMinusStrand) {
+  const std::string cds =
+      back_translate(std::span(protein_.data).subspan(30, 80));
+  Sequence dna;
+  dna.id = "read_minus";
+  dna.data = reverse_complement(encode_dna(cds));
+
+  SearchOptions opts = make_protein_options();
+  opts.filter_low_complexity = false;
+  opts.evalue_cutoff = 1e-6;
+  const auto results = blastx_search(volume_, {dna}, opts);
+  ASSERT_FALSE(results[0].hsps.empty());
+  const BlastxHsp& top = results[0].hsps.front();
+  EXPECT_EQ(top.protein.subject_id, "target_protein");
+  EXPECT_LT(top.frame, 0);
+  EXPECT_LE(top.q_dna_start, 3u);
+  EXPECT_GE(top.q_dna_end, dna.length() - 3);
+}
+
+TEST_F(BlastxTest, RandomDnaFindsNothing) {
+  Rng rng(71);
+  const Sequence noise = random_sequence(rng, "noise", 300, SeqType::Dna);
+  SearchOptions opts = make_protein_options();
+  opts.filter_low_complexity = false;
+  opts.evalue_cutoff = 1e-6;
+  const auto results = blastx_search(volume_, {noise}, opts);
+  EXPECT_TRUE(results[0].hsps.empty());
+}
+
+TEST_F(BlastxTest, DnaOptionsRejected) {
+  EXPECT_THROW(blastx_search(volume_, {}, SearchOptions{}), InputError);
+}
+
+// ---- pairwise display ----
+
+class DisplayTest : public ::testing::Test {
+ protected:
+  static Hsp search_one(const std::vector<Sequence>& db, const Sequence& query,
+                        SeqType type, Sequence* subject_out) {
+    static int counter = 0;
+    const auto dir = std::filesystem::temp_directory_path() / "mrbio_display";
+    std::filesystem::create_directories(dir);
+    const DbInfo info = build_db(db, (dir / ("d" + std::to_string(counter++))).string(),
+                                 type, 1ull << 30);
+    auto vol = std::make_shared<DbVolume>(DbVolume::load(info.volume_paths[0]));
+    SearchOptions opts = type == SeqType::Dna ? SearchOptions{} : make_protein_options();
+    opts.filter_low_complexity = false;
+    BlastSearcher searcher(vol, opts);
+    const auto results = searcher.search({query});
+    EXPECT_FALSE(results[0].hsps.empty());
+    *subject_out = db[0];
+    for (const auto& s : db) {
+      if (s.id == results[0].hsps.front().subject_id) *subject_out = s;
+    }
+    return results[0].hsps.front();
+  }
+};
+
+TEST_F(DisplayTest, PerfectDnaMatchShowsAllBars) {
+  Rng rng(72);
+  const Sequence target = random_sequence(rng, "t", 100, SeqType::Dna);
+  Sequence query;
+  query.id = "q";
+  query.data = target.data;
+  Sequence subject;
+  const Hsp hsp = search_one({target}, query, SeqType::Dna, &subject);
+
+  const std::string text =
+      render_pairwise(query, subject, hsp, Scorer::dna(), /*width=*/50);
+  EXPECT_NE(text.find("Query  1"), std::string::npos);
+  EXPECT_NE(text.find("Sbjct  1"), std::string::npos);
+  // 100 identities -> 100 '|' characters.
+  std::size_t bars = 0;
+  for (const char c : text) bars += (c == '|') ? 1 : 0;
+  EXPECT_EQ(bars, 100u);
+  EXPECT_EQ(text.find('-'), std::string::npos);
+}
+
+TEST_F(DisplayTest, GappedAlignmentShowsDashes) {
+  Rng rng(73);
+  const Sequence target = random_sequence(rng, "t", 120, SeqType::Dna);
+  Sequence query;
+  query.id = "q";
+  query.data = target.data;
+  // Delete 3 bases from the middle of the query.
+  query.data.erase(query.data.begin() + 60, query.data.begin() + 63);
+  Sequence subject;
+  const Hsp hsp = search_one({target}, query, SeqType::Dna, &subject);
+  ASSERT_GT(hsp.gaps, 0u);
+
+  const std::string text = render_pairwise(query, subject, hsp, Scorer::dna());
+  EXPECT_NE(text.find('-'), std::string::npos);
+}
+
+TEST_F(DisplayTest, MinusStrandCoordinatesRunBackwards) {
+  Rng rng(74);
+  const Sequence target = random_sequence(rng, "t", 80, SeqType::Dna);
+  Sequence query;
+  query.id = "q";
+  query.data = reverse_complement(target.data);
+  Sequence subject;
+  const Hsp hsp = search_one({target}, query, SeqType::Dna, &subject);
+  ASSERT_TRUE(hsp.minus_strand);
+
+  const std::string text = render_pairwise(query, subject, hsp, Scorer::dna(), 200);
+  // First query label is the high coordinate (80), i.e. reversed.
+  EXPECT_NE(text.find("Query  80"), std::string::npos);
+}
+
+TEST_F(DisplayTest, ProteinMatchLineUsesLettersAndPlus) {
+  Rng rng(75);
+  const Sequence target = random_sequence(rng, "t", 90, SeqType::Protein);
+  Sequence query;
+  query.id = "q";
+  query.data = target.data;
+  Rng mrng(76);
+  query = mutate(mrng, query, "q", 0.2, SeqType::Protein);
+  Sequence subject;
+  const Hsp hsp = search_one({target}, query, SeqType::Protein, &subject);
+
+  const std::string text =
+      render_pairwise(query, subject, hsp, Scorer::blosum62(), 200);
+  // Identity columns echo the residue letter; there are many of them.
+  const std::string header = render_hsp_header(hsp, SeqType::Protein);
+  EXPECT_NE(header.find("Identities ="), std::string::npos);
+  EXPECT_EQ(header.find("Strand"), std::string::npos);  // protein: no strand line
+  EXPECT_NE(text.find("Query  1"), std::string::npos);
+}
+
+TEST_F(DisplayTest, HeaderFormatsScores) {
+  Hsp h;
+  h.bit_score = 98.7;
+  h.raw_score = 200;
+  h.evalue = 1e-30;
+  h.identities = 95;
+  h.align_len = 100;
+  h.gaps = 2;
+  h.minus_strand = true;
+  const std::string header = render_hsp_header(h, SeqType::Dna);
+  EXPECT_NE(header.find("Score = 98.7 bits (200)"), std::string::npos);
+  EXPECT_NE(header.find("Identities = 95/100 (95%)"), std::string::npos);
+  EXPECT_NE(header.find("Strand = Plus/Minus"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrbio::blast

@@ -1,0 +1,70 @@
+// Tests for the dense matrix and its view type.
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mrbio {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.0f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m(1, 2), 1.0f);
+  m(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(m(1, 2), 5.0f);
+}
+
+TEST(Matrix, RowSpanIsWritable) {
+  Matrix m(3, 2);
+  auto r = m.row(1);
+  r[0] = 7.0f;
+  r[1] = 8.0f;
+  EXPECT_FLOAT_EQ(m(1, 0), 7.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 8.0f);
+  EXPECT_FLOAT_EQ(m(0, 0), 0.0f);
+}
+
+TEST(Matrix, FillOverwritesAll) {
+  Matrix m(2, 2, 1.0f);
+  m.fill(3.0f);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_FLOAT_EQ(m(r, c), 3.0f);
+}
+
+TEST(Matrix, OutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), LogicError);
+  EXPECT_THROW(m(0, 2), LogicError);
+  EXPECT_THROW(m.row(5), LogicError);
+}
+
+TEST(MatrixView, ViewSharesStorage) {
+  Matrix m(2, 2);
+  m(0, 1) = 4.0f;
+  MatrixView v = m.view();
+  EXPECT_FLOAT_EQ(v(0, 1), 4.0f);
+  EXPECT_EQ(v.rows(), 2u);
+}
+
+TEST(MatrixView, RowsSlice) {
+  Matrix m(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) m(r, 0) = static_cast<float>(r);
+  MatrixView slice = m.view().rows_slice(1, 2);
+  EXPECT_EQ(slice.rows(), 2u);
+  EXPECT_FLOAT_EQ(slice(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(slice(1, 0), 2.0f);
+  EXPECT_THROW(m.view().rows_slice(3, 2), LogicError);
+}
+
+TEST(MatrixView, EmptyDefault) {
+  MatrixView v;
+  EXPECT_TRUE(v.empty());
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+}
+
+}  // namespace
+}  // namespace mrbio

@@ -1,0 +1,134 @@
+// Tests for memory-mapped file access and PGM/PPM image output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/image.hpp"
+#include "common/mmap_file.hpp"
+
+namespace mrbio {
+namespace {
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mrbio_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+using MmapFileTest = TempDir;
+using ImageTest = TempDir;
+
+TEST_F(MmapFileTest, RoundTripMatrix) {
+  Matrix m(3, 4);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) m(r, c) = static_cast<float>(r * 10 + c);
+  write_raw_matrix(path("m.raw"), m.view());
+
+  MmapFile f(path("m.raw"));
+  ASSERT_TRUE(f.is_open());
+  EXPECT_EQ(f.size(), 3u * 4u * sizeof(float));
+  MatrixView v = f.as_matrix(4);
+  EXPECT_EQ(v.rows(), 3u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(v(r, c), m(r, c));
+}
+
+TEST_F(MmapFileTest, MissingFileThrows) {
+  EXPECT_THROW(MmapFile(path("absent.raw")), InputError);
+}
+
+TEST_F(MmapFileTest, BadRowSizeThrows) {
+  Matrix m(2, 3);
+  write_raw_matrix(path("m.raw"), m.view());
+  MmapFile f(path("m.raw"));
+  EXPECT_THROW(f.as_matrix(4), InputError);
+}
+
+TEST_F(MmapFileTest, EmptyFileIsValid) {
+  std::ofstream(path("empty.raw")).close();
+  MmapFile f(path("empty.raw"));
+  EXPECT_FALSE(f.is_open());
+  EXPECT_EQ(f.size(), 0u);
+}
+
+TEST_F(MmapFileTest, MoveTransfersOwnership) {
+  Matrix m(1, 2);
+  write_raw_matrix(path("m.raw"), m.view());
+  MmapFile a(path("m.raw"));
+  MmapFile b(std::move(a));
+  EXPECT_TRUE(b.is_open());
+  EXPECT_FALSE(a.is_open());  // NOLINT(bugprone-use-after-move): testing moved-from state
+}
+
+TEST_F(ImageTest, PgmHeaderAndSize) {
+  Matrix img(4, 5);
+  img(0, 0) = -1.0f;
+  img(3, 4) = 1.0f;
+  write_pgm(path("u.pgm"), img.view());
+
+  std::ifstream in(path("u.pgm"), std::ios::binary);
+  std::string magic;
+  std::size_t w = 0;
+  std::size_t h = 0;
+  int maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 5u);
+  EXPECT_EQ(h, 4u);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(data.size(), 20u);
+  // min maps to 0, max maps to 255
+  EXPECT_EQ(static_cast<unsigned char>(data[0]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(data[19]), 255);
+}
+
+TEST_F(ImageTest, PpmRoundTripPixels) {
+  Matrix rgb(2, 6);  // 2x2 RGB image
+  rgb(0, 0) = 1.0f;  // pixel (0,0) pure red
+  rgb(1, 4) = 1.0f;  // pixel (1,1) green channel
+  write_ppm(path("c.ppm"), rgb.view(), 2);
+
+  std::ifstream in(path("c.ppm"), std::ios::binary);
+  std::string magic;
+  std::size_t w = 0;
+  std::size_t h = 0;
+  int maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 2u);
+  EXPECT_EQ(h, 2u);
+  in.get();
+  std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ASSERT_EQ(data.size(), 12u);
+  EXPECT_EQ(static_cast<unsigned char>(data[0]), 255);   // red of (0,0)
+  EXPECT_EQ(static_cast<unsigned char>(data[1]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(data[10]), 255);  // green of (1,1)
+}
+
+TEST_F(ImageTest, PpmWrongShapeThrows) {
+  Matrix rgb(2, 5);
+  EXPECT_THROW(write_ppm(path("c.ppm"), rgb.view(), 2), InputError);
+}
+
+TEST_F(ImageTest, ConstantImageDoesNotDivideByZero) {
+  Matrix img(2, 2, 3.0f);
+  write_pgm(path("flat.pgm"), img.view());
+  std::ifstream in(path("flat.pgm"), std::ios::binary);
+  ASSERT_TRUE(in.good());
+}
+
+}  // namespace
+}  // namespace mrbio

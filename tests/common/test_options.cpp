@@ -1,0 +1,94 @@
+// Tests for the command-line option parser.
+#include "common/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mrbio {
+namespace {
+
+Options make_opts() {
+  Options o("test program");
+  o.add("cores", "32", "number of cores");
+  o.add("rate", "1.5", "a rate");
+  o.add("name", "default", "a name");
+  o.add_flag("verbose", "be chatty");
+  return o;
+}
+
+int parse(Options& o, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return o.parse(static_cast<int>(argv.size()), argv.data()) ? 1 : 0;
+}
+
+TEST(Options, DefaultsApply) {
+  Options o = make_opts();
+  parse(o, {});
+  EXPECT_EQ(o.integer("cores"), 32);
+  EXPECT_DOUBLE_EQ(o.real("rate"), 1.5);
+  EXPECT_EQ(o.str("name"), "default");
+  EXPECT_FALSE(o.flag("verbose"));
+}
+
+TEST(Options, SpaceSeparatedValues) {
+  Options o = make_opts();
+  parse(o, {"--cores", "128", "--name", "blast"});
+  EXPECT_EQ(o.integer("cores"), 128);
+  EXPECT_EQ(o.str("name"), "blast");
+}
+
+TEST(Options, EqualsSeparatedValues) {
+  Options o = make_opts();
+  parse(o, {"--cores=64", "--rate=0.25"});
+  EXPECT_EQ(o.integer("cores"), 64);
+  EXPECT_DOUBLE_EQ(o.real("rate"), 0.25);
+}
+
+TEST(Options, FlagForms) {
+  Options o = make_opts();
+  parse(o, {"--verbose"});
+  EXPECT_TRUE(o.flag("verbose"));
+  Options o2 = make_opts();
+  parse(o2, {"--verbose=false"});
+  EXPECT_FALSE(o2.flag("verbose"));
+}
+
+TEST(Options, PositionalArgumentsCollected) {
+  Options o = make_opts();
+  parse(o, {"input.fa", "--cores", "8", "db.fa"});
+  EXPECT_EQ(o.positional(), (std::vector<std::string>{"input.fa", "db.fa"}));
+}
+
+TEST(Options, UnknownOptionThrows) {
+  Options o = make_opts();
+  EXPECT_THROW(parse(o, {"--bogus", "1"}), InputError);
+}
+
+TEST(Options, MissingValueThrows) {
+  Options o = make_opts();
+  EXPECT_THROW(parse(o, {"--cores"}), InputError);
+}
+
+TEST(Options, NonNumericIntegerThrows) {
+  Options o = make_opts();
+  parse(o, {"--cores", "abc"});
+  EXPECT_THROW(o.integer("cores"), InputError);
+}
+
+TEST(Options, HelpReturnsFalse) {
+  Options o = make_opts();
+  EXPECT_EQ(parse(o, {"--help"}), 0);
+}
+
+TEST(Options, UsageListsOptions) {
+  Options o = make_opts();
+  const std::string u = o.usage();
+  EXPECT_NE(u.find("--cores"), std::string::npos);
+  EXPECT_NE(u.find("--verbose"), std::string::npos);
+  EXPECT_NE(u.find("default: 32"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrbio

@@ -1,0 +1,131 @@
+// Tests for the deterministic PRNG: reproducibility, ranges, and rough
+// distribution properties of the samplers.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace mrbio {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(77);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, BelowCoversFullRangeWithoutBias) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) counts[rng.below(10)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, draws / 10 - draws / 50);
+    EXPECT_LT(c, draws / 10 + draws / 50);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(9);
+  EXPECT_THROW(rng.below(0), LogicError);
+}
+
+TEST(Rng, NormalMomentsAreClose) {
+  Rng rng(10);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, LognormalIsPositiveWithHeavyTail) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.lognormal(0.0, 1.0);
+    EXPECT_GT(x, 0.0);
+    s.add(x);
+  }
+  // E[lognormal(0,1)] = exp(0.5) ~ 1.6487; heavy tail means max >> mean.
+  EXPECT_NEAR(s.mean(), std::exp(0.5), 0.1);
+  EXPECT_GT(s.max(), 10.0 * s.mean());
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(12);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, SplitProducesDecorrelatedChild) {
+  Rng parent(13);
+  Rng child = parent.split();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(parent());
+    seen.insert(child());
+  }
+  EXPECT_EQ(seen.size(), 200u);  // no collisions between the streams
+}
+
+TEST(Rng, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+  // Low bits of sequential inputs should decorrelate.
+  int bit_flips = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    bit_flips += ((mix64(i) ^ mix64(i + 1)) & 1) != 0 ? 1 : 0;
+  }
+  EXPECT_GT(bit_flips, 16);
+}
+
+}  // namespace
+}  // namespace mrbio

@@ -1,0 +1,92 @@
+// Smoke tests running every example binary as a subprocess: each must exit
+// zero and produce its advertised outputs. Binary paths injected by CMake.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#ifndef MRBIO_EXAMPLE_DIR
+#error "MRBIO_EXAMPLE_DIR must be defined by the build"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class ExamplesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mrbio_examples_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  int run(const std::string& name, const std::string& args = "") {
+    const std::string cmd = std::string(MRBIO_EXAMPLE_DIR) + "/" + name + " " + args +
+                            " > " + (dir_ / "out.txt").string() + " 2>&1";
+    return std::system(cmd.c_str());
+  }
+
+  std::string output() const {
+    std::ifstream in(dir_ / "out.txt");
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ExamplesTest, HelpWorksForAll) {
+  for (const char* name : {"quickstart", "metagenome_binning", "protein_search", "rgb_som",
+                           "translated_search"}) {
+    EXPECT_EQ(run(name, "--help"), 0) << name;
+  }
+}
+
+TEST_F(ExamplesTest, Quickstart) {
+  ASSERT_EQ(run("quickstart", "--workdir " + (dir_ / "w").string()), 0);
+  const std::string out = output();
+  EXPECT_NE(out.find("HSPs reported"), std::string::npos);
+  EXPECT_NE(out.find("genome0"), std::string::npos);
+}
+
+TEST_F(ExamplesTest, MetagenomeBinning) {
+  const std::string um = (dir_ / "u.pgm").string();
+  ASSERT_EQ(run("metagenome_binning", "--umatrix " + um), 0);
+  const std::string out = output();
+  EXPECT_NE(out.find("BMU purity"), std::string::npos);
+  EXPECT_TRUE(fs::exists(um));
+  // Purity printed as "purity: 0.xxx"; demand a decent bin separation.
+  const auto pos = out.find("BMU purity: ");
+  ASSERT_NE(pos, std::string::npos);
+  const double purity = std::stod(out.substr(pos + 12));
+  EXPECT_GT(purity, 0.8);
+}
+
+TEST_F(ExamplesTest, ProteinSearch) {
+  ASSERT_EQ(run("protein_search", "--workdir " + (dir_ / "w").string()), 0);
+  const std::string out = output();
+  EXPECT_NE(out.find("homolog_d10"), std::string::npos);
+  EXPECT_NE(out.find("homolog_d55"), std::string::npos);
+}
+
+TEST_F(ExamplesTest, RgbSom) {
+  const std::string prefix = (dir_ / "rgb").string();
+  ASSERT_EQ(run("rgb_som", "--out " + prefix + " --grid 20 --epochs 10 --vectors 100"), 0);
+  EXPECT_TRUE(fs::exists(prefix + "_before.ppm"));
+  EXPECT_TRUE(fs::exists(prefix + "_after.ppm"));
+  EXPECT_TRUE(fs::exists(prefix + "_umatrix.pgm"));
+}
+
+TEST_F(ExamplesTest, TranslatedSearch) {
+  ASSERT_EQ(run("translated_search", "--workdir " + (dir_ / "w").string()), 0);
+  const std::string out = output();
+  EXPECT_NE(out.find("enzymeA"), std::string::npos);
+  EXPECT_NE(out.find("frame -"), std::string::npos);
+  EXPECT_NE(out.find("no hits"), std::string::npos);  // the noise read
+  EXPECT_NE(out.find("Query  1"), std::string::npos); // pairwise block
+}
+
+}  // namespace

@@ -1,0 +1,244 @@
+// Tests for the MPI-flavoured layer: typed p2p, collectives on binomial
+// trees, phantom (timing-only) collectives, and cost-model sanity.
+#include "mpi/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mrbio::mpi {
+namespace {
+
+sim::EngineConfig config(int n) {
+  sim::EngineConfig c;
+  c.nprocs = n;
+  c.stack_bytes = 256 * 1024;
+  return c;
+}
+
+/// Runs `body` on an n-rank simulated machine and returns the elapsed
+/// virtual time.
+double run_on(int n, const std::function<void(Comm&)>& body,
+              sim::NetworkModel net = sim::NetworkModel{}) {
+  sim::EngineConfig c = config(n);
+  c.net = net;
+  sim::Engine e(c);
+  e.run([&](sim::Process& p) {
+    Comm comm(p);
+    body(comm);
+  });
+  return e.elapsed();
+}
+
+TEST(Comm, SendRecvValueRoundTrip) {
+  run_on(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 5, 3.25);
+    } else {
+      int src = -1;
+      const double v = c.recv_value<double>(kAnySource, kAnyTag, &src);
+      EXPECT_DOUBLE_EQ(v, 3.25);
+      EXPECT_EQ(src, 0);
+    }
+  });
+}
+
+TEST(Comm, SendSpanRecvVector) {
+  run_on(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::int64_t> data{1, 2, 3, 4};
+      c.send_span<std::int64_t>(1, 0, data);
+    } else {
+      const auto got = c.recv_vector<std::int64_t>(0, 0);
+      EXPECT_EQ(got, (std::vector<std::int64_t>{1, 2, 3, 4}));
+    }
+  });
+}
+
+TEST(Comm, UserTagAboveLimitRejected) {
+  EXPECT_THROW(run_on(2,
+                      [](Comm& c) {
+                        if (c.rank() == 0) c.send_bytes(1, kUserTagLimit, {});
+                        else c.recv_bytes();
+                      }),
+               InputError);
+}
+
+class CommCollectiveP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommCollectiveP, BcastDeliversToAllRanks) {
+  const int n = GetParam();
+  for (int root = 0; root < n; root += std::max(1, n / 3)) {
+    run_on(n, [&](Comm& c) {
+      std::vector<std::int32_t> data;
+      if (c.rank() == root) data = {10, 20, 30};
+      c.bcast(data, root);
+      EXPECT_EQ(data, (std::vector<std::int32_t>{10, 20, 30}))
+          << "rank " << c.rank() << " root " << root;
+    });
+  }
+}
+
+TEST_P(CommCollectiveP, ReduceSumsAtRoot) {
+  const int n = GetParam();
+  run_on(n, [&](Comm& c) {
+    std::vector<double> data{static_cast<double>(c.rank()), 1.0};
+    c.reduce(data, ReduceOp::Sum, 0);
+    if (c.rank() == 0) {
+      EXPECT_DOUBLE_EQ(data[0], n * (n - 1) / 2.0);
+      EXPECT_DOUBLE_EQ(data[1], static_cast<double>(n));
+    }
+  });
+}
+
+TEST_P(CommCollectiveP, AllreduceMaxMinEverywhere) {
+  const int n = GetParam();
+  run_on(n, [&](Comm& c) {
+    std::vector<std::int64_t> mx{c.rank()};
+    c.allreduce(mx, ReduceOp::Max);
+    EXPECT_EQ(mx[0], n - 1);
+    std::vector<std::int64_t> mn{c.rank() + 5};
+    c.allreduce(mn, ReduceOp::Min);
+    EXPECT_EQ(mn[0], 5);
+  });
+}
+
+TEST_P(CommCollectiveP, GatherValueCollectsRankOrder) {
+  const int n = GetParam();
+  run_on(n, [&](Comm& c) {
+    auto all = c.gather_value<std::int32_t>(c.rank() * 10, 0);
+    if (c.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i * 10);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CommCollectiveP, AlltoallvExchangesPersonalizedBuffers) {
+  const int n = GetParam();
+  run_on(n, [&](Comm& c) {
+    std::vector<std::vector<std::byte>> send(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      // rank r sends d bytes of value r to rank d
+      send[static_cast<std::size_t>(d)].assign(static_cast<std::size_t>(d),
+                                               static_cast<std::byte>(c.rank()));
+    }
+    auto got = c.alltoallv(std::move(send));
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      const auto& buf = got[static_cast<std::size_t>(s)];
+      EXPECT_EQ(buf.size(), static_cast<std::size_t>(c.rank()));
+      for (std::byte b : buf) EXPECT_EQ(static_cast<int>(b), s);
+    }
+  });
+}
+
+TEST_P(CommCollectiveP, BarrierSynchronizesClocks) {
+  const int n = GetParam();
+  run_on(n, [&](Comm& c) {
+    // Rank 0 computes a long time; after the barrier everyone must be at
+    // least that far along.
+    if (c.rank() == 0) c.compute(100.0);
+    c.barrier();
+    EXPECT_GE(c.now(), 100.0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CommCollectiveP, ::testing::Values(1, 2, 3, 4, 7, 8, 16, 33));
+
+TEST(Comm, BcastCostGrowsLogarithmically) {
+  // With pure-latency network, a binomial bcast of p ranks costs
+  // ceil(log2(p)) * latency (plus overheads we zero out).
+  sim::NetworkModel net;
+  net.latency = 1.0;
+  net.byte_time = 0.0;
+  net.send_overhead = 0.0;
+  net.recv_overhead = 0.0;
+  for (int p : {2, 4, 8, 16, 32}) {
+    const double t = run_on(
+        p, [](Comm& c) { c.bcast_phantom(0, 0); }, net);
+    EXPECT_DOUBLE_EQ(t, std::ceil(std::log2(p))) << "p=" << p;
+  }
+}
+
+TEST(Comm, PhantomBcastTimingMatchesRealBcastOfSameSize) {
+  sim::NetworkModel net;  // defaults, nonzero everywhere
+  const std::size_t bytes = 4096;
+  const double t_phantom = run_on(
+      8, [&](Comm& c) { c.bcast_phantom(bytes, 0); }, net);
+  const double t_real = run_on(
+      8,
+      [&](Comm& c) {
+        std::vector<std::byte> data;
+        if (c.rank() == 0) data.assign(bytes, std::byte{1});
+        c.bcast_bytes(data, 0);
+        EXPECT_EQ(data.size(), bytes);
+      },
+      net);
+  EXPECT_NEAR(t_phantom, t_real, 1e-12);
+}
+
+TEST(Comm, AllreducePhantomChargesCombineTime) {
+  sim::NetworkModel net;
+  net.latency = 0.0;
+  net.byte_time = 0.0;
+  net.send_overhead = 0.0;
+  net.recv_overhead = 0.0;
+  // 2 ranks: one combine on the reduce path, zero-cost bcast back.
+  const double t = run_on(
+      2, [](Comm& c) { c.allreduce_phantom(0, 3.5); }, net);
+  EXPECT_DOUBLE_EQ(t, 3.5);
+}
+
+TEST(Comm, AllreduceScalarConvenience) {
+  run_on(5, [](Comm& c) {
+    const double sum = c.allreduce_scalar(static_cast<double>(c.rank() + 1), ReduceOp::Sum);
+    EXPECT_DOUBLE_EQ(sum, 15.0);
+    const std::uint64_t mx =
+        c.allreduce_scalar(static_cast<std::uint64_t>(c.rank()), ReduceOp::Max);
+    EXPECT_EQ(mx, 4u);
+  });
+}
+
+TEST(Comm, SuccessiveCollectivesDoNotInterfere) {
+  run_on(6, [](Comm& c) {
+    for (int iter = 0; iter < 5; ++iter) {
+      std::vector<std::int32_t> data;
+      if (c.rank() == 0) data = {iter};
+      c.bcast(data, 0);
+      ASSERT_EQ(data.size(), 1u);
+      EXPECT_EQ(data[0], iter);
+      std::vector<std::int32_t> acc{1};
+      c.allreduce(acc, ReduceOp::Sum);
+      EXPECT_EQ(acc[0], 6);
+    }
+  });
+}
+
+TEST(Comm, MixedSizeBcastsKeepOrderOnFifoChannels) {
+  // A big bcast followed by a tiny one: FIFO channels must prevent the tiny
+  // payload from overtaking and being matched as the first bcast.
+  run_on(4, [](Comm& c) {
+    std::vector<std::byte> big;
+    std::vector<std::byte> small;
+    if (c.rank() == 0) {
+      big.assign(1 << 20, std::byte{0xAA});
+      small.assign(4, std::byte{0xBB});
+    }
+    c.bcast_bytes(big, 0);
+    c.bcast_bytes(small, 0);
+    EXPECT_EQ(big.size(), 1u << 20);
+    EXPECT_EQ(small.size(), 4u);
+    EXPECT_EQ(big.front(), std::byte{0xAA});
+    EXPECT_EQ(small.front(), std::byte{0xBB});
+  });
+}
+
+}  // namespace
+}  // namespace mrbio::mpi

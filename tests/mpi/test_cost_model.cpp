@@ -1,0 +1,143 @@
+// Property tests of the communication cost model: the virtual-time cost
+// of each collective must follow its algorithmic formula under degenerate
+// network models (latency-only / bandwidth-only), across rank counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpi/comm.hpp"
+#include "sim/engine.hpp"
+
+namespace mrbio::mpi {
+namespace {
+
+double run_timed(int n, sim::NetworkModel net, const std::function<void(Comm&)>& body) {
+  sim::EngineConfig c;
+  c.nprocs = n;
+  c.net = net;
+  c.stack_bytes = 256 * 1024;
+  sim::Engine e(c);
+  e.run([&](sim::Process& p) {
+    Comm comm(p);
+    body(comm);
+  });
+  return e.elapsed();
+}
+
+sim::NetworkModel latency_only(double alpha) {
+  sim::NetworkModel net;
+  net.latency = alpha;
+  net.byte_time = 0.0;
+  net.send_overhead = 0.0;
+  net.recv_overhead = 0.0;
+  return net;
+}
+
+sim::NetworkModel bandwidth_only(double beta) {
+  sim::NetworkModel net;
+  net.latency = 0.0;
+  net.byte_time = beta;
+  net.send_overhead = 0.0;
+  net.recv_overhead = 0.0;
+  return net;
+}
+
+class CostP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostP, BarrierCostsTwoTreeDepths) {
+  const int p = GetParam();
+  const double t = run_timed(p, latency_only(1.0), [](Comm& c) { c.barrier(); });
+  // Reduce-tree up + bcast-tree down: 2 * ceil(log2 p) latencies.
+  EXPECT_DOUBLE_EQ(t, 2.0 * std::ceil(std::log2(p)));
+}
+
+TEST_P(CostP, ReduceCostsOneTreeDepth) {
+  const int p = GetParam();
+  const double t = run_timed(p, latency_only(1.0),
+                             [](Comm& c) { c.reduce_phantom(0, 0); });
+  EXPECT_DOUBLE_EQ(t, std::ceil(std::log2(p)));
+}
+
+TEST_P(CostP, BinomialBcastBandwidthScalesWithDepth) {
+  const int p = GetParam();
+  const std::uint64_t bytes = 1'000'000;
+  const double t = run_timed(p, bandwidth_only(1e-9),
+                             [&](Comm& c) { c.bcast_phantom(bytes, 0); });
+  // Each of the ceil(log2 p) levels forwards the full message.
+  EXPECT_NEAR(t, std::ceil(std::log2(p)) * 1e-9 * static_cast<double>(bytes), 1e-12);
+}
+
+TEST_P(CostP, PipelinedBcastBandwidthIsDepthFree) {
+  const int p = GetParam();
+  const std::uint64_t bytes = 1'000'000;
+  const double t = run_timed(p, bandwidth_only(1e-9),
+                             [&](Comm& c) { c.bcast_phantom_pipelined(bytes, 0); });
+  const double expected = 2.0 * (p - 1.0) / p * 1e-9 * static_cast<double>(bytes);
+  EXPECT_NEAR(t, expected, 1e-12);
+  // The whole point: for large p this is ~2x the message time, far below
+  // the binomial tree's log2(p) x message time.
+  if (p >= 8) {
+    EXPECT_LT(t, std::ceil(std::log2(p)) * 1e-9 * static_cast<double>(bytes) / 1.4);
+  }
+}
+
+TEST_P(CostP, AlltoallvLatencyScalesWithPartnerCount) {
+  const int p = GetParam();
+  if (p < 2) return;
+  const double t = run_timed(p, latency_only(1.0), [&](Comm& c) {
+    std::vector<std::vector<std::byte>> bufs(static_cast<std::size_t>(c.size()));
+    c.alltoallv(std::move(bufs));
+  });
+  // Every rank sends p-1 messages; sends are eager (latency overlaps), so
+  // the critical path is bounded by the slowest receive chain, at least
+  // one latency and at most p-1.
+  EXPECT_GE(t, 1.0);
+  EXPECT_LE(t, static_cast<double>(p - 1) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CostP, ::testing::Values(2, 4, 8, 16, 64, 256));
+
+TEST(CostModel, SendOverheadSerializesBackToBackSends) {
+  sim::NetworkModel net = latency_only(0.0);
+  net.send_overhead = 0.5;
+  const double t = run_timed(2, net, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 4; ++i) c.send_bytes(1, 0, {});
+    } else {
+      for (int i = 0; i < 4; ++i) c.recv_bytes();
+    }
+  });
+  EXPECT_DOUBLE_EQ(t, 2.0);  // 4 sends x 0.5 s CPU overhead
+}
+
+TEST(CostModel, RecvOverheadChargesPerMessage) {
+  sim::NetworkModel net = latency_only(0.0);
+  net.recv_overhead = 0.25;
+  const double t = run_timed(2, net, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 8; ++i) c.send_bytes(1, 0, {});
+    } else {
+      for (int i = 0; i < 8; ++i) c.recv_bytes();
+    }
+  });
+  EXPECT_DOUBLE_EQ(t, 2.0);  // 8 receives x 0.25 s
+}
+
+TEST(CostModel, MessageCostIsAlphaPlusBetaBytes) {
+  sim::NetworkModel net;
+  net.latency = 3.0;
+  net.byte_time = 0.01;
+  net.send_overhead = 0.0;
+  net.recv_overhead = 0.0;
+  const double t = run_timed(2, net, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_bytes(1, 0, std::vector<std::byte>(500));
+    } else {
+      c.recv_bytes();
+    }
+  });
+  EXPECT_DOUBLE_EQ(t, 3.0 + 0.01 * 500.0);
+}
+
+}  // namespace
+}  // namespace mrbio::mpi

@@ -1,0 +1,169 @@
+// Tests for nonblocking operations (isend/irecv/test/wait/waitall) and the
+// allgather/scatter collectives.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "mpi/comm.hpp"
+#include "sim/engine.hpp"
+
+namespace mrbio::mpi {
+namespace {
+
+void run_on(int n, const std::function<void(Comm&)>& body,
+            sim::NetworkModel net = sim::NetworkModel{}) {
+  sim::EngineConfig c;
+  c.nprocs = n;
+  c.net = net;
+  c.stack_bytes = 256 * 1024;
+  sim::Engine e(c);
+  e.run([&](sim::Process& p) {
+    Comm comm(p);
+    body(comm);
+  });
+}
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()),
+          reinterpret_cast<const std::byte*>(s.data()) + s.size()};
+}
+
+std::string str_of(const sim::Message& m) {
+  return {reinterpret_cast<const char*>(m.payload.data()), m.payload.size()};
+}
+
+TEST(Nonblocking, IsendCompletesImmediately) {
+  run_on(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      auto req = c.isend(1, 1, bytes_of("hello"));
+      EXPECT_TRUE(req.completed());
+      EXPECT_TRUE(req.is_send());
+      c.wait(req);  // no-op
+    } else {
+      EXPECT_EQ(str_of(c.recv_bytes(0, 1)), "hello");
+    }
+  });
+}
+
+TEST(Nonblocking, IrecvWaitReceivesMessage) {
+  run_on(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_bytes(1, 7, bytes_of("payload"));
+    } else {
+      auto req = c.irecv(0, 7);
+      EXPECT_FALSE(req.completed());
+      const sim::Message m = c.wait(req);
+      EXPECT_EQ(str_of(m), "payload");
+      EXPECT_TRUE(req.completed());
+      // wait() is idempotent.
+      EXPECT_EQ(str_of(c.wait(req)), "payload");
+    }
+  });
+}
+
+TEST(Nonblocking, TestPollsWithoutBlocking) {
+  sim::NetworkModel net;
+  net.latency = 1.0;
+  run_on(2,
+         [](Comm& c) {
+           if (c.rank() == 0) {
+             c.send_bytes(1, 2, bytes_of("late"));
+           } else {
+             auto req = c.irecv(0, 2);
+             EXPECT_FALSE(c.test(req));  // nothing can have arrived at t=0
+             c.compute(5.0);             // move past the arrival
+             EXPECT_TRUE(c.test(req));
+             EXPECT_EQ(str_of(c.wait(req)), "late");
+           }
+         },
+         net);
+}
+
+TEST(Nonblocking, WaitallDrainsOutOfOrderArrivals) {
+  run_on(4, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<Comm::Request> reqs;
+      for (int src = 1; src < 4; ++src) reqs.push_back(c.irecv(src, 3));
+      c.waitall(reqs);
+      for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(str_of(c.wait(reqs[static_cast<std::size_t>(i)])),
+                  "from" + std::to_string(i + 1));
+      }
+    } else {
+      // Later ranks compute longer, so messages arrive in reverse order of
+      // the irecv posting order.
+      c.compute(0.01 * (4 - c.rank()));
+      c.send_bytes(0, 3, bytes_of("from" + std::to_string(c.rank())));
+    }
+  });
+}
+
+TEST(Nonblocking, WildcardIrecvMatchesEarliestArrival) {
+  sim::NetworkModel net;
+  net.latency = 1.0;
+  net.send_overhead = 0.0;
+  net.recv_overhead = 0.0;
+  run_on(3,
+         [](Comm& c) {
+           if (c.rank() == 0) {
+             auto req = c.irecv();
+             const sim::Message m = c.wait(req);
+             EXPECT_EQ(m.source, 2);  // rank 2 sent earlier
+             c.recv_bytes();          // drain the other
+           } else {
+             c.compute(c.rank() == 1 ? 3.0 : 1.0);
+             c.send_bytes(0, 0, bytes_of("x"));
+           }
+         },
+         net);
+}
+
+TEST(Collectives, AllgatherEveryRankSeesAll) {
+  run_on(5, [](Comm& c) {
+    const auto all = c.allgather_bytes(bytes_of("rank" + std::to_string(c.rank())));
+    ASSERT_EQ(all.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(std::string(reinterpret_cast<const char*>(all[static_cast<std::size_t>(i)].data()),
+                            all[static_cast<std::size_t>(i)].size()),
+                "rank" + std::to_string(i));
+    }
+  });
+}
+
+TEST(Collectives, AllgatherSingleRank) {
+  run_on(1, [](Comm& c) {
+    const auto all = c.allgather_bytes(bytes_of("solo"));
+    ASSERT_EQ(all.size(), 1u);
+  });
+}
+
+TEST(Collectives, ScatterDistributesPersonalizedBuffers) {
+  for (const int root : {0, 2}) {
+    run_on(4, [&](Comm& c) {
+      std::vector<std::vector<std::byte>> bufs;
+      if (c.rank() == root) {
+        for (int i = 0; i < 4; ++i) bufs.push_back(bytes_of("to" + std::to_string(i)));
+      }
+      const auto mine = c.scatter_bytes(std::move(bufs), root);
+      EXPECT_EQ(std::string(reinterpret_cast<const char*>(mine.data()), mine.size()),
+                "to" + std::to_string(c.rank()));
+    });
+  }
+}
+
+TEST(Collectives, ScatterWrongCountRejected) {
+  EXPECT_THROW(run_on(3,
+                      [](Comm& c) {
+                        std::vector<std::vector<std::byte>> bufs(2);  // need 3
+                        if (c.rank() == 0) {
+                          c.scatter_bytes(std::move(bufs), 0);
+                        } else {
+                          c.recv_bytes();
+                        }
+                      }),
+               InputError);
+}
+
+}  // namespace
+}  // namespace mrbio::mpi

@@ -1,0 +1,151 @@
+// Integration tests of the translated (blastx) MapReduce driver: DNA reads
+// carrying coding fragments must find their source proteins across
+// partitions, with frame and DNA coordinates in the output.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "blast/translate.hpp"
+#include "mrblast/mrblast.hpp"
+#include "sim/engine.hpp"
+
+namespace mrbio::mrblast {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string back_translate(std::span<const std::uint8_t> prot) {
+  static const char* bases = "ACGT";
+  std::string dna;
+  for (const std::uint8_t aa : prot) {
+    bool found = false;
+    for (int a = 0; a < 4 && !found; ++a) {
+      for (int b = 0; b < 4 && !found; ++b) {
+        for (int c = 0; c < 4 && !found; ++c) {
+          const std::string codon{bases[a], bases[b], bases[c]};
+          const auto t = blast::translate(blast::encode_dna(codon), 0);
+          if (t.size() == 1 && t[0] == aa) {
+            dna += codon;
+            found = true;
+          }
+        }
+      }
+    }
+  }
+  return dna;
+}
+
+class BlastxMrTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "mrbio_blastx_mr";
+    fs::create_directories(dir_);
+    Rng rng(90);
+    for (int i = 0; i < 6; ++i) {
+      proteins_.push_back(blast::random_sequence(rng, "prot" + std::to_string(i), 200,
+                                                 blast::SeqType::Protein));
+    }
+    db_ = blast::build_db(proteins_, (dir_ / "pdb").string(), blast::SeqType::Protein,
+                          500);  // several partitions
+
+    // Reads: plus-strand fragment of prot1, minus-strand fragment of prot4,
+    // and noise.
+    blast::Sequence r1;
+    r1.id = "read_p1";
+    r1.data = blast::encode_dna(
+        "AC" + back_translate(std::span(proteins_[1].data).subspan(30, 80)));
+    blast::Sequence r2;
+    r2.id = "read_p4";
+    r2.data = blast::reverse_complement(blast::encode_dna(
+        back_translate(std::span(proteins_[4].data).subspan(10, 90))));
+    reads_ = {r1, r2, blast::random_sequence(rng, "noise", 250, blast::SeqType::Dna)};
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// query -> (frame, subject) of the best line per query.
+  std::map<std::string, std::pair<int, std::string>> run(int ranks) {
+    BlastxRunConfig config;
+    config.query_blocks = {{reads_[0]}, {reads_[1], reads_[2]}};
+    config.partition_paths = db_.volume_paths;
+    config.options = blast::make_protein_options();
+    config.options.filter_low_complexity = false;
+    config.options.evalue_cutoff = 1e-8;
+    config.output_dir = (dir_ / ("out" + std::to_string(ranks))).string();
+
+    sim::EngineConfig ec;
+    ec.nprocs = ranks;
+    sim::Engine engine(ec);
+    std::vector<std::string> files(static_cast<std::size_t>(ranks));
+    std::uint64_t total = 0;
+    engine.run([&](sim::Process& p) {
+      mpi::Comm comm(p);
+      const auto result = run_blastx_mr(comm, config);
+      files[static_cast<std::size_t>(p.rank())] = result.output_file;
+      if (p.rank() == 0) total = result.total_hsps;
+    });
+    EXPECT_GT(total, 0u);
+
+    std::map<std::string, std::pair<int, std::string>> best;
+    for (const auto& path : files) {
+      if (path.empty()) continue;
+      std::ifstream in(path);
+      std::string line;
+      while (std::getline(in, line)) {
+        std::istringstream ss(line);
+        std::string qid;
+        int frame = 0;
+        std::uint64_t d0 = 0;
+        std::uint64_t d1 = 0;
+        std::string qid2;
+        std::string sid;
+        ss >> qid >> frame >> d0 >> d1 >> qid2 >> sid;
+        if (best.find(qid) == best.end()) best[qid] = {frame, sid};
+      }
+    }
+    return best;
+  }
+
+  fs::path dir_;
+  std::vector<blast::Sequence> proteins_;
+  std::vector<blast::Sequence> reads_;
+  blast::DbInfo db_;
+};
+
+TEST_F(BlastxMrTest, FindsCodingFragmentsAcrossPartitions) {
+  ASSERT_GT(db_.volume_paths.size(), 1u);
+  const auto best = run(4);
+  ASSERT_TRUE(best.count("read_p1"));
+  EXPECT_EQ(best.at("read_p1").second, "prot1");
+  EXPECT_GT(best.at("read_p1").first, 0);  // plus frame
+  ASSERT_TRUE(best.count("read_p4"));
+  EXPECT_EQ(best.at("read_p4").second, "prot4");
+  EXPECT_LT(best.at("read_p4").first, 0);  // minus frame
+  EXPECT_EQ(best.count("noise"), 0u);
+}
+
+TEST_F(BlastxMrTest, ParallelMatchesSingleRank) {
+  const auto parallel = run(5);
+  const auto serial = run(1);
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST_F(BlastxMrTest, DnaOptionsRejected) {
+  BlastxRunConfig config;
+  config.query_blocks = {{reads_[0]}};
+  config.partition_paths = db_.volume_paths;
+  config.options = blast::SearchOptions{};  // nucleotide options: invalid
+  sim::EngineConfig ec;
+  ec.nprocs = 2;
+  sim::Engine engine(ec);
+  EXPECT_THROW(engine.run([&](sim::Process& p) {
+                 mpi::Comm comm(p);
+                 run_blastx_mr(comm, config);
+               }),
+               InputError);
+}
+
+}  // namespace
+}  // namespace mrbio::mrblast

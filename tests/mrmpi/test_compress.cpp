@@ -1,0 +1,155 @@
+// Tests for compress() (local combiner) and map_kv() (re-map of existing
+// pairs), the remaining Sandia API operations.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "mrmpi/mapreduce.hpp"
+#include "sim/engine.hpp"
+
+namespace mrbio::mrmpi {
+namespace {
+
+std::string key_str(std::span<const std::byte> s) {
+  return {reinterpret_cast<const char*>(s.data()), s.size()};
+}
+
+void run_ranks(int n, const std::function<void(MapReduce&, mpi::Comm&)>& body,
+               MapReduceConfig cfg = {}) {
+  sim::EngineConfig ec;
+  ec.nprocs = n;
+  ec.stack_bytes = 512 * 1024;
+  sim::Engine engine(ec);
+  engine.run([&](sim::Process& p) {
+    mpi::Comm comm(p);
+    MapReduce mr(comm, cfg);
+    body(mr, comm);
+  });
+}
+
+TEST(Compress, LocallyCombinesDuplicateKeys) {
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::Stride;
+  run_ranks(3, [](MapReduce& mr, mpi::Comm&) {
+    mr.map(9, [](std::uint64_t t, KeyValue& kv) {
+      // Each rank emits its own tasks; key collisions are rank-local.
+      kv.add("k" + std::to_string(t % 2), "1");
+    });
+    const std::size_t before = mr.kv().size();
+    mr.compress([](const KmvGroup& g, KeyValue& out) {
+      out.add(key_str(g.key), std::to_string(g.values.size()));
+    });
+    // Each rank has at most 2 distinct keys afterwards.
+    EXPECT_LE(mr.kv().size(), 2u);
+    EXPECT_LE(mr.kv().size(), before);
+  }, cfg);
+}
+
+TEST(Compress, CombinerBeforeCollateMatchesDirectPipeline) {
+  // Sum counts per word with and without a combiner; results must agree.
+  auto run_pipeline = [&](bool combine) {
+    MapReduceConfig cfg;
+    cfg.map_style = MapStyle::Stride;
+    std::mutex mu;
+    std::map<std::string, long> totals;
+    run_ranks(4, [&](MapReduce& mr, mpi::Comm&) {
+      mr.map(20, [](std::uint64_t t, KeyValue& kv) {
+        for (int i = 0; i < 5; ++i) kv.add("w" + std::to_string((t + i) % 3), "1");
+      });
+      if (combine) {
+        mr.compress([](const KmvGroup& g, KeyValue& out) {
+          out.add(key_str(g.key), std::to_string(g.values.size()));
+        });
+      }
+      mr.collate();
+      mr.reduce([&](const KmvGroup& g, KeyValue&) {
+        long sum = 0;
+        for (const auto& v : g.values) {
+          sum += std::stol(std::string(reinterpret_cast<const char*>(v.data()), v.size()));
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        totals[key_str(g.key)] += sum;
+      });
+    }, cfg);
+    return totals;
+  };
+  const auto with = run_pipeline(true);
+  const auto without = run_pipeline(false);
+  EXPECT_EQ(with, without);
+  long total = 0;
+  for (const auto& [k, v] : with) total += v;
+  EXPECT_EQ(total, 100);
+}
+
+TEST(Compress, ShrinksAggregateTraffic) {
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::Stride;
+  std::mutex mu;
+  std::uint64_t bytes_with = 0;
+  std::uint64_t bytes_without = 0;
+  auto measure = [&](bool combine, std::uint64_t* out) {
+    run_ranks(4, [&](MapReduce& mr, mpi::Comm&) {
+      mr.map(40, [](std::uint64_t, KeyValue& kv) {
+        for (int i = 0; i < 10; ++i) kv.add("hot_key", std::string(50, 'x'));
+      });
+      if (combine) {
+        mr.compress([](const KmvGroup& g, KeyValue& out2) {
+          out2.add(key_str(g.key), std::to_string(g.values.size()));
+        });
+      }
+      mr.aggregate();
+      std::lock_guard<std::mutex> lock(mu);
+      *out += mr.stats().aggregate_bytes_sent;
+    }, cfg);
+  };
+  measure(true, &bytes_with);
+  measure(false, &bytes_without);
+  EXPECT_LT(bytes_with * 10, bytes_without);
+}
+
+TEST(MapKv, TransformsEveryPair) {
+  run_ranks(1, [](MapReduce& mr, mpi::Comm&) {
+    mr.map(1, [](std::uint64_t, KeyValue& kv) {
+      kv.add("a", "1");
+      kv.add("b", "2");
+    });
+    const auto total = mr.map_kv([](const KvPair& p, KeyValue& out) {
+      out.add(key_str(p.key) + "!", key_str(p.value) + key_str(p.value));
+    });
+    EXPECT_EQ(total, 2u);
+    EXPECT_EQ(key_str(mr.kv().pair(0).key), "a!");
+    EXPECT_EQ(key_str(mr.kv().pair(0).value), "11");
+    EXPECT_EQ(key_str(mr.kv().pair(1).key), "b!");
+  });
+}
+
+TEST(Scan, VisitsWithoutModifying) {
+  run_ranks(1, [](MapReduce& mr, mpi::Comm&) {
+    mr.map(1, [](std::uint64_t, KeyValue& kv) {
+      kv.add("x", "1");
+      kv.add("y", "2");
+    });
+    std::size_t visited = 0;
+    mr.scan([&](const KvPair&) { ++visited; });
+    EXPECT_EQ(visited, 2u);
+    EXPECT_EQ(mr.kv().size(), 2u);  // unchanged
+    EXPECT_EQ(key_str(mr.kv().pair(0).key), "x");
+  });
+}
+
+TEST(MapKv, CanFilterPairs) {
+  run_ranks(1, [](MapReduce& mr, mpi::Comm&) {
+    mr.map(1, [](std::uint64_t, KeyValue& kv) {
+      for (int i = 0; i < 10; ++i) kv.add("k" + std::to_string(i), "v");
+    });
+    const auto total = mr.map_kv([](const KvPair& p, KeyValue& out) {
+      if (key_str(p.key).back() % 2 == 0) out.add(p.key, p.value);
+    });
+    EXPECT_EQ(total, 5u);
+  });
+}
+
+}  // namespace
+}  // namespace mrbio::mrmpi

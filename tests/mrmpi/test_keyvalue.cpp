@@ -1,0 +1,154 @@
+// Unit tests for KeyValue / KeyMultiValue containers and the key hash.
+#include "mrmpi/keyvalue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mrbio::mrmpi {
+namespace {
+
+std::string to_string(std::span<const std::byte> s) {
+  return {reinterpret_cast<const char*>(s.data()), s.size()};
+}
+
+TEST(KeyValue, AddAndReadBack) {
+  KeyValue kv;
+  kv.add("alpha", "1");
+  kv.add("beta", "22");
+  ASSERT_EQ(kv.size(), 2u);
+  EXPECT_EQ(to_string(kv.pair(0).key), "alpha");
+  EXPECT_EQ(to_string(kv.pair(0).value), "1");
+  EXPECT_EQ(to_string(kv.pair(1).key), "beta");
+  EXPECT_EQ(to_string(kv.pair(1).value), "22");
+}
+
+TEST(KeyValue, DefaultNominalEqualsRealSize) {
+  KeyValue kv;
+  kv.add("key", "value");
+  EXPECT_EQ(kv.pair(0).nominal_bytes, 8u);
+  EXPECT_EQ(kv.nominal_bytes(), 8u);
+}
+
+TEST(KeyValue, ExplicitNominalOverrides) {
+  KeyValue kv;
+  const std::byte k[1]{std::byte{'k'}};
+  kv.add(std::span(k), {}, 1'000'000);
+  EXPECT_EQ(kv.pair(0).nominal_bytes, 1'000'000u);
+  EXPECT_EQ(kv.nominal_bytes(), 1'000'000u);
+  EXPECT_EQ(kv.bytes(), 1u);
+}
+
+TEST(KeyValue, EmptyKeyAndValueAllowed) {
+  KeyValue kv;
+  kv.add("", "");
+  ASSERT_EQ(kv.size(), 1u);
+  EXPECT_TRUE(kv.pair(0).key.empty());
+  EXPECT_TRUE(kv.pair(0).value.empty());
+}
+
+TEST(KeyValue, ClearResets) {
+  KeyValue kv;
+  kv.add("a", "b");
+  kv.clear();
+  EXPECT_TRUE(kv.empty());
+  EXPECT_EQ(kv.bytes(), 0u);
+  EXPECT_EQ(kv.nominal_bytes(), 0u);
+}
+
+TEST(KeyValue, AbsorbMergesPreservingOrder) {
+  KeyValue a;
+  a.add("one", "1");
+  KeyValue b;
+  b.add("two", "2");
+  b.add("three", "3");
+  a.absorb(std::move(b));
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(to_string(a.pair(0).key), "one");
+  EXPECT_EQ(to_string(a.pair(1).key), "two");
+  EXPECT_EQ(to_string(a.pair(2).key), "three");
+}
+
+TEST(KeyValue, AbsorbIntoEmpty) {
+  KeyValue a;
+  KeyValue b;
+  b.add("x", "y");
+  a.absorb(std::move(b));
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(to_string(a.pair(0).value), "y");
+}
+
+TEST(KeyValue, PairIndexOutOfRangeThrows) {
+  KeyValue kv;
+  EXPECT_THROW(kv.pair(0), LogicError);
+}
+
+TEST(KeyMultiValue, GroupsByKeyFirstOccurrenceOrder) {
+  KeyValue kv;
+  kv.add("b", "1");
+  kv.add("a", "2");
+  kv.add("b", "3");
+  kv.add("a", "4");
+  kv.add("c", "5");
+  KeyMultiValue kmv = KeyMultiValue::from_keyvalue(kv);
+  ASSERT_EQ(kmv.size(), 3u);
+  EXPECT_EQ(to_string(kmv.group(0).key), "b");
+  ASSERT_EQ(kmv.group(0).values.size(), 2u);
+  EXPECT_EQ(to_string(kmv.group(0).values[0]), "1");
+  EXPECT_EQ(to_string(kmv.group(0).values[1]), "3");
+  EXPECT_EQ(to_string(kmv.group(1).key), "a");
+  EXPECT_EQ(to_string(kmv.group(2).key), "c");
+  ASSERT_EQ(kmv.group(2).values.size(), 1u);
+}
+
+TEST(KeyMultiValue, EmptyInput) {
+  KeyValue kv;
+  KeyMultiValue kmv = KeyMultiValue::from_keyvalue(kv);
+  EXPECT_TRUE(kmv.empty());
+}
+
+TEST(KeyMultiValue, NominalBytesSumPerGroup) {
+  KeyValue kv;
+  const std::byte k[1]{std::byte{'k'}};
+  kv.add(std::span(k), {}, 10);
+  kv.add(std::span(k), {}, 32);
+  KeyMultiValue kmv = KeyMultiValue::from_keyvalue(kv);
+  ASSERT_EQ(kmv.size(), 1u);
+  EXPECT_EQ(kmv.group(0).nominal_bytes, 42u);
+  EXPECT_EQ(kmv.nominal_bytes(), 42u);
+}
+
+TEST(KeyMultiValue, BinaryKeysWithEmbeddedNulls) {
+  KeyValue kv;
+  const std::string k1("a\0b", 3);
+  const std::string k2("a\0c", 3);
+  kv.add(k1, "1");
+  kv.add(k2, "2");
+  kv.add(k1, "3");
+  KeyMultiValue kmv = KeyMultiValue::from_keyvalue(kv);
+  ASSERT_EQ(kmv.size(), 2u);
+  EXPECT_EQ(kmv.group(0).values.size(), 2u);
+  EXPECT_EQ(kmv.group(1).values.size(), 1u);
+}
+
+TEST(KeyHash, DeterministicAndSpreads) {
+  const std::string a = "query_000123";
+  const std::string b = "query_000124";
+  const auto h = [](const std::string& s) {
+    return key_hash(std::as_bytes(std::span(s.data(), s.size())));
+  };
+  EXPECT_EQ(h(a), h(a));
+  EXPECT_NE(h(a), h(b));
+  // Spread: sequential keys should not collide mod small rank counts.
+  std::set<std::uint64_t> buckets;
+  for (int i = 0; i < 64; ++i) {
+    buckets.insert(h("q" + std::to_string(i)) % 16);
+  }
+  EXPECT_GE(buckets.size(), 12u);
+}
+
+}  // namespace
+}  // namespace mrbio::mrmpi

@@ -1,0 +1,302 @@
+// Integration tests for the MapReduce engine over the simulated machine:
+// the three map styles, collate semantics, word-count style pipelines,
+// master-worker load balancing, and spill accounting.
+#include "mrmpi/mapreduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+#include "sim/engine.hpp"
+
+namespace mrbio::mrmpi {
+namespace {
+
+std::string to_string(std::span<const std::byte> s) {
+  return {reinterpret_cast<const char*>(s.data()), s.size()};
+}
+
+/// Runs `body` on `n` simulated ranks with a fresh MapReduce per rank.
+double run_mr(int n, MapReduceConfig cfg,
+              const std::function<void(MapReduce&, mpi::Comm&)>& body) {
+  sim::EngineConfig ec;
+  ec.nprocs = n;
+  ec.stack_bytes = 512 * 1024;
+  sim::Engine engine(ec);
+  engine.run([&](sim::Process& p) {
+    mpi::Comm comm(p);
+    MapReduce mr(comm, cfg);
+    body(mr, comm);
+  });
+  return engine.elapsed();
+}
+
+class MapStyleP : public ::testing::TestWithParam<std::tuple<MapStyle, int>> {};
+
+TEST_P(MapStyleP, EveryTaskRunsExactlyOnce) {
+  const auto [style, nprocs] = GetParam();
+  MapReduceConfig cfg;
+  cfg.map_style = style;
+  std::mutex mu;
+  std::multiset<std::uint64_t> seen;
+  const std::uint64_t ntasks = 37;
+  run_mr(nprocs, cfg, [&](MapReduce& mr, mpi::Comm&) {
+    const auto total = mr.map(ntasks, [&](std::uint64_t t, KeyValue& kv) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        seen.insert(t);
+      }
+      kv.add("task", std::to_string(t));
+    });
+    EXPECT_EQ(total, ntasks);
+  });
+  EXPECT_EQ(seen.size(), ntasks);
+  for (std::uint64_t t = 0; t < ntasks; ++t) EXPECT_EQ(seen.count(t), 1u) << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StylesAndSizes, MapStyleP,
+    ::testing::Combine(::testing::Values(MapStyle::Chunk, MapStyle::Stride,
+                                         MapStyle::MasterWorker),
+                       ::testing::Values(1, 2, 5, 16)));
+
+TEST(MapReduce, MasterRankRunsNoTasks) {
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::MasterWorker;
+  std::mutex mu;
+  std::map<int, std::uint64_t> tasks_by_rank;
+  run_mr(4, cfg, [&](MapReduce& mr, mpi::Comm& comm) {
+    mr.map(20, [&](std::uint64_t, KeyValue&) {
+      std::lock_guard<std::mutex> lock(mu);
+      tasks_by_rank[comm.rank()]++;
+    });
+  });
+  EXPECT_EQ(tasks_by_rank.count(0), 0u);
+  std::uint64_t total = 0;
+  for (const auto& [rank, n] : tasks_by_rank) total += n;
+  EXPECT_EQ(total, 20u);
+}
+
+TEST(MapReduce, MasterWorkerBalancesHeterogeneousTasks) {
+  // One long task plus many short ones: with greedy scheduling the long
+  // task must not serialize everything behind it. Elapsed should be close
+  // to the long task, not to long + short_total.
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::MasterWorker;
+  const double elapsed = run_mr(3, cfg, [&](MapReduce& mr, mpi::Comm& comm) {
+    mr.map(11, [&](std::uint64_t t, KeyValue&) {
+      comm.compute(t == 0 ? 10.0 : 1.0);
+    });
+  });
+  // 2 workers: one takes the 10 s task, the other the ten 1 s tasks.
+  EXPECT_GE(elapsed, 10.0);
+  EXPECT_LT(elapsed, 11.0);
+}
+
+TEST(MapReduce, ChunkStyleSuffersFromStragglerPlacement) {
+  // Same workload with static chunks: tasks 0..4 land on rank 0 (the 10 s
+  // task plus four 1 s tasks), so elapsed must be >= 14 s.
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::Chunk;
+  const double elapsed = run_mr(2, cfg, [&](MapReduce& mr, mpi::Comm& comm) {
+    mr.map(11, [&](std::uint64_t t, KeyValue&) {
+      comm.compute(t == 0 ? 10.0 : 1.0);
+    });
+  });
+  EXPECT_GE(elapsed, 14.0);
+}
+
+TEST(MapReduce, WordCountPipeline) {
+  // The canonical MapReduce exercise across 4 ranks.
+  const std::vector<std::string> docs = {"a b a", "b c", "a", "c c b"};
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::Stride;
+  std::mutex mu;
+  std::map<std::string, int> counts;
+  run_mr(4, cfg, [&](MapReduce& mr, mpi::Comm&) {
+    mr.map(docs.size(), [&](std::uint64_t t, KeyValue& kv) {
+      std::string word;
+      for (char c : docs[t] + " ") {
+        if (c == ' ') {
+          if (!word.empty()) kv.add(word, "1");
+          word.clear();
+        } else {
+          word.push_back(c);
+        }
+      }
+    });
+    const auto unique_keys = mr.collate();
+    EXPECT_EQ(unique_keys, 3u);
+    mr.reduce([&](const KmvGroup& g, KeyValue& out) {
+      out.add(to_string(g.key), std::to_string(g.values.size()));
+    });
+    // Collect results on every rank's local kv.
+    for (std::size_t i = 0; i < mr.kv().size(); ++i) {
+      const KvPair p = mr.kv().pair(i);
+      std::lock_guard<std::mutex> lock(mu);
+      counts[to_string(p.key)] = std::stoi(to_string(p.value));
+    }
+  });
+  EXPECT_EQ(counts.at("a"), 3);
+  EXPECT_EQ(counts.at("b"), 3);
+  EXPECT_EQ(counts.at("c"), 3);
+}
+
+TEST(MapReduce, AggregatePlacesKeyOnHashRank) {
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::Stride;
+  std::mutex mu;
+  std::map<std::string, std::set<int>> key_ranks;
+  run_mr(4, cfg, [&](MapReduce& mr, mpi::Comm& comm) {
+    // Every rank emits every key once.
+    mr.map(4, [&](std::uint64_t, KeyValue& kv) {
+      for (const char* k : {"k1", "k2", "k3", "k4", "k5"}) kv.add(k, "v");
+    });
+    mr.aggregate();
+    for (std::size_t i = 0; i < mr.kv().size(); ++i) {
+      std::lock_guard<std::mutex> lock(mu);
+      key_ranks[to_string(mr.kv().pair(i).key)].insert(comm.rank());
+    }
+  });
+  ASSERT_EQ(key_ranks.size(), 5u);
+  for (const auto& [key, ranks] : key_ranks) {
+    EXPECT_EQ(ranks.size(), 1u) << "key " << key << " split across ranks";
+    const std::uint64_t h = key_hash(std::as_bytes(std::span(key.data(), key.size())));
+    EXPECT_EQ(*ranks.begin(), static_cast<int>(h % 4)) << key;
+  }
+}
+
+TEST(MapReduce, CollateGroupsAcrossRanks) {
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::Stride;
+  std::mutex mu;
+  std::size_t groups_seen = 0;
+  std::size_t values_seen = 0;
+  run_mr(3, cfg, [&](MapReduce& mr, mpi::Comm&) {
+    mr.map(6, [&](std::uint64_t t, KeyValue& kv) {
+      kv.add("shared", std::to_string(t));
+    });
+    const auto unique_keys = mr.collate();
+    EXPECT_EQ(unique_keys, 1u);
+    mr.reduce([&](const KmvGroup& g, KeyValue&) {
+      std::lock_guard<std::mutex> lock(mu);
+      groups_seen += 1;
+      values_seen += g.values.size();
+    });
+  });
+  EXPECT_EQ(groups_seen, 1u);
+  EXPECT_EQ(values_seen, 6u);
+}
+
+TEST(MapReduce, ReduceWithoutConvertThrows) {
+  EXPECT_THROW(run_mr(2, {}, [&](MapReduce& mr, mpi::Comm&) {
+                 mr.map(2, [](std::uint64_t, KeyValue& kv) { kv.add("k", "v"); });
+                 mr.reduce([](const KmvGroup&, KeyValue&) {});
+               }),
+               InputError);
+}
+
+TEST(MapReduce, MapAppendKeepsExistingPairs) {
+  run_mr(1, {}, [&](MapReduce& mr, mpi::Comm&) {
+    mr.map(1, [](std::uint64_t, KeyValue& kv) { kv.add("first", "1"); });
+    const auto total = mr.map_append(1, [](std::uint64_t, KeyValue& kv) {
+      kv.add("second", "2");
+    });
+    EXPECT_EQ(total, 2u);
+    EXPECT_EQ(mr.kv().size(), 2u);
+  });
+}
+
+TEST(MapReduce, GatherCollectsEverythingOnRankZero) {
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::Stride;
+  std::mutex mu;
+  std::map<int, std::size_t> sizes;
+  run_mr(3, cfg, [&](MapReduce& mr, mpi::Comm& comm) {
+    mr.map(9, [&](std::uint64_t t, KeyValue& kv) {
+      kv.add("t" + std::to_string(t), "v");
+    });
+    const auto total = mr.gather();
+    EXPECT_EQ(total, 9u);
+    std::lock_guard<std::mutex> lock(mu);
+    sizes[comm.rank()] = mr.kv().size();
+  });
+  EXPECT_EQ(sizes.at(0), 9u);
+  EXPECT_EQ(sizes.at(1), 0u);
+  EXPECT_EQ(sizes.at(2), 0u);
+}
+
+TEST(MapReduce, SortKeysOrdersLexicographically) {
+  run_mr(1, {}, [&](MapReduce& mr, mpi::Comm&) {
+    mr.map(1, [](std::uint64_t, KeyValue& kv) {
+      kv.add("zeta", "1");
+      kv.add("alpha", "2");
+      kv.add("mu", "3");
+    });
+    mr.sort_keys();
+    EXPECT_EQ(to_string(mr.kv().pair(0).key), "alpha");
+    EXPECT_EQ(to_string(mr.kv().pair(1).key), "mu");
+    EXPECT_EQ(to_string(mr.kv().pair(2).key), "zeta");
+  });
+}
+
+TEST(MapReduce, SpillChargedBeyondMemoryBudget) {
+  MapReduceConfig small;
+  small.map_style = MapStyle::Stride;
+  small.memsize_bytes = 64;
+  small.spill_byte_seconds = 1.0;  // exaggerated so the charge dominates
+  MapReduceConfig big = small;
+  big.memsize_bytes = 1ull << 30;
+
+  auto fill = [](MapReduce& mr, mpi::Comm&) {
+    mr.map(1, [](std::uint64_t, KeyValue& kv) {
+      const std::string v(100, 'x');
+      kv.add("k", v);
+    });
+  };
+  const double t_small = run_mr(1, small, fill);
+  const double t_big = run_mr(1, big, fill);
+  EXPECT_GT(t_small, t_big + 30.0);  // ~(101+1-64) spilled bytes * 1 s
+}
+
+TEST(MapReduce, StatsTrackTasksAndEmissions) {
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::Chunk;
+  run_mr(1, cfg, [&](MapReduce& mr, mpi::Comm&) {
+    mr.map(5, [](std::uint64_t, KeyValue& kv) { kv.add("k", "v"); });
+    EXPECT_EQ(mr.stats().map_tasks_run, 5u);
+    EXPECT_EQ(mr.stats().kv_pairs_emitted, 5u);
+  });
+}
+
+TEST(MapReduce, DeterministicAcrossRuns) {
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::MasterWorker;
+  auto run_once = [&]() {
+    std::vector<std::string> trace;
+    std::mutex mu;
+    const double t = run_mr(4, cfg, [&](MapReduce& mr, mpi::Comm& comm) {
+      mr.map(13, [&](std::uint64_t task, KeyValue& kv) {
+        comm.compute(0.1 * static_cast<double>(task % 3 + 1));
+        kv.add("t" + std::to_string(task), std::to_string(comm.rank()));
+      });
+      mr.collate();
+      mr.reduce([&](const KmvGroup& g, KeyValue&) {
+        std::lock_guard<std::mutex> lock(mu);
+        trace.push_back(to_string(g.key));
+      });
+    });
+    return std::pair{trace, t};
+  };
+  const auto [trace1, t1] = run_once();
+  const auto [trace2, t2] = run_once();
+  EXPECT_EQ(trace1, trace2);
+  EXPECT_DOUBLE_EQ(t1, t2);
+}
+
+}  // namespace
+}  // namespace mrbio::mrmpi

@@ -1,0 +1,236 @@
+// Tests for the out-of-core KeyValue paging: real spill files, transparent
+// reload on sequential and random access, sort on spilled data, and the
+// whole MapReduce pipeline under a tiny memory budget.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/error.hpp"
+#include "mrmpi/mapreduce.hpp"
+#include "sim/engine.hpp"
+
+namespace mrbio::mrmpi {
+namespace {
+
+class SpillTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mrbio_spill_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  SpillPolicy tiny_policy(std::size_t resident_pages = 2) const {
+    SpillPolicy p;
+    p.page_bytes = 1024;
+    p.max_resident_pages = resident_pages;
+    p.dir = dir_.string();
+    return p;
+  }
+
+  std::size_t spill_files() const {
+    std::size_t n = 0;
+    for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+      if (e.path().extension() == ".spill") ++n;
+    }
+    return n;
+  }
+
+  std::filesystem::path dir_;
+};
+
+std::string payload(int i) { return "value_" + std::to_string(i) + std::string(90, 'x'); }
+
+TEST_F(SpillTest, SpillsBeyondBudgetAndCreatesFile) {
+  KeyValue kv(tiny_policy());
+  for (int i = 0; i < 200; ++i) kv.add("key" + std::to_string(i), payload(i));
+  EXPECT_EQ(kv.size(), 200u);
+  EXPECT_GT(kv.spilled_bytes(), 0u);
+  EXPECT_EQ(spill_files(), 1u);
+}
+
+TEST_F(SpillTest, FullyResidentPolicyNeverSpills) {
+  KeyValue kv;  // default policy
+  for (int i = 0; i < 2'000; ++i) kv.add("key" + std::to_string(i), payload(i));
+  EXPECT_EQ(kv.spilled_bytes(), 0u);
+}
+
+TEST_F(SpillTest, ForEachReadsBackEverythingInOrder) {
+  KeyValue kv(tiny_policy());
+  for (int i = 0; i < 300; ++i) kv.add("key" + std::to_string(i), payload(i));
+  int i = 0;
+  kv.for_each([&](const KvPair& p) {
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(p.key.data()), p.key.size()),
+              "key" + std::to_string(i));
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(p.value.data()), p.value.size()),
+              payload(i));
+    ++i;
+  });
+  EXPECT_EQ(i, 300);
+}
+
+TEST_F(SpillTest, RandomAccessThroughPageCache) {
+  KeyValue kv(tiny_policy());
+  for (int i = 0; i < 250; ++i) kv.add("key" + std::to_string(i), payload(i));
+  // Access in a hostile pattern: front, back, middle, repeat.
+  for (const std::size_t i : {0u, 249u, 125u, 3u, 200u, 125u, 0u, 249u}) {
+    const KvPair p = kv.pair(i);
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(p.key.data()), p.key.size()),
+              "key" + std::to_string(i));
+  }
+}
+
+TEST_F(SpillTest, SortByKeyWorksOnSpilledStore) {
+  KeyValue kv(tiny_policy(3));
+  for (int i = 299; i >= 0; --i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%05d", i);
+    kv.add(std::string(buf), payload(i));
+  }
+  EXPECT_GT(kv.spilled_bytes(), 0u);
+  kv.sort_by_key();
+  int i = 0;
+  kv.for_each([&](const KvPair& p) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%05d", i);
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(p.key.data()), p.key.size()), buf);
+    ++i;
+  });
+  EXPECT_EQ(i, 300);
+}
+
+TEST_F(SpillTest, AbsorbAcrossSpilledStores) {
+  KeyValue a(tiny_policy());
+  KeyValue b(tiny_policy());
+  for (int i = 0; i < 120; ++i) a.add("a" + std::to_string(i), payload(i));
+  for (int i = 0; i < 120; ++i) b.add("b" + std::to_string(i), payload(i));
+  a.absorb(std::move(b));
+  EXPECT_EQ(a.size(), 240u);
+  std::size_t count = 0;
+  a.for_each([&](const KvPair&) { ++count; });
+  EXPECT_EQ(count, 240u);
+}
+
+TEST_F(SpillTest, ClearRemovesSpillFile) {
+  {
+    KeyValue kv(tiny_policy());
+    for (int i = 0; i < 200; ++i) kv.add("key" + std::to_string(i), payload(i));
+    EXPECT_EQ(spill_files(), 1u);
+    kv.clear();
+    EXPECT_EQ(spill_files(), 0u);
+    EXPECT_EQ(kv.size(), 0u);
+  }
+  EXPECT_EQ(spill_files(), 0u);
+}
+
+TEST_F(SpillTest, DestructorRemovesSpillFile) {
+  {
+    KeyValue kv(tiny_policy());
+    for (int i = 0; i < 200; ++i) kv.add("key" + std::to_string(i), payload(i));
+    EXPECT_EQ(spill_files(), 1u);
+  }
+  EXPECT_EQ(spill_files(), 0u);
+}
+
+TEST_F(SpillTest, OversizedEntryRejected) {
+  KeyValue kv(tiny_policy());
+  const std::string huge(5'000, 'z');
+  EXPECT_THROW(kv.add("k", huge), InputError);
+}
+
+TEST_F(SpillTest, BadPolicyRejected) {
+  SpillPolicy p;
+  p.page_bytes = 16;
+  EXPECT_THROW(KeyValue{p}, InputError);
+  SpillPolicy p2;
+  p2.max_resident_pages = 1;
+  EXPECT_THROW(KeyValue{p2}, InputError);
+}
+
+TEST_F(SpillTest, WordCountPipelineUnderTinyBudget) {
+  // The whole MapReduce cycle with page_to_disk on and a budget small
+  // enough to force spilling in map, aggregate and reduce.
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::Stride;
+  cfg.page_to_disk = true;
+  cfg.spill_dir = dir_.string();
+  cfg.page_bytes = 1024;
+  cfg.memsize_bytes = 3 * 1024;
+
+  std::mutex mu;
+  std::map<std::string, int> counts;
+  std::uint64_t spilled = 0;
+
+  sim::EngineConfig ec;
+  ec.nprocs = 3;
+  ec.stack_bytes = 512 * 1024;
+  sim::Engine engine(ec);
+  engine.run([&](sim::Process& p) {
+    mpi::Comm comm(p);
+    MapReduce mr(comm, cfg);
+    mr.map(60, [](std::uint64_t t, KeyValue& kv) {
+      // Each task emits 20 padded words from a 7-word vocabulary.
+      for (int w = 0; w < 20; ++w) {
+        kv.add("word" + std::to_string((t + static_cast<std::uint64_t>(w)) % 7),
+               std::string(64, 'p'));
+      }
+    });
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      spilled += mr.kv().spilled_bytes();
+    }
+    mr.collate();
+    mr.reduce([&](const KmvGroup& g, KeyValue&) {
+      std::lock_guard<std::mutex> lock(mu);
+      counts[std::string(reinterpret_cast<const char*>(g.key.data()), g.key.size())] =
+          static_cast<int>(g.values.size());
+    });
+  });
+
+  EXPECT_GT(spilled, 0u) << "budget was supposed to force spilling";
+  ASSERT_EQ(counts.size(), 7u);
+  int total = 0;
+  for (const auto& [word, n] : counts) total += n;
+  EXPECT_EQ(total, 60 * 20);
+}
+
+TEST_F(SpillTest, SpilledPipelineMatchesResidentPipeline) {
+  auto run_pipeline = [&](bool paged) {
+    MapReduceConfig cfg;
+    cfg.map_style = MapStyle::Stride;
+    cfg.page_to_disk = paged;
+    cfg.spill_dir = dir_.string();
+    cfg.page_bytes = 1024;
+    cfg.memsize_bytes = paged ? 2 * 1024 : (1ull << 30);
+
+    std::mutex mu;
+    std::map<std::string, std::size_t> result;
+    sim::EngineConfig ec;
+    ec.nprocs = 4;
+    ec.stack_bytes = 512 * 1024;
+    sim::Engine engine(ec);
+    engine.run([&](sim::Process& p) {
+      mpi::Comm comm(p);
+      MapReduce mr(comm, cfg);
+      mr.map(40, [](std::uint64_t t, KeyValue& kv) {
+        kv.add("g" + std::to_string(t % 5), "payload_" + std::to_string(t));
+      });
+      mr.collate();
+      mr.reduce([&](const KmvGroup& g, KeyValue&) {
+        std::lock_guard<std::mutex> lock(mu);
+        result[std::string(reinterpret_cast<const char*>(g.key.data()), g.key.size())] =
+            g.values.size();
+      });
+    });
+    return result;
+  };
+  EXPECT_EQ(run_pipeline(true), run_pipeline(false));
+}
+
+}  // namespace
+}  // namespace mrbio::mrmpi

@@ -1,0 +1,177 @@
+// Property tests for the simulation engine under randomized traffic:
+// timing invariants, FIFO channels, conservation of messages and full
+// determinism of the virtual-time trace.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "sim/engine.hpp"
+
+namespace mrbio::sim {
+namespace {
+
+struct TrafficCase {
+  std::uint64_t seed;
+  int nprocs;
+  int messages_per_rank;
+};
+
+struct Record {
+  int src;
+  int dst;
+  double sent;
+  double arrival;
+  std::uint64_t payload;
+};
+
+/// Every rank sends `k` messages around a ring with random sizes and
+/// random compute gaps, then receives the `k` messages addressed to it.
+/// Returns all receive records.
+std::vector<Record> run_traffic(const TrafficCase& c) {
+  EngineConfig config;
+  config.nprocs = c.nprocs;
+  config.stack_bytes = 256 * 1024;
+  Engine engine(config);
+  std::mutex mu;
+  std::vector<Record> records;
+  engine.run([&](Process& p) {
+    Rng rng(c.seed ^ static_cast<std::uint64_t>(p.rank()) * 7919);
+    const int dst = (p.rank() + 1) % p.size();
+    for (int m = 0; m < c.messages_per_rank; ++m) {
+      p.compute(rng.uniform(0.0, 0.01));
+      ByteWriter w;
+      const std::uint64_t marker =
+          static_cast<std::uint64_t>(p.rank()) * 1'000'000 + static_cast<std::uint64_t>(m);
+      w.put(marker);
+      const auto extra = rng.below(2'000);
+      std::vector<std::byte> payload = w.take();
+      payload.resize(payload.size() + extra);
+      p.send(dst, 1, std::move(payload));
+    }
+    const int src = (p.rank() - 1 + p.size()) % p.size();
+    for (int m = 0; m < c.messages_per_rank; ++m) {
+      const Message msg = p.recv(src, 1);
+      ByteReader r(msg.payload);
+      Record rec{msg.source, p.rank(), msg.sent, msg.arrival, r.get<std::uint64_t>()};
+      std::lock_guard<std::mutex> lock(mu);
+      records.push_back(rec);
+    }
+  });
+  return records;
+}
+
+class TrafficP : public ::testing::TestWithParam<TrafficCase> {};
+
+TEST_P(TrafficP, AllMessagesDeliveredExactlyOnce) {
+  const TrafficCase c = GetParam();
+  const auto records = run_traffic(c);
+  ASSERT_EQ(records.size(),
+            static_cast<std::size_t>(c.nprocs) * static_cast<std::size_t>(c.messages_per_rank));
+  std::map<std::uint64_t, int> seen;
+  for (const Record& r : records) seen[r.payload]++;
+  for (const auto& [marker, count] : seen) {
+    EXPECT_EQ(count, 1) << "marker " << marker;
+  }
+}
+
+TEST_P(TrafficP, ArrivalRespectsLatencyAndMonotonicity) {
+  const TrafficCase c = GetParam();
+  const auto records = run_traffic(c);
+  const NetworkModel net;  // engine ran with defaults
+  for (const Record& r : records) {
+    EXPECT_GE(r.arrival, r.sent + net.latency - 1e-15);
+  }
+}
+
+TEST_P(TrafficP, FifoPerChannelInMarkerOrder) {
+  const TrafficCase c = GetParam();
+  const auto records = run_traffic(c);
+  // Receives from one src must observe markers in send order.
+  std::map<std::pair<int, int>, std::uint64_t> last;
+  for (const Record& r : records) {
+    const auto key = std::make_pair(r.src, r.dst);
+    const auto it = last.find(key);
+    if (it != last.end()) {
+      EXPECT_LT(it->second, r.payload) << "channel " << r.src << "->" << r.dst;
+    }
+    last[key] = r.payload;
+  }
+}
+
+TEST_P(TrafficP, TraceIsBitIdenticalAcrossRuns) {
+  const TrafficCase c = GetParam();
+  const auto a = run_traffic(c);
+  const auto b = run_traffic(c);
+  ASSERT_EQ(a.size(), b.size());
+  // Sort by (dst, marker) since cross-rank record interleaving in the
+  // collection vector depends on lock acquisition, not on the simulation.
+  auto key = [](const Record& r) { return std::make_tuple(r.dst, r.payload); };
+  auto sa = a;
+  auto sb = b;
+  std::sort(sa.begin(), sa.end(),
+            [&](const Record& x, const Record& y) { return key(x) < key(y); });
+  std::sort(sb.begin(), sb.end(),
+            [&](const Record& x, const Record& y) { return key(x) < key(y); });
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].src, sb[i].src);
+    EXPECT_DOUBLE_EQ(sa[i].sent, sb[i].sent);
+    EXPECT_DOUBLE_EQ(sa[i].arrival, sb[i].arrival);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Traffic, TrafficP,
+                         ::testing::Values(TrafficCase{1, 2, 50}, TrafficCase{2, 5, 30},
+                                           TrafficCase{3, 16, 20}, TrafficCase{4, 64, 5},
+                                           TrafficCase{5, 3, 200}));
+
+class CollectiveStressP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveStressP, RepeatedMixedCollectivesStayConsistent) {
+  const int p = GetParam();
+  EngineConfig config;
+  config.nprocs = p;
+  config.stack_bytes = 256 * 1024;
+  Engine engine(config);
+  engine.run([&](Process& proc) {
+    mrbio::Rng rng(900 + static_cast<std::uint64_t>(proc.rank()));
+    // Collectives interleaved with point-to-point noise must not corrupt
+    // each other thanks to tag separation and FIFO channels.
+    for (int iter = 0; iter < 10; ++iter) {
+      proc.compute(rng.uniform(0.0, 0.001));
+      if (proc.rank() > 0) proc.send(0, 5, {});
+      // Simple sum over ranks implemented manually via ring reduction.
+      // (Uses plain sends to stress the same machinery as Comm.)
+      std::uint64_t acc = static_cast<std::uint64_t>(proc.rank());
+      if (proc.rank() != 0) {
+        ByteWriter w;
+        w.put(acc);
+        proc.send(0, 6, w.take());
+      } else {
+        // Receive per explicit source: the FIFO channel guarantee keeps
+        // iterations separated (a wildcard here would mix fast senders'
+        // next-iteration messages into this sum -- a real MPI pitfall).
+        for (int s = 1; s < proc.size(); ++s) {
+          const Message m = proc.recv(s, 6);
+          ByteReader r(m.payload);
+          acc += r.get<std::uint64_t>();
+        }
+        EXPECT_EQ(acc, static_cast<std::uint64_t>(proc.size()) *
+                           static_cast<std::uint64_t>(proc.size() - 1) / 2);
+      }
+    }
+    if (proc.rank() == 0) {
+      for (int iter = 0; iter < 10; ++iter) {
+        for (int s = 1; s < proc.size(); ++s) proc.recv(Process::kAnySource, 5);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveStressP, ::testing::Values(2, 4, 9, 32));
+
+}  // namespace
+}  // namespace mrbio::sim

@@ -1,0 +1,164 @@
+// Parameter-sweep property tests for the search pipeline: a planted
+// homolog must be found across word sizes, scoring systems and X-drop
+// settings, and never ranked below chance matches; E-values must behave
+// monotonically across these settings.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "blast/search.hpp"
+
+namespace mrbio::blast {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<const DbVolume> volume;
+  Sequence query;          ///< mutated copy of a DB sequence
+  std::string target_id;   ///< the planted homolog's id
+};
+
+Fixture make_fixture(std::uint64_t seed, double divergence) {
+  static int counter = 0;
+  const auto dir = std::filesystem::temp_directory_path() / "mrbio_sweep";
+  std::filesystem::create_directories(dir);
+  Rng rng(seed);
+  std::vector<Sequence> db;
+  for (int i = 0; i < 6; ++i) {
+    db.push_back(random_sequence(rng, "bg" + std::to_string(i), 700, SeqType::Dna));
+  }
+  const Sequence parent = random_sequence(rng, "parent", 500, SeqType::Dna);
+  db.push_back(mutate(rng, parent, "planted", divergence, SeqType::Dna));
+  const DbInfo info = build_db(db, (dir / ("f" + std::to_string(counter++))).string(),
+                               SeqType::Dna, 1ull << 40);
+  Fixture f;
+  f.volume = std::make_shared<DbVolume>(DbVolume::load(info.volume_paths[0]));
+  f.query = parent;
+  f.query.id = "q";
+  f.target_id = "planted";
+  return f;
+}
+
+class WordSizeP : public ::testing::TestWithParam<int> {};
+
+TEST_P(WordSizeP, PlantedHomologFoundAtEveryWordSize) {
+  const Fixture f = make_fixture(500, 0.08);
+  SearchOptions opts;
+  opts.word_size = GetParam();
+  opts.filter_low_complexity = false;
+  opts.evalue_cutoff = 1e-10;
+  BlastSearcher searcher(f.volume, opts);
+  const auto results = searcher.search({f.query});
+  ASSERT_FALSE(results[0].hsps.empty()) << "word size " << GetParam();
+  EXPECT_EQ(results[0].hsps.front().subject_id, f.target_id);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordSizes, WordSizeP, ::testing::Values(7, 9, 11, 12, 13));
+
+TEST(SearchSweep, SmallerWordsFindMoreOrEqualSeeds) {
+  const Fixture f = make_fixture(501, 0.15);
+  std::uint64_t prev_hits = 0;
+  for (const int w : {13, 11, 9, 7}) {
+    SearchOptions opts;
+    opts.word_size = w;
+    opts.filter_low_complexity = false;
+    BlastSearcher searcher(f.volume, opts);
+    searcher.search({f.query});
+    const std::uint64_t word_hits = searcher.last_stats().word_hits;
+    EXPECT_GE(word_hits, prev_hits) << "w=" << w;
+    prev_hits = word_hits;
+  }
+}
+
+struct ScoringCase {
+  int match;
+  int mismatch;
+  int gap_open;
+  int gap_extend;
+};
+
+class ScoringP : public ::testing::TestWithParam<ScoringCase> {};
+
+TEST_P(ScoringP, PlantedHomologFoundUnderEveryScoring) {
+  const ScoringCase c = GetParam();
+  const Fixture f = make_fixture(502, 0.1);
+  SearchOptions opts;
+  opts.match = c.match;
+  opts.mismatch = c.mismatch;
+  opts.gap_open = c.gap_open;
+  opts.gap_extend = c.gap_extend;
+  opts.filter_low_complexity = false;
+  opts.evalue_cutoff = 1e-10;
+  BlastSearcher searcher(f.volume, opts);
+  const auto results = searcher.search({f.query});
+  ASSERT_FALSE(results[0].hsps.empty());
+  EXPECT_EQ(results[0].hsps.front().subject_id, f.target_id);
+  // The top hit must cover most of the query.
+  const Hsp& top = results[0].hsps.front();
+  EXPECT_GT(top.q_end - top.q_start, 400u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scorings, ScoringP,
+                         ::testing::Values(ScoringCase{1, -2, 2, 1},
+                                           ScoringCase{2, -3, 5, 2},
+                                           ScoringCase{1, -3, 5, 2},
+                                           ScoringCase{4, -5, 8, 2}));
+
+class XdropP : public ::testing::TestWithParam<int> {};
+
+TEST_P(XdropP, LargerGappedXdropNeverShortensTheAlignment) {
+  const Fixture f = make_fixture(503, 0.12);
+  SearchOptions small;
+  small.filter_low_complexity = false;
+  small.xdrop_gapped = GetParam();
+  SearchOptions large = small;
+  large.xdrop_gapped = GetParam() * 4;
+
+  BlastSearcher s1(f.volume, small);
+  BlastSearcher s2(f.volume, large);
+  const auto r1 = s1.search({f.query});
+  const auto r2 = s2.search({f.query});
+  ASSERT_FALSE(r1[0].hsps.empty());
+  ASSERT_FALSE(r2[0].hsps.empty());
+  EXPECT_GE(r2[0].hsps.front().raw_score, r1[0].hsps.front().raw_score);
+}
+
+INSTANTIATE_TEST_SUITE_P(Xdrops, XdropP, ::testing::Values(10, 20, 40));
+
+TEST(SearchSweep, BitScoreDegradesMonotonicallyWithDivergence) {
+  // Higher divergence -> lower score; the planted homolog stays the top
+  // hit throughout the detectable range. The same parent/query pair is
+  // used at every divergence so the comparison is apples to apples.
+  double last_bits = 1e18;
+  for (const double divergence : {0.02, 0.08, 0.15, 0.22}) {
+    const Fixture f = make_fixture(504, divergence);
+    SearchOptions opts;
+    opts.filter_low_complexity = false;
+    BlastSearcher searcher(f.volume, opts);
+    const auto results = searcher.search({f.query});
+    ASSERT_FALSE(results[0].hsps.empty()) << "divergence " << divergence;
+    EXPECT_EQ(results[0].hsps.front().subject_id, f.target_id);
+    EXPECT_LT(results[0].hsps.front().bit_score, last_bits)
+        << "bit score did not degrade at divergence " << divergence;
+    last_bits = results[0].hsps.front().bit_score;
+  }
+}
+
+TEST(SearchSweep, EvalueCutoffMonotone) {
+  // Loosening the cutoff can only add hits, and every reported hit
+  // respects the cutoff.
+  const Fixture f = make_fixture(505, 0.1);
+  std::size_t prev = 0;
+  for (const double cutoff : {1e-20, 1e-6, 1e-2, 10.0}) {
+    SearchOptions opts;
+    opts.filter_low_complexity = false;
+    opts.evalue_cutoff = cutoff;
+    BlastSearcher searcher(f.volume, opts);
+    const auto results = searcher.search({f.query});
+    for (const auto& hsp : results[0].hsps) EXPECT_LE(hsp.evalue, cutoff);
+    EXPECT_GE(results[0].hsps.size(), prev);
+    prev = results[0].hsps.size();
+  }
+}
+
+}  // namespace
+}  // namespace mrbio::blast

@@ -1,0 +1,327 @@
+// Unit tests for the discrete-event engine: timing model, message matching,
+// determinism, wildcard order, FIFO channels, deadlock and error handling.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace mrbio::sim {
+namespace {
+
+std::vector<std::byte> bytes_of(int v) {
+  ByteWriter w;
+  w.put(v);
+  return w.take();
+}
+
+int int_of(const Message& m) {
+  ByteReader r(m.payload);
+  return r.get<int>();
+}
+
+EngineConfig config(int n) {
+  EngineConfig c;
+  c.nprocs = n;
+  return c;
+}
+
+TEST(Engine, SingleProcessComputeAdvancesClock) {
+  Engine e(config(1));
+  double observed = -1.0;
+  e.run([&](Process& p) {
+    EXPECT_EQ(p.rank(), 0);
+    EXPECT_EQ(p.size(), 1);
+    EXPECT_DOUBLE_EQ(p.now(), 0.0);
+    p.compute(1.5);
+    p.compute(0.25);
+    observed = p.now();
+  });
+  EXPECT_DOUBLE_EQ(observed, 1.75);
+  EXPECT_DOUBLE_EQ(e.elapsed(), 1.75);
+  EXPECT_DOUBLE_EQ(e.stats().total_compute, 1.75);
+}
+
+TEST(Engine, PingPongTiming) {
+  EngineConfig c = config(2);
+  c.net.latency = 1.0;
+  c.net.byte_time = 0.0;
+  c.net.send_overhead = 0.0;
+  c.net.recv_overhead = 0.0;
+  Engine e(c);
+  double recv_time = -1.0;
+  e.run([&](Process& p) {
+    if (p.rank() == 0) {
+      p.compute(5.0);
+      p.send(1, 7, bytes_of(42));
+    } else {
+      Message m = p.recv(0, 7);
+      EXPECT_EQ(int_of(m), 42);
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, 7);
+      EXPECT_DOUBLE_EQ(m.sent, 5.0);
+      EXPECT_DOUBLE_EQ(m.arrival, 6.0);
+      recv_time = p.now();
+    }
+  });
+  // Receiver posted at t=0; message arrived at t=6.
+  EXPECT_DOUBLE_EQ(recv_time, 6.0);
+  EXPECT_EQ(e.stats().messages, 1u);
+}
+
+TEST(Engine, ByteTimeScalesWithNominalSize) {
+  EngineConfig c = config(2);
+  c.net.latency = 0.5;
+  c.net.byte_time = 0.01;
+  c.net.send_overhead = 0.0;
+  c.net.recv_overhead = 0.0;
+  Engine e(c);
+  e.run([&](Process& p) {
+    if (p.rank() == 0) {
+      p.send(1, 0, {}, /*nominal_bytes=*/1000);
+    } else {
+      Message m = p.recv();
+      EXPECT_DOUBLE_EQ(m.arrival, 0.5 + 10.0);
+      EXPECT_EQ(m.nominal_bytes, 1000u);
+      EXPECT_TRUE(m.payload.empty());
+    }
+  });
+  EXPECT_EQ(e.stats().nominal_bytes, 1000u);
+  EXPECT_EQ(e.stats().payload_bytes, 0u);
+}
+
+TEST(Engine, RecvCompletesAtMaxOfPostAndArrival) {
+  EngineConfig c = config(2);
+  c.net.latency = 1.0;
+  c.net.byte_time = 0.0;
+  c.net.send_overhead = 0.0;
+  c.net.recv_overhead = 0.25;
+  Engine e(c);
+  double late_recv = -1.0;
+  e.run([&](Process& p) {
+    if (p.rank() == 0) {
+      p.send(1, 0, bytes_of(1));  // arrives at t=1
+    } else {
+      p.compute(10.0);  // post recv long after arrival
+      p.recv();
+      late_recv = p.now();
+    }
+  });
+  EXPECT_DOUBLE_EQ(late_recv, 10.25);
+}
+
+TEST(Engine, WildcardRecvMatchesEarliestArrival) {
+  EngineConfig c = config(3);
+  c.net.latency = 1.0;
+  c.net.byte_time = 0.0;
+  c.net.send_overhead = 0.0;
+  c.net.recv_overhead = 0.0;
+  Engine e(c);
+  std::vector<int> order;
+  e.run([&](Process& p) {
+    if (p.rank() == 1) {
+      p.compute(3.0);
+      p.send(0, 0, bytes_of(1));  // arrives t=4
+    } else if (p.rank() == 2) {
+      p.compute(1.0);
+      p.send(0, 0, bytes_of(2));  // arrives t=2
+    } else {
+      order.push_back(int_of(p.recv()));
+      order.push_back(int_of(p.recv()));
+    }
+  });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);  // earlier arrival first
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(Engine, WildcardTieBreaksBySenderRank) {
+  EngineConfig c = config(3);
+  c.net.latency = 1.0;
+  c.net.byte_time = 0.0;
+  c.net.send_overhead = 0.0;
+  c.net.recv_overhead = 0.0;
+  Engine e(c);
+  std::vector<int> sources;
+  e.run([&](Process& p) {
+    if (p.rank() == 0) {
+      Message a = p.recv();
+      Message b = p.recv();
+      sources.push_back(a.source);
+      sources.push_back(b.source);
+    } else {
+      p.send(0, 0, bytes_of(p.rank()));  // both arrive at t=1
+    }
+  });
+  ASSERT_EQ(sources.size(), 2u);
+  // Identical arrival times: global send sequence breaks the tie, and rank 1
+  // issues its send before rank 2 under the (time, rank) scheduler order.
+  EXPECT_EQ(sources[0], 1);
+  EXPECT_EQ(sources[1], 2);
+}
+
+TEST(Engine, TagFilteringLeavesOtherMessagesQueued) {
+  Engine e(config(2));
+  int got_b = -1;
+  int got_a = -1;
+  e.run([&](Process& p) {
+    if (p.rank() == 0) {
+      p.send(1, 10, bytes_of(100));
+      p.send(1, 20, bytes_of(200));
+    } else {
+      got_b = int_of(p.recv(0, 20));  // skip over tag 10
+      got_a = int_of(p.recv(0, 10));
+    }
+  });
+  EXPECT_EQ(got_b, 200);
+  EXPECT_EQ(got_a, 100);
+}
+
+TEST(Engine, FifoChannelPreventsOvertaking) {
+  EngineConfig c = config(2);
+  c.net.latency = 0.0;
+  c.net.byte_time = 1.0;  // 1 s per byte: big messages are slow
+  c.net.send_overhead = 0.0;
+  c.net.recv_overhead = 0.0;
+  Engine e(c);
+  std::vector<int> order;
+  e.run([&](Process& p) {
+    if (p.rank() == 0) {
+      p.send(1, 0, std::vector<std::byte>(100), 100);  // arrives t=100
+      p.send(1, 0, std::vector<std::byte>(1), 1);      // would arrive t=1 unchecked
+    } else {
+      Message a = p.recv();
+      Message b = p.recv();
+      order.push_back(static_cast<int>(a.payload.size()));
+      order.push_back(static_cast<int>(b.payload.size()));
+      EXPECT_GE(b.arrival, a.arrival);
+    }
+  });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 100);  // FIFO: first sent, first received
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(Engine, SelfSendWorks) {
+  Engine e(config(1));
+  int got = -1;
+  e.run([&](Process& p) {
+    p.send(0, 5, bytes_of(77));
+    got = int_of(p.recv(0, 5));
+  });
+  EXPECT_EQ(got, 77);
+}
+
+TEST(Engine, HasMessageProbesWithoutConsuming) {
+  EngineConfig c = config(2);
+  c.net.latency = 1.0;
+  Engine e(c);
+  e.run([&](Process& p) {
+    if (p.rank() == 0) {
+      p.send(1, 3, bytes_of(9));
+    } else {
+      EXPECT_FALSE(p.has_message());  // nothing can have arrived at t=0
+      p.compute(5.0);
+      EXPECT_TRUE(p.has_message(0, 3));
+      EXPECT_TRUE(p.has_message());
+      EXPECT_FALSE(p.has_message(0, 99));
+      EXPECT_EQ(int_of(p.recv(0, 3)), 9);
+      EXPECT_FALSE(p.has_message());
+    }
+  });
+}
+
+TEST(Engine, DeadlockIsDetected) {
+  Engine e(config(2));
+  EXPECT_THROW(e.run([](Process& p) { p.recv(); }), LogicError);
+}
+
+TEST(Engine, ExceptionInRankPropagates) {
+  Engine e(config(4));
+  EXPECT_THROW(e.run([](Process& p) {
+                 if (p.rank() == 2) throw InputError("rank 2 failed");
+                 // Other ranks block; the abort machinery must unwind them.
+                 if (p.rank() != 2) p.recv();
+               }),
+               InputError);
+}
+
+TEST(Engine, RunTwiceIsRejected) {
+  Engine e(config(1));
+  e.run([](Process&) {});
+  EXPECT_THROW(e.run([](Process&) {}), LogicError);
+}
+
+TEST(Engine, ManyRanksBarrierStyleExchangeIsDeterministic) {
+  // All ranks send to rank 0; repeat in a second engine and compare traces.
+  auto run_once = [](int n) {
+    EngineConfig c = config(n);
+    c.net.latency = 1e-6;
+    c.net.byte_time = 1e-9;
+    Engine e(c);
+    std::vector<int> sources;
+    e.run([&](Process& p) {
+      if (p.rank() == 0) {
+        for (int i = 1; i < p.size(); ++i) sources.push_back(p.recv().source);
+      } else {
+        p.compute(1e-6 * p.rank());
+        p.send(0, 0, bytes_of(p.rank()));
+      }
+    });
+    return std::pair{sources, e.elapsed()};
+  };
+  auto [s1, t1] = run_once(64);
+  auto [s2, t2] = run_once(64);
+  EXPECT_EQ(s1, s2);
+  EXPECT_DOUBLE_EQ(t1, t2);
+  ASSERT_EQ(s1.size(), 63u);
+}
+
+TEST(Engine, FinalTimesPerRankAreRecorded) {
+  Engine e(config(3));
+  e.run([](Process& p) { p.compute(static_cast<double>(p.rank())); });
+  ASSERT_EQ(e.final_times().size(), 3u);
+  EXPECT_DOUBLE_EQ(e.final_times()[0], 0.0);
+  EXPECT_DOUBLE_EQ(e.final_times()[1], 1.0);
+  EXPECT_DOUBLE_EQ(e.final_times()[2], 2.0);
+  EXPECT_DOUBLE_EQ(e.elapsed(), 2.0);
+}
+
+TEST(Engine, NegativeComputeRejected) {
+  Engine e(config(1));
+  EXPECT_THROW(e.run([](Process& p) { p.compute(-1.0); }), InputError);
+}
+
+TEST(Engine, SendToInvalidRankRejected) {
+  Engine e(config(2));
+  EXPECT_THROW(e.run([](Process& p) {
+                 if (p.rank() == 0) p.send(5, 0, {});
+                 else p.recv();
+               }),
+               InputError);
+}
+
+TEST(Engine, LargeRankCountSmokeTest) {
+  EngineConfig c = config(512);
+  c.stack_bytes = 256 * 1024;
+  Engine e(c);
+  std::atomic<int> count{0};
+  e.run([&](Process& p) {
+    p.compute(1e-6);
+    count.fetch_add(1, std::memory_order_relaxed);
+    if (p.rank() > 0) {
+      p.send(0, 1, {});
+    } else {
+      for (int i = 1; i < p.size(); ++i) p.recv(Process::kAnySource, 1);
+    }
+  });
+  EXPECT_EQ(count.load(), 512);
+}
+
+}  // namespace
+}  // namespace mrbio::sim

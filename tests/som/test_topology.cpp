@@ -1,0 +1,183 @@
+// Tests for the SOM grid topology options: hexagonal layout, toroidal
+// wrap, the bubble kernel, and their interaction with training and
+// persistence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "som/som.hpp"
+
+namespace mrbio::som {
+namespace {
+
+TEST(HexGrid, AdjacentCellsAtUnitDistance) {
+  SomGrid g{4, 4, GridTopology::Hexagonal};
+  // Row 0 (even, no shift) cell (0,0)=0; row 1 (odd, +0.5) cell (1,0)=4.
+  EXPECT_NEAR(g.grid_dist2(0, 1), 1.0, 1e-12);   // same row neighbour
+  EXPECT_NEAR(g.grid_dist2(0, 4), 1.0, 1e-12);   // down-right neighbour
+  // Cell (1,0) to (0,1): dc = 1 - 0.5 = 0.5, dr = sqrt(3)/2 -> dist 1.
+  EXPECT_NEAR(g.grid_dist2(4, 1), 1.0, 1e-12);
+  // Straight down two rows: distance sqrt(3).
+  EXPECT_NEAR(g.grid_dist2(0, 8), 3.0, 1e-12);
+}
+
+TEST(HexGrid, SixNeighbours) {
+  SomGrid g{5, 5, GridTopology::Hexagonal};
+  // Interior cell (2,2) = 12 must have exactly 6 lattice neighbours.
+  int n = 0;
+  for (std::size_t c = 0; c < g.cells(); ++c) n += g.adjacent(12, c) ? 1 : 0;
+  EXPECT_EQ(n, 6);
+}
+
+TEST(RectGrid, FourNeighbours) {
+  SomGrid g{5, 5};
+  int n = 0;
+  for (std::size_t c = 0; c < g.cells(); ++c) n += g.adjacent(12, c) ? 1 : 0;
+  EXPECT_EQ(n, 4);
+}
+
+TEST(ToroidalGrid, WrapsBothAxes) {
+  SomGrid g{6, 8};
+  g.toroidal = true;
+  // Opposite edges are neighbours.
+  EXPECT_NEAR(g.grid_dist2(0, 7), 1.0, 1e-12);            // col 0 vs col 7
+  EXPECT_NEAR(g.grid_dist2(0, 5 * 8), 1.0, 1e-12);        // row 0 vs row 5
+  EXPECT_NEAR(g.grid_dist2(0, 5 * 8 + 7), 2.0, 1e-12);    // corner to corner
+  // Every cell of a torus has 4 neighbours, including corners.
+  int n = 0;
+  for (std::size_t c = 0; c < g.cells(); ++c) n += g.adjacent(0, c) ? 1 : 0;
+  EXPECT_EQ(n, 4);
+}
+
+TEST(ToroidalGrid, NonWrappedCornerHasTwoNeighbours) {
+  SomGrid g{6, 8};
+  int n = 0;
+  for (std::size_t c = 0; c < g.cells(); ++c) n += g.adjacent(0, c) ? 1 : 0;
+  EXPECT_EQ(n, 2);
+}
+
+TEST(ToroidalGrid, MaxDistanceIsHalfTheAxes) {
+  SomGrid g{8, 8};
+  g.toroidal = true;
+  double mx = 0.0;
+  for (std::size_t c = 0; c < g.cells(); ++c) mx = std::max(mx, g.grid_dist2(0, c));
+  EXPECT_NEAR(mx, 16.0 + 16.0, 1e-9);  // (rows/2)^2 + (cols/2)^2
+}
+
+TEST(Kernel, BubbleIsIndicator) {
+  SomGrid g{5, 5};
+  EXPECT_DOUBLE_EQ(neighborhood(g, 12, 12, 1.5, Kernel::Bubble), 1.0);
+  EXPECT_DOUBLE_EQ(neighborhood(g, 12, 13, 1.5, Kernel::Bubble), 1.0);   // dist 1
+  EXPECT_DOUBLE_EQ(neighborhood(g, 12, 14, 1.5, Kernel::Bubble), 0.0);   // dist 2
+  EXPECT_DOUBLE_EQ(neighborhood(g, 12, 0, 1.5, Kernel::Bubble), 0.0);
+}
+
+Matrix two_cluster_data(Rng& rng, std::size_t n, std::size_t dim) {
+  Matrix data(n, dim);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float base = (r % 2 == 0) ? 0.0f : 2.0f;
+    for (float& v : data.row(r)) v = base + static_cast<float>(rng.normal(0.0, 0.15));
+  }
+  return data;
+}
+
+struct TopoCase {
+  GridTopology topology;
+  bool toroidal;
+  Kernel kernel;
+};
+
+class TrainTopologyP : public ::testing::TestWithParam<TopoCase> {};
+
+TEST_P(TrainTopologyP, TrainingConvergesUnderEveryTopology) {
+  const TopoCase c = GetParam();
+  Rng rng(80);
+  const Matrix data = two_cluster_data(rng, 120, 4);
+  SomGrid grid{6, 6, c.topology};
+  grid.toroidal = c.toroidal;
+  Codebook cb(grid, 4);
+  cb.init_random(rng);
+  SomParams params;
+  params.epochs = 12;
+  params.kernel = c.kernel;
+  const double before = quantization_error(cb, data.view());
+  train_batch(cb, data.view(), params);
+  const double after = quantization_error(cb, data.view());
+  EXPECT_LT(after, before * 0.6);
+  EXPECT_LT(after, 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, TrainTopologyP,
+    ::testing::Values(TopoCase{GridTopology::Rectangular, false, Kernel::Gaussian},
+                      TopoCase{GridTopology::Hexagonal, false, Kernel::Gaussian},
+                      TopoCase{GridTopology::Rectangular, true, Kernel::Gaussian},
+                      TopoCase{GridTopology::Hexagonal, true, Kernel::Gaussian},
+                      TopoCase{GridTopology::Rectangular, false, Kernel::Bubble},
+                      TopoCase{GridTopology::Hexagonal, false, Kernel::Bubble}));
+
+TEST(Topology, UMatrixUsesHexNeighbours) {
+  SomGrid g{4, 4, GridTopology::Hexagonal};
+  Codebook cb(g, 2);
+  Rng rng(81);
+  cb.init_random(rng);
+  const Matrix u = u_matrix(cb);
+  EXPECT_EQ(u.rows(), 4u);
+  EXPECT_EQ(u.cols(), 4u);
+  // Values are positive averages of real distances.
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_GT(u(r, c), 0.0f);
+  }
+}
+
+TEST(Topology, CodebookPersistsTopology) {
+  const auto dir = std::filesystem::temp_directory_path() / "mrbio_topo";
+  std::filesystem::create_directories(dir);
+  SomGrid g{3, 5, GridTopology::Hexagonal};
+  g.toroidal = true;
+  Codebook cb(g, 2);
+  Rng rng(82);
+  cb.init_random(rng);
+  const std::string path = (dir / "topo.cb").string();
+  save_codebook(path, cb);
+  const Codebook back = load_codebook(path);
+  EXPECT_EQ(back.grid().topology, GridTopology::Hexagonal);
+  EXPECT_TRUE(back.grid().toroidal);
+  EXPECT_EQ(back.grid().rows, 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ComponentPlane, ExtractsOneDimension) {
+  Codebook cb(SomGrid{2, 3}, 4);
+  for (std::size_t c = 0; c < 6; ++c) {
+    cb.vector(c)[2] = static_cast<float>(c) * 10.0f;
+  }
+  const Matrix plane = component_plane(cb, 2);
+  EXPECT_EQ(plane.rows(), 2u);
+  EXPECT_EQ(plane.cols(), 3u);
+  EXPECT_FLOAT_EQ(plane(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(plane(1, 2), 50.0f);
+  EXPECT_THROW(component_plane(cb, 4), InputError);
+}
+
+TEST(Topology, ToroidalTopographicErrorSeesWrappedNeighbours) {
+  // Construct a codebook where an input's two best units sit on opposite
+  // edges of the same row: adjacent on a torus, distant on a plane.
+  SomGrid flat{1, 6};
+  SomGrid torus{1, 6};
+  torus.toroidal = true;
+  Codebook cb_flat(flat, 1);
+  Codebook cb_torus(torus, 1);
+  for (std::size_t c = 0; c < 6; ++c) {
+    cb_flat.vector(c)[0] = static_cast<float>(c == 0 ? 0.0 : (c == 5 ? 0.1 : 10.0));
+    cb_torus.vector(c)[0] = cb_flat.vector(c)[0];
+  }
+  Matrix x(1, 1);
+  x(0, 0) = 0.05f;
+  EXPECT_GT(topographic_error(cb_flat, x.view()), 0.5);
+  EXPECT_DOUBLE_EQ(topographic_error(cb_torus, x.view()), 0.0);
+}
+
+}  // namespace
+}  // namespace mrbio::som

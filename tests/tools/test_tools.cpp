@@ -1,0 +1,240 @@
+// End-to-end tests of the command-line tools, run as subprocesses: the
+// full paper pipeline (shred -> formatdb -> mrblast_search) and the SOM
+// trainer on both input modes. Tool binary paths are injected by CMake.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "blast/sequence.hpp"
+#include "common/mmap_file.hpp"
+#include "som/som.hpp"
+
+#ifndef MRBIO_TOOL_DIR
+#error "MRBIO_TOOL_DIR must be defined by the build"
+#endif
+
+namespace mrbio {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ToolsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mrbio_tools_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string tool(const std::string& name) const {
+    return std::string(MRBIO_TOOL_DIR) + "/" + name;
+  }
+
+  int run(const std::string& cmd) const {
+    const std::string full = cmd + " > " + (dir_ / "stdout.txt").string() + " 2> " +
+                             (dir_ / "stderr.txt").string();
+    return std::system(full.c_str());
+  }
+
+  std::string stdout_text() const {
+    std::ifstream in(dir_ / "stdout.txt");
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+TEST_F(ToolsTest, HelpExitsCleanly) {
+  for (const char* name : {"mrformatdb", "mrblast_search", "mrsom_train", "shred_fasta"}) {
+    EXPECT_EQ(run(tool(name) + " --help"), 0) << name;
+  }
+}
+
+TEST_F(ToolsTest, MissingArgumentsFailWithError) {
+  EXPECT_NE(run(tool("mrformatdb")), 0);
+  EXPECT_NE(run(tool("mrblast_search")), 0);
+  EXPECT_NE(run(tool("shred_fasta")), 0);
+  EXPECT_NE(run(tool("mrsom_train")), 0);
+}
+
+TEST_F(ToolsTest, FullBlastPipeline) {
+  // 1. Make genomes.
+  Rng rng(11);
+  std::vector<blast::Sequence> genomes;
+  for (int g = 0; g < 4; ++g) {
+    genomes.push_back(
+        blast::random_sequence(rng, "genome" + std::to_string(g), 1'500, blast::SeqType::Dna));
+  }
+  blast::write_fasta_file(path("genomes.fa"), genomes, blast::SeqType::Dna);
+
+  // 2. shred_fasta: genomes -> read-like queries.
+  ASSERT_EQ(run(tool("shred_fasta") + " --in " + path("genomes.fa") + " --out " +
+                path("reads.fa") + " --length 400 --overlap 200"),
+            0);
+  const auto reads = blast::read_fasta_file(path("reads.fa"), blast::SeqType::Dna);
+  EXPECT_GT(reads.size(), 20u);
+
+  // 3. mrformatdb: genomes -> partitioned DB.
+  ASSERT_EQ(run(tool("mrformatdb") + " --in " + path("genomes.fa") + " --out " +
+                path("db") + " --volume-residues 2000"),
+            0);
+  EXPECT_TRUE(fs::exists(path("db.mal")));
+  EXPECT_TRUE(fs::exists(path("db.000.vol")));
+  EXPECT_TRUE(fs::exists(path("db.001.vol")));
+
+  // 4. mrblast_search with self-hit exclusion off: every read hits its
+  //    parent genome.
+  ASSERT_EQ(run(tool("mrblast_search") + " --query " + path("reads.fa") + " --db " +
+                path("db.mal") + " --out " + path("hits") +
+                " --ranks 5 --block 7 --evalue 1e-6 --no-filter --locality --tapered"),
+            0);
+  std::size_t hit_lines = 0;
+  std::size_t parent_hits = 0;
+  for (const auto& entry : fs::directory_iterator(path("hits"))) {
+    std::ifstream in(entry.path());
+    std::string line;
+    while (std::getline(in, line)) {
+      ++hit_lines;
+      // "genomeX/a-b\tgenomeX\t..." -- query prefix matches subject.
+      const auto tab1 = line.find('\t');
+      const auto tab2 = line.find('\t', tab1 + 1);
+      const std::string qid = line.substr(0, tab1);
+      const std::string sid = line.substr(tab1 + 1, tab2 - tab1 - 1);
+      if (qid.rfind(sid + "/", 0) == 0) ++parent_hits;
+    }
+  }
+  EXPECT_GE(hit_lines, reads.size());
+  EXPECT_GE(parent_hits, reads.size());
+
+  // 5. Same search with --exclude-self: the parent hits vanish.
+  ASSERT_EQ(run(tool("mrblast_search") + " --query " + path("reads.fa") + " --db " +
+                path("db.mal") + " --out " + path("hits2") +
+                " --ranks 5 --block 7 --evalue 1e-6 --no-filter --exclude-self"),
+            0);
+  std::size_t self_hits = 0;
+  // Every read's only match is its parent, so excluding self hits may
+  // leave nothing to write at all -- the output directory is then never
+  // created, which is itself the expected outcome.
+  if (!fs::exists(path("hits2"))) return;
+  for (const auto& entry : fs::directory_iterator(path("hits2"))) {
+    std::ifstream in(entry.path());
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto tab1 = line.find('\t');
+      const auto tab2 = line.find('\t', tab1 + 1);
+      if (line.substr(0, tab1).rfind(line.substr(tab1 + 1, tab2 - tab1 - 1) + "/", 0) == 0) {
+        ++self_hits;
+      }
+    }
+  }
+  EXPECT_EQ(self_hits, 0u);
+}
+
+TEST_F(ToolsTest, ProteinPipeline) {
+  Rng rng(15);
+  std::vector<blast::Sequence> db;
+  const auto ancestor = blast::random_sequence(rng, "fam", 250, blast::SeqType::Protein);
+  db.push_back(blast::mutate(rng, ancestor, "fam_homolog", 0.2, blast::SeqType::Protein));
+  for (int i = 0; i < 8; ++i) {
+    db.push_back(blast::random_sequence(rng, "bg" + std::to_string(i), 300,
+                                        blast::SeqType::Protein));
+  }
+  blast::write_fasta_file(path("prots.fa"), db, blast::SeqType::Protein);
+  blast::write_fasta_file(path("query.fa"), {ancestor}, blast::SeqType::Protein);
+
+  ASSERT_EQ(run(tool("mrformatdb") + " --in " + path("prots.fa") + " --out " +
+                path("pdb") + " --type prot --volume-residues 1000"),
+            0);
+  ASSERT_EQ(run(tool("mrblast_search") + " --query " + path("query.fa") + " --db " +
+                path("pdb.mal") + " --type prot --out " + path("phits") +
+                " --ranks 4 --block 1 --evalue 1e-8 --no-filter"),
+            0);
+  bool found = false;
+  for (const auto& entry : fs::directory_iterator(path("phits"))) {
+    std::ifstream in(entry.path());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find("fam_homolog") != std::string::npos) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ToolsTest, TypeMismatchRejected) {
+  Rng rng(16);
+  blast::write_fasta_file(path("d.fa"), {blast::random_sequence(rng, "x", 100,
+                                                                blast::SeqType::Dna)},
+                          blast::SeqType::Dna);
+  ASSERT_EQ(run(tool("mrformatdb") + " --in " + path("d.fa") + " --out " + path("ndb")), 0);
+  // Searching a nucleotide DB with --type prot must fail cleanly.
+  EXPECT_NE(run(tool("mrblast_search") + " --query " + path("d.fa") + " --db " +
+                path("ndb.mal") + " --type prot --out " + path("xx")),
+            0);
+}
+
+TEST_F(ToolsTest, SomTrainerOnRawMatrix) {
+  // Two clusters in 8-D, written as the raw float matrix the paper's SOM
+  // memory-maps.
+  Rng rng(12);
+  Matrix data(120, 8);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    const float base = (r % 2 == 0) ? 0.0f : 4.0f;
+    for (float& v : data.row(r)) v = base + static_cast<float>(rng.normal(0.0, 0.2));
+  }
+  write_raw_matrix(path("data.raw"), data.view());
+
+  ASSERT_EQ(run(tool("mrsom_train") + " --matrix " + path("data.raw") +
+                " --dim 8 --rows 6 --cols 6 --epochs 8 --ranks 4 --out " + path("som")),
+            0);
+  ASSERT_TRUE(fs::exists(path("som.cb")));
+  ASSERT_TRUE(fs::exists(path("som_umatrix.pgm")));
+
+  const som::Codebook cb = som::load_codebook(path("som.cb"));
+  EXPECT_EQ(cb.grid().rows, 6u);
+  EXPECT_EQ(cb.dim(), 8u);
+  EXPECT_LT(som::quantization_error(cb, data.view()), 1.0);
+}
+
+TEST_F(ToolsTest, SomTrainerOnFastaTetra) {
+  Rng rng(13);
+  std::vector<blast::Sequence> frags;
+  for (int i = 0; i < 60; ++i) {
+    frags.push_back(blast::random_sequence(rng, "f" + std::to_string(i), 800,
+                                           blast::SeqType::Dna));
+  }
+  blast::write_fasta_file(path("frags.fa"), frags, blast::SeqType::Dna);
+  ASSERT_EQ(run(tool("mrsom_train") + " --fasta " + path("frags.fa") +
+                " --tetra --rows 5 --cols 5 --epochs 5 --ranks 3 --init random --out " +
+                path("tsom")),
+            0);
+  const som::Codebook cb = som::load_codebook(path("tsom.cb"));
+  EXPECT_EQ(cb.dim(), 256u);
+}
+
+TEST_F(ToolsTest, CodebookRoundTrip) {
+  som::Codebook cb(som::SomGrid{3, 4}, 5);
+  Rng rng(14);
+  cb.init_random(rng);
+  som::save_codebook(path("x.cb"), cb);
+  const som::Codebook back = som::load_codebook(path("x.cb"));
+  EXPECT_EQ(back.grid().rows, 3u);
+  EXPECT_EQ(back.grid().cols, 4u);
+  EXPECT_EQ(back.dim(), 5u);
+  for (std::size_t i = 0; i < cb.weights().size(); ++i) {
+    EXPECT_FLOAT_EQ(back.weights().data()[i], cb.weights().data()[i]);
+  }
+}
+
+TEST_F(ToolsTest, CorruptCodebookRejected) {
+  std::ofstream(path("junk.cb")) << "not a codebook";
+  EXPECT_THROW(som::load_codebook(path("junk.cb")), InputError);
+}
+
+}  // namespace
+}  // namespace mrbio

@@ -1,0 +1,170 @@
+// Tests for the paper-scale workload oracle: determinism, distribution
+// shape, the cluster RAM cache model, and the utilization tracker.
+#include "workload/blast_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace mrbio::workload {
+namespace {
+
+BlastWorkloadConfig small_config() {
+  BlastWorkloadConfig c;
+  c.total_queries = 8'000;
+  c.queries_per_block = 1'000;
+  c.db_partitions = 10;
+  return c;
+}
+
+TEST(BlastWorkload, UnitEnumeration) {
+  const BlastWorkload wl(small_config());
+  EXPECT_EQ(wl.num_blocks(), 8u);
+  EXPECT_EQ(wl.num_units(), 80u);
+  EXPECT_EQ(wl.block_of(0), 0u);
+  EXPECT_EQ(wl.partition_of(0), 0u);
+  EXPECT_EQ(wl.block_of(25), 2u);
+  EXPECT_EQ(wl.partition_of(25), 5u);
+}
+
+TEST(BlastWorkload, ShortLastBlock) {
+  BlastWorkloadConfig c = small_config();
+  c.total_queries = 8'500;
+  const BlastWorkload wl(c);
+  EXPECT_EQ(wl.num_blocks(), 9u);
+  EXPECT_EQ(wl.block_queries(0), 1'000u);
+  EXPECT_EQ(wl.block_queries(8), 500u);
+}
+
+TEST(BlastWorkload, CostsAreDeterministic) {
+  const BlastWorkload a(small_config());
+  const BlastWorkload b(small_config());
+  for (std::uint64_t u = 0; u < a.num_units(); ++u) {
+    EXPECT_DOUBLE_EQ(a.unit_compute_seconds(u), b.unit_compute_seconds(u));
+    EXPECT_EQ(a.unit_hits(u), b.unit_hits(u));
+  }
+}
+
+TEST(BlastWorkload, DifferentSeedsDiffer) {
+  BlastWorkloadConfig c2 = small_config();
+  c2.seed = 999;
+  const BlastWorkload a(small_config());
+  const BlastWorkload b(c2);
+  int diffs = 0;
+  for (std::uint64_t u = 0; u < a.num_units(); ++u) {
+    if (a.unit_compute_seconds(u) != b.unit_compute_seconds(u)) ++diffs;
+  }
+  EXPECT_GT(diffs, 70);
+}
+
+TEST(BlastWorkload, MeanCostMatchesConfiguration) {
+  BlastWorkloadConfig c = small_config();
+  c.total_queries = 100'000;
+  c.lognormal_sigma = 0.8;
+  const BlastWorkload wl(c);
+  RunningStats s;
+  for (std::uint64_t u = 0; u < wl.num_units(); ++u) s.add(wl.unit_compute_seconds(u));
+  const double expected = c.mean_seconds_per_query * static_cast<double>(c.queries_per_block);
+  EXPECT_NEAR(s.mean(), expected, expected * 0.1);
+}
+
+TEST(BlastWorkload, HeavyTailPresent) {
+  BlastWorkloadConfig c = small_config();
+  c.total_queries = 100'000;
+  c.lognormal_sigma = 1.0;
+  const BlastWorkload wl(c);
+  RunningStats s;
+  for (std::uint64_t u = 0; u < wl.num_units(); ++u) s.add(wl.unit_compute_seconds(u));
+  // A lognormal with sigma=1 has max >> mean over 1000 draws.
+  EXPECT_GT(s.max(), 5.0 * s.mean());
+}
+
+TEST(BlastWorkload, WarmFractionGrowsWithCores) {
+  BlastWorkloadConfig c;  // paper scale: 109 GB DB, 2 GB/core
+  const BlastWorkload wl(c);
+  const double f32 = wl.warm_fraction(32);
+  const double f64 = wl.warm_fraction(64);
+  const double f128 = wl.warm_fraction(128);
+  EXPECT_LT(f32, 0.7);  // 64 GB of 109 GB
+  EXPECT_GT(f64, f32);
+  EXPECT_DOUBLE_EQ(f128, 1.0);  // 256 GB >= 109 GB: fully cached
+}
+
+TEST(BlastWorkload, LoadCostReflectsWarmFraction) {
+  BlastWorkloadConfig c;
+  const BlastWorkload wl(c);
+  // At 1024 cores everything is warm.
+  for (std::uint64_t u = 0; u < 50; ++u) {
+    EXPECT_DOUBLE_EQ(wl.load_seconds(u, static_cast<int>(u % 7), 1024),
+                     c.warm_load_seconds);
+  }
+  // At 16 cores (32 GB of 109 GB) most loads are cold.
+  int cold = 0;
+  for (std::uint64_t u = 0; u < 200; ++u) {
+    if (wl.load_seconds(u, 1, 16) == c.cold_load_seconds) ++cold;
+  }
+  EXPECT_GT(cold, 100);
+}
+
+TEST(BlastWorkload, HitsScaleWithConfig) {
+  BlastWorkloadConfig c = small_config();
+  const BlastWorkload wl(c);
+  RunningStats s;
+  for (std::uint64_t u = 0; u < wl.num_units(); ++u) {
+    s.add(static_cast<double>(wl.unit_hits(u)));
+  }
+  const double expected = c.hits_per_query * static_cast<double>(c.queries_per_block) /
+                          static_cast<double>(c.db_partitions);
+  EXPECT_NEAR(s.mean(), expected, expected * 0.5);
+}
+
+TEST(BlastWorkload, ProteinPresetIsCpuBound) {
+  const BlastWorkloadConfig p = protein_workload_config();
+  const BlastWorkload wl(p);
+  // Compute per unit dwarfs the load cost -- the paper's explanation for
+  // the protein search's near-perfect scaling.
+  const double mean_compute =
+      p.mean_seconds_per_query * static_cast<double>(p.queries_per_block);
+  EXPECT_GT(mean_compute, 20.0 * p.cold_load_seconds);
+}
+
+TEST(BlastWorkload, EmptyConfigRejected) {
+  BlastWorkloadConfig c;
+  c.total_queries = 0;
+  EXPECT_THROW(BlastWorkload{c}, InputError);
+}
+
+TEST(UtilizationTracker, SeriesComputesBusyFraction) {
+  UtilizationTracker t;
+  t.add(0, 0.0, 10.0);
+  t.add(1, 0.0, 5.0);
+  const auto series = t.series(5.0, 2);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);  // both cores busy in [0,5)
+  EXPECT_DOUBLE_EQ(series[1], 0.5);  // one of two cores busy in [5,10)
+}
+
+TEST(UtilizationTracker, PartialBucketOverlap) {
+  UtilizationTracker t;
+  t.add(0, 2.5, 7.5);
+  const auto series = t.series(5.0, 1);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 0.5);
+  EXPECT_DOUBLE_EQ(series[1], 0.5);
+}
+
+TEST(UtilizationTracker, TotalBusySeconds) {
+  UtilizationTracker t;
+  t.add(0, 0.0, 3.0);
+  t.add(5, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(t.total_busy_seconds(), 4.0);
+}
+
+TEST(UtilizationTracker, RejectsNegativeInterval) {
+  UtilizationTracker t;
+  EXPECT_THROW(t.add(0, 5.0, 4.0), InputError);
+}
+
+}  // namespace
+}  // namespace mrbio::workload

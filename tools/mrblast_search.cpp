@@ -1,0 +1,98 @@
+// mrblast_search: the MR-MPI BLAST command-line driver. Searches a query
+// FASTA against a formatted database on a simulated MPI cluster, writing
+// per-rank tabular hit files exactly as the paper's application does.
+//
+//   mrblast_search --query q.fa --db mydb.mal --out results/
+//                  [--type nucl|prot] [--ranks 8] [--evalue 10]
+//                  [--max-hits 500] [--block 1000] [--tapered]
+//                  [--locality] [--no-filter] [--exclude-self]
+#include <cstdio>
+#include <filesystem>
+
+#include "common/log.hpp"
+#include "common/options.hpp"
+#include "mrblast/mrblast.hpp"
+#include "sim/engine.hpp"
+
+using namespace mrbio;
+
+int main(int argc, char** argv) {
+  Options opts("mrblast_search: parallel BLAST over a simulated MPI cluster");
+  opts.add("query", "", "query FASTA file (required)");
+  opts.add("db", "", "database alias file from mrformatdb, <base>.mal (required)");
+  opts.add("out", "mrblast_out", "output directory for per-rank hit files");
+  opts.add("type", "nucl", "search type: nucl or prot");
+  opts.add("ranks", "8", "simulated MPI ranks");
+  opts.add("evalue", "10", "E-value cutoff");
+  opts.add("max-hits", "500", "max hits kept per query (0 = unlimited)");
+  opts.add("block", "1000", "queries per block");
+  opts.add_flag("tapered", "use a tapered block schedule (Section V dynamic chunking)");
+  opts.add_flag("locality", "use the location-aware scheduler");
+  opts.add_flag("no-filter", "disable low-complexity filtering");
+  opts.add_flag("exclude-self", "drop hits of shredded fragments on their parent");
+  opts.add("log", "warn", "log level: debug/info/warn/error/off");
+  try {
+    if (!opts.parse(argc, argv)) return 0;
+    set_log_level(parse_log_level(opts.str("log")));
+    MRBIO_REQUIRE(!opts.str("query").empty() && !opts.str("db").empty(),
+                  "--query and --db are required\n", opts.usage());
+
+    const blast::DbInfo db = blast::read_db_info(opts.str("db"));
+    const bool prot_requested = opts.str("type") == "prot";
+    MRBIO_REQUIRE((db.type == blast::SeqType::Protein) == prot_requested,
+                  "database type does not match --type");
+
+    mrblast::RealRunConfig config;
+    config.options = prot_requested ? blast::make_protein_options() : blast::SearchOptions{};
+    config.options.evalue_cutoff = opts.real("evalue");
+    config.options.max_hits_per_query = static_cast<std::size_t>(opts.integer("max-hits"));
+    config.options.filter_low_complexity = !opts.flag("no-filter");
+    config.options.exclude_self_hits = opts.flag("exclude-self");
+    config.partition_paths = db.volume_paths;
+    config.output_dir = opts.str("out");
+    config.locality_aware = opts.flag("locality");
+
+    // Indexed-FASTA input: count records, derive the block schedule.
+    const blast::FastaIndex index(opts.str("query"),
+                                  prot_requested ? blast::SeqType::Protein
+                                                 : blast::SeqType::Dna);
+    const auto block = static_cast<std::uint64_t>(opts.integer("block"));
+    config.query_fasta = opts.str("query");
+    if (opts.flag("tapered")) {
+      config.query_block_sizes = blast::tapered_block_sizes(
+          index.num_records(), block, std::max<std::uint64_t>(1, block / 16));
+    } else {
+      for (std::size_t done = 0; done < index.num_records(); done += block) {
+        config.query_block_sizes.push_back(
+            std::min<std::uint64_t>(block, index.num_records() - done));
+      }
+    }
+
+    std::filesystem::remove_all(config.output_dir);
+    const int ranks = static_cast<int>(opts.integer("ranks"));
+    sim::EngineConfig ec;
+    ec.nprocs = ranks;
+    sim::Engine engine(ec);
+    std::uint64_t total = 0;
+    std::vector<std::string> files(static_cast<std::size_t>(ranks));
+    engine.run([&](sim::Process& p) {
+      mpi::Comm comm(p);
+      const auto result = mrblast::run_blast_mr(comm, config);
+      files[static_cast<std::size_t>(p.rank())] = result.output_file;
+      if (p.rank() == 0) total = result.total_hsps;
+    });
+
+    std::printf("searched %zu queries (%zu blocks) x %zu partitions on %d ranks\n",
+                index.num_records(), config.query_block_sizes.size(),
+                db.volume_paths.size(), ranks);
+    std::printf("%llu HSPs in %.3f virtual seconds; output files:\n",
+                static_cast<unsigned long long>(total), engine.elapsed());
+    for (const auto& f : files) {
+      if (!f.empty()) std::printf("  %s\n", f.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mrblast_search: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,108 @@
+// mrsom_train: the MR-MPI batch SOM command-line driver. Trains a map on
+// a raw float matrix (memory-mapped, the paper's input format) or on the
+// tetranucleotide composition of a FASTA file, on a simulated cluster.
+//
+//   mrsom_train --matrix data.raw --dim 256 [--rows 50 --cols 50] ...
+//   mrsom_train --fasta frags.fa --tetra ...
+//
+// Outputs: <out>.cb (codebook), <out>_umatrix.pgm, and quality metrics.
+#include <cstdio>
+
+#include "blast/composition.hpp"
+#include "blast/sequence.hpp"
+#include "common/image.hpp"
+#include "common/mmap_file.hpp"
+#include "common/options.hpp"
+#include "mrsom/mrsom.hpp"
+#include "sim/engine.hpp"
+
+using namespace mrbio;
+
+int main(int argc, char** argv) {
+  Options opts("mrsom_train: parallel batch SOM training");
+  opts.add("matrix", "", "raw float32 row-major matrix file (use with --dim)");
+  opts.add("dim", "0", "columns of the raw matrix");
+  opts.add("fasta", "", "alternative input: FASTA file, one vector per sequence");
+  opts.add_flag("tetra", "with --fasta: use tetranucleotide (256-D) composition");
+  opts.add("rows", "50", "SOM grid rows");
+  opts.add("cols", "50", "SOM grid columns");
+  opts.add("epochs", "10", "training epochs");
+  opts.add("block", "40", "input vectors per work unit");
+  opts.add("ranks", "8", "simulated MPI ranks");
+  opts.add("init", "pca", "codebook initialization: pca or random");
+  opts.add("seed", "2011", "random seed");
+  opts.add("out", "mrsom", "output prefix");
+  opts.add("planes", "0", "write the first N component planes as PGM images");
+  try {
+    if (!opts.parse(argc, argv)) return 0;
+    MRBIO_REQUIRE(opts.str("matrix").empty() != opts.str("fasta").empty(),
+                  "provide exactly one of --matrix or --fasta\n", opts.usage());
+
+    Matrix data;
+    MmapFile mapped;
+    MatrixView view;
+    if (!opts.str("matrix").empty()) {
+      const auto dim = static_cast<std::size_t>(opts.integer("dim"));
+      MRBIO_REQUIRE(dim > 0, "--dim is required with --matrix");
+      mapped = MmapFile(opts.str("matrix"));
+      view = mapped.as_matrix(dim);
+    } else {
+      MRBIO_REQUIRE(opts.flag("tetra"), "--fasta currently requires --tetra");
+      const auto seqs = blast::read_fasta_file(opts.str("fasta"), blast::SeqType::Dna);
+      MRBIO_REQUIRE(!seqs.empty(), "no sequences in ", opts.str("fasta"));
+      data = Matrix(seqs.size(), blast::kmer_dims(4));
+      for (std::size_t i = 0; i < seqs.size(); ++i) {
+        const auto freqs = blast::tetranucleotide_frequencies(seqs[i].data);
+        std::copy(freqs.begin(), freqs.end(), data.row(i).begin());
+      }
+      view = data.view();
+    }
+    std::printf("training on %zu vectors of dimension %zu\n", view.rows(), view.cols());
+
+    som::Codebook initial(
+        som::SomGrid{static_cast<std::size_t>(opts.integer("rows")),
+                     static_cast<std::size_t>(opts.integer("cols"))},
+        view.cols());
+    if (opts.str("init") == "pca") {
+      initial.init_pca(view);
+    } else {
+      Rng rng(static_cast<std::uint64_t>(opts.integer("seed")));
+      initial.init_random(rng);
+    }
+
+    mrsom::ParallelSomConfig config;
+    config.params.epochs = static_cast<std::size_t>(opts.integer("epochs"));
+    config.block_vectors = static_cast<std::size_t>(opts.integer("block"));
+    config.on_epoch = [](std::size_t epoch, double sigma, double qerr) {
+      std::printf("epoch %3zu  sigma %7.3f  qerr %.6f\n", epoch, sigma, qerr);
+    };
+
+    sim::EngineConfig ec;
+    ec.nprocs = static_cast<int>(opts.integer("ranks"));
+    sim::Engine engine(ec);
+    som::Codebook cb;
+    engine.run([&](sim::Process& p) {
+      mpi::Comm comm(p);
+      som::Codebook trained = mrsom::train_som_mr(comm, view, initial, config);
+      if (p.rank() == 0) cb = std::move(trained);
+    });
+
+    const std::string prefix = opts.str("out");
+    som::save_codebook(prefix + ".cb", cb);
+    write_pgm(prefix + "_umatrix.pgm", som::u_matrix(cb).view());
+    const auto planes = std::min<std::size_t>(
+        static_cast<std::size_t>(opts.integer("planes")), cb.dim());
+    for (std::size_t d = 0; d < planes; ++d) {
+      write_pgm(prefix + "_plane" + std::to_string(d) + ".pgm",
+                som::component_plane(cb, d).view());
+    }
+    std::printf("codebook: %s.cb   u-matrix: %s_umatrix.pgm\n", prefix.c_str(),
+                prefix.c_str());
+    std::printf("quantization error %.6f   topographic error %.4f\n",
+                som::quantization_error(cb, view), som::topographic_error(cb, view));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mrsom_train: %s\n", e.what());
+    return 1;
+  }
+}
