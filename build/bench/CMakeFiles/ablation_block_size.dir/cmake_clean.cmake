@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_block_size.dir/ablation_block_size.cpp.o"
+  "CMakeFiles/ablation_block_size.dir/ablation_block_size.cpp.o.d"
+  "ablation_block_size"
+  "ablation_block_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_block_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

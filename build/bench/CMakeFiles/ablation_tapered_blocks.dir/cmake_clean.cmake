@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tapered_blocks.dir/ablation_tapered_blocks.cpp.o"
+  "CMakeFiles/ablation_tapered_blocks.dir/ablation_tapered_blocks.cpp.o.d"
+  "ablation_tapered_blocks"
+  "ablation_tapered_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tapered_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

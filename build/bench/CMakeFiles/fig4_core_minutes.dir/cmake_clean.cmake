@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_core_minutes.dir/fig4_core_minutes.cpp.o"
+  "CMakeFiles/fig4_core_minutes.dir/fig4_core_minutes.cpp.o.d"
+  "fig4_core_minutes"
+  "fig4_core_minutes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_core_minutes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

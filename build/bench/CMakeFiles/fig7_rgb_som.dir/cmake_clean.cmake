@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_rgb_som.dir/fig7_rgb_som.cpp.o"
+  "CMakeFiles/fig7_rgb_som.dir/fig7_rgb_som.cpp.o.d"
+  "fig7_rgb_som"
+  "fig7_rgb_som.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_rgb_som.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

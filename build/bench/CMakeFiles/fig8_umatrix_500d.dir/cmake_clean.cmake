@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_umatrix_500d.dir/fig8_umatrix_500d.cpp.o"
+  "CMakeFiles/fig8_umatrix_500d.dir/fig8_umatrix_500d.cpp.o.d"
+  "fig8_umatrix_500d"
+  "fig8_umatrix_500d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_umatrix_500d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

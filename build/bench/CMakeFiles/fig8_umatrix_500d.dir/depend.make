@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_umatrix_500d.
+# This may be replaced when dependencies are built.

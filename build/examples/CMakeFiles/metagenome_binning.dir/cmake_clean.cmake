@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metagenome_binning.dir/metagenome_binning.cpp.o"
+  "CMakeFiles/metagenome_binning.dir/metagenome_binning.cpp.o.d"
+  "metagenome_binning"
+  "metagenome_binning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metagenome_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgb_som.dir/rgb_som.cpp.o"
+  "CMakeFiles/rgb_som.dir/rgb_som.cpp.o.d"
+  "rgb_som"
+  "rgb_som.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgb_som.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rgb_som.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blast/alphabet.cpp" "src/blast/CMakeFiles/mrbio_blast.dir/alphabet.cpp.o" "gcc" "src/blast/CMakeFiles/mrbio_blast.dir/alphabet.cpp.o.d"
+  "/root/repo/src/blast/composition.cpp" "src/blast/CMakeFiles/mrbio_blast.dir/composition.cpp.o" "gcc" "src/blast/CMakeFiles/mrbio_blast.dir/composition.cpp.o.d"
+  "/root/repo/src/blast/dbformat.cpp" "src/blast/CMakeFiles/mrbio_blast.dir/dbformat.cpp.o" "gcc" "src/blast/CMakeFiles/mrbio_blast.dir/dbformat.cpp.o.d"
+  "/root/repo/src/blast/display.cpp" "src/blast/CMakeFiles/mrbio_blast.dir/display.cpp.o" "gcc" "src/blast/CMakeFiles/mrbio_blast.dir/display.cpp.o.d"
+  "/root/repo/src/blast/extend.cpp" "src/blast/CMakeFiles/mrbio_blast.dir/extend.cpp.o" "gcc" "src/blast/CMakeFiles/mrbio_blast.dir/extend.cpp.o.d"
+  "/root/repo/src/blast/fasta_index.cpp" "src/blast/CMakeFiles/mrbio_blast.dir/fasta_index.cpp.o" "gcc" "src/blast/CMakeFiles/mrbio_blast.dir/fasta_index.cpp.o.d"
+  "/root/repo/src/blast/filter.cpp" "src/blast/CMakeFiles/mrbio_blast.dir/filter.cpp.o" "gcc" "src/blast/CMakeFiles/mrbio_blast.dir/filter.cpp.o.d"
+  "/root/repo/src/blast/hsp.cpp" "src/blast/CMakeFiles/mrbio_blast.dir/hsp.cpp.o" "gcc" "src/blast/CMakeFiles/mrbio_blast.dir/hsp.cpp.o.d"
+  "/root/repo/src/blast/lookup.cpp" "src/blast/CMakeFiles/mrbio_blast.dir/lookup.cpp.o" "gcc" "src/blast/CMakeFiles/mrbio_blast.dir/lookup.cpp.o.d"
+  "/root/repo/src/blast/score.cpp" "src/blast/CMakeFiles/mrbio_blast.dir/score.cpp.o" "gcc" "src/blast/CMakeFiles/mrbio_blast.dir/score.cpp.o.d"
+  "/root/repo/src/blast/search.cpp" "src/blast/CMakeFiles/mrbio_blast.dir/search.cpp.o" "gcc" "src/blast/CMakeFiles/mrbio_blast.dir/search.cpp.o.d"
+  "/root/repo/src/blast/sequence.cpp" "src/blast/CMakeFiles/mrbio_blast.dir/sequence.cpp.o" "gcc" "src/blast/CMakeFiles/mrbio_blast.dir/sequence.cpp.o.d"
+  "/root/repo/src/blast/stats.cpp" "src/blast/CMakeFiles/mrbio_blast.dir/stats.cpp.o" "gcc" "src/blast/CMakeFiles/mrbio_blast.dir/stats.cpp.o.d"
+  "/root/repo/src/blast/translate.cpp" "src/blast/CMakeFiles/mrbio_blast.dir/translate.cpp.o" "gcc" "src/blast/CMakeFiles/mrbio_blast.dir/translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrbio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

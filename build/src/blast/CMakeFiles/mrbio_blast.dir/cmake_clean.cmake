@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrbio_blast.dir/alphabet.cpp.o"
+  "CMakeFiles/mrbio_blast.dir/alphabet.cpp.o.d"
+  "CMakeFiles/mrbio_blast.dir/composition.cpp.o"
+  "CMakeFiles/mrbio_blast.dir/composition.cpp.o.d"
+  "CMakeFiles/mrbio_blast.dir/dbformat.cpp.o"
+  "CMakeFiles/mrbio_blast.dir/dbformat.cpp.o.d"
+  "CMakeFiles/mrbio_blast.dir/display.cpp.o"
+  "CMakeFiles/mrbio_blast.dir/display.cpp.o.d"
+  "CMakeFiles/mrbio_blast.dir/extend.cpp.o"
+  "CMakeFiles/mrbio_blast.dir/extend.cpp.o.d"
+  "CMakeFiles/mrbio_blast.dir/fasta_index.cpp.o"
+  "CMakeFiles/mrbio_blast.dir/fasta_index.cpp.o.d"
+  "CMakeFiles/mrbio_blast.dir/filter.cpp.o"
+  "CMakeFiles/mrbio_blast.dir/filter.cpp.o.d"
+  "CMakeFiles/mrbio_blast.dir/hsp.cpp.o"
+  "CMakeFiles/mrbio_blast.dir/hsp.cpp.o.d"
+  "CMakeFiles/mrbio_blast.dir/lookup.cpp.o"
+  "CMakeFiles/mrbio_blast.dir/lookup.cpp.o.d"
+  "CMakeFiles/mrbio_blast.dir/score.cpp.o"
+  "CMakeFiles/mrbio_blast.dir/score.cpp.o.d"
+  "CMakeFiles/mrbio_blast.dir/search.cpp.o"
+  "CMakeFiles/mrbio_blast.dir/search.cpp.o.d"
+  "CMakeFiles/mrbio_blast.dir/sequence.cpp.o"
+  "CMakeFiles/mrbio_blast.dir/sequence.cpp.o.d"
+  "CMakeFiles/mrbio_blast.dir/stats.cpp.o"
+  "CMakeFiles/mrbio_blast.dir/stats.cpp.o.d"
+  "CMakeFiles/mrbio_blast.dir/translate.cpp.o"
+  "CMakeFiles/mrbio_blast.dir/translate.cpp.o.d"
+  "libmrbio_blast.a"
+  "libmrbio_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrbio_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

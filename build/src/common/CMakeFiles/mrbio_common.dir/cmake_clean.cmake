@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrbio_common.dir/image.cpp.o"
+  "CMakeFiles/mrbio_common.dir/image.cpp.o.d"
+  "CMakeFiles/mrbio_common.dir/log.cpp.o"
+  "CMakeFiles/mrbio_common.dir/log.cpp.o.d"
+  "CMakeFiles/mrbio_common.dir/mmap_file.cpp.o"
+  "CMakeFiles/mrbio_common.dir/mmap_file.cpp.o.d"
+  "CMakeFiles/mrbio_common.dir/options.cpp.o"
+  "CMakeFiles/mrbio_common.dir/options.cpp.o.d"
+  "CMakeFiles/mrbio_common.dir/stats.cpp.o"
+  "CMakeFiles/mrbio_common.dir/stats.cpp.o.d"
+  "libmrbio_common.a"
+  "libmrbio_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrbio_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrbio_mpi.dir/comm.cpp.o"
+  "CMakeFiles/mrbio_mpi.dir/comm.cpp.o.d"
+  "libmrbio_mpi.a"
+  "libmrbio_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrbio_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrbio_mrblast.dir/mrblast.cpp.o"
+  "CMakeFiles/mrbio_mrblast.dir/mrblast.cpp.o.d"
+  "libmrbio_mrblast.a"
+  "libmrbio_mrblast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrbio_mrblast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mrmpi/keyvalue.cpp" "src/mrmpi/CMakeFiles/mrbio_mrmpi.dir/keyvalue.cpp.o" "gcc" "src/mrmpi/CMakeFiles/mrbio_mrmpi.dir/keyvalue.cpp.o.d"
+  "/root/repo/src/mrmpi/mapreduce.cpp" "src/mrmpi/CMakeFiles/mrbio_mrmpi.dir/mapreduce.cpp.o" "gcc" "src/mrmpi/CMakeFiles/mrbio_mrmpi.dir/mapreduce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/mrbio_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrbio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrbio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

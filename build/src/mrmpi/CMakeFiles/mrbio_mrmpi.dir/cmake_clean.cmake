@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrbio_mrmpi.dir/keyvalue.cpp.o"
+  "CMakeFiles/mrbio_mrmpi.dir/keyvalue.cpp.o.d"
+  "CMakeFiles/mrbio_mrmpi.dir/mapreduce.cpp.o"
+  "CMakeFiles/mrbio_mrmpi.dir/mapreduce.cpp.o.d"
+  "libmrbio_mrmpi.a"
+  "libmrbio_mrmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrbio_mrmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrbio_mrsom.dir/mrsom.cpp.o"
+  "CMakeFiles/mrbio_mrsom.dir/mrsom.cpp.o.d"
+  "libmrbio_mrsom.a"
+  "libmrbio_mrsom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrbio_mrsom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mrbio_mrsom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrbio_sim.dir/engine.cpp.o"
+  "CMakeFiles/mrbio_sim.dir/engine.cpp.o.d"
+  "libmrbio_sim.a"
+  "libmrbio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrbio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

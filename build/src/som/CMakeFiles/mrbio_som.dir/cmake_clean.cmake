@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrbio_som.dir/som.cpp.o"
+  "CMakeFiles/mrbio_som.dir/som.cpp.o.d"
+  "libmrbio_som.a"
+  "libmrbio_som.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrbio_som.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mrbio_som.
+# This may be replaced when dependencies are built.

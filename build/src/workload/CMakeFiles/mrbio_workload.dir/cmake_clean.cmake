@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrbio_workload.dir/blast_model.cpp.o"
+  "CMakeFiles/mrbio_workload.dir/blast_model.cpp.o.d"
+  "libmrbio_workload.a"
+  "libmrbio_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrbio_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/blast/test_alphabet.cpp" "tests/CMakeFiles/test_blast.dir/blast/test_alphabet.cpp.o" "gcc" "tests/CMakeFiles/test_blast.dir/blast/test_alphabet.cpp.o.d"
+  "/root/repo/tests/blast/test_composition.cpp" "tests/CMakeFiles/test_blast.dir/blast/test_composition.cpp.o" "gcc" "tests/CMakeFiles/test_blast.dir/blast/test_composition.cpp.o.d"
+  "/root/repo/tests/blast/test_fasta_index.cpp" "tests/CMakeFiles/test_blast.dir/blast/test_fasta_index.cpp.o" "gcc" "tests/CMakeFiles/test_blast.dir/blast/test_fasta_index.cpp.o.d"
+  "/root/repo/tests/blast/test_filter_db.cpp" "tests/CMakeFiles/test_blast.dir/blast/test_filter_db.cpp.o" "gcc" "tests/CMakeFiles/test_blast.dir/blast/test_filter_db.cpp.o.d"
+  "/root/repo/tests/blast/test_lookup_extend.cpp" "tests/CMakeFiles/test_blast.dir/blast/test_lookup_extend.cpp.o" "gcc" "tests/CMakeFiles/test_blast.dir/blast/test_lookup_extend.cpp.o.d"
+  "/root/repo/tests/blast/test_score_stats.cpp" "tests/CMakeFiles/test_blast.dir/blast/test_score_stats.cpp.o" "gcc" "tests/CMakeFiles/test_blast.dir/blast/test_score_stats.cpp.o.d"
+  "/root/repo/tests/blast/test_search.cpp" "tests/CMakeFiles/test_blast.dir/blast/test_search.cpp.o" "gcc" "tests/CMakeFiles/test_blast.dir/blast/test_search.cpp.o.d"
+  "/root/repo/tests/blast/test_sequence.cpp" "tests/CMakeFiles/test_blast.dir/blast/test_sequence.cpp.o" "gcc" "tests/CMakeFiles/test_blast.dir/blast/test_sequence.cpp.o.d"
+  "/root/repo/tests/blast/test_translate_display.cpp" "tests/CMakeFiles/test_blast.dir/blast/test_translate_display.cpp.o" "gcc" "tests/CMakeFiles/test_blast.dir/blast/test_translate_display.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blast/CMakeFiles/mrbio_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrbio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blast.dir/blast/test_alphabet.cpp.o"
+  "CMakeFiles/test_blast.dir/blast/test_alphabet.cpp.o.d"
+  "CMakeFiles/test_blast.dir/blast/test_composition.cpp.o"
+  "CMakeFiles/test_blast.dir/blast/test_composition.cpp.o.d"
+  "CMakeFiles/test_blast.dir/blast/test_fasta_index.cpp.o"
+  "CMakeFiles/test_blast.dir/blast/test_fasta_index.cpp.o.d"
+  "CMakeFiles/test_blast.dir/blast/test_filter_db.cpp.o"
+  "CMakeFiles/test_blast.dir/blast/test_filter_db.cpp.o.d"
+  "CMakeFiles/test_blast.dir/blast/test_lookup_extend.cpp.o"
+  "CMakeFiles/test_blast.dir/blast/test_lookup_extend.cpp.o.d"
+  "CMakeFiles/test_blast.dir/blast/test_score_stats.cpp.o"
+  "CMakeFiles/test_blast.dir/blast/test_score_stats.cpp.o.d"
+  "CMakeFiles/test_blast.dir/blast/test_search.cpp.o"
+  "CMakeFiles/test_blast.dir/blast/test_search.cpp.o.d"
+  "CMakeFiles/test_blast.dir/blast/test_sequence.cpp.o"
+  "CMakeFiles/test_blast.dir/blast/test_sequence.cpp.o.d"
+  "CMakeFiles/test_blast.dir/blast/test_translate_display.cpp.o"
+  "CMakeFiles/test_blast.dir/blast/test_translate_display.cpp.o.d"
+  "test_blast"
+  "test_blast.pdb"
+  "test_blast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpi/test_comm.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/test_comm.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/test_comm.cpp.o.d"
+  "/root/repo/tests/mpi/test_cost_model.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/test_cost_model.cpp.o.d"
+  "/root/repo/tests/mpi/test_nonblocking.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/test_nonblocking.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/test_nonblocking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/mrbio_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrbio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrbio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

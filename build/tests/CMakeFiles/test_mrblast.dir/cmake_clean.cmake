@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrblast.dir/mrblast/test_blastx_mr.cpp.o"
+  "CMakeFiles/test_mrblast.dir/mrblast/test_blastx_mr.cpp.o.d"
+  "CMakeFiles/test_mrblast.dir/mrblast/test_extensions.cpp.o"
+  "CMakeFiles/test_mrblast.dir/mrblast/test_extensions.cpp.o.d"
+  "CMakeFiles/test_mrblast.dir/mrblast/test_mrblast.cpp.o"
+  "CMakeFiles/test_mrblast.dir/mrblast/test_mrblast.cpp.o.d"
+  "test_mrblast"
+  "test_mrblast.pdb"
+  "test_mrblast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrblast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

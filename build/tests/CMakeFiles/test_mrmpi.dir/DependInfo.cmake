@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mrmpi/test_compress.cpp" "tests/CMakeFiles/test_mrmpi.dir/mrmpi/test_compress.cpp.o" "gcc" "tests/CMakeFiles/test_mrmpi.dir/mrmpi/test_compress.cpp.o.d"
+  "/root/repo/tests/mrmpi/test_keyvalue.cpp" "tests/CMakeFiles/test_mrmpi.dir/mrmpi/test_keyvalue.cpp.o" "gcc" "tests/CMakeFiles/test_mrmpi.dir/mrmpi/test_keyvalue.cpp.o.d"
+  "/root/repo/tests/mrmpi/test_locality.cpp" "tests/CMakeFiles/test_mrmpi.dir/mrmpi/test_locality.cpp.o" "gcc" "tests/CMakeFiles/test_mrmpi.dir/mrmpi/test_locality.cpp.o.d"
+  "/root/repo/tests/mrmpi/test_mapreduce.cpp" "tests/CMakeFiles/test_mrmpi.dir/mrmpi/test_mapreduce.cpp.o" "gcc" "tests/CMakeFiles/test_mrmpi.dir/mrmpi/test_mapreduce.cpp.o.d"
+  "/root/repo/tests/mrmpi/test_spill.cpp" "tests/CMakeFiles/test_mrmpi.dir/mrmpi/test_spill.cpp.o" "gcc" "tests/CMakeFiles/test_mrmpi.dir/mrmpi/test_spill.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mrmpi/CMakeFiles/mrbio_mrmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mrbio_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrbio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrbio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrmpi.dir/mrmpi/test_compress.cpp.o"
+  "CMakeFiles/test_mrmpi.dir/mrmpi/test_compress.cpp.o.d"
+  "CMakeFiles/test_mrmpi.dir/mrmpi/test_keyvalue.cpp.o"
+  "CMakeFiles/test_mrmpi.dir/mrmpi/test_keyvalue.cpp.o.d"
+  "CMakeFiles/test_mrmpi.dir/mrmpi/test_locality.cpp.o"
+  "CMakeFiles/test_mrmpi.dir/mrmpi/test_locality.cpp.o.d"
+  "CMakeFiles/test_mrmpi.dir/mrmpi/test_mapreduce.cpp.o"
+  "CMakeFiles/test_mrmpi.dir/mrmpi/test_mapreduce.cpp.o.d"
+  "CMakeFiles/test_mrmpi.dir/mrmpi/test_spill.cpp.o"
+  "CMakeFiles/test_mrmpi.dir/mrmpi/test_spill.cpp.o.d"
+  "test_mrmpi"
+  "test_mrmpi.pdb"
+  "test_mrmpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

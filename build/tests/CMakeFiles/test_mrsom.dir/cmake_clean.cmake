@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrsom.dir/mrsom/test_mrsom.cpp.o"
+  "CMakeFiles/test_mrsom.dir/mrsom/test_mrsom.cpp.o.d"
+  "test_mrsom"
+  "test_mrsom.pdb"
+  "test_mrsom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrsom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/test_alignment_property.cpp" "tests/CMakeFiles/test_property.dir/property/test_alignment_property.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/test_alignment_property.cpp.o.d"
+  "/root/repo/tests/property/test_engine_property.cpp" "tests/CMakeFiles/test_property.dir/property/test_engine_property.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/test_engine_property.cpp.o.d"
+  "/root/repo/tests/property/test_search_property.cpp" "tests/CMakeFiles/test_property.dir/property/test_search_property.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/test_search_property.cpp.o.d"
+  "/root/repo/tests/property/test_som_property.cpp" "tests/CMakeFiles/test_property.dir/property/test_som_property.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/test_som_property.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blast/CMakeFiles/mrbio_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/som/CMakeFiles/mrbio_som.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrbio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrbio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/test_alignment_property.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_alignment_property.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_engine_property.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_engine_property.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_search_property.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_search_property.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_som_property.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_som_property.cpp.o.d"
+  "test_property"
+  "test_property.pdb"
+  "test_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

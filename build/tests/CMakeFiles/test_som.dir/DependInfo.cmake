@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/som/test_som.cpp" "tests/CMakeFiles/test_som.dir/som/test_som.cpp.o" "gcc" "tests/CMakeFiles/test_som.dir/som/test_som.cpp.o.d"
+  "/root/repo/tests/som/test_topology.cpp" "tests/CMakeFiles/test_som.dir/som/test_topology.cpp.o" "gcc" "tests/CMakeFiles/test_som.dir/som/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/som/CMakeFiles/mrbio_som.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrbio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_som.dir/som/test_som.cpp.o"
+  "CMakeFiles/test_som.dir/som/test_som.cpp.o.d"
+  "CMakeFiles/test_som.dir/som/test_topology.cpp.o"
+  "CMakeFiles/test_som.dir/som/test_topology.cpp.o.d"
+  "test_som"
+  "test_som.pdb"
+  "test_som[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_som.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrblast_search.dir/mrblast_search.cpp.o"
+  "CMakeFiles/mrblast_search.dir/mrblast_search.cpp.o.d"
+  "mrblast_search"
+  "mrblast_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrblast_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

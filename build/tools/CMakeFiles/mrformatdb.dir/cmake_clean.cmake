@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrformatdb.dir/mrformatdb.cpp.o"
+  "CMakeFiles/mrformatdb.dir/mrformatdb.cpp.o.d"
+  "mrformatdb"
+  "mrformatdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrformatdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrsom_train.dir/mrsom_train.cpp.o"
+  "CMakeFiles/mrsom_train.dir/mrsom_train.cpp.o.d"
+  "mrsom_train"
+  "mrsom_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrsom_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

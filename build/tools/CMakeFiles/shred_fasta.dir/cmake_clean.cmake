@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shred_fasta.dir/shred_fasta.cpp.o"
+  "CMakeFiles/shred_fasta.dir/shred_fasta.cpp.o.d"
+  "shred_fasta"
+  "shred_fasta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shred_fasta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
