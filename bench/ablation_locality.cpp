@@ -32,8 +32,9 @@ Outcome run(int cores, std::uint64_t block, bool locality) {
       cores,
       [&](mpi::Comm& comm) {
         const auto stats = mrblast::run_blast_sim(comm, config);
+        // db_loads is globally reduced inside the driver; capture it once.
         std::lock_guard<std::mutex> lock(mu);
-        out.db_loads += stats.db_loads;
+        out.db_loads = stats.db_loads;
       },
       bench::paper_net()));
   return out;

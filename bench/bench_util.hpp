@@ -7,6 +7,7 @@
 
 #include "mpi/comm.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 
 namespace mrbio::bench {
 
@@ -24,13 +25,17 @@ inline sim::NetworkModel paper_net() {
 }
 
 /// Runs `body` on a simulated cluster of `cores` ranks and returns the
-/// virtual elapsed wall-clock in seconds.
+/// virtual elapsed wall-clock in seconds. Pass a trace::Recorder to capture
+/// per-rank phase spans for post-hoc metrics (fig5 derives utilization this
+/// way); null keeps tracing disabled.
 inline double run_cluster(int cores, const std::function<void(mpi::Comm&)>& body,
-                          sim::NetworkModel net = sim::NetworkModel{}) {
+                          sim::NetworkModel net = sim::NetworkModel{},
+                          trace::Recorder* recorder = nullptr) {
   sim::EngineConfig config;
   config.nprocs = cores;
   config.net = net;
   config.stack_bytes = 256 * 1024;
+  config.recorder = recorder;
   sim::Engine engine(config);
   engine.run([&](sim::Process& p) {
     mpi::Comm comm(p);

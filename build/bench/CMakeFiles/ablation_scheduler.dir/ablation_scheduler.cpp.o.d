@@ -216,8 +216,9 @@ bench/CMakeFiles/ablation_scheduler.dir/ablation_scheduler.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/message.hpp \
- /root/repo/src/common/options.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/trace/trace.hpp /root/repo/src/common/options.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/mrblast/mrblast.hpp /root/repo/src/blast/fasta_index.hpp \
  /root/repo/src/blast/sequence.hpp /root/repo/src/blast/alphabet.hpp \

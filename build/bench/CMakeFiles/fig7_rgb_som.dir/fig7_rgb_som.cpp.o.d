@@ -216,9 +216,10 @@ bench/CMakeFiles/fig7_rgb_som.dir/fig7_rgb_som.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/message.hpp \
- /root/repo/src/common/image.hpp /root/repo/src/common/matrix.hpp \
- /root/repo/src/common/options.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/trace/trace.hpp /root/repo/src/common/image.hpp \
+ /root/repo/src/common/matrix.hpp /root/repo/src/common/options.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/mrsom/mrsom.hpp \
  /root/repo/src/mrmpi/mapreduce.hpp /root/repo/src/mrmpi/keyvalue.hpp \
  /root/repo/src/som/som.hpp /root/repo/src/common/rng.hpp \

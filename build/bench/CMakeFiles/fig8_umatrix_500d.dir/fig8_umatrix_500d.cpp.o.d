@@ -220,10 +220,10 @@ bench/CMakeFiles/fig8_umatrix_500d.dir/fig8_umatrix_500d.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/sim/message.hpp /root/repo/src/common/image.hpp \
- /root/repo/src/common/matrix.hpp /root/repo/src/common/options.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/sim/message.hpp /root/repo/src/trace/trace.hpp \
+ /root/repo/src/common/image.hpp /root/repo/src/common/matrix.hpp \
+ /root/repo/src/common/options.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/stats.hpp \
  /root/repo/src/mrsom/mrsom.hpp /root/repo/src/mrmpi/mapreduce.hpp \
  /root/repo/src/mrmpi/keyvalue.hpp /root/repo/src/som/som.hpp \

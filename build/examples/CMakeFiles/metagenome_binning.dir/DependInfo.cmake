@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/som/CMakeFiles/mrbio_som.dir/DependInfo.cmake"
   "/root/repo/build/src/mrmpi/CMakeFiles/mrbio_mrmpi.dir/DependInfo.cmake"
   "/root/repo/build/src/mpi/CMakeFiles/mrbio_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mrbio_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/mrbio_common.dir/DependInfo.cmake"
   )
 

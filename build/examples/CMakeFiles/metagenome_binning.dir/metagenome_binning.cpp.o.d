@@ -244,5 +244,5 @@ examples/CMakeFiles/metagenome_binning.dir/metagenome_binning.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/message.hpp \
- /root/repo/src/mrmpi/mapreduce.hpp /root/repo/src/mrmpi/keyvalue.hpp \
- /root/repo/src/som/som.hpp
+ /root/repo/src/trace/trace.hpp /root/repo/src/mrmpi/mapreduce.hpp \
+ /root/repo/src/mrmpi/keyvalue.hpp /root/repo/src/som/som.hpp

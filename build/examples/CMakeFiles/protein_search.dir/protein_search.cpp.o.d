@@ -262,7 +262,7 @@ examples/CMakeFiles/protein_search.dir/protein_search.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/sim/message.hpp /root/repo/src/mrmpi/mapreduce.hpp \
- /root/repo/src/mrmpi/keyvalue.hpp \
+ /root/repo/src/sim/message.hpp /root/repo/src/trace/trace.hpp \
+ /root/repo/src/mrmpi/mapreduce.hpp /root/repo/src/mrmpi/keyvalue.hpp \
  /root/repo/src/workload/blast_model.hpp /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h

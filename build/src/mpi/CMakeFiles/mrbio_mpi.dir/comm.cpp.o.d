@@ -213,4 +213,5 @@ src/mpi/CMakeFiles/mrbio_mpi.dir/comm.cpp.o: /root/repo/src/mpi/comm.cpp \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/message.hpp
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/message.hpp \
+ /root/repo/src/trace/trace.hpp

@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/mpi/CMakeFiles/mrbio_mpi.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/mrbio_common.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/mrbio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mrbio_trace.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

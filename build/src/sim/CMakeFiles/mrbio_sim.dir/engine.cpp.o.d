@@ -227,4 +227,5 @@ src/sim/CMakeFiles/mrbio_sim.dir/engine.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/error.hpp
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/error.hpp \
+ /root/repo/src/trace/trace.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrbio_trace.dir/trace.cpp.o"
+  "CMakeFiles/mrbio_trace.dir/trace.cpp.o.d"
+  "libmrbio_trace.a"
+  "libmrbio_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrbio_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

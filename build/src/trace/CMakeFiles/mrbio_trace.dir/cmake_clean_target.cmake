@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrbio_trace.a"
+)

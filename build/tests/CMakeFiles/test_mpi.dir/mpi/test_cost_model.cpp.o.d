@@ -317,4 +317,5 @@ tests/CMakeFiles/test_mpi.dir/mpi/test_cost_model.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/mpi/comm.hpp \
  /usr/include/c++/12/span /root/repo/src/common/error.hpp \
  /root/repo/src/common/serialize.hpp /usr/include/c++/12/cstring \
- /root/repo/src/sim/engine.hpp /root/repo/src/sim/message.hpp
+ /root/repo/src/sim/engine.hpp /root/repo/src/sim/message.hpp \
+ /root/repo/src/trace/trace.hpp

@@ -296,4 +296,4 @@ tests/CMakeFiles/test_mpi.dir/mpi/test_nonblocking.cpp.o: \
  /root/repo/src/common/error.hpp /root/repo/src/mpi/comm.hpp \
  /usr/include/c++/12/span /root/repo/src/common/serialize.hpp \
  /usr/include/c++/12/cstring /root/repo/src/sim/engine.hpp \
- /root/repo/src/sim/message.hpp
+ /root/repo/src/sim/message.hpp /root/repo/src/trace/trace.hpp

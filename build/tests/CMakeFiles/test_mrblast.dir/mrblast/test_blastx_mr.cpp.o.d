@@ -331,7 +331,7 @@ tests/CMakeFiles/test_mrblast.dir/mrblast/test_blastx_mr.cpp.o: \
  /usr/include/c++/12/cstring /root/repo/src/blast/stats.hpp \
  /root/repo/src/mrblast/mrblast.hpp /root/repo/src/blast/fasta_index.hpp \
  /root/repo/src/mpi/comm.hpp /root/repo/src/sim/engine.hpp \
- /root/repo/src/sim/message.hpp /root/repo/src/mrmpi/mapreduce.hpp \
- /root/repo/src/mrmpi/keyvalue.hpp \
+ /root/repo/src/sim/message.hpp /root/repo/src/trace/trace.hpp \
+ /root/repo/src/mrmpi/mapreduce.hpp /root/repo/src/mrmpi/keyvalue.hpp \
  /root/repo/src/workload/blast_model.hpp /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h

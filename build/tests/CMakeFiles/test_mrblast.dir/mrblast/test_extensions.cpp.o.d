@@ -335,5 +335,6 @@ tests/CMakeFiles/test_mrblast.dir/mrblast/test_extensions.cpp.o: \
  /root/repo/src/common/serialize.hpp /usr/include/c++/12/cstring \
  /root/repo/src/blast/stats.hpp /root/repo/src/mpi/comm.hpp \
  /root/repo/src/sim/engine.hpp /root/repo/src/sim/message.hpp \
- /root/repo/src/mrmpi/mapreduce.hpp /root/repo/src/mrmpi/keyvalue.hpp \
+ /root/repo/src/trace/trace.hpp /root/repo/src/mrmpi/mapreduce.hpp \
+ /root/repo/src/mrmpi/keyvalue.hpp \
  /root/repo/src/workload/blast_model.hpp

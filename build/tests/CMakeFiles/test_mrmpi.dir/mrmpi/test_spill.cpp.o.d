@@ -302,4 +302,4 @@ tests/CMakeFiles/test_mrmpi.dir/mrmpi/test_spill.cpp.o: \
  /root/repo/src/mpi/comm.hpp /usr/include/c++/12/span \
  /root/repo/src/common/serialize.hpp /usr/include/c++/12/cstring \
  /root/repo/src/sim/engine.hpp /root/repo/src/sim/message.hpp \
- /root/repo/src/mrmpi/keyvalue.hpp
+ /root/repo/src/trace/trace.hpp /root/repo/src/mrmpi/keyvalue.hpp

@@ -216,10 +216,10 @@ tests/CMakeFiles/test_mrsom.dir/mrsom/test_mrsom.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/message.hpp \
- /root/repo/src/mrmpi/mapreduce.hpp /root/repo/src/mrmpi/keyvalue.hpp \
- /root/repo/src/som/som.hpp /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/trace/trace.hpp /root/repo/src/mrmpi/mapreduce.hpp \
+ /root/repo/src/mrmpi/keyvalue.hpp /root/repo/src/som/som.hpp \
+ /root/repo/src/common/rng.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/blast/CMakeFiles/mrbio_blast.dir/DependInfo.cmake"
   "/root/repo/build/src/som/CMakeFiles/mrbio_som.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/mrbio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mrbio_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/mrbio_common.dir/DependInfo.cmake"
   )
 

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_trace.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/mrbio_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrmpi/CMakeFiles/mrbio_mrmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrblast/CMakeFiles/mrbio_mrblast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrbio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mrbio_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/blast/CMakeFiles/mrbio_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mrbio_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrbio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -11,6 +11,7 @@ include("/root/repo/build/tests/test_mrmpi[1]_include.cmake")
 include("/root/repo/build/tests/test_blast[1]_include.cmake")
 include("/root/repo/build/tests/test_som[1]_include.cmake")
 include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
 include("/root/repo/build/tests/test_mrblast[1]_include.cmake")
 include("/root/repo/build/tests/test_mrsom[1]_include.cmake")
 include("/root/repo/build/tests/test_property[1]_include.cmake")

@@ -177,7 +177,9 @@ tools/CMakeFiles/mrblast_search.dir/mrblast_search.cpp.o: \
  /usr/include/c++/12/bits/align.h \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
- /root/repo/src/common/log.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
@@ -200,7 +202,14 @@ tools/CMakeFiles/mrblast_search.dir/mrblast_search.cpp.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd.h \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
- /usr/include/c++/12/bits/std_mutex.h /root/repo/src/common/error.hpp \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/backward/auto_ptr.h \
+ /usr/include/c++/12/bits/ranges_uninitialized.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/uses_allocator_args.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/log.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/common/error.hpp \
  /root/repo/src/common/options.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -236,15 +245,6 @@ tools/CMakeFiles/mrblast_search.dir/mrblast_search.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/blast/translate.hpp /root/repo/src/blast/search.hpp \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/shared_ptr_atomic.h \
- /usr/include/c++/12/backward/auto_ptr.h \
- /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/ranges_algobase.h \
- /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/blast/dbformat.hpp /root/repo/src/blast/hsp.hpp \
  /root/repo/src/blast/extend.hpp /root/repo/src/blast/score.hpp \
  /root/repo/src/common/serialize.hpp /usr/include/c++/12/cstring \
@@ -260,7 +260,7 @@ tools/CMakeFiles/mrblast_search.dir/mrblast_search.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/sim/message.hpp /root/repo/src/mrmpi/mapreduce.hpp \
- /root/repo/src/mrmpi/keyvalue.hpp \
+ /root/repo/src/sim/message.hpp /root/repo/src/trace/trace.hpp \
+ /root/repo/src/mrmpi/mapreduce.hpp /root/repo/src/mrmpi/keyvalue.hpp \
  /root/repo/src/workload/blast_model.hpp /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h

@@ -3,6 +3,7 @@
 namespace mrbio::mpi {
 
 void Comm::barrier() {
+  CollectiveSpan span(*this, "barrier");
   reduce_tree(
       0, [&](int dst) { proc_->send(dst, kTagBarrierUp, {}); },
       [&](int src) { proc_->recv(src, kTagBarrierUp); });
@@ -12,6 +13,7 @@ void Comm::barrier() {
 }
 
 void Comm::bcast_bytes(std::vector<std::byte>& data, int root) {
+  CollectiveSpan span(*this, "bcast", data.size());
   bcast_tree(
       root,
       [&](int dst) {
@@ -22,6 +24,7 @@ void Comm::bcast_bytes(std::vector<std::byte>& data, int root) {
 }
 
 std::vector<std::vector<std::byte>> Comm::gather_bytes(std::vector<std::byte> mine, int root) {
+  CollectiveSpan span(*this, "gather", mine.size());
   std::vector<std::vector<std::byte>> out;
   if (rank() == root) {
     out.resize(static_cast<std::size_t>(size()));
@@ -49,6 +52,9 @@ std::vector<std::vector<std::byte>> Comm::alltoallv_nominal(
   const int p = size();
   MRBIO_REQUIRE(sendbufs.size() == static_cast<std::size_t>(p),
                 "alltoallv needs one buffer per rank, got ", sendbufs.size());
+  std::uint64_t total_nominal = 0;
+  for (const std::uint64_t n : nominal_bytes) total_nominal += n;
+  CollectiveSpan span(*this, "alltoallv", total_nominal);
   MRBIO_REQUIRE(nominal_bytes.size() == static_cast<std::size_t>(p),
                 "alltoallv needs one nominal size per rank");
   std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(p));
@@ -86,6 +92,7 @@ std::vector<std::vector<std::byte>> Comm::allgather_bytes(std::vector<std::byte>
 
 std::vector<std::byte> Comm::scatter_bytes(std::vector<std::vector<std::byte>> buffers,
                                            int root) {
+  CollectiveSpan span(*this, "scatter");
   if (rank() == root) {
     MRBIO_REQUIRE(buffers.size() == static_cast<std::size_t>(size()),
                   "scatter needs one buffer per rank, got ", buffers.size());
@@ -100,6 +107,7 @@ std::vector<std::byte> Comm::scatter_bytes(std::vector<std::vector<std::byte>> b
 }
 
 void Comm::bcast_phantom(std::uint64_t nominal_bytes, int root) {
+  CollectiveSpan span(*this, "bcast", nominal_bytes);
   bcast_tree(
       root,
       [&](int dst) { proc_->send(dst, kTagBcast, {}, nominal_bytes); },
@@ -107,6 +115,7 @@ void Comm::bcast_phantom(std::uint64_t nominal_bytes, int root) {
 }
 
 void Comm::bcast_phantom_pipelined(std::uint64_t nominal_bytes, int root) {
+  CollectiveSpan span(*this, "bcast_pipelined", nominal_bytes);
   // Synchronize on the root's readiness through a latency-only tree, then
   // charge the pipelined bandwidth term identically on every rank.
   bcast_tree(
@@ -120,6 +129,7 @@ void Comm::bcast_phantom_pipelined(std::uint64_t nominal_bytes, int root) {
 
 void Comm::reduce_phantom_pipelined(std::uint64_t nominal_bytes, int root,
                                     double combine_seconds) {
+  CollectiveSpan span(*this, "reduce_pipelined", nominal_bytes);
   // Everyone must have produced its contribution before the root can own
   // the result: latency-only tree toward the root, then the bandwidth and
   // combine charges.
@@ -133,6 +143,7 @@ void Comm::reduce_phantom_pipelined(std::uint64_t nominal_bytes, int root,
 }
 
 void Comm::reduce_phantom(std::uint64_t nominal_bytes, int root, double combine_seconds) {
+  CollectiveSpan span(*this, "reduce", nominal_bytes);
   reduce_tree(
       root,
       [&](int dst) { proc_->send(dst, kTagReduce, {}, nominal_bytes); },

@@ -26,6 +26,7 @@
 #include "common/error.hpp"
 #include "common/serialize.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 
 namespace mrbio::mpi {
 
@@ -211,6 +212,17 @@ class Comm {
     bcast(data, 0);
   }
 
+  /// Allreduce of a trivially-copyable aggregate with a caller-supplied
+  /// combine function and explicit nominal message sizes for the timing
+  /// model. Harness-level statistics use this to piggyback on a modeled
+  /// fixed-size reduction: the real payload carries the whole struct while
+  /// the network is charged for `nominal_*` bytes, so growing the stats
+  /// never perturbs virtual times.
+  template <typename T, typename CombineFn>
+  void allreduce_custom(T& value, const CombineFn& combine,
+                        std::uint64_t nominal_reduce_bytes,
+                        std::uint64_t nominal_bcast_bytes);
+
   double allreduce_scalar(double value, ReduceOp op) {
     std::vector<double> v{value};
     allreduce(v, op);
@@ -298,6 +310,33 @@ class Comm {
     MRBIO_REQUIRE(tag >= 0 && tag < kUserTagLimit, "user tag out of range: ", tag);
   }
 
+  /// RAII span covering one rank's participation in a collective. Only
+  /// reads the virtual clock, so it cannot change simulated times.
+  class CollectiveSpan {
+   public:
+    CollectiveSpan(Comm& comm, const char* name, std::uint64_t bytes = 0)
+        : comm_(comm),
+          name_(name),
+          bytes_(bytes),
+          rec_(comm.proc_->tracer()),
+          t0_(rec_ != nullptr ? comm.now() : 0.0) {}
+    ~CollectiveSpan() {
+      if (rec_ != nullptr) {
+        rec_->add(comm_.rank(), trace::Category::Collective, name_, t0_, comm_.now(), 0,
+                  bytes_);
+      }
+    }
+    CollectiveSpan(const CollectiveSpan&) = delete;
+    CollectiveSpan& operator=(const CollectiveSpan&) = delete;
+
+   private:
+    Comm& comm_;
+    const char* name_;
+    std::uint64_t bytes_;
+    trace::Recorder* rec_;
+    double t0_;
+  };
+
   // Reserved internal tags.
   static constexpr int kTagBcast = kUserTagLimit + 1;
   static constexpr int kTagReduce = kUserTagLimit + 2;
@@ -365,6 +404,7 @@ void Comm::reduce_tree(int root, const SendFn& send_to, const RecvFn& recv_from)
 template <typename T>
 void Comm::reduce(std::vector<T>& data, ReduceOp op, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
+  CollectiveSpan span(*this, "reduce", data.size() * sizeof(T));
   reduce_tree(
       root,
       [&](int dst) {
@@ -391,6 +431,40 @@ void Comm::reduce(std::vector<T>& data, ReduceOp op, int root) {
               data[i] = std::min(data[i], other[i]);
             break;
         }
+      });
+}
+
+template <typename T, typename CombineFn>
+void Comm::allreduce_custom(T& value, const CombineFn& combine,
+                            std::uint64_t nominal_reduce_bytes,
+                            std::uint64_t nominal_bcast_bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CollectiveSpan span(*this, "allreduce", nominal_reduce_bytes);
+  reduce_tree(
+      0,
+      [&](int dst) {
+        std::vector<std::byte> buf(sizeof(T));
+        std::memcpy(buf.data(), &value, sizeof(T));
+        proc_->send(dst, kTagReduce, std::move(buf), nominal_reduce_bytes);
+      },
+      [&](int src) {
+        const sim::Message m = proc_->recv(src, kTagReduce);
+        MRBIO_CHECK(m.payload.size() == sizeof(T), "allreduce_custom size mismatch");
+        T other;
+        std::memcpy(&other, m.payload.data(), sizeof(T));
+        combine(value, other);
+      });
+  bcast_tree(
+      0,
+      [&](int dst) {
+        std::vector<std::byte> buf(sizeof(T));
+        std::memcpy(buf.data(), &value, sizeof(T));
+        proc_->send(dst, kTagBcast, std::move(buf), nominal_bcast_bytes);
+      },
+      [&](int src) {
+        const sim::Message m = proc_->recv(src, kTagBcast);
+        MRBIO_CHECK(m.payload.size() == sizeof(T), "allreduce_custom size mismatch");
+        std::memcpy(&value, m.payload.data(), sizeof(T));
       });
 }
 

@@ -43,14 +43,22 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
   // "index of sequence offsets in the input FASTA file") and fetches only
   // the block a work unit names.
   std::unique_ptr<blast::FastaIndex> index;
-  std::vector<std::size_t> block_starts;  // first record of each block
+  std::vector<std::size_t> block_starts;   // first record of each block
+  std::vector<std::size_t> block_counts;   // records in each block, clamped
   if (indexed_input) {
     MRBIO_REQUIRE(!config.query_block_sizes.empty(),
                   "indexed-FASTA input needs query_block_sizes");
     index = std::make_unique<blast::FastaIndex>(config.query_fasta, config.options.type);
+    // The schedule must start every block inside the index and cover every
+    // record; only the final block may nominally over-run, and its count is
+    // clamped so read_range never walks past the end.
     std::size_t cursor = 0;
     for (const std::uint64_t b : config.query_block_sizes) {
+      MRBIO_REQUIRE(cursor < index->num_records(), "block schedule overruns the index: a block starts at record ",
+                    cursor, " but the FASTA has only ", index->num_records(), " records");
       block_starts.push_back(cursor);
+      block_counts.push_back(static_cast<std::size_t>(
+          std::min<std::uint64_t>(b, index->num_records() - cursor)));
       cursor += static_cast<std::size_t>(b);
     }
     MRBIO_REQUIRE(cursor >= index->num_records(), "block schedule covers only ", cursor,
@@ -63,8 +71,7 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
   auto load_block = [&](std::uint64_t block) -> std::vector<blast::Sequence> {
     if (indexed_input) {
       return index->read_range(block_starts[static_cast<std::size_t>(block)],
-                               static_cast<std::size_t>(
-                                   config.query_block_sizes[static_cast<std::size_t>(block)]));
+                               block_counts[static_cast<std::size_t>(block)]);
     }
     return config.query_blocks[static_cast<std::size_t>(block)];
   };
@@ -103,12 +110,23 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
     const auto map_fn = [&](std::uint64_t unit, mrmpi::KeyValue& kv) {
       const std::uint64_t block = first_block + unit / nparts;
       const std::uint64_t part = unit % nparts;
+      trace::Recorder* rec = comm.process().tracer();
+      const bool fresh_load = cache.current != static_cast<std::int64_t>(part);
+      const double t_load = comm.now();
       const blast::DbVolume& vol = cache.get(config.partition_paths, part);
+      if (rec != nullptr && fresh_load) {
+        rec->add(comm.rank(), trace::Category::Io, "db_load", t_load, comm.now(), 0,
+                 vol.residues());
+      }
       // The searcher is lightweight relative to the volume; constructing it
       // per unit mirrors re-initializing the query object per map() call.
       auto shared_vol = cache.volume;
       blast::BlastSearcher searcher(shared_vol, options);
+      const double t_search = comm.now();
       const auto results = searcher.search(load_block(block));
+      if (rec != nullptr) {
+        rec->add(comm.rank(), trace::Category::App, "search", t_search, comm.now());
+      }
       for (const auto& qr : results) {
         for (const auto& hsp : qr.hsps) {
           ByteWriter w;
@@ -142,7 +160,9 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
         std::filesystem::create_directories(config.output_dir);
         result.output_file =
             config.output_dir + "/hits." + std::to_string(comm.rank()) + ".tsv";
-        out.open(result.output_file, std::ios::app);
+        // Truncate on the first open of this run: appending would silently
+        // concatenate stale hits from a previous run into the same dir.
+        out.open(result.output_file, std::ios::trunc);
         MRBIO_REQUIRE(out.good(), "cannot open output file ", result.output_file);
       }
       for (const auto& hsp : hsps) {
@@ -191,9 +211,20 @@ BlastxRunResult run_blastx_mr(mpi::Comm& comm, const BlastxRunConfig& config) {
   mr.map(nblocks * nparts, [&](std::uint64_t unit, mrmpi::KeyValue& kv) {
     const std::uint64_t block = unit / nparts;
     const std::uint64_t part = unit % nparts;
+    trace::Recorder* rec = comm.process().tracer();
+    const bool fresh_load = cache.current != static_cast<std::int64_t>(part);
+    const double t_load = comm.now();
     cache.get(config.partition_paths, part);
+    if (rec != nullptr && fresh_load) {
+      rec->add(comm.rank(), trace::Category::Io, "db_load", t_load, comm.now(), 0,
+               cache.volume->residues());
+    }
+    const double t_search = comm.now();
     const auto results = blast::blastx_search(
         cache.volume, config.query_blocks[static_cast<std::size_t>(block)], options);
+    if (rec != nullptr) {
+      rec->add(comm.rank(), trace::Category::App, "search", t_search, comm.now());
+    }
     for (const auto& qr : results) {
       for (const auto& bx : qr.hsps) {
         ByteWriter w;
@@ -233,7 +264,8 @@ BlastxRunResult run_blastx_mr(mpi::Comm& comm, const BlastxRunConfig& config) {
       std::filesystem::create_directories(config.output_dir);
       result.output_file =
           config.output_dir + "/blastx." + std::to_string(comm.rank()) + ".tsv";
-      out.open(result.output_file, std::ios::app);
+      // Truncate on the first open of this run (see run_blast_mr).
+      out.open(result.output_file, std::ios::trunc);
       MRBIO_REQUIRE(out.good(), "cannot open output file ", result.output_file);
     }
     for (const auto& bx : hsps) {
@@ -272,20 +304,30 @@ SimRunStats run_blast_sim(mpi::Comm& comm, const SimRunConfig& config) {
     const auto map_fn = [&](std::uint64_t iter_unit, mrmpi::KeyValue& kv) {
       const std::uint64_t unit = first_block * nparts + iter_unit;
       const std::uint64_t part = wl.partition_of(unit);
+      trace::Recorder* rec = comm.process().tracer();
       // Partition switch: pay the (cold or warm) load, which is I/O, not
       // useful compute.
       if (current_partition != static_cast<std::int64_t>(part)) {
+        const double t_load = comm.now();
         const double load = wl.load_seconds(unit, comm.rank(), comm.size());
         comm.compute(load);
         stats.load_seconds += load;
         current_partition = static_cast<std::int64_t>(part);
         ++stats.db_loads;
+        if (rec != nullptr) {
+          rec->add(comm.rank(), trace::Category::Io, "db_load", t_load, comm.now());
+        }
       }
       const double cost = wl.unit_compute_seconds(unit);
       const double t0 = comm.now();
       comm.compute(cost);
       stats.compute_seconds += cost;
       if (config.tracker != nullptr) config.tracker->add(comm.rank(), t0, comm.now());
+      // The App span covers exactly the tracker's interval, so trace-based
+      // utilization reproduces the legacy Fig. 5 numbers.
+      if (rec != nullptr) {
+        rec->add(comm.rank(), trace::Category::App, "search", t0, comm.now());
+      }
 
       // One token KV per work unit keyed by query block; its nominal size
       // is the real hit payload the unit would have produced.
@@ -309,7 +351,27 @@ SimRunStats run_blast_sim(mpi::Comm& comm, const SimRunConfig& config) {
     });
   }
 
-  stats.total_hits = comm.allreduce_scalar(stats.total_hits, mpi::ReduceOp::Sum);
+  // Reduce every field so all ranks return job-wide statistics; before this
+  // the per-rank seconds/loads were rank-local and benches reported one
+  // rank's I/O as if it were the whole job's. All fields ride one combined
+  // allreduce whose nominal message sizes match the original hit-count
+  // allreduce_scalar (16-byte reduce / 8-byte bcast messages), so the
+  // richer statistics do not perturb the modeled virtual times.
+  stats.max_rank_compute_seconds = stats.compute_seconds;
+  stats.max_rank_load_seconds = stats.load_seconds;
+  comm.allreduce_custom(
+      stats,
+      [](SimRunStats& a, const SimRunStats& b) {
+        a.total_hits += b.total_hits;
+        a.db_loads += b.db_loads;
+        a.compute_seconds += b.compute_seconds;
+        a.load_seconds += b.load_seconds;
+        a.max_rank_compute_seconds =
+            std::max(a.max_rank_compute_seconds, b.max_rank_compute_seconds);
+        a.max_rank_load_seconds =
+            std::max(a.max_rank_load_seconds, b.max_rank_load_seconds);
+      },
+      /*nominal_reduce_bytes=*/16, /*nominal_bcast_bytes=*/8);
   return stats;
 }
 

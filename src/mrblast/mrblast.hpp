@@ -101,11 +101,16 @@ struct SimRunConfig {
   workload::UtilizationTracker* tracker = nullptr;
 };
 
+/// All fields are globally reduced before run_blast_sim returns, so every
+/// rank sees job-wide numbers (the sums) plus the busiest single rank (the
+/// max_rank_* fields) for load-imbalance analysis.
 struct SimRunStats {
-  std::uint64_t total_hits = 0;
-  std::uint64_t db_loads = 0;       ///< partition switches on this rank
-  double compute_seconds = 0.0;     ///< useful BLAST seconds on this rank
-  double load_seconds = 0.0;        ///< partition I/O seconds on this rank
+  std::uint64_t total_hits = 0;           ///< hits across all ranks
+  std::uint64_t db_loads = 0;             ///< partition switches, all ranks
+  double compute_seconds = 0.0;           ///< useful BLAST seconds, all ranks
+  double load_seconds = 0.0;              ///< partition I/O seconds, all ranks
+  double max_rank_compute_seconds = 0.0;  ///< busiest rank's useful seconds
+  double max_rank_load_seconds = 0.0;     ///< heaviest rank's I/O seconds
 };
 
 /// Collective. Virtual elapsed time is read from the engine by the caller.

@@ -13,6 +13,35 @@ namespace {
 // Tags inside the user range, reserved by convention for this library.
 constexpr int kTagTask = 990001;   ///< master -> worker: task id or -1 stop
 constexpr int kTagDone = 990002;   ///< worker -> master: ready for work
+
+/// RAII Phase span on this rank's lane; a null recorder makes it a no-op.
+/// KV attributes are attached at scope exit via set_kv().
+class PhaseSpan {
+ public:
+  PhaseSpan(trace::Recorder* rec, mpi::Comm& comm, const char* name)
+      : rec_(rec), comm_(comm), name_(name), t0_(rec != nullptr ? comm.now() : 0.0) {}
+  ~PhaseSpan() {
+    if (rec_ != nullptr) {
+      rec_->add(comm_.rank(), trace::Category::Phase, name_, t0_, comm_.now(), pairs_,
+                bytes_);
+    }
+  }
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+  void set_kv(std::uint64_t pairs, std::uint64_t bytes) {
+    pairs_ = pairs;
+    bytes_ = bytes;
+  }
+
+ private:
+  trace::Recorder* rec_;
+  mpi::Comm& comm_;
+  const char* name_;
+  double t0_;
+  std::uint64_t pairs_ = 0;
+  std::uint64_t bytes_ = 0;
+};
 }  // namespace
 
 MapReduce::MapReduce(mpi::Comm& comm, MapReduceConfig config)
@@ -40,6 +69,8 @@ std::uint64_t MapReduce::map_append(std::uint64_t ntasks, const MapFn& fn) {
 }
 
 std::uint64_t MapReduce::run_map(std::uint64_t ntasks, const MapFn& fn, bool append) {
+  trace::Recorder* rec = phase_recorder();
+  PhaseSpan span(rec, comm_, "map");
   KeyValue out = make_kv();
   const int rank = comm_.rank();
   const int p = comm_.size();
@@ -51,24 +82,21 @@ std::uint64_t MapReduce::run_map(std::uint64_t ntasks, const MapFn& fn, bool app
       const std::uint64_t hi = ntasks * (static_cast<std::uint64_t>(rank) + 1) /
                                static_cast<std::uint64_t>(p);
       for (std::uint64_t t = lo; t < hi; ++t) {
-        fn(t, out);
-        ++stats_.map_tasks_run;
+        run_task(fn, t, out, rec);
       }
       break;
     }
     case MapStyle::Stride: {
       for (std::uint64_t t = static_cast<std::uint64_t>(rank); t < ntasks;
            t += static_cast<std::uint64_t>(p)) {
-        fn(t, out);
-        ++stats_.map_tasks_run;
+        run_task(fn, t, out, rec);
       }
       break;
     }
     case MapStyle::MasterWorker: {
       if (p == 1) {
         for (std::uint64_t t = 0; t < ntasks; ++t) {
-          fn(t, out);
-          ++stats_.map_tasks_run;
+          run_task(fn, t, out, rec);
         }
       } else if (rank == 0) {
         run_master(ntasks);
@@ -87,10 +115,27 @@ std::uint64_t MapReduce::run_map(std::uint64_t ntasks, const MapFn& fn, bool app
   have_kmv_ = false;
   stats_.kv_pairs_emitted += kv_.size();
   charge_spill();
+  span.set_kv(kv_.size(), kv_.nominal_bytes());
   return global_count(kv_.size());
 }
 
+trace::Recorder* MapReduce::phase_recorder() {
+  trace::Recorder* rec = comm_.process().tracer();
+  return (rec != nullptr && config_.trace_phases) ? rec : nullptr;
+}
+
+void MapReduce::run_task(const MapFn& fn, std::uint64_t task, KeyValue& out,
+                         trace::Recorder* rec) {
+  const double t0 = comm_.now();
+  fn(task, out);
+  ++stats_.map_tasks_run;
+  if (rec != nullptr) {
+    rec->add(comm_.rank(), trace::Category::Task, "map_task", t0, comm_.now());
+  }
+}
+
 void MapReduce::run_master(std::uint64_t ntasks) {
+  trace::Recorder* rec = phase_recorder();
   const int workers = comm_.size() - 1;
   std::uint64_t next = 0;
   int stopped = 0;
@@ -99,6 +144,7 @@ void MapReduce::run_master(std::uint64_t ntasks) {
   while (stopped < workers) {
     int src = -1;
     comm_.recv_value<std::uint8_t>(mpi::kAnySource, kTagDone, &src);
+    const double t0 = comm_.now();
     if (next < ntasks) {
       comm_.send_value<std::int64_t>(src, kTagTask, static_cast<std::int64_t>(next));
       ++next;
@@ -106,27 +152,32 @@ void MapReduce::run_master(std::uint64_t ntasks) {
       comm_.send_value<std::int64_t>(src, kTagTask, -1);
       ++stopped;
     }
+    if (rec != nullptr) {
+      // Master service latency: request handled -> reply sent.
+      rec->add(comm_.rank(), trace::Category::Phase, "mw_service", t0, comm_.now());
+    }
   }
 }
 
 void MapReduce::run_worker(const MapFn& fn, KeyValue& out) {
+  trace::Recorder* rec = phase_recorder();
   for (;;) {
     comm_.send_value<std::uint8_t>(0, kTagDone, 1);
     const auto task = comm_.recv_value<std::int64_t>(0, kTagTask);
     if (task < 0) break;
-    fn(static_cast<std::uint64_t>(task), out);
-    ++stats_.map_tasks_run;
+    run_task(fn, static_cast<std::uint64_t>(task), out, rec);
   }
 }
 
 std::uint64_t MapReduce::map_locality(std::uint64_t ntasks, const AffinityFn& affinity,
                                       const MapFn& fn) {
   MRBIO_REQUIRE(affinity != nullptr, "map_locality needs an affinity function");
+  trace::Recorder* rec = phase_recorder();
+  PhaseSpan span(rec, comm_, "map");
   KeyValue out = make_kv();
   if (comm_.size() == 1) {
     for (std::uint64_t t = 0; t < ntasks; ++t) {
-      fn(t, out);
-      ++stats_.map_tasks_run;
+      run_task(fn, t, out, rec);
     }
   } else if (comm_.rank() == 0) {
     run_master_locality(ntasks, affinity);
@@ -137,10 +188,12 @@ std::uint64_t MapReduce::map_locality(std::uint64_t ntasks, const AffinityFn& af
   have_kmv_ = false;
   stats_.kv_pairs_emitted += kv_.size();
   charge_spill();
+  span.set_kv(kv_.size(), kv_.nominal_bytes());
   return global_count(kv_.size());
 }
 
 void MapReduce::run_master_locality(std::uint64_t ntasks, const AffinityFn& affinity) {
+  trace::Recorder* rec = phase_recorder();
   // Pending tasks grouped by locality key; within a key, FIFO by task id.
   std::map<std::uint64_t, std::deque<std::uint64_t>> pending;
   for (std::uint64_t t = 0; t < ntasks; ++t) pending[affinity(t)].push_back(t);
@@ -152,9 +205,13 @@ void MapReduce::run_master_locality(std::uint64_t ntasks, const AffinityFn& affi
   while (stopped < workers) {
     int src = -1;
     comm_.recv_value<std::uint8_t>(mpi::kAnySource, kTagDone, &src);
+    const double t0 = comm_.now();
     if (remaining == 0) {
       comm_.send_value<std::int64_t>(src, kTagTask, -1);
       ++stopped;
+      if (rec != nullptr) {
+        rec->add(comm_.rank(), trace::Category::Phase, "mw_service", t0, comm_.now());
+      }
       continue;
     }
     // Prefer the worker's current key; otherwise hand it the key with the
@@ -181,10 +238,14 @@ void MapReduce::run_master_locality(std::uint64_t ntasks, const AffinityFn& affi
     worker_key[src] = affinity(task);
     comm_.send_value<std::int64_t>(src, kTagTask, static_cast<std::int64_t>(task));
     --remaining;
+    if (rec != nullptr) {
+      rec->add(comm_.rank(), trace::Category::Phase, "mw_service", t0, comm_.now());
+    }
   }
 }
 
 std::uint64_t MapReduce::aggregate() {
+  PhaseSpan span(phase_recorder(), comm_, "aggregate");
   const int p = comm_.size();
   const int rank = comm_.rank();
 
@@ -226,13 +287,16 @@ std::uint64_t MapReduce::aggregate() {
   kv_ = std::move(merged);
   have_kmv_ = false;
   charge_spill();
+  span.set_kv(kv_.size(), kv_.nominal_bytes());
   return global_count(kv_.size());
 }
 
 std::uint64_t MapReduce::convert() {
+  PhaseSpan span(phase_recorder(), comm_, "convert");
   // Charge the local group-by: one hash+compare pass over the data.
   kmv_ = KeyMultiValue::from_keyvalue(kv_);
   have_kmv_ = true;
+  span.set_kv(kmv_.size(), kv_.nominal_bytes());
   return global_count(kmv_.size());
 }
 
@@ -243,6 +307,7 @@ std::uint64_t MapReduce::collate() {
 
 std::uint64_t MapReduce::reduce(const ReduceFn& fn) {
   MRBIO_REQUIRE(have_kmv_, "reduce() requires a prior convert()/collate()");
+  PhaseSpan span(phase_recorder(), comm_, "reduce");
   KeyValue out = make_kv();
   for (std::size_t i = 0; i < kmv_.size(); ++i) {
     const KmvGroup g = kmv_.group(i);
@@ -252,10 +317,12 @@ std::uint64_t MapReduce::reduce(const ReduceFn& fn) {
   have_kmv_ = false;
   stats_.kv_pairs_emitted += kv_.size();
   charge_spill();
+  span.set_kv(kv_.size(), kv_.nominal_bytes());
   return global_count(kv_.size());
 }
 
 std::uint64_t MapReduce::compress(const ReduceFn& fn) {
+  PhaseSpan span(phase_recorder(), comm_, "compress");
   const KeyMultiValue groups = KeyMultiValue::from_keyvalue(kv_);
   KeyValue out = make_kv();
   for (std::size_t i = 0; i < groups.size(); ++i) {
@@ -265,20 +332,24 @@ std::uint64_t MapReduce::compress(const ReduceFn& fn) {
   have_kmv_ = false;
   stats_.kv_pairs_emitted += kv_.size();
   charge_spill();
+  span.set_kv(kv_.size(), kv_.nominal_bytes());
   return global_count(kv_.size());
 }
 
 std::uint64_t MapReduce::map_kv(const MapKvFn& fn) {
+  PhaseSpan span(phase_recorder(), comm_, "map_kv");
   KeyValue out = make_kv();
   kv_.for_each([&](const KvPair& pair) { fn(pair, out); });
   kv_ = std::move(out);
   have_kmv_ = false;
   stats_.kv_pairs_emitted += kv_.size();
   charge_spill();
+  span.set_kv(kv_.size(), kv_.nominal_bytes());
   return global_count(kv_.size());
 }
 
 std::uint64_t MapReduce::gather() {
+  PhaseSpan span(phase_recorder(), comm_, "gather");
   ByteWriter w;
   kv_.for_each([&](const KvPair& pair) {
     w.put<std::uint64_t>(pair.key.size());
@@ -307,6 +378,7 @@ std::uint64_t MapReduce::gather() {
   }
   have_kmv_ = false;
   charge_spill();
+  span.set_kv(kv_.size(), kv_.nominal_bytes());
   return global_count(kv_.size());
 }
 
@@ -321,7 +393,11 @@ void MapReduce::charge_spill() {
     const std::uint64_t spilled = nominal - config_.memsize_bytes;
     if (spilled > charged_spill_) {
       const std::uint64_t fresh = spilled - charged_spill_;
+      const double t0 = comm_.now();
       comm_.compute(static_cast<double>(fresh) * config_.spill_byte_seconds);
+      if (trace::Recorder* rec = phase_recorder(); rec != nullptr) {
+        rec->add(comm_.rank(), trace::Category::Io, "spill", t0, comm_.now(), 0, fresh);
+      }
       stats_.spilled_bytes += fresh;
       charged_spill_ = spilled;
     }

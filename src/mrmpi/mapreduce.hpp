@@ -46,6 +46,11 @@ struct MapReduceConfig {
   bool page_to_disk = false;
   std::string spill_dir = "/tmp";
   std::uint64_t page_bytes = 1ull << 20;
+  /// When the engine has a trace::Recorder attached, wrap each phase
+  /// (map/aggregate/convert/reduce/compress/gather), every map task, the
+  /// master's per-request service and spill charges in named spans. Off
+  /// silences this library's spans without disabling tracing elsewhere.
+  bool trace_phases = true;
 };
 
 /// Statistics of one MapReduce object's lifetime, for benchmarks.
@@ -143,6 +148,11 @@ class MapReduce {
   /// A KeyValue configured with this object's paging policy.
   KeyValue make_kv() const;
   void run_worker(const MapFn& fn, KeyValue& out);
+  /// The engine recorder, or null when tracing is off (either globally or
+  /// via config_.trace_phases).
+  trace::Recorder* phase_recorder();
+  /// Runs one map task, wrapped in a Task span when tracing.
+  void run_task(const MapFn& fn, std::uint64_t task, KeyValue& out, trace::Recorder* rec);
   /// Applies the spill cost model after KV growth.
   void charge_spill();
   std::uint64_t global_count(std::uint64_t local) ;

@@ -43,11 +43,15 @@ som::Codebook train_som_mr(mpi::Comm& comm, const MatrixView& data,
     mr.map(nblocks, [&](std::uint64_t block, mrmpi::KeyValue&) {
       const std::size_t first = static_cast<std::size_t>(block) * config.block_vectors;
       const std::size_t count = std::min(config.block_vectors, data.rows() - first);
+      const double t0 = comm.now();
       for (std::size_t r = first; r < first + count; ++r) {
         local_qerr += acc.add(cb, data.row(r), sigma, config.params.kernel);
       }
       if (per_vector_cost > 0.0) {
         comm.compute(per_vector_cost * static_cast<double>(count));
+      }
+      if (trace::Recorder* rec = comm.process().tracer(); rec != nullptr) {
+        rec->add(comm.rank(), trace::Category::App, "accumulate", t0, comm.now(), count);
       }
     });
 
@@ -62,12 +66,17 @@ som::Codebook train_som_mr(mpi::Comm& comm, const MatrixView& data,
     comm.reduce(qerr_buf, mpi::ReduceOp::Sum, 0);
 
     if (comm.rank() == 0) {
+      const double t_apply = comm.now();
       som::BatchAccumulator total(grid, dim);
       std::copy(packed.begin(), packed.begin() + static_cast<std::ptrdiff_t>(cells * dim),
                 total.numerator().begin());
       std::copy(packed.begin() + static_cast<std::ptrdiff_t>(cells * dim), packed.end(),
                 total.denominator().begin());
       total.apply(cb);
+      if (trace::Recorder* rec = comm.process().tracer(); rec != nullptr) {
+        rec->add(comm.rank(), trace::Category::App, "codebook_update", t_apply, comm.now(),
+                 cells);
+      }
       if (config.on_epoch) {
         config.on_epoch(epoch, sigma,
                         data.rows() > 0 ? qerr_buf[0] / static_cast<double>(data.rows())
@@ -112,16 +121,25 @@ SimSomStats run_som_sim(mpi::Comm& comm, const SimSomConfig& config) {
       const std::uint64_t count =
           std::min<std::uint64_t>(config.block_vectors, config.num_vectors - first);
       const double cost = per_vector_cost * static_cast<double>(count);
+      const double t0 = comm.now();
       comm.compute(cost);
       stats.compute_seconds += cost;
       ++stats.blocks_processed;
+      if (trace::Recorder* rec = comm.process().tracer(); rec != nullptr) {
+        rec->add(comm.rank(), trace::Category::App, "accumulate", t0, comm.now(), count);
+      }
     });
     comm.reduce_phantom_pipelined(
         accum_bytes, 0, static_cast<double>(accum_bytes) * config.combine_seconds_per_byte);
     // Master applies Eq. 5 over the full codebook.
     if (comm.rank() == 0) {
+      const double t_apply = comm.now();
       comm.compute(static_cast<double>(cells) * static_cast<double>(config.dim) *
                    config.flop_seconds);
+      if (trace::Recorder* rec = comm.process().tracer(); rec != nullptr) {
+        rec->add(comm.rank(), trace::Category::App, "codebook_update", t_apply, comm.now(),
+                 cells);
+      }
     }
   }
   return stats;

@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "trace/trace.hpp"
 
 namespace mrbio::sim {
 
@@ -296,6 +297,9 @@ void Engine::run(const std::function<void(Process&)>& body) {
   for (int i = 0; i < config_.nprocs; ++i) {
     impl_->final_times[static_cast<std::size_t>(i)] =
         impl_->pcbs[static_cast<std::size_t>(i)].final_time;
+    if (config_.recorder != nullptr && i < config_.recorder->nranks()) {
+      config_.recorder->set_final_time(i, impl_->final_times[static_cast<std::size_t>(i)]);
+    }
   }
 
   for (const auto& pcb : impl_->pcbs) {
@@ -322,14 +326,20 @@ int Process::size() const { return engine_->config().nprocs; }
 
 const NetworkModel& Process::net() const { return engine_->config().net; }
 
+trace::Recorder* Process::tracer() const { return engine_->config().recorder; }
+
 void Process::compute(double seconds) {
   MRBIO_REQUIRE(seconds >= 0.0, "compute() needs non-negative time, got ", seconds);
   auto& impl = *engine_->impl_;
   std::unique_lock<std::mutex> lock(impl.mutex);
   auto& pcb = impl.pcbs[static_cast<std::size_t>(rank_)];
   impl.check_abort(pcb);
+  const double t0 = vtime_;
   vtime_ += seconds;
   impl.stats.total_compute += seconds;
+  if (auto* rec = impl.cfg.recorder; rec != nullptr && rec->full()) {
+    rec->add(rank_, trace::Category::Compute, "compute", t0, vtime_);
+  }
 }
 
 void Process::send(int dst, int tag, std::vector<std::byte> payload) {
@@ -359,7 +369,11 @@ void Process::send(int dst, int tag, std::vector<std::byte> payload,
   msg.payload = std::move(payload);
   const std::uint64_t seq = ++impl.send_seq;
   impl.events.push(InFlight{msg.arrival, seq, dst, std::move(msg)});
+  const double t0 = vtime_;
   vtime_ += net.send_overhead;
+  if (auto* rec = impl.cfg.recorder; rec != nullptr && rec->full()) {
+    rec->add(rank_, trace::Category::Send, "send", t0, vtime_, 0, nominal_bytes);
+  }
 }
 
 Message Process::recv(int src, int tag) {
@@ -367,6 +381,7 @@ Message Process::recv(int src, int tag) {
   std::unique_lock<std::mutex> lock(impl.mutex);
   auto& pcb = impl.pcbs[static_cast<std::size_t>(rank_)];
   impl.check_abort(pcb);
+  const double post_time = vtime_;
 
   // Messages already delivered to the mailbox arrived no later than this
   // rank's current time, so the earliest match completes immediately.
@@ -375,6 +390,10 @@ Message Process::recv(int src, int tag) {
       Message out = std::move(it->msg);
       pcb.mailbox.erase(it);
       vtime_ = std::max(vtime_, out.arrival) + impl.cfg.net.recv_overhead;
+      if (auto* rec = impl.cfg.recorder; rec != nullptr && rec->full()) {
+        rec->add(rank_, trace::Category::RecvWait, "recv", post_time, vtime_, 0,
+                 out.nominal_bytes);
+      }
       return out;
     }
   }
@@ -388,6 +407,10 @@ Message Process::recv(int src, int tag) {
   MRBIO_CHECK(pcb.handed.has_value(), "rank ", rank_, " woken from recv without a message");
   Message out = std::move(pcb.handed->msg);
   pcb.handed.reset();
+  if (auto* rec = impl.cfg.recorder; rec != nullptr && rec->full()) {
+    rec->add(rank_, trace::Category::RecvWait, "recv", post_time, vtime_, 0,
+             out.nominal_bytes);
+  }
   return out;
 }
 

@@ -30,6 +30,10 @@
 
 #include "sim/message.hpp"
 
+namespace mrbio::trace {
+class Recorder;
+}
+
 namespace mrbio::sim {
 
 /// Network cost parameters (seconds). Defaults approximate an Infiniband
@@ -45,6 +49,10 @@ struct EngineConfig {
   int nprocs = 1;
   NetworkModel net;
   std::size_t stack_bytes = 1 << 20;  ///< stack per simulated process
+  /// Optional virtual-time span sink. Null (the default) disables tracing;
+  /// the hooks only ever read clocks, so enabling a recorder never changes
+  /// simulated times.
+  trace::Recorder* recorder = nullptr;
 };
 
 /// Aggregate counters collected over a run.
@@ -86,6 +94,11 @@ class Process {
 
   /// The network cost model of the owning engine.
   const NetworkModel& net() const;
+
+  /// The engine's span recorder, or null when tracing is off. Layers above
+  /// the engine (mpi::Comm, mrmpi, drivers) use this to attach their own
+  /// spans to the executing rank.
+  trace::Recorder* tracer() const;
 
   static constexpr int kAnySource = -1;
   static constexpr int kAnyTag = -1;

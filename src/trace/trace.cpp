@@ -1,0 +1,302 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mrbio::trace {
+
+const char* category_name(Category cat) {
+  switch (cat) {
+    case Category::Compute: return "compute";
+    case Category::Send: return "send";
+    case Category::RecvWait: return "recv";
+    case Category::Collective: return "collective";
+    case Category::Phase: return "phase";
+    case Category::Task: return "task";
+    case Category::App: return "app";
+    case Category::Io: return "io";
+  }
+  return "?";
+}
+
+Recorder::Recorder(int nranks, Level level) : level_(level) {
+  MRBIO_REQUIRE(nranks > 0, "Recorder needs at least one rank, got ", nranks);
+  per_rank_.resize(static_cast<std::size_t>(nranks));
+  final_times_.assign(static_cast<std::size_t>(nranks), 0.0);
+}
+
+void Recorder::add(int rank, Category cat, const char* name, double t0, double t1,
+                   std::uint64_t kv_pairs, std::uint64_t bytes) {
+  MRBIO_CHECK(rank >= 0 && rank < nranks(), "Recorder::add rank out of range");
+  per_rank_[static_cast<std::size_t>(rank)].push_back(
+      Event{name, cat, rank, t0, t1, kv_pairs, bytes});
+}
+
+const std::vector<Event>& Recorder::rank_events(int rank) const {
+  MRBIO_CHECK(rank >= 0 && rank < nranks(), "Recorder::rank_events rank out of range");
+  return per_rank_[static_cast<std::size_t>(rank)];
+}
+
+std::vector<Event> Recorder::events() const {
+  std::vector<Event> all;
+  all.reserve(size());
+  for (const auto& lane : per_rank_) all.insert(all.end(), lane.begin(), lane.end());
+  return all;
+}
+
+std::size_t Recorder::size() const {
+  std::size_t n = 0;
+  for (const auto& lane : per_rank_) n += lane.size();
+  return n;
+}
+
+void Recorder::set_final_time(int rank, double t) {
+  MRBIO_CHECK(rank >= 0 && rank < nranks(), "Recorder::set_final_time rank out of range");
+  final_times_[static_cast<std::size_t>(rank)] = t;
+}
+
+void Recorder::clear() {
+  for (auto& lane : per_rank_) lane.clear();
+  final_times_.assign(final_times_.size(), 0.0);
+}
+
+namespace {
+
+using Interval = std::pair<double, double>;
+
+// Merge overlapping intervals in place; input need not be sorted.
+void merge_intervals(std::vector<Interval>& iv) {
+  if (iv.empty()) return;
+  std::sort(iv.begin(), iv.end());
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    if (iv[i].first <= iv[out].second) {
+      iv[out].second = std::max(iv[out].second, iv[i].second);
+    } else {
+      iv[++out] = iv[i];
+    }
+  }
+  iv.resize(out + 1);
+}
+
+double measure(const std::vector<Interval>& merged) {
+  double total = 0.0;
+  for (const auto& [a, b] : merged) total += b - a;
+  return total;
+}
+
+// Total length of `iv` (merged) not covered by `cover` (merged).
+double measure_minus(const std::vector<Interval>& iv, const std::vector<Interval>& cover) {
+  double total = 0.0;
+  std::size_t c = 0;
+  for (const auto& [a, b] : iv) {
+    double pos = a;
+    while (c < cover.size() && cover[c].second <= pos) ++c;
+    std::size_t k = c;
+    while (pos < b) {
+      if (k >= cover.size() || cover[k].first >= b) {
+        total += b - pos;
+        break;
+      }
+      if (cover[k].first > pos) total += cover[k].first - pos;
+      pos = std::max(pos, cover[k].second);
+      ++k;
+    }
+  }
+  return total;
+}
+
+bool is_busy_cat(Category c) {
+  return c == Category::Compute || c == Category::App || c == Category::Io ||
+         c == Category::Task;
+}
+
+bool is_comm_cat(Category c) {
+  return c == Category::Send || c == Category::RecvWait || c == Category::Collective;
+}
+
+}  // namespace
+
+double Summary::total_busy() const {
+  double t = 0.0;
+  for (const auto& r : ranks) t += r.busy_seconds;
+  return t;
+}
+
+double Summary::total_comm() const {
+  double t = 0.0;
+  for (const auto& r : ranks) t += r.comm_seconds;
+  return t;
+}
+
+double Summary::total_idle() const {
+  double t = 0.0;
+  for (const auto& r : ranks) t += r.idle_seconds;
+  return t;
+}
+
+const PhaseRow* Summary::phase(Category cat, std::string_view name) const {
+  for (const auto& row : phases) {
+    if (row.cat == cat && row.name == name) return &row;
+  }
+  return nullptr;
+}
+
+Summary summarize(const Recorder& rec) {
+  Summary s;
+  s.ranks.resize(static_cast<std::size_t>(rec.nranks()));
+  // Keyed by (category, name) so e.g. an Io "spill" row never merges
+  // with a hypothetical App "spill" row.
+  std::map<std::pair<int, std::string>, PhaseRow> rows;
+
+  for (int r = 0; r < rec.nranks(); ++r) {
+    std::vector<Interval> busy, io, comm;
+    RankMetrics& m = s.ranks[static_cast<std::size_t>(r)];
+    for (const Event& e : rec.rank_events(r)) {
+      if (is_busy_cat(e.cat)) busy.emplace_back(e.t0, e.t1);
+      if (e.cat == Category::Io) io.emplace_back(e.t0, e.t1);
+      if (is_comm_cat(e.cat)) comm.emplace_back(e.t0, e.t1);
+      if (e.cat == Category::Task) ++m.tasks;
+      m.final_time = std::max(m.final_time, e.t1);
+
+      auto& row = rows[{static_cast<int>(e.cat), e.name}];
+      if (row.count == 0) {
+        row.name = e.name;
+        row.cat = e.cat;
+      }
+      ++row.count;
+      row.seconds += e.t1 - e.t0;
+      row.max_seconds = std::max(row.max_seconds, e.t1 - e.t0);
+      row.kv_pairs += e.kv_pairs;
+      row.bytes += e.bytes;
+    }
+    merge_intervals(busy);
+    merge_intervals(io);
+    merge_intervals(comm);
+    m.busy_seconds = measure(busy);
+    m.io_seconds = measure(io);
+    m.comm_seconds = measure_minus(comm, busy);
+    if (r < static_cast<int>(rec.final_times().size())) {
+      m.final_time = std::max(m.final_time, rec.final_times()[static_cast<std::size_t>(r)]);
+    }
+    m.idle_seconds = std::max(0.0, m.final_time - m.busy_seconds - m.comm_seconds);
+  }
+
+  s.phases.reserve(rows.size());
+  for (auto& [key, row] : rows) s.phases.push_back(std::move(row));
+  std::sort(s.phases.begin(), s.phases.end(),
+            [](const PhaseRow& a, const PhaseRow& b) { return a.seconds > b.seconds; });
+  return s;
+}
+
+void print_summary(std::FILE* out, const Summary& summary, std::size_t max_rank_rows) {
+  std::fprintf(out, "%-10s %-16s %8s %12s %12s %12s %14s\n", "category", "span", "count",
+               "seconds", "max(s)", "kv_pairs", "bytes");
+  for (const auto& row : summary.phases) {
+    std::fprintf(out, "%-10s %-16s %8" PRIu64 " %12.6f %12.6f %12" PRIu64 " %14" PRIu64 "\n",
+                 category_name(row.cat), row.name.c_str(), row.count, row.seconds,
+                 row.max_seconds, row.kv_pairs, row.bytes);
+  }
+  std::fprintf(out, "\n%-6s %12s %12s %12s %12s %8s\n", "rank", "busy(s)", "io(s)",
+               "comm(s)", "idle(s)", "tasks");
+  const std::size_t shown = std::min(max_rank_rows, summary.ranks.size());
+  for (std::size_t r = 0; r < shown; ++r) {
+    const RankMetrics& m = summary.ranks[r];
+    std::fprintf(out, "%-6zu %12.6f %12.6f %12.6f %12.6f %8" PRIu64 "\n", r,
+                 m.busy_seconds, m.io_seconds, m.comm_seconds, m.idle_seconds, m.tasks);
+  }
+  if (shown < summary.ranks.size()) {
+    std::fprintf(out, "... (%zu more ranks)\n", summary.ranks.size() - shown);
+  }
+  double io = 0.0;
+  std::uint64_t tasks = 0;
+  for (const auto& m : summary.ranks) {
+    io += m.io_seconds;
+    tasks += m.tasks;
+  }
+  std::fprintf(out, "%-6s %12.6f %12.6f %12.6f %12.6f %8" PRIu64 "\n", "all",
+               summary.total_busy(), io, summary.total_comm(), summary.total_idle(), tasks);
+}
+
+std::vector<double> utilization_series(const Recorder& rec, Category cat,
+                                       std::string_view name, double bucket_seconds,
+                                       int total_cores) {
+  // Mirrors workload::UtilizationTracker::series bucket arithmetic so a
+  // trace of the same intervals yields bit-identical utilization.
+  MRBIO_REQUIRE(bucket_seconds > 0.0 && total_cores > 0, "bad utilization series args");
+  double horizon = 0.0;
+  for (int r = 0; r < rec.nranks(); ++r) {
+    for (const Event& e : rec.rank_events(r)) {
+      if (e.cat == cat && name == e.name) horizon = std::max(horizon, e.t1);
+    }
+  }
+  if (horizon <= 0.0) return {};
+  const auto nbuckets =
+      static_cast<std::size_t>(std::ceil(horizon / bucket_seconds));
+  std::vector<double> busy(nbuckets, 0.0);
+  for (int r = 0; r < rec.nranks(); ++r) {
+    for (const Event& e : rec.rank_events(r)) {
+      if (e.cat != cat || name != e.name) continue;
+      const auto first = static_cast<std::size_t>(e.t0 / bucket_seconds);
+      const auto last = static_cast<std::size_t>(e.t1 / bucket_seconds);
+      for (std::size_t b = first; b <= last && b < nbuckets; ++b) {
+        const double lo = std::max(e.t0, static_cast<double>(b) * bucket_seconds);
+        const double hi =
+            std::min(e.t1, static_cast<double>(b + 1) * bucket_seconds);
+        if (hi > lo) busy[b] += hi - lo;
+      }
+    }
+  }
+  const double denom = bucket_seconds * total_cores;
+  for (double& v : busy) v /= denom;
+  return busy;
+}
+
+double total_seconds(const Recorder& rec, Category cat, std::string_view name) {
+  double total = 0.0;
+  for (int r = 0; r < rec.nranks(); ++r) {
+    for (const Event& e : rec.rank_events(r)) {
+      if (e.cat == cat && name == e.name) total += e.t1 - e.t0;
+    }
+  }
+  return total;
+}
+
+void write_chrome_trace(const std::string& path, const Recorder& rec) {
+  std::ofstream out(path, std::ios::trunc);
+  MRBIO_REQUIRE(out.good(), "cannot open trace output: ", path);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (int r = 0; r < rec.nranks(); ++r) {
+    std::snprintf(buf, sizeof buf,
+                  "%s\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+                  "\"args\":{\"name\":\"rank %d\"}}",
+                  first ? "" : ",", r, r);
+    out << buf;
+    first = false;
+  }
+  for (int r = 0; r < rec.nranks(); ++r) {
+    for (const Event& e : rec.rank_events(r)) {
+      // Span names are static identifier strings, so no JSON escaping.
+      std::snprintf(buf, sizeof buf,
+                    ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":0,"
+                    "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"kv_pairs\":%" PRIu64
+                    ",\"bytes\":%" PRIu64 "}}",
+                    e.name, category_name(e.cat), e.rank, e.t0 * 1e6,
+                    (e.t1 - e.t0) * 1e6, e.kv_pairs, e.bytes);
+      out << buf;
+    }
+  }
+  out << "\n]}\n";
+  MRBIO_REQUIRE(out.good(), "failed writing trace output: ", path);
+}
+
+}  // namespace mrbio::trace

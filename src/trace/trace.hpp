@@ -1,0 +1,137 @@
+// Per-rank, virtual-time span recorder for the simulated cluster.
+//
+// Every layer of the stack can attach named spans to the rank that
+// executed them: the DES engine records raw compute/send/recv charges,
+// mpi::Comm tags collective participation, mrmpi::MapReduce wraps each
+// phase, and the BLAST/SOM drivers annotate application-level work.
+// Timestamps are virtual seconds read from the owning Process clock, so
+// recording never perturbs the simulation: with a null recorder the
+// hooks compile down to a pointer test.
+//
+// The recorder feeds two consumers: a Chrome `chrome://tracing` JSON
+// writer (one lane per rank) and an aggregated per-phase metrics table
+// (busy/idle/comm/io seconds, master service latency, per-worker task
+// counts) that subsumes the old ad-hoc IntervalTracker numbers.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrbio::trace {
+
+enum class Category : std::uint8_t {
+  Compute,     ///< raw virtual-time charge from Process::compute (Full level)
+  Send,        ///< sender-side overhead of one message (Full level)
+  RecvWait,    ///< blocking receive, post to completion (Full level)
+  Collective,  ///< participation in an mpi::Comm collective
+  Phase,       ///< one mrmpi phase: map/aggregate/convert/reduce/gather/...
+  Task,        ///< one map task executed by this rank
+  App,         ///< application-level useful work (search, accumulate, ...)
+  Io,          ///< virtual I/O time (DB volume load, out-of-core spill)
+};
+
+const char* category_name(Category cat);
+
+/// How much detail to record. Phases keeps event counts proportional to
+/// tasks + phases (safe at thousands of ranks); Full adds one event per
+/// message and per compute charge, which is O(ranks^2) per alltoallv.
+enum class Level : std::uint8_t { Phases, Full };
+
+struct Event {
+  const char* name = "";  ///< static string; never freed
+  Category cat = Category::Compute;
+  int rank = 0;
+  double t0 = 0.0;  ///< virtual seconds
+  double t1 = 0.0;
+  std::uint64_t kv_pairs = 0;  ///< KV pairs touched (phase spans)
+  std::uint64_t bytes = 0;     ///< nominal bytes moved or spilled
+};
+
+class Recorder {
+ public:
+  explicit Recorder(int nranks, Level level = Level::Phases);
+
+  int nranks() const { return static_cast<int>(per_rank_.size()); }
+  Level level() const { return level_; }
+  bool full() const { return level_ == Level::Full; }
+
+  /// Append a span to `rank`'s lane. Only the thread currently running
+  /// that rank may call this: the engine schedules one rank at a time
+  /// and hands over through a mutex, so per-rank vectors need no lock.
+  void add(int rank, Category cat, const char* name, double t0, double t1,
+           std::uint64_t kv_pairs = 0, std::uint64_t bytes = 0);
+
+  const std::vector<Event>& rank_events(int rank) const;
+  std::vector<Event> events() const;  ///< all ranks, rank-major order
+  std::size_t size() const;
+
+  /// Engine::run stores each rank's final virtual time here so idle
+  /// time can be charged up to the end of the run.
+  void set_final_time(int rank, double t);
+  const std::vector<double>& final_times() const { return final_times_; }
+
+  void clear();
+
+ private:
+  Level level_;
+  std::vector<std::vector<Event>> per_rank_;
+  std::vector<double> final_times_;
+};
+
+// ---------------------------------------------------------------------------
+// Aggregated metrics
+
+struct RankMetrics {
+  double busy_seconds = 0.0;  ///< union of Compute/App/Io/Task spans
+  double io_seconds = 0.0;    ///< union of Io spans (subset of busy)
+  double comm_seconds = 0.0;  ///< Send/RecvWait/Collective minus busy overlap
+  double idle_seconds = 0.0;  ///< final_time - busy - comm
+  double final_time = 0.0;
+  std::uint64_t tasks = 0;  ///< number of Task spans this rank executed
+};
+
+struct PhaseRow {
+  std::string name;
+  Category cat = Category::Phase;
+  std::uint64_t count = 0;
+  double seconds = 0.0;       ///< summed span durations across ranks
+  double max_seconds = 0.0;   ///< longest single span
+  std::uint64_t kv_pairs = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct Summary {
+  std::vector<RankMetrics> ranks;
+  std::vector<PhaseRow> phases;  ///< aggregated by (category, name)
+
+  double total_busy() const;
+  double total_comm() const;
+  double total_idle() const;
+  const PhaseRow* phase(Category cat, std::string_view name) const;
+};
+
+Summary summarize(const Recorder& rec);
+
+/// Print the per-phase table and per-rank metrics (first `max_rank_rows`
+/// ranks plus an "all" aggregate row) in a fixed-width layout.
+void print_summary(std::FILE* out, const Summary& summary,
+                   std::size_t max_rank_rows = 16);
+
+/// Bucketized cluster utilization from spans matching (cat, name) — the
+/// same arithmetic as workload::UtilizationTracker::series, so a trace
+/// of App/"search" spans reproduces the legacy Fig. 5 numbers.
+std::vector<double> utilization_series(const Recorder& rec, Category cat,
+                                       std::string_view name,
+                                       double bucket_seconds, int total_cores);
+
+/// Summed duration of all spans matching (cat, name) across ranks.
+double total_seconds(const Recorder& rec, Category cat, std::string_view name);
+
+/// Chrome `chrome://tracing` JSON: one pid, one tid (lane) per rank,
+/// "X" complete events with kv_pairs/bytes args, microsecond timestamps.
+void write_chrome_trace(const std::string& path, const Recorder& rec);
+
+}  // namespace mrbio::trace

@@ -40,9 +40,13 @@ SimOutcome run_sim(const SimRunConfig& config, int cores) {
   engine.run([&](sim::Process& p) {
     mpi::Comm comm(p);
     const SimRunStats st = run_blast_sim(comm, config);
+    // Stats are now globally reduced inside the driver: every rank returns
+    // the same job-wide totals, so capture them once.
     std::lock_guard<std::mutex> lock(mu);
-    out.total_db_loads += st.db_loads;
-    if (p.rank() == 0) out.total_hits = st.total_hits;
+    if (p.rank() == 0) {
+      out.total_db_loads = st.db_loads;
+      out.total_hits = st.total_hits;
+    }
   });
   out.elapsed = engine.elapsed();
   return out;
@@ -106,6 +110,42 @@ TEST(TaperedExtension, BadScheduleRejected) {
                  run_blast_sim(comm, config);
                }),
                InputError);
+}
+
+TEST(SimStatsReduction, AllRanksSeeGlobalTotals) {
+  // Regression: total_hits was the only globally reduced field; db_loads,
+  // compute_seconds and load_seconds were rank-local, so callers reading
+  // them from rank 0 undercounted the job. All fields are now allreduced.
+  SimRunConfig config;
+  config.workload = sim_workload();
+  sim::EngineConfig ec;
+  ec.nprocs = 5;
+  ec.stack_bytes = 256 * 1024;
+  sim::Engine engine(ec);
+  std::mutex mu;
+  std::vector<SimRunStats> per_rank(5);
+  engine.run([&](sim::Process& p) {
+    mpi::Comm comm(p);
+    const SimRunStats st = run_blast_sim(comm, config);
+    std::lock_guard<std::mutex> lock(mu);
+    per_rank[static_cast<std::size_t>(p.rank())] = st;
+  });
+  for (std::size_t r = 1; r < per_rank.size(); ++r) {
+    EXPECT_EQ(per_rank[r].total_hits, per_rank[0].total_hits) << r;
+    EXPECT_EQ(per_rank[r].db_loads, per_rank[0].db_loads) << r;
+    EXPECT_DOUBLE_EQ(per_rank[r].compute_seconds, per_rank[0].compute_seconds) << r;
+    EXPECT_DOUBLE_EQ(per_rank[r].load_seconds, per_rank[0].load_seconds) << r;
+    EXPECT_DOUBLE_EQ(per_rank[r].max_rank_compute_seconds,
+                     per_rank[0].max_rank_compute_seconds)
+        << r;
+  }
+  // Sums cover all ranks; the per-rank max is a fraction of the sum but
+  // at least sum / nranks (someone did at least the average).
+  EXPECT_GT(per_rank[0].db_loads, 0u);
+  EXPECT_GT(per_rank[0].compute_seconds, 0.0);
+  EXPECT_LT(per_rank[0].max_rank_compute_seconds, per_rank[0].compute_seconds);
+  EXPECT_GE(per_rank[0].max_rank_compute_seconds,
+            per_rank[0].compute_seconds / 5.0);
 }
 
 class IndexedInputTest : public ::testing::Test {
@@ -182,6 +222,80 @@ TEST_F(IndexedInputTest, IndexedFastaMatchesInMemoryBlocks) {
 
   EXPECT_FALSE(mem_hits.empty());
   EXPECT_EQ(mem_hits, idx_hits);
+}
+
+TEST_F(IndexedInputTest, RerunOverwritesStaleHits) {
+  // Regression: the per-rank output files used to be opened with
+  // std::ios::app, so a second run into the same directory concatenated
+  // the previous run's hits. They must be truncated on first open.
+  RealRunConfig config;
+  config.partition_paths = db_.volume_paths;
+  config.options.filter_low_complexity = false;
+  config.options.evalue_cutoff = 1e-6;
+  config.output_dir = (dir_ / "out_rerun").string();
+  config.query_fasta = fasta_path_;
+  config.query_block_sizes.assign((queries_.size() + 1) / 2, 2);
+
+  const auto run_once = [&]() {
+    sim::EngineConfig ec;
+    ec.nprocs = 4;
+    sim::Engine engine(ec);
+    std::vector<std::string> files(4);
+    engine.run([&](sim::Process& p) {
+      mpi::Comm comm(p);
+      files[static_cast<std::size_t>(p.rank())] = run_blast_mr(comm, config).output_file;
+    });
+    std::size_t lines = 0;
+    for (const auto& path : files) {
+      if (path.empty()) continue;
+      std::ifstream in(path);
+      std::string line;
+      while (std::getline(in, line)) ++lines;
+    }
+    return lines;
+  };
+  const std::size_t first = run_once();
+  const std::size_t second = run_once();  // stale files already on disk
+  EXPECT_GT(first, 0u);
+  EXPECT_EQ(second, first);  // append mode would give second == 2 * first
+}
+
+TEST_F(IndexedInputTest, OverCoveringFinalBlockIsClamped) {
+  // A schedule whose final block nominally runs one record past the end of
+  // the FASTA is legal: the count is clamped and results match the exact
+  // schedule.
+  RealRunConfig exact;
+  exact.query_fasta = fasta_path_;
+  exact.query_block_sizes.assign(queries_.size(), 1);
+  const auto exact_hits = run(exact, "out_exact");
+
+  RealRunConfig over;
+  over.query_fasta = fasta_path_;
+  over.query_block_sizes.assign(queries_.size() - 1, 1);
+  over.query_block_sizes.push_back(2);  // last block over-runs by one
+  const auto over_hits = run(over, "out_over");
+
+  EXPECT_FALSE(exact_hits.empty());
+  EXPECT_EQ(exact_hits, over_hits);
+}
+
+TEST_F(IndexedInputTest, BlockBeyondEndRejected) {
+  // A whole block starting past the last record is a schedule bug, not a
+  // clamping case: it must be rejected up front.
+  RealRunConfig config;
+  config.partition_paths = db_.volume_paths;
+  config.query_fasta = fasta_path_;
+  config.query_block_sizes.assign(queries_.size(), 1);
+  config.query_block_sizes.push_back(1);  // starts at num_records
+  config.output_dir = (dir_ / "out_beyond").string();
+  sim::EngineConfig ec;
+  ec.nprocs = 2;
+  sim::Engine engine(ec);
+  EXPECT_THROW(engine.run([&](sim::Process& p) {
+                 mpi::Comm comm(p);
+                 run_blast_mr(comm, config);
+               }),
+               InputError);
 }
 
 TEST_F(IndexedInputTest, TaperedScheduleWithIndexedInput) {

@@ -81,6 +81,57 @@ TEST(MapReduce, MasterRankRunsNoTasks) {
   EXPECT_EQ(total, 20u);
 }
 
+TEST(MapReduce, MasterWorkerFewerTasksThanWorkers) {
+  // ntasks < workers: the surplus workers must receive stop tokens right
+  // away (no hang waiting for work that never comes) and every task still
+  // runs exactly once.
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::MasterWorker;
+  std::mutex mu;
+  std::multiset<std::uint64_t> seen;
+  run_mr(8, cfg, [&](MapReduce& mr, mpi::Comm&) {
+    const auto total = mr.map(3, [&](std::uint64_t t, KeyValue& kv) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        seen.insert(t);
+      }
+      kv.add("task", std::to_string(t));
+    });
+    EXPECT_EQ(total, 3u);
+  });
+  EXPECT_EQ(seen.size(), 3u);
+  for (std::uint64_t t = 0; t < 3; ++t) EXPECT_EQ(seen.count(t), 1u) << t;
+}
+
+TEST(MapReduce, MasterWorkerZeroTasks) {
+  // ntasks == 0: every worker's first request is answered with a stop
+  // token, the map completes without running anything, and nothing hangs.
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::MasterWorker;
+  std::mutex mu;
+  int runs = 0;
+  run_mr(4, cfg, [&](MapReduce& mr, mpi::Comm&) {
+    const auto total = mr.map(0, [&](std::uint64_t, KeyValue&) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++runs;
+    });
+    EXPECT_EQ(total, 0u);
+    EXPECT_EQ(mr.stats().map_tasks_run, 0u);
+  });
+  EXPECT_EQ(runs, 0);
+}
+
+TEST(MapReduce, ZeroTasksAllStyles) {
+  for (const MapStyle style : {MapStyle::Chunk, MapStyle::Stride,
+                               MapStyle::MasterWorker}) {
+    MapReduceConfig cfg;
+    cfg.map_style = style;
+    run_mr(3, cfg, [&](MapReduce& mr, mpi::Comm&) {
+      EXPECT_EQ(mr.map(0, [](std::uint64_t, KeyValue&) { FAIL(); }), 0u);
+    });
+  }
+}
+
 TEST(MapReduce, MasterWorkerBalancesHeterogeneousTasks) {
   // One long task plus many short ones: with greedy scheduling the long
   // task must not serialize everything behind it. Elapsed should be close

@@ -1,0 +1,318 @@
+// Tests for the mrbio::trace layer: metric arithmetic on hand-built
+// recorders, instrumentation of real simulated runs (MapReduce phases,
+// master-worker service spans, BLAST app spans), the Chrome JSON export,
+// and the zero-perturbation guarantee (virtual times are identical with
+// tracing on and off).
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "mpi/comm.hpp"
+#include "mrblast/mrblast.hpp"
+#include "mrmpi/mapreduce.hpp"
+#include "sim/engine.hpp"
+
+namespace mrbio::trace {
+namespace {
+
+TEST(TraceRecorder, StoresPerRankLanes) {
+  Recorder rec(3);
+  rec.add(0, Category::Compute, "compute", 0.0, 1.0);
+  rec.add(2, Category::App, "search", 1.0, 2.5, 7, 128);
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.rank_events(0).size(), 1u);
+  EXPECT_TRUE(rec.rank_events(1).empty());
+  ASSERT_EQ(rec.rank_events(2).size(), 1u);
+  const Event& e = rec.rank_events(2)[0];
+  EXPECT_STREQ(e.name, "search");
+  EXPECT_EQ(e.kv_pairs, 7u);
+  EXPECT_EQ(e.bytes, 128u);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(TraceSummary, BusyCommIdleArithmetic) {
+  // Rank 0: busy [0,2] and [1,3] (overlap -> union 3 s), comm [2.5,4]
+  // (0.5 s overlaps busy, so comm charges 1 s), final time 5 -> idle 1 s.
+  Recorder rec(2);
+  rec.add(0, Category::Compute, "compute", 0.0, 2.0);
+  rec.add(0, Category::App, "search", 1.0, 3.0);
+  rec.add(0, Category::Collective, "reduce", 2.5, 4.0);
+  rec.set_final_time(0, 5.0);
+  rec.set_final_time(1, 5.0);
+  const Summary s = summarize(rec);
+  ASSERT_EQ(s.ranks.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.ranks[0].busy_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(s.ranks[0].comm_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(s.ranks[0].idle_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(s.ranks[0].final_time, 5.0);
+  // Rank 1 never worked: all idle.
+  EXPECT_DOUBLE_EQ(s.ranks[1].busy_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.ranks[1].idle_seconds, 5.0);
+}
+
+TEST(TraceSummary, IoCountsAsBusyAndIsTrackedSeparately) {
+  Recorder rec(1);
+  rec.add(0, Category::Io, "db_load", 0.0, 2.0, 0, 4096);
+  rec.add(0, Category::App, "search", 2.0, 3.0);
+  rec.set_final_time(0, 3.0);
+  const Summary s = summarize(rec);
+  EXPECT_DOUBLE_EQ(s.ranks[0].busy_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(s.ranks[0].io_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(s.ranks[0].idle_seconds, 0.0);
+  const PhaseRow* row = s.phase(Category::Io, "db_load");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->count, 1u);
+  EXPECT_EQ(row->bytes, 4096u);
+}
+
+TEST(TraceSummary, PhaseRowsAggregateByCategoryAndName) {
+  Recorder rec(2);
+  rec.add(0, Category::Phase, "map", 0.0, 2.0, 10, 100);
+  rec.add(1, Category::Phase, "map", 0.0, 3.0, 20, 200);
+  rec.add(0, Category::Task, "map_task", 0.0, 1.0);
+  rec.add(0, Category::Task, "map_task", 1.0, 2.0);
+  const Summary s = summarize(rec);
+  const PhaseRow* map = s.phase(Category::Phase, "map");
+  ASSERT_NE(map, nullptr);
+  EXPECT_EQ(map->count, 2u);
+  EXPECT_DOUBLE_EQ(map->seconds, 5.0);
+  EXPECT_DOUBLE_EQ(map->max_seconds, 3.0);
+  EXPECT_EQ(map->kv_pairs, 30u);
+  EXPECT_EQ(map->bytes, 300u);
+  EXPECT_EQ(s.ranks[0].tasks, 2u);
+  EXPECT_EQ(s.ranks[1].tasks, 0u);
+}
+
+TEST(TraceUtilization, MatchesHandComputedBuckets) {
+  // 2 cores, bucket 1 s: rank 0 busy [0, 1.5], rank 1 busy [0.5, 2].
+  // bucket 0: 1.0 + 0.5 = 1.5 -> 0.75; bucket 1: 0.5 + 1.0 = 1.5 -> 0.75.
+  Recorder rec(2);
+  rec.add(0, Category::App, "search", 0.0, 1.5);
+  rec.add(1, Category::App, "search", 0.5, 2.0);
+  const auto series = utilization_series(rec, Category::App, "search", 1.0, 2);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 0.75);
+  EXPECT_DOUBLE_EQ(series[1], 0.75);
+  EXPECT_DOUBLE_EQ(total_seconds(rec, Category::App, "search"), 3.0);
+}
+
+TEST(TraceChromeJson, StructurallyValidOneLanePerRank) {
+  Recorder rec(2);
+  rec.add(0, Category::Phase, "map", 0.0, 1.0, 5, 50);
+  rec.add(1, Category::App, "search", 0.5, 1.5);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mrbio_test_trace.json").string();
+  write_chrome_trace(path, rec);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  std::filesystem::remove(path);
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // One thread_name metadata record per rank.
+  EXPECT_NE(json.find("\"args\":{\"name\":\"rank 0\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"rank 1\"}"), std::string::npos);
+  // Complete events with microsecond timestamps and attributes.
+  EXPECT_NE(json.find("\"name\":\"map\",\"cat\":\"phase\",\"ph\":\"X\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"kv_pairs\":5"), std::string::npos);
+  // Balanced braces/brackets -- cheap structural sanity for the writer.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented simulated runs
+
+double run_traced(int nprocs, Recorder* rec,
+                  const std::function<void(mpi::Comm&)>& body) {
+  sim::EngineConfig ec;
+  ec.nprocs = nprocs;
+  ec.stack_bytes = 512 * 1024;
+  ec.recorder = rec;
+  sim::Engine engine(ec);
+  engine.run([&](sim::Process& p) {
+    mpi::Comm comm(p);
+    body(comm);
+  });
+  return engine.elapsed();
+}
+
+void word_count(mpi::Comm& comm) {
+  mrmpi::MapReduceConfig cfg;
+  cfg.map_style = mrmpi::MapStyle::MasterWorker;
+  mrmpi::MapReduce mr(comm, cfg);
+  mr.map(12, [&](std::uint64_t t, mrmpi::KeyValue& kv) {
+    comm.compute(0.01);
+    kv.add("k" + std::to_string(t % 3), "1");
+  });
+  mr.collate();
+  mr.reduce([](const mrmpi::KmvGroup&, mrmpi::KeyValue&) {});
+  mr.gather();
+}
+
+TEST(TraceMapReduce, RecordsPhaseAndTaskSpans) {
+  Recorder rec(4);
+  run_traced(4, &rec, word_count);
+  const Summary s = summarize(rec);
+  for (const char* phase : {"map", "aggregate", "convert", "reduce", "gather"}) {
+    const PhaseRow* row = s.phase(Category::Phase, phase);
+    ASSERT_NE(row, nullptr) << phase;
+    EXPECT_GT(row->count, 0u) << phase;
+  }
+  // The map phase carries the emitted KV pairs (12 tasks x 1 pair).
+  EXPECT_EQ(s.phase(Category::Phase, "map")->kv_pairs, 12u);
+  // 12 tasks ran, all on workers (master rank 0 serves).
+  std::uint64_t tasks = 0;
+  for (const auto& m : s.ranks) tasks += m.tasks;
+  EXPECT_EQ(tasks, 12u);
+  EXPECT_EQ(s.ranks[0].tasks, 0u);
+  // Master service spans: one per answered request = tasks + stop tokens.
+  const PhaseRow* svc = s.phase(Category::Phase, "mw_service");
+  ASSERT_NE(svc, nullptr);
+  EXPECT_EQ(svc->count, 12u + 3u);
+  // Every rank reached the same final virtual time (collectives sync).
+  for (const auto& m : s.ranks) EXPECT_GT(m.final_time, 0.0);
+}
+
+TEST(TraceMapReduce, PhaseTracingCanBeDisabledPerInstance) {
+  Recorder rec(2);
+  run_traced(2, &rec, [](mpi::Comm& comm) {
+    mrmpi::MapReduceConfig cfg;
+    cfg.trace_phases = false;
+    mrmpi::MapReduce mr(comm, cfg);
+    mr.map(4, [](std::uint64_t, mrmpi::KeyValue& kv) { kv.add("k", "v"); });
+    mr.aggregate();
+  });
+  const Summary s = summarize(rec);
+  EXPECT_EQ(s.phase(Category::Phase, "map"), nullptr);
+  EXPECT_EQ(s.phase(Category::Phase, "aggregate"), nullptr);
+}
+
+TEST(TraceFullLevel, RecordsMessageAndComputeEvents) {
+  Recorder rec(2, Level::Full);
+  run_traced(2, &rec, [](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.compute(0.5);
+      comm.send_bytes(1, 7, std::vector<std::byte>(64));
+    } else {
+      comm.recv_bytes(0, 7);
+    }
+  });
+  const Summary s = summarize(rec);
+  const PhaseRow* compute = s.phase(Category::Compute, "compute");
+  ASSERT_NE(compute, nullptr);
+  EXPECT_DOUBLE_EQ(compute->max_seconds, 0.5);
+  ASSERT_NE(s.phase(Category::Send, "send"), nullptr);
+  const PhaseRow* recv = s.phase(Category::RecvWait, "recv");
+  ASSERT_NE(recv, nullptr);
+  // Rank 1 posted at t=0 and the message arrived later: non-zero wait.
+  EXPECT_GT(recv->seconds, 0.0);
+}
+
+TEST(TraceFullLevel, PhasesLevelSkipsPerMessageEvents) {
+  Recorder rec(2);  // Level::Phases
+  run_traced(2, &rec, [](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.compute(0.5);
+      comm.send_bytes(1, 7, std::vector<std::byte>(64));
+    } else {
+      comm.recv_bytes(0, 7);
+    }
+  });
+  const Summary s = summarize(rec);
+  EXPECT_EQ(s.phase(Category::Compute, "compute"), nullptr);
+  EXPECT_EQ(s.phase(Category::Send, "send"), nullptr);
+  EXPECT_EQ(s.phase(Category::RecvWait, "recv"), nullptr);
+}
+
+TEST(TraceCollectives, TaggedAtBothLevels) {
+  Recorder rec(3);  // Phases level still records collectives
+  run_traced(3, &rec, [](mpi::Comm& comm) {
+    std::vector<std::uint64_t> v{1};
+    comm.reduce(v, mpi::ReduceOp::Sum, 0);
+    std::vector<std::byte> b(16);
+    comm.bcast(b, 0);
+  });
+  const Summary s = summarize(rec);
+  const PhaseRow* reduce = s.phase(Category::Collective, "reduce");
+  ASSERT_NE(reduce, nullptr);
+  EXPECT_EQ(reduce->count, 3u);  // every rank participates
+  ASSERT_NE(s.phase(Category::Collective, "bcast"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// BLAST driver integration
+
+mrblast::SimRunConfig small_sim() {
+  mrblast::SimRunConfig config;
+  config.workload.total_queries = 4'000;
+  config.workload.queries_per_block = 250;
+  config.workload.db_partitions = 4;
+  config.workload.mean_seconds_per_query = 0.02;
+  return config;
+}
+
+TEST(TraceBlastSim, UtilizationMatchesLegacyTracker) {
+  // The App/"search" spans cover exactly the intervals handed to the
+  // legacy UtilizationTracker; the two Fig. 5 pipelines must agree up to
+  // summation order (the tracker accumulates in insertion order, the
+  // trace rank-major), i.e. to ~1e-12 -- far inside the 1% bar.
+  auto config = small_sim();
+  workload::UtilizationTracker tracker;
+  config.tracker = &tracker;
+  Recorder rec(9);
+  const double elapsed = run_traced(9, &rec, [&](mpi::Comm& comm) {
+    mrblast::run_blast_sim(comm, config);
+  });
+  ASSERT_GT(elapsed, 0.0);
+  const double bucket = elapsed / 16.0;
+  const auto legacy = tracker.series(bucket, 9);
+  const auto traced = utilization_series(rec, Category::App, "search", bucket, 9);
+  ASSERT_EQ(traced.size(), legacy.size());
+  for (std::size_t b = 0; b < traced.size(); ++b) {
+    EXPECT_NEAR(traced[b], legacy[b], 1e-9) << "bucket " << b;
+  }
+}
+
+TEST(TraceBlastSim, RecordsDbLoadIoSpans) {
+  auto config = small_sim();
+  Recorder rec(5);
+  run_traced(5, &rec, [&](mpi::Comm& comm) { mrblast::run_blast_sim(comm, config); });
+  const Summary s = summarize(rec);
+  const PhaseRow* load = s.phase(Category::Io, "db_load");
+  ASSERT_NE(load, nullptr);
+  EXPECT_GT(load->count, 0u);
+  EXPECT_GT(s.phase(Category::App, "search")->count, 0u);
+}
+
+TEST(TraceZeroPerturbation, VirtualTimesIdenticalWithTracingOnAndOff) {
+  // The acceptance bar for the whole layer: attaching a recorder (even at
+  // Full level) must not move a single virtual clock.
+  auto config = small_sim();
+  const double bare = run_traced(7, nullptr, [&](mpi::Comm& comm) {
+    mrblast::run_blast_sim(comm, config);
+  });
+  Recorder phases(7);
+  const double traced = run_traced(7, &phases, [&](mpi::Comm& comm) {
+    mrblast::run_blast_sim(comm, config);
+  });
+  Recorder full(7, Level::Full);
+  const double traced_full = run_traced(7, &full, [&](mpi::Comm& comm) {
+    mrblast::run_blast_sim(comm, config);
+  });
+  EXPECT_DOUBLE_EQ(bare, traced);
+  EXPECT_DOUBLE_EQ(bare, traced_full);
+  EXPECT_GT(full.size(), phases.size());  // Full really records more
+}
+
+}  // namespace
+}  // namespace mrbio::trace

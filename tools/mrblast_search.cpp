@@ -6,13 +6,16 @@
 //                  [--type nucl|prot] [--ranks 8] [--evalue 10]
 //                  [--max-hits 500] [--block 1000] [--tapered]
 //                  [--locality] [--no-filter] [--exclude-self]
+//                  [--trace out.json] [--trace-full]
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 
 #include "common/log.hpp"
 #include "common/options.hpp"
 #include "mrblast/mrblast.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 
 using namespace mrbio;
 
@@ -30,6 +33,8 @@ int main(int argc, char** argv) {
   opts.add_flag("locality", "use the location-aware scheduler");
   opts.add_flag("no-filter", "disable low-complexity filtering");
   opts.add_flag("exclude-self", "drop hits of shredded fragments on their parent");
+  opts.add("trace", "", "write a Chrome-tracing JSON timeline to this path");
+  opts.add_flag("trace-full", "with --trace: also record per-message/compute events");
   opts.add("log", "warn", "log level: debug/info/warn/error/off");
   try {
     if (!opts.parse(argc, argv)) return 0;
@@ -72,6 +77,12 @@ int main(int argc, char** argv) {
     const int ranks = static_cast<int>(opts.integer("ranks"));
     sim::EngineConfig ec;
     ec.nprocs = ranks;
+    std::unique_ptr<trace::Recorder> recorder;
+    if (!opts.str("trace").empty()) {
+      recorder = std::make_unique<trace::Recorder>(
+          ranks, opts.flag("trace-full") ? trace::Level::Full : trace::Level::Phases);
+      ec.recorder = recorder.get();
+    }
     sim::Engine engine(ec);
     std::uint64_t total = 0;
     std::vector<std::string> files(static_cast<std::size_t>(ranks));
@@ -89,6 +100,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(total), engine.elapsed());
     for (const auto& f : files) {
       if (!f.empty()) std::printf("  %s\n", f.c_str());
+    }
+    if (recorder) {
+      trace::write_chrome_trace(opts.str("trace"), *recorder);
+      trace::print_summary(stdout, trace::summarize(*recorder));
+      std::printf("trace: %s (load in chrome://tracing or Perfetto)\n",
+                  opts.str("trace").c_str());
     }
     return 0;
   } catch (const std::exception& e) {

@@ -7,6 +7,7 @@
 //
 // Outputs: <out>.cb (codebook), <out>_umatrix.pgm, and quality metrics.
 #include <cstdio>
+#include <memory>
 
 #include "blast/composition.hpp"
 #include "blast/sequence.hpp"
@@ -15,6 +16,7 @@
 #include "common/options.hpp"
 #include "mrsom/mrsom.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 
 using namespace mrbio;
 
@@ -33,6 +35,8 @@ int main(int argc, char** argv) {
   opts.add("seed", "2011", "random seed");
   opts.add("out", "mrsom", "output prefix");
   opts.add("planes", "0", "write the first N component planes as PGM images");
+  opts.add("trace", "", "write a Chrome-tracing JSON timeline to this path");
+  opts.add_flag("trace-full", "with --trace: also record per-message/compute events");
   try {
     if (!opts.parse(argc, argv)) return 0;
     MRBIO_REQUIRE(opts.str("matrix").empty() != opts.str("fasta").empty(),
@@ -79,6 +83,12 @@ int main(int argc, char** argv) {
 
     sim::EngineConfig ec;
     ec.nprocs = static_cast<int>(opts.integer("ranks"));
+    std::unique_ptr<trace::Recorder> recorder;
+    if (!opts.str("trace").empty()) {
+      recorder = std::make_unique<trace::Recorder>(
+          ec.nprocs, opts.flag("trace-full") ? trace::Level::Full : trace::Level::Phases);
+      ec.recorder = recorder.get();
+    }
     sim::Engine engine(ec);
     som::Codebook cb;
     engine.run([&](sim::Process& p) {
@@ -100,6 +110,12 @@ int main(int argc, char** argv) {
                 prefix.c_str());
     std::printf("quantization error %.6f   topographic error %.4f\n",
                 som::quantization_error(cb, view), som::topographic_error(cb, view));
+    if (recorder) {
+      trace::write_chrome_trace(opts.str("trace"), *recorder);
+      trace::print_summary(stdout, trace::summarize(*recorder));
+      std::printf("trace: %s (load in chrome://tracing or Perfetto)\n",
+                  opts.str("trace").c_str());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mrsom_train: %s\n", e.what());
