@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mpi/comm.hpp"
+#include "obs/analysis.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
 
@@ -56,6 +57,25 @@ inline std::string fmt(double v, int precision = 2) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+/// Efficiency-loss breakdown table (printed next to the timing tables):
+/// each obs::analyze category as a percentage of total rank-seconds, so a
+/// reader can see where the non-ideal speedup went at each core count.
+inline void print_loss_header(int width = 9) {
+  print_row({"cores", "useful%", "db_io%", "spill%", "obusy%", "cskew%", "mwait%",
+             "comm%", "idle%"},
+            width);
+}
+
+inline void print_loss_row(int cores, const obs::Report& report, int width = 9) {
+  const double total = report.total.final_time;
+  const auto pct = [&](double v) { return fmt(total > 0.0 ? 100.0 * v / total : 0.0, 1); };
+  print_row({std::to_string(cores), pct(report.total.useful), pct(report.total.db_io),
+             pct(report.total.spill_io), pct(report.total.other_busy),
+             pct(report.total.collective_skew), pct(report.total.master_wait),
+             pct(report.total.comm_overhead), pct(report.total.idle_other)},
+            width);
 }
 
 }  // namespace mrbio::bench

@@ -23,13 +23,13 @@ struct Series {
   std::uint64_t per_block;
 };
 
-double run_series(const Series& s, int cores) {
+double run_series(const Series& s, int cores, trace::Recorder* rec = nullptr) {
   mrblast::SimRunConfig config;
   config.workload.total_queries = s.queries;
   config.workload.queries_per_block = s.per_block;
   return bench::run_cluster(
       cores, [&](mpi::Comm& comm) { mrblast::run_blast_sim(comm, config); },
-      bench::paper_net());
+      bench::paper_net(), rec);
 }
 
 }  // namespace
@@ -54,14 +54,30 @@ int main(int argc, char** argv) {
   for (const auto& s : series) header.push_back(s.label);
   bench::print_row(header, 16);
 
+  // The 80K x 1000/blk runs double as the source of the efficiency-loss
+  // breakdown: a Phases-level recorder rides along (zero perturbation) and
+  // obs::analyze attributes every rank-second to a category.
+  std::vector<std::pair<int, obs::Report>> reports;
   for (const int cores : bench::paper_core_counts()) {
     if (cores > max_cores) break;
     std::vector<std::string> row{std::to_string(cores)};
-    for (const auto& s : series) {
-      row.push_back(bench::fmt(bench::seconds_to_minutes(run_series(s, cores))));
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (i == 2) {
+        trace::Recorder rec(cores);
+        row.push_back(bench::fmt(bench::seconds_to_minutes(
+            run_series(series[i], cores, &rec))));
+        reports.emplace_back(cores, obs::analyze(rec));
+      } else {
+        row.push_back(bench::fmt(bench::seconds_to_minutes(run_series(series[i], cores))));
+      }
     }
     bench::print_row(row, 16);
   }
+
+  std::printf("\n=== Efficiency-loss breakdown (80K x 1000/blk, %% of rank-seconds) ===\n");
+  bench::print_loss_header();
+  for (const auto& [cores, report] : reports) bench::print_loss_row(cores, report);
+
   std::printf(
       "\nShape checks (paper): log-log near-linear for large inputs; small input\n"
       "flattens at high core counts; 2000-seq blocks win at low core counts and\n"

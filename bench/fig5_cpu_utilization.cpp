@@ -31,6 +31,7 @@ struct ProteinRun {
   std::vector<double> utilization;         ///< trace-derived (the new path)
   std::vector<double> legacy_utilization;  ///< IntervalTracker cross-check
   trace::Summary summary;
+  obs::Report report;  ///< efficiency-loss attribution of the same trace
 };
 
 ProteinRun run_protein(int cores, std::size_t buckets) {
@@ -51,6 +52,7 @@ ProteinRun run_protein(int cores, std::size_t buckets) {
       trace::utilization_series(recorder, trace::Category::App, "search", bucket, cores);
   out.legacy_utilization = tracker.series(bucket, cores);
   out.summary = trace::summarize(recorder);
+  out.report = obs::analyze(recorder);
   return out;
 }
 
@@ -91,6 +93,12 @@ int main(int argc, char** argv) {
 
   std::printf("\n=== Section IV-A: protein scaling 512 vs 1024 cores ===\n");
   const ProteinRun run512 = run_protein(512, buckets);
+  std::printf("\n=== Efficiency-loss breakdown (%% of rank-seconds) ===\n");
+  bench::print_loss_header();
+  bench::print_loss_row(512, run512.report);
+  bench::print_loss_row(1024, run1024.report);
+  std::printf("stragglers at 1024 cores (busy > 1.5 x median): %zu\n",
+              run1024.report.stragglers.size());
   bench::print_row({"cores", "wall (min)", "core-min/query"}, 16);
   bench::print_row({"512", bench::fmt(run512.wall_minutes, 1),
                     bench::fmt(run512.core_min_per_query, 4)},

@@ -2,12 +2,28 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace mrbio {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+/// Startup level: the MRBIO_LOG environment variable when set and valid
+/// ("debug"/"info"/"warn"/"error"/"off"), Warn otherwise. Executables may
+/// still override it with set_log_level (e.g. from a --log flag).
+int initial_level() {
+  const char* env = std::getenv("MRBIO_LOG");
+  if (env != nullptr && *env != '\0') {
+    try {
+      return static_cast<int>(parse_log_level(env));
+    } catch (const InputError&) {
+      std::fprintf(stderr, "[WARN ] ignoring invalid MRBIO_LOG value '%s'\n", env);
+    }
+  }
+  return static_cast<int>(LogLevel::Warn);
+}
+
+std::atomic<int> g_level{initial_level()};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {

@@ -25,6 +25,7 @@
 
 #include "common/error.hpp"
 #include "common/serialize.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
 
@@ -311,7 +312,8 @@ class Comm {
   }
 
   /// RAII span covering one rank's participation in a collective. Only
-  /// reads the virtual clock, so it cannot change simulated times.
+  /// reads the virtual clock, so it cannot change simulated times; the
+  /// same holds for the per-collective duration histograms it feeds.
   class CollectiveSpan {
    public:
     CollectiveSpan(Comm& comm, const char* name, std::uint64_t bytes = 0)
@@ -319,11 +321,18 @@ class Comm {
           name_(name),
           bytes_(bytes),
           rec_(comm.proc_->tracer()),
-          t0_(rec_ != nullptr ? comm.now() : 0.0) {}
+          metrics_(comm.proc_->metrics()),
+          t0_(rec_ != nullptr || metrics_ != nullptr ? comm.now() : 0.0) {}
     ~CollectiveSpan() {
       if (rec_ != nullptr) {
         rec_->add(comm_.rank(), trace::Category::Collective, name_, t0_, comm_.now(), 0,
                   bytes_);
+      }
+      if (metrics_ != nullptr) {
+        metrics_->counter("mpi.collectives").inc();
+        metrics_->histogram("mpi.collective_seconds").observe(comm_.now() - t0_);
+        metrics_->histogram(std::string("mpi.") + name_ + "_seconds")
+            .observe(comm_.now() - t0_);
       }
     }
     CollectiveSpan(const CollectiveSpan&) = delete;
@@ -334,6 +343,7 @@ class Comm {
     const char* name_;
     std::uint64_t bytes_;
     trace::Recorder* rec_;
+    obs::Registry* metrics_;
     double t0_;
   };
 

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace mrbio::mrblast {
 
@@ -118,6 +119,11 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
         rec->add(comm.rank(), trace::Category::Io, "db_load", t_load, comm.now(), 0,
                  vol.residues());
       }
+      obs::Registry* reg = comm.process().metrics();
+      if (reg != nullptr && fresh_load) {
+        reg->counter("blast.db_loads").inc();
+        reg->histogram("blast.db_load_seconds").observe(comm.now() - t_load);
+      }
       // The searcher is lightweight relative to the volume; constructing it
       // per unit mirrors re-initializing the query object per map() call.
       auto shared_vol = cache.volume;
@@ -126,6 +132,9 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
       const auto results = searcher.search(load_block(block));
       if (rec != nullptr) {
         rec->add(comm.rank(), trace::Category::App, "search", t_search, comm.now());
+      }
+      if (reg != nullptr) {
+        reg->histogram("blast.search_seconds").observe(comm.now() - t_search);
       }
       for (const auto& qr : results) {
         for (const auto& hsp : qr.hsps) {
@@ -219,11 +228,19 @@ BlastxRunResult run_blastx_mr(mpi::Comm& comm, const BlastxRunConfig& config) {
       rec->add(comm.rank(), trace::Category::Io, "db_load", t_load, comm.now(), 0,
                cache.volume->residues());
     }
+    obs::Registry* reg = comm.process().metrics();
+    if (reg != nullptr && fresh_load) {
+      reg->counter("blast.db_loads").inc();
+      reg->histogram("blast.db_load_seconds").observe(comm.now() - t_load);
+    }
     const double t_search = comm.now();
     const auto results = blast::blastx_search(
         cache.volume, config.query_blocks[static_cast<std::size_t>(block)], options);
     if (rec != nullptr) {
       rec->add(comm.rank(), trace::Category::App, "search", t_search, comm.now());
+    }
+    if (reg != nullptr) {
+      reg->histogram("blast.search_seconds").observe(comm.now() - t_search);
     }
     for (const auto& qr : results) {
       for (const auto& bx : qr.hsps) {
@@ -307,6 +324,7 @@ SimRunStats run_blast_sim(mpi::Comm& comm, const SimRunConfig& config) {
       trace::Recorder* rec = comm.process().tracer();
       // Partition switch: pay the (cold or warm) load, which is I/O, not
       // useful compute.
+      obs::Registry* reg = comm.process().metrics();
       if (current_partition != static_cast<std::int64_t>(part)) {
         const double t_load = comm.now();
         const double load = wl.load_seconds(unit, comm.rank(), comm.size());
@@ -316,6 +334,10 @@ SimRunStats run_blast_sim(mpi::Comm& comm, const SimRunConfig& config) {
         ++stats.db_loads;
         if (rec != nullptr) {
           rec->add(comm.rank(), trace::Category::Io, "db_load", t_load, comm.now());
+        }
+        if (reg != nullptr) {
+          reg->counter("blast.db_loads").inc();
+          reg->histogram("blast.db_load_seconds").observe(comm.now() - t_load);
         }
       }
       const double cost = wl.unit_compute_seconds(unit);
@@ -327,6 +349,9 @@ SimRunStats run_blast_sim(mpi::Comm& comm, const SimRunConfig& config) {
       // utilization reproduces the legacy Fig. 5 numbers.
       if (rec != nullptr) {
         rec->add(comm.rank(), trace::Category::App, "search", t0, comm.now());
+      }
+      if (reg != nullptr) {
+        reg->histogram("blast.search_seconds").observe(comm.now() - t0);
       }
 
       // One token KV per work unit keyed by query block; its nominal size

@@ -132,6 +132,10 @@ void MapReduce::run_task(const MapFn& fn, std::uint64_t task, KeyValue& out,
   if (rec != nullptr) {
     rec->add(comm_.rank(), trace::Category::Task, "map_task", t0, comm_.now());
   }
+  if (obs::Registry* reg = metrics(); reg != nullptr) {
+    reg->counter("mrmpi.map_tasks").inc();
+    reg->histogram("mrmpi.task_seconds").observe(comm_.now() - t0);
+  }
 }
 
 void MapReduce::run_master(std::uint64_t ntasks) {
@@ -155,6 +159,9 @@ void MapReduce::run_master(std::uint64_t ntasks) {
     if (rec != nullptr) {
       // Master service latency: request handled -> reply sent.
       rec->add(comm_.rank(), trace::Category::Phase, "mw_service", t0, comm_.now());
+    }
+    if (obs::Registry* reg = metrics(); reg != nullptr) {
+      reg->histogram("mrmpi.master_service_seconds").observe(comm_.now() - t0);
     }
   }
 }
@@ -241,6 +248,9 @@ void MapReduce::run_master_locality(std::uint64_t ntasks, const AffinityFn& affi
     if (rec != nullptr) {
       rec->add(comm_.rank(), trace::Category::Phase, "mw_service", t0, comm_.now());
     }
+    if (obs::Registry* reg = metrics(); reg != nullptr) {
+      reg->histogram("mrmpi.master_service_seconds").observe(comm_.now() - t0);
+    }
   }
 }
 
@@ -266,9 +276,14 @@ std::uint64_t MapReduce::aggregate() {
   });
 
   std::vector<std::vector<std::byte>> sendbufs(static_cast<std::size_t>(p));
+  std::uint64_t sent = 0;
   for (int d = 0; d < p; ++d) {
     sendbufs[static_cast<std::size_t>(d)] = writers[static_cast<std::size_t>(d)].take();
-    if (d != rank) stats_.aggregate_bytes_sent += nominal[static_cast<std::size_t>(d)];
+    if (d != rank) sent += nominal[static_cast<std::size_t>(d)];
+  }
+  stats_.aggregate_bytes_sent += sent;
+  if (obs::Registry* reg = metrics(); reg != nullptr) {
+    reg->counter("mrmpi.aggregate_bytes").inc(sent);
   }
   auto recvbufs = comm_.alltoallv_nominal(std::move(sendbufs), nominal);
 
@@ -395,6 +410,9 @@ void MapReduce::charge_spill() {
       const std::uint64_t fresh = spilled - charged_spill_;
       const double t0 = comm_.now();
       comm_.compute(static_cast<double>(fresh) * config_.spill_byte_seconds);
+      if (obs::Registry* reg = metrics(); reg != nullptr) {
+        reg->counter("mrmpi.spill_bytes").inc(fresh);
+      }
       if (trace::Recorder* rec = phase_recorder(); rec != nullptr) {
         rec->add(comm_.rank(), trace::Category::Io, "spill", t0, comm_.now(), 0, fresh);
       }

@@ -151,6 +151,7 @@ class MapReduce {
   /// The engine recorder, or null when tracing is off (either globally or
   /// via config_.trace_phases).
   trace::Recorder* phase_recorder();
+  obs::Registry* metrics() { return comm_.process().metrics(); }
   /// Runs one map task, wrapped in a Task span when tracing.
   void run_task(const MapFn& fn, std::uint64_t task, KeyValue& out, trace::Recorder* rec);
   /// Applies the spill cost model after KV growth.

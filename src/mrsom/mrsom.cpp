@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace mrbio::mrsom {
 
@@ -33,8 +34,12 @@ som::Codebook train_som_mr(mpi::Comm& comm, const MatrixView& data,
     if (comm.rank() == 0) {
       std::copy(cb.weights().data(), cb.weights().data() + weights.size(), weights.begin());
     }
+    const double t_bcast = comm.now();
     comm.bcast(weights, 0);
     std::copy(weights.begin(), weights.end(), cb.weights().data());
+    if (obs::Registry* reg = comm.process().metrics(); reg != nullptr) {
+      reg->histogram("som.epoch_bcast_seconds").observe(comm.now() - t_bcast);
+    }
 
     const double sigma = som::sigma_at(config.params, grid, epoch);
     som::BatchAccumulator acc(grid, dim);
@@ -61,9 +66,13 @@ som::Codebook train_som_mr(mpi::Comm& comm, const MatrixView& data,
     std::copy(acc.numerator().begin(), acc.numerator().end(), packed.begin());
     std::copy(acc.denominator().begin(), acc.denominator().end(),
               packed.begin() + static_cast<std::ptrdiff_t>(acc.numerator().size()));
+    const double t_reduce = comm.now();
     comm.reduce(packed, mpi::ReduceOp::Sum, 0);
     std::vector<double> qerr_buf{local_qerr};
     comm.reduce(qerr_buf, mpi::ReduceOp::Sum, 0);
+    if (obs::Registry* reg = comm.process().metrics(); reg != nullptr) {
+      reg->histogram("som.epoch_reduce_seconds").observe(comm.now() - t_reduce);
+    }
 
     if (comm.rank() == 0) {
       const double t_apply = comm.now();
@@ -115,7 +124,11 @@ SimSomStats run_som_sim(mpi::Comm& comm, const SimSomConfig& config) {
   SimSomStats stats;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
     // Multi-megabyte codebook: pipelined collective model (see comm.hpp).
+    const double t_bcast = comm.now();
     comm.bcast_phantom_pipelined(codebook_bytes, 0);
+    if (obs::Registry* reg = comm.process().metrics(); reg != nullptr) {
+      reg->histogram("som.epoch_bcast_seconds").observe(comm.now() - t_bcast);
+    }
     mr.map(nblocks, [&](std::uint64_t block, mrmpi::KeyValue&) {
       const std::uint64_t first = block * config.block_vectors;
       const std::uint64_t count =
@@ -129,8 +142,12 @@ SimSomStats run_som_sim(mpi::Comm& comm, const SimSomConfig& config) {
         rec->add(comm.rank(), trace::Category::App, "accumulate", t0, comm.now(), count);
       }
     });
+    const double t_reduce = comm.now();
     comm.reduce_phantom_pipelined(
         accum_bytes, 0, static_cast<double>(accum_bytes) * config.combine_seconds_per_byte);
+    if (obs::Registry* reg = comm.process().metrics(); reg != nullptr) {
+      reg->histogram("som.epoch_reduce_seconds").observe(comm.now() - t_reduce);
+    }
     // Master applies Eq. 5 over the full codebook.
     if (comm.rank() == 0) {
       const double t_apply = comm.now();

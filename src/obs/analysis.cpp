@@ -1,0 +1,522 @@
+#include "obs/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace mrbio::obs {
+
+using trace::Category;
+using trace::Event;
+using trace::Recorder;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Interval arithmetic (same shapes as trace.cpp's summarize helpers).
+
+using Interval = std::pair<double, double>;
+
+void merge_intervals(std::vector<Interval>& iv) {
+  if (iv.empty()) return;
+  std::sort(iv.begin(), iv.end());
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    if (iv[i].first <= iv[out].second) {
+      iv[out].second = std::max(iv[out].second, iv[i].second);
+    } else {
+      iv[++out] = iv[i];
+    }
+  }
+  iv.resize(out + 1);
+}
+
+double measure(const std::vector<Interval>& merged) {
+  double total = 0.0;
+  for (const auto& [a, b] : merged) total += b - a;
+  return total;
+}
+
+// Total length of `iv` (merged) not covered by `cover` (merged).
+double measure_minus(const std::vector<Interval>& iv, const std::vector<Interval>& cover) {
+  double total = 0.0;
+  std::size_t c = 0;
+  for (const auto& [a, b] : iv) {
+    double pos = a;
+    while (c < cover.size() && cover[c].second <= pos) ++c;
+    std::size_t k = c;
+    while (pos < b) {
+      if (k >= cover.size() || cover[k].first >= b) {
+        total += b - pos;
+        break;
+      }
+      if (cover[k].first > pos) total += cover[k].first - pos;
+      pos = std::max(pos, cover[k].second);
+      ++k;
+    }
+  }
+  return total;
+}
+
+std::vector<Interval> merged_union(std::vector<Interval> a, const std::vector<Interval>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  merge_intervals(a);
+  return a;
+}
+
+double clamp0(double v) { return v < 0.0 ? 0.0 : v; }
+
+bool is_busy_cat(Category c) {
+  return c == Category::Compute || c == Category::App || c == Category::Io ||
+         c == Category::Task;
+}
+
+bool is_primitive_cat(Category c) {
+  return c == Category::Compute || c == Category::Send || c == Category::RecvWait;
+}
+
+bool is_span_cat(Category c) {
+  return c == Category::App || c == Category::Io || c == Category::Task ||
+         c == Category::Collective || c == Category::Phase;
+}
+
+int span_priority(Category c) {
+  switch (c) {
+    case Category::App: return 5;
+    case Category::Io: return 4;
+    case Category::Task: return 3;
+    case Category::Collective: return 2;
+    case Category::Phase: return 1;
+    default: return 0;
+  }
+}
+
+bool is_db_io(const Event& e) {
+  return e.cat == Category::Io && std::string_view(e.name) == "db_load";
+}
+
+// ---------------------------------------------------------------------------
+// Per-rank final time: recorded value when present, else last span end.
+
+double rank_final_time(const Recorder& rec, int rank) {
+  double t = 0.0;
+  const auto& finals = rec.final_times();
+  if (rank < static_cast<int>(finals.size())) t = finals[static_cast<std::size_t>(rank)];
+  for (const Event& e : rec.rank_events(rank)) t = std::max(t, e.t1);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path walk.
+
+struct Walker {
+  const Recorder& rec;
+  double eps;
+  /// Per-rank walk timeline sorted by t0: primitive events at Full level,
+  /// span events otherwise (overlap/nesting is fine for the walk).
+  std::vector<std::vector<const Event*>> timeline;
+  /// Engine send sequence -> the Send event that produced it.
+  std::unordered_map<std::uint64_t, const Event*> sends;
+
+  Walker(const Recorder& r, double makespan) : rec(r), eps(makespan * 1e-12 + 1e-15) {
+    const int n = rec.nranks();
+    timeline.resize(static_cast<std::size_t>(n));
+    for (int rank = 0; rank < n; ++rank) {
+      const auto& lane = rec.rank_events(rank);
+      auto& tl = timeline[static_cast<std::size_t>(rank)];
+      bool has_primitive = false;
+      for (const Event& e : lane) {
+        if (is_primitive_cat(e.cat)) {
+          has_primitive = true;
+          break;
+        }
+      }
+      for (const Event& e : lane) {
+        if (has_primitive ? is_primitive_cat(e.cat) : is_span_cat(e.cat)) {
+          tl.push_back(&e);
+        }
+        if (e.cat == Category::Send && e.seq != 0) sends.emplace(e.seq, &e);
+      }
+      std::sort(tl.begin(), tl.end(), [](const Event* a, const Event* b) {
+        if (a->t0 != b->t0) return a->t0 < b->t0;
+        return a->t1 < b->t1;
+      });
+    }
+  }
+
+  /// Last timeline event on `rank` starting strictly before `t`.
+  const Event* last_before(int rank, double t) const {
+    const auto& tl = timeline[static_cast<std::size_t>(rank)];
+    auto it = std::lower_bound(tl.begin(), tl.end(), t - eps,
+                               [](const Event* e, double v) { return e->t0 < v; });
+    if (it == tl.begin()) return nullptr;
+    return *(it - 1);
+  }
+
+  /// Name of the innermost, highest-priority span enclosing the midpoint of
+  /// [a, b] on `rank`; `fallback` when no span covers it.
+  std::string label_for(int rank, double a, double b, const char* fallback) const {
+    const double mid = 0.5 * (a + b);
+    const Event* best = nullptr;
+    for (const Event& e : rec.rank_events(rank)) {
+      if (!is_span_cat(e.cat)) continue;
+      if (e.t0 > mid + eps || e.t1 < mid - eps) continue;
+      if (best == nullptr) {
+        best = &e;
+        continue;
+      }
+      const int pe = span_priority(e.cat);
+      const int pb = span_priority(best->cat);
+      if (pe > pb || (pe == pb && (e.t1 - e.t0) < (best->t1 - best->t0))) best = &e;
+    }
+    return best != nullptr ? std::string(best->name) : std::string(fallback);
+  }
+};
+
+CriticalPath walk_critical_path(const Recorder& rec, double makespan,
+                                const std::vector<double>& finals) {
+  CriticalPath path;
+  path.length = 0.0;
+  if (makespan <= 0.0) return path;
+
+  Walker w(rec, makespan);
+  int rank = 0;
+  for (int r = 0; r < rec.nranks(); ++r) {
+    if (finals[static_cast<std::size_t>(r)] > finals[static_cast<std::size_t>(rank)]) rank = r;
+  }
+  double t = makespan;
+
+  std::vector<PathSegment> rev;  // built back-to-front
+  auto emit = [&rev](int seg_rank, double a, double b, std::string label) {
+    if (b - a <= 0.0) return;
+    if (!rev.empty() && rev.back().rank == seg_rank && rev.back().label == label &&
+        rev.back().t0 <= b) {
+      rev.back().t0 = a;  // extend the adjacent same-label segment
+      return;
+    }
+    rev.push_back(PathSegment{seg_rank, a, b, std::move(label)});
+  };
+
+  // Generous iteration bound: each step either consumes one event or hops.
+  std::size_t steps_left = 4 * rec.size() + 64;
+  while (t > w.eps) {
+    if (steps_left-- == 0) {
+      emit(rank, 0.0, t, "truncated");  // keeps the tiling invariant
+      break;
+    }
+    const Event* e = w.last_before(rank, t);
+    if (e == nullptr) {
+      emit(rank, 0.0, t, "idle");
+      t = 0.0;
+      break;
+    }
+    if (e->t1 < t - w.eps) {
+      // Gap between events on this rank.
+      emit(rank, e->t1, t, w.label_for(rank, e->t1, t, "idle"));
+      t = e->t1;
+      continue;
+    }
+    // `e` covers t. A sender-bound receive hops to the sending rank: the
+    // receiver stretch back to the send completion is network wait, and
+    // the walk continues on the sender.
+    if (e->cat == Category::RecvWait && e->seq != 0 && e->dep > e->t0 + w.eps) {
+      auto it = w.sends.find(e->seq);
+      if (it != w.sends.end()) {
+        const Event* s = it->second;
+        if (s->t1 < t - w.eps) {
+          emit(rank, s->t1, t, "net_wait");
+          path.hops += 1;
+          rank = s->rank;
+          t = s->t1;
+          continue;
+        }
+      }
+    }
+    emit(rank, e->t0, t, w.label_for(rank, e->t0, t, e->name));
+    t = e->t0;
+  }
+
+  std::reverse(rev.begin(), rev.end());
+  path.segments = std::move(rev);
+  for (const PathSegment& s : path.segments) path.length += s.seconds();
+
+  std::map<std::string, double> shares;
+  for (const PathSegment& s : path.segments) shares[s.label] += s.seconds();
+  for (auto& [label, seconds] : shares) path.by_label.push_back({label, seconds});
+  std::sort(path.by_label.begin(), path.by_label.end(),
+            [](const LabelShare& a, const LabelShare& b) {
+              if (a.seconds != b.seconds) return a.seconds > b.seconds;
+              return a.label < b.label;
+            });
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// Idle-time decomposition.
+
+RankBreakdown breakdown_rank(const Recorder& rec, int rank, double final_time) {
+  RankBreakdown b;
+  b.rank = rank;
+  b.final_time = final_time;
+
+  std::vector<Interval> busy, app, io_db, io_spill, coll, mwait, comm;
+  const bool full = rec.level() == trace::Level::Full;
+  for (const Event& e : rec.rank_events(rank)) {
+    const Interval iv{e.t0, e.t1};
+    if (is_busy_cat(e.cat)) busy.push_back(iv);
+    switch (e.cat) {
+      case Category::App:
+        app.push_back(iv);
+        break;
+      case Category::Io:
+        (is_db_io(e) ? io_db : io_spill).push_back(iv);
+        break;
+      case Category::Collective:
+        coll.push_back(iv);
+        break;
+      case Category::RecvWait:
+        // A worker blocked on the master (rank 0) is master-wait; any
+        // other receive is generic communication.
+        (rank != 0 && e.peer == 0 ? mwait : comm).push_back(iv);
+        break;
+      case Category::Send:
+        comm.push_back(iv);
+        break;
+      case Category::Phase:
+        // Without per-message events, worker idle inside the map phase is
+        // the best available master-wait signal.
+        if (!full && rank != 0 && std::string_view(e.name) == "map") mwait.push_back(iv);
+        break;
+      default:
+        break;
+    }
+  }
+
+  merge_intervals(busy);
+  merge_intervals(app);
+  merge_intervals(io_db);
+  merge_intervals(io_spill);
+  merge_intervals(coll);
+  merge_intervals(mwait);
+  merge_intervals(comm);
+
+  const double busy_total = measure(busy);
+  b.useful = measure(app);
+  b.db_io = measure_minus(io_db, app);
+  auto covered = merged_union(app, io_db);
+  b.spill_io = measure_minus(io_spill, covered);
+  b.other_busy = clamp0(busy_total - b.useful - b.db_io - b.spill_io);
+
+  const double idle_total = clamp0(final_time - busy_total);
+  b.collective_skew = measure_minus(coll, busy);
+  covered = merged_union(std::move(busy), coll);
+  b.master_wait = measure_minus(mwait, covered);
+  covered = merged_union(std::move(covered), mwait);
+  b.comm_overhead = measure_minus(comm, covered);
+  b.idle_other =
+      clamp0(idle_total - b.collective_skew - b.master_wait - b.comm_overhead);
+  return b;
+}
+
+}  // namespace
+
+Report analyze(const Recorder& rec, const AnalyzeOptions& opts) {
+  Report rep;
+  rep.nranks = rec.nranks();
+  rep.level = rec.level();
+
+  std::vector<double> finals(static_cast<std::size_t>(rep.nranks), 0.0);
+  for (int r = 0; r < rep.nranks; ++r) {
+    finals[static_cast<std::size_t>(r)] = rank_final_time(rec, r);
+    rep.makespan = std::max(rep.makespan, finals[static_cast<std::size_t>(r)]);
+  }
+
+  rep.path = walk_critical_path(rec, rep.makespan, finals);
+
+  rep.total.rank = -1;
+  for (int r = 0; r < rep.nranks; ++r) {
+    RankBreakdown b = breakdown_rank(rec, r, finals[static_cast<std::size_t>(r)]);
+    rep.total.final_time += b.final_time;
+    rep.total.useful += b.useful;
+    rep.total.db_io += b.db_io;
+    rep.total.spill_io += b.spill_io;
+    rep.total.other_busy += b.other_busy;
+    rep.total.collective_skew += b.collective_skew;
+    rep.total.master_wait += b.master_wait;
+    rep.total.comm_overhead += b.comm_overhead;
+    rep.total.idle_other += b.idle_other;
+    rep.ranks.push_back(std::move(b));
+  }
+
+  std::vector<double> busys;
+  busys.reserve(rep.ranks.size());
+  for (const RankBreakdown& b : rep.ranks) busys.push_back(b.busy_total());
+  if (!busys.empty()) {
+    std::vector<double> sorted = busys;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    rep.median_busy =
+        (n % 2 == 1) ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+    if (rep.median_busy > 0.0) {
+      for (int r = 0; r < rep.nranks; ++r) {
+        const double busy = busys[static_cast<std::size_t>(r)];
+        if (busy > opts.straggler_k * rep.median_busy) {
+          rep.stragglers.push_back({r, busy, busy / rep.median_busy});
+        }
+      }
+      std::sort(rep.stragglers.begin(), rep.stragglers.end(),
+                [](const Straggler& a, const Straggler& b) {
+                  if (a.busy_seconds != b.busy_seconds) return a.busy_seconds > b.busy_seconds;
+                  return a.rank < b.rank;
+                });
+    }
+  }
+  return rep;
+}
+
+namespace {
+
+double pct(double part, double whole) { return whole > 0.0 ? 100.0 * part / whole : 0.0; }
+
+struct CatRow {
+  const char* name;
+  double RankBreakdown::* field;
+};
+
+constexpr CatRow kBusyRows[] = {
+    {"useful", &RankBreakdown::useful},
+    {"db_io", &RankBreakdown::db_io},
+    {"spill_io", &RankBreakdown::spill_io},
+    {"other_busy", &RankBreakdown::other_busy},
+};
+constexpr CatRow kIdleRows[] = {
+    {"collective_skew", &RankBreakdown::collective_skew},
+    {"master_wait", &RankBreakdown::master_wait},
+    {"comm_overhead", &RankBreakdown::comm_overhead},
+    {"idle_other", &RankBreakdown::idle_other},
+};
+
+}  // namespace
+
+void print_report(std::FILE* out, const Report& report, std::size_t max_rank_rows) {
+  std::fprintf(out, "== performance report ==\n");
+  std::fprintf(out, "ranks %d   makespan %.6f s   trace level %s\n", report.nranks,
+               report.makespan, report.level == trace::Level::Full ? "full" : "phases");
+
+  std::fprintf(out, "\n-- critical path: %.6f s, %d rank hop%s, %zu segments --\n",
+               report.path.length, report.path.hops, report.path.hops == 1 ? "" : "s",
+               report.path.segments.size());
+  std::fprintf(out, "%-24s %14s %8s\n", "label", "seconds", "share");
+  for (const LabelShare& s : report.path.by_label) {
+    std::fprintf(out, "%-24s %14.6f %7.2f%%\n", s.label.c_str(), s.seconds,
+                 pct(s.seconds, report.path.length));
+  }
+
+  const double rank_seconds = report.total.final_time;
+  std::fprintf(out, "\n-- time decomposition (all ranks, %% of %.6f rank-seconds) --\n",
+               rank_seconds);
+  std::fprintf(out, "%-24s %14s %8s\n", "category", "seconds", "share");
+  for (const CatRow& row : kBusyRows) {
+    std::fprintf(out, "%-24s %14.6f %7.2f%%\n", row.name, report.total.*row.field,
+                 pct(report.total.*row.field, rank_seconds));
+  }
+  for (const CatRow& row : kIdleRows) {
+    std::fprintf(out, "%-24s %14.6f %7.2f%%\n", row.name, report.total.*row.field,
+                 pct(report.total.*row.field, rank_seconds));
+  }
+  std::fprintf(out, "%-24s %14.6f %7.2f%%   (%% of rank-time waiting)\n", "total_idle",
+               report.total.idle_total(), pct(report.total.idle_total(), rank_seconds));
+
+  const std::size_t nrows =
+      std::min(max_rank_rows, report.ranks.size());
+  std::fprintf(out, "\n-- per-rank breakdown (first %zu of %d) --\n", nrows, report.nranks);
+  std::fprintf(out, "%5s %11s %11s %9s %9s %9s %9s %9s %9s %9s\n", "rank", "final",
+               "useful", "db_io", "spill", "obusy", "cskew", "mwait", "comm", "idle");
+  for (std::size_t i = 0; i < nrows; ++i) {
+    const RankBreakdown& b = report.ranks[i];
+    std::fprintf(out, "%5d %11.4f %11.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f\n",
+                 b.rank, b.final_time, b.useful, b.db_io, b.spill_io, b.other_busy,
+                 b.collective_skew, b.master_wait, b.comm_overhead, b.idle_other);
+  }
+
+  if (report.stragglers.empty()) {
+    std::fprintf(out, "\nstragglers: none (median busy %.6f s)\n", report.median_busy);
+  } else {
+    std::fprintf(out, "\nstragglers (busy > k x median %.6f s):\n", report.median_busy);
+    for (const Straggler& s : report.stragglers) {
+      std::fprintf(out, "  rank %d: busy %.6f s (%.2fx median)\n", s.rank,
+                   s.busy_seconds, s.ratio);
+    }
+  }
+}
+
+namespace {
+
+void json_breakdown(std::FILE* out, const RankBreakdown& b) {
+  std::fprintf(out,
+               "{\"rank\":%d,\"final_time\":%.17g,\"useful\":%.17g,\"db_io\":%.17g,"
+               "\"spill_io\":%.17g,\"other_busy\":%.17g,\"collective_skew\":%.17g,"
+               "\"master_wait\":%.17g,\"comm_overhead\":%.17g,\"idle_other\":%.17g}",
+               b.rank, b.final_time, b.useful, b.db_io, b.spill_io, b.other_busy,
+               b.collective_skew, b.master_wait, b.comm_overhead, b.idle_other);
+}
+
+void json_string(std::FILE* out, const std::string& s) {
+  std::fputc('"', out);
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') std::fputc('\\', out);
+    std::fputc(ch, out);
+  }
+  std::fputc('"', out);
+}
+
+}  // namespace
+
+void write_report_json(std::FILE* out, const Report& report, const Registry* metrics) {
+  std::fprintf(out, "{\"nranks\":%d,\"level\":\"%s\",\"makespan\":%.17g,", report.nranks,
+               report.level == trace::Level::Full ? "full" : "phases", report.makespan);
+  std::fprintf(out, "\"critical_path\":{\"length\":%.17g,\"hops\":%d,\"by_label\":[",
+               report.path.length, report.path.hops);
+  for (std::size_t i = 0; i < report.path.by_label.size(); ++i) {
+    if (i != 0) std::fputc(',', out);
+    std::fputs("{\"label\":", out);
+    json_string(out, report.path.by_label[i].label);
+    std::fprintf(out, ",\"seconds\":%.17g}", report.path.by_label[i].seconds);
+  }
+  std::fputs("],\"segments\":[", out);
+  for (std::size_t i = 0; i < report.path.segments.size(); ++i) {
+    const PathSegment& s = report.path.segments[i];
+    if (i != 0) std::fputc(',', out);
+    std::fprintf(out, "{\"rank\":%d,\"t0\":%.17g,\"t1\":%.17g,\"label\":", s.rank, s.t0,
+                 s.t1);
+    json_string(out, s.label);
+    std::fputc('}', out);
+  }
+  std::fputs("]},\"breakdown\":{\"total\":", out);
+  json_breakdown(out, report.total);
+  std::fputs(",\"ranks\":[", out);
+  for (std::size_t i = 0; i < report.ranks.size(); ++i) {
+    if (i != 0) std::fputc(',', out);
+    json_breakdown(out, report.ranks[i]);
+  }
+  std::fprintf(out, "]},\"median_busy\":%.17g,\"stragglers\":[", report.median_busy);
+  for (std::size_t i = 0; i < report.stragglers.size(); ++i) {
+    const Straggler& s = report.stragglers[i];
+    if (i != 0) std::fputc(',', out);
+    std::fprintf(out, "{\"rank\":%d,\"busy_seconds\":%.17g,\"ratio\":%.17g}", s.rank,
+                 s.busy_seconds, s.ratio);
+  }
+  std::fputs("]", out);
+  if (metrics != nullptr) {
+    std::fputs(",\"metrics\":", out);
+    metrics->write_json(out);
+  }
+  std::fputs("}", out);
+}
+
+}  // namespace mrbio::obs

@@ -1,0 +1,122 @@
+// Metrics registry for the simulated stack: counters, gauges, and
+// log-bucketed histograms with percentile queries.
+//
+// Every layer that holds a Process (or an EngineConfig) can reach the
+// registry and register its own instruments: the DES engine records
+// message-size and compute-charge distributions, mpi::Comm times each
+// collective, mrmpi::MapReduce tracks task service times, master queue
+// latency and spill volumes, and the BLAST/SOM drivers add
+// application-level distributions (per-block search time, per-epoch
+// collective time). Observation only reads virtual clocks and sizes that
+// the simulation already computed, so attaching a registry never changes
+// simulated times — the same zero-perturbation contract as trace::Recorder.
+//
+// Instruments are created on first use and addressed by a flat
+// dotted name ("mrmpi.task_seconds"). Lookup is by std::map, so reports
+// iterate in deterministic name order; callers on hot paths cache the
+// returned reference (std::map nodes never move).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrbio::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Histogram over positive doubles with exponentially growing buckets.
+/// Bucket 0 holds every sample <= min_value; bucket i (i >= 1) covers
+/// (min_value * 2^(i-1), min_value * 2^i]. Buckets grow lazily as larger
+/// samples arrive. Exact count/sum/min/max are tracked alongside, and each
+/// bucket remembers its own sum, so quantile() answers with the mean of the
+/// bucket containing the nearest-rank sample — exact for a single sample,
+/// and never off by more than one octave otherwise.
+class Histogram {
+ public:
+  explicit Histogram(double min_value = 1e-9) : min_value_(min_value) {}
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  /// Nearest-rank quantile, q in [0, 1]. Returns 0 when empty; q <= 0
+  /// returns min() and q >= 1 returns max() exactly.
+  double quantile(double q) const;
+
+ private:
+  struct Bucket {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  /// Index of the bucket containing v (grows `buckets_` as needed).
+  std::size_t bucket_index(double v);
+
+  double min_value_;
+  std::vector<Bucket> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Name-addressed instrument store. counter()/gauge()/histogram() create on
+/// first use; asking for an existing name with a different kind throws
+/// mrbio::LogicError.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, double min_value = 1e-9);
+
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+
+  const std::map<std::string, Counter, std::less<>>& counters() const { return counters_; }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const { return histograms_; }
+
+  /// Fixed-width table: counters and gauges first, then one row per
+  /// histogram with count/mean/p50/p90/p99/max.
+  void print(std::FILE* out) const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Written without trailing newline so callers can embed it.
+  void write_json(std::FILE* out) const;
+
+ private:
+  void check_unique(std::string_view name, const void* owner) const;
+
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace mrbio::obs

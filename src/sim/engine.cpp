@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace mrbio::sim {
@@ -80,7 +81,13 @@ struct Engine::Impl {
       : cfg(config),
         pcbs(config.nprocs),
         channel_last(static_cast<std::size_t>(config.nprocs) *
-                     static_cast<std::size_t>(config.nprocs)) {}
+                     static_cast<std::size_t>(config.nprocs)) {
+    if (cfg.metrics != nullptr) {
+      c_messages = &cfg.metrics->counter("sim.messages");
+      h_msg_bytes = &cfg.metrics->histogram("sim.message_nominal_bytes");
+      h_compute = &cfg.metrics->histogram("sim.compute_seconds");
+    }
+  }
 
   EngineConfig cfg;
   std::mutex mutex;
@@ -97,6 +104,10 @@ struct Engine::Impl {
   const std::function<void(Process&)>* body = nullptr;
   EngineStats stats;
   std::vector<double> final_times;
+  // Cached metric handles (null when cfg.metrics is null).
+  obs::Counter* c_messages = nullptr;
+  obs::Histogram* h_msg_bytes = nullptr;
+  obs::Histogram* h_compute = nullptr;
 
   // ---- helpers, all called with `mutex` held ----
 
@@ -115,6 +126,10 @@ struct Engine::Impl {
     stats.messages += 1;
     stats.payload_bytes += event.msg.payload.size();
     stats.nominal_bytes += event.msg.nominal_bytes;
+    if (c_messages != nullptr) {
+      c_messages->inc();
+      h_msg_bytes->observe(static_cast<double>(event.msg.nominal_bytes));
+    }
     MailboxEntry entry{std::move(event.msg), event.seq};
     if (dst.state == State::BlockedRecv && matches(entry, dst.want_src, dst.want_tag)) {
       dst.proc.vtime_ = std::max(dst.recv_post_time, entry.msg.arrival) + cfg.net.recv_overhead;
@@ -328,6 +343,8 @@ const NetworkModel& Process::net() const { return engine_->config().net; }
 
 trace::Recorder* Process::tracer() const { return engine_->config().recorder; }
 
+obs::Registry* Process::metrics() const { return engine_->config().metrics; }
+
 void Process::compute(double seconds) {
   MRBIO_REQUIRE(seconds >= 0.0, "compute() needs non-negative time, got ", seconds);
   auto& impl = *engine_->impl_;
@@ -337,6 +354,7 @@ void Process::compute(double seconds) {
   const double t0 = vtime_;
   vtime_ += seconds;
   impl.stats.total_compute += seconds;
+  if (impl.h_compute != nullptr) impl.h_compute->observe(seconds);
   if (auto* rec = impl.cfg.recorder; rec != nullptr && rec->full()) {
     rec->add(rank_, trace::Category::Compute, "compute", t0, vtime_);
   }
@@ -367,12 +385,14 @@ void Process::send(int dst, int tag, std::vector<std::byte> payload,
   msg.arrival = std::max(msg.arrival, channel);
   channel = msg.arrival;
   msg.payload = std::move(payload);
+  const double arrival = msg.arrival;
   const std::uint64_t seq = ++impl.send_seq;
   impl.events.push(InFlight{msg.arrival, seq, dst, std::move(msg)});
   const double t0 = vtime_;
   vtime_ += net.send_overhead;
   if (auto* rec = impl.cfg.recorder; rec != nullptr && rec->full()) {
-    rec->add(rank_, trace::Category::Send, "send", t0, vtime_, 0, nominal_bytes);
+    rec->add_edge(rank_, trace::Category::Send, "send", t0, vtime_, nominal_bytes,
+                  dst, seq, arrival);
   }
 }
 
@@ -388,11 +408,12 @@ Message Process::recv(int src, int tag) {
   for (auto it = pcb.mailbox.begin(); it != pcb.mailbox.end(); ++it) {
     if (matches(*it, src, tag)) {
       Message out = std::move(it->msg);
+      const std::uint64_t seq = it->seq;
       pcb.mailbox.erase(it);
       vtime_ = std::max(vtime_, out.arrival) + impl.cfg.net.recv_overhead;
       if (auto* rec = impl.cfg.recorder; rec != nullptr && rec->full()) {
-        rec->add(rank_, trace::Category::RecvWait, "recv", post_time, vtime_, 0,
-                 out.nominal_bytes);
+        rec->add_edge(rank_, trace::Category::RecvWait, "recv", post_time, vtime_,
+                      out.nominal_bytes, out.source, seq, out.arrival);
       }
       return out;
     }
@@ -406,10 +427,11 @@ Message Process::recv(int src, int tag) {
   impl.check_abort(pcb);
   MRBIO_CHECK(pcb.handed.has_value(), "rank ", rank_, " woken from recv without a message");
   Message out = std::move(pcb.handed->msg);
+  const std::uint64_t seq = pcb.handed->seq;
   pcb.handed.reset();
   if (auto* rec = impl.cfg.recorder; rec != nullptr && rec->full()) {
-    rec->add(rank_, trace::Category::RecvWait, "recv", post_time, vtime_, 0,
-             out.nominal_bytes);
+    rec->add_edge(rank_, trace::Category::RecvWait, "recv", post_time, vtime_,
+                  out.nominal_bytes, out.source, seq, out.arrival);
   }
   return out;
 }

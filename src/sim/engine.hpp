@@ -34,6 +34,10 @@ namespace mrbio::trace {
 class Recorder;
 }
 
+namespace mrbio::obs {
+class Registry;
+}
+
 namespace mrbio::sim {
 
 /// Network cost parameters (seconds). Defaults approximate an Infiniband
@@ -53,6 +57,12 @@ struct EngineConfig {
   /// the hooks only ever read clocks, so enabling a recorder never changes
   /// simulated times.
   trace::Recorder* recorder = nullptr;
+  /// Optional metrics registry. The engine registers message-size and
+  /// compute-charge distributions; layers above reach it through
+  /// Process::metrics() to register their own. Observation only reads
+  /// clocks and sizes, so attaching a registry never changes simulated
+  /// times.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Aggregate counters collected over a run.
@@ -99,6 +109,10 @@ class Process {
   /// the engine (mpi::Comm, mrmpi, drivers) use this to attach their own
   /// spans to the executing rank.
   trace::Recorder* tracer() const;
+
+  /// The engine's metrics registry, or null when metrics are off. Same
+  /// layering contract as tracer().
+  obs::Registry* metrics() const;
 
   static constexpr int kAnySource = -1;
   static constexpr int kAnyTag = -1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -26,6 +27,15 @@ const char* category_name(Category cat) {
   return "?";
 }
 
+Category category_from_name(std::string_view name) {
+  for (const Category cat :
+       {Category::Compute, Category::Send, Category::RecvWait, Category::Collective,
+        Category::Phase, Category::Task, Category::App, Category::Io}) {
+    if (name == category_name(cat)) return cat;
+  }
+  throw InputError("unknown trace category: " + std::string(name));
+}
+
 Recorder::Recorder(int nranks, Level level) : level_(level) {
   MRBIO_REQUIRE(nranks > 0, "Recorder needs at least one rank, got ", nranks);
   per_rank_.resize(static_cast<std::size_t>(nranks));
@@ -36,7 +46,19 @@ void Recorder::add(int rank, Category cat, const char* name, double t0, double t
                    std::uint64_t kv_pairs, std::uint64_t bytes) {
   MRBIO_CHECK(rank >= 0 && rank < nranks(), "Recorder::add rank out of range");
   per_rank_[static_cast<std::size_t>(rank)].push_back(
-      Event{name, cat, rank, t0, t1, kv_pairs, bytes});
+      Event{name, cat, rank, t0, t1, kv_pairs, bytes, -1, 0, 0.0});
+}
+
+void Recorder::add_edge(int rank, Category cat, const char* name, double t0, double t1,
+                        std::uint64_t bytes, int peer, std::uint64_t seq, double dep) {
+  MRBIO_CHECK(rank >= 0 && rank < nranks(), "Recorder::add_edge rank out of range");
+  per_rank_[static_cast<std::size_t>(rank)].push_back(
+      Event{name, cat, rank, t0, t1, 0, bytes, peer, seq, dep});
+}
+
+void Recorder::add_event(const Event& e) {
+  MRBIO_CHECK(e.rank >= 0 && e.rank < nranks(), "Recorder::add_event rank out of range");
+  per_rank_[static_cast<std::size_t>(e.rank)].push_back(e);
 }
 
 const std::vector<Event>& Recorder::rank_events(int rank) const {
@@ -273,8 +295,13 @@ void write_chrome_trace(const std::string& path, const Recorder& rec) {
   std::ofstream out(path, std::ios::trunc);
   MRBIO_REQUIRE(out.good(), "cannot open trace output: ", path);
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  char buf[256];
-  bool first = true;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "\n{\"name\":\"mrbio_trace_level\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+                "\"args\":{\"level\":\"%s\"}}",
+                rec.full() ? "full" : "phases");
+  out << buf;
+  bool first = false;
   for (int r = 0; r < rec.nranks(); ++r) {
     std::snprintf(buf, sizeof buf,
                   "%s\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
@@ -284,19 +311,153 @@ void write_chrome_trace(const std::string& path, const Recorder& rec) {
     first = false;
   }
   for (int r = 0; r < rec.nranks(); ++r) {
+    const double ft = r < static_cast<int>(rec.final_times().size())
+                          ? rec.final_times()[static_cast<std::size_t>(r)]
+                          : 0.0;
+    std::snprintf(buf, sizeof buf,
+                  ",\n{\"name\":\"mrbio_final_time\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+                  "\"args\":{\"t\":%.17g}}",
+                  r, ft);
+    out << buf;
+  }
+  for (int r = 0; r < rec.nranks(); ++r) {
     for (const Event& e : rec.rank_events(r)) {
       // Span names are static identifier strings, so no JSON escaping.
+      // ts/dur are the (rounded) microseconds Chrome renders; t0/t1 carry
+      // the exact seconds so a reload reproduces the Recorder bit-for-bit.
       std::snprintf(buf, sizeof buf,
                     ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":0,"
                     "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"kv_pairs\":%" PRIu64
-                    ",\"bytes\":%" PRIu64 "}}",
+                    ",\"bytes\":%" PRIu64 ",\"t0\":%.17g,\"t1\":%.17g",
                     e.name, category_name(e.cat), e.rank, e.t0 * 1e6,
-                    (e.t1 - e.t0) * 1e6, e.kv_pairs, e.bytes);
+                    (e.t1 - e.t0) * 1e6, e.kv_pairs, e.bytes, e.t0, e.t1);
       out << buf;
+      if (e.peer >= 0) {
+        std::snprintf(buf, sizeof buf, ",\"peer\":%d,\"seq\":%" PRIu64 ",\"dep\":%.17g",
+                      e.peer, e.seq, e.dep);
+        out << buf;
+      }
+      out << "}}";
     }
   }
   out << "\n]}\n";
   MRBIO_REQUIRE(out.good(), "failed writing trace output: ", path);
+}
+
+namespace {
+
+// Minimal field extraction for the line-oriented JSON write_chrome_trace
+// emits (one event object per line). Not a general JSON parser.
+bool find_field(const std::string& line, const char* key, std::size_t& value_pos) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  value_pos = pos + needle.size();
+  return true;
+}
+
+double num_field(const std::string& line, const char* key, double fallback) {
+  std::size_t pos = 0;
+  if (!find_field(line, key, pos)) return fallback;
+  return std::strtod(line.c_str() + pos, nullptr);
+}
+
+std::uint64_t u64_field(const std::string& line, const char* key, std::uint64_t fallback) {
+  std::size_t pos = 0;
+  if (!find_field(line, key, pos)) return fallback;
+  return std::strtoull(line.c_str() + pos, nullptr, 10);
+}
+
+bool str_field(const std::string& line, const char* key, std::string& out_value) {
+  std::size_t pos = 0;
+  if (!find_field(line, key, pos)) return false;
+  if (pos >= line.size() || line[pos] != '"') return false;
+  const std::size_t end = line.find('"', pos + 1);
+  if (end == std::string::npos) return false;
+  out_value = line.substr(pos + 1, end - pos - 1);
+  return true;
+}
+
+}  // namespace
+
+LoadedTrace read_chrome_trace(const std::string& path) {
+  std::ifstream in(path);
+  MRBIO_REQUIRE(in.good(), "cannot open trace input: ", path);
+
+  struct Parsed {
+    Event event;
+    std::string name;
+  };
+  std::vector<Parsed> events;
+  std::vector<std::pair<int, double>> final_times;
+  int max_rank = 0;
+
+  bool saw_level = false;
+  bool full = false;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"name\":\"mrbio_trace_level\"") != std::string::npos) {
+      std::string level;
+      if (str_field(line, "level", level)) {
+        saw_level = true;
+        full = level == "full";
+      }
+      continue;
+    }
+    if (line.find("\"name\":\"mrbio_final_time\"") != std::string::npos) {
+      const int rank = static_cast<int>(num_field(line, "tid", 0.0));
+      final_times.emplace_back(rank, num_field(line, "t", 0.0));
+      max_rank = std::max(max_rank, rank);
+      continue;
+    }
+    if (line.find("\"ph\":\"X\"") == std::string::npos) continue;
+    Parsed p;
+    MRBIO_REQUIRE(str_field(line, "name", p.name), "trace event without a name: ", line);
+    std::string cat;
+    MRBIO_REQUIRE(str_field(line, "cat", cat), "trace event without a category: ", line);
+    p.event.cat = category_from_name(cat);
+    p.event.rank = static_cast<int>(num_field(line, "tid", 0.0));
+    // Prefer the exact seconds; fall back to ts/dur microseconds for
+    // hand-written or foreign traces.
+    p.event.t0 = num_field(line, "t0", num_field(line, "ts", 0.0) * 1e-6);
+    p.event.t1 = num_field(line, "t1", p.event.t0 + num_field(line, "dur", 0.0) * 1e-6);
+    p.event.kv_pairs = u64_field(line, "kv_pairs", 0);
+    p.event.bytes = u64_field(line, "bytes", 0);
+    p.event.peer = static_cast<int>(num_field(line, "peer", -1.0));
+    p.event.seq = u64_field(line, "seq", 0);
+    p.event.dep = num_field(line, "dep", 0.0);
+    max_rank = std::max(max_rank, p.event.rank);
+    events.push_back(std::move(p));
+  }
+  MRBIO_REQUIRE(!events.empty() || !final_times.empty(),
+                "no trace events found in ", path);
+
+  // Foreign traces carry no level record; per-message categories imply Full.
+  if (!saw_level) {
+    for (const Parsed& p : events) {
+      if (p.event.cat == Category::Compute || p.event.cat == Category::Send ||
+          p.event.cat == Category::RecvWait) {
+        full = true;
+        break;
+      }
+    }
+  }
+
+  LoadedTrace loaded;
+  loaded.recorder = Recorder(max_rank + 1, full ? Level::Full : Level::Phases);
+  std::map<std::string, const char*> interned;
+  for (Parsed& p : events) {
+    auto it = interned.find(p.name);
+    if (it == interned.end()) {
+      loaded.name_pool.push_back(p.name);
+      it = interned.emplace(p.name, loaded.name_pool.back().c_str()).first;
+    }
+    p.event.name = it->second;
+    loaded.recorder.add_event(p.event);
+  }
+  for (const auto& [rank, t] : final_times) loaded.recorder.set_final_time(rank, t);
+  return loaded;
 }
 
 }  // namespace mrbio::trace

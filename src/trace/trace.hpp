@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,6 +36,9 @@ enum class Category : std::uint8_t {
 
 const char* category_name(Category cat);
 
+/// Inverse of category_name; throws mrbio::InputError on unknown names.
+Category category_from_name(std::string_view name);
+
 /// How much detail to record. Phases keeps event counts proportional to
 /// tasks + phases (safe at thousands of ranks); Full adds one event per
 /// message and per compute charge, which is O(ranks^2) per alltoallv.
@@ -48,6 +52,15 @@ struct Event {
   double t1 = 0.0;
   std::uint64_t kv_pairs = 0;  ///< KV pairs touched (phase spans)
   std::uint64_t bytes = 0;     ///< nominal bytes moved or spilled
+  // Happens-before edge data (Send/RecvWait events at Full level). A
+  // matching send/recv pair shares `seq`, the engine's global send
+  // sequence number; 0 means "no edge". `peer` is the destination rank of
+  // a send / matched source rank of a recv. `dep` is the message's
+  // arrival time at the receiver, letting the critical-path analyzer tell
+  // sender-bound waits (arrival after the post) from receiver-bound ones.
+  int peer = -1;
+  std::uint64_t seq = 0;
+  double dep = 0.0;
 };
 
 class Recorder {
@@ -63,6 +76,13 @@ class Recorder {
   /// and hands over through a mutex, so per-rank vectors need no lock.
   void add(int rank, Category cat, const char* name, double t0, double t1,
            std::uint64_t kv_pairs = 0, std::uint64_t bytes = 0);
+
+  /// add() plus happens-before edge data (see Event::peer/seq/dep).
+  void add_edge(int rank, Category cat, const char* name, double t0, double t1,
+                std::uint64_t bytes, int peer, std::uint64_t seq, double dep);
+
+  /// Appends a fully-populated event to its rank's lane (trace loader).
+  void add_event(const Event& e);
 
   const std::vector<Event>& rank_events(int rank) const;
   std::vector<Event> events() const;  ///< all ranks, rank-major order
@@ -132,6 +152,19 @@ double total_seconds(const Recorder& rec, Category cat, std::string_view name);
 
 /// Chrome `chrome://tracing` JSON: one pid, one tid (lane) per rank,
 /// "X" complete events with kv_pairs/bytes args, microsecond timestamps.
+/// Lossless reload data rides along in the args (`t0`/`t1` in full-precision
+/// seconds, peer/seq/dep edges) plus one `mrbio_final_time` metadata record
+/// per rank, so read_chrome_trace can reconstruct the Recorder exactly.
 void write_chrome_trace(const std::string& path, const Recorder& rec);
+
+/// A Recorder reconstructed from write_chrome_trace output. Span names in
+/// the JSON are dynamic, so the loader interns them here; the deque keeps
+/// the Event name pointers stable across moves.
+struct LoadedTrace {
+  Recorder recorder{1};
+  std::deque<std::string> name_pool;
+};
+
+LoadedTrace read_chrome_trace(const std::string& path);
 
 }  // namespace mrbio::trace

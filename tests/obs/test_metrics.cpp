@@ -1,0 +1,107 @@
+// Histogram/percentile math (empty, single-sample, bucket-boundary cases)
+// and the Registry's get-or-create / kind-collision behavior.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mrbio::obs {
+namespace {
+
+TEST(Histogram, EmptyReturnsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsExactAtEveryQuantile) {
+  Histogram h;
+  h.observe(0.037);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.037);
+  EXPECT_DOUBLE_EQ(h.max(), 0.037);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.037);
+  for (const double q : {0.0, 0.01, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 0.037) << "q=" << q;
+  }
+}
+
+TEST(Histogram, BucketBoundaryValuesLandInTheLowerBucket) {
+  // min_value = 1: bucket 0 is (-inf, 1], bucket 1 is (1, 2], bucket 2 is
+  // (2, 4]. Exact powers of two must land in the lower bucket, so three
+  // single-occupancy buckets give exact nearest-rank answers.
+  Histogram h(1.0);
+  h.observe(1.0);  // boundary of bucket 0
+  h.observe(2.0);  // boundary of bucket 1
+  h.observe(4.0);  // boundary of bucket 2
+  EXPECT_DOUBLE_EQ(h.quantile(0.34), 2.0);  // k=2 -> second sample
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.67), 4.0);  // k=3 -> third sample
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(Histogram, SharedBucketAnswersWithBucketMean) {
+  // 3.0 and 3.5 share bucket (2, 4]; any quantile that lands there answers
+  // with the bucket mean 3.25 (never off by more than one octave).
+  Histogram h(1.0);
+  h.observe(3.0);
+  h.observe(3.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.25);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 3.25);
+  EXPECT_DOUBLE_EQ(h.min(), 3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.5);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.5);
+}
+
+TEST(Histogram, TinyAndZeroSamplesGoToTheFirstBucket) {
+  Histogram h;  // min_value 1e-9
+  h.observe(0.0);
+  h.observe(1e-12);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5e-13);  // bucket mean of the two
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(Histogram, QuantilesAreMonotonicOnSpreadData) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i) * 1e-3);
+  double prev = 0.0;
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+  EXPECT_NEAR(h.mean(), 0.5005, 1e-9);
+}
+
+TEST(Registry, GetOrCreateReturnsTheSameInstrument) {
+  Registry reg;
+  Counter& c = reg.counter("x.count");
+  c.inc(3);
+  EXPECT_EQ(reg.counter("x.count").value(), 3u);
+  Histogram& h = reg.histogram("x.seconds");
+  h.observe(1.0);
+  EXPECT_EQ(reg.histogram("x.seconds").count(), 1u);
+  reg.gauge("x.level").set(7.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("x.level").value(), 7.5);
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+  ASSERT_NE(reg.find_histogram("x.seconds"), nullptr);
+}
+
+TEST(Registry, NameCollisionAcrossKindsThrows) {
+  Registry reg;
+  reg.counter("dual");
+  EXPECT_THROW(reg.histogram("dual"), LogicError);
+  EXPECT_THROW(reg.gauge("dual"), LogicError);
+}
+
+}  // namespace
+}  // namespace mrbio::obs

@@ -7,6 +7,7 @@
 //                  [--max-hits 500] [--block 1000] [--tapered]
 //                  [--locality] [--no-filter] [--exclude-self]
 //                  [--trace out.json] [--trace-full]
+//                  [--report] [--report-json report.json]
 #include <cstdio>
 #include <filesystem>
 #include <memory>
@@ -14,6 +15,8 @@
 #include "common/log.hpp"
 #include "common/options.hpp"
 #include "mrblast/mrblast.hpp"
+#include "obs/analysis.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
 
@@ -35,10 +38,12 @@ int main(int argc, char** argv) {
   opts.add_flag("exclude-self", "drop hits of shredded fragments on their parent");
   opts.add("trace", "", "write a Chrome-tracing JSON timeline to this path");
   opts.add_flag("trace-full", "with --trace: also record per-message/compute events");
-  opts.add("log", "warn", "log level: debug/info/warn/error/off");
+  opts.add_flag("report", "print a critical-path / idle-time performance report");
+  opts.add("report-json", "", "write the performance report as JSON to this path");
+  opts.add("log", "", "log level: debug/info/warn/error/off (default $MRBIO_LOG or warn)");
   try {
     if (!opts.parse(argc, argv)) return 0;
-    set_log_level(parse_log_level(opts.str("log")));
+    if (!opts.str("log").empty()) set_log_level(parse_log_level(opts.str("log")));
     MRBIO_REQUIRE(!opts.str("query").empty() && !opts.str("db").empty(),
                   "--query and --db are required\n", opts.usage());
 
@@ -77,12 +82,19 @@ int main(int argc, char** argv) {
     const int ranks = static_cast<int>(opts.integer("ranks"));
     sim::EngineConfig ec;
     ec.nprocs = ranks;
+    // --report implies a Full-level recorder (the critical-path walk needs
+    // per-message events) and a metrics registry; both only read virtual
+    // clocks, so they never change the simulated times.
+    const bool want_report = opts.flag("report") || !opts.str("report-json").empty();
     std::unique_ptr<trace::Recorder> recorder;
-    if (!opts.str("trace").empty()) {
+    if (!opts.str("trace").empty() || want_report) {
+      const bool full = opts.flag("trace-full") || want_report;
       recorder = std::make_unique<trace::Recorder>(
-          ranks, opts.flag("trace-full") ? trace::Level::Full : trace::Level::Phases);
+          ranks, full ? trace::Level::Full : trace::Level::Phases);
       ec.recorder = recorder.get();
     }
+    obs::Registry registry;
+    if (want_report) ec.metrics = &registry;
     sim::Engine engine(ec);
     std::uint64_t total = 0;
     std::vector<std::string> files(static_cast<std::size_t>(ranks));
@@ -101,15 +113,31 @@ int main(int argc, char** argv) {
     for (const auto& f : files) {
       if (!f.empty()) std::printf("  %s\n", f.c_str());
     }
-    if (recorder) {
+    if (recorder && !opts.str("trace").empty()) {
       trace::write_chrome_trace(opts.str("trace"), *recorder);
       trace::print_summary(stdout, trace::summarize(*recorder));
       std::printf("trace: %s (load in chrome://tracing or Perfetto)\n",
                   opts.str("trace").c_str());
     }
+    if (want_report) {
+      const obs::Report report = obs::analyze(*recorder);
+      if (opts.flag("report")) {
+        obs::print_report(stdout, report);
+        std::printf("\n-- metrics --\n");
+        registry.print(stdout);
+      }
+      if (!opts.str("report-json").empty()) {
+        std::FILE* f = std::fopen(opts.str("report-json").c_str(), "w");
+        MRBIO_REQUIRE(f != nullptr, "cannot open ", opts.str("report-json"));
+        obs::write_report_json(f, report, &registry);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("report: %s\n", opts.str("report-json").c_str());
+      }
+    }
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "mrblast_search: %s\n", e.what());
+    MRBIO_LOG(ErrorLevel, "mrblast_search: ", e.what());
     return 1;
   }
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "blast/dbformat.hpp"
+#include "common/log.hpp"
 #include "common/options.hpp"
 
 using namespace mrbio;
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
     std::printf("alias: %s.mal\n", opts.str("out").c_str());
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "mrformatdb: %s\n", e.what());
+    MRBIO_LOG(ErrorLevel, "mrformatdb: ", e.what());
     return 1;
   }
 }

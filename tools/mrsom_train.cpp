@@ -12,9 +12,12 @@
 #include "blast/composition.hpp"
 #include "blast/sequence.hpp"
 #include "common/image.hpp"
+#include "common/log.hpp"
 #include "common/mmap_file.hpp"
 #include "common/options.hpp"
 #include "mrsom/mrsom.hpp"
+#include "obs/analysis.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
 
@@ -37,8 +40,12 @@ int main(int argc, char** argv) {
   opts.add("planes", "0", "write the first N component planes as PGM images");
   opts.add("trace", "", "write a Chrome-tracing JSON timeline to this path");
   opts.add_flag("trace-full", "with --trace: also record per-message/compute events");
+  opts.add_flag("report", "print a critical-path / idle-time performance report");
+  opts.add("report-json", "", "write the performance report as JSON to this path");
+  opts.add("log", "", "log level: debug/info/warn/error/off (default $MRBIO_LOG or warn)");
   try {
     if (!opts.parse(argc, argv)) return 0;
+    if (!opts.str("log").empty()) set_log_level(parse_log_level(opts.str("log")));
     MRBIO_REQUIRE(opts.str("matrix").empty() != opts.str("fasta").empty(),
                   "provide exactly one of --matrix or --fasta\n", opts.usage());
 
@@ -83,12 +90,18 @@ int main(int argc, char** argv) {
 
     sim::EngineConfig ec;
     ec.nprocs = static_cast<int>(opts.integer("ranks"));
+    // --report implies a Full-level recorder and a metrics registry; both
+    // only read virtual clocks, so simulated times are unchanged.
+    const bool want_report = opts.flag("report") || !opts.str("report-json").empty();
     std::unique_ptr<trace::Recorder> recorder;
-    if (!opts.str("trace").empty()) {
+    if (!opts.str("trace").empty() || want_report) {
+      const bool full = opts.flag("trace-full") || want_report;
       recorder = std::make_unique<trace::Recorder>(
-          ec.nprocs, opts.flag("trace-full") ? trace::Level::Full : trace::Level::Phases);
+          ec.nprocs, full ? trace::Level::Full : trace::Level::Phases);
       ec.recorder = recorder.get();
     }
+    obs::Registry registry;
+    if (want_report) ec.metrics = &registry;
     sim::Engine engine(ec);
     som::Codebook cb;
     engine.run([&](sim::Process& p) {
@@ -110,15 +123,31 @@ int main(int argc, char** argv) {
                 prefix.c_str());
     std::printf("quantization error %.6f   topographic error %.4f\n",
                 som::quantization_error(cb, view), som::topographic_error(cb, view));
-    if (recorder) {
+    if (recorder && !opts.str("trace").empty()) {
       trace::write_chrome_trace(opts.str("trace"), *recorder);
       trace::print_summary(stdout, trace::summarize(*recorder));
       std::printf("trace: %s (load in chrome://tracing or Perfetto)\n",
                   opts.str("trace").c_str());
     }
+    if (want_report) {
+      const obs::Report report = obs::analyze(*recorder);
+      if (opts.flag("report")) {
+        obs::print_report(stdout, report);
+        std::printf("\n-- metrics --\n");
+        registry.print(stdout);
+      }
+      if (!opts.str("report-json").empty()) {
+        std::FILE* f = std::fopen(opts.str("report-json").c_str(), "w");
+        MRBIO_REQUIRE(f != nullptr, "cannot open ", opts.str("report-json"));
+        obs::write_report_json(f, report, &registry);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("report: %s\n", opts.str("report-json").c_str());
+      }
+    }
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "mrsom_train: %s\n", e.what());
+    MRBIO_LOG(ErrorLevel, "mrsom_train: ", e.what());
     return 1;
   }
 }

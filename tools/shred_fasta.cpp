@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "blast/sequence.hpp"
+#include "common/log.hpp"
 #include "common/options.hpp"
 
 using namespace mrbio;
@@ -34,7 +35,7 @@ int main(int argc, char** argv) {
                 frags.size(), opts.str("out").c_str());
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "shred_fasta: %s\n", e.what());
+    MRBIO_LOG(ErrorLevel, "shred_fasta: ", e.what());
     return 1;
   }
 }
