@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "blast/extend.hpp"
 #include "blast/filter.hpp"
@@ -201,8 +202,16 @@ std::vector<QueryResult> BlastSearcher::search(const std::vector<Sequence>& quer
       if (seg.score < gap_trigger_raw) return;
 
       ++stats_.gapped_extensions;
-      const GappedAlignment aln = extend_gapped(concat_raw, sdata, seg.q_best, seg.s_best,
-                                                scorer_, options_.xdrop_gapped);
+      // Clamp the gapped extension to the seed's own query entry. Sentinel
+      // columns score -16384, which stops diagonal moves, but an affine gap
+      // consumes query letters at gap cost without scoring them — so when a
+      // lucky run of matches follows in the NEXT entry the DP could jump
+      // the separator and land its best cell across it.
+      const std::span<const std::uint8_t> qspan(concat_raw.data() + entry.begin, entry.len);
+      GappedAlignment aln = extend_gapped(qspan, sdata, seg.q_best - entry.begin,
+                                          seg.s_best, scorer_, options_.xdrop_gapped);
+      aln.q_start += entry.begin;
+      aln.q_end += entry.begin;
       const SearchSpace& space = spaces[entry.query_idx];
       const double ev = evalue(aln.score, space.m_eff, space.n_eff, params_gapped_);
       if (ev > options_.evalue_cutoff) return;

@@ -1,15 +1,22 @@
 #include "mpi/comm.hpp"
 
+#include "rt/sim_rank.hpp"
+
 namespace mrbio::mpi {
+
+Comm::Comm(sim::Process& proc)
+    : rank_(nullptr), owned_(std::make_unique<rt::SimRank>(proc)) {
+  rank_ = owned_.get();
+}
 
 void Comm::barrier() {
   CollectiveSpan span(*this, "barrier");
   reduce_tree(
-      0, [&](int dst) { proc_->send(dst, kTagBarrierUp, {}); },
-      [&](int src) { proc_->recv(src, kTagBarrierUp); });
+      0, [&](int dst) { rank_->send(dst, kTagBarrierUp, {}); },
+      [&](int src) { rank_->recv(src, kTagBarrierUp); });
   bcast_tree(
-      0, [&](int dst) { proc_->send(dst, kTagBarrierDown, {}); },
-      [&](int src) { proc_->recv(src, kTagBarrierDown); });
+      0, [&](int dst) { rank_->send(dst, kTagBarrierDown, {}); },
+      [&](int src) { rank_->recv(src, kTagBarrierDown); });
 }
 
 void Comm::bcast_bytes(std::vector<std::byte>& data, int root) {
@@ -18,9 +25,9 @@ void Comm::bcast_bytes(std::vector<std::byte>& data, int root) {
       root,
       [&](int dst) {
         std::vector<std::byte> copy = data;
-        proc_->send(dst, kTagBcast, std::move(copy));
+        rank_->send(dst, kTagBcast, std::move(copy));
       },
-      [&](int src) { data = proc_->recv(src, kTagBcast).payload; });
+      [&](int src) { data = rank_->recv(src, kTagBcast).payload; });
 }
 
 std::vector<std::vector<std::byte>> Comm::gather_bytes(std::vector<std::byte> mine, int root) {
@@ -31,10 +38,10 @@ std::vector<std::vector<std::byte>> Comm::gather_bytes(std::vector<std::byte> mi
     out[static_cast<std::size_t>(root)] = std::move(mine);
     for (int src = 0; src < size(); ++src) {
       if (src == root) continue;
-      out[static_cast<std::size_t>(src)] = proc_->recv(src, kTagGather).payload;
+      out[static_cast<std::size_t>(src)] = rank_->recv(src, kTagGather).payload;
     }
   } else {
-    proc_->send(root, kTagGather, std::move(mine));
+    rank_->send(root, kTagGather, std::move(mine));
   }
   return out;
 }
@@ -61,12 +68,12 @@ std::vector<std::vector<std::byte>> Comm::alltoallv_nominal(
   out[static_cast<std::size_t>(rank())] = std::move(sendbufs[static_cast<std::size_t>(rank())]);
   for (int offset = 1; offset < p; ++offset) {
     const int dst = (rank() + offset) % p;
-    proc_->send(dst, kTagAlltoall, std::move(sendbufs[static_cast<std::size_t>(dst)]),
+    rank_->send(dst, kTagAlltoall, std::move(sendbufs[static_cast<std::size_t>(dst)]),
                 nominal_bytes[static_cast<std::size_t>(dst)]);
   }
   for (int offset = 1; offset < p; ++offset) {
     const int src = (rank() - offset + p) % p;
-    out[static_cast<std::size_t>(src)] = proc_->recv(src, kTagAlltoall).payload;
+    out[static_cast<std::size_t>(src)] = rank_->recv(src, kTagAlltoall).payload;
   }
   return out;
 }
@@ -99,19 +106,19 @@ std::vector<std::byte> Comm::scatter_bytes(std::vector<std::vector<std::byte>> b
     std::vector<std::byte> mine = std::move(buffers[static_cast<std::size_t>(root)]);
     for (int dst = 0; dst < size(); ++dst) {
       if (dst == root) continue;
-      proc_->send(dst, kTagScatter, std::move(buffers[static_cast<std::size_t>(dst)]));
+      rank_->send(dst, kTagScatter, std::move(buffers[static_cast<std::size_t>(dst)]));
     }
     return mine;
   }
-  return proc_->recv(root, kTagScatter).payload;
+  return rank_->recv(root, kTagScatter).payload;
 }
 
 void Comm::bcast_phantom(std::uint64_t nominal_bytes, int root) {
   CollectiveSpan span(*this, "bcast", nominal_bytes);
   bcast_tree(
       root,
-      [&](int dst) { proc_->send(dst, kTagBcast, {}, nominal_bytes); },
-      [&](int src) { proc_->recv(src, kTagBcast); });
+      [&](int dst) { rank_->send(dst, kTagBcast, {}, nominal_bytes); },
+      [&](int src) { rank_->recv(src, kTagBcast); });
 }
 
 void Comm::bcast_phantom_pipelined(std::uint64_t nominal_bytes, int root) {
@@ -119,12 +126,12 @@ void Comm::bcast_phantom_pipelined(std::uint64_t nominal_bytes, int root) {
   // Synchronize on the root's readiness through a latency-only tree, then
   // charge the pipelined bandwidth term identically on every rank.
   bcast_tree(
-      root, [&](int dst) { proc_->send(dst, kTagBcast, {}, 0); },
-      [&](int src) { proc_->recv(src, kTagBcast); });
+      root, [&](int dst) { rank_->send(dst, kTagBcast, {}, 0); },
+      [&](int src) { rank_->recv(src, kTagBcast); });
   const double p = static_cast<double>(size());
   const double bw_term = 2.0 * (p - 1.0) / p * static_cast<double>(nominal_bytes) *
-                         proc_->net().byte_time;
-  proc_->compute(bw_term);
+                         rank_->modeled_byte_time();
+  rank_->compute(bw_term);
 }
 
 void Comm::reduce_phantom_pipelined(std::uint64_t nominal_bytes, int root,
@@ -134,22 +141,22 @@ void Comm::reduce_phantom_pipelined(std::uint64_t nominal_bytes, int root,
   // the result: latency-only tree toward the root, then the bandwidth and
   // combine charges.
   reduce_tree(
-      root, [&](int dst) { proc_->send(dst, kTagReduce, {}, 0); },
-      [&](int src) { proc_->recv(src, kTagReduce); });
+      root, [&](int dst) { rank_->send(dst, kTagReduce, {}, 0); },
+      [&](int src) { rank_->recv(src, kTagReduce); });
   const double p = static_cast<double>(size());
   const double bw_term = 2.0 * (p - 1.0) / p * static_cast<double>(nominal_bytes) *
-                         proc_->net().byte_time;
-  proc_->compute(bw_term + combine_seconds);
+                         rank_->modeled_byte_time();
+  rank_->compute(bw_term + combine_seconds);
 }
 
 void Comm::reduce_phantom(std::uint64_t nominal_bytes, int root, double combine_seconds) {
   CollectiveSpan span(*this, "reduce", nominal_bytes);
   reduce_tree(
       root,
-      [&](int dst) { proc_->send(dst, kTagReduce, {}, nominal_bytes); },
+      [&](int dst) { rank_->send(dst, kTagReduce, {}, nominal_bytes); },
       [&](int src) {
-        proc_->recv(src, kTagReduce);
-        if (combine_seconds > 0.0) proc_->compute(combine_seconds);
+        rank_->recv(src, kTagReduce);
+        if (combine_seconds > 0.0) rank_->compute(combine_seconds);
       });
 }
 

@@ -1,24 +1,32 @@
-// MPI-flavoured communicator over the discrete-event engine.
+// MPI-flavoured communicator over the runtime abstraction.
 //
 // This is the layer application code is written against, mirroring the MPI
 // calls the paper's implementations use (MPI_Send/Recv, MPI_Bcast,
 // MPI_Reduce/Allreduce, MPI_Barrier, and the alltoallv that backs
 // MapReduce-MPI's aggregate()). Collectives are binomial trees built on
-// point-to-point sends, so their log2(p) cost emerges from the network
-// model instead of being asserted.
+// point-to-point sends, so their log2(p) cost emerges from the backend —
+// the DES network model or the host machine — instead of being asserted.
+//
+// Comm is written purely against rt::Rank (Transport + Clock), so the same
+// application code runs on the discrete-event simulator and on the native
+// multithreaded backend. The Comm(sim::Process&) convenience constructor
+// wraps a DES process in an internally-owned adapter for the existing
+// sim-only call sites.
 //
 // Tag space: application tags must lie in [0, kUserTagLimit); the
 // collective implementations use reserved tags above that range. The
-// engine's per-channel FIFO guarantee makes fixed collective tags safe.
+// transport's per-channel FIFO guarantee makes fixed collective tags safe.
 //
 // "Phantom" variants (bcast_phantom, reduce_phantom, ...) execute the same
 // communication trees but carry empty payloads with a nominal byte count:
-// that is how paper-scale transfers (e.g. broadcasting a multi-megabyte
-// SOM codebook to 1024 ranks) are timed without moving real gigabytes
-// through host memory.
+// on the DES that is how paper-scale transfers (e.g. broadcasting a
+// multi-megabyte SOM codebook to 1024 ranks) are timed without moving real
+// gigabytes through host memory; on real backends they degrade to timed
+// no-ops (empty messages through the same trees, zero bandwidth charge).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -26,13 +34,17 @@
 #include "common/error.hpp"
 #include "common/serialize.hpp"
 #include "obs/metrics.hpp"
-#include "sim/engine.hpp"
+#include "rt/runtime.hpp"
 #include "trace/trace.hpp"
+
+namespace mrbio::sim {
+class Process;
+}
 
 namespace mrbio::mpi {
 
-constexpr int kAnySource = sim::Process::kAnySource;
-constexpr int kAnyTag = sim::Process::kAnyTag;
+constexpr int kAnySource = rt::kAnySource;
+constexpr int kAnyTag = rt::kAnyTag;
 constexpr int kUserTagLimit = 1 << 20;
 
 /// Element-wise reduction operators.
@@ -40,34 +52,44 @@ enum class ReduceOp { Sum, Max, Min };
 
 class Comm {
  public:
-  explicit Comm(sim::Process& proc) : proc_(&proc) {}
+  explicit Comm(rt::Rank& rank) : rank_(&rank) {}
 
-  int rank() const { return proc_->rank(); }
-  int size() const { return proc_->size(); }
-  double now() const { return proc_->now(); }
-  void compute(double seconds) { proc_->compute(seconds); }
-  sim::Process& process() { return *proc_; }
+  /// Convenience for DES-only call sites: wraps the process in an
+  /// internally-owned rt::SimRank adapter.
+  explicit Comm(sim::Process& proc);
+
+  int rank() const { return rank_->rank(); }
+  int size() const { return rank_->size(); }
+  double now() const { return rank_->now(); }
+  void compute(double seconds) { rank_->compute(seconds); }
+
+  /// The rank handle of the active backend.
+  rt::Rank& runtime() { return *rank_; }
+
+  /// The backend's span recorder / metrics registry, or null when off.
+  trace::Recorder* tracer() const { return rank_->tracer(); }
+  obs::Registry* metrics() const { return rank_->metrics(); }
 
   // ---- point to point ----
 
   void send_bytes(int dst, int tag, std::vector<std::byte> payload) {
     check_user_tag(tag);
-    proc_->send(dst, tag, std::move(payload));
+    rank_->send(dst, tag, std::move(payload));
   }
 
   /// Sends with an explicit nominal size for the timing model.
   void send_bytes(int dst, int tag, std::vector<std::byte> payload,
                   std::uint64_t nominal_bytes) {
     check_user_tag(tag);
-    proc_->send(dst, tag, std::move(payload), nominal_bytes);
+    rank_->send(dst, tag, std::move(payload), nominal_bytes);
   }
 
-  sim::Message recv_bytes(int src = kAnySource, int tag = kAnyTag) {
-    return proc_->recv(src, tag);
+  rt::Message recv_bytes(int src = kAnySource, int tag = kAnyTag) {
+    return rank_->recv(src, tag);
   }
 
   bool has_message(int src = kAnySource, int tag = kAnyTag) const {
-    return proc_->has_message(src, tag);
+    return rank_->has_message(src, tag);
   }
 
   /// Sends a single trivially-copyable value.
@@ -82,7 +104,7 @@ class Comm {
   template <typename T>
   T recv_value(int src = kAnySource, int tag = kAnyTag, int* actual_src = nullptr,
                int* actual_tag = nullptr) {
-    sim::Message m = recv_bytes(src, tag);
+    rt::Message m = recv_bytes(src, tag);
     if (actual_src != nullptr) *actual_src = m.source;
     if (actual_tag != nullptr) *actual_tag = m.tag;
     ByteReader r(m.payload);
@@ -101,7 +123,7 @@ class Comm {
   template <typename T>
   std::vector<T> recv_vector(int src = kAnySource, int tag = kAnyTag,
                              int* actual_src = nullptr) {
-    sim::Message m = recv_bytes(src, tag);
+    rt::Message m = recv_bytes(src, tag);
     if (actual_src != nullptr) *actual_src = m.source;
     ByteReader r(m.payload);
     return r.get_vector<T>();
@@ -125,7 +147,7 @@ class Comm {
     int tag_ = kAnyTag;
     bool is_send_ = false;
     bool done_ = false;
-    sim::Message message_;
+    rt::Message message_;
   };
 
   /// Buffered nonblocking send: returns an already-complete request.
@@ -147,7 +169,7 @@ class Comm {
 
   /// Blocks until the request completes; returns the message for receives
   /// (an empty message for sends). Idempotent once completed.
-  sim::Message wait(Request& request) {
+  rt::Message wait(Request& request) {
     if (!request.done_) {
       request.message_ = recv_bytes(request.src_, request.tag_);
       request.done_ = true;
@@ -320,8 +342,8 @@ class Comm {
         : comm_(comm),
           name_(name),
           bytes_(bytes),
-          rec_(comm.proc_->tracer()),
-          metrics_(comm.proc_->metrics()),
+          rec_(comm.rank_->tracer()),
+          metrics_(comm.rank_->metrics()),
           t0_(rec_ != nullptr || metrics_ != nullptr ? comm.now() : 0.0) {}
     ~CollectiveSpan() {
       if (rec_ != nullptr) {
@@ -367,7 +389,8 @@ class Comm {
   template <typename SendFn, typename RecvFn>
   void reduce_tree(int root, const SendFn& send_to, const RecvFn& recv_from);
 
-  sim::Process* proc_;
+  rt::Rank* rank_;
+  std::unique_ptr<rt::Rank> owned_;  ///< set only by the Comm(sim::Process&) ctor
 };
 
 // ---- template implementations ----
@@ -420,10 +443,10 @@ void Comm::reduce(std::vector<T>& data, ReduceOp op, int root) {
       [&](int dst) {
         ByteWriter w;
         w.put_vector(data);
-        proc_->send(dst, kTagReduce, w.take());
+        rank_->send(dst, kTagReduce, w.take());
       },
       [&](int src) {
-        const sim::Message m = proc_->recv(src, kTagReduce);
+        const rt::Message m = rank_->recv(src, kTagReduce);
         ByteReader r(m.payload);
         std::vector<T> other = r.get_vector<T>();
         MRBIO_CHECK(other.size() == data.size(), "reduce length mismatch: ", other.size(),
@@ -455,10 +478,10 @@ void Comm::allreduce_custom(T& value, const CombineFn& combine,
       [&](int dst) {
         std::vector<std::byte> buf(sizeof(T));
         std::memcpy(buf.data(), &value, sizeof(T));
-        proc_->send(dst, kTagReduce, std::move(buf), nominal_reduce_bytes);
+        rank_->send(dst, kTagReduce, std::move(buf), nominal_reduce_bytes);
       },
       [&](int src) {
-        const sim::Message m = proc_->recv(src, kTagReduce);
+        const rt::Message m = rank_->recv(src, kTagReduce);
         MRBIO_CHECK(m.payload.size() == sizeof(T), "allreduce_custom size mismatch");
         T other;
         std::memcpy(&other, m.payload.data(), sizeof(T));
@@ -469,10 +492,10 @@ void Comm::allreduce_custom(T& value, const CombineFn& combine,
       [&](int dst) {
         std::vector<std::byte> buf(sizeof(T));
         std::memcpy(buf.data(), &value, sizeof(T));
-        proc_->send(dst, kTagBcast, std::move(buf), nominal_bcast_bytes);
+        rank_->send(dst, kTagBcast, std::move(buf), nominal_bcast_bytes);
       },
       [&](int src) {
-        const sim::Message m = proc_->recv(src, kTagBcast);
+        const rt::Message m = rank_->recv(src, kTagBcast);
         MRBIO_CHECK(m.payload.size() == sizeof(T), "allreduce_custom size mismatch");
         std::memcpy(&value, m.payload.data(), sizeof(T));
       });

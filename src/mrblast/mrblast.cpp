@@ -1,5 +1,6 @@
 #include "mrblast/mrblast.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -31,6 +32,20 @@ struct PartitionCache {
     return *volume;
   }
 };
+
+/// Bytewise-sorted copy of a group's value spans. Grouping preserves
+/// emission order, which on the native backend depends on task-assignment
+/// timing; reduces that must produce backend-identical output iterate
+/// values in this canonical order instead.
+std::vector<std::span<const std::byte>> canonicalize_values(const mrmpi::KmvGroup& group) {
+  std::vector<std::span<const std::byte>> values(group.values.begin(), group.values.end());
+  std::sort(values.begin(), values.end(),
+            [](std::span<const std::byte> a, std::span<const std::byte> b) {
+              return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                                  b.end());
+            });
+  return values;
+}
 
 }  // namespace
 
@@ -111,7 +126,7 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
     const auto map_fn = [&](std::uint64_t unit, mrmpi::KeyValue& kv) {
       const std::uint64_t block = first_block + unit / nparts;
       const std::uint64_t part = unit % nparts;
-      trace::Recorder* rec = comm.process().tracer();
+      trace::Recorder* rec = comm.tracer();
       const bool fresh_load = cache.current != static_cast<std::int64_t>(part);
       const double t_load = comm.now();
       const blast::DbVolume& vol = cache.get(config.partition_paths, part);
@@ -119,7 +134,7 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
         rec->add(comm.rank(), trace::Category::Io, "db_load", t_load, comm.now(), 0,
                  vol.residues());
       }
-      obs::Registry* reg = comm.process().metrics();
+      obs::Registry* reg = comm.metrics();
       if (reg != nullptr && fresh_load) {
         reg->counter("blast.db_loads").inc();
         reg->histogram("blast.db_load_seconds").observe(comm.now() - t_load);
@@ -153,14 +168,21 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
       mr.map(units, map_fn);
     }
 
-    mr.collate();
+    // collate(), with a key sort in between: master-worker scheduling on the
+    // native backend assigns tasks in arrival order, so aggregated pairs
+    // land in backend-dependent order. Sorting keys before grouping makes
+    // group order — and therefore output-file line order — identical on
+    // every backend; canonicalize_values does the same within a group.
+    mr.aggregate();
+    mr.sort_keys();
+    mr.convert();
 
     mr.reduce([&](const mrmpi::KmvGroup& group, mrmpi::KeyValue&) {
       const std::string query_id(reinterpret_cast<const char*>(group.key.data()),
                                  group.key.size());
       std::vector<blast::Hsp> hsps;
       hsps.reserve(group.values.size());
-      for (const auto& value : group.values) {
+      for (const auto& value : canonicalize_values(group)) {
         ByteReader r(value);
         hsps.push_back(blast::Hsp::deserialize(r));
       }
@@ -220,7 +242,7 @@ BlastxRunResult run_blastx_mr(mpi::Comm& comm, const BlastxRunConfig& config) {
   mr.map(nblocks * nparts, [&](std::uint64_t unit, mrmpi::KeyValue& kv) {
     const std::uint64_t block = unit / nparts;
     const std::uint64_t part = unit % nparts;
-    trace::Recorder* rec = comm.process().tracer();
+    trace::Recorder* rec = comm.tracer();
     const bool fresh_load = cache.current != static_cast<std::int64_t>(part);
     const double t_load = comm.now();
     cache.get(config.partition_paths, part);
@@ -228,7 +250,7 @@ BlastxRunResult run_blastx_mr(mpi::Comm& comm, const BlastxRunConfig& config) {
       rec->add(comm.rank(), trace::Category::Io, "db_load", t_load, comm.now(), 0,
                cache.volume->residues());
     }
-    obs::Registry* reg = comm.process().metrics();
+    obs::Registry* reg = comm.metrics();
     if (reg != nullptr && fresh_load) {
       reg->counter("blast.db_loads").inc();
       reg->histogram("blast.db_load_seconds").observe(comm.now() - t_load);
@@ -255,14 +277,18 @@ BlastxRunResult run_blastx_mr(mpi::Comm& comm, const BlastxRunConfig& config) {
     }
   });
 
-  mr.collate();
+  // As in run_blast_mr: sorted keys + canonical value order make the
+  // output independent of the backend's task-assignment order.
+  mr.aggregate();
+  mr.sort_keys();
+  mr.convert();
 
   mr.reduce([&](const mrmpi::KmvGroup& group, mrmpi::KeyValue&) {
     const std::string query_id(reinterpret_cast<const char*>(group.key.data()),
                                group.key.size());
     std::vector<blast::BlastxHsp> hsps;
     hsps.reserve(group.values.size());
-    for (const auto& value : group.values) {
+    for (const auto& value : canonicalize_values(group)) {
       ByteReader r(value);
       blast::BlastxHsp bx;
       bx.frame = r.get<std::int32_t>();
@@ -321,10 +347,10 @@ SimRunStats run_blast_sim(mpi::Comm& comm, const SimRunConfig& config) {
     const auto map_fn = [&](std::uint64_t iter_unit, mrmpi::KeyValue& kv) {
       const std::uint64_t unit = first_block * nparts + iter_unit;
       const std::uint64_t part = wl.partition_of(unit);
-      trace::Recorder* rec = comm.process().tracer();
+      trace::Recorder* rec = comm.tracer();
       // Partition switch: pay the (cold or warm) load, which is I/O, not
       // useful compute.
-      obs::Registry* reg = comm.process().metrics();
+      obs::Registry* reg = comm.metrics();
       if (current_partition != static_cast<std::int64_t>(part)) {
         const double t_load = comm.now();
         const double load = wl.load_seconds(unit, comm.rank(), comm.size());

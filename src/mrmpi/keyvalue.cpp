@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <list>
 #include <numeric>
 #include <unordered_map>
@@ -13,6 +14,25 @@ namespace mrbio::mrmpi {
 
 namespace {
 std::atomic<std::uint64_t> g_store_counter{0};
+
+/// "" resolves to $TMPDIR (the scheduler-provided scratch dir on batch
+/// systems), falling back to /tmp.
+std::string resolved_spill_dir(const std::string& dir) {
+  if (!dir.empty()) return dir;
+  const char* tmpdir = std::getenv("TMPDIR");
+  return tmpdir != nullptr && *tmpdir != '\0' ? std::string(tmpdir) : std::string("/tmp");
+}
+
+/// Drops a page buffer; in debug mode poison it first so any span still
+/// pointing in reads 0xDD (and, after shrink_to_fit frees the
+/// allocation, faults under AddressSanitizer).
+void release_page_buf(std::vector<std::byte>& buf) {
+#ifdef MRBIO_KV_DEBUG
+  std::fill(buf.begin(), buf.end(), std::byte{0xDD});
+#endif
+  buf.clear();
+  buf.shrink_to_fit();
+}
 }
 
 // One fixed-capacity page of entries. A page is either resident (buf
@@ -37,10 +57,9 @@ struct KeyValue::Impl {
   std::list<std::size_t> lru;
 
   ~Impl() {
-    if (spill_file != nullptr) {
-      std::fclose(spill_file);
-      std::remove(spill_path.c_str());
-    }
+    // The path was unlinked right after creation; closing the descriptor
+    // releases the last reference and the kernel reclaims the space.
+    if (spill_file != nullptr) std::fclose(spill_file);
   }
 };
 
@@ -83,11 +102,15 @@ void KeyValue::maybe_spill() {
     Page& p = pages[i];
     if (p.spilled || p.buf.empty()) continue;
     if (impl_->spill_file == nullptr) {
-      impl_->spill_path = policy_.dir + "/mrbio_kv_" + std::to_string(::getpid()) + "_" +
+      impl_->spill_path = resolved_spill_dir(policy_.dir) + "/mrbio_kv_" +
+                          std::to_string(::getpid()) + "_" +
                           std::to_string(g_store_counter.fetch_add(1)) + ".spill";
       impl_->spill_file = std::fopen(impl_->spill_path.c_str(), "w+b");
       MRBIO_REQUIRE(impl_->spill_file != nullptr, "cannot create spill file ",
                     impl_->spill_path);
+      // Unlink immediately: the open descriptor keeps the data alive, and
+      // a crashed run can no longer leak spill files in the scratch dir.
+      std::remove(impl_->spill_path.c_str());
     }
     std::fseek(impl_->spill_file, static_cast<long>(impl_->spill_end), SEEK_SET);
     const std::size_t written =
@@ -96,9 +119,9 @@ void KeyValue::maybe_spill() {
     p.file_offset = impl_->spill_end;
     impl_->spill_end += p.byte_size;
     spilled_bytes_ += p.byte_size;
-    p.buf.clear();
-    p.buf.shrink_to_fit();
+    release_page_buf(p.buf);
     p.spilled = true;
+    ++generation_;
     --resident;
     impl_->lru.remove(i);
   }
@@ -119,13 +142,21 @@ const KeyValue::Page& KeyValue::load_page(std::size_t page_index) const {
   // Track in the LRU; evict cached copies beyond the budget (the page
   // stays spilled, its buffer is just dropped).
   impl_->lru.push_front(page_index);
+#ifdef MRBIO_KV_DEBUG
+  // Debug mode caches only the page being accessed, so a span held across
+  // the next pair() access to a different spilled page is invalidated (and
+  // poisoned) immediately — the documented hazard crashes loudly instead
+  // of working by coincidence.
+  const std::size_t cache_cap = 1;
+#else
   const std::size_t cache_cap = std::max<std::size_t>(policy_.max_resident_pages / 2, 2);
+#endif
   while (impl_->lru.size() > cache_cap) {
     const std::size_t victim = impl_->lru.back();
     impl_->lru.pop_back();
     if (victim != page_index) {
-      impl_->pages[victim].buf.clear();
-      impl_->pages[victim].buf.shrink_to_fit();
+      release_page_buf(impl_->pages[victim].buf);
+      ++generation_;
     }
   }
   return p;
@@ -151,6 +182,7 @@ void KeyValue::add(std::span<const std::byte> key, std::span<const std::byte> va
   e.nominal = nominal_bytes;
   page.byte_size += need;
   page.entries.push_back(e);
+  ++generation_;  // the insert may have reallocated the page buffer
   ++num_entries_;
   total_bytes_ += need;
   nominal_total_ += nominal_bytes;
@@ -177,6 +209,12 @@ KvPair KeyValue::pair(std::size_t i) const {
   }
   const Page& page = load_page(lo);
   const Entry& e = page.entries[i - page.first_entry];
+  // A stale or evicted page would fail these consistency checks before the
+  // caller can dereference a dangling span.
+  MRBIO_CHECK(page.buf.size() == page.byte_size, "KeyValue::pair on an evicted page");
+  MRBIO_CHECK(e.key_off + e.key_len <= page.buf.size() &&
+                  e.val_off + e.val_len <= page.buf.size(),
+              "KeyValue::pair entry spans outside its page");
   return KvPair{{page.buf.data() + e.key_off, e.key_len},
                 {page.buf.data() + e.val_off, e.val_len},
                 e.nominal};
@@ -196,6 +234,7 @@ void KeyValue::for_each(const std::function<void(const KvPair&)>& fn) const {
 
 void KeyValue::clear() {
   impl_.reset();
+  ++generation_;
   num_entries_ = 0;
   total_bytes_ = 0;
   nominal_total_ = 0;
@@ -209,8 +248,10 @@ void KeyValue::absorb(KeyValue&& other) {
   }
   if (empty()) {
     const SpillPolicy policy = policy_;  // keep this store's policy
+    const std::uint64_t generation = generation_;
     *this = std::move(other);
     policy_ = policy;
+    generation_ = generation + 1;
     return;
   }
   other.for_each([&](const KvPair& p) { add(p.key, p.value, p.nominal_bytes); });
@@ -235,7 +276,9 @@ void KeyValue::sort_by_key() {
     const KvPair p = pair(i);  // random access through the page cache
     sorted.add(p.key, p.value, p.nominal_bytes);
   }
+  const std::uint64_t generation = generation_;
   *this = std::move(sorted);
+  generation_ = generation + 1;
 }
 
 namespace {
@@ -283,10 +326,14 @@ KmvGroup KeyMultiValue::group(std::size_t i) const {
   MRBIO_CHECK(i < groups_.size(), "KeyMultiValue::group index ", i, " out of ",
               groups_.size());
   const Group& g = groups_[i];
+  MRBIO_CHECK(g.key_off + g.key_len <= buf_.size(),
+              "KeyMultiValue::group key outside the value buffer");
   KmvGroup out;
   out.key = {buf_.data() + g.key_off, g.key_len};
   out.values.reserve(g.values.size());
   for (const ValueRef& v : g.values) {
+    MRBIO_CHECK(v.off + v.len <= buf_.size(),
+                "KeyMultiValue::group value outside the value buffer");
     out.values.push_back({buf_.data() + v.off, v.len});
   }
   out.nominal_bytes = g.nominal;

@@ -50,8 +50,10 @@ struct SpillPolicy {
   std::uint64_t page_bytes = 1ull << 20;
   /// Pages kept in RAM before spilling; max() disables spilling entirely.
   std::size_t max_resident_pages = SIZE_MAX;
-  /// Directory for spill files (created lazily, removed with the store).
-  std::string dir = "/tmp";
+  /// Directory for spill files (created lazily, unlinked immediately
+  /// after creation so crashed runs never leak files). "" (the default)
+  /// resolves to $TMPDIR, falling back to /tmp.
+  std::string dir;
 };
 
 class KeyValue {
@@ -102,6 +104,15 @@ class KeyValue {
   /// spilled stores via the page cache.
   void sort_by_key();
 
+  /// Span-invalidation generation: incremented by every operation that may
+  /// invalidate previously returned pair() spans (appends, clears, sorts,
+  /// absorbs, and page evictions — including those triggered by pair()
+  /// itself on a spilled store). Callers holding spans across calls can
+  /// assert the generation is unchanged; under MRBIO_KV_DEBUG evicted
+  /// buffers are additionally poisoned and freed so stale spans crash
+  /// under AddressSanitizer instead of reading recycled memory.
+  std::uint64_t generation() const { return generation_; }
+
  private:
   struct Entry {
     std::uint32_t key_off;
@@ -119,6 +130,8 @@ class KeyValue {
 
   SpillPolicy policy_;
   std::unique_ptr<Impl> impl_;
+  /// Mutable: const accessors (pair/for_each) can evict cached pages.
+  mutable std::uint64_t generation_ = 0;
   std::size_t num_entries_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t nominal_total_ = 0;

@@ -120,7 +120,7 @@ std::uint64_t MapReduce::run_map(std::uint64_t ntasks, const MapFn& fn, bool app
 }
 
 trace::Recorder* MapReduce::phase_recorder() {
-  trace::Recorder* rec = comm_.process().tracer();
+  trace::Recorder* rec = comm_.tracer();
   return (rec != nullptr && config_.trace_phases) ? rec : nullptr;
 }
 

@@ -44,7 +44,9 @@ struct MapReduceConfig {
   /// Actually page KV data to disk under the memsize budget (the Sandia
   /// library's out-of-core mode), in addition to the virtual-time charge.
   bool page_to_disk = false;
-  std::string spill_dir = "/tmp";
+  /// Directory for spill files; "" (the default) resolves to $TMPDIR,
+  /// falling back to /tmp.
+  std::string spill_dir;
   std::uint64_t page_bytes = 1ull << 20;
   /// When the engine has a trace::Recorder attached, wrap each phase
   /// (map/aggregate/convert/reduce/compress/gather), every map task, the
@@ -151,7 +153,7 @@ class MapReduce {
   /// The engine recorder, or null when tracing is off (either globally or
   /// via config_.trace_phases).
   trace::Recorder* phase_recorder();
-  obs::Registry* metrics() { return comm_.process().metrics(); }
+  obs::Registry* metrics() { return comm_.metrics(); }
   /// Runs one map task, wrapped in a Task span when tracing.
   void run_task(const MapFn& fn, std::uint64_t task, KeyValue& out, trace::Recorder* rec);
   /// Applies the spill cost model after KV growth.

@@ -37,7 +37,7 @@ som::Codebook train_som_mr(mpi::Comm& comm, const MatrixView& data,
     const double t_bcast = comm.now();
     comm.bcast(weights, 0);
     std::copy(weights.begin(), weights.end(), cb.weights().data());
-    if (obs::Registry* reg = comm.process().metrics(); reg != nullptr) {
+    if (obs::Registry* reg = comm.metrics(); reg != nullptr) {
       reg->histogram("som.epoch_bcast_seconds").observe(comm.now() - t_bcast);
     }
 
@@ -55,7 +55,7 @@ som::Codebook train_som_mr(mpi::Comm& comm, const MatrixView& data,
       if (per_vector_cost > 0.0) {
         comm.compute(per_vector_cost * static_cast<double>(count));
       }
-      if (trace::Recorder* rec = comm.process().tracer(); rec != nullptr) {
+      if (trace::Recorder* rec = comm.tracer(); rec != nullptr) {
         rec->add(comm.rank(), trace::Category::App, "accumulate", t0, comm.now(), count);
       }
     });
@@ -70,7 +70,7 @@ som::Codebook train_som_mr(mpi::Comm& comm, const MatrixView& data,
     comm.reduce(packed, mpi::ReduceOp::Sum, 0);
     std::vector<double> qerr_buf{local_qerr};
     comm.reduce(qerr_buf, mpi::ReduceOp::Sum, 0);
-    if (obs::Registry* reg = comm.process().metrics(); reg != nullptr) {
+    if (obs::Registry* reg = comm.metrics(); reg != nullptr) {
       reg->histogram("som.epoch_reduce_seconds").observe(comm.now() - t_reduce);
     }
 
@@ -82,7 +82,7 @@ som::Codebook train_som_mr(mpi::Comm& comm, const MatrixView& data,
       std::copy(packed.begin() + static_cast<std::ptrdiff_t>(cells * dim), packed.end(),
                 total.denominator().begin());
       total.apply(cb);
-      if (trace::Recorder* rec = comm.process().tracer(); rec != nullptr) {
+      if (trace::Recorder* rec = comm.tracer(); rec != nullptr) {
         rec->add(comm.rank(), trace::Category::App, "codebook_update", t_apply, comm.now(),
                  cells);
       }
@@ -126,7 +126,7 @@ SimSomStats run_som_sim(mpi::Comm& comm, const SimSomConfig& config) {
     // Multi-megabyte codebook: pipelined collective model (see comm.hpp).
     const double t_bcast = comm.now();
     comm.bcast_phantom_pipelined(codebook_bytes, 0);
-    if (obs::Registry* reg = comm.process().metrics(); reg != nullptr) {
+    if (obs::Registry* reg = comm.metrics(); reg != nullptr) {
       reg->histogram("som.epoch_bcast_seconds").observe(comm.now() - t_bcast);
     }
     mr.map(nblocks, [&](std::uint64_t block, mrmpi::KeyValue&) {
@@ -138,14 +138,14 @@ SimSomStats run_som_sim(mpi::Comm& comm, const SimSomConfig& config) {
       comm.compute(cost);
       stats.compute_seconds += cost;
       ++stats.blocks_processed;
-      if (trace::Recorder* rec = comm.process().tracer(); rec != nullptr) {
+      if (trace::Recorder* rec = comm.tracer(); rec != nullptr) {
         rec->add(comm.rank(), trace::Category::App, "accumulate", t0, comm.now(), count);
       }
     });
     const double t_reduce = comm.now();
     comm.reduce_phantom_pipelined(
         accum_bytes, 0, static_cast<double>(accum_bytes) * config.combine_seconds_per_byte);
-    if (obs::Registry* reg = comm.process().metrics(); reg != nullptr) {
+    if (obs::Registry* reg = comm.metrics(); reg != nullptr) {
       reg->histogram("som.epoch_reduce_seconds").observe(comm.now() - t_reduce);
     }
     // Master applies Eq. 5 over the full codebook.
@@ -153,7 +153,7 @@ SimSomStats run_som_sim(mpi::Comm& comm, const SimSomConfig& config) {
       const double t_apply = comm.now();
       comm.compute(static_cast<double>(cells) * static_cast<double>(config.dim) *
                    config.flop_seconds);
-      if (trace::Recorder* rec = comm.process().tracer(); rec != nullptr) {
+      if (trace::Recorder* rec = comm.tracer(); rec != nullptr) {
         rec->add(comm.rank(), trace::Category::App, "codebook_update", t_apply, comm.now(),
                  cells);
       }

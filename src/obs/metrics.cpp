@@ -26,6 +26,7 @@ std::size_t Histogram::bucket_index(double v) {
 
 void Histogram::observe(double v) {
   MRBIO_CHECK(!std::isnan(v), "histogram observation is NaN");
+  std::lock_guard<std::mutex> lock(mutex_);
   if (count_ == 0) {
     min_ = v;
     max_ = v;
@@ -41,6 +42,7 @@ void Histogram::observe(double v) {
 }
 
 double Histogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (count_ == 0) return 0.0;
   if (q <= 0.0) return min_;
   if (q >= 1.0) return max_;
@@ -68,37 +70,43 @@ double Histogram::quantile(double q) const {
 // Registry
 
 Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
   check_unique(name, &counters_);
-  return counters_.emplace(std::string(name), Counter{}).first->second;
+  return counters_.try_emplace(std::string(name)).first->second;
 }
 
 Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = gauges_.find(name);
   if (it != gauges_.end()) return it->second;
   check_unique(name, &gauges_);
-  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+  return gauges_.try_emplace(std::string(name)).first->second;
 }
 
 Histogram& Registry::histogram(std::string_view name, double min_value) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
   check_unique(name, &histograms_);
-  return histograms_.emplace(std::string(name), Histogram{min_value}).first->second;
+  return histograms_.try_emplace(std::string(name), min_value).first->second;
 }
 
 const Counter* Registry::find_counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* Registry::find_gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const Histogram* Registry::find_histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
@@ -113,6 +121,7 @@ void Registry::check_unique(std::string_view name, const void* owner) const {
 }
 
 void Registry::print(std::FILE* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (!counters_.empty() || !gauges_.empty()) {
     std::fprintf(out, "%-36s %18s\n", "counter/gauge", "value");
     for (const auto& [name, c] : counters_) {
@@ -147,6 +156,7 @@ void write_json_string(std::FILE* out, const std::string& s) {
 }  // namespace
 
 void Registry::write_json(std::FILE* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::fputs("{\"counters\":{", out);
   bool first = true;
   for (const auto& [name, c] : counters_) {

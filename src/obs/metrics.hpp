@@ -1,15 +1,21 @@
-// Metrics registry for the simulated stack: counters, gauges, and
+// Metrics registry for the runtime stack: counters, gauges, and
 // log-bucketed histograms with percentile queries.
 //
-// Every layer that holds a Process (or an EngineConfig) can reach the
+// Every layer that holds a Rank (or an engine config) can reach the
 // registry and register its own instruments: the DES engine records
 // message-size and compute-charge distributions, mpi::Comm times each
 // collective, mrmpi::MapReduce tracks task service times, master queue
 // latency and spill volumes, and the BLAST/SOM drivers add
 // application-level distributions (per-block search time, per-epoch
-// collective time). Observation only reads virtual clocks and sizes that
-// the simulation already computed, so attaching a registry never changes
+// collective time). Observation only reads clocks and sizes that the
+// runtime already computed, so attaching a registry never changes
 // simulated times — the same zero-perturbation contract as trace::Recorder.
+//
+// Thread safety: the native backend runs ranks as preemptive threads that
+// share one registry, so every instrument is safe for concurrent updates —
+// counters and gauges are atomics, histograms and the name maps take a
+// mutex. The map accessors (counters()/gauges()/histograms()) hand out
+// references for report generation and must only be used after the run.
 //
 // Instruments are created on first use and addressed by a flat
 // dotted name ("mrmpi.task_seconds"). Lookup is by std::map, so reports
@@ -17,9 +23,11 @@
 // returned reference (std::map nodes never move).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,20 +36,20 @@ namespace mrbio::obs {
 
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  double value() const { return value_; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Histogram over positive doubles with exponentially growing buckets.
@@ -57,11 +65,26 @@ class Histogram {
 
   void observe(double v);
 
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  std::uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+  double sum() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sum_;
+  }
+  double min() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_ == 0 ? 0.0 : min_;
+  }
+  double max() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_ == 0 ? 0.0 : max_;
+  }
+  double mean() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
 
   /// Nearest-rank quantile, q in [0, 1]. Returns 0 when empty; q <= 0
   /// returns min() and q >= 1 returns max() exactly.
@@ -74,8 +97,10 @@ class Histogram {
   };
 
   /// Index of the bucket containing v (grows `buckets_` as needed).
+  /// Caller holds mutex_.
   std::size_t bucket_index(double v);
 
+  mutable std::mutex mutex_;
   double min_value_;
   std::vector<Bucket> buckets_;
   std::uint64_t count_ = 0;
@@ -97,8 +122,13 @@ class Registry {
   const Gauge* find_gauge(std::string_view name) const;
   const Histogram* find_histogram(std::string_view name) const;
 
-  bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
 
+  // Whole-map accessors for report generation; use only once concurrent
+  // updates have stopped (after the run).
   const std::map<std::string, Counter, std::less<>>& counters() const { return counters_; }
   const std::map<std::string, Gauge, std::less<>>& gauges() const { return gauges_; }
   const std::map<std::string, Histogram, std::less<>>& histograms() const { return histograms_; }
@@ -112,8 +142,10 @@ class Registry {
   void write_json(std::FILE* out) const;
 
  private:
+  /// Caller holds mutex_.
   void check_unique(std::string_view name, const void* owner) const;
 
+  mutable std::mutex mutex_;
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;

@@ -1,0 +1,60 @@
+#include "rt/backend.hpp"
+
+#include "common/error.hpp"
+#include "rt/sim_rank.hpp"
+
+namespace mrbio::rt {
+
+Backend backend_from_name(std::string_view name) {
+  MRBIO_REQUIRE(name == "sim" || name == "native", "unknown backend '",
+                std::string(name), "' (expected sim or native)");
+  return name == "sim" ? Backend::Sim : Backend::Native;
+}
+
+const char* backend_name(Backend backend) {
+  return backend == Backend::Sim ? "sim" : "native";
+}
+
+int default_ranks(Backend backend) {
+  return backend == Backend::Sim ? 8 : NativeEngine::hardware_ranks();
+}
+
+LaunchResult launch(const LaunchConfig& config, const std::function<void(Rank&)>& body) {
+  const int nranks = config.nranks > 0 ? config.nranks : default_ranks(config.backend);
+  LaunchResult result;
+  if (config.backend == Backend::Sim) {
+    sim::EngineConfig ec;
+    ec.nprocs = nranks;
+    ec.net = config.net;
+    ec.stack_bytes = config.stack_bytes;
+    ec.recorder = config.recorder;
+    ec.metrics = config.metrics;
+    sim::Engine engine(ec);
+    engine.run([&](sim::Process& proc) {
+      SimRank rank(proc);
+      body(rank);
+    });
+    result.elapsed = engine.elapsed();
+    result.final_times = engine.final_times();
+    result.messages = engine.stats().messages;
+    result.payload_bytes = engine.stats().payload_bytes;
+    result.nominal_bytes = engine.stats().nominal_bytes;
+  } else {
+    NativeConfig nc;
+    nc.nranks = nranks;
+    nc.recorder = config.recorder;
+    nc.metrics = config.metrics;
+    nc.recv_timeout = config.native_recv_timeout;
+    NativeEngine engine(nc);
+    engine.run(body);
+    result.elapsed = engine.elapsed();
+    result.final_times = engine.final_times();
+    const NativeStats stats = engine.stats();
+    result.messages = stats.messages;
+    result.payload_bytes = stats.payload_bytes;
+    result.nominal_bytes = stats.nominal_bytes;
+  }
+  return result;
+}
+
+}  // namespace mrbio::rt

@@ -1,0 +1,245 @@
+#include "rt/native.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace mrbio::rt {
+
+namespace {
+
+/// Thrown into ranks blocked in recv when another rank failed, so the
+/// whole machine unwinds instead of hanging; swallowed by the runner.
+struct AbortSignal {};
+
+bool matches(const Message& m, int src, int tag) {
+  return (src == kAnySource || m.source == src) && (tag == kAnyTag || m.tag == tag);
+}
+
+}  // namespace
+
+struct NativeEngine::Impl {
+  struct Entry {
+    Message msg;
+    std::uint64_t seq = 0;  ///< global send sequence, for trace edges
+  };
+
+  /// One mailbox per destination rank. Arrival order == deque order, so
+  /// wildcard matching picks the earliest-arrived message, and messages
+  /// from one source stay FIFO per (src, dst) channel.
+  struct Mailbox {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Entry> queue;
+  };
+
+  class RankHandle;
+
+  explicit Impl(int n) : nranks(n), mailboxes(static_cast<std::size_t>(n)) {
+    for (auto& mb : mailboxes) mb = std::make_unique<Mailbox>();
+  }
+
+  double now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+  }
+
+  /// Wakes every blocked recv so ranks see the abort flag and unwind.
+  void abort_all() {
+    aborted.store(true, std::memory_order_release);
+    for (auto& mb : mailboxes) {
+      std::lock_guard<std::mutex> lock(mb->mutex);
+      mb->cv.notify_all();
+    }
+  }
+
+  int nranks;
+  std::chrono::steady_clock::time_point start{};
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::atomic<std::uint64_t> send_seq{0};
+  std::atomic<std::uint64_t> messages{0};
+  std::atomic<std::uint64_t> payload_bytes{0};
+  std::atomic<std::uint64_t> nominal_bytes{0};
+  std::atomic<bool> aborted{false};
+  std::vector<double> final_times;
+  double elapsed_seconds = 0.0;
+  bool ran = false;
+};
+
+class NativeEngine::Impl::RankHandle final : public Rank {
+ public:
+  RankHandle(Impl& impl, const NativeConfig& config, int rank)
+      : impl_(impl), config_(config), rank_(rank) {}
+
+  int rank() const override { return rank_; }
+  int size() const override { return impl_.nranks; }
+
+  double now() const override { return impl_.now(); }
+
+  // Real work already takes real time; modeled charges only exist so the
+  // DES can advance virtual clocks, so here they are free.
+  void compute(double /*seconds*/) override {}
+
+  using Transport::send;
+  void send(int dst, int tag, std::vector<std::byte> payload,
+            std::uint64_t nominal_bytes) override {
+    MRBIO_CHECK(dst >= 0 && dst < impl_.nranks, "send to invalid rank ", dst);
+    if (impl_.aborted.load(std::memory_order_acquire)) throw AbortSignal{};
+    const double t0 = impl_.now();
+    const std::uint64_t real_bytes = payload.size();
+    Entry entry;
+    entry.msg.source = rank_;
+    entry.msg.tag = tag;
+    entry.msg.sent = t0;
+    entry.msg.nominal_bytes = nominal_bytes;
+    entry.msg.payload = std::move(payload);
+    double arrival = 0.0;
+    std::uint64_t seq = 0;
+    Mailbox& mb = *impl_.mailboxes[static_cast<std::size_t>(dst)];
+    {
+      std::lock_guard<std::mutex> lock(mb.mutex);
+      arrival = impl_.now();
+      entry.msg.arrival = arrival;
+      seq = impl_.send_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+      entry.seq = seq;
+      mb.queue.push_back(std::move(entry));
+      mb.cv.notify_one();
+    }
+    impl_.messages.fetch_add(1, std::memory_order_relaxed);
+    impl_.payload_bytes.fetch_add(real_bytes, std::memory_order_relaxed);
+    impl_.nominal_bytes.fetch_add(nominal_bytes, std::memory_order_relaxed);
+    if (auto* rec = config_.recorder; rec != nullptr && rec->full()) {
+      rec->add_edge(rank_, trace::Category::Send, "send", t0, impl_.now(),
+                    nominal_bytes, dst, seq, arrival);
+    }
+  }
+
+  Message recv(int src, int tag) override {
+    const double post_time = impl_.now();
+    Mailbox& mb = *impl_.mailboxes[static_cast<std::size_t>(rank_)];
+    std::unique_lock<std::mutex> lock(mb.mutex);
+    for (;;) {
+      for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
+        if (!matches(it->msg, src, tag)) continue;
+        Entry entry = std::move(*it);
+        mb.queue.erase(it);
+        lock.unlock();
+        if (auto* rec = config_.recorder; rec != nullptr && rec->full()) {
+          rec->add_edge(rank_, trace::Category::RecvWait, "recv", post_time,
+                        impl_.now(), entry.msg.nominal_bytes, entry.msg.source,
+                        entry.seq, entry.msg.arrival);
+        }
+        return std::move(entry.msg);
+      }
+      if (impl_.aborted.load(std::memory_order_acquire)) throw AbortSignal{};
+      if (config_.recv_timeout > 0.0) {
+        const auto wait = std::chrono::duration<double>(config_.recv_timeout);
+        if (mb.cv.wait_for(lock, wait) == std::cv_status::timeout) {
+          MRBIO_CHECK(impl_.aborted.load(std::memory_order_acquire),
+                      "native backend: rank ", rank_, " blocked in recv(src=", src,
+                      ", tag=", tag, ") for ", config_.recv_timeout,
+                      " s with no matching message (deadlock?)");
+          throw AbortSignal{};
+        }
+      } else {
+        mb.cv.wait(lock);
+      }
+    }
+  }
+
+  bool has_message(int src, int tag) const override {
+    const Mailbox& mb = *impl_.mailboxes[static_cast<std::size_t>(rank_)];
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    for (const Entry& e : mb.queue) {
+      if (matches(e.msg, src, tag)) return true;
+    }
+    return false;
+  }
+
+  double modeled_byte_time() const override { return 0.0; }
+
+  trace::Recorder* tracer() const override { return config_.recorder; }
+  obs::Registry* metrics() const override { return config_.metrics; }
+
+ private:
+  Impl& impl_;
+  const NativeConfig& config_;
+  int rank_;
+};
+
+NativeEngine::NativeEngine(NativeConfig config) : config_(config) {
+  if (config_.nranks <= 0) config_.nranks = hardware_ranks();
+  impl_ = std::make_unique<Impl>(config_.nranks);
+}
+
+NativeEngine::~NativeEngine() = default;
+
+int NativeEngine::hardware_ranks() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void NativeEngine::run(const std::function<void(Rank&)>& body) {
+  MRBIO_REQUIRE(!impl_->ran, "NativeEngine::run may only be called once");
+  impl_->ran = true;
+  const int n = impl_->nranks;
+  impl_->final_times.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  impl_->start = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([this, &body, &errors, r] {
+      Impl::RankHandle handle(*impl_, config_, r);
+      try {
+        body(handle);
+      } catch (const AbortSignal&) {
+        // Another rank failed first; unwind quietly.
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        impl_->abort_all();
+      }
+      impl_->final_times[static_cast<std::size_t>(r)] = impl_->now();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  impl_->elapsed_seconds = 0.0;
+  for (double ft : impl_->final_times) {
+    impl_->elapsed_seconds = std::max(impl_->elapsed_seconds, ft);
+  }
+  if (config_.recorder != nullptr) {
+    for (int r = 0; r < n && r < config_.recorder->nranks(); ++r) {
+      config_.recorder->set_final_time(r, impl_->final_times[static_cast<std::size_t>(r)]);
+    }
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+double NativeEngine::elapsed() const { return impl_->elapsed_seconds; }
+
+const std::vector<double>& NativeEngine::final_times() const {
+  return impl_->final_times;
+}
+
+NativeStats NativeEngine::stats() const {
+  NativeStats s;
+  s.messages = impl_->messages.load(std::memory_order_relaxed);
+  s.payload_bytes = impl_->payload_bytes.load(std::memory_order_relaxed);
+  s.nominal_bytes = impl_->nominal_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace mrbio::rt

@@ -1,0 +1,84 @@
+// Native multithreaded backend: runs every rank as a preemptive
+// std::thread on the host, exchanging messages through mutex+condvar
+// mailboxes. now() reads the host steady_clock (seconds since run start),
+// compute() is a no-op (real work already costs real time), and phantom
+// collectives degrade to empty-payload tree exchanges — timed no-ops.
+//
+// Scheduling is the host's: ranks genuinely run in parallel, so timings
+// are real wall-clock measurements and anything order-sensitive (wildcard
+// receive matching, master-worker task assignment) is nondeterministic
+// across runs. Application *results* stay deterministic as long as the
+// layers above canonicalize ordering, which the bundled drivers do.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rt/runtime.hpp"
+
+namespace mrbio::trace {
+class Recorder;
+}
+
+namespace mrbio::obs {
+class Registry;
+}
+
+namespace mrbio::rt {
+
+struct NativeConfig {
+  int nranks = 0;  ///< 0 = hardware concurrency
+  /// Optional span sink; at Full level the backend records send/recv
+  /// edges so the critical-path analyzer works on native runs too.
+  trace::Recorder* recorder = nullptr;
+  /// Optional metrics registry, reachable by every layer via
+  /// Rank::metrics(). Must be thread-safe (obs::Registry is).
+  obs::Registry* metrics = nullptr;
+  /// Seconds a blocked recv waits before failing the run with a
+  /// deadlock diagnostic. 0 = wait forever.
+  double recv_timeout = 300.0;
+};
+
+/// Aggregate counters collected over a run.
+struct NativeStats {
+  std::uint64_t messages = 0;       ///< point-to-point messages delivered
+  std::uint64_t payload_bytes = 0;  ///< real payload bytes moved
+  std::uint64_t nominal_bytes = 0;  ///< modeled bytes carried by messages
+};
+
+/// Owns the native machine. Construct, call run() once, then read
+/// elapsed()/stats(). A fresh NativeEngine is required per run.
+class NativeEngine {
+ public:
+  explicit NativeEngine(NativeConfig config = {});
+  ~NativeEngine();
+
+  NativeEngine(const NativeEngine&) = delete;
+  NativeEngine& operator=(const NativeEngine&) = delete;
+
+  /// Executes `body` on every rank, one host thread each, to completion.
+  /// Rethrows the first exception (by rank order) raised inside any rank;
+  /// other ranks blocked in recv are woken and unwound.
+  void run(const std::function<void(Rank&)>& body);
+
+  /// Wall-clock of the run: max over ranks of their final time.
+  double elapsed() const;
+
+  /// Per-rank final times (seconds since run start).
+  const std::vector<double>& final_times() const;
+
+  NativeStats stats() const;
+  const NativeConfig& config() const { return config_; }
+
+  /// Hardware concurrency of the host (at least 1).
+  static int hardware_ranks();
+
+ private:
+  struct Impl;
+  NativeConfig config_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mrbio::rt

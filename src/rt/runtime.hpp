@@ -1,0 +1,117 @@
+// Runtime abstraction: the machine interface the MPI-flavoured stack is
+// written against.
+//
+// Everything above this layer (mpi::Comm, mrmpi::MapReduce, the BLAST and
+// SOM drivers) sees a rank only through rt::Rank = Transport + Clock. Two
+// implementations exist:
+//
+//   * the discrete-event simulator (sim::Engine, adapted by rt::SimRank):
+//     virtual clocks, an alpha-beta network model, deterministic
+//     scheduling — the figure-reproduction and what-if backend;
+//   * the native backend (rt::NativeEngine): each rank is a preemptive
+//     std::thread, mailboxes are mutex+condvar deques, now() reads the
+//     host steady_clock and compute() is free because real work already
+//     costs real time.
+//
+// Transport contract (both backends guarantee it):
+//   * per-channel FIFO: two messages from the same source to the same
+//     destination are received in send order when matched by the same
+//     (src, tag) pattern;
+//   * wildcard matching (kAnySource/kAnyTag) picks the earliest-arrived
+//     match;
+//   * sends are eager and buffered — they never block on the receiver;
+//   * nominal_bytes is advisory: it drives the simulator's timing model
+//     and is carried (but not charged) by the native backend, so phantom
+//     collectives degrade to timed no-ops instead of moving fake bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mrbio::trace {
+class Recorder;
+}
+
+namespace mrbio::obs {
+class Registry;
+}
+
+namespace mrbio::rt {
+
+constexpr int kAnySource = -1;
+constexpr int kAnyTag = -1;
+
+/// Message record exchanged between ranks. Timestamps are in the owning
+/// backend's time base (virtual seconds for the DES, seconds since run
+/// start for the native backend).
+struct Message {
+  int source = -1;
+  int tag = -1;
+  double sent = 0.0;     ///< time the send was issued
+  double arrival = 0.0;  ///< time the message reached the receiver
+  std::uint64_t nominal_bytes = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Time source of a rank. `compute(seconds)` charges modeled work: the DES
+/// advances the virtual clock; real backends do nothing because real work
+/// already takes real time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time of this rank, in seconds.
+  virtual double now() const = 0;
+
+  /// Charges `seconds` of modeled computation to this rank.
+  virtual void compute(double seconds) = 0;
+};
+
+/// Point-to-point messaging endpoint of a rank. See the file comment for
+/// the FIFO/wildcard/eager-send contract.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// Sends `payload` to rank `dst`. `nominal_bytes` is the byte count the
+  /// timing model charges; it may differ from the real payload size when
+  /// simulating paper-scale transfers with token payloads.
+  virtual void send(int dst, int tag, std::vector<std::byte> payload,
+                    std::uint64_t nominal_bytes) = 0;
+
+  /// Send with nominal size = real payload size.
+  void send(int dst, int tag, std::vector<std::byte> payload) {
+    const std::uint64_t nominal = payload.size();
+    send(dst, tag, std::move(payload), nominal);
+  }
+
+  /// Blocking receive. src = kAnySource and tag = kAnyTag act as
+  /// wildcards; messages match in arrival order.
+  virtual Message recv(int src = kAnySource, int tag = kAnyTag) = 0;
+
+  /// True if a matching message has already arrived (non-blocking probe).
+  virtual bool has_message(int src = kAnySource, int tag = kAnyTag) const = 0;
+
+  /// Per-byte transfer time of the modeled network, or 0 on backends that
+  /// move real bytes (there the cost is already paid in wall-clock time).
+  /// Pipelined phantom collectives use this for their bandwidth charge.
+  virtual double modeled_byte_time() const = 0;
+};
+
+/// A rank: transport + clock + the observability sinks of the owning
+/// engine. This is the one handle application code receives.
+class Rank : public Transport, public Clock {
+ public:
+  /// The engine's span recorder, or null when tracing is off.
+  virtual trace::Recorder* tracer() const { return nullptr; }
+
+  /// The engine's metrics registry, or null when metrics are off.
+  virtual obs::Registry* metrics() const { return nullptr; }
+};
+
+}  // namespace mrbio::rt

@@ -1,0 +1,47 @@
+// Adapter presenting a DES sim::Process as an rt::Rank, making the
+// discrete-event simulator one backend of the runtime abstraction.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "rt/runtime.hpp"
+#include "sim/engine.hpp"
+
+namespace mrbio::rt {
+
+class SimRank final : public Rank {
+ public:
+  explicit SimRank(sim::Process& proc) : proc_(&proc) {}
+
+  int rank() const override { return proc_->rank(); }
+  int size() const override { return proc_->size(); }
+
+  double now() const override { return proc_->now(); }
+  void compute(double seconds) override { proc_->compute(seconds); }
+
+  using Transport::send;
+  void send(int dst, int tag, std::vector<std::byte> payload,
+            std::uint64_t nominal_bytes) override {
+    proc_->send(dst, tag, std::move(payload), nominal_bytes);
+  }
+
+  Message recv(int src, int tag) override { return proc_->recv(src, tag); }
+
+  bool has_message(int src, int tag) const override {
+    return proc_->has_message(src, tag);
+  }
+
+  double modeled_byte_time() const override { return proc_->net().byte_time; }
+
+  trace::Recorder* tracer() const override { return proc_->tracer(); }
+  obs::Registry* metrics() const override { return proc_->metrics(); }
+
+  sim::Process& process() { return *proc_; }
+
+ private:
+  sim::Process* proc_;
+};
+
+}  // namespace mrbio::rt

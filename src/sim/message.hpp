@@ -1,19 +1,11 @@
-// Message record exchanged between simulated processes.
+// Message record exchanged between simulated processes: the shared
+// runtime-layer record, in the sim namespace for the DES-facing code.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
-#include <vector>
+#include "rt/runtime.hpp"
 
 namespace mrbio::sim {
 
-struct Message {
-  int source = -1;
-  int tag = -1;
-  double sent = 0.0;     ///< virtual time the send was issued
-  double arrival = 0.0;  ///< virtual time the message reached the receiver
-  std::uint64_t nominal_bytes = 0;
-  std::vector<std::byte> payload;
-};
+using Message = rt::Message;
 
 }  // namespace mrbio::sim

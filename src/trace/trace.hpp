@@ -4,9 +4,10 @@
 // executed them: the DES engine records raw compute/send/recv charges,
 // mpi::Comm tags collective participation, mrmpi::MapReduce wraps each
 // phase, and the BLAST/SOM drivers annotate application-level work.
-// Timestamps are virtual seconds read from the owning Process clock, so
-// recording never perturbs the simulation: with a null recorder the
-// hooks compile down to a pointer test.
+// Timestamps are seconds read from the active rt::Clock — virtual time
+// on the DES backend, steady-clock seconds since run start on the native
+// backend — so recording never perturbs the simulation: with a null
+// recorder the hooks compile down to a pointer test.
 //
 // The recorder feeds two consumers: a Chrome `chrome://tracing` JSON
 // writer (one lane per rank) and an aggregated per-phase metrics table
@@ -72,8 +73,11 @@ class Recorder {
   bool full() const { return level_ == Level::Full; }
 
   /// Append a span to `rank`'s lane. Only the thread currently running
-  /// that rank may call this: the engine schedules one rank at a time
-  /// and hands over through a mutex, so per-rank vectors need no lock.
+  /// that rank may call this; per-rank vectors then need no lock. Both
+  /// backends satisfy it: the DES schedules one rank at a time and hands
+  /// over through a mutex, and the native backend dedicates one thread to
+  /// each rank for the whole run (lanes are disjoint, so concurrent
+  /// appends never touch the same vector).
   void add(int rank, Category cat, const char* name, double t0, double t1,
            std::uint64_t kv_pairs = 0, std::uint64_t bytes = 0);
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "sim/engine.hpp"
 
 namespace mrbio::mpi {
 namespace {

@@ -3,6 +3,7 @@
 // whole MapReduce pipeline under a tiny memory budget.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <mutex>
@@ -46,12 +47,15 @@ class SpillTest : public ::testing::Test {
 
 std::string payload(int i) { return "value_" + std::to_string(i) + std::string(90, 'x'); }
 
-TEST_F(SpillTest, SpillsBeyondBudgetAndCreatesFile) {
+TEST_F(SpillTest, SpillsBeyondBudgetWithoutVisibleFiles) {
   KeyValue kv(tiny_policy());
   for (int i = 0; i < 200; ++i) kv.add("key" + std::to_string(i), payload(i));
   EXPECT_EQ(kv.size(), 200u);
   EXPECT_GT(kv.spilled_bytes(), 0u);
-  EXPECT_EQ(spill_files(), 1u);
+  // The spill file is unlinked immediately after creation (the open
+  // descriptor keeps the data alive), so a crashed run can never leak
+  // files into the scratch directory.
+  EXPECT_EQ(spill_files(), 0u);
 }
 
 TEST_F(SpillTest, FullyResidentPolicyNeverSpills) {
@@ -116,11 +120,11 @@ TEST_F(SpillTest, AbsorbAcrossSpilledStores) {
   EXPECT_EQ(count, 240u);
 }
 
-TEST_F(SpillTest, ClearRemovesSpillFile) {
+TEST_F(SpillTest, ClearKeepsStoreUsableAndLeaksNothing) {
   {
     KeyValue kv(tiny_policy());
     for (int i = 0; i < 200; ++i) kv.add("key" + std::to_string(i), payload(i));
-    EXPECT_EQ(spill_files(), 1u);
+    EXPECT_EQ(spill_files(), 0u);  // unlinked at creation
     kv.clear();
     EXPECT_EQ(spill_files(), 0u);
     EXPECT_EQ(kv.size(), 0u);
@@ -128,13 +132,53 @@ TEST_F(SpillTest, ClearRemovesSpillFile) {
   EXPECT_EQ(spill_files(), 0u);
 }
 
-TEST_F(SpillTest, DestructorRemovesSpillFile) {
+TEST_F(SpillTest, DestructorLeaksNoFiles) {
   {
     KeyValue kv(tiny_policy());
     for (int i = 0; i < 200; ++i) kv.add("key" + std::to_string(i), payload(i));
-    EXPECT_EQ(spill_files(), 1u);
+    EXPECT_GT(kv.spilled_bytes(), 0u);
   }
   EXPECT_EQ(spill_files(), 0u);
+}
+
+TEST_F(SpillTest, DefaultDirHonorsTmpdir) {
+  // Point $TMPDIR at a non-existent directory: spill-file creation must
+  // fail there, proving the default ("") policy resolves through $TMPDIR.
+  const char* old_tmpdir = std::getenv("TMPDIR");
+  const std::string saved = old_tmpdir != nullptr ? old_tmpdir : "";
+  const std::string bogus = (dir_ / "does_not_exist").string();
+  ::setenv("TMPDIR", bogus.c_str(), 1);
+  SpillPolicy p;  // dir left at the "" default
+  p.page_bytes = 1024;
+  p.max_resident_pages = 2;
+  KeyValue kv(p);
+  try {
+    for (int i = 0; i < 200; ++i) kv.add("key" + std::to_string(i), payload(i));
+    ADD_FAILURE() << "expected spill-file creation to fail inside $TMPDIR";
+  } catch (const InputError& e) {
+    EXPECT_NE(std::string(e.what()).find(bogus), std::string::npos);
+  }
+  if (old_tmpdir != nullptr) {
+    ::setenv("TMPDIR", saved.c_str(), 1);
+  } else {
+    ::unsetenv("TMPDIR");
+  }
+}
+
+TEST_F(SpillTest, GenerationAdvancesOnSpanInvalidation) {
+  KeyValue kv(tiny_policy());
+  const std::uint64_t g0 = kv.generation();
+  for (int i = 0; i < 200; ++i) kv.add("key" + std::to_string(i), payload(i));
+  const std::uint64_t g1 = kv.generation();
+  EXPECT_GT(g1, g0);  // appends (and the spills they trigger) invalidate
+  (void)kv.pair(0);
+  (void)kv.pair(199);
+  EXPECT_GE(kv.generation(), g1);  // random access may evict cached pages
+  kv.sort_by_key();
+  const std::uint64_t g2 = kv.generation();
+  EXPECT_GT(g2, g1);
+  kv.clear();
+  EXPECT_GT(kv.generation(), g2);
 }
 
 TEST_F(SpillTest, OversizedEntryRejected) {

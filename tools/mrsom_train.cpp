@@ -1,9 +1,12 @@
 // mrsom_train: the MR-MPI batch SOM command-line driver. Trains a map on
 // a raw float matrix (memory-mapped, the paper's input format) or on the
-// tetranucleotide composition of a FASTA file, on a simulated cluster.
+// tetranucleotide composition of a FASTA file, on either the simulated
+// cluster (--backend sim) or real threads (--backend native). The default
+// Chunk map style assigns blocks to ranks deterministically, so the
+// trained codebook is byte-identical across backends.
 //
 //   mrsom_train --matrix data.raw --dim 256 [--rows 50 --cols 50] ...
-//   mrsom_train --fasta frags.fa --tetra ...
+//   mrsom_train --fasta frags.fa --tetra [--backend sim|native] ...
 //
 // Outputs: <out>.cb (codebook), <out>_umatrix.pgm, and quality metrics.
 #include <cstdio>
@@ -18,7 +21,7 @@
 #include "mrsom/mrsom.hpp"
 #include "obs/analysis.hpp"
 #include "obs/metrics.hpp"
-#include "sim/engine.hpp"
+#include "rt/backend.hpp"
 #include "trace/trace.hpp"
 
 using namespace mrbio;
@@ -33,7 +36,9 @@ int main(int argc, char** argv) {
   opts.add("cols", "50", "SOM grid columns");
   opts.add("epochs", "10", "training epochs");
   opts.add("block", "40", "input vectors per work unit");
-  opts.add("ranks", "8", "simulated MPI ranks");
+  opts.add("backend", "sim", "runtime backend: sim (discrete-event) or native (threads)");
+  opts.add("ranks", "0", "MPI ranks; 0 = backend default (sim: 8, native: hardware threads)");
+  opts.add("style", "chunk", "map style: chunk (deterministic) or master (load-balanced)");
   opts.add("init", "pca", "codebook initialization: pca or random");
   opts.add("seed", "2011", "random seed");
   opts.add("out", "mrsom", "output prefix");
@@ -87,28 +92,40 @@ int main(int argc, char** argv) {
     config.on_epoch = [](std::size_t epoch, double sigma, double qerr) {
       std::printf("epoch %3zu  sigma %7.3f  qerr %.6f\n", epoch, sigma, qerr);
     };
+    // Chunk assigns blocks to ranks by index, making the floating-point
+    // accumulation order — and therefore the codebook bytes — a pure
+    // function of the input, identical on both backends. MasterWorker
+    // load-balances but lets native thread timing pick the partition.
+    MRBIO_REQUIRE(opts.str("style") == "chunk" || opts.str("style") == "master",
+                  "--style must be chunk or master");
+    config.map_style = opts.str("style") == "chunk" ? mrmpi::MapStyle::Chunk
+                                                    : mrmpi::MapStyle::MasterWorker;
 
-    sim::EngineConfig ec;
-    ec.nprocs = static_cast<int>(opts.integer("ranks"));
+    rt::LaunchConfig lc;
+    lc.backend = rt::backend_from_name(opts.str("backend"));
+    lc.nranks = opts.integer("ranks") > 0 ? static_cast<int>(opts.integer("ranks"))
+                                          : rt::default_ranks(lc.backend);
     // --report implies a Full-level recorder and a metrics registry; both
-    // only read virtual clocks, so simulated times are unchanged.
+    // only read the active backend's clock, so measured times are unchanged.
     const bool want_report = opts.flag("report") || !opts.str("report-json").empty();
     std::unique_ptr<trace::Recorder> recorder;
     if (!opts.str("trace").empty() || want_report) {
       const bool full = opts.flag("trace-full") || want_report;
       recorder = std::make_unique<trace::Recorder>(
-          ec.nprocs, full ? trace::Level::Full : trace::Level::Phases);
-      ec.recorder = recorder.get();
+          lc.nranks, full ? trace::Level::Full : trace::Level::Phases);
+      lc.recorder = recorder.get();
     }
     obs::Registry registry;
-    if (want_report) ec.metrics = &registry;
-    sim::Engine engine(ec);
+    if (want_report) lc.metrics = &registry;
     som::Codebook cb;
-    engine.run([&](sim::Process& p) {
-      mpi::Comm comm(p);
+    const rt::LaunchResult run = rt::launch(lc, [&](rt::Rank& rank) {
+      mpi::Comm comm(rank);
       som::Codebook trained = mrsom::train_som_mr(comm, view, initial, config);
-      if (p.rank() == 0) cb = std::move(trained);
+      if (rank.rank() == 0) cb = std::move(trained);
     });
+    std::printf("trained on %d %s ranks in %.3f %s seconds\n", lc.nranks,
+                rt::backend_name(lc.backend), run.elapsed,
+                lc.backend == rt::Backend::Sim ? "virtual" : "wall-clock");
 
     const std::string prefix = opts.str("out");
     som::save_codebook(prefix + ".cb", cb);
