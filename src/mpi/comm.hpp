@@ -33,6 +33,7 @@
 
 #include "common/error.hpp"
 #include "common/serialize.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "rt/runtime.hpp"
 #include "trace/trace.hpp"
@@ -46,6 +47,12 @@ namespace mrbio::mpi {
 constexpr int kAnySource = rt::kAnySource;
 constexpr int kAnyTag = rt::kAnyTag;
 constexpr int kUserTagLimit = 1 << 20;
+// The fault layer sits below mpi and gates message faults on its own copy
+// of the user-tag boundary; the two must agree.
+static_assert(kUserTagLimit == fault::kUserTagLimit);
+
+using RecvStatus = rt::RecvStatus;
+using PeerState = rt::PeerState;
 
 /// Element-wise reduction operators.
 enum class ReduceOp { Sum, Max, Min };
@@ -86,6 +93,25 @@ class Comm {
 
   rt::Message recv_bytes(int src = kAnySource, int tag = kAnyTag) {
     return rank_->recv(src, tag);
+  }
+
+  /// Failure-notification receive: blocks until a match arrives (Ok), the
+  /// absolute `deadline` in this backend's time base passes (Timeout), or
+  /// the awaited specific peer terminated with nothing matching in flight
+  /// (PeerDead) — instead of hanging on a dead peer forever.
+  RecvStatus recv_bytes_deadline(int src, int tag, double deadline, rt::Message* out) {
+    return rank_->recv_deadline(src, tag, deadline, out);
+  }
+
+  /// Observed lifecycle of `peer` (Active on backends without tracking).
+  PeerState peer_state(int peer) const { return rank_->peer_state(peer); }
+
+  /// Blocks until the absolute time `deadline` without consuming messages:
+  /// a timed receive on a reserved tag no sender ever uses, so both
+  /// backends sleep in their own time base (virtual or wall-clock).
+  void sleep_until(double deadline) {
+    rt::Message scratch;
+    rank_->recv_deadline(rank(), kTagNever, deadline, &scratch);
   }
 
   bool has_message(int src = kAnySource, int tag = kAnyTag) const {
@@ -377,6 +403,8 @@ class Comm {
   static constexpr int kTagGather = kUserTagLimit + 5;
   static constexpr int kTagAlltoall = kUserTagLimit + 6;
   static constexpr int kTagScatter = kUserTagLimit + 7;
+  /// Never sent by anyone; sleep_until() posts timed receives on it.
+  static constexpr int kTagNever = kUserTagLimit + 8;
 
   int vrank(int root) const { return (rank() - root + size()) % size(); }
   int from_vrank(int vr, int root) const { return (vr + root) % size(); }

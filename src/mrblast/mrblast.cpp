@@ -112,6 +112,7 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
 
   mrmpi::MapReduceConfig mr_config;
   mr_config.map_style = config.map_style;
+  mr_config.ft = config.ft;
   mrmpi::MapReduce mr(comm, mr_config);
 
   const std::size_t blocks_per_iter =
@@ -144,7 +145,15 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
       auto shared_vol = cache.volume;
       blast::BlastSearcher searcher(shared_vol, options);
       const double t_search = comm.now();
-      const auto results = searcher.search(load_block(block));
+      const auto& block_queries = load_block(block);
+      const auto results = searcher.search(block_queries);
+      if (config.virtual_seconds_per_cell > 0.0) {
+        std::uint64_t query_residues = 0;
+        for (const auto& q : block_queries) query_residues += q.length();
+        comm.compute(config.virtual_seconds_per_cell *
+                     static_cast<double>(query_residues) *
+                     static_cast<double>(vol.residues()));
+      }
       if (rec != nullptr) {
         rec->add(comm.rank(), trace::Category::App, "search", t_search, comm.now());
       }
@@ -167,6 +176,7 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
     } else {
       mr.map(units, map_fn);
     }
+    if (comm.rank() == 0) result.failed_tasks += mr.failed_tasks().size();
 
     // collate(), with a key sort in between: master-worker scheduling on the
     // native backend assigns tasks in arrival order, so aggregated pairs
@@ -205,6 +215,7 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
   if (out.is_open()) out.flush();
 
   result.total_hsps = comm.allreduce_scalar(result.total_hsps, mpi::ReduceOp::Sum);
+  result.failed_tasks = comm.allreduce_scalar(result.failed_tasks, mpi::ReduceOp::Sum);
   result.local_map_tasks = mr.stats().map_tasks_run;
   result.db_loads = cache.loads;
   return result;
@@ -237,6 +248,7 @@ BlastxRunResult run_blastx_mr(mpi::Comm& comm, const BlastxRunConfig& config) {
 
   mrmpi::MapReduceConfig mr_config;
   mr_config.map_style = config.map_style;
+  mr_config.ft = config.ft;
   mrmpi::MapReduce mr(comm, mr_config);
 
   mr.map(nblocks * nparts, [&](std::uint64_t unit, mrmpi::KeyValue& kv) {
@@ -276,6 +288,8 @@ BlastxRunResult run_blastx_mr(mpi::Comm& comm, const BlastxRunConfig& config) {
       }
     }
   });
+
+  if (comm.rank() == 0) result.failed_tasks = mr.failed_tasks().size();
 
   // As in run_blast_mr: sorted keys + canonical value order make the
   // output independent of the backend's task-assignment order.
@@ -320,6 +334,7 @@ BlastxRunResult run_blastx_mr(mpi::Comm& comm, const BlastxRunConfig& config) {
   if (out.is_open()) out.flush();
 
   result.total_hsps = comm.allreduce_scalar(result.total_hsps, mpi::ReduceOp::Sum);
+  result.failed_tasks = comm.allreduce_scalar(result.failed_tasks, mpi::ReduceOp::Sum);
   return result;
 }
 
@@ -333,6 +348,7 @@ SimRunStats run_blast_sim(mpi::Comm& comm, const SimRunConfig& config) {
 
   mrmpi::MapReduceConfig mr_config;
   mr_config.map_style = config.map_style;
+  mr_config.ft = config.ft;
   mrmpi::MapReduce mr(comm, mr_config);
 
   const std::size_t blocks_per_iter =
@@ -392,6 +408,7 @@ SimRunStats run_blast_sim(mpi::Comm& comm, const SimRunConfig& config) {
     } else {
       mr.map(units, map_fn);
     }
+    if (comm.rank() == 0) stats.failed_tasks += mr.failed_tasks().size();
 
     mr.collate();
 
@@ -417,6 +434,7 @@ SimRunStats run_blast_sim(mpi::Comm& comm, const SimRunConfig& config) {
         a.db_loads += b.db_loads;
         a.compute_seconds += b.compute_seconds;
         a.load_seconds += b.load_seconds;
+        a.failed_tasks += b.failed_tasks;
         a.max_rank_compute_seconds =
             std::max(a.max_rank_compute_seconds, b.max_rank_compute_seconds);
         a.max_rank_load_seconds =

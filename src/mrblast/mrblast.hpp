@@ -51,6 +51,16 @@ struct RealRunConfig {
   bool locality_aware = false;
   /// Blocks per MapReduce iteration; 0 = all blocks in one cycle.
   std::size_t blocks_per_iteration = 0;
+  /// Fault tolerance of the master-worker map (see mrmpi::FaultToleranceConfig).
+  mrmpi::FaultToleranceConfig ft;
+  /// Virtual seconds charged per alignment-matrix cell (query residues x
+  /// partition residues) of each work unit. The real searches cost ~zero
+  /// virtual time, so on the sim backend the timeline would otherwise be
+  /// pure communication: without a charge, time-triggered fault plans
+  /// ("crash:rank=3@t=0.4") never fire and the report shows no useful
+  /// compute. Deterministic (derived from input sizes, never from wall
+  /// time); a no-op on the native backend. 0 disables.
+  double virtual_seconds_per_cell = 0.0;
 };
 
 struct RealRunResult {
@@ -58,6 +68,9 @@ struct RealRunResult {
   std::string output_file;             ///< this rank's file (empty if none written)
   std::uint64_t local_map_tasks = 0;   ///< work units executed on this rank
   std::uint64_t db_loads = 0;          ///< partition (re)initializations here
+  /// Work units abandoned after max_retries (all ranks; 0 unless faults were
+  /// injected and recovery gave up — the hit files are then partial).
+  std::uint64_t failed_tasks = 0;
 };
 
 /// Collective: every rank of `comm` must call with identical config.
@@ -74,11 +87,15 @@ struct BlastxRunConfig {
   blast::SearchOptions options;
   std::string output_dir;
   mrmpi::MapStyle map_style = mrmpi::MapStyle::MasterWorker;
+  /// Fault tolerance of the master-worker map.
+  mrmpi::FaultToleranceConfig ft;
 };
 
 struct BlastxRunResult {
   std::uint64_t total_hsps = 0;
   std::string output_file;
+  /// Work units abandoned after max_retries (all ranks).
+  std::uint64_t failed_tasks = 0;
 };
 
 /// Collective: the Fig. 1 control flow with blastx in map() -- the
@@ -99,6 +116,8 @@ struct SimRunConfig {
   double reduce_seconds_per_hit = 5e-6;
   /// Optional collector of per-rank useful-compute intervals (Fig. 5).
   workload::UtilizationTracker* tracker = nullptr;
+  /// Fault tolerance of the master-worker map.
+  mrmpi::FaultToleranceConfig ft;
 };
 
 /// All fields are globally reduced before run_blast_sim returns, so every
@@ -111,6 +130,7 @@ struct SimRunStats {
   double load_seconds = 0.0;              ///< partition I/O seconds, all ranks
   double max_rank_compute_seconds = 0.0;  ///< busiest rank's useful seconds
   double max_rank_load_seconds = 0.0;     ///< heaviest rank's I/O seconds
+  std::uint64_t failed_tasks = 0;         ///< units abandoned after max_retries
 };
 
 /// Collective. Virtual elapsed time is read from the engine by the caller.

@@ -1,6 +1,7 @@
 #include "mrmpi/mapreduce.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <map>
 #include <numeric>
@@ -11,8 +12,93 @@ namespace mrbio::mrmpi {
 
 namespace {
 // Tags inside the user range, reserved by convention for this library.
+// Being user tags, they are subject to injected message faults, which is
+// what the fault-tolerant protocol's sequence numbers and resends absorb.
 constexpr int kTagTask = 990001;   ///< master -> worker: task id or -1 stop
 constexpr int kTagDone = 990002;   ///< worker -> master: ready for work
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant master-worker wire protocol.
+//
+// Each worker request carries a monotonically increasing sequence number
+// and the worker's incarnation (respawn count); each grant echoes the
+// sequence it answers. Lost messages are handled by resending the request
+// and replaying the cached grant; duplicated or stale messages are
+// discarded by sequence comparison. A grant both commits (or discards)
+// the task the worker just finished and assigns the next one, so the
+// exactly-once decision and the scheduling decision travel in one
+// message.
+
+/// Grant `assign` sentinels (non-negative values are task ids).
+constexpr std::int64_t kAssignStop = -1;        ///< leave the protocol
+constexpr std::int64_t kAssignRetryLater = -2;  ///< nothing now; poll again
+
+struct WireReq {
+  std::uint32_t incarnation = 0;  ///< respawn count of this worker
+  std::uint32_t seq = 0;          ///< request sequence, never reused
+  std::uint8_t dead = 0;          ///< 1 = permanent death notification
+  std::int64_t completed_task = -1;  ///< task finished since last grant
+  std::uint32_t attempt = 0;         ///< attempt number of completed_task
+};
+
+struct WireGrant {
+  std::uint32_t seq = 0;     ///< echo of the request this answers
+  std::uint8_t commit = 0;   ///< absorb (1) or discard (0) the staged task
+  std::int64_t assign = kAssignStop;
+  std::uint32_t attempt = 0;  ///< attempt number of the assigned task
+};
+
+std::vector<std::byte> pack_req(const WireReq& r) {
+  ByteWriter w;
+  w.put(r.incarnation);
+  w.put(r.seq);
+  w.put(r.dead);
+  w.put(r.completed_task);
+  w.put(r.attempt);
+  return w.take();
+}
+
+WireReq unpack_req(const rt::Message& m) {
+  ByteReader r(m.payload);
+  WireReq req;
+  req.incarnation = r.get<std::uint32_t>();
+  req.seq = r.get<std::uint32_t>();
+  req.dead = r.get<std::uint8_t>();
+  req.completed_task = r.get<std::int64_t>();
+  req.attempt = r.get<std::uint32_t>();
+  return req;
+}
+
+std::vector<std::byte> pack_grant(const WireGrant& g) {
+  ByteWriter w;
+  w.put(g.seq);
+  w.put(g.commit);
+  w.put(g.assign);
+  w.put(g.attempt);
+  return w.take();
+}
+
+WireGrant unpack_grant(const rt::Message& m) {
+  ByteReader r(m.payload);
+  WireGrant g;
+  g.seq = r.get<std::uint32_t>();
+  g.commit = r.get<std::uint8_t>();
+  g.assign = r.get<std::int64_t>();
+  g.attempt = r.get<std::uint32_t>();
+  return g;
+}
+
+/// Master-side lifecycle of one task in the exactly-once work ledger.
+enum class TaskState : std::uint8_t { Pending, Outstanding, Done, Failed };
+
+struct TaskEntry {
+  TaskState state = TaskState::Pending;
+  int owner = -1;               ///< worker the newest attempt was granted to
+  std::uint32_t owner_inc = 0;  ///< that worker's incarnation at grant time
+  std::uint32_t attempt = 0;    ///< attempts granted so far
+  double granted = 0.0;         ///< grant time of the newest attempt
+  double deadline = 0.0;        ///< service deadline of the newest attempt
+};
 
 /// RAII Phase span on this rank's lane; a null recorder makes it a no-op.
 /// KV attributes are attached at scope exit via set_kv().
@@ -71,6 +157,7 @@ std::uint64_t MapReduce::map_append(std::uint64_t ntasks, const MapFn& fn) {
 std::uint64_t MapReduce::run_map(std::uint64_t ntasks, const MapFn& fn, bool append) {
   trace::Recorder* rec = phase_recorder();
   PhaseSpan span(rec, comm_, "map");
+  failed_tasks_.clear();
   KeyValue out = make_kv();
   const int rank = comm_.rank();
   const int p = comm_.size();
@@ -99,9 +186,17 @@ std::uint64_t MapReduce::run_map(std::uint64_t ntasks, const MapFn& fn, bool app
           run_task(fn, t, out, rec);
         }
       } else if (rank == 0) {
-        run_master(ntasks);
+        if (config_.ft.enabled) {
+          run_master_ft(ntasks, nullptr, fn, out);
+        } else {
+          run_master(ntasks);
+        }
       } else {
-        run_worker(fn, out);
+        if (config_.ft.enabled) {
+          run_worker_ft(fn, out);
+        } else {
+          run_worker(fn, out);
+        }
       }
       break;
     }
@@ -125,12 +220,18 @@ trace::Recorder* MapReduce::phase_recorder() {
 }
 
 void MapReduce::run_task(const MapFn& fn, std::uint64_t task, KeyValue& out,
-                         trace::Recorder* rec) {
+                         trace::Recorder* rec, const char* span_name) {
+  // Crash poll on every scheduler path. Under the fault-tolerant worker
+  // this sits inside its try block; elsewhere the CrashSignal propagates
+  // and fails the run with its "enable fault tolerance" message.
+  if (fault::Injector* inj = comm_.runtime().faults(); inj != nullptr) {
+    inj->task_started(comm_.rank(), comm_.now());
+  }
   const double t0 = comm_.now();
   fn(task, out);
   ++stats_.map_tasks_run;
   if (rec != nullptr) {
-    rec->add(comm_.rank(), trace::Category::Task, "map_task", t0, comm_.now());
+    rec->add(comm_.rank(), trace::Category::Task, span_name, t0, comm_.now());
   }
   if (obs::Registry* reg = metrics(); reg != nullptr) {
     reg->counter("mrmpi.map_tasks").inc();
@@ -181,15 +282,24 @@ std::uint64_t MapReduce::map_locality(std::uint64_t ntasks, const AffinityFn& af
   MRBIO_REQUIRE(affinity != nullptr, "map_locality needs an affinity function");
   trace::Recorder* rec = phase_recorder();
   PhaseSpan span(rec, comm_, "map");
+  failed_tasks_.clear();
   KeyValue out = make_kv();
   if (comm_.size() == 1) {
     for (std::uint64_t t = 0; t < ntasks; ++t) {
       run_task(fn, t, out, rec);
     }
   } else if (comm_.rank() == 0) {
-    run_master_locality(ntasks, affinity);
+    if (config_.ft.enabled) {
+      run_master_ft(ntasks, &affinity, fn, out);
+    } else {
+      run_master_locality(ntasks, affinity);
+    }
   } else {
-    run_worker(fn, out);
+    if (config_.ft.enabled) {
+      run_worker_ft(fn, out);
+    } else {
+      run_worker(fn, out);
+    }
   }
   kv_ = std::move(out);
   have_kmv_ = false;
@@ -250,6 +360,412 @@ void MapReduce::run_master_locality(std::uint64_t ntasks, const AffinityFn& affi
     }
     if (obs::Registry* reg = metrics(); reg != nullptr) {
       reg->histogram("mrmpi.master_service_seconds").observe(comm_.now() - t0);
+    }
+  }
+}
+
+void MapReduce::run_master_ft(std::uint64_t ntasks, const AffinityFn* affinity,
+                              const MapFn& fn, KeyValue& out) {
+  trace::Recorder* rec = phase_recorder();
+  obs::Registry* reg = metrics();
+  const FaultToleranceConfig& ft = config_.ft;
+  const int nworkers = comm_.size() - 1;
+  fault::Injector* inj = comm_.runtime().faults();
+
+  failed_tasks_.clear();
+
+  // The exactly-once work ledger, plus pending-task buckets keyed by
+  // locality (one bucket, key 0, in plain FIFO mode). Buckets may hold
+  // stale ids — a task can transition away from Pending while queued — so
+  // every pop re-checks the ledger; the state counters below are the
+  // authoritative progress measure.
+  std::vector<TaskEntry> ledger(ntasks);
+  std::map<std::uint64_t, std::deque<std::uint64_t>> pending;
+  auto task_key = [&](std::uint64_t t) {
+    return affinity != nullptr ? (*affinity)(t) : std::uint64_t{0};
+  };
+  for (std::uint64_t t = 0; t < ntasks; ++t) pending[task_key(t)].push_back(t);
+  std::uint64_t npending = ntasks;
+  std::uint64_t noutstanding = 0;
+  std::uint64_t ndone = 0;
+  std::uint64_t nfailed = 0;
+
+  // Outstanding-attempt deadlines, lazily invalidated: an entry counts
+  // only if the ledger still shows that exact deadline outstanding.
+  std::multimap<double, std::uint64_t> expiry;
+
+  // Per-worker transport state persists across map() calls (see the
+  // ft_workers_ comment in the header); only the per-map stop flag resets.
+  // Workers that announced a permanent death in an earlier map are
+  // accounted up front — they may re-announce, but the master must not
+  // depend on that announcement arriving (it can be dropped).
+  ft_workers_.resize(static_cast<std::size_t>(comm_.size()));
+  std::vector<FtWorkerView>& workers = ft_workers_;
+  std::map<int, std::uint64_t> worker_key;  ///< last locality key per worker
+  int accounted = 0;  ///< workers currently stopped or dead
+  for (FtWorkerView& w : workers) {
+    w.stopped = false;
+    if (w.dead) ++accounted;
+  }
+
+  // Crash notifications can still be in flight when the last worker is
+  // stopped, so with an injector present the master lingers for a quiet
+  // window before leaving (see DESIGN.md for the delay-bound assumption).
+  const double quiet_window =
+      inj != nullptr ? std::max(4.0 * ft.worker_poll, 0.2) : 0.0;
+  double quiet_since = comm_.now();
+
+  auto settled = [&] { return ndone + nfailed == ntasks; };
+
+  auto attempt_timeout = [&](std::uint32_t attempt) {
+    return ft.task_timeout * std::pow(ft.backoff, static_cast<double>(attempt - 1));
+  };
+
+  // Pops the next genuinely Pending task from `it`'s bucket, discarding
+  // stale entries; erases emptied buckets. Returns -1 if none.
+  auto pop_bucket = [&](auto it) -> std::int64_t {
+    while (!it->second.empty()) {
+      const std::uint64_t t = it->second.front();
+      it->second.pop_front();
+      if (ledger[t].state == TaskState::Pending) {
+        if (it->second.empty()) pending.erase(it);
+        return static_cast<std::int64_t>(t);
+      }
+    }
+    pending.erase(it);
+    return -1;
+  };
+
+  // Locality-aware choice, same policy as run_master_locality: prefer the
+  // worker's current key, else drain the largest bucket.
+  auto pick_task = [&](int src) -> std::int64_t {
+    if (npending == 0) return -1;
+    if (affinity != nullptr) {
+      const auto known = worker_key.find(src);
+      if (known != worker_key.end()) {
+        const auto it = pending.find(known->second);
+        if (it != pending.end()) {
+          const std::int64_t t = pop_bucket(it);
+          if (t >= 0) return t;
+        }
+      }
+    }
+    while (!pending.empty()) {
+      auto it = pending.begin();
+      if (affinity != nullptr) {
+        for (auto cand = pending.begin(); cand != pending.end(); ++cand) {
+          if (cand->second.size() > it->second.size()) it = cand;
+        }
+      }
+      const std::int64_t t = pop_bucket(it);
+      if (t >= 0) return t;
+    }
+    return -1;
+  };
+
+  auto grant_task = [&](int src, std::uint64_t task) {
+    TaskEntry& e = ledger[task];
+    e.state = TaskState::Outstanding;
+    e.owner = src;
+    e.owner_inc = workers[static_cast<std::size_t>(src)].incarnation;
+    ++e.attempt;
+    e.granted = comm_.now();
+    e.deadline = e.granted + attempt_timeout(e.attempt);
+    expiry.emplace(e.deadline, task);
+    --npending;
+    ++noutstanding;
+    if (affinity != nullptr) worker_key[src] = task_key(task);
+  };
+
+  // Reverts every task owned by `w` at an incarnation older than
+  // `live_inc` back to Pending: the data those attempts produced lived in
+  // the crashed process and is gone, whether or not it was committed.
+  auto revert_worker = [&](int w, std::uint32_t live_inc) {
+    for (std::uint64_t t = 0; t < ntasks; ++t) {
+      TaskEntry& e = ledger[t];
+      if (e.owner != w || e.owner_inc >= live_inc) continue;
+      if (e.state != TaskState::Outstanding && e.state != TaskState::Done) continue;
+      if (e.state == TaskState::Outstanding) {
+        --noutstanding;
+      } else {
+        --ndone;
+      }
+      e.state = TaskState::Pending;
+      e.owner = -1;
+      pending[task_key(t)].push_back(t);
+      ++npending;
+    }
+  };
+
+  // Expires overdue outstanding attempts: retry with a longer deadline
+  // later, or declare the task failed once the budget is spent. Returns
+  // true if anything expired (the wait that noticed it was recovery time).
+  auto handle_expiries = [&] {
+    const double now = comm_.now();
+    bool any = false;
+    while (!expiry.empty() && expiry.begin()->first <= now) {
+      const std::uint64_t t = expiry.begin()->second;
+      const double dl = expiry.begin()->first;
+      expiry.erase(expiry.begin());
+      TaskEntry& e = ledger[t];
+      if (e.state != TaskState::Outstanding || e.deadline != dl) continue;  // stale
+      any = true;
+      --noutstanding;
+      if (reg != nullptr) {
+        reg->histogram("ft.retry_latency_seconds").observe(now - e.granted);
+      }
+      if (e.attempt >= static_cast<std::uint32_t>(1 + ft.max_retries)) {
+        e.state = TaskState::Failed;
+        ++nfailed;
+        ++stats_.tasks_failed;
+        if (reg != nullptr) reg->counter("ft.tasks_failed").inc();
+      } else {
+        e.state = TaskState::Pending;
+        e.owner = -1;
+        pending[task_key(t)].push_back(t);
+        ++npending;
+        ++stats_.tasks_retried;
+        if (reg != nullptr) reg->counter("ft.tasks_retried").inc();
+      }
+    }
+    return any;
+  };
+
+  while (true) {
+    handle_expiries();
+
+    // Endgame: every worker has left (or died) but reverted/never-granted
+    // tasks remain — run them on the master so a late crash can never
+    // strand work. Graceful degradation beats byte-identity loss.
+    if (accounted == nworkers && npending > 0) {
+      for (std::int64_t t = pick_task(0); t >= 0; t = pick_task(0)) {
+        const std::uint64_t task = static_cast<std::uint64_t>(t);
+        TaskEntry& e = ledger[task];
+        ++e.attempt;
+        run_task(fn, task, out, rec,
+                 e.attempt > 1 ? "map_task_retry" : "map_task");
+        e.state = TaskState::Done;
+        e.owner = 0;
+        --npending;
+        ++ndone;
+      }
+      quiet_since = comm_.now();  // restart the crash-notification window
+    }
+
+    if (accounted == nworkers && settled() &&
+        comm_.now() >= quiet_since + quiet_window) {
+      break;
+    }
+
+    double wake = comm_.now() + ft.task_timeout;  // heartbeat
+    if (!expiry.empty()) wake = std::min(wake, expiry.begin()->first);
+    if (accounted == nworkers && settled()) {
+      wake = std::min(wake, quiet_since + quiet_window);
+    }
+
+    rt::Message m;
+    const double t_wait = comm_.now();
+    const rt::RecvStatus st = comm_.recv_bytes_deadline(mpi::kAnySource, kTagDone, wake, &m);
+    if (st != rt::RecvStatus::Ok) {
+      const bool recovered = handle_expiries();
+      const bool draining = accounted == nworkers && settled();
+      if (rec != nullptr && (recovered || draining)) {
+        rec->add(comm_.rank(), trace::Category::Fault, "recovery_wait", t_wait,
+                 comm_.now());
+      }
+      continue;
+    }
+
+    quiet_since = comm_.now();
+    const WireReq req = unpack_req(m);
+    const int src = m.source;
+    MRBIO_CHECK(src >= 1 && src < comm_.size(), "ft request from bad rank ", src);
+    FtWorkerView& w = workers[static_cast<std::size_t>(src)];
+
+    if (req.seq < w.last_seq) continue;  // ancient duplicate: drop
+    if (req.seq == w.last_seq) {
+      // Resend of an answered request: replay the cached grant verbatim.
+      comm_.send_bytes(src, kTagTask, w.cached_grant);
+      continue;
+    }
+
+    const double t0 = comm_.now();
+
+    if (req.incarnation > w.incarnation) {
+      // The worker respawned: everything its older incarnations produced
+      // died with them. Put those tasks back in play.
+      ++stats_.worker_deaths;
+      if (reg != nullptr) reg->counter("ft.worker_deaths").inc();
+      revert_worker(src, req.incarnation);
+      w.incarnation = req.incarnation;
+      worker_key.erase(src);
+      if (w.stopped) {
+        // It was told to leave but crashed first; it is back in the pool.
+        w.stopped = false;
+        --accounted;
+      }
+    }
+
+    WireGrant g;
+    g.seq = req.seq;
+
+    if (req.dead != 0) {
+      // Permanent death: acknowledge with STOP so the notification loop
+      // ends; the incarnation bump above already reverted its tasks.
+      if (!w.dead) {
+        w.dead = true;
+        if (!w.stopped) ++accounted;
+      }
+      g.commit = 0;
+      g.assign = kAssignStop;
+    } else {
+      if (req.completed_task >= 0) {
+        const std::uint64_t task = static_cast<std::uint64_t>(req.completed_task);
+        MRBIO_CHECK(task < ntasks, "ft completion for bad task ", task);
+        TaskEntry& e = ledger[task];
+        if (e.state == TaskState::Done) {
+          g.commit = 0;  // another attempt won; discard this copy
+        } else {
+          // Commit even if the attempt was presumed lost (Pending again
+          // after a timeout) or written off (Failed): the work is real
+          // and the worker holds the data.
+          g.commit = 1;
+          if (e.state == TaskState::Pending) --npending;
+          if (e.state == TaskState::Outstanding) --noutstanding;
+          if (e.state == TaskState::Failed) {
+            --nfailed;
+            --stats_.tasks_failed;
+          }
+          e.state = TaskState::Done;
+          e.owner = src;
+          e.owner_inc = req.incarnation;
+          ++ndone;
+        }
+      }
+      const std::int64_t task = pick_task(src);
+      if (task >= 0) {
+        grant_task(src, static_cast<std::uint64_t>(task));
+        g.assign = task;
+        g.attempt = ledger[static_cast<std::uint64_t>(task)].attempt;
+      } else if (settled()) {
+        g.assign = kAssignStop;
+        if (!w.stopped) {
+          w.stopped = true;
+          ++accounted;
+        }
+      } else {
+        // Work may reappear if an outstanding attempt times out.
+        g.assign = kAssignRetryLater;
+      }
+    }
+
+    w.last_seq = req.seq;
+    w.cached_grant = pack_grant(g);
+    comm_.send_bytes(src, kTagTask, w.cached_grant);
+
+    if (rec != nullptr) {
+      rec->add(comm_.rank(), trace::Category::Phase, "mw_service", t0, comm_.now());
+    }
+    if (reg != nullptr) {
+      reg->histogram("mrmpi.master_service_seconds").observe(comm_.now() - t0);
+    }
+  }
+
+  for (std::uint64_t t = 0; t < ntasks; ++t) {
+    if (ledger[t].state == TaskState::Failed) failed_tasks_.push_back(t);
+  }
+}
+
+void MapReduce::run_worker_ft(const MapFn& fn, KeyValue& out) {
+  trace::Recorder* rec = phase_recorder();
+  const FaultToleranceConfig& ft = config_.ft;
+  fault::Injector* inj = comm_.runtime().faults();
+  const int me = comm_.rank();
+
+  // Protocol identity (ft_incarnation_, ft_seq_) survives both simulated
+  // crashes (a supervisor restarting the worker would replay its
+  // transport-level counters) and map() boundaries — a delayed grant from
+  // an earlier map must never match a fresh request by seq aliasing.
+  /// Permanent crash: only announce, take no work. A rank that crashed
+  /// permanently in an earlier map() of this run stays out of every later
+  /// task protocol too (it still participates in collectives).
+  bool dead = inj != nullptr && inj->permanently_crashed(me);
+
+  // State of the current (crashable) incarnation.
+  std::int64_t completed = -1;  ///< finished task awaiting its commit
+  std::uint32_t completed_attempt = 0;
+  KeyValue staging = make_kv();  ///< emissions of `completed`
+
+  while (true) {
+    try {
+      if (inj != nullptr && !dead) inj->maybe_crash(me, comm_.now());
+
+      WireReq req;
+      req.incarnation = ft_incarnation_;
+      req.seq = ++ft_seq_;
+      req.dead = dead ? 1 : 0;
+      req.completed_task = completed;
+      req.attempt = completed_attempt;
+      const std::vector<std::byte> wire = pack_req(req);
+      comm_.send_bytes(0, kTagDone, wire);
+
+      WireGrant g;
+      int resends = 0;
+      while (true) {
+        rt::Message m;
+        const rt::RecvStatus st = comm_.recv_bytes_deadline(
+            0, kTagTask, comm_.now() + ft.worker_poll, &m);
+        MRBIO_CHECK(st != rt::RecvStatus::PeerDead, "rank ", me,
+                    ": master (rank 0) died; the run cannot recover");
+        if (st == rt::RecvStatus::Timeout) {
+          if (inj != nullptr && !dead) inj->maybe_crash(me, comm_.now());
+          ++resends;
+          MRBIO_CHECK(resends <= ft.max_resends, "rank ", me,
+                      ": master unresponsive after ", resends,
+                      " request resends; giving up");
+          comm_.send_bytes(0, kTagDone, wire);
+          continue;
+        }
+        g = unpack_grant(m);
+        if (g.seq == req.seq) break;
+        // Stale grant for an earlier (resent) request: drain and re-wait.
+      }
+
+      if (completed >= 0) {
+        if (g.commit != 0) out.absorb(std::move(staging));
+        staging = make_kv();
+        completed = -1;
+        completed_attempt = 0;
+      }
+      if (g.assign == kAssignStop) return;
+      if (g.assign == kAssignRetryLater) {
+        const double t0 = comm_.now();
+        comm_.sleep_until(comm_.now() + ft.worker_poll);
+        if (rec != nullptr) {
+          rec->add(me, trace::Category::Fault, "retry_wait", t0, comm_.now());
+        }
+        continue;
+      }
+      const std::uint64_t task = static_cast<std::uint64_t>(g.assign);
+      run_task(fn, task, staging, rec,
+               g.attempt > 1 ? "map_task_retry" : "map_task");
+      completed = g.assign;
+      completed_attempt = g.attempt;
+    } catch (const fault::CrashSignal&) {
+      // Simulated process death. Everything the old incarnation held in
+      // memory — staged emissions AND previously committed results — is
+      // lost; the master learns this from the incarnation bump (or the
+      // dead flag) and reverts the affected ledger entries.
+      out.clear();
+      staging = make_kv();
+      completed = -1;
+      completed_attempt = 0;
+      ++ft_incarnation_;
+      dead = inj != nullptr && inj->permanently_crashed(me);
+      if (rec != nullptr) {
+        rec->add(me, trace::Category::Fault,
+                 dead ? "worker_died" : "worker_respawn", comm_.now(), comm_.now());
+      }
     }
   }
 }

@@ -32,8 +32,40 @@ enum class MapStyle {
   MasterWorker,  ///< rank 0 schedules tasks to idle workers (mapstyle 2)
 };
 
+/// Fault tolerance for the MasterWorker styles (map() and map_locality()).
+///
+/// When enabled, the master-worker protocol is replaced by a
+/// failure-aware one: every grant carries a sequence number and a commit
+/// decision, workers buffer each task's emissions in a staging store that
+/// is absorbed only after the master commits the task (the exactly-once
+/// work ledger), lost protocol messages are resent, tasks owned by crashed
+/// or timed-out workers are reassigned with exponential backoff, and a
+/// task that exhausts its retry budget is recorded as failed instead of
+/// wedging the run (graceful degradation to partial results; see
+/// MapReduce::failed_tasks()).
+///
+/// Timeouts are in the backend's time base: virtual seconds on the DES,
+/// wall-clock seconds on the native backend.
+struct FaultToleranceConfig {
+  bool enabled = false;
+  /// Base service deadline for one task (grant to completion report).
+  double task_timeout = 5.0;
+  /// Deadline multiplier per extra attempt of the same task.
+  double backoff = 2.0;
+  /// Extra attempts per task beyond the first; a task failing
+  /// 1 + max_retries times is declared failed.
+  int max_retries = 3;
+  /// Worker-side poll interval: retry-later naps and request resends.
+  double worker_poll = 0.05;
+  /// Consecutive unanswered request resends before a worker gives up and
+  /// fails the run (the master is gone for good).
+  int max_resends = 20;
+};
+
 struct MapReduceConfig {
   MapStyle map_style = MapStyle::MasterWorker;
+  /// Fault tolerance of the MasterWorker protocol; off by default.
+  FaultToleranceConfig ft;
   /// Per-rank resident budget for KV data, mirroring Sandia's `memsize`.
   /// Nominal bytes beyond this are charged virtual I/O time; the paper
   /// notes clusters like Ranger have no local scratch, making this
@@ -61,6 +93,10 @@ struct MapReduceStats {
   std::uint64_t kv_pairs_emitted = 0;    ///< local emissions in map/reduce
   std::uint64_t spilled_bytes = 0;       ///< nominal bytes over the budget
   std::uint64_t aggregate_bytes_sent = 0;///< nominal bytes shipped by aggregate()
+  // Fault-tolerance counters (master side, meaningful on rank 0).
+  std::uint64_t tasks_retried = 0;       ///< reassignments after timeout/crash
+  std::uint64_t worker_deaths = 0;       ///< crash notifications observed
+  std::uint64_t tasks_failed = 0;        ///< tasks that exhausted max_retries
 };
 
 class MapReduce {
@@ -143,22 +179,48 @@ class MapReduce {
   const MapReduceStats& stats() const { return stats_; }
   mpi::Comm& comm() { return comm_; }
 
+  /// Task ids that exhausted their retry budget in master-worker maps run
+  /// with fault tolerance, in increasing order (meaningful on rank 0).
+  /// Empty on fully successful runs; non-empty means the KV data is a
+  /// partial result.
+  const std::vector<std::uint64_t>& failed_tasks() const { return failed_tasks_; }
+
  private:
   std::uint64_t run_map(std::uint64_t ntasks, const MapFn& fn, bool append);
   void run_master(std::uint64_t ntasks);
   void run_master_locality(std::uint64_t ntasks, const AffinityFn& affinity);
+  /// Fault-tolerant master: serves both the plain and the locality-aware
+  /// scheduler (null affinity = plain FIFO order). Needs the map function
+  /// because the endgame runs tasks reverted after every worker left (or
+  /// died) locally on rank 0, emitting into `out`.
+  void run_master_ft(std::uint64_t ntasks, const AffinityFn* affinity, const MapFn& fn,
+                     KeyValue& out);
   /// A KeyValue configured with this object's paging policy.
   KeyValue make_kv() const;
   void run_worker(const MapFn& fn, KeyValue& out);
+  /// Fault-tolerant worker: staged emissions, crash respawn, resends.
+  void run_worker_ft(const MapFn& fn, KeyValue& out);
   /// The engine recorder, or null when tracing is off (either globally or
   /// via config_.trace_phases).
   trace::Recorder* phase_recorder();
   obs::Registry* metrics() { return comm_.metrics(); }
-  /// Runs one map task, wrapped in a Task span when tracing.
-  void run_task(const MapFn& fn, std::uint64_t task, KeyValue& out, trace::Recorder* rec);
+  /// Runs one map task, wrapped in a Task span when tracing. `span_name`
+  /// distinguishes first attempts ("map_task") from retries
+  /// ("map_task_retry") so the report can price recovery re-execution.
+  void run_task(const MapFn& fn, std::uint64_t task, KeyValue& out, trace::Recorder* rec,
+                const char* span_name = "map_task");
   /// Applies the spill cost model after KV growth.
   void charge_spill();
   std::uint64_t global_count(std::uint64_t local) ;
+
+  /// Master-side view of one worker in the fault-tolerant protocol.
+  struct FtWorkerView {
+    std::uint32_t incarnation = 0;
+    std::uint32_t last_seq = 0;  ///< newest request seq answered (0 = none)
+    std::vector<std::byte> cached_grant;  ///< replay buffer for last_seq
+    bool stopped = false;  ///< told to leave; may return with a new incarnation
+    bool dead = false;     ///< announced a permanent crash
+  };
 
   mpi::Comm& comm_;
   MapReduceConfig config_;
@@ -167,6 +229,17 @@ class MapReduce {
   bool have_kmv_ = false;
   std::uint64_t charged_spill_ = 0;  ///< spilled bytes already charged
   MapReduceStats stats_;
+  std::vector<std::uint64_t> failed_tasks_;
+
+  // Fault-tolerance transport state. This lives on the MapReduce object,
+  // not inside one map() call, because delayed or duplicated protocol
+  // messages can outlive the map that sent them: sequence numbers must be
+  // monotone for the whole life of this object or a stale grant from map N
+  // could alias (and answer) a fresh request in map N+1. `stopped` is the
+  // only per-map field and is reset when a new master loop starts.
+  std::vector<FtWorkerView> ft_workers_;  ///< master side, indexed by rank
+  std::uint32_t ft_seq_ = 0;              ///< worker side: last request seq sent
+  std::uint32_t ft_incarnation_ = 0;      ///< worker side: respawn count
 };
 
 }  // namespace mrbio::mrmpi

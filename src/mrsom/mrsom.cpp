@@ -1,12 +1,28 @@
 #include "mrsom/mrsom.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
+#include "common/serialize.hpp"
 #include "obs/metrics.hpp"
 
 namespace mrbio::mrsom {
+
+namespace {
+
+/// Big-endian block id, so a lexicographic key sort is a numeric sort.
+std::array<std::byte, 8> block_key(std::uint64_t block) {
+  std::array<std::byte, 8> key;
+  for (std::size_t i = 0; i < 8; ++i) {
+    key[i] = static_cast<std::byte>((block >> (56 - 8 * i)) & 0xff);
+  }
+  return key;
+}
+
+}  // namespace
 
 som::Codebook train_som_mr(mpi::Comm& comm, const MatrixView& data,
                            const som::Codebook& initial, const ParallelSomConfig& config) {
@@ -20,8 +36,14 @@ som::Codebook train_som_mr(mpi::Comm& comm, const MatrixView& data,
   const std::uint64_t nblocks =
       (data.rows() + config.block_vectors - 1) / config.block_vectors;
 
+  // Crash recovery replays map blocks on other workers, so every block's
+  // contribution must travel the exactly-once KV path, not a shared
+  // rank-local accumulator.
+  const bool deterministic = config.deterministic_reduce || config.ft.enabled;
+
   mrmpi::MapReduceConfig mr_config;
   mr_config.map_style = config.map_style;
+  mr_config.ft = config.ft;
   mrmpi::MapReduce mr(comm, mr_config);
 
   const double per_vector_cost =
@@ -42,45 +64,104 @@ som::Codebook train_som_mr(mpi::Comm& comm, const MatrixView& data,
     }
 
     const double sigma = som::sigma_at(config.params, grid, epoch);
-    som::BatchAccumulator acc(grid, dim);
-    double local_qerr = 0.0;
+    som::BatchAccumulator total(grid, dim);
+    double epoch_qerr = 0.0;
 
-    mr.map(nblocks, [&](std::uint64_t block, mrmpi::KeyValue&) {
-      const std::size_t first = static_cast<std::size_t>(block) * config.block_vectors;
-      const std::size_t count = std::min(config.block_vectors, data.rows() - first);
-      const double t0 = comm.now();
-      for (std::size_t r = first; r < first + count; ++r) {
-        local_qerr += acc.add(cb, data.row(r), sigma, config.params.kernel);
+    if (deterministic) {
+      // Each block's accumulator rides the KV store keyed by block id; the
+      // master sums them in block order after a gather + key sort, so the
+      // float arithmetic happens in one schedule-independent order.
+      mr.map(nblocks, [&](std::uint64_t block, mrmpi::KeyValue& kv) {
+        const std::size_t first = static_cast<std::size_t>(block) * config.block_vectors;
+        const std::size_t count = std::min(config.block_vectors, data.rows() - first);
+        const double t0 = comm.now();
+        som::BatchAccumulator bacc(grid, dim);
+        double block_qerr = 0.0;
+        for (std::size_t r = first; r < first + count; ++r) {
+          block_qerr += bacc.add(cb, data.row(r), sigma, config.params.kernel);
+        }
+        if (per_vector_cost > 0.0) {
+          comm.compute(per_vector_cost * static_cast<double>(count));
+        }
+        ByteWriter w;
+        w.append(bacc.numerator().data(), bacc.numerator().size() * sizeof(float));
+        w.append(bacc.denominator().data(), bacc.denominator().size() * sizeof(float));
+        w.put(block_qerr);
+        const std::array<std::byte, 8> key = block_key(block);
+        const std::vector<std::byte> value = w.take();
+        kv.add(std::span<const std::byte>(key), std::span<const std::byte>(value));
+        if (trace::Recorder* rec = comm.tracer(); rec != nullptr) {
+          rec->add(comm.rank(), trace::Category::App, "accumulate", t0, comm.now(), count);
+        }
+      });
+      const double t_reduce = comm.now();
+      mr.gather();
+      mr.sort_keys();
+      if (obs::Registry* reg = comm.metrics(); reg != nullptr) {
+        reg->histogram("som.epoch_reduce_seconds").observe(comm.now() - t_reduce);
       }
-      if (per_vector_cost > 0.0) {
-        comm.compute(per_vector_cost * static_cast<double>(count));
+      if (comm.rank() == 0) {
+        const std::size_t nfloats = cells * dim + cells;
+        std::vector<float> scratch(nfloats);
+        mr.kv().for_each([&](const mrmpi::KvPair& pair) {
+          MRBIO_CHECK(pair.value.size() == nfloats * sizeof(float) + sizeof(double),
+                      "som accumulator value size mismatch");
+          std::memcpy(scratch.data(), pair.value.data(), nfloats * sizeof(float));
+          for (std::size_t i = 0; i < cells * dim; ++i) {
+            total.numerator()[i] += scratch[i];
+          }
+          for (std::size_t i = 0; i < cells; ++i) {
+            total.denominator()[i] += scratch[cells * dim + i];
+          }
+          double q = 0.0;
+          std::memcpy(&q, pair.value.data() + nfloats * sizeof(float), sizeof(double));
+          epoch_qerr += q;
+        });
       }
-      if (trace::Recorder* rec = comm.tracer(); rec != nullptr) {
-        rec->add(comm.rank(), trace::Category::App, "accumulate", t0, comm.now(), count);
-      }
-    });
+    } else {
+      som::BatchAccumulator acc(grid, dim);
+      double local_qerr = 0.0;
 
-    // Fig. 2: "a collective MPI_Reduce() call is used to sum all newly
-    // computed numerators and denominators" -- direct MPI, no reduce().
-    std::vector<float> packed(acc.numerator().size() + acc.denominator().size());
-    std::copy(acc.numerator().begin(), acc.numerator().end(), packed.begin());
-    std::copy(acc.denominator().begin(), acc.denominator().end(),
-              packed.begin() + static_cast<std::ptrdiff_t>(acc.numerator().size()));
-    const double t_reduce = comm.now();
-    comm.reduce(packed, mpi::ReduceOp::Sum, 0);
-    std::vector<double> qerr_buf{local_qerr};
-    comm.reduce(qerr_buf, mpi::ReduceOp::Sum, 0);
-    if (obs::Registry* reg = comm.metrics(); reg != nullptr) {
-      reg->histogram("som.epoch_reduce_seconds").observe(comm.now() - t_reduce);
+      mr.map(nblocks, [&](std::uint64_t block, mrmpi::KeyValue&) {
+        const std::size_t first = static_cast<std::size_t>(block) * config.block_vectors;
+        const std::size_t count = std::min(config.block_vectors, data.rows() - first);
+        const double t0 = comm.now();
+        for (std::size_t r = first; r < first + count; ++r) {
+          local_qerr += acc.add(cb, data.row(r), sigma, config.params.kernel);
+        }
+        if (per_vector_cost > 0.0) {
+          comm.compute(per_vector_cost * static_cast<double>(count));
+        }
+        if (trace::Recorder* rec = comm.tracer(); rec != nullptr) {
+          rec->add(comm.rank(), trace::Category::App, "accumulate", t0, comm.now(), count);
+        }
+      });
+
+      // Fig. 2: "a collective MPI_Reduce() call is used to sum all newly
+      // computed numerators and denominators" -- direct MPI, no reduce().
+      std::vector<float> packed(acc.numerator().size() + acc.denominator().size());
+      std::copy(acc.numerator().begin(), acc.numerator().end(), packed.begin());
+      std::copy(acc.denominator().begin(), acc.denominator().end(),
+                packed.begin() + static_cast<std::ptrdiff_t>(acc.numerator().size()));
+      const double t_reduce = comm.now();
+      comm.reduce(packed, mpi::ReduceOp::Sum, 0);
+      std::vector<double> qerr_buf{local_qerr};
+      comm.reduce(qerr_buf, mpi::ReduceOp::Sum, 0);
+      if (obs::Registry* reg = comm.metrics(); reg != nullptr) {
+        reg->histogram("som.epoch_reduce_seconds").observe(comm.now() - t_reduce);
+      }
+      if (comm.rank() == 0) {
+        std::copy(packed.begin(),
+                  packed.begin() + static_cast<std::ptrdiff_t>(cells * dim),
+                  total.numerator().begin());
+        std::copy(packed.begin() + static_cast<std::ptrdiff_t>(cells * dim), packed.end(),
+                  total.denominator().begin());
+        epoch_qerr = qerr_buf[0];
+      }
     }
 
     if (comm.rank() == 0) {
       const double t_apply = comm.now();
-      som::BatchAccumulator total(grid, dim);
-      std::copy(packed.begin(), packed.begin() + static_cast<std::ptrdiff_t>(cells * dim),
-                total.numerator().begin());
-      std::copy(packed.begin() + static_cast<std::ptrdiff_t>(cells * dim), packed.end(),
-                total.denominator().begin());
       total.apply(cb);
       if (trace::Recorder* rec = comm.tracer(); rec != nullptr) {
         rec->add(comm.rank(), trace::Category::App, "codebook_update", t_apply, comm.now(),
@@ -88,7 +169,7 @@ som::Codebook train_som_mr(mpi::Comm& comm, const MatrixView& data,
       }
       if (config.on_epoch) {
         config.on_epoch(epoch, sigma,
-                        data.rows() > 0 ? qerr_buf[0] / static_cast<double>(data.rows())
+                        data.rows() > 0 ? epoch_qerr / static_cast<double>(data.rows())
                                         : 0.0);
       }
     }
@@ -119,6 +200,7 @@ SimSomStats run_som_sim(mpi::Comm& comm, const SimSomConfig& config) {
 
   mrmpi::MapReduceConfig mr_config;
   mr_config.map_style = config.map_style;
+  mr_config.ft = config.ft;
   mrmpi::MapReduce mr(comm, mr_config);
 
   SimSomStats stats;

@@ -27,6 +27,16 @@ struct ParallelSomConfig {
   som::SomParams params;
   std::size_t block_vectors = 40;  ///< input vectors per work unit (Fig. 6)
   mrmpi::MapStyle map_style = mrmpi::MapStyle::MasterWorker;
+  /// Fault tolerance of the master-worker map (see mrmpi::FaultToleranceConfig).
+  /// Enabling it forces deterministic_reduce: the direct-MPI accumulator
+  /// reduction cannot survive worker respawns, the KV path can.
+  mrmpi::FaultToleranceConfig ft;
+  /// Route each block's accumulator through the KV store (key = block id)
+  /// and sum on the master in block order instead of the direct MPI_Reduce.
+  /// Costs one gather of accumulator-sized values per epoch but makes the
+  /// trained codebook bit-identical across schedules, rank counts, and
+  /// fault plans (float sums happen in one fixed order).
+  bool deterministic_reduce = false;
   /// Modeled seconds per (input-dim x map-cell) multiply-accumulate; used
   /// to charge virtual compute for real runs so timing stays meaningful.
   double flop_seconds = 0.0;
@@ -49,6 +59,8 @@ struct SimSomConfig {
   std::size_t epochs = 10;
   std::size_t block_vectors = 40;
   mrmpi::MapStyle map_style = mrmpi::MapStyle::MasterWorker;
+  /// Fault tolerance of the master-worker map.
+  mrmpi::FaultToleranceConfig ft;
   /// Seconds per (dim x cell) pair per input vector. The default yields
   /// roughly minutes-per-epoch serial times at the paper's dimensions
   /// (Ranger-era Barcelona cores), matching the magnitudes of Fig. 6.

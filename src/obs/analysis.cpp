@@ -264,11 +264,14 @@ RankBreakdown breakdown_rank(const Recorder& rec, int rank, double final_time) {
   b.rank = rank;
   b.final_time = final_time;
 
-  std::vector<Interval> busy, app, io_db, io_spill, coll, mwait, comm;
+  std::vector<Interval> busy, retry, app, io_db, io_spill, coll, fwait, mwait, comm;
   const bool full = rec.level() == trace::Level::Full;
   for (const Event& e : rec.rank_events(rank)) {
     const Interval iv{e.t0, e.t1};
     if (is_busy_cat(e.cat)) busy.push_back(iv);
+    if (e.cat == Category::Task && std::string_view(e.name) == "map_task_retry") {
+      retry.push_back(iv);
+    }
     switch (e.cat) {
       case Category::App:
         app.push_back(iv);
@@ -278,6 +281,9 @@ RankBreakdown breakdown_rank(const Recorder& rec, int rank, double final_time) {
         break;
       case Category::Collective:
         coll.push_back(iv);
+        break;
+      case Category::Fault:
+        fwait.push_back(iv);
         break;
       case Category::RecvWait:
         // A worker blocked on the master (rank 0) is master-wait; any
@@ -298,28 +304,39 @@ RankBreakdown breakdown_rank(const Recorder& rec, int rank, double final_time) {
   }
 
   merge_intervals(busy);
+  merge_intervals(retry);
   merge_intervals(app);
   merge_intervals(io_db);
   merge_intervals(io_spill);
   merge_intervals(coll);
+  merge_intervals(fwait);
   merge_intervals(mwait);
   merge_intervals(comm);
 
+  // Busy chain: re-executed task time is carved out first — the App/Io
+  // spans nested inside a retried task are recovery cost, not useful work.
   const double busy_total = measure(busy);
-  b.useful = measure(app);
-  b.db_io = measure_minus(io_db, app);
-  auto covered = merged_union(app, io_db);
+  b.retry_compute = measure(retry);
+  b.useful = measure_minus(app, retry);
+  auto covered = merged_union(retry, app);
+  b.db_io = measure_minus(io_db, covered);
+  covered = merged_union(std::move(covered), io_db);
   b.spill_io = measure_minus(io_spill, covered);
-  b.other_busy = clamp0(busy_total - b.useful - b.db_io - b.spill_io);
+  b.other_busy =
+      clamp0(busy_total - b.retry_compute - b.useful - b.db_io - b.spill_io);
 
+  // Idle chain: Fault spans (reassignment waits, retry-later naps) claim
+  // their time ahead of master-wait and generic communication.
   const double idle_total = clamp0(final_time - busy_total);
   b.collective_skew = measure_minus(coll, busy);
   covered = merged_union(std::move(busy), coll);
+  b.recovery_wait = measure_minus(fwait, covered);
+  covered = merged_union(std::move(covered), fwait);
   b.master_wait = measure_minus(mwait, covered);
   covered = merged_union(std::move(covered), mwait);
   b.comm_overhead = measure_minus(comm, covered);
-  b.idle_other =
-      clamp0(idle_total - b.collective_skew - b.master_wait - b.comm_overhead);
+  b.idle_other = clamp0(idle_total - b.collective_skew - b.recovery_wait -
+                        b.master_wait - b.comm_overhead);
   return b;
 }
 
@@ -342,11 +359,13 @@ Report analyze(const Recorder& rec, const AnalyzeOptions& opts) {
   for (int r = 0; r < rep.nranks; ++r) {
     RankBreakdown b = breakdown_rank(rec, r, finals[static_cast<std::size_t>(r)]);
     rep.total.final_time += b.final_time;
+    rep.total.retry_compute += b.retry_compute;
     rep.total.useful += b.useful;
     rep.total.db_io += b.db_io;
     rep.total.spill_io += b.spill_io;
     rep.total.other_busy += b.other_busy;
     rep.total.collective_skew += b.collective_skew;
+    rep.total.recovery_wait += b.recovery_wait;
     rep.total.master_wait += b.master_wait;
     rep.total.comm_overhead += b.comm_overhead;
     rep.total.idle_other += b.idle_other;
@@ -390,12 +409,14 @@ struct CatRow {
 
 constexpr CatRow kBusyRows[] = {
     {"useful", &RankBreakdown::useful},
+    {"retry_compute", &RankBreakdown::retry_compute},
     {"db_io", &RankBreakdown::db_io},
     {"spill_io", &RankBreakdown::spill_io},
     {"other_busy", &RankBreakdown::other_busy},
 };
 constexpr CatRow kIdleRows[] = {
     {"collective_skew", &RankBreakdown::collective_skew},
+    {"recovery_wait", &RankBreakdown::recovery_wait},
     {"master_wait", &RankBreakdown::master_wait},
     {"comm_overhead", &RankBreakdown::comm_overhead},
     {"idle_other", &RankBreakdown::idle_other},
@@ -435,13 +456,17 @@ void print_report(std::FILE* out, const Report& report, std::size_t max_rank_row
   const std::size_t nrows =
       std::min(max_rank_rows, report.ranks.size());
   std::fprintf(out, "\n-- per-rank breakdown (first %zu of %d) --\n", nrows, report.nranks);
-  std::fprintf(out, "%5s %11s %11s %9s %9s %9s %9s %9s %9s %9s\n", "rank", "final",
-               "useful", "db_io", "spill", "obusy", "cskew", "mwait", "comm", "idle");
+  std::fprintf(out, "%5s %11s %11s %9s %9s %9s %9s %9s %9s %9s %9s %9s\n", "rank",
+               "final", "useful", "retry", "db_io", "spill", "obusy", "cskew", "rwait",
+               "mwait", "comm", "idle");
   for (std::size_t i = 0; i < nrows; ++i) {
     const RankBreakdown& b = report.ranks[i];
-    std::fprintf(out, "%5d %11.4f %11.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f\n",
-                 b.rank, b.final_time, b.useful, b.db_io, b.spill_io, b.other_busy,
-                 b.collective_skew, b.master_wait, b.comm_overhead, b.idle_other);
+    std::fprintf(out,
+                 "%5d %11.4f %11.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f "
+                 "%9.4f\n",
+                 b.rank, b.final_time, b.useful, b.retry_compute, b.db_io, b.spill_io,
+                 b.other_busy, b.collective_skew, b.recovery_wait, b.master_wait,
+                 b.comm_overhead, b.idle_other);
   }
 
   if (report.stragglers.empty()) {
@@ -459,11 +484,14 @@ namespace {
 
 void json_breakdown(std::FILE* out, const RankBreakdown& b) {
   std::fprintf(out,
-               "{\"rank\":%d,\"final_time\":%.17g,\"useful\":%.17g,\"db_io\":%.17g,"
+               "{\"rank\":%d,\"final_time\":%.17g,\"useful\":%.17g,"
+               "\"retry_compute\":%.17g,\"db_io\":%.17g,"
                "\"spill_io\":%.17g,\"other_busy\":%.17g,\"collective_skew\":%.17g,"
-               "\"master_wait\":%.17g,\"comm_overhead\":%.17g,\"idle_other\":%.17g}",
-               b.rank, b.final_time, b.useful, b.db_io, b.spill_io, b.other_busy,
-               b.collective_skew, b.master_wait, b.comm_overhead, b.idle_other);
+               "\"recovery_wait\":%.17g,\"master_wait\":%.17g,\"comm_overhead\":%.17g,"
+               "\"idle_other\":%.17g}",
+               b.rank, b.final_time, b.useful, b.retry_compute, b.db_io, b.spill_io,
+               b.other_busy, b.collective_skew, b.recovery_wait, b.master_wait,
+               b.comm_overhead, b.idle_other);
 }
 
 void json_string(std::FILE* out, const std::string& s) {

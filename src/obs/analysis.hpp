@@ -63,19 +63,23 @@ struct RankBreakdown {
   int rank = 0;
   double final_time = 0.0;
   // Busy partition.
-  double useful = 0.0;      ///< App spans (search, accumulate, ...)
-  double db_io = 0.0;       ///< Io "db_load" spans not under App
-  double spill_io = 0.0;    ///< other Io spans (out-of-core spill/merge)
-  double other_busy = 0.0;  ///< framework compute, send/recv CPU overhead
+  double retry_compute = 0.0;  ///< re-executed map tasks after a fault
+  double useful = 0.0;         ///< App spans (search, accumulate, ...)
+  double db_io = 0.0;          ///< Io "db_load" spans not under App
+  double spill_io = 0.0;       ///< other Io spans (out-of-core spill/merge)
+  double other_busy = 0.0;     ///< framework compute, send/recv CPU overhead
   // Non-busy partition.
   double collective_skew = 0.0;  ///< blocked inside a collective
+  double recovery_wait = 0.0;    ///< fault recovery: reassignment + retry naps
   double master_wait = 0.0;      ///< worker waiting for the master's next task
   double comm_overhead = 0.0;    ///< other send/recv wait time
   double idle_other = 0.0;       ///< residual (startup/teardown imbalance)
 
-  double busy_total() const { return useful + db_io + spill_io + other_busy; }
+  double busy_total() const {
+    return retry_compute + useful + db_io + spill_io + other_busy;
+  }
   double idle_total() const {
-    return collective_skew + master_wait + comm_overhead + idle_other;
+    return collective_skew + recovery_wait + master_wait + comm_overhead + idle_other;
   }
 };
 

@@ -1,6 +1,7 @@
 #include "rt/backend.hpp"
 
 #include "common/error.hpp"
+#include "fault/fault.hpp"
 #include "rt/sim_rank.hpp"
 
 namespace mrbio::rt {
@@ -21,6 +22,7 @@ int default_ranks(Backend backend) {
 
 LaunchResult launch(const LaunchConfig& config, const std::function<void(Rank&)>& body) {
   const int nranks = config.nranks > 0 ? config.nranks : default_ranks(config.backend);
+  if (config.injector != nullptr) config.injector->plan().validate(nranks);
   LaunchResult result;
   if (config.backend == Backend::Sim) {
     sim::EngineConfig ec;
@@ -29,6 +31,7 @@ LaunchResult launch(const LaunchConfig& config, const std::function<void(Rank&)>
     ec.stack_bytes = config.stack_bytes;
     ec.recorder = config.recorder;
     ec.metrics = config.metrics;
+    ec.injector = config.injector;
     sim::Engine engine(ec);
     engine.run([&](sim::Process& proc) {
       SimRank rank(proc);
@@ -45,6 +48,7 @@ LaunchResult launch(const LaunchConfig& config, const std::function<void(Rank&)>
     nc.recorder = config.recorder;
     nc.metrics = config.metrics;
     nc.recv_timeout = config.native_recv_timeout;
+    nc.injector = config.injector;
     NativeEngine engine(nc);
     engine.run(body);
     result.elapsed = engine.elapsed();

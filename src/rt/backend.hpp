@@ -36,6 +36,9 @@ struct LaunchConfig {
   double native_recv_timeout = 300.0;  ///< native only: 0 = wait forever
   trace::Recorder* recorder = nullptr;
   obs::Registry* metrics = nullptr;
+  /// Optional fault injector, forwarded to the selected backend. The plan
+  /// is validated against the resolved rank count at launch.
+  fault::Injector* injector = nullptr;
 };
 
 struct LaunchResult {

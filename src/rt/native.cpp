@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "trace/trace.hpp"
 
@@ -30,7 +31,8 @@ bool matches(const Message& m, int src, int tag) {
 struct NativeEngine::Impl {
   struct Entry {
     Message msg;
-    std::uint64_t seq = 0;  ///< global send sequence, for trace edges
+    std::uint64_t seq = 0;       ///< global send sequence, for trace edges
+    double visible_at = 0.0;     ///< injected delay: hidden from matching before this
   };
 
   /// One mailbox per destination rank. Arrival order == deque order, so
@@ -44,7 +46,10 @@ struct NativeEngine::Impl {
 
   class RankHandle;
 
-  explicit Impl(int n) : nranks(n), mailboxes(static_cast<std::size_t>(n)) {
+  explicit Impl(int n)
+      : nranks(n),
+        mailboxes(static_cast<std::size_t>(n)),
+        rank_state(static_cast<std::size_t>(n)) {
     for (auto& mb : mailboxes) mb = std::make_unique<Mailbox>();
   }
 
@@ -62,6 +67,20 @@ struct NativeEngine::Impl {
     }
   }
 
+  /// Publishes that `rank` terminated. The release store orders every
+  /// send the rank ever made before the state change, so a receiver that
+  /// observes a terminal state and then finds its mailbox empty knows the
+  /// channel is drained for good. Blocked receivers are woken to re-check.
+  void mark_terminal(int rank, bool failed) {
+    rank_state[static_cast<std::size_t>(rank)].store(
+        static_cast<std::uint8_t>(failed ? PeerState::Failed : PeerState::Finished),
+        std::memory_order_release);
+    for (auto& mb : mailboxes) {
+      std::lock_guard<std::mutex> lock(mb->mutex);
+      mb->cv.notify_all();
+    }
+  }
+
   int nranks;
   std::chrono::steady_clock::time_point start{};
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
@@ -70,6 +89,9 @@ struct NativeEngine::Impl {
   std::atomic<std::uint64_t> payload_bytes{0};
   std::atomic<std::uint64_t> nominal_bytes{0};
   std::atomic<bool> aborted{false};
+  /// Per-rank lifecycle, values of PeerState. Written once by the owning
+  /// thread as it exits (release); read with acquire by peers.
+  std::vector<std::atomic<std::uint8_t>> rank_state;
   std::vector<double> final_times;
   double elapsed_seconds = 0.0;
   bool ran = false;
@@ -86,8 +108,14 @@ class NativeEngine::Impl::RankHandle final : public Rank {
   double now() const override { return impl_.now(); }
 
   // Real work already takes real time; modeled charges only exist so the
-  // DES can advance virtual clocks, so here they are free.
-  void compute(double /*seconds*/) override {}
+  // DES can advance virtual clocks. Here they are free — except on an
+  // injected slow rank, where the surplus factor becomes real sleep.
+  void compute(double seconds) override {
+    if (auto* inj = config_.injector; inj != nullptr) {
+      const double extra = (inj->slow_factor(rank_) - 1.0) * seconds;
+      if (extra > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(extra));
+    }
+  }
 
   using Transport::send;
   void send(int dst, int tag, std::vector<std::byte> payload,
@@ -95,6 +123,17 @@ class NativeEngine::Impl::RankHandle final : public Rank {
     MRBIO_CHECK(dst >= 0 && dst < impl_.nranks, "send to invalid rank ", dst);
     if (impl_.aborted.load(std::memory_order_acquire)) throw AbortSignal{};
     const double t0 = impl_.now();
+    fault::SendAction action;
+    if (auto* inj = config_.injector; inj != nullptr) {
+      action = inj->on_send(rank_, dst, tag, fault::kUserTagLimit);
+    }
+    if (action.kind == fault::SendAction::Kind::Drop) {
+      if (auto* rec = config_.recorder; rec != nullptr && rec->full()) {
+        rec->add(rank_, trace::Category::Send, "send_dropped", t0, impl_.now(), 0,
+                 nominal_bytes);
+      }
+      return;
+    }
     const std::uint64_t real_bytes = payload.size();
     Entry entry;
     entry.msg.source = rank_;
@@ -104,19 +143,27 @@ class NativeEngine::Impl::RankHandle final : public Rank {
     entry.msg.payload = std::move(payload);
     double arrival = 0.0;
     std::uint64_t seq = 0;
+    std::uint64_t pushed = 1;
     Mailbox& mb = *impl_.mailboxes[static_cast<std::size_t>(dst)];
     {
       std::lock_guard<std::mutex> lock(mb.mutex);
       arrival = impl_.now();
       entry.msg.arrival = arrival;
+      if (action.delay > 0.0) entry.visible_at = arrival + action.delay;
       seq = impl_.send_seq.fetch_add(1, std::memory_order_relaxed) + 1;
       entry.seq = seq;
+      if (action.kind == fault::SendAction::Kind::Duplicate) {
+        Entry dup = entry;
+        dup.seq = impl_.send_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+        mb.queue.push_back(std::move(dup));
+        pushed = 2;
+      }
       mb.queue.push_back(std::move(entry));
-      mb.cv.notify_one();
+      mb.cv.notify_all();
     }
-    impl_.messages.fetch_add(1, std::memory_order_relaxed);
-    impl_.payload_bytes.fetch_add(real_bytes, std::memory_order_relaxed);
-    impl_.nominal_bytes.fetch_add(nominal_bytes, std::memory_order_relaxed);
+    impl_.messages.fetch_add(pushed, std::memory_order_relaxed);
+    impl_.payload_bytes.fetch_add(real_bytes * pushed, std::memory_order_relaxed);
+    impl_.nominal_bytes.fetch_add(nominal_bytes * pushed, std::memory_order_relaxed);
     if (auto* rec = config_.recorder; rec != nullptr && rec->full()) {
       rec->add_edge(rank_, trace::Category::Send, "send", t0, impl_.now(),
                     nominal_bytes, dst, seq, arrival);
@@ -124,12 +171,47 @@ class NativeEngine::Impl::RankHandle final : public Rank {
   }
 
   Message recv(int src, int tag) override {
+    Message out;
+    recv_core(src, tag, /*deadline=*/-1.0, &out);  // untimed: only returns Ok
+    return out;
+  }
+
+  RecvStatus recv_deadline(int src, int tag, double deadline, Message* out) override {
+    return recv_core(src, tag, std::max(deadline, 0.0), out);
+  }
+
+  PeerState peer_state(int peer) const override {
+    MRBIO_REQUIRE(peer >= 0 && peer < impl_.nranks, "peer_state of invalid rank ", peer);
+    return static_cast<PeerState>(
+        impl_.rank_state[static_cast<std::size_t>(peer)].load(std::memory_order_acquire));
+  }
+
+  /// Shared receive loop. `deadline` < 0 blocks forever (modulo the
+  /// deadlock diagnostic) and only ever returns Ok; a non-negative
+  /// deadline adds the Timeout and PeerDead return paths.
+  RecvStatus recv_core(int src, int tag, double deadline, Message* out) {
+    const bool timed = deadline >= 0.0;
     const double post_time = impl_.now();
     Mailbox& mb = *impl_.mailboxes[static_cast<std::size_t>(rank_)];
     std::unique_lock<std::mutex> lock(mb.mutex);
+    double diag_at =
+        config_.recv_timeout > 0.0 ? post_time + config_.recv_timeout : -1.0;
     for (;;) {
+      // Load the peer's state before scanning: a terminal state read here
+      // guarantees (release/acquire + the mailbox lock) that the scan
+      // below sees every message that peer ever sent.
+      const PeerState src_state =
+          src == kAnySource ? PeerState::Active : peer_state(src);
+      const double now = impl_.now();
+      double earliest_hidden = -1.0;
       for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
         if (!matches(it->msg, src, tag)) continue;
+        if (it->visible_at > now) {
+          if (earliest_hidden < 0.0 || it->visible_at < earliest_hidden) {
+            earliest_hidden = it->visible_at;
+          }
+          continue;
+        }
         Entry entry = std::move(*it);
         mb.queue.erase(it);
         lock.unlock();
@@ -138,22 +220,65 @@ class NativeEngine::Impl::RankHandle final : public Rank {
                         impl_.now(), entry.msg.nominal_bytes, entry.msg.source,
                         entry.seq, entry.msg.arrival);
         }
-        return std::move(entry.msg);
+        *out = std::move(entry.msg);
+        return RecvStatus::Ok;
       }
       if (impl_.aborted.load(std::memory_order_acquire)) throw AbortSignal{};
-      if (config_.recv_timeout > 0.0) {
-        const auto wait = std::chrono::duration<double>(config_.recv_timeout);
-        if (mb.cv.wait_for(lock, wait) == std::cv_status::timeout) {
-          MRBIO_CHECK(impl_.aborted.load(std::memory_order_acquire),
-                      "native backend: rank ", rank_, " blocked in recv(src=", src,
-                      ", tag=", tag, ") for ", config_.recv_timeout,
-                      " s with no matching message (deadlock?)");
-          throw AbortSignal{};
+      if (timed) {
+        if (src != kAnySource && src_state != PeerState::Active &&
+            earliest_hidden < 0.0) {
+          return RecvStatus::PeerDead;
         }
-      } else {
+        if (now >= deadline) return RecvStatus::Timeout;
+      }
+      // Next forced wake-up: the deadline, a hidden message becoming
+      // visible, or the deadlock diagnostic — whichever is earliest.
+      double wake_at = timed ? deadline : -1.0;
+      if (earliest_hidden >= 0.0 && (wake_at < 0.0 || earliest_hidden < wake_at)) {
+        wake_at = earliest_hidden;
+      }
+      if (!timed && diag_at >= 0.0 && (wake_at < 0.0 || diag_at < wake_at)) {
+        wake_at = diag_at;
+      }
+      if (wake_at < 0.0) {
         mb.cv.wait(lock);
+      } else {
+        const auto wake_tp =
+            impl_.start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(wake_at));
+        mb.cv.wait_until(lock, wake_tp);
+      }
+      if (!timed && diag_at >= 0.0 && impl_.now() >= diag_at) {
+        if (impl_.aborted.load(std::memory_order_acquire)) throw AbortSignal{};
+        MRBIO_CHECK(false, "native backend: rank ", rank_, " blocked in recv(src=", src,
+                    ", tag=", tag, ") for ", config_.recv_timeout, " s", peer_note(src),
+                    " with no matching message");
       }
     }
+  }
+
+  /// One-line cause hint for the blocked-recv diagnostic: did the awaited
+  /// peer exit cleanly, die, or is this a genuine deadlock among live
+  /// ranks?
+  std::string peer_note(int src) const {
+    if (src != kAnySource) {
+      switch (peer_state(src)) {
+        case PeerState::Finished:
+          return format_msg("; peer rank ", src,
+                            " already finished cleanly — it will never send again");
+        case PeerState::Failed:
+          return format_msg("; peer rank ", src, " died");
+        case PeerState::Active:
+          return " (deadlock? peer is still running)";
+      }
+      return {};
+    }
+    int alive = 0;
+    for (int r = 0; r < impl_.nranks; ++r) {
+      if (r != rank_ && peer_state(r) == PeerState::Active) ++alive;
+    }
+    if (alive == 0) return "; every peer has terminated — nothing more can arrive";
+    return format_msg(" (deadlock? ", alive, " peer(s) still running)");
   }
 
   bool has_message(int src, int tag) const override {
@@ -169,6 +294,7 @@ class NativeEngine::Impl::RankHandle final : public Rank {
 
   trace::Recorder* tracer() const override { return config_.recorder; }
   obs::Registry* metrics() const override { return config_.metrics; }
+  fault::Injector* faults() const override { return config_.injector; }
 
  private:
   Impl& impl_;
@@ -201,15 +327,19 @@ void NativeEngine::run(const std::function<void(Rank&)>& body) {
   for (int r = 0; r < n; ++r) {
     threads.emplace_back([this, &body, &errors, r] {
       Impl::RankHandle handle(*impl_, config_, r);
+      bool failed = false;
       try {
         body(handle);
       } catch (const AbortSignal&) {
         // Another rank failed first; unwind quietly.
+        failed = true;
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        failed = true;
         impl_->abort_all();
       }
       impl_->final_times[static_cast<std::size_t>(r)] = impl_->now();
+      impl_->mark_terminal(r, failed);
     });
   }
   for (std::thread& t : threads) t.join();

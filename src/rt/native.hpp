@@ -39,6 +39,11 @@ struct NativeConfig {
   /// Seconds a blocked recv waits before failing the run with a
   /// deadlock diagnostic. 0 = wait forever.
   double recv_timeout = 300.0;
+  /// Optional fault injector shared with the layers above. When set the
+  /// backend applies message faults to user-tag sends and converts
+  /// slow-rank factors into real sleep; crash triggers are polled by the
+  /// fault-tolerant scheduler through Rank::faults().
+  fault::Injector* injector = nullptr;
 };
 
 /// Aggregate counters collected over a run.

@@ -38,10 +38,28 @@ namespace mrbio::obs {
 class Registry;
 }
 
+namespace mrbio::fault {
+class Injector;
+}
+
 namespace mrbio::rt {
 
 constexpr int kAnySource = -1;
 constexpr int kAnyTag = -1;
+
+/// Result of a timed receive (recv_deadline).
+enum class RecvStatus : std::uint8_t {
+  Ok,       ///< a matching message was received
+  Timeout,  ///< the deadline passed with no matching message
+  PeerDead, ///< the awaited peer terminated and can never send a match
+};
+
+/// Lifecycle of a peer rank as observed through the transport.
+enum class PeerState : std::uint8_t {
+  Active,    ///< still running (or state unknown)
+  Finished,  ///< returned from its body normally
+  Failed,    ///< terminated with an error
+};
 
 /// Message record exchanged between ranks. Timestamps are in the owning
 /// backend's time base (virtual seconds for the DES, seconds since run
@@ -97,6 +115,25 @@ class Transport {
   /// True if a matching message has already arrived (non-blocking probe).
   virtual bool has_message(int src = kAnySource, int tag = kAnyTag) const = 0;
 
+  /// Receive with a failure-notification path: blocks until a matching
+  /// message arrives (Ok, `*out` filled), the absolute `deadline` (in this
+  /// backend's time base) passes (Timeout), or — for a specific `src` —
+  /// that peer terminates with no matching message in flight (PeerDead).
+  /// The base implementation ignores the deadline and blocks forever;
+  /// both engines override it.
+  virtual RecvStatus recv_deadline(int src, int tag, double deadline, Message* out) {
+    (void)deadline;
+    *out = recv(src, tag);
+    return RecvStatus::Ok;
+  }
+
+  /// Observed lifecycle of `peer`. Backends without death tracking report
+  /// Active forever.
+  virtual PeerState peer_state(int peer) const {
+    (void)peer;
+    return PeerState::Active;
+  }
+
   /// Per-byte transfer time of the modeled network, or 0 on backends that
   /// move real bytes (there the cost is already paid in wall-clock time).
   /// Pipelined phantom collectives use this for their bandwidth charge.
@@ -112,6 +149,11 @@ class Rank : public Transport, public Clock {
 
   /// The engine's metrics registry, or null when metrics are off.
   virtual obs::Registry* metrics() const { return nullptr; }
+
+  /// The run's fault injector, or null when no faults are planned. The
+  /// fault-tolerant scheduler polls it for crash triggers; the engines
+  /// consult it themselves for message and slow-rank faults.
+  virtual fault::Injector* faults() const { return nullptr; }
 };
 
 }  // namespace mrbio::rt

@@ -29,6 +29,30 @@ class SimRank final : public Rank {
 
   Message recv(int src, int tag) override { return proc_->recv(src, tag); }
 
+  RecvStatus recv_deadline(int src, int tag, double deadline, Message* out) override {
+    switch (proc_->recv_deadline(src, tag, deadline, out)) {
+      case sim::RecvStatus::Ok:
+        return RecvStatus::Ok;
+      case sim::RecvStatus::Timeout:
+        return RecvStatus::Timeout;
+      case sim::RecvStatus::PeerDead:
+        return RecvStatus::PeerDead;
+    }
+    return RecvStatus::Ok;  // unreachable
+  }
+
+  PeerState peer_state(int peer) const override {
+    switch (proc_->peer_state(peer)) {
+      case sim::PeerState::Active:
+        return PeerState::Active;
+      case sim::PeerState::Finished:
+        return PeerState::Finished;
+      case sim::PeerState::Failed:
+        return PeerState::Failed;
+    }
+    return PeerState::Active;  // unreachable
+  }
+
   bool has_message(int src, int tag) const override {
     return proc_->has_message(src, tag);
   }
@@ -37,6 +61,7 @@ class SimRank final : public Rank {
 
   trace::Recorder* tracer() const override { return proc_->tracer(); }
   obs::Registry* metrics() const override { return proc_->metrics(); }
+  fault::Injector* faults() const override { return proc_->faults(); }
 
   sim::Process& process() { return *proc_; }
 

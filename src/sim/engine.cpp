@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "trace/trace.hpp"
 
@@ -70,6 +71,10 @@ struct Engine::Impl {
     int want_src = Process::kAnySource;
     int want_tag = Process::kAnyTag;
     double recv_post_time = 0.0;
+    bool has_deadline = false;  ///< blocked via recv_deadline, not recv
+    double deadline = 0.0;      ///< absolute virtual-time timeout
+    bool timed_out = false;     ///< woken because the deadline fired
+    bool peer_dead = false;     ///< woken because the awaited source died
     std::optional<MailboxEntry> handed;  ///< message handed to a woken receiver
 
     std::deque<MailboxEntry> mailbox;  ///< delivered, unmatched; arrival-sorted
@@ -81,7 +86,9 @@ struct Engine::Impl {
       : cfg(config),
         pcbs(config.nprocs),
         channel_last(static_cast<std::size_t>(config.nprocs) *
-                     static_cast<std::size_t>(config.nprocs)) {
+                     static_cast<std::size_t>(config.nprocs)),
+        channel_inflight(static_cast<std::size_t>(config.nprocs) *
+                         static_cast<std::size_t>(config.nprocs)) {
     if (cfg.metrics != nullptr) {
       c_messages = &cfg.metrics->counter("sim.messages");
       h_msg_bytes = &cfg.metrics->histogram("sim.message_nominal_bytes");
@@ -97,6 +104,9 @@ struct Engine::Impl {
   /// Last arrival time per (src, dst) channel; enforces FIFO (non-overtaking)
   /// delivery so a small message cannot pass a large one on the same channel.
   std::vector<double> channel_last;
+  /// Undelivered message count per (src, dst) channel. A receiver blocked on
+  /// a specific source is only declared PeerDead once this drains to zero.
+  std::vector<int> channel_inflight;
   std::uint64_t send_seq = 0;
   int finished = 0;
   bool aborted = false;
@@ -121,6 +131,31 @@ struct Engine::Impl {
     pcb.mailbox.insert(it, std::move(entry));
   }
 
+  int& inflight(int src, int dst) {
+    return channel_inflight[static_cast<std::size_t>(src) *
+                                static_cast<std::size_t>(cfg.nprocs) +
+                            static_cast<std::size_t>(dst)];
+  }
+
+  /// True when `src` has terminated and can never again produce a message
+  /// for `dst`: its thread finished and the (src, dst) channel is drained.
+  bool source_exhausted(int src, int dst) const {
+    const Pcb& p = pcbs[static_cast<std::size_t>(src)];
+    return p.state == State::Finished &&
+           channel_inflight[static_cast<std::size_t>(src) *
+                                static_cast<std::size_t>(cfg.nprocs) +
+                            static_cast<std::size_t>(dst)] == 0;
+  }
+
+  /// Wakes `pcb` (blocked in recv_deadline on a specific source that just
+  /// became exhausted) with PeerDead at the virtual time the death became
+  /// observable.
+  void wake_peer_dead(Pcb& pcb, double observable_at) {
+    pcb.proc.vtime_ = std::max(pcb.recv_post_time, observable_at);
+    pcb.peer_dead = true;
+    pcb.state = State::Runnable;
+  }
+
   void deliver(InFlight event) {
     Pcb& dst = pcbs[static_cast<std::size_t>(event.dst)];
     stats.messages += 1;
@@ -130,13 +165,24 @@ struct Engine::Impl {
       c_messages->inc();
       h_msg_bytes->observe(static_cast<double>(event.msg.nominal_bytes));
     }
+    const int src = event.msg.source;
+    --inflight(src, event.dst);
     MailboxEntry entry{std::move(event.msg), event.seq};
     if (dst.state == State::BlockedRecv && matches(entry, dst.want_src, dst.want_tag)) {
       dst.proc.vtime_ = std::max(dst.recv_post_time, entry.msg.arrival) + cfg.net.recv_overhead;
       dst.handed = std::move(entry);
+      dst.has_deadline = false;
       dst.state = State::Runnable;
     } else {
+      const double arrival = entry.msg.arrival;
       insert_mailbox(dst, std::move(entry));
+      // The non-matching delivery may have been the last thing keeping a
+      // timed receive on this source alive.
+      if (dst.state == State::BlockedRecv && dst.has_deadline && dst.want_src == src &&
+          source_exhausted(src, event.dst)) {
+        dst.has_deadline = false;
+        wake_peer_dead(dst, std::max(arrival, pcbs[static_cast<std::size_t>(src)].final_time));
+      }
     }
   }
 
@@ -176,10 +222,27 @@ struct Engine::Impl {
       const Pcb& p = pcbs[static_cast<std::size_t>(i)];
       if (p.state == State::BlockedRecv) {
         os << " rank " << i << " recv(src=" << p.want_src << ", tag=" << p.want_tag
-           << ") since t=" << p.recv_post_time << ";";
+           << ") since t=" << p.recv_post_time;
+        if (p.want_src >= 0 &&
+            pcbs[static_cast<std::size_t>(p.want_src)].state == State::Finished) {
+          os << (pcbs[static_cast<std::size_t>(p.want_src)].error ? " (peer died)"
+                                                                  : " (peer finished)");
+        }
+        os << ";";
       }
     }
     return os.str();
+  }
+
+  /// Rank with the earliest pending recv_deadline timeout, or -1.
+  int earliest_deadline() const {
+    int best = -1;
+    for (int i = 0; i < cfg.nprocs; ++i) {
+      const Pcb& p = pcbs[static_cast<std::size_t>(i)];
+      if (p.state != State::BlockedRecv || !p.has_deadline) continue;
+      if (best < 0 || p.deadline < pcbs[static_cast<std::size_t>(best)].deadline) best = i;
+    }
+    return best;
   }
 
   /// Scheduler side: hands the CPU to `pid` and waits for it to yield back.
@@ -205,6 +268,17 @@ struct Engine::Impl {
     pcb.final_time = pcb.proc.vtime_;
     if (error) pcb.error = error;
     ++finished;
+    // Timed receives waiting on this specific rank learn of the death as
+    // soon as its channel drains (possibly right now).
+    const int me = pcb.proc.rank_;
+    for (int d = 0; d < cfg.nprocs; ++d) {
+      Pcb& dst = pcbs[static_cast<std::size_t>(d)];
+      if (dst.state == State::BlockedRecv && dst.has_deadline && dst.want_src == me &&
+          source_exhausted(me, d)) {
+        dst.has_deadline = false;
+        wake_peer_dead(dst, pcb.final_time);
+      }
+    }
     sched_cv.notify_one();
   }
 
@@ -287,17 +361,35 @@ void Engine::run(const std::function<void(Process&)>& body) {
     while (impl_->finished < config_.nprocs) {
       const int pid = impl_->pick_runnable();
       const bool have_event = !impl_->events.empty();
-      if (pid < 0 && !have_event) {
+      const int did = impl_->earliest_deadline();
+      if (pid < 0 && !have_event && did < 0) {
         deadlock_msg = impl_->blocked_report();
         impl_->abort_blocked_ranks();
         continue;
       }
       const double proc_time =
           pid >= 0 ? impl_->pcbs[static_cast<std::size_t>(pid)].proc.vtime_ : 0.0;
-      if (have_event && (pid < 0 || impl_->events.top().arrival <= proc_time)) {
+      const double dl_time =
+          did >= 0 ? impl_->pcbs[static_cast<std::size_t>(did)].deadline : 0.0;
+      // Global virtual-time order across the three wake sources. An event
+      // arriving exactly at a deadline beats the timeout (the receive
+      // succeeds); a deadline ties with a runnable process in the
+      // deadline's favour so the timed-out rank observes its deadline
+      // before later work runs.
+      if (have_event &&
+          (pid < 0 || impl_->events.top().arrival <= proc_time) &&
+          (did < 0 || impl_->events.top().arrival <= dl_time)) {
         InFlight ev = impl_->events.top();
         impl_->events.pop();
         impl_->deliver(std::move(ev));
+        continue;
+      }
+      if (did >= 0 && (pid < 0 || dl_time <= proc_time)) {
+        auto& pcb = impl_->pcbs[static_cast<std::size_t>(did)];
+        pcb.proc.vtime_ = pcb.deadline;
+        pcb.has_deadline = false;
+        pcb.timed_out = true;
+        pcb.state = State::Runnable;
         continue;
       }
       impl_->grant(pid, lock);
@@ -345,9 +437,14 @@ trace::Recorder* Process::tracer() const { return engine_->config().recorder; }
 
 obs::Registry* Process::metrics() const { return engine_->config().metrics; }
 
+fault::Injector* Process::faults() const { return engine_->config().injector; }
+
 void Process::compute(double seconds) {
   MRBIO_REQUIRE(seconds >= 0.0, "compute() needs non-negative time, got ", seconds);
   auto& impl = *engine_->impl_;
+  if (auto* inj = impl.cfg.injector; inj != nullptr) {
+    seconds *= inj->slow_factor(rank_);
+  }
   std::unique_lock<std::mutex> lock(impl.mutex);
   auto& pcb = impl.pcbs[static_cast<std::size_t>(rank_)];
   impl.check_abort(pcb);
@@ -368,17 +465,32 @@ void Process::send(int dst, int tag, std::vector<std::byte> payload) {
 void Process::send(int dst, int tag, std::vector<std::byte> payload,
                    std::uint64_t nominal_bytes) {
   auto& impl = *engine_->impl_;
+  fault::SendAction action;
+  if (auto* inj = impl.cfg.injector; inj != nullptr) {
+    action = inj->on_send(rank_, dst, tag, fault::kUserTagLimit);
+  }
   std::unique_lock<std::mutex> lock(impl.mutex);
   MRBIO_REQUIRE(dst >= 0 && dst < engine_->config().nprocs, "send to invalid rank ", dst);
   auto& pcb = impl.pcbs[static_cast<std::size_t>(rank_)];
   impl.check_abort(pcb);
   const auto& net = impl.cfg.net;
+  if (action.kind == fault::SendAction::Kind::Drop) {
+    // The sender pays its overhead but nothing enters the network; the
+    // channel FIFO clamp is untouched (the message never occupied a slot).
+    const double t0 = vtime_;
+    vtime_ += net.send_overhead;
+    if (auto* rec = impl.cfg.recorder; rec != nullptr && rec->full()) {
+      rec->add(rank_, trace::Category::Send, "send_dropped", t0, vtime_, 0, nominal_bytes);
+    }
+    return;
+  }
   Message msg;
   msg.source = rank_;
   msg.tag = tag;
   msg.sent = vtime_;
   msg.nominal_bytes = nominal_bytes;
-  msg.arrival = vtime_ + net.latency + static_cast<double>(nominal_bytes) * net.byte_time;
+  msg.arrival = vtime_ + net.latency + static_cast<double>(nominal_bytes) * net.byte_time +
+                action.delay;
   double& channel = impl.channel_last[static_cast<std::size_t>(rank_) *
                                           static_cast<std::size_t>(engine_->config().nprocs) +
                                       static_cast<std::size_t>(dst)];
@@ -387,6 +499,12 @@ void Process::send(int dst, int tag, std::vector<std::byte> payload,
   msg.payload = std::move(payload);
   const double arrival = msg.arrival;
   const std::uint64_t seq = ++impl.send_seq;
+  if (action.kind == fault::SendAction::Kind::Duplicate) {
+    InFlight dup{arrival, ++impl.send_seq, dst, msg};
+    ++impl.inflight(rank_, dst);
+    impl.events.push(std::move(dup));
+  }
+  ++impl.inflight(rank_, dst);
   impl.events.push(InFlight{msg.arrival, seq, dst, std::move(msg)});
   const double t0 = vtime_;
   vtime_ += net.send_overhead;
@@ -434,6 +552,84 @@ Message Process::recv(int src, int tag) {
                   out.nominal_bytes, out.source, seq, out.arrival);
   }
   return out;
+}
+
+RecvStatus Process::recv_deadline(int src, int tag, double deadline, Message* out) {
+  auto& impl = *engine_->impl_;
+  std::unique_lock<std::mutex> lock(impl.mutex);
+  auto& pcb = impl.pcbs[static_cast<std::size_t>(rank_)];
+  impl.check_abort(pcb);
+  const double post_time = vtime_;
+
+  for (auto it = pcb.mailbox.begin(); it != pcb.mailbox.end(); ++it) {
+    if (matches(*it, src, tag)) {
+      Message msg = std::move(it->msg);
+      const std::uint64_t seq = it->seq;
+      pcb.mailbox.erase(it);
+      vtime_ = std::max(vtime_, msg.arrival) + impl.cfg.net.recv_overhead;
+      if (auto* rec = impl.cfg.recorder; rec != nullptr && rec->full()) {
+        rec->add_edge(rank_, trace::Category::RecvWait, "recv", post_time, vtime_,
+                      msg.nominal_bytes, msg.source, seq, msg.arrival);
+      }
+      *out = std::move(msg);
+      return RecvStatus::Ok;
+    }
+  }
+
+  // A specific source that already terminated with a drained channel can
+  // never satisfy this receive; report the death instead of waiting out
+  // the deadline. (The mailbox scan above already ruled out a match.)
+  if (src != kAnySource && impl.source_exhausted(src, rank_)) {
+    const double died_at = impl.pcbs[static_cast<std::size_t>(src)].final_time;
+    vtime_ = std::max(vtime_, died_at);
+    if (auto* rec = impl.cfg.recorder; rec != nullptr && rec->full() && vtime_ > post_time) {
+      rec->add(rank_, trace::Category::RecvWait, "recv_peer_dead", post_time, vtime_);
+    }
+    return RecvStatus::PeerDead;
+  }
+
+  if (deadline <= vtime_) return RecvStatus::Timeout;
+
+  pcb.want_src = src;
+  pcb.want_tag = tag;
+  pcb.recv_post_time = vtime_;
+  pcb.has_deadline = true;
+  pcb.deadline = deadline;
+  pcb.timed_out = false;
+  pcb.peer_dead = false;
+  pcb.state = State::BlockedRecv;
+  impl.yield_and_wait(pcb, lock);
+  impl.check_abort(pcb);
+  if (pcb.timed_out || pcb.peer_dead) {
+    const bool dead = pcb.peer_dead;
+    pcb.timed_out = false;
+    pcb.peer_dead = false;
+    if (auto* rec = impl.cfg.recorder; rec != nullptr && rec->full() && vtime_ > post_time) {
+      rec->add(rank_, trace::Category::RecvWait, dead ? "recv_peer_dead" : "recv_timeout",
+               post_time, vtime_);
+    }
+    return dead ? RecvStatus::PeerDead : RecvStatus::Timeout;
+  }
+  MRBIO_CHECK(pcb.handed.has_value(), "rank ", rank_, " woken from recv without a message");
+  Message msg = std::move(pcb.handed->msg);
+  const std::uint64_t seq = pcb.handed->seq;
+  pcb.handed.reset();
+  if (auto* rec = impl.cfg.recorder; rec != nullptr && rec->full()) {
+    rec->add_edge(rank_, trace::Category::RecvWait, "recv", post_time, vtime_,
+                  msg.nominal_bytes, msg.source, seq, msg.arrival);
+  }
+  *out = std::move(msg);
+  return RecvStatus::Ok;
+}
+
+PeerState Process::peer_state(int peer) const {
+  auto& impl = *engine_->impl_;
+  std::unique_lock<std::mutex> lock(impl.mutex);
+  MRBIO_REQUIRE(peer >= 0 && peer < engine_->config().nprocs, "peer_state of invalid rank ",
+                peer);
+  const auto& pcb = impl.pcbs[static_cast<std::size_t>(peer)];
+  if (pcb.state != State::Finished) return PeerState::Active;
+  return pcb.error ? PeerState::Failed : PeerState::Finished;
 }
 
 bool Process::has_message(int src, int tag) const {

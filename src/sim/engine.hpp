@@ -38,7 +38,21 @@ namespace mrbio::obs {
 class Registry;
 }
 
+namespace mrbio::fault {
+class Injector;
+}
+
 namespace mrbio::sim {
+
+/// Result of a timed receive (Process::recv_deadline).
+enum class RecvStatus : std::uint8_t {
+  Ok,       ///< a matching message was received
+  Timeout,  ///< the deadline passed with no matching message
+  PeerDead, ///< the awaited source finished/failed with nothing in flight
+};
+
+/// Observed lifecycle of a simulated rank.
+enum class PeerState : std::uint8_t { Active, Finished, Failed };
 
 /// Network cost parameters (seconds). Defaults approximate an Infiniband
 /// DDR fabric of the Ranger era: ~2 us latency, ~1 GB/s point-to-point.
@@ -63,6 +77,11 @@ struct EngineConfig {
   /// clocks and sizes, so attaching a registry never changes simulated
   /// times.
   obs::Registry* metrics = nullptr;
+  /// Optional fault injector. When set, the engine applies message faults
+  /// (drop/duplicate/delay) to user-tag sends and scales compute() charges
+  /// on slow ranks; crash triggers are polled by the layers above through
+  /// Process::faults(). Null (the default) injects nothing.
+  fault::Injector* injector = nullptr;
 };
 
 /// Aggregate counters collected over a run.
@@ -99,6 +118,17 @@ class Process {
   /// Messages match in arrival-time order.
   Message recv(int src = kAnySource, int tag = kAnyTag);
 
+  /// Timed receive with a failure-notification path. Blocks until a match
+  /// arrives (Ok), the absolute virtual-time `deadline` passes (Timeout,
+  /// clock advanced to the deadline), or — for a specific `src` — that
+  /// rank terminates with no matching message in flight (PeerDead, clock
+  /// advanced to the moment the death became observable). A deadline at or
+  /// before now() returns Timeout without advancing the clock.
+  RecvStatus recv_deadline(int src, int tag, double deadline, Message* out);
+
+  /// Lifecycle of `peer` as observable from this rank right now.
+  PeerState peer_state(int peer) const;
+
   /// True if a matching message has already arrived (non-blocking probe).
   bool has_message(int src = kAnySource, int tag = kAnyTag) const;
 
@@ -113,6 +143,9 @@ class Process {
   /// The engine's metrics registry, or null when metrics are off. Same
   /// layering contract as tracer().
   obs::Registry* metrics() const;
+
+  /// The run's fault injector, or null when no faults are planned.
+  fault::Injector* faults() const;
 
   static constexpr int kAnySource = -1;
   static constexpr int kAnyTag = -1;

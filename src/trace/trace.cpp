@@ -23,6 +23,7 @@ const char* category_name(Category cat) {
     case Category::Task: return "task";
     case Category::App: return "app";
     case Category::Io: return "io";
+    case Category::Fault: return "fault";
   }
   return "?";
 }
@@ -30,7 +31,7 @@ const char* category_name(Category cat) {
 Category category_from_name(std::string_view name) {
   for (const Category cat :
        {Category::Compute, Category::Send, Category::RecvWait, Category::Collective,
-        Category::Phase, Category::Task, Category::App, Category::Io}) {
+        Category::Phase, Category::Task, Category::App, Category::Io, Category::Fault}) {
     if (name == category_name(cat)) return cat;
   }
   throw InputError("unknown trace category: " + std::string(name));

@@ -33,6 +33,7 @@ enum class Category : std::uint8_t {
   Task,        ///< one map task executed by this rank
   App,         ///< application-level useful work (search, accumulate, ...)
   Io,          ///< virtual I/O time (DB volume load, out-of-core spill)
+  Fault,       ///< fault-recovery time: reassignment waits, retry backoff
 };
 
 const char* category_name(Category cat);

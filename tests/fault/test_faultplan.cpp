@@ -1,0 +1,160 @@
+// FaultPlan parsing: the compact spec grammar, the JSON form, the
+// describe() round trip, validation against a rank count, and the
+// Injector's bookkeeping (trigger matching, fault counts, slow factors).
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace mrbio::fault {
+namespace {
+
+TEST(FaultPlan, ParsesCrashWithTimeTrigger) {
+  const FaultPlan plan = FaultPlan::parse("crash:rank=3@t=0.4");
+  ASSERT_EQ(plan.crashes.size(), 1u);
+  EXPECT_EQ(plan.crashes[0].rank, 3);
+  EXPECT_DOUBLE_EQ(plan.crashes[0].t, 0.4);
+  EXPECT_LT(plan.crashes[0].task, 0);
+  EXPECT_FALSE(plan.crashes[0].permanent);
+}
+
+TEST(FaultPlan, ParsesCrashWithTaskTriggerAndMode) {
+  const FaultPlan plan = FaultPlan::parse("crash:rank=1,task=2,mode=permanent");
+  ASSERT_EQ(plan.crashes.size(), 1u);
+  EXPECT_EQ(plan.crashes[0].rank, 1);
+  EXPECT_EQ(plan.crashes[0].task, 2);
+  EXPECT_LT(plan.crashes[0].t, 0.0);
+  EXPECT_TRUE(plan.crashes[0].permanent);
+}
+
+TEST(FaultPlan, ParsesMessageAndSlowClauses) {
+  const FaultPlan plan = FaultPlan::parse(
+      "drop:src=1,dst=0,count=2; dup:dst=3; delay:src=2,by=0.05,count=4; "
+      "slow:rank=2,factor=4");
+  ASSERT_EQ(plan.messages.size(), 3u);
+  EXPECT_EQ(plan.messages[0].kind, MessageFault::Kind::Drop);
+  EXPECT_EQ(plan.messages[0].src, 1);
+  EXPECT_EQ(plan.messages[0].dst, 0);
+  EXPECT_EQ(plan.messages[0].count, 2);
+  EXPECT_EQ(plan.messages[1].kind, MessageFault::Kind::Duplicate);
+  EXPECT_EQ(plan.messages[1].src, -1);  // wildcard
+  EXPECT_EQ(plan.messages[1].dst, 3);
+  EXPECT_EQ(plan.messages[2].kind, MessageFault::Kind::Delay);
+  EXPECT_DOUBLE_EQ(plan.messages[2].by, 0.05);
+  EXPECT_EQ(plan.messages[2].count, 4);
+  ASSERT_EQ(plan.slows.size(), 1u);
+  EXPECT_EQ(plan.slows[0].rank, 2);
+  EXPECT_DOUBLE_EQ(plan.slows[0].factor, 4.0);
+}
+
+TEST(FaultPlan, DescribeRoundTrips) {
+  const std::string spec =
+      "crash:rank=3@t=0.4; crash:rank=1@task=2,mode=permanent; "
+      "drop:src=1,dst=0,count=2; delay:src=-1,dst=0,by=0.1,count=1; "
+      "slow:rank=2,factor=4";
+  const FaultPlan plan = FaultPlan::parse(spec);
+  const FaultPlan again = FaultPlan::parse(plan.describe());
+  EXPECT_EQ(plan.describe(), again.describe());
+  EXPECT_EQ(again.crashes.size(), 2u);
+  EXPECT_EQ(again.messages.size(), 2u);
+  EXPECT_EQ(again.slows.size(), 1u);
+}
+
+TEST(FaultPlan, ParsesJsonDocument) {
+  const FaultPlan plan = FaultPlan::parse(
+      R"({"faults":[{"kind":"crash","rank":3,"t":0.4},)"
+      R"({"kind":"crash","rank":2,"task":1,"mode":"permanent"},)"
+      R"({"kind":"drop","src":1,"dst":0,"count":2},)"
+      R"({"kind":"delay","src":2,"by":0.05},)"
+      R"({"kind":"slow","rank":4,"factor":8}]})");
+  ASSERT_EQ(plan.crashes.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.crashes[0].t, 0.4);
+  EXPECT_TRUE(plan.crashes[1].permanent);
+  ASSERT_EQ(plan.messages.size(), 2u);
+  EXPECT_EQ(plan.messages[0].count, 2);
+  ASSERT_EQ(plan.slows.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.slows[0].factor, 8.0);
+}
+
+TEST(FaultPlan, FromFileAutoDetectsBothForms) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto spec_path = dir / "mrbio_plan.txt";
+  const auto json_path = dir / "mrbio_plan.json";
+  std::ofstream(spec_path) << "crash:rank=1@t=0.5\n";
+  std::ofstream(json_path) << R"({"faults":[{"kind":"crash","rank":1,"t":0.5}]})";
+  for (const auto& p : {spec_path, json_path}) {
+    const FaultPlan plan = FaultPlan::from_file(p.string());
+    ASSERT_EQ(plan.crashes.size(), 1u) << p;
+    EXPECT_DOUBLE_EQ(plan.crashes[0].t, 0.5) << p;
+  }
+  std::filesystem::remove(spec_path);
+  std::filesystem::remove(json_path);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("boom:rank=1"), InputError);
+  EXPECT_THROW(FaultPlan::parse("crash:rank=1"), InputError);  // no trigger
+  EXPECT_THROW(FaultPlan::parse("crash:rank=1,t=1,task=2"), InputError);  // both
+  EXPECT_THROW(FaultPlan::parse("crash:rank=1,t=0.4,mode=sideways"), InputError);
+  EXPECT_THROW(FaultPlan::parse("crash:rank=one,t=0.4"), InputError);
+  EXPECT_THROW(FaultPlan::parse("drop:src=1,by=0.4"), InputError);
+  EXPECT_THROW(FaultPlan::parse("delay:src=1"), InputError);  // no by=
+  EXPECT_THROW(FaultPlan::parse("slow:rank=1,factor=0.5"), InputError);
+  EXPECT_THROW(FaultPlan::parse("crash:rank=1,t=0.4,rank=2"), InputError);
+  EXPECT_THROW(FaultPlan::parse(R"({"faults":)"), InputError);
+  EXPECT_THROW(FaultPlan::parse(R"({"nofaults":[]})"), InputError);
+}
+
+TEST(FaultPlan, ValidateChecksRankBounds) {
+  FaultPlan::parse("crash:rank=3@t=0.4").validate(4);  // fine
+  EXPECT_THROW(FaultPlan::parse("crash:rank=4@t=0.4").validate(4), InputError);
+  EXPECT_THROW(FaultPlan::parse("crash:rank=0@t=0.4").validate(4), InputError);
+  EXPECT_THROW(FaultPlan::parse("drop:src=7,dst=0").validate(4), InputError);
+  EXPECT_THROW(FaultPlan::parse("slow:rank=-1,factor=2").validate(4), InputError);
+  FaultPlan::parse("drop:src=-1,dst=-1").validate(4);  // wildcards are fine
+}
+
+TEST(Injector, TimeTriggerFiresOncePerFault) {
+  Injector inj(FaultPlan::parse("crash:rank=2@t=1.0"));
+  EXPECT_NO_THROW(inj.maybe_crash(2, 0.5));   // not due yet
+  EXPECT_NO_THROW(inj.maybe_crash(1, 2.0));   // wrong rank
+  EXPECT_THROW(inj.maybe_crash(2, 1.0), CrashSignal);
+  EXPECT_TRUE(inj.crashed(2));
+  EXPECT_FALSE(inj.permanently_crashed(2));
+  EXPECT_NO_THROW(inj.maybe_crash(2, 5.0));   // fires only once
+  EXPECT_EQ(inj.stats().crashes_fired, 1u);
+}
+
+TEST(Injector, TaskTriggerCountsPerRank) {
+  Injector inj(FaultPlan::parse("crash:rank=1,task=1,mode=permanent"));
+  EXPECT_NO_THROW(inj.task_started(1, 0.0));  // task 0
+  EXPECT_NO_THROW(inj.task_started(2, 0.0));  // other rank's counter
+  EXPECT_NO_THROW(inj.task_started(2, 0.0));
+  EXPECT_THROW(inj.task_started(1, 0.0), CrashSignal);  // rank 1 task 1
+  EXPECT_TRUE(inj.permanently_crashed(1));
+}
+
+TEST(Injector, MessageFaultsConsumeCountsAndIgnoreInternalTags) {
+  Injector inj(FaultPlan::parse("drop:src=1,dst=0,count=2"));
+  // Internal (collective) tags are immune regardless of the channel.
+  EXPECT_EQ(inj.on_send(1, 0, kUserTagLimit + 1, kUserTagLimit).kind,
+            SendAction::Kind::Deliver);
+  EXPECT_EQ(inj.on_send(1, 2, 5, kUserTagLimit).kind, SendAction::Kind::Deliver);
+  EXPECT_EQ(inj.on_send(1, 0, 5, kUserTagLimit).kind, SendAction::Kind::Drop);
+  EXPECT_EQ(inj.on_send(1, 0, 5, kUserTagLimit).kind, SendAction::Kind::Drop);
+  EXPECT_EQ(inj.on_send(1, 0, 5, kUserTagLimit).kind, SendAction::Kind::Deliver);
+  EXPECT_EQ(inj.stats().messages_dropped, 2u);
+}
+
+TEST(Injector, SlowFactorsCompose) {
+  Injector inj(FaultPlan::parse("slow:rank=2,factor=4; slow:rank=2,factor=2"));
+  EXPECT_DOUBLE_EQ(inj.slow_factor(2), 8.0);
+  EXPECT_DOUBLE_EQ(inj.slow_factor(1), 1.0);
+}
+
+}  // namespace
+}  // namespace mrbio::fault

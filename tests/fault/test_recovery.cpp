@@ -1,0 +1,234 @@
+// Master-worker recovery over the simulated machine: crashed workers are
+// reverted and their tasks reassigned, protocol messages survive drops /
+// duplications / delays, retries time out with backoff, abandoned tasks
+// are reported, and the whole run stays deterministic under a fixed
+// FaultPlan. These are regression tests for the scheduler's failure
+// paths; the property suite covers randomized plans end to end.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "fault/fault.hpp"
+#include "mrmpi/mapreduce.hpp"
+#include "sim/engine.hpp"
+
+namespace mrbio::mrmpi {
+namespace {
+
+struct FtRun {
+  std::multiset<std::uint64_t> emitted;   ///< tasks present in the final kv
+  std::multiset<std::uint64_t> executed;  ///< every run_task invocation
+  std::map<int, std::uint64_t> emitted_by_rank;
+  std::vector<std::uint64_t> failed;      ///< rank 0's failed-task report
+  MapReduceStats stats;                   ///< rank 0's stats
+  double elapsed = 0.0;
+};
+
+/// Runs `ntasks` map tasks (each emitting its own id, charging
+/// `task_cost` virtual seconds) on `n` simulated ranks under `plan`.
+FtRun run_ft(int n, std::uint64_t ntasks, const std::string& plan,
+             FaultToleranceConfig ft, double task_cost = 0.01,
+             bool locality = false) {
+  fault::Injector injector(fault::FaultPlan::parse(plan));
+  injector.plan().validate(n);
+  sim::EngineConfig ec;
+  ec.nprocs = n;
+  ec.stack_bytes = 512 * 1024;
+  ec.injector = &injector;
+  sim::Engine engine(ec);
+
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::MasterWorker;
+  cfg.ft = ft;
+  cfg.ft.enabled = true;
+
+  FtRun out;
+  std::mutex mu;
+  engine.run([&](sim::Process& p) {
+    mpi::Comm comm(p);
+    MapReduce mr(comm, cfg);
+    const auto fn = [&](std::uint64_t t, KeyValue& kv) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        out.executed.insert(t);
+      }
+      if (task_cost > 0.0) comm.compute(task_cost);
+      kv.add("task", std::to_string(t));
+    };
+    if (locality) {
+      mr.map_locality(ntasks, [](std::uint64_t t) { return t % 3; }, fn);
+    } else {
+      mr.map(ntasks, fn);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    mr.kv().for_each([&](const KvPair& pair) {
+      const std::string v(reinterpret_cast<const char*>(pair.value.data()),
+                          pair.value.size());
+      out.emitted.insert(std::stoull(v));
+      out.emitted_by_rank[comm.rank()]++;
+    });
+    if (comm.rank() == 0) {
+      out.failed = mr.failed_tasks();
+      out.stats = mr.stats();
+    }
+  });
+  out.elapsed = engine.elapsed();
+  return out;
+}
+
+void expect_exactly_once(const FtRun& run, std::uint64_t ntasks) {
+  EXPECT_EQ(run.emitted.size(), ntasks);
+  for (std::uint64_t t = 0; t < ntasks; ++t) {
+    EXPECT_EQ(run.emitted.count(t), 1u) << "task " << t;
+  }
+  EXPECT_TRUE(run.failed.empty());
+}
+
+TEST(Recovery, FtEnabledWithoutFaultsMatchesPlainSchedule) {
+  // The fault-tolerant protocol with an empty plan must behave like the
+  // plain master-worker map: every task exactly once, none on rank 0.
+  const FtRun run = run_ft(4, 17, "", {});
+  expect_exactly_once(run, 17);
+  EXPECT_EQ(run.emitted_by_rank.count(0), 0u);
+  EXPECT_EQ(run.stats.worker_deaths, 0u);
+  EXPECT_EQ(run.stats.tasks_retried, 0u);
+}
+
+TEST(Recovery, TransientCrashWhileHoldingTheOnlyTask) {
+  // Regression: a worker that dies holding the final outstanding task
+  // used to deadlock the master. The crashed worker rejoins with a new
+  // incarnation, the task is reverted and re-granted, the run finishes.
+  const FtRun run = run_ft(2, 1, "crash:rank=1,task=0", {});
+  expect_exactly_once(run, 1);
+  EXPECT_EQ(run.stats.worker_deaths, 1u);
+}
+
+TEST(Recovery, CrashedWorkersTasksAreReassigned) {
+  // Worker 2 dies after starting its second task; everything it had —
+  // committed or staged — is re-run elsewhere, nothing twice in the output.
+  const FtRun run = run_ft(4, 12, "crash:rank=2,task=1", {});
+  expect_exactly_once(run, 12);
+  EXPECT_EQ(run.stats.worker_deaths, 1u);
+  // The re-executions are visible as extra run_task invocations.
+  EXPECT_GT(run.executed.size(), run.emitted.size());
+}
+
+TEST(Recovery, PermanentCrashOfTheOnlyWorkerFallsBackToMaster) {
+  // With every worker permanently gone the master must run the stranded
+  // tasks itself rather than waiting forever.
+  const FtRun run = run_ft(2, 5, "crash:rank=1,task=1,mode=permanent", {});
+  expect_exactly_once(run, 5);
+  ASSERT_EQ(run.emitted_by_rank.count(0), 1u);
+  EXPECT_GT(run.emitted_by_rank.at(0), 0u);
+}
+
+TEST(Recovery, ZeroTasksWithAnInjectorTerminates) {
+  // ntasks == 0 with faults planned: every worker gets a stop token and
+  // the quiet-window drain still lets the master exit.
+  const FtRun run = run_ft(4, 0, "crash:rank=3@t=1000", {});
+  EXPECT_TRUE(run.emitted.empty());
+  EXPECT_TRUE(run.executed.empty());
+  EXPECT_TRUE(run.failed.empty());
+}
+
+TEST(Recovery, DroppedProtocolMessagesAreResent) {
+  // Both directions: a worker's first two requests vanish, one grant to
+  // another worker vanishes. Sequence-numbered resends recover both.
+  const FtRun run =
+      run_ft(3, 10, "drop:src=1,dst=0,count=2; drop:src=0,dst=2,count=1", {});
+  expect_exactly_once(run, 10);
+}
+
+TEST(Recovery, DuplicatedAndDelayedProtocolMessagesAreAbsorbed) {
+  // Duplicated grants are drained as stale; delayed requests cross their
+  // own resends and are deduplicated by sequence number.
+  const FtRun run = run_ft(
+      3, 10, "dup:src=0,dst=1,count=2; delay:src=2,dst=0,by=0.1,count=3", {});
+  expect_exactly_once(run, 10);
+}
+
+TEST(Recovery, StalledTaskTimesOutAndRetriesElsewhere) {
+  // Rank 1 computes 100x slower, so its task blows the 0.5 s timeout and
+  // is re-granted; the eventual stale completion must be discarded (the
+  // task is already Done elsewhere), keeping the output exactly-once.
+  FaultToleranceConfig ft;
+  ft.task_timeout = 0.5;
+  ft.backoff = 1.0;
+  const FtRun run = run_ft(3, 4, "slow:rank=1,factor=100", ft, 0.05);
+  expect_exactly_once(run, 4);
+  EXPECT_GE(run.stats.tasks_retried, 1u);
+}
+
+TEST(Recovery, RetryExhaustionAbandonsTheTaskAndReportsIt) {
+  // One worker, one long task, zero retries: the task fails at the first
+  // timeout, and when the worker then dies permanently (so the late
+  // completion never arrives) the map ends with a partial result and the
+  // abandoned task listed.
+  FaultToleranceConfig ft;
+  ft.task_timeout = 0.5;
+  ft.backoff = 1.0;
+  ft.max_retries = 0;
+  const FtRun run =
+      run_ft(2, 1, "crash:rank=1@t=2,mode=permanent", ft, /*task_cost=*/10.0);
+  EXPECT_TRUE(run.emitted.empty());
+  ASSERT_EQ(run.failed.size(), 1u);
+  EXPECT_EQ(run.failed[0], 0u);
+  EXPECT_EQ(run.stats.tasks_failed, 1u);
+}
+
+TEST(Recovery, LateCompletionRescuesAFailedTask) {
+  // Same setup but the worker survives: its completion arrives long after
+  // the task was marked failed and must still be committed (the work was
+  // done — discarding it would lose the only copy).
+  FaultToleranceConfig ft;
+  ft.task_timeout = 0.5;
+  ft.backoff = 1.0;
+  ft.max_retries = 0;
+  const FtRun run = run_ft(2, 1, "", ft, /*task_cost=*/10.0);
+  expect_exactly_once(run, 1);
+  EXPECT_EQ(run.stats.tasks_failed, 0u);
+}
+
+TEST(Recovery, LocalityMapSurvivesCrashes) {
+  const FtRun run = run_ft(4, 12, "crash:rank=3,task=0", {}, 0.01,
+                           /*locality=*/true);
+  expect_exactly_once(run, 12);
+  EXPECT_EQ(run.stats.worker_deaths, 1u);
+}
+
+TEST(Recovery, DeterministicUnderAFixedPlan) {
+  // Two runs of the same plan on the simulator: identical outputs and
+  // identical virtual makespans (a fresh Injector each run).
+  const std::string plan =
+      "crash:rank=2,task=1; drop:src=1,dst=0,count=1; slow:rank=3,factor=3";
+  const FtRun a = run_ft(4, 15, plan, {});
+  const FtRun b = run_ft(4, 15, plan, {});
+  expect_exactly_once(a, 15);
+  EXPECT_EQ(a.emitted, b.emitted);
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.emitted_by_rank, b.emitted_by_rank);
+  EXPECT_DOUBLE_EQ(a.elapsed, b.elapsed);
+}
+
+TEST(Recovery, CrashWithoutFaultToleranceFailsTheRun) {
+  // The injector fires either way; without ft.enabled nothing catches the
+  // CrashSignal and the run must abort instead of hanging.
+  fault::Injector injector(fault::FaultPlan::parse("crash:rank=1,task=0"));
+  sim::EngineConfig ec;
+  ec.nprocs = 3;
+  ec.stack_bytes = 512 * 1024;
+  ec.injector = &injector;
+  sim::Engine engine(ec);
+  EXPECT_THROW(engine.run([&](sim::Process& p) {
+                 mpi::Comm comm(p);
+                 MapReduce mr(comm, {});  // MasterWorker, ft off
+                 mr.map(6, [&](std::uint64_t, KeyValue&) { comm.compute(0.01); });
+               }),
+               Error);
+}
+
+}  // namespace
+}  // namespace mrbio::mrmpi

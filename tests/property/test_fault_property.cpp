@@ -1,0 +1,230 @@
+// Property: fault injection never changes what the applications compute.
+// For randomized FaultPlans — up to half the workers crashing (some
+// permanently), protocol message drops/duplications, sub-0.1 s delays,
+// and slow ranks — the BLAST hit files and the trained SOM codebook must
+// be byte-identical to a fault-free run. Recovery may cost time; it must
+// never cost (or duplicate) results.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "blast/dbformat.hpp"
+#include "blast/sequence.hpp"
+#include "common/rng.hpp"
+#include "fault/fault.hpp"
+#include "mrblast/mrblast.hpp"
+#include "mrsom/mrsom.hpp"
+#include "sim/engine.hpp"
+#include "som/som.hpp"
+
+namespace mrbio {
+namespace {
+
+constexpr int kRanks = 6;
+
+/// Random plan with at most (kRanks - 1) / 2 worker crashes plus message
+/// and slow-rank noise. Task-count triggers dominate (the functional
+/// drivers accrue little virtual time, so most time triggers would never
+/// fire); every delay is <= 0.1 s.
+fault::FaultPlan random_plan(Rng& rng) {
+  fault::FaultPlan plan;
+  const int ncrashes = 1 + static_cast<int>(rng.below((kRanks - 1) / 2));
+  std::vector<int> workers;
+  for (int r = 1; r < kRanks; ++r) workers.push_back(r);
+  for (int i = 0; i < ncrashes; ++i) {
+    fault::CrashFault c;
+    const std::size_t pick = rng.below(workers.size());
+    c.rank = workers[pick];
+    workers.erase(workers.begin() + static_cast<std::ptrdiff_t>(pick));
+    if (rng.uniform() < 0.25) {
+      c.t = rng.uniform(0.0, 0.01);
+    } else {
+      c.task = static_cast<std::int64_t>(rng.below(4));
+    }
+    c.permanent = rng.uniform() < 0.3;
+    plan.crashes.push_back(c);
+  }
+  const int nmsg = static_cast<int>(rng.below(4));
+  for (int i = 0; i < nmsg; ++i) {
+    fault::MessageFault m;
+    const double k = rng.uniform();
+    m.kind = k < 0.4   ? fault::MessageFault::Kind::Drop
+             : k < 0.7 ? fault::MessageFault::Kind::Duplicate
+                       : fault::MessageFault::Kind::Delay;
+    m.src = rng.uniform() < 0.5 ? -1 : 1 + static_cast<int>(rng.below(kRanks - 1));
+    m.dst = rng.uniform() < 0.5 ? 0 : -1;
+    m.count = 1 + static_cast<int>(rng.below(3));
+    if (m.kind == fault::MessageFault::Kind::Delay) m.by = rng.uniform(0.01, 0.1);
+    plan.messages.push_back(m);
+  }
+  if (rng.uniform() < 0.5) {
+    fault::SlowFault s;
+    s.rank = 1 + static_cast<int>(rng.below(kRanks - 1));
+    s.factor = rng.uniform(2.0, 8.0);
+    plan.slows.push_back(s);
+  }
+  return plan;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// BLAST: hit files byte-identical under random fault plans
+
+class BlastFaultProperty : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    work_ = std::filesystem::temp_directory_path() / "mrbio_fault_prop_blast";
+    std::filesystem::remove_all(work_);
+    std::filesystem::create_directories(work_);
+
+    Rng rng(1234);
+    std::vector<blast::Sequence> genomes;
+    for (int g = 0; g < 4; ++g) {
+      genomes.push_back(blast::random_sequence(rng, "genome" + std::to_string(g),
+                                               1'000, blast::SeqType::Dna));
+    }
+    db_ = blast::build_db(genomes, (work_ / "db").string(), blast::SeqType::Dna, 1'500);
+
+    std::vector<blast::Sequence> queries;
+    for (const auto& frag : blast::shred({genomes[0], genomes[2]}, 250, 120)) {
+      queries.push_back(blast::mutate(rng, frag, frag.id, 0.02, blast::SeqType::Dna));
+    }
+    for (std::size_t i = 0; i < queries.size(); i += 5) {
+      blocks_.emplace_back(
+          queries.begin() + static_cast<std::ptrdiff_t>(i),
+          queries.begin() + static_cast<std::ptrdiff_t>(std::min(i + 5, queries.size())));
+    }
+  }
+  void TearDown() override { std::filesystem::remove_all(work_); }
+
+  /// Runs the full driver; returns per-rank file contents keyed by name,
+  /// plus the abandoned-task count via `failed`.
+  std::map<std::string, std::string> run(const std::string& tag,
+                                         fault::Injector* injector,
+                                         std::uint64_t* failed = nullptr) {
+    mrblast::RealRunConfig config;
+    config.query_blocks = blocks_;
+    config.partition_paths = db_.volume_paths;
+    config.options.evalue_cutoff = 1e-6;
+    config.options.filter_low_complexity = false;
+    config.output_dir = (work_ / ("out_" + tag)).string();
+    if (injector != nullptr) {
+      config.ft.enabled = true;
+      config.ft.task_timeout = 2.0;
+    }
+
+    sim::EngineConfig ec;
+    ec.nprocs = kRanks;
+    ec.injector = injector;
+    sim::Engine engine(ec);
+    engine.run([&](sim::Process& p) {
+      mpi::Comm comm(p);
+      const mrblast::RealRunResult r = mrblast::run_blast_mr(comm, config);
+      if (p.rank() == 0 && failed != nullptr) *failed = r.failed_tasks;
+    });
+    std::map<std::string, std::string> files;
+    for (const auto& e : std::filesystem::directory_iterator(config.output_dir)) {
+      files[e.path().filename().string()] = slurp(e.path());
+    }
+    return files;
+  }
+
+  std::filesystem::path work_;
+  blast::DbInfo db_;
+  std::vector<std::vector<blast::Sequence>> blocks_;
+};
+
+TEST_F(BlastFaultProperty, HitFilesByteIdenticalUnderRandomPlans) {
+  const auto baseline = run("baseline", nullptr);
+  ASSERT_FALSE(baseline.empty());
+
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    const fault::FaultPlan plan = random_plan(rng);
+    plan.validate(kRanks);
+    fault::Injector injector(plan);
+    std::uint64_t failed = 1;
+    const auto faulted =
+        run("seed" + std::to_string(seed), &injector, &failed);
+    EXPECT_EQ(failed, 0u) << plan.describe();
+    ASSERT_EQ(faulted.size(), baseline.size()) << plan.describe();
+    for (const auto& [name, content] : baseline) {
+      ASSERT_TRUE(faulted.count(name)) << name << " under " << plan.describe();
+      EXPECT_EQ(faulted.at(name), content) << name << " under " << plan.describe();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SOM: trained codebook byte-identical under random fault plans
+
+TEST(SomFaultProperty, CodebookByteIdenticalUnderRandomPlans) {
+  Rng data_rng(99);
+  Matrix data(120, 6);
+  for (std::size_t r = 0; r < data.rows(); ++r)
+    for (std::size_t c = 0; c < data.cols(); ++c)
+      data(r, c) = static_cast<float>(data_rng.uniform());
+  som::Codebook initial(som::SomGrid{5, 5}, data.cols());
+  initial.init_pca(data.view());
+
+  mrsom::ParallelSomConfig config;
+  config.params.epochs = 3;
+  config.block_vectors = 10;
+  config.map_style = mrmpi::MapStyle::MasterWorker;
+  // The baseline must use the same schedule-independent reduction the
+  // fault-tolerant path forces, or float ordering alone would differ.
+  config.deterministic_reduce = true;
+
+  auto train = [&](fault::Injector* injector) {
+    mrsom::ParallelSomConfig cfg = config;
+    if (injector != nullptr) {
+      cfg.ft.enabled = true;
+      cfg.ft.task_timeout = 2.0;
+    }
+    sim::EngineConfig ec;
+    ec.nprocs = kRanks;
+    ec.injector = injector;
+    sim::Engine engine(ec);
+    som::Codebook cb;
+    engine.run([&](sim::Process& p) {
+      mpi::Comm comm(p);
+      som::Codebook trained = mrsom::train_som_mr(comm, data.view(), initial, cfg);
+      if (p.rank() == 0) cb = std::move(trained);
+    });
+    return cb;
+  };
+
+  const som::Codebook baseline = train(nullptr);
+  const Matrix& base = baseline.weights();
+  ASSERT_GT(base.rows() * base.cols(), 0u);
+
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    Rng rng(seed);
+    const fault::FaultPlan plan = random_plan(rng);
+    plan.validate(kRanks);
+    fault::Injector injector(plan);
+    const som::Codebook cb = train(&injector);
+    const Matrix& w = cb.weights();
+    ASSERT_EQ(w.rows(), base.rows()) << plan.describe();
+    EXPECT_EQ(std::memcmp(w.row(0).data(), base.row(0).data(),
+                          base.rows() * base.cols() * sizeof(float)),
+              0)
+        << plan.describe();
+  }
+}
+
+}  // namespace
+}  // namespace mrbio

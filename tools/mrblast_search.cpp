@@ -12,12 +12,15 @@
 //                  [--locality] [--no-filter] [--exclude-self]
 //                  [--trace out.json] [--trace-full]
 //                  [--report] [--report-json report.json]
+//                  [--faults "crash:rank=3@t=0.4"] [--ft-timeout 5] [--ft-retries 3]
+//                  [--virtual-rate 1e-8]
 #include <cstdio>
 #include <filesystem>
 #include <memory>
 
 #include "common/log.hpp"
 #include "common/options.hpp"
+#include "fault/fault.hpp"
 #include "mrblast/mrblast.hpp"
 #include "obs/analysis.hpp"
 #include "obs/metrics.hpp"
@@ -45,6 +48,14 @@ int main(int argc, char** argv) {
   opts.add_flag("trace-full", "with --trace: also record per-message/compute events");
   opts.add_flag("report", "print a critical-path / idle-time performance report");
   opts.add("report-json", "", "write the performance report as JSON to this path");
+  opts.add("faults", "", "fault plan: spec/JSON string, or a path to a plan file; "
+                         "enables the fault-tolerant scheduler");
+  opts.add("ft-timeout", "5", "with --faults: seconds before an outstanding task is retried");
+  opts.add("ft-retries", "3", "with --faults: retries per task before it is abandoned");
+  opts.add("virtual-rate", "1e-8",
+           "sim backend: virtual seconds charged per alignment cell "
+           "(query x partition residues), so the virtual timeline reflects "
+           "search work and time-triggered faults can fire; 0 disables");
   opts.add("log", "", "log level: debug/info/warn/error/off (default $MRBIO_LOG or warn)");
   try {
     if (!opts.parse(argc, argv)) return 0;
@@ -84,11 +95,24 @@ int main(int argc, char** argv) {
     }
 
     std::filesystem::remove_all(config.output_dir);
+    config.virtual_seconds_per_cell = opts.real("virtual-rate");
     rt::LaunchConfig lc;
     lc.backend = rt::backend_from_name(opts.str("backend"));
     lc.nranks = opts.integer("ranks") > 0 ? static_cast<int>(opts.integer("ranks"))
                                           : rt::default_ranks(lc.backend);
     const int ranks = lc.nranks;
+    std::unique_ptr<fault::Injector> injector;
+    if (!opts.str("faults").empty()) {
+      const std::string& spec = opts.str("faults");
+      fault::FaultPlan plan = std::filesystem::exists(spec)
+                                  ? fault::FaultPlan::from_file(spec)
+                                  : fault::FaultPlan::parse(spec);
+      injector = std::make_unique<fault::Injector>(std::move(plan));
+      lc.injector = injector.get();
+      config.ft.enabled = true;
+      config.ft.task_timeout = opts.real("ft-timeout");
+      config.ft.max_retries = static_cast<int>(opts.integer("ft-retries"));
+    }
     // --report implies a Full-level recorder (the critical-path walk needs
     // per-message events) and a metrics registry; both only read the active
     // backend's clock, so they never change the measured times.
@@ -103,12 +127,16 @@ int main(int argc, char** argv) {
     obs::Registry registry;
     if (want_report) lc.metrics = &registry;
     std::uint64_t total = 0;
+    std::uint64_t failed = 0;
     std::vector<std::string> files(static_cast<std::size_t>(ranks));
     const rt::LaunchResult run = rt::launch(lc, [&](rt::Rank& rank) {
       mpi::Comm comm(rank);
       const auto result = mrblast::run_blast_mr(comm, config);
       files[static_cast<std::size_t>(rank.rank())] = result.output_file;
-      if (rank.rank() == 0) total = result.total_hsps;
+      if (rank.rank() == 0) {
+        total = result.total_hsps;
+        failed = result.failed_tasks;
+      }
     });
 
     std::printf("searched %zu queries (%zu blocks) x %zu partitions on %d %s ranks\n",
@@ -119,6 +147,20 @@ int main(int argc, char** argv) {
                 lc.backend == rt::Backend::Sim ? "virtual" : "wall-clock");
     for (const auto& f : files) {
       if (!f.empty()) std::printf("  %s\n", f.c_str());
+    }
+    if (injector) {
+      const fault::InjectorStats fs = injector->stats();
+      std::printf("faults fired: %llu crashes, %llu drops, %llu duplicates, %llu delays\n",
+                  static_cast<unsigned long long>(fs.crashes_fired),
+                  static_cast<unsigned long long>(fs.messages_dropped),
+                  static_cast<unsigned long long>(fs.messages_duplicated),
+                  static_cast<unsigned long long>(fs.messages_delayed));
+      if (failed > 0) {
+        std::printf("WARNING: %llu work units abandoned after %d retries; "
+                    "the hit files are PARTIAL\n",
+                    static_cast<unsigned long long>(failed),
+                    config.ft.max_retries);
+      }
     }
     if (recorder && !opts.str("trace").empty()) {
       trace::write_chrome_trace(opts.str("trace"), *recorder);

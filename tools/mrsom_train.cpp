@@ -10,6 +10,7 @@
 //
 // Outputs: <out>.cb (codebook), <out>_umatrix.pgm, and quality metrics.
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 
 #include "blast/composition.hpp"
@@ -18,6 +19,7 @@
 #include "common/log.hpp"
 #include "common/mmap_file.hpp"
 #include "common/options.hpp"
+#include "fault/fault.hpp"
 #include "mrsom/mrsom.hpp"
 #include "obs/analysis.hpp"
 #include "obs/metrics.hpp"
@@ -39,6 +41,9 @@ int main(int argc, char** argv) {
   opts.add("backend", "sim", "runtime backend: sim (discrete-event) or native (threads)");
   opts.add("ranks", "0", "MPI ranks; 0 = backend default (sim: 8, native: hardware threads)");
   opts.add("style", "chunk", "map style: chunk (deterministic) or master (load-balanced)");
+  opts.add_flag("deterministic",
+                "with --style master: schedule-independent reduction, so the "
+                "codebook bytes match a fault-tolerant (--faults) run");
   opts.add("init", "pca", "codebook initialization: pca or random");
   opts.add("seed", "2011", "random seed");
   opts.add("out", "mrsom", "output prefix");
@@ -47,6 +52,10 @@ int main(int argc, char** argv) {
   opts.add_flag("trace-full", "with --trace: also record per-message/compute events");
   opts.add_flag("report", "print a critical-path / idle-time performance report");
   opts.add("report-json", "", "write the performance report as JSON to this path");
+  opts.add("faults", "", "fault plan: spec/JSON string, or a path to a plan file; "
+                         "requires --style master, enables the fault-tolerant scheduler");
+  opts.add("ft-timeout", "5", "with --faults: seconds before an outstanding task is retried");
+  opts.add("ft-retries", "3", "with --faults: retries per task before it is abandoned");
   opts.add("log", "", "log level: debug/info/warn/error/off (default $MRBIO_LOG or warn)");
   try {
     if (!opts.parse(argc, argv)) return 0;
@@ -100,11 +109,27 @@ int main(int argc, char** argv) {
                   "--style must be chunk or master");
     config.map_style = opts.str("style") == "chunk" ? mrmpi::MapStyle::Chunk
                                                     : mrmpi::MapStyle::MasterWorker;
+    config.deterministic_reduce = opts.flag("deterministic");
 
     rt::LaunchConfig lc;
     lc.backend = rt::backend_from_name(opts.str("backend"));
     lc.nranks = opts.integer("ranks") > 0 ? static_cast<int>(opts.integer("ranks"))
                                           : rt::default_ranks(lc.backend);
+    std::unique_ptr<fault::Injector> injector;
+    if (!opts.str("faults").empty()) {
+      MRBIO_REQUIRE(config.map_style == mrmpi::MapStyle::MasterWorker,
+                    "--faults requires --style master (recovery needs the "
+                    "master-worker scheduler)");
+      const std::string& spec = opts.str("faults");
+      fault::FaultPlan plan = std::filesystem::exists(spec)
+                                  ? fault::FaultPlan::from_file(spec)
+                                  : fault::FaultPlan::parse(spec);
+      injector = std::make_unique<fault::Injector>(std::move(plan));
+      lc.injector = injector.get();
+      config.ft.enabled = true;  // forces the deterministic KV reduce path
+      config.ft.task_timeout = opts.real("ft-timeout");
+      config.ft.max_retries = static_cast<int>(opts.integer("ft-retries"));
+    }
     // --report implies a Full-level recorder and a metrics registry; both
     // only read the active backend's clock, so measured times are unchanged.
     const bool want_report = opts.flag("report") || !opts.str("report-json").empty();
@@ -126,6 +151,14 @@ int main(int argc, char** argv) {
     std::printf("trained on %d %s ranks in %.3f %s seconds\n", lc.nranks,
                 rt::backend_name(lc.backend), run.elapsed,
                 lc.backend == rt::Backend::Sim ? "virtual" : "wall-clock");
+    if (injector) {
+      const fault::InjectorStats fs = injector->stats();
+      std::printf("faults fired: %llu crashes, %llu drops, %llu duplicates, %llu delays\n",
+                  static_cast<unsigned long long>(fs.crashes_fired),
+                  static_cast<unsigned long long>(fs.messages_dropped),
+                  static_cast<unsigned long long>(fs.messages_duplicated),
+                  static_cast<unsigned long long>(fs.messages_delayed));
+    }
 
     const std::string prefix = opts.str("out");
     som::save_codebook(prefix + ".cb", cb);
