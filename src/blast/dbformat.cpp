@@ -31,6 +31,7 @@ std::vector<std::byte> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   MRBIO_REQUIRE(in.good(), "cannot open: ", path);
   const std::streamsize n = in.tellg();
+  MRBIO_REQUIRE(n >= 0, "cannot size ", path, " (not a regular file?)");
   in.seekg(0);
   std::vector<std::byte> out(static_cast<std::size_t>(n));
   in.read(reinterpret_cast<char*>(out.data()), n);
@@ -43,32 +44,49 @@ std::vector<std::byte> read_file(const std::string& path) {
 DbVolume DbVolume::load(const std::string& path) {
   const std::vector<std::byte> bytes = read_file(path);
   ByteReader r(bytes);
-  MRBIO_REQUIRE(r.get<std::uint64_t>() == kVolumeMagic, "not a mrbio DB volume: ", path);
+  MRBIO_REQUIRE(bytes.size() >= sizeof(std::uint64_t) &&
+                    r.get<std::uint64_t>() == kVolumeMagic,
+                "not a mrbio DB volume: ", path);
   DbVolume vol;
-  vol.type_ = static_cast<SeqType>(r.get<std::uint8_t>());
-  const auto nseqs = r.get<std::uint64_t>();
-  vol.residues_ = r.get<std::uint64_t>();
-  vol.seqs_.reserve(nseqs);
-  for (std::uint64_t i = 0; i < nseqs; ++i) {
-    Sequence s;
-    s.id = r.get_string();
-    s.description = r.get_string();
-    const auto len = r.get<std::uint64_t>();
-    if (vol.type_ == SeqType::Dna) {
-      const auto packed = r.get_vector<std::uint8_t>();
-      s.data = unpack_2bit(packed, len);
-      const auto ambig = r.get_vector<std::uint64_t>();
-      for (const std::uint64_t pos : ambig) {
-        MRBIO_REQUIRE(pos < len, "ambiguity position out of range in ", path);
-        s.data[pos] = kDnaAmbig;
+  // Decode errors from a truncated or bit-flipped volume surface as
+  // ByteReader range errors; rethrow them with the file, byte offset, and
+  // record index so the user can tell which volume (and where) is broken.
+  std::uint64_t record = 0;
+  std::uint64_t nseqs = 0;
+  try {
+    const auto type_byte = r.get<std::uint8_t>();
+    MRBIO_REQUIRE(type_byte <= static_cast<std::uint8_t>(SeqType::Protein),
+                  "bad sequence-type byte ", static_cast<int>(type_byte));
+    vol.type_ = static_cast<SeqType>(type_byte);
+    nseqs = r.get<std::uint64_t>();
+    vol.residues_ = r.get<std::uint64_t>();
+    MRBIO_REQUIRE(nseqs <= bytes.size(), "implausible sequence count ", nseqs);
+    vol.seqs_.reserve(nseqs);
+    for (record = 0; record < nseqs; ++record) {
+      Sequence s;
+      s.id = r.get_string();
+      s.description = r.get_string();
+      const auto len = r.get<std::uint64_t>();
+      if (vol.type_ == SeqType::Dna) {
+        const auto packed = r.get_vector<std::uint8_t>();
+        s.data = unpack_2bit(packed, len);
+        const auto ambig = r.get_vector<std::uint64_t>();
+        for (const std::uint64_t pos : ambig) {
+          MRBIO_REQUIRE(pos < len, "ambiguity position ", pos, " out of range");
+          s.data[pos] = kDnaAmbig;
+        }
+      } else {
+        s.data = r.get_vector<std::uint8_t>();
+        MRBIO_REQUIRE(s.data.size() == len, "record length mismatch");
       }
-    } else {
-      s.data = r.get_vector<std::uint8_t>();
-      MRBIO_REQUIRE(s.data.size() == len, "protein record length mismatch in ", path);
+      vol.seqs_.push_back(std::move(s));
     }
-    vol.seqs_.push_back(std::move(s));
+    MRBIO_REQUIRE(r.done(), "trailing bytes after last record");
+  } catch (const Error& e) {
+    throw InputError(format_msg("corrupt DB volume ", path, " at byte offset ",
+                                r.position(), " (record ", record, " of ", nseqs,
+                                "): ", e.what()));
   }
-  MRBIO_REQUIRE(r.done(), "trailing bytes in DB volume ", path);
   return vol;
 }
 
@@ -151,14 +169,23 @@ DbInfo build_db(const std::vector<Sequence>& seqs, const std::string& base_path,
 DbInfo read_db_info(const std::string& alias_path) {
   const std::vector<std::byte> bytes = read_file(alias_path);
   ByteReader r(bytes);
-  MRBIO_REQUIRE(r.get_string() == "MRBDBAL1", "not a mrbio DB alias: ", alias_path);
   DbInfo info;
-  info.type = static_cast<SeqType>(r.get<std::uint8_t>());
-  info.total_residues = r.get<std::uint64_t>();
-  info.total_seqs = r.get<std::uint64_t>();
-  const auto nvol = r.get<std::uint64_t>();
-  for (std::uint64_t i = 0; i < nvol; ++i) info.volume_paths.push_back(r.get_string());
-  MRBIO_REQUIRE(r.done(), "trailing bytes in alias ", alias_path);
+  try {
+    MRBIO_REQUIRE(r.get_string() == "MRBDBAL1", "bad magic");
+    const auto type_byte = r.get<std::uint8_t>();
+    MRBIO_REQUIRE(type_byte <= static_cast<std::uint8_t>(SeqType::Protein),
+                  "bad sequence-type byte ", static_cast<int>(type_byte));
+    info.type = static_cast<SeqType>(type_byte);
+    info.total_residues = r.get<std::uint64_t>();
+    info.total_seqs = r.get<std::uint64_t>();
+    const auto nvol = r.get<std::uint64_t>();
+    MRBIO_REQUIRE(nvol <= bytes.size(), "implausible volume count ", nvol);
+    for (std::uint64_t i = 0; i < nvol; ++i) info.volume_paths.push_back(r.get_string());
+    MRBIO_REQUIRE(r.done(), "trailing bytes after volume list");
+  } catch (const Error& e) {
+    throw InputError(format_msg("not a mrbio DB alias: ", alias_path, " (byte offset ",
+                                r.position(), ": ", e.what(), ")"));
+  }
   return info;
 }
 

@@ -12,11 +12,29 @@ FastaIndex::FastaIndex(std::string path, SeqType type)
   MRBIO_REQUIRE(in.good(), "cannot open FASTA file: ", path_);
   std::string line;
   std::uint64_t offset = 0;
+  std::size_t lineno = 0;
+  bool saw_residues_first = false;
   while (std::getline(in, line)) {
-    if (!line.empty() && line[0] == '>') offsets_.push_back(offset);
-    offset += static_cast<std::uint64_t>(line.size()) + 1;  // '\n'
+    ++lineno;
+    const auto raw_size = static_cast<std::uint64_t>(line.size());
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) {
+      if (line[0] == '>') {
+        offsets_.push_back(offset);
+        lines_.push_back(lineno);
+      } else if (offsets_.empty() && !saw_residues_first) {
+        // Remember the spot; only an error if no defline ever appears
+        // (headers of other text formats would fail record parsing later,
+        // with the same file:line context).
+        saw_residues_first = true;
+      }
+    }
+    offset += raw_size + 1;  // '\n'
   }
+  MRBIO_REQUIRE(in.eof(), "read error on FASTA file: ", path_);
   file_size_ = offset;
+  MRBIO_REQUIRE(!saw_residues_first || !offsets_.empty(), path_,
+                ":1: content before any '>' defline (not a FASTA file?)");
 }
 
 std::uint64_t FastaIndex::offset(std::size_t i) const {
@@ -35,9 +53,17 @@ std::vector<Sequence> FastaIndex::read_range(std::size_t first, std::size_t coun
   in.seekg(static_cast<std::streamoff>(begin));
   std::string chunk(static_cast<std::size_t>(end - begin), '\0');
   in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
-  MRBIO_REQUIRE(in.gcount() == static_cast<std::streamsize>(chunk.size()),
-                "short read from ", path_);
-  return parse_fasta(chunk, type_);
+  const auto got = static_cast<std::size_t>(in.gcount());
+  if (got < chunk.size()) {
+    // A file whose last line has no trailing '\n' indexes one byte short
+    // of file_size_; only the final range may legitimately come up short.
+    MRBIO_REQUIRE(in.eof() && last == offsets_.size() && got + 1 == chunk.size(),
+                  "short read from ", path_, " at byte offset ", begin, ": wanted ",
+                  chunk.size(), " bytes, got ", got,
+                  " (file truncated since indexing?)");
+    chunk.resize(got);
+  }
+  return parse_fasta(chunk, type_, path_, lines_[first]);
 }
 
 std::vector<std::uint64_t> tapered_block_sizes(std::uint64_t total_queries,

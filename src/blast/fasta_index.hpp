@@ -36,6 +36,7 @@ class FastaIndex {
   std::string path_;
   SeqType type_;
   std::vector<std::uint64_t> offsets_;  ///< start of each '>' defline
+  std::vector<std::size_t> lines_;      ///< 1-based line of each defline
   std::uint64_t file_size_ = 0;
 };
 

@@ -7,7 +7,8 @@
 
 namespace mrbio::blast {
 
-std::vector<Sequence> parse_fasta(std::string_view text, SeqType type) {
+std::vector<Sequence> parse_fasta(std::string_view text, SeqType type,
+                                  std::string_view origin, std::size_t first_line) {
   std::vector<Sequence> out;
   std::string residues;
   bool in_record = false;
@@ -20,7 +21,8 @@ std::vector<Sequence> parse_fasta(std::string_view text, SeqType type) {
   };
 
   std::size_t pos = 0;
-  while (pos < text.size()) {
+  std::size_t lineno = first_line;
+  for (; pos < text.size(); ++lineno) {
     std::size_t eol = text.find('\n', pos);
     if (eol == std::string_view::npos) eol = text.size();
     std::string_view line = text.substr(pos, eol - pos);
@@ -38,11 +40,12 @@ std::vector<Sequence> parse_fasta(std::string_view text, SeqType type) {
         const std::size_t rest = defline.find_first_not_of(" \t", sp);
         if (rest != std::string_view::npos) seq.description = std::string(defline.substr(rest));
       }
-      MRBIO_REQUIRE(!seq.id.empty(), "FASTA record with empty id");
+      MRBIO_REQUIRE(!seq.id.empty(), origin, ":", lineno, ": FASTA record with empty id");
       out.push_back(std::move(seq));
       in_record = true;
     } else {
-      MRBIO_REQUIRE(in_record, "FASTA residues before any '>' defline");
+      MRBIO_REQUIRE(in_record, origin, ":", lineno,
+                    ": FASTA residues before any '>' defline (not a FASTA file?)");
       residues.append(line);
     }
   }
@@ -55,7 +58,8 @@ std::vector<Sequence> read_fasta_file(const std::string& path, SeqType type) {
   MRBIO_REQUIRE(in.good(), "cannot open FASTA file: ", path);
   std::ostringstream ss;
   ss << in.rdbuf();
-  return parse_fasta(ss.str(), type);
+  MRBIO_REQUIRE(in.good() || in.eof(), "read error on FASTA file: ", path);
+  return parse_fasta(ss.str(), type, path);
 }
 
 std::string to_fasta(const std::vector<Sequence>& seqs, SeqType type) {

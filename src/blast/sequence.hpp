@@ -21,10 +21,14 @@ struct Sequence {
 };
 
 /// Parses FASTA text into encoded sequences. Throws InputError on records
-/// without a defline or empty ids.
-std::vector<Sequence> parse_fasta(std::string_view text, SeqType type);
+/// without a defline or empty ids; messages carry `origin` (the file path,
+/// or a placeholder for in-memory text) and the 1-based line number.
+std::vector<Sequence> parse_fasta(std::string_view text, SeqType type,
+                                  std::string_view origin = "<memory>",
+                                  std::size_t first_line = 1);
 
-/// Reads and parses a FASTA file.
+/// Reads and parses a FASTA file. Throws InputError (with the path) when
+/// the file cannot be opened or is not FASTA.
 std::vector<Sequence> read_fasta_file(const std::string& path, SeqType type);
 
 /// Renders sequences back to FASTA (wrapping at 70 columns).

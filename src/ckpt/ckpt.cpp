@@ -1,0 +1,384 @@
+#include "ckpt/ckpt.hpp"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace mrbio::ckpt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4b504352;  // "RCPK" little-endian
+constexpr std::uint64_t kMaxRecordLen = 1ull << 31;
+constexpr char kManifestHeader[] = "mrbio-ckpt v1\n";
+constexpr std::size_t kFrameBytes = sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t);
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void fsync_stream(std::FILE* f, const std::string& path) {
+  MRBIO_CHECK(std::fflush(f) == 0, "checkpoint flush failed: ", path);
+  MRBIO_CHECK(::fsync(fileno(f)) == 0, "checkpoint fsync failed: ", path);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::byte b : data) {
+    c = table[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// RecordWriter / RecordReader
+
+RecordWriter::RecordWriter(std::string path, std::uint64_t valid_end)
+    : path_(std::move(path)), end_(valid_end) {
+  std::error_code ec;
+  const auto size = fs::file_size(path_, ec);
+  if (!ec && size > valid_end) {
+    // Drop the torn/corrupt tail a previous read pass identified.
+    fs::resize_file(path_, valid_end, ec);
+    MRBIO_CHECK(!ec, "cannot truncate checkpoint log ", path_, ": ", ec.message());
+  }
+  f_ = std::fopen(path_.c_str(), "ab");
+  MRBIO_CHECK(f_ != nullptr, "cannot open checkpoint log for append: ", path_);
+}
+
+RecordWriter::~RecordWriter() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void RecordWriter::append(std::span<const std::byte> payload) {
+  MRBIO_CHECK(payload.size() < kMaxRecordLen, "checkpoint record too large: ",
+              payload.size(), " bytes");
+  const std::uint32_t crc = crc32(payload);
+  const std::uint64_t len = payload.size();
+  const bool ok = std::fwrite(&kMagic, sizeof(kMagic), 1, f_) == 1 &&
+                  std::fwrite(&crc, sizeof(crc), 1, f_) == 1 &&
+                  std::fwrite(&len, sizeof(len), 1, f_) == 1 &&
+                  (payload.empty() ||
+                   std::fwrite(payload.data(), 1, payload.size(), f_) == payload.size());
+  MRBIO_CHECK(ok, "checkpoint write failed: ", path_);
+  end_ += kFrameBytes + payload.size();
+}
+
+void RecordWriter::sync() { fsync_stream(f_, path_); }
+
+RecordReader::RecordReader(const std::string& path) {
+  f_ = std::fopen(path.c_str(), "rb");  // nullptr (missing file) reads as empty
+}
+
+RecordReader::~RecordReader() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+ReadStatus RecordReader::next(std::vector<std::byte>& payload) {
+  if (f_ == nullptr) return ReadStatus::Eof;
+  std::uint32_t magic = 0;
+  std::uint32_t crc = 0;
+  std::uint64_t len = 0;
+  const std::size_t got_magic = std::fread(&magic, 1, sizeof(magic), f_);
+  if (got_magic == 0) return ReadStatus::Eof;
+  if (got_magic != sizeof(magic) ||
+      std::fread(&crc, 1, sizeof(crc), f_) != sizeof(crc) ||
+      std::fread(&len, 1, sizeof(len), f_) != sizeof(len)) {
+    return ReadStatus::Corrupt;  // torn header
+  }
+  if (magic != kMagic || len >= kMaxRecordLen) return ReadStatus::Corrupt;
+  payload.resize(len);
+  if (len != 0 && std::fread(payload.data(), 1, len, f_) != len) {
+    return ReadStatus::Corrupt;  // torn payload
+  }
+  if (crc32(payload) != crc) return ReadStatus::Corrupt;  // bit rot
+  pos_ += kFrameBytes + len;
+  valid_end_ = pos_;
+  return ReadStatus::Ok;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointer
+
+Checkpointer::Checkpointer(CheckpointConfig config, fault::Injector* injector)
+    : config_(std::move(config)), injector_(injector) {}
+
+Checkpointer::~Checkpointer() = default;
+
+std::string Checkpointer::manifest_path() const { return config_.dir + "/MANIFEST"; }
+std::string Checkpointer::ledger_path() const { return config_.dir + "/ledger.log"; }
+
+std::string Checkpointer::snapshot_path(const std::string& name) const {
+  return config_.dir + "/snap." + name + ".bin";
+}
+
+std::string Checkpointer::map_log_path(int rank, std::uint64_t cycle) const {
+  return config_.dir + "/map.r" + std::to_string(rank) + ".c" + std::to_string(cycle) +
+         ".log";
+}
+
+std::string Checkpointer::spill_dir() const { return config_.dir + "/spill"; }
+
+void Checkpointer::remove_own_files() {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const bool ours = name == "MANIFEST" || name == "ledger.log" ||
+                      (name.rfind("snap.", 0) == 0 && name.size() > 9 &&
+                       name.compare(name.size() - 4, 4, ".bin") == 0) ||
+                      (name.rfind("map.r", 0) == 0 && name.size() > 9 &&
+                       name.compare(name.size() - 4, 4, ".log") == 0);
+    if (ours) {
+      fs::remove(entry.path(), ec);
+    } else if (name == "spill") {
+      fs::remove_all(entry.path(), ec);
+    }
+  }
+}
+
+void Checkpointer::open(const std::string& fingerprint) {
+  MRBIO_REQUIRE(enabled(), "Checkpointer::open called with no checkpoint dir");
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  MRBIO_REQUIRE(!ec, "cannot create checkpoint dir ", config_.dir, ": ", ec.message());
+  const std::string want = std::string(kManifestHeader) + fingerprint + "\n";
+
+  if (fs::exists(manifest_path())) {
+    std::string have;
+    if (std::FILE* f = std::fopen(manifest_path().c_str(), "rb")) {
+      char buf[4096];
+      std::size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) have.append(buf, n);
+      std::fclose(f);
+    }
+    MRBIO_REQUIRE(config_.resume, "checkpoint dir ", config_.dir,
+                  " already holds a checkpoint; pass --resume to continue it "
+                  "or remove the directory to start over");
+    MRBIO_REQUIRE(have == want, "checkpoint in ", config_.dir,
+                  " was written by a different run configuration; refusing to "
+                  "resume (remove the directory to start over)");
+    resuming_ = true;
+    // Load the commit ledger, stopping at the first torn/corrupt record:
+    // later cycles simply re-run.
+    RecordReader reader(ledger_path());
+    std::vector<std::byte> payload;
+    ReadStatus st;
+    while ((st = reader.next(payload)) == ReadStatus::Ok) {
+      ledger_records_.push_back(payload);
+      ++stats_.records_replayed;
+      stats_.bytes_replayed += payload.size();
+    }
+    if (st == ReadStatus::Corrupt) {
+      ++stats_.corrupt_records;
+      MRBIO_LOG(Warn, "checkpoint ledger ", ledger_path(),
+                " has a corrupt record after offset ", reader.valid_end(),
+                "; later cycles will re-run");
+    }
+    ledger_ = std::make_unique<RecordWriter>(ledger_path(), reader.valid_end());
+  } else {
+    if (config_.resume) {
+      MRBIO_LOG(Warn, "--resume: no checkpoint found in ", config_.dir,
+                "; starting fresh");
+    }
+    remove_own_files();  // stale partial state from a dir without a MANIFEST
+    std::FILE* f = std::fopen(manifest_path().c_str(), "wb");
+    MRBIO_REQUIRE(f != nullptr, "cannot write ", manifest_path());
+    MRBIO_CHECK(std::fwrite(want.data(), 1, want.size(), f) == want.size(),
+                "manifest write failed: ", manifest_path());
+    fsync_stream(f, manifest_path());
+    std::fclose(f);
+    ledger_ = std::make_unique<RecordWriter>(ledger_path(), 0);
+  }
+  fs::create_directories(spill_dir(), ec);
+  MRBIO_REQUIRE(!ec, "cannot create spill dir ", spill_dir(), ": ", ec.message());
+  opened_ = true;
+}
+
+void Checkpointer::begin_cycle(int rank, std::uint64_t cycle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (static_cast<std::size_t>(rank) >= cycles_.size()) {
+    cycles_.resize(static_cast<std::size_t>(rank) + 1, 0);
+  }
+  cycles_[static_cast<std::size_t>(rank)] = cycle;
+}
+
+std::uint64_t Checkpointer::cycle(int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::size_t>(rank) < cycles_.size()
+             ? cycles_[static_cast<std::size_t>(rank)]
+             : 0;
+}
+
+void Checkpointer::append_cycle_record(std::span<const std::byte> payload) {
+  MRBIO_CHECK(opened_, "checkpointer not opened");
+  std::lock_guard<std::mutex> lock(mutex_);
+  ledger_->append(payload);
+  ledger_->sync();
+  ++stats_.records_written;
+  stats_.bytes_written += kFrameBytes + payload.size();
+  maybe_corrupt(ledger_path(), fault::CorruptTarget::Ledger);
+}
+
+void Checkpointer::save_snapshot(const std::string& name,
+                                 std::span<const std::byte> payload) {
+  MRBIO_CHECK(opened_, "checkpointer not opened");
+  const std::string final_path = snapshot_path(name);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    RecordWriter w(tmp_path, 0);
+    w.append(payload);
+    w.sync();
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  MRBIO_CHECK(!ec, "cannot publish snapshot ", final_path, ": ", ec.message());
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.snapshots_saved;
+  ++stats_.records_written;
+  stats_.bytes_written += kFrameBytes + payload.size();
+  maybe_corrupt(final_path, fault::CorruptTarget::Snapshot);
+}
+
+bool Checkpointer::load_snapshot(const std::string& name, std::vector<std::byte>& out) {
+  RecordReader reader(snapshot_path(name));
+  const ReadStatus st = reader.next(out);
+  if (st == ReadStatus::Ok) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.records_replayed;
+    stats_.bytes_replayed += out.size();
+    return true;
+  }
+  out.clear();
+  if (st == ReadStatus::Corrupt) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.corrupt_records;
+    MRBIO_LOG(Warn, "snapshot ", snapshot_path(name),
+              " failed its integrity check; recomputing that state from scratch");
+  }
+  return false;
+}
+
+std::uint64_t Checkpointer::read_map_log(
+    int rank, std::uint64_t cycle,
+    const std::function<void(std::span<const std::byte>)>& fn) {
+  RecordReader reader(map_log_path(rank, cycle));
+  std::vector<std::byte> payload;
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;
+  ReadStatus st;
+  while ((st = reader.next(payload)) == ReadStatus::Ok) {
+    ++records;
+    bytes += payload.size();
+    fn(payload);
+  }
+  if (st == ReadStatus::Corrupt) {
+    note_corrupt();
+    MRBIO_LOG(Warn, "checkpoint map log ", map_log_path(rank, cycle),
+              " has a corrupt record after offset ", reader.valid_end(),
+              "; the affected tasks will re-run");
+  }
+  note_replayed(records, bytes);
+  return reader.valid_end();
+}
+
+std::unique_ptr<RecordWriter> Checkpointer::open_map_log(int rank, std::uint64_t cycle,
+                                                         std::uint64_t valid_end) {
+  return std::make_unique<RecordWriter>(map_log_path(rank, cycle), valid_end);
+}
+
+void Checkpointer::remove_map_log(int rank, std::uint64_t cycle) {
+  std::error_code ec;
+  fs::remove(map_log_path(rank, cycle), ec);
+}
+
+void Checkpointer::cleanup_on_success() {
+  if (!opened_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ledger_.reset();
+  remove_own_files();
+  std::error_code ec;
+  fs::remove(config_.dir, ec);  // only succeeds if the dir is now empty
+  opened_ = false;
+}
+
+CheckpointStats Checkpointer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Checkpointer::note_written(std::uint64_t records, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.records_written += records;
+  stats_.bytes_written += bytes;
+}
+
+void Checkpointer::note_replayed(std::uint64_t records, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.records_replayed += records;
+  stats_.bytes_replayed += bytes;
+}
+
+void Checkpointer::note_corrupt(std::uint64_t records) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.corrupt_records += records;
+}
+
+void Checkpointer::after_ledger_write() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  maybe_corrupt(ledger_path(), fault::CorruptTarget::Ledger);
+}
+
+void Checkpointer::after_map_log_write(int rank, std::uint64_t cycle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  maybe_corrupt(map_log_path(rank, cycle), fault::CorruptTarget::MapLog);
+}
+
+void Checkpointer::after_snapshot_write(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  maybe_corrupt(snapshot_path(name), fault::CorruptTarget::Snapshot);
+}
+
+void Checkpointer::maybe_corrupt(const std::string& path, fault::CorruptTarget target) {
+  if (injector_ == nullptr) return;
+  fault::CorruptFault f;
+  if (!injector_->take_corrupt(target, f)) return;
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) return;
+  std::error_code ec;
+  const auto size = static_cast<long long>(fs::file_size(path, ec));
+  if (ec || size == 0) {
+    std::fclose(file);
+    return;
+  }
+  long long offset = f.byte >= 0 ? f.byte : size / 2;
+  if (offset >= size) offset = size - 1;
+  unsigned char b = 0;
+  if (std::fseek(file, static_cast<long>(offset), SEEK_SET) == 0 &&
+      std::fread(&b, 1, 1, file) == 1) {
+    b ^= 0xFFu;
+    std::fseek(file, static_cast<long>(offset), SEEK_SET);
+    std::fwrite(&b, 1, 1, file);
+    std::fflush(file);
+    MRBIO_LOG(Info, "fault injection: flipped byte ", offset, " of ", path);
+  }
+  std::fclose(file);
+}
+
+}  // namespace mrbio::ckpt

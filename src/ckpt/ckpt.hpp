@@ -1,0 +1,206 @@
+// Checkpoint/restart with integrity-checked durable state.
+//
+// Long BLAST/SOM runs lose every completed (query-block x DB-partition)
+// task when the whole job dies; PR 4's fault-tolerant scheduler only
+// survives *worker* crashes inside a live run. This layer persists the
+// master's commit ledger, completed task outputs (serialized KV pages)
+// and the scheduler cursor to a directory, so a killed job restarted
+// with --resume replays the ledger, skips committed work and re-executes
+// only the tail.
+//
+// Durability model (everything is a framed record):
+//
+//   [u32 magic 'RCPK'][u32 crc32(payload)][u64 len][payload bytes]
+//
+// A torn write leaves a short or CRC-failing tail; a flipped bit fails
+// the CRC. Either way the reader reports Corrupt, the caller truncates
+// the file back to the last good record and re-runs the affected tasks —
+// degraded to recomputation plus a warning, never a crash or a silently
+// wrong output.
+//
+// On-disk layout inside the checkpoint dir:
+//
+//   MANIFEST              run fingerprint; guards --resume against a
+//                         different query/db/rank configuration
+//   ledger.log            rank-0 cycle records (driver-defined payload),
+//                         appended once per completed superstep
+//   map.r<R>.c<C>.log     per-rank, per-cycle map-task output records,
+//                         appended as tasks commit
+//   snap.<name>.bin       single-record atomic snapshots (tmp + rename)
+//   spill/                durable out-of-core KV spill files
+//
+// The Checkpointer is shared by all ranks of a run (threads on the
+// native backend), so every mutating entry point is mutex-guarded.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+
+namespace mrbio::ckpt {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum
+/// guarding every checkpoint record.
+std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t seed = 0);
+
+struct CheckpointConfig {
+  std::string dir;        ///< empty = checkpointing disabled
+  double interval = 5.0;  ///< min seconds between map-log flushes (0 = every task)
+  bool resume = false;    ///< continue from an existing checkpoint
+  /// Virtual seconds charged per checkpoint byte written or replayed, so
+  /// the sim timeline (and --report's checkpoint_io category) prices
+  /// durability; the native backend measures real time instead.
+  double byte_seconds = 2.0e-9;
+};
+
+enum class ReadStatus { Ok, Eof, Corrupt };
+
+/// Appends framed records to a log file. Construction truncates the file
+/// to `valid_end` (dropping any torn tail found by a previous read pass)
+/// and opens it for append.
+class RecordWriter {
+ public:
+  RecordWriter(std::string path, std::uint64_t valid_end);
+  ~RecordWriter();
+  RecordWriter(const RecordWriter&) = delete;
+  RecordWriter& operator=(const RecordWriter&) = delete;
+
+  void append(std::span<const std::byte> payload);
+  /// Flushes user-space buffers and fsyncs the file descriptor.
+  void sync();
+  std::uint64_t bytes_written() const { return end_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* f_ = nullptr;
+  std::uint64_t end_ = 0;  ///< current file offset (all records durable to here)
+};
+
+/// Sequentially reads framed records. A missing file reads as empty.
+/// After Eof or Corrupt, valid_end() is the offset just past the last
+/// good record — the truncation point for reopening with RecordWriter.
+class RecordReader {
+ public:
+  explicit RecordReader(const std::string& path);
+  ~RecordReader();
+  RecordReader(const RecordReader&) = delete;
+  RecordReader& operator=(const RecordReader&) = delete;
+
+  ReadStatus next(std::vector<std::byte>& payload);
+  std::uint64_t valid_end() const { return valid_end_; }
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::uint64_t pos_ = 0;
+  std::uint64_t valid_end_ = 0;
+};
+
+struct CheckpointStats {
+  std::uint64_t records_written = 0;
+  std::uint64_t bytes_written = 0;   ///< payload + framing, all files
+  std::uint64_t records_replayed = 0;
+  std::uint64_t bytes_replayed = 0;
+  std::uint64_t corrupt_records = 0;  ///< records dropped by CRC/framing checks
+  std::uint64_t snapshots_saved = 0;
+};
+
+class Checkpointer {
+ public:
+  /// `injector` (optional) supplies corrupt-checkpoint faults: after each
+  /// durable write the matching target file gets a byte flipped, which the
+  /// next read must detect via CRC.
+  explicit Checkpointer(CheckpointConfig config, fault::Injector* injector = nullptr);
+  ~Checkpointer();
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  /// Creates the directory tree and validates/creates MANIFEST.
+  /// `fingerprint` captures the run configuration (inputs, rank count,
+  /// block schedule); resuming with a different fingerprint is an error,
+  /// and a populated dir without --resume is an error. Call once from the
+  /// driver before launching ranks.
+  void open(const std::string& fingerprint);
+
+  bool enabled() const { return !config_.dir.empty(); }
+  /// True when open() found a matching checkpoint to continue.
+  bool resuming() const { return resuming_; }
+  const CheckpointConfig& config() const { return config_; }
+
+  // -- Scheduler cursor. The driver brackets each superstep (BLAST block
+  // cycle, SOM epoch) with begin_cycle(); the MapReduce layer reads the
+  // current cycle to name its map log.
+  void begin_cycle(int rank, std::uint64_t cycle);
+  std::uint64_t cycle(int rank) const;
+
+  // -- Commit ledger (written by rank 0, one record per completed cycle).
+  // Records found at open() are exposed for the driver's resume replay;
+  // a corrupt tail is dropped with a warning (those cycles re-run).
+  void append_cycle_record(std::span<const std::byte> payload);
+  const std::vector<std::vector<std::byte>>& ledger_records() const {
+    return ledger_records_;
+  }
+
+  // -- Atomic snapshots (tmp + fsync + rename). load_snapshot returns
+  // false — degrading to "start that state from scratch" — when the
+  // snapshot is missing or fails its CRC.
+  void save_snapshot(const std::string& name, std::span<const std::byte> payload);
+  bool load_snapshot(const std::string& name, std::vector<std::byte>& out);
+
+  // -- Per-rank, per-cycle map-task logs.
+  std::string map_log_path(int rank, std::uint64_t cycle) const;
+  /// Replays every intact record through `fn`; returns the truncation
+  /// offset for open_map_log. Corruption stops the replay with a warning.
+  std::uint64_t read_map_log(int rank, std::uint64_t cycle,
+                             const std::function<void(std::span<const std::byte>)>& fn);
+  std::unique_ptr<RecordWriter> open_map_log(int rank, std::uint64_t cycle,
+                                             std::uint64_t valid_end);
+  void remove_map_log(int rank, std::uint64_t cycle);
+
+  /// Directory for durable KV spill files (created by open()).
+  std::string spill_dir() const;
+
+  /// Removes the checkpoint's own files (MANIFEST, ledger, map logs,
+  /// snapshots, spill dir) after a successful run; the directory itself
+  /// is removed only if that left it empty.
+  void cleanup_on_success();
+
+  CheckpointStats stats() const;
+  // Accounting entry points for writers/readers owned by other layers
+  // (the MapReduce map log) so one stats block covers the whole run.
+  void note_written(std::uint64_t records, std::uint64_t bytes);
+  void note_replayed(std::uint64_t records, std::uint64_t bytes);
+  void note_corrupt(std::uint64_t records = 1);
+
+  // Fault-injection hooks, called after the matching durable write. Each
+  // consumes at most one pending corrupt fault from the injector.
+  void after_ledger_write();
+  void after_map_log_write(int rank, std::uint64_t cycle);
+  void after_snapshot_write(const std::string& name);
+
+ private:
+  std::string manifest_path() const;
+  std::string ledger_path() const;
+  std::string snapshot_path(const std::string& name) const;
+  void remove_own_files();
+  void maybe_corrupt(const std::string& path, fault::CorruptTarget target);
+
+  CheckpointConfig config_;
+  fault::Injector* injector_ = nullptr;
+  bool opened_ = false;
+  bool resuming_ = false;
+  std::vector<std::vector<std::byte>> ledger_records_;
+  std::unique_ptr<RecordWriter> ledger_;
+  std::vector<std::uint64_t> cycles_;  ///< per-rank current cycle
+  CheckpointStats stats_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace mrbio::ckpt

@@ -74,6 +74,7 @@ class ByteReader {
 
   std::vector<std::byte> get_bytes() {
     const auto n = get<std::uint64_t>();
+    check_avail(n);  // before allocating: a corrupt length must not OOM
     std::vector<std::byte> out(n);
     take(out.data(), n);
     return out;
@@ -81,6 +82,7 @@ class ByteReader {
 
   std::string get_string() {
     const auto n = get<std::uint64_t>();
+    check_avail(n);
     std::string out(n, '\0');
     take(out.data(), n);
     return out;
@@ -90,6 +92,10 @@ class ByteReader {
   std::vector<T> get_vector() {
     static_assert(std::is_trivially_copyable_v<T>, "get_vector() requires POD elements");
     const auto n = get<std::uint64_t>();
+    // Divide instead of multiplying: n * sizeof(T) could wrap for a
+    // corrupt length and sneak past the bounds check.
+    MRBIO_CHECK(n <= (data_.size() - pos_) / sizeof(T), "ByteReader underflow at offset ",
+                pos_, ": need ", n, " elements of ", sizeof(T), " bytes");
     std::vector<T> out(n);
     take(out.data(), n * sizeof(T));
     return out;
@@ -107,11 +113,17 @@ class ByteReader {
 
   std::size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return pos_ == data_.size(); }
+  /// Current read offset — error messages name the exact byte position.
+  std::size_t position() const { return pos_; }
 
  private:
+  void check_avail(std::size_t n) const {
+    MRBIO_CHECK(n <= data_.size() - pos_, "ByteReader underflow at offset ", pos_,
+                ": need ", n, " have ", data_.size() - pos_);
+  }
+
   void take(void* out, std::size_t n) {
-    MRBIO_CHECK(pos_ + n <= data_.size(), "ByteReader underflow: need ", n, " have ",
-                data_.size() - pos_);
+    check_avail(n);
     std::memcpy(out, data_.data() + pos_, n);
     pos_ += n;
   }

@@ -130,9 +130,41 @@ void add_clause(FaultPlan& plan, const std::string& kind,
     s.factor = to_real("factor", require("factor"));
     MRBIO_REQUIRE(s.factor >= 1.0, "fault plan: slow factor must be >= 1");
     plan.slows.push_back(s);
+  } else if (kind == "kill") {
+    check_known(kind, fields, {"t"});
+    KillFault k;
+    k.t = to_real("t", require("t"));
+    MRBIO_REQUIRE(k.t >= 0.0, "fault plan: kill time must be >= 0");
+    plan.kills.push_back(k);
+  } else if (kind == "corrupt") {
+    check_known(kind, fields, {"target", "byte", "count"});
+    CorruptFault c;
+    if (const std::string* target = get("target")) {
+      if (*target == "ledger") {
+        c.target = CorruptTarget::Ledger;
+      } else if (*target == "map") {
+        c.target = CorruptTarget::MapLog;
+      } else if (*target == "snapshot") {
+        c.target = CorruptTarget::Snapshot;
+      } else if (*target == "any") {
+        c.target = CorruptTarget::Any;
+      } else {
+        throw InputError(format_msg("fault plan: corrupt target must be ",
+                                    "ledger/map/snapshot/any, got '", *target, "'"));
+      }
+    }
+    if (const std::string* byte = get("byte")) {
+      c.byte = to_int("byte", *byte);
+      MRBIO_REQUIRE(c.byte >= 0, "fault plan: corrupt byte offset must be >= 0");
+    }
+    if (const std::string* count = get("count")) {
+      c.count = static_cast<int>(to_int("count", *count));
+      MRBIO_REQUIRE(c.count > 0, "fault plan: count must be positive");
+    }
+    plan.corrupts.push_back(c);
   } else {
     throw InputError(format_msg("fault plan: unknown fault kind '", kind,
-                                "' (expected crash/drop/dup/delay/slow)"));
+                                "' (expected crash/drop/dup/delay/slow/kill/corrupt)"));
   }
 }
 
@@ -306,7 +338,7 @@ class JsonReader {
 
 }  // namespace
 
-void FaultPlan::validate(int nranks) const {
+void FaultPlan::validate(int nranks, bool checkpointing) const {
   for (const CrashFault& c : crashes) {
     MRBIO_REQUIRE(c.rank >= 0 && c.rank < nranks, "fault plan: crash rank ", c.rank,
                   " outside [0, ", nranks, ")");
@@ -323,6 +355,12 @@ void FaultPlan::validate(int nranks) const {
     MRBIO_REQUIRE(s.rank >= 0 && s.rank < nranks, "fault plan: slow rank ", s.rank,
                   " outside [0, ", nranks, ")");
   }
+  for (const KillFault& k : kills) {
+    MRBIO_REQUIRE(k.t >= 0.0, "fault plan: kill time must be >= 0");
+  }
+  MRBIO_REQUIRE(corrupts.empty() || checkpointing,
+                "fault plan: corrupt faults need a checkpoint to target; "
+                "configure --checkpoint-dir");
 }
 
 std::string FaultPlan::describe() const {
@@ -349,6 +387,18 @@ std::string FaultPlan::describe() const {
   }
   for (const SlowFault& s : slows) {
     sep() << "slow:rank=" << s.rank << ",factor=" << s.factor;
+  }
+  for (const KillFault& k : kills) {
+    sep() << "kill:t=" << k.t;
+  }
+  for (const CorruptFault& c : corrupts) {
+    const char* target = c.target == CorruptTarget::Ledger     ? "ledger"
+                         : c.target == CorruptTarget::MapLog   ? "map"
+                         : c.target == CorruptTarget::Snapshot ? "snapshot"
+                                                               : "any";
+    sep() << "corrupt:target=" << target;
+    if (c.byte >= 0) os << ",byte=" << c.byte;
+    if (c.count != 1) os << ",count=" << c.count;
   }
   return os.str();
 }
@@ -395,9 +445,26 @@ FaultPlan FaultPlan::from_file(const std::string& path) {
 Injector::Injector(FaultPlan plan) : plan_(std::move(plan)) {
   for (const CrashFault& c : plan_.crashes) crashes_.push_back({c, false});
   for (const MessageFault& m : plan_.messages) messages_.push_back({m, m.count});
+  for (const KillFault& k : plan_.kills) kills_.push_back({k, false});
+  for (const CorruptFault& c : plan_.corrupts) corrupts_.push_back({c, c.count});
 }
 
 void Injector::poll_locked(int rank, double now, std::unique_lock<std::mutex>& lock) {
+  // Job kills outrank everything: once due, EVERY poll on EVERY rank
+  // throws, so no rank keeps computing past the kill point. `fired` only
+  // de-duplicates the stats counter.
+  for (KillState& k : kills_) {
+    if (now < k.fault.t) continue;
+    if (!k.fired) {
+      k.fired = true;
+      ++stats_.kills_fired;
+    }
+    const std::string what =
+        format_msg("injected job kill at t=", now, " (planned t=", k.fault.t,
+                   ") on rank ", rank, " — restart with --resume to continue");
+    lock.unlock();
+    throw JobKillSignal(rank, what);
+  }
   for (CrashState& c : crashes_) {
     if (c.fired || c.fault.rank != rank) continue;
     const bool time_due = c.fault.t >= 0.0 && now >= c.fault.t;
@@ -472,6 +539,21 @@ SendAction Injector::on_send(int src, int dst, int tag, int user_tag_limit) {
     }
   }
   return action;
+}
+
+bool Injector::take_corrupt(CorruptTarget target, CorruptFault& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (CorruptState& c : corrupts_) {
+    if (c.remaining <= 0) continue;
+    const bool match = c.fault.target == CorruptTarget::Any ||
+                       target == CorruptTarget::Any || c.fault.target == target;
+    if (!match) continue;
+    --c.remaining;
+    ++stats_.checkpoints_corrupted;
+    out = c.fault;
+    return true;
+  }
+  return false;
 }
 
 double Injector::slow_factor(int rank) const {

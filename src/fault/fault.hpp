@@ -20,6 +20,18 @@
 // limit), never to collective traffic, and every fault has a finite
 // count, so a plan can delay progress but cannot livelock a run.
 //
+// Two whole-job fault kinds exercise the checkpoint/restart layer:
+//
+//   * kill:t=0.5 throws JobKillSignal (NOT CrashSignal — the fault-
+//     tolerant worker loop must not swallow it) from every crash poll at
+//     or after the trigger time, modeling the scheduler killing the whole
+//     job; the CLI tools map it to exit code 3 so a wrapper can restart
+//     with --resume.
+//   * corrupt:target=ledger|map|snapshot|any flips a byte in the matching
+//     checkpoint file right after a durable write (the ckpt layer calls
+//     Injector::take_corrupt from its post-write hooks), which the next
+//     read must catch via CRC and degrade to recomputation.
+//
 // Plans parse from a compact spec string
 //
 //   crash:rank=3@t=0.4; drop:src=1,dst=0,count=2; slow:rank=2,factor=4
@@ -55,6 +67,19 @@ class CrashSignal : public Error {
   int rank_;
 };
 
+/// Thrown out of crash polls when a job-kill trigger fires. Deliberately
+/// NOT a CrashSignal: the fault-tolerant worker loop only catches
+/// CrashSignal, so a kill always unwinds the whole run — the in-memory
+/// state is gone and only checkpointed state survives for --resume.
+class JobKillSignal : public Error {
+ public:
+  explicit JobKillSignal(int rank, const std::string& what) : Error(what), rank_(rank) {}
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
 /// One injected rank crash. Exactly one trigger is set: `t` (fires at the
 /// first poll at or after that time) or `task` (fires when the rank starts
 /// its task-index-th map task, 0-based, counted per rank per run).
@@ -83,16 +108,41 @@ struct SlowFault {
   double factor = 1.0;
 };
 
+/// Kills the whole job at virtual/steady time `t`: every rank's next
+/// crash poll at or after `t` throws JobKillSignal.
+struct KillFault {
+  double t = 0.0;
+};
+
+/// Which checkpoint file class a corrupt fault targets.
+enum class CorruptTarget : std::uint8_t { Ledger, MapLog, Snapshot, Any };
+
+/// Flips one byte of a freshly written checkpoint file. Applies to the
+/// next `count` matching durable writes; `byte` is an absolute offset
+/// (clamped to the file), or -1 for the middle of the file.
+struct CorruptFault {
+  CorruptTarget target = CorruptTarget::Any;
+  std::int64_t byte = -1;
+  int count = 1;
+};
+
 struct FaultPlan {
   std::vector<CrashFault> crashes;
   std::vector<MessageFault> messages;
   std::vector<SlowFault> slows;
+  std::vector<KillFault> kills;
+  std::vector<CorruptFault> corrupts;
 
-  bool empty() const { return crashes.empty() && messages.empty() && slows.empty(); }
+  bool empty() const {
+    return crashes.empty() && messages.empty() && slows.empty() && kills.empty() &&
+           corrupts.empty();
+  }
 
   /// Throws mrbio::InputError when a fault references a rank outside
-  /// [0, nranks) or a crash targets the master (rank 0).
-  void validate(int nranks) const;
+  /// [0, nranks), a crash targets the master (rank 0), or a corrupt-
+  /// checkpoint fault is present with no checkpoint dir configured
+  /// (`checkpointing` false).
+  void validate(int nranks, bool checkpointing = false) const;
 
   /// Canonical spec-string form (parse(describe()) round-trips).
   std::string describe() const;
@@ -118,6 +168,8 @@ struct InjectorStats {
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_duplicated = 0;
   std::uint64_t messages_delayed = 0;
+  std::uint64_t kills_fired = 0;
+  std::uint64_t checkpoints_corrupted = 0;
 };
 
 /// Thread-safe run-time state of one FaultPlan. One Injector serves one
@@ -150,6 +202,12 @@ class Injector {
   /// Compute multiplier for `rank`; 1.0 when no slow fault matches.
   double slow_factor(int rank) const;
 
+  /// Consumes one pending corrupt-checkpoint fault matching `target`
+  /// (CorruptTarget::Any matches every write class). Returns true and
+  /// fills `out` when a fault was consumed; the caller applies the byte
+  /// flip to the file it just wrote.
+  bool take_corrupt(CorruptTarget target, CorruptFault& out);
+
   InjectorStats stats() const;
   const FaultPlan& plan() const { return plan_; }
 
@@ -162,6 +220,14 @@ class Injector {
     MessageFault fault;
     int remaining = 0;
   };
+  struct KillState {
+    KillFault fault;
+    bool fired = false;  ///< guards the stats counter; the throw repeats
+  };
+  struct CorruptState {
+    CorruptFault fault;
+    int remaining = 0;
+  };
 
   void poll_locked(int rank, double now, std::unique_lock<std::mutex>& lock);
 
@@ -169,6 +235,8 @@ class Injector {
   mutable std::mutex mutex_;
   std::vector<CrashState> crashes_;
   std::vector<MessageState> messages_;
+  std::vector<KillState> kills_;
+  std::vector<CorruptState> corrupts_;
   std::vector<bool> crashed_;              ///< indexed by rank, grown on demand
   std::vector<bool> permanently_crashed_;  ///< indexed by rank, grown on demand
   std::vector<std::int64_t> tasks_started_;  ///< per-rank map-task counter

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <map>
 
+#include "ckpt/ckpt.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
@@ -113,13 +114,94 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
   mrmpi::MapReduceConfig mr_config;
   mr_config.map_style = config.map_style;
   mr_config.ft = config.ft;
+  if (config.memsize_bytes != 0) mr_config.memsize_bytes = config.memsize_bytes;
+  if (config.page_bytes != 0) mr_config.page_bytes = config.page_bytes;
+  mr_config.page_to_disk = config.page_to_disk;
+  ckpt::Checkpointer* cp = config.checkpointer;
+  const bool ckpt_on = cp != nullptr && cp->enabled();
+  mr_config.checkpointer = ckpt_on ? cp : nullptr;
   mrmpi::MapReduce mr(comm, mr_config);
 
   const std::size_t blocks_per_iter =
       config.blocks_per_iteration == 0 ? nblocks : config.blocks_per_iteration;
 
+  // ---- resume handshake ----
+  // The newest intact ledger record holds, per rank, the committed
+  // hit-file size and cumulative HSP count at the end of its cycle. Each
+  // rank checks its own file against the record and the ranks agree (by
+  // all-reduce) whether to continue from the record — truncating each hit
+  // file to the committed prefix — or, if anything is off, to degrade to
+  // a fresh run with a warning. Uncommitted bytes from the killed run's
+  // last open cycle are cut off by the truncation; its tasks re-run.
+  const std::string hit_path =
+      config.output_dir + "/hits." + std::to_string(comm.rank()) + ".tsv";
+  std::uint64_t first_cycle = 0;
+  bool append_output = false;
+  if (ckpt_on) {
+    std::uint64_t rec_cycle = 0;
+    std::vector<std::uint64_t> sizes;
+    std::vector<std::uint64_t> hsps;
+    bool have = false;
+    const auto& records = cp->ledger_records();
+    if (cp->resuming() && !records.empty()) {
+      try {
+        ByteReader r(records.back());
+        rec_cycle = r.get<std::uint64_t>();
+        const auto np = r.get<std::uint64_t>();
+        if (np == static_cast<std::uint64_t>(comm.size())) {
+          for (std::uint64_t i = 0; i < np; ++i) {
+            sizes.push_back(r.get<std::uint64_t>());
+            hsps.push_back(r.get<std::uint64_t>());
+          }
+          have = r.done();
+        }
+      } catch (const Error&) {
+        have = false;
+      }
+    }
+    std::uint64_t ok = have ? 1 : 0;
+    const auto rank_idx = static_cast<std::size_t>(comm.rank());
+    if (have && sizes[rank_idx] > 0) {
+      std::error_code ec;
+      const auto sz = std::filesystem::file_size(hit_path, ec);
+      if (ec || sz < sizes[rank_idx]) ok = 0;
+    }
+    ok = comm.allreduce_scalar(ok, mpi::ReduceOp::Min);
+    if (ok == 1) {
+      first_cycle = rec_cycle + 1;
+      result.total_hsps = hsps[rank_idx];  // rank-local; summed at the end
+      if (sizes[rank_idx] > 0) {
+        std::filesystem::resize_file(hit_path, sizes[rank_idx]);
+        append_output = true;
+        result.output_file = hit_path;
+      }
+      if (comm.rank() == 0) {
+        MRBIO_LOG(Info, "checkpoint: resuming after cycle ", rec_cycle, " (",
+                  first_cycle * blocks_per_iter, " of ", nblocks,
+                  " query blocks already committed)");
+      }
+    } else {
+      std::error_code ec;
+      std::filesystem::remove(hit_path, ec);
+      if (comm.rank() == 0 && cp->resuming()) {
+        if (records.empty()) {
+          MRBIO_LOG(Info,
+                    "checkpoint: no committed cycle yet; starting from the "
+                    "first block (map-log replay still skips finished tasks)");
+        } else {
+          MRBIO_LOG(Warn,
+                    "checkpoint: unusable cycle record (corrupt ledger or "
+                    "missing hit files); re-running from the first block");
+        }
+      }
+    }
+  }
+
+  std::uint64_t cycle_idx = 0;
   for (std::uint64_t first_block = 0; first_block < nblocks;
-       first_block += blocks_per_iter) {
+       first_block += blocks_per_iter, ++cycle_idx) {
+    if (ckpt_on && cycle_idx < first_cycle) continue;  // committed in a prior run
+    if (ckpt_on) cp->begin_cycle(comm.rank(), cycle_idx);
     const std::uint64_t iter_blocks = std::min<std::uint64_t>(blocks_per_iter,
                                                               nblocks - first_block);
     const std::uint64_t units = iter_blocks * nparts;
@@ -199,11 +281,12 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
       blast::sort_and_truncate(hsps, options.max_hits_per_query);
       if (!out.is_open()) {
         std::filesystem::create_directories(config.output_dir);
-        result.output_file =
-            config.output_dir + "/hits." + std::to_string(comm.rank()) + ".tsv";
+        result.output_file = hit_path;
         // Truncate on the first open of this run: appending would silently
         // concatenate stale hits from a previous run into the same dir.
-        out.open(result.output_file, std::ios::trunc);
+        // Exception: a resumed run continues the committed prefix the
+        // handshake above truncated the file back to.
+        out.open(result.output_file, append_output ? std::ios::app : std::ios::trunc);
         MRBIO_REQUIRE(out.good(), "cannot open output file ", result.output_file);
       }
       for (const auto& hsp : hsps) {
@@ -211,6 +294,45 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
       }
       result.total_hsps += hsps.size();
     });
+
+    // ---- cycle commit ----
+    // Flush the hit files, gather each rank's (file size, cumulative HSPs)
+    // to rank 0 and append one ledger record. Only after the record is
+    // durable is the cycle's map log disposable: a kill between these
+    // steps re-runs the cycle on resume, and the handshake's truncation
+    // discards whatever the killed cycle had already written to the files.
+    if (ckpt_on) {
+      if (out.is_open()) out.flush();
+      std::uint64_t my_size = 0;
+      {
+        std::error_code ec;
+        const auto sz = std::filesystem::file_size(hit_path, ec);
+        if (!ec) my_size = sz;
+      }
+      ByteWriter w;
+      w.put<std::uint64_t>(my_size);
+      w.put<std::uint64_t>(result.total_hsps);
+      const auto all = comm.gather_bytes(w.take(), 0);
+      if (comm.rank() == 0) {
+        const double t0 = comm.now();
+        ByteWriter lw;
+        lw.put<std::uint64_t>(cycle_idx);
+        lw.put<std::uint64_t>(static_cast<std::uint64_t>(comm.size()));
+        for (const auto& buf : all) {
+          ByteReader r(buf);
+          lw.put<std::uint64_t>(r.get<std::uint64_t>());
+          lw.put<std::uint64_t>(r.get<std::uint64_t>());
+        }
+        const auto payload = lw.take();
+        cp->append_cycle_record(payload);
+        comm.compute(static_cast<double>(payload.size()) * cp->config().byte_seconds);
+        if (trace::Recorder* rec = comm.tracer(); rec != nullptr) {
+          rec->add(comm.rank(), trace::Category::Io, "ckpt_write", t0, comm.now(), 1,
+                   payload.size());
+        }
+      }
+      cp->remove_map_log(comm.rank(), cycle_idx);
+    }
   }
   if (out.is_open()) out.flush();
 

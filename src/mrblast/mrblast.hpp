@@ -61,6 +61,19 @@ struct RealRunConfig {
   /// compute. Deterministic (derived from input sizes, never from wall
   /// time); a no-op on the native backend. 0 disables.
   double virtual_seconds_per_cell = 0.0;
+  /// Overrides of the MapReduce paging policy (0 / false keep the library
+  /// defaults). Tests use these to force tiny resident budgets so the
+  /// out-of-core path runs under checkpointing.
+  std::uint64_t memsize_bytes = 0;
+  bool page_to_disk = false;
+  std::uint64_t page_bytes = 0;
+  /// Checkpoint/restart manager (non-owning); null disables. The driver
+  /// must open() it before launching ranks. One checkpoint cycle = one
+  /// MapReduce iteration (blocks_per_iteration blocks); per-cycle records
+  /// hold each rank's committed hit-file size and HSP count, so --resume
+  /// truncates the hit files to the committed prefix and re-runs only the
+  /// uncommitted tail.
+  ckpt::Checkpointer* checkpointer = nullptr;
 };
 
 struct RealRunResult {

@@ -57,8 +57,11 @@ struct KeyValue::Impl {
   std::list<std::size_t> lru;
 
   ~Impl() {
-    // The path was unlinked right after creation; closing the descriptor
-    // releases the last reference and the kernel reclaims the space.
+    // Anonymous spill files were unlinked right after creation; closing
+    // the descriptor releases the last reference and the kernel reclaims
+    // the space. Durable (checkpoint-mode) files stay on disk — the
+    // checkpoint layer removes them on successful completion, and a
+    // killed run must leave them for --resume.
     if (spill_file != nullptr) std::fclose(spill_file);
   }
 };
@@ -102,20 +105,33 @@ void KeyValue::maybe_spill() {
     Page& p = pages[i];
     if (p.spilled || p.buf.empty()) continue;
     if (impl_->spill_file == nullptr) {
-      impl_->spill_path = resolved_spill_dir(policy_.dir) + "/mrbio_kv_" +
-                          std::to_string(::getpid()) + "_" +
-                          std::to_string(g_store_counter.fetch_add(1)) + ".spill";
+      if (policy_.durable) {
+        MRBIO_REQUIRE(!policy_.file_stem.empty(),
+                      "durable spill mode needs a file_stem");
+        impl_->spill_path =
+            resolved_spill_dir(policy_.dir) + "/" + policy_.file_stem + ".spill";
+      } else {
+        impl_->spill_path = resolved_spill_dir(policy_.dir) + "/mrbio_kv_" +
+                            std::to_string(::getpid()) + "_" +
+                            std::to_string(g_store_counter.fetch_add(1)) + ".spill";
+      }
       impl_->spill_file = std::fopen(impl_->spill_path.c_str(), "w+b");
       MRBIO_REQUIRE(impl_->spill_file != nullptr, "cannot create spill file ",
                     impl_->spill_path);
-      // Unlink immediately: the open descriptor keeps the data alive, and
-      // a crashed run can no longer leak spill files in the scratch dir.
-      std::remove(impl_->spill_path.c_str());
+      // Anonymous mode unlinks immediately: the open descriptor keeps the
+      // data alive, and a crashed run can no longer leak spill files in
+      // the scratch dir. Durable mode keeps the stable name on disk.
+      if (!policy_.durable) std::remove(impl_->spill_path.c_str());
     }
     std::fseek(impl_->spill_file, static_cast<long>(impl_->spill_end), SEEK_SET);
     const std::size_t written =
         std::fwrite(p.buf.data(), 1, p.byte_size, impl_->spill_file);
     MRBIO_REQUIRE(written == p.byte_size, "short write to spill file");
+    if (policy_.durable) {
+      MRBIO_REQUIRE(std::fflush(impl_->spill_file) == 0 &&
+                        ::fsync(fileno(impl_->spill_file)) == 0,
+                    "cannot sync spill file ", impl_->spill_path);
+    }
     p.file_offset = impl_->spill_end;
     impl_->spill_end += p.byte_size;
     spilled_bytes_ += p.byte_size;

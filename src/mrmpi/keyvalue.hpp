@@ -50,10 +50,18 @@ struct SpillPolicy {
   std::uint64_t page_bytes = 1ull << 20;
   /// Pages kept in RAM before spilling; max() disables spilling entirely.
   std::size_t max_resident_pages = SIZE_MAX;
-  /// Directory for spill files (created lazily, unlinked immediately
-  /// after creation so crashed runs never leak files). "" (the default)
-  /// resolves to $TMPDIR, falling back to /tmp.
+  /// Directory for spill files (created lazily). In the default
+  /// anonymous mode the file is unlinked immediately after creation so
+  /// crashed runs never leak scratch files. "" (the default) resolves to
+  /// $TMPDIR, falling back to /tmp.
   std::string dir;
+  /// Durable mode, used when a checkpoint dir is configured: the spill
+  /// file gets the stable name `<dir>/<file_stem>.spill`, stays linked,
+  /// and every page write is fsynced, so the file is consistent with the
+  /// checkpoint state a killed run leaves behind. The checkpoint layer
+  /// removes the files on successful completion.
+  bool durable = false;
+  std::string file_stem;
 };
 
 class KeyValue {

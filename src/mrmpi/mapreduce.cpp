@@ -6,6 +6,8 @@
 #include <map>
 #include <numeric>
 
+#include "ckpt/ckpt.hpp"
+#include "common/log.hpp"
 #include "common/serialize.hpp"
 
 namespace mrbio::mrmpi {
@@ -102,6 +104,34 @@ struct TaskEntry {
 
 /// RAII Phase span on this rank's lane; a null recorder makes it a no-op.
 /// KV attributes are attached at scope exit via set_kv().
+// ---------------------------------------------------------------------------
+// Map-log record payload (one per committed task):
+//
+//   [u64 task][u64 npairs]([u64 klen][key][u64 vlen][value][u64 nominal])*
+//
+// The framing CRC already guards against bit rot; this validator guards
+// against structural damage that slips past it (a writer bug, a record
+// from a foreign file). A record that fails demotes to "re-run that
+// task", never a crash.
+bool decode_task_id(std::span<const std::byte> payload, std::uint64_t ntasks,
+                    std::uint64_t* task_out) {
+  try {
+    ByteReader r(payload);
+    const auto task = r.get<std::uint64_t>();
+    const auto npairs = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < npairs; ++i) {
+      r.raw(r.get<std::uint64_t>());  // key
+      r.raw(r.get<std::uint64_t>());  // value
+      r.get<std::uint64_t>();         // nominal
+    }
+    if (!r.done() || task >= ntasks) return false;
+    *task_out = task;
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
 class PhaseSpan {
  public:
   PhaseSpan(trace::Recorder* rec, mpi::Comm& comm, const char* name)
@@ -136,6 +166,8 @@ MapReduce::MapReduce(mpi::Comm& comm, MapReduceConfig config)
   kv_ = make_kv();
 }
 
+MapReduce::~MapReduce() = default;
+
 KeyValue MapReduce::make_kv() const {
   if (!config_.page_to_disk) return KeyValue{};
   SpillPolicy policy;
@@ -143,6 +175,15 @@ KeyValue MapReduce::make_kv() const {
   policy.max_resident_pages = std::max<std::size_t>(
       2, static_cast<std::size_t>(config_.memsize_bytes / config_.page_bytes));
   policy.dir = config_.spill_dir;
+  if (config_.checkpointer != nullptr && config_.checkpointer->enabled()) {
+    // Durable spill files live next to the checkpoint data under stable
+    // names; stale files from a killed run are truncated on reuse and the
+    // checkpoint layer removes the directory on successful completion.
+    policy.dir = config_.checkpointer->spill_dir();
+    policy.durable = true;
+    policy.file_stem =
+        "kv_r" + std::to_string(comm_.rank()) + "_s" + std::to_string(ckpt_kv_serial_++);
+  }
   return KeyValue{policy};
 }
 
@@ -162,6 +203,12 @@ std::uint64_t MapReduce::run_map(std::uint64_t ntasks, const MapFn& fn, bool app
   const int rank = comm_.rank();
   const int p = comm_.size();
 
+  // Replay any checkpointed task outputs for this cycle into `out` before
+  // scheduling; remote master-worker runs share the claims so the master
+  // can pre-mark restored tasks as committed.
+  const bool shared = config_.map_style == MapStyle::MasterWorker && p > 1;
+  const std::vector<CkptDoneTask> ckpt_done = ckpt_begin_map(ntasks, out, shared);
+
   switch (config_.map_style) {
     case MapStyle::Chunk: {
       const std::uint64_t lo = ntasks * static_cast<std::uint64_t>(rank) /
@@ -169,27 +216,29 @@ std::uint64_t MapReduce::run_map(std::uint64_t ntasks, const MapFn& fn, bool app
       const std::uint64_t hi = ntasks * (static_cast<std::uint64_t>(rank) + 1) /
                                static_cast<std::uint64_t>(p);
       for (std::uint64_t t = lo; t < hi; ++t) {
-        run_task(fn, t, out, rec);
+        run_task_ckpt(fn, t, out, rec);
       }
       break;
     }
     case MapStyle::Stride: {
       for (std::uint64_t t = static_cast<std::uint64_t>(rank); t < ntasks;
            t += static_cast<std::uint64_t>(p)) {
-        run_task(fn, t, out, rec);
+        run_task_ckpt(fn, t, out, rec);
       }
       break;
     }
     case MapStyle::MasterWorker: {
       if (p == 1) {
         for (std::uint64_t t = 0; t < ntasks; ++t) {
-          run_task(fn, t, out, rec);
+          run_task_ckpt(fn, t, out, rec);
         }
       } else if (rank == 0) {
         if (config_.ft.enabled) {
-          run_master_ft(ntasks, nullptr, fn, out);
+          run_master_ft(ntasks, nullptr, fn, out, ckpt_done);
         } else {
-          run_master(ntasks);
+          std::set<std::uint64_t> done_ids;
+          for (const CkptDoneTask& d : ckpt_done) done_ids.insert(d.task);
+          run_master(ntasks, done_ids);
         }
       } else {
         if (config_.ft.enabled) {
@@ -201,6 +250,7 @@ std::uint64_t MapReduce::run_map(std::uint64_t ntasks, const MapFn& fn, bool app
       break;
     }
   }
+  ckpt_end_map();
 
   if (append) {
     kv_.absorb(std::move(out));
@@ -239,11 +289,18 @@ void MapReduce::run_task(const MapFn& fn, std::uint64_t task, KeyValue& out,
   }
 }
 
-void MapReduce::run_master(std::uint64_t ntasks) {
+void MapReduce::run_master(std::uint64_t ntasks,
+                           const std::set<std::uint64_t>& ckpt_done) {
   trace::Recorder* rec = phase_recorder();
   const int workers = comm_.size() - 1;
   std::uint64_t next = 0;
   int stopped = 0;
+  // Restored tasks were already replayed on their owners; never hand
+  // them out again.
+  auto skip_done = [&] {
+    while (next < ntasks && ckpt_done.count(next) != 0) ++next;
+  };
+  skip_done();
   // Each worker announces readiness (initially and after each task); the
   // master answers with the next task id, or -1 when exhausted.
   while (stopped < workers) {
@@ -253,6 +310,7 @@ void MapReduce::run_master(std::uint64_t ntasks) {
     if (next < ntasks) {
       comm_.send_value<std::int64_t>(src, kTagTask, static_cast<std::int64_t>(next));
       ++next;
+      skip_done();
     } else {
       comm_.send_value<std::int64_t>(src, kTagTask, -1);
       ++stopped;
@@ -273,7 +331,7 @@ void MapReduce::run_worker(const MapFn& fn, KeyValue& out) {
     comm_.send_value<std::uint8_t>(0, kTagDone, 1);
     const auto task = comm_.recv_value<std::int64_t>(0, kTagTask);
     if (task < 0) break;
-    run_task(fn, static_cast<std::uint64_t>(task), out, rec);
+    run_task_ckpt(fn, static_cast<std::uint64_t>(task), out, rec);
   }
 }
 
@@ -284,15 +342,19 @@ std::uint64_t MapReduce::map_locality(std::uint64_t ntasks, const AffinityFn& af
   PhaseSpan span(rec, comm_, "map");
   failed_tasks_.clear();
   KeyValue out = make_kv();
+  const std::vector<CkptDoneTask> ckpt_done =
+      ckpt_begin_map(ntasks, out, /*shared=*/comm_.size() > 1);
   if (comm_.size() == 1) {
     for (std::uint64_t t = 0; t < ntasks; ++t) {
-      run_task(fn, t, out, rec);
+      run_task_ckpt(fn, t, out, rec);
     }
   } else if (comm_.rank() == 0) {
     if (config_.ft.enabled) {
-      run_master_ft(ntasks, &affinity, fn, out);
+      run_master_ft(ntasks, &affinity, fn, out, ckpt_done);
     } else {
-      run_master_locality(ntasks, affinity);
+      std::set<std::uint64_t> done_ids;
+      for (const CkptDoneTask& d : ckpt_done) done_ids.insert(d.task);
+      run_master_locality(ntasks, affinity, done_ids);
     }
   } else {
     if (config_.ft.enabled) {
@@ -301,6 +363,7 @@ std::uint64_t MapReduce::map_locality(std::uint64_t ntasks, const AffinityFn& af
       run_worker(fn, out);
     }
   }
+  ckpt_end_map();
   kv_ = std::move(out);
   have_kmv_ = false;
   stats_.kv_pairs_emitted += kv_.size();
@@ -309,15 +372,22 @@ std::uint64_t MapReduce::map_locality(std::uint64_t ntasks, const AffinityFn& af
   return global_count(kv_.size());
 }
 
-void MapReduce::run_master_locality(std::uint64_t ntasks, const AffinityFn& affinity) {
+void MapReduce::run_master_locality(std::uint64_t ntasks, const AffinityFn& affinity,
+                                    const std::set<std::uint64_t>& ckpt_done) {
   trace::Recorder* rec = phase_recorder();
   // Pending tasks grouped by locality key; within a key, FIFO by task id.
+  // Tasks restored from a checkpoint are already accounted for on their
+  // owners and never enter the queue.
   std::map<std::uint64_t, std::deque<std::uint64_t>> pending;
-  for (std::uint64_t t = 0; t < ntasks; ++t) pending[affinity(t)].push_back(t);
+  std::uint64_t remaining = 0;
+  for (std::uint64_t t = 0; t < ntasks; ++t) {
+    if (ckpt_done.count(t) != 0) continue;
+    pending[affinity(t)].push_back(t);
+    ++remaining;
+  }
 
   std::map<int, std::uint64_t> worker_key;  ///< last key each worker ran
   const int workers = comm_.size() - 1;
-  std::uint64_t remaining = ntasks;
   int stopped = 0;
   while (stopped < workers) {
     int src = -1;
@@ -365,7 +435,8 @@ void MapReduce::run_master_locality(std::uint64_t ntasks, const AffinityFn& affi
 }
 
 void MapReduce::run_master_ft(std::uint64_t ntasks, const AffinityFn* affinity,
-                              const MapFn& fn, KeyValue& out) {
+                              const MapFn& fn, KeyValue& out,
+                              const std::vector<CkptDoneTask>& ckpt_done) {
   trace::Recorder* rec = phase_recorder();
   obs::Registry* reg = metrics();
   const FaultToleranceConfig& ft = config_.ft;
@@ -389,6 +460,22 @@ void MapReduce::run_master_ft(std::uint64_t ntasks, const AffinityFn* affinity,
   std::uint64_t noutstanding = 0;
   std::uint64_t ndone = 0;
   std::uint64_t nfailed = 0;
+
+  // Tasks restored from a checkpoint enter the ledger as already committed
+  // by their restoring rank, at that rank's CURRENT incarnation: if the
+  // keeper crashes later, revert_worker() puts exactly these tasks back in
+  // play, the same as freshly committed ones (the replayed data died with
+  // the process). The pending buckets keep their stale ids; pop_bucket
+  // re-checks the ledger and discards them.
+  for (const CkptDoneTask& d : ckpt_done) {
+    TaskEntry& e = ledger[d.task];
+    if (e.state != TaskState::Pending) continue;
+    e.state = TaskState::Done;
+    e.owner = d.owner;
+    e.owner_inc = d.owner_inc;
+    --npending;
+    ++ndone;
+  }
 
   // Outstanding-attempt deadlines, lazily invalidated: an entry counts
   // only if the ledger still shows that exact deadline outstanding.
@@ -542,8 +629,8 @@ void MapReduce::run_master_ft(std::uint64_t ntasks, const AffinityFn* affinity,
         const std::uint64_t task = static_cast<std::uint64_t>(t);
         TaskEntry& e = ledger[task];
         ++e.attempt;
-        run_task(fn, task, out, rec,
-                 e.attempt > 1 ? "map_task_retry" : "map_task");
+        run_task_ckpt(fn, task, out, rec,
+                      e.attempt > 1 ? "map_task_retry" : "map_task");
         e.state = TaskState::Done;
         e.owner = 0;
         --npending;
@@ -732,7 +819,12 @@ void MapReduce::run_worker_ft(const MapFn& fn, KeyValue& out) {
       }
 
       if (completed >= 0) {
-        if (g.commit != 0) out.absorb(std::move(staging));
+        if (g.commit != 0) {
+          // Journal at the commit decision, not at task completion:
+          // discarded attempts never reach the map log.
+          ckpt_record_task(static_cast<std::uint64_t>(completed), staging);
+          out.absorb(std::move(staging));
+        }
         staging = make_kv();
         completed = -1;
         completed_attempt = 0;
@@ -768,6 +860,169 @@ void MapReduce::run_worker_ft(const MapFn& fn, KeyValue& out) {
       }
     }
   }
+}
+
+std::vector<MapReduce::CkptDoneTask> MapReduce::ckpt_begin_map(std::uint64_t ntasks,
+                                                              KeyValue& out, bool shared) {
+  std::vector<CkptDoneTask> done;
+  ckpt_ = CkptMapState{};
+  ckpt::Checkpointer* cp = config_.checkpointer;
+  if (cp == nullptr || !cp->enabled()) return done;
+  trace::Recorder* rec = phase_recorder();
+  const int rank = comm_.rank();
+  ckpt_.active = true;
+  ckpt_.cycle = cp->cycle(rank);
+  ckpt_.last_flush = comm_.now();
+  const double t0 = comm_.now();
+
+  // Replay this rank's journal for the cycle. The first occurrence of a
+  // task wins: later duplicates come from committed-then-reverted attempts
+  // and carry byte-identical data (map functions are deterministic).
+  std::map<std::uint64_t, std::vector<std::byte>> mine;
+  const std::uint64_t valid_end =
+      cp->read_map_log(rank, ckpt_.cycle, [&](std::span<const std::byte> payload) {
+        std::uint64_t task = 0;
+        if (!decode_task_id(payload, ntasks, &task)) {
+          cp->note_corrupt();
+          MRBIO_LOG(Warn, "checkpoint: undecodable map-log record on rank ", rank,
+                    " (cycle ", ckpt_.cycle, "); the affected task will re-run");
+          return;
+        }
+        mine.emplace(task, std::vector<std::byte>(payload.begin(), payload.end()));
+      });
+
+  std::set<std::uint64_t> keep;
+  if (shared) {
+    // Under remote master-worker scheduling several ranks may hold the
+    // same task (committed, then reverted and re-run elsewhere). The ranks
+    // allgather their claims and the lowest rank keeps each task; every
+    // claim carries the claimant's current incarnation so the master's
+    // ledger reverts it correctly if that rank crashes later.
+    ByteWriter w;
+    w.put<std::uint32_t>(ft_incarnation_);
+    w.put<std::uint64_t>(static_cast<std::uint64_t>(mine.size()));
+    for (const auto& [t, payload] : mine) w.put<std::uint64_t>(t);
+    const std::vector<std::vector<std::byte>> all = comm_.allgather_bytes(w.take());
+    std::map<std::uint64_t, CkptDoneTask> claims;
+    for (std::size_t r = 0; r < all.size(); ++r) {
+      ByteReader br(all[r]);
+      const auto inc = br.get<std::uint32_t>();
+      const auto n = br.get<std::uint64_t>();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const auto t = br.get<std::uint64_t>();
+        claims.emplace(t, CkptDoneTask{t, static_cast<int>(r), inc});
+      }
+    }
+    for (const auto& [t, claim] : claims) {
+      done.push_back(claim);
+      if (claim.owner == rank) keep.insert(t);
+    }
+  } else {
+    for (const auto& [t, payload] : mine) {
+      keep.insert(t);
+      done.push_back(CkptDoneTask{t, rank, ft_incarnation_});
+    }
+  }
+
+  std::uint64_t restored_pairs = 0;
+  for (const std::uint64_t t : keep) {
+    ByteReader r(mine.at(t));
+    r.get<std::uint64_t>();  // task id, validated during replay
+    const auto npairs = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < npairs; ++i) {
+      const auto klen = r.get<std::uint64_t>();
+      const auto kbytes = r.raw(klen);
+      const auto vlen = r.get<std::uint64_t>();
+      const auto vbytes = r.raw(vlen);
+      const auto nom = r.get<std::uint64_t>();
+      out.add(kbytes, vbytes, nom);
+    }
+    ckpt_.restored.insert(t);
+    restored_pairs += npairs;
+  }
+
+  // Price the journal read; the Io span surfaces as checkpoint_io in the
+  // report's busy breakdown.
+  comm_.compute(static_cast<double>(valid_end) * cp->config().byte_seconds);
+  if (obs::Registry* reg = metrics(); reg != nullptr) {
+    reg->counter("ckpt.tasks_restored").inc(ckpt_.restored.size());
+    reg->counter("ckpt.pairs_restored").inc(restored_pairs);
+    reg->counter("ckpt.bytes_replayed").inc(valid_end);
+  }
+  if (rec != nullptr && valid_end > 0) {
+    rec->add(rank, trace::Category::Io, "ckpt_restore", t0, comm_.now(), restored_pairs,
+             valid_end);
+  }
+  ckpt_.log = cp->open_map_log(rank, ckpt_.cycle, valid_end);
+  return done;
+}
+
+void MapReduce::ckpt_record_task(std::uint64_t task, const KeyValue& emitted) {
+  if (!ckpt_.active) return;
+  ByteWriter w;
+  w.put<std::uint64_t>(task);
+  w.put<std::uint64_t>(static_cast<std::uint64_t>(emitted.size()));
+  emitted.for_each([&](const KvPair& pair) {
+    w.put<std::uint64_t>(pair.key.size());
+    w.append(pair.key.data(), pair.key.size());
+    w.put<std::uint64_t>(pair.value.size());
+    w.append(pair.value.data(), pair.value.size());
+    w.put<std::uint64_t>(pair.nominal_bytes);
+  });
+  ckpt_.pending_bytes += w.size();
+  ckpt_.pending.push_back(w.take());
+  if (comm_.now() - ckpt_.last_flush >= config_.checkpointer->config().interval) {
+    ckpt_flush();
+  }
+}
+
+void MapReduce::ckpt_flush() {
+  if (!ckpt_.active) return;
+  ckpt_.last_flush = comm_.now();
+  if (ckpt_.pending.empty()) return;
+  ckpt::Checkpointer* cp = config_.checkpointer;
+  const double t0 = comm_.now();
+  const std::uint64_t before = ckpt_.log->bytes_written();
+  for (const std::vector<std::byte>& record : ckpt_.pending) {
+    ckpt_.log->append(record);
+  }
+  ckpt_.log->sync();
+  const std::uint64_t bytes = ckpt_.log->bytes_written() - before;
+  cp->note_written(ckpt_.pending.size(), bytes);
+  // Price the durable write and let a pending corrupt fault strike the
+  // freshly synced bytes.
+  comm_.compute(static_cast<double>(bytes) * cp->config().byte_seconds);
+  if (obs::Registry* reg = metrics(); reg != nullptr) {
+    reg->counter("ckpt.records_written").inc(ckpt_.pending.size());
+    reg->counter("ckpt.bytes_written").inc(bytes);
+  }
+  if (trace::Recorder* rec = phase_recorder(); rec != nullptr) {
+    rec->add(comm_.rank(), trace::Category::Io, "ckpt_write", t0, comm_.now(),
+             ckpt_.pending.size(), bytes);
+  }
+  ckpt_.pending.clear();
+  ckpt_.pending_bytes = 0;
+  cp->after_map_log_write(comm_.rank(), ckpt_.cycle);
+}
+
+void MapReduce::ckpt_end_map() {
+  if (!ckpt_.active) return;
+  ckpt_flush();
+  ckpt_.log.reset();
+  ckpt_.active = false;
+}
+
+void MapReduce::run_task_ckpt(const MapFn& fn, std::uint64_t task, KeyValue& out,
+                              trace::Recorder* rec, const char* span_name) {
+  if (!ckpt_.active) {
+    run_task(fn, task, out, rec, span_name);
+    return;
+  }
+  if (ckpt_.restored.count(task) != 0) return;  // replayed from the journal
+  KeyValue scratch = make_kv();
+  run_task(fn, task, scratch, rec, span_name);
+  ckpt_record_task(task, scratch);
+  out.absorb(std::move(scratch));
 }
 
 std::uint64_t MapReduce::aggregate() {

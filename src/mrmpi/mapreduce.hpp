@@ -19,9 +19,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <set>
 
 #include "mpi/comm.hpp"
 #include "mrmpi/keyvalue.hpp"
+
+namespace mrbio::ckpt {
+class Checkpointer;
+class RecordWriter;
+}  // namespace mrbio::ckpt
 
 namespace mrbio::mrmpi {
 
@@ -85,6 +92,13 @@ struct MapReduceConfig {
   /// master's per-request service and spill charges in named spans. Off
   /// silences this library's spans without disabling tracing elsewhere.
   bool trace_phases = true;
+  /// Non-owning; when set, map() journals every committed task's emissions
+  /// to the per-rank per-cycle map log and, on a resumed run, replays the
+  /// journal instead of re-executing the logged tasks. Spill files also
+  /// switch to durable mode inside the checkpoint directory. The caller
+  /// must advance the checkpoint cycle (Checkpointer::begin_cycle) before
+  /// each checkpointed map; at most one map per rank per cycle.
+  ckpt::Checkpointer* checkpointer = nullptr;
 };
 
 /// Statistics of one MapReduce object's lifetime, for benchmarks.
@@ -110,6 +124,7 @@ class MapReduce {
   using ReduceFn = std::function<void(const KmvGroup& group, KeyValue& kv)>;
 
   MapReduce(mpi::Comm& comm, MapReduceConfig config = {});
+  ~MapReduce();  // out-of-line: ckpt::RecordWriter is incomplete here
 
   /// Runs `fn` once per task in [0, ntasks) distributed per the map style,
   /// replacing this object's KV data with the emissions. Returns the global
@@ -186,15 +201,27 @@ class MapReduce {
   const std::vector<std::uint64_t>& failed_tasks() const { return failed_tasks_; }
 
  private:
+  /// One task restored from the map log on resume: its output is already
+  /// absorbed on `owner`, so the scheduler must not hand it out again. The
+  /// fault-tolerant master records it as committed by `owner` at that
+  /// worker's current incarnation, so a later crash of the owner reverts
+  /// it exactly like any other committed task.
+  struct CkptDoneTask {
+    std::uint64_t task;
+    int owner;
+    std::uint32_t owner_inc;
+  };
+
   std::uint64_t run_map(std::uint64_t ntasks, const MapFn& fn, bool append);
-  void run_master(std::uint64_t ntasks);
-  void run_master_locality(std::uint64_t ntasks, const AffinityFn& affinity);
+  void run_master(std::uint64_t ntasks, const std::set<std::uint64_t>& ckpt_done);
+  void run_master_locality(std::uint64_t ntasks, const AffinityFn& affinity,
+                           const std::set<std::uint64_t>& ckpt_done);
   /// Fault-tolerant master: serves both the plain and the locality-aware
   /// scheduler (null affinity = plain FIFO order). Needs the map function
   /// because the endgame runs tasks reverted after every worker left (or
   /// died) locally on rank 0, emitting into `out`.
   void run_master_ft(std::uint64_t ntasks, const AffinityFn* affinity, const MapFn& fn,
-                     KeyValue& out);
+                     KeyValue& out, const std::vector<CkptDoneTask>& ckpt_done);
   /// A KeyValue configured with this object's paging policy.
   KeyValue make_kv() const;
   void run_worker(const MapFn& fn, KeyValue& out);
@@ -212,6 +239,28 @@ class MapReduce {
   /// Applies the spill cost model after KV growth.
   void charge_spill();
   std::uint64_t global_count(std::uint64_t local) ;
+
+  // --- checkpoint/restart hooks (all no-ops when no checkpointer) ---
+  /// True when this map journals task outputs.
+  bool ckpt_active() const { return ckpt_.active; }
+  /// Replays this rank's map log for the current cycle into `out` and
+  /// reopens the log for appending. With `shared` (remote master-worker
+  /// scheduling) the ranks allgather their replayed task ids and the
+  /// lowest rank keeps each task; the returned list is the global set of
+  /// restored tasks for the master's ledger. Without sharing the returned
+  /// list covers only this rank's tasks.
+  std::vector<CkptDoneTask> ckpt_begin_map(std::uint64_t ntasks, KeyValue& out, bool shared);
+  /// Journals one committed task's emissions; flushes when the checkpoint
+  /// interval has elapsed.
+  void ckpt_record_task(std::uint64_t task, const KeyValue& emitted);
+  /// Appends buffered records to the map log and fsyncs it.
+  void ckpt_flush();
+  /// Final flush + close of the map log for this cycle.
+  void ckpt_end_map();
+  /// run_task() with journaling: restored tasks are skipped, fresh tasks
+  /// run into a scratch store that is journaled and then absorbed.
+  void run_task_ckpt(const MapFn& fn, std::uint64_t task, KeyValue& out, trace::Recorder* rec,
+                     const char* span_name = "map_task");
 
   /// Master-side view of one worker in the fault-tolerant protocol.
   struct FtWorkerView {
@@ -240,6 +289,24 @@ class MapReduce {
   std::vector<FtWorkerView> ft_workers_;  ///< master side, indexed by rank
   std::uint32_t ft_seq_ = 0;              ///< worker side: last request seq sent
   std::uint32_t ft_incarnation_ = 0;      ///< worker side: respawn count
+
+  /// Per-map journaling state; reset by ckpt_begin_map.
+  struct CkptMapState {
+    bool active = false;
+    std::uint64_t cycle = 0;
+    std::unique_ptr<ckpt::RecordWriter> log;
+    /// Records encoded but not yet flushed to the log.
+    std::vector<std::vector<std::byte>> pending;
+    std::uint64_t pending_bytes = 0;
+    double last_flush = 0.0;
+    /// Tasks whose output was replayed from the log (skip on re-execution).
+    std::set<std::uint64_t> restored;
+  };
+  CkptMapState ckpt_;
+  /// Distinguishes durable spill files of the KeyValue stores this object
+  /// creates; monotone per rank, so names never collide within a run and
+  /// stale files from a killed run are truncated on reuse.
+  mutable std::uint64_t ckpt_kv_serial_ = 0;
 };
 
 }  // namespace mrbio::mrmpi

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <cstring>
 
+#include "ckpt/ckpt.hpp"
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/serialize.hpp"
 #include "obs/metrics.hpp"
 
@@ -41,15 +43,63 @@ som::Codebook train_som_mr(mpi::Comm& comm, const MatrixView& data,
   // rank-local accumulator.
   const bool deterministic = config.deterministic_reduce || config.ft.enabled;
 
+  ckpt::Checkpointer* cp = config.checkpointer;
+  const bool ckpt_on = cp != nullptr && cp->enabled();
+
   mrmpi::MapReduceConfig mr_config;
   mr_config.map_style = config.map_style;
   mr_config.ft = config.ft;
+  // Map-log journaling needs every block's output in the KV store; the
+  // non-deterministic path accumulates outside it, so there the map log
+  // would persist nothing and resume falls back to epoch granularity.
+  mr_config.checkpointer = (ckpt_on && deterministic) ? cp : nullptr;
   mrmpi::MapReduce mr(comm, mr_config);
 
   const double per_vector_cost =
       config.flop_seconds * static_cast<double>(dim) * static_cast<double>(cells);
 
-  for (std::size_t epoch = 0; epoch < config.params.epochs; ++epoch) {
+  // ---- resume handshake ----
+  // The codebook snapshot holds the weights entering epoch `first_epoch`.
+  // A missing or corrupt snapshot degrades to epoch 0 with a warning;
+  // within the resumed epoch the map log (deterministic path only)
+  // restores committed blocks so only the tail re-runs.
+  std::size_t first_epoch = 0;
+  if (ckpt_on && cp->resuming()) {
+    std::uint64_t fe = 0;
+    if (comm.rank() == 0) {
+      std::vector<std::byte> snap;
+      bool ok = false;
+      if (cp->load_snapshot("codebook", snap)) {
+        try {
+          ByteReader r(snap);
+          const auto e = r.get<std::uint64_t>();
+          const auto sc = r.get<std::uint64_t>();
+          const auto sd = r.get<std::uint64_t>();
+          if (sc == cells && sd == dim && e <= config.params.epochs) {
+            const auto bytes = r.raw(cells * dim * sizeof(float));
+            std::memcpy(cb.weights().data(), bytes.data(), bytes.size());
+            fe = e;
+            ok = r.done();
+          }
+        } catch (const Error&) {
+          ok = false;
+        }
+      }
+      if (ok) {
+        MRBIO_LOG(Info, "checkpoint: resuming SOM training at epoch ", fe, " of ",
+                  config.params.epochs);
+      } else {
+        fe = 0;
+        MRBIO_LOG(Warn,
+                  "checkpoint: no usable codebook snapshot; training from epoch 0");
+      }
+    }
+    comm.bcast_value(fe, 0);
+    first_epoch = static_cast<std::size_t>(fe);
+  }
+
+  for (std::size_t epoch = first_epoch; epoch < config.params.epochs; ++epoch) {
+    if (ckpt_on) cp->begin_cycle(comm.rank(), static_cast<std::uint64_t>(epoch));
     // Fig. 2: "The copy of the codebook is distributed with MPI_Broadcast()
     // from the master to all worker nodes at the start of each epoch."
     std::vector<float> weights(cells * dim);
@@ -171,6 +221,32 @@ som::Codebook train_som_mr(mpi::Comm& comm, const MatrixView& data,
         config.on_epoch(epoch, sigma,
                         data.rows() > 0 ? epoch_qerr / static_cast<double>(data.rows())
                                         : 0.0);
+      }
+    }
+
+    // ---- epoch commit ----
+    // Rank 0 snapshots the updated codebook (atomic tmp + rename), making
+    // the epoch durable; only then is its map log disposable. A kill in
+    // between re-runs the epoch from the previous snapshot, which is
+    // byte-identical because the map replays against the same weights.
+    if (ckpt_on) {
+      if (comm.rank() == 0) {
+        const double t0 = comm.now();
+        ByteWriter w;
+        w.put<std::uint64_t>(static_cast<std::uint64_t>(epoch + 1));
+        w.put<std::uint64_t>(static_cast<std::uint64_t>(cells));
+        w.put<std::uint64_t>(static_cast<std::uint64_t>(dim));
+        w.append(cb.weights().data(), cells * dim * sizeof(float));
+        const std::vector<std::byte> payload = w.take();
+        cp->save_snapshot("codebook", payload);
+        comm.compute(static_cast<double>(payload.size()) * cp->config().byte_seconds);
+        if (trace::Recorder* rec = comm.tracer(); rec != nullptr) {
+          rec->add(comm.rank(), trace::Category::Io, "ckpt_write", t0, comm.now(), 1,
+                   payload.size());
+        }
+      }
+      if (deterministic) {
+        cp->remove_map_log(comm.rank(), static_cast<std::uint64_t>(epoch));
       }
     }
   }

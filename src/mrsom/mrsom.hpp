@@ -42,6 +42,13 @@ struct ParallelSomConfig {
   double flop_seconds = 0.0;
   /// Progress callback on the master rank.
   som::EpochCallback on_epoch = nullptr;
+  /// Checkpoint/restart manager (non-owning); null disables. One cycle =
+  /// one epoch. Rank 0 snapshots the codebook after every epoch; on the
+  /// deterministic path the per-block accumulators are additionally
+  /// journaled through the MapReduce map log, so --resume restarts
+  /// mid-epoch. The non-deterministic path holds its accumulator outside
+  /// the KV store and resumes at epoch granularity only.
+  ckpt::Checkpointer* checkpointer = nullptr;
 };
 
 /// Collective: trains on `data` (visible to all ranks via shared memory,

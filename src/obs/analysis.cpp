@@ -100,6 +100,12 @@ bool is_db_io(const Event& e) {
   return e.cat == Category::Io && std::string_view(e.name) == "db_load";
 }
 
+bool is_ckpt_io(const Event& e) {
+  // "ckpt_write" (map-log flush, ledger record, snapshot) and
+  // "ckpt_restore" (resume replay).
+  return e.cat == Category::Io && std::string_view(e.name).substr(0, 4) == "ckpt";
+}
+
 // ---------------------------------------------------------------------------
 // Per-rank final time: recorded value when present, else last span end.
 
@@ -264,7 +270,8 @@ RankBreakdown breakdown_rank(const Recorder& rec, int rank, double final_time) {
   b.rank = rank;
   b.final_time = final_time;
 
-  std::vector<Interval> busy, retry, app, io_db, io_spill, coll, fwait, mwait, comm;
+  std::vector<Interval> busy, retry, app, io_db, io_ckpt, io_spill, coll, fwait, mwait,
+      comm;
   const bool full = rec.level() == trace::Level::Full;
   for (const Event& e : rec.rank_events(rank)) {
     const Interval iv{e.t0, e.t1};
@@ -277,7 +284,7 @@ RankBreakdown breakdown_rank(const Recorder& rec, int rank, double final_time) {
         app.push_back(iv);
         break;
       case Category::Io:
-        (is_db_io(e) ? io_db : io_spill).push_back(iv);
+        (is_db_io(e) ? io_db : is_ckpt_io(e) ? io_ckpt : io_spill).push_back(iv);
         break;
       case Category::Collective:
         coll.push_back(iv);
@@ -307,6 +314,7 @@ RankBreakdown breakdown_rank(const Recorder& rec, int rank, double final_time) {
   merge_intervals(retry);
   merge_intervals(app);
   merge_intervals(io_db);
+  merge_intervals(io_ckpt);
   merge_intervals(io_spill);
   merge_intervals(coll);
   merge_intervals(fwait);
@@ -321,9 +329,11 @@ RankBreakdown breakdown_rank(const Recorder& rec, int rank, double final_time) {
   auto covered = merged_union(retry, app);
   b.db_io = measure_minus(io_db, covered);
   covered = merged_union(std::move(covered), io_db);
+  b.checkpoint_io = measure_minus(io_ckpt, covered);
+  covered = merged_union(std::move(covered), io_ckpt);
   b.spill_io = measure_minus(io_spill, covered);
-  b.other_busy =
-      clamp0(busy_total - b.retry_compute - b.useful - b.db_io - b.spill_io);
+  b.other_busy = clamp0(busy_total - b.retry_compute - b.useful - b.db_io -
+                        b.checkpoint_io - b.spill_io);
 
   // Idle chain: Fault spans (reassignment waits, retry-later naps) claim
   // their time ahead of master-wait and generic communication.
@@ -362,6 +372,7 @@ Report analyze(const Recorder& rec, const AnalyzeOptions& opts) {
     rep.total.retry_compute += b.retry_compute;
     rep.total.useful += b.useful;
     rep.total.db_io += b.db_io;
+    rep.total.checkpoint_io += b.checkpoint_io;
     rep.total.spill_io += b.spill_io;
     rep.total.other_busy += b.other_busy;
     rep.total.collective_skew += b.collective_skew;
@@ -411,6 +422,7 @@ constexpr CatRow kBusyRows[] = {
     {"useful", &RankBreakdown::useful},
     {"retry_compute", &RankBreakdown::retry_compute},
     {"db_io", &RankBreakdown::db_io},
+    {"checkpoint_io", &RankBreakdown::checkpoint_io},
     {"spill_io", &RankBreakdown::spill_io},
     {"other_busy", &RankBreakdown::other_busy},
 };
@@ -456,17 +468,17 @@ void print_report(std::FILE* out, const Report& report, std::size_t max_rank_row
   const std::size_t nrows =
       std::min(max_rank_rows, report.ranks.size());
   std::fprintf(out, "\n-- per-rank breakdown (first %zu of %d) --\n", nrows, report.nranks);
-  std::fprintf(out, "%5s %11s %11s %9s %9s %9s %9s %9s %9s %9s %9s %9s\n", "rank",
-               "final", "useful", "retry", "db_io", "spill", "obusy", "cskew", "rwait",
-               "mwait", "comm", "idle");
+  std::fprintf(out, "%5s %11s %11s %9s %9s %9s %9s %9s %9s %9s %9s %9s %9s\n", "rank",
+               "final", "useful", "retry", "db_io", "ckpt", "spill", "obusy", "cskew",
+               "rwait", "mwait", "comm", "idle");
   for (std::size_t i = 0; i < nrows; ++i) {
     const RankBreakdown& b = report.ranks[i];
     std::fprintf(out,
                  "%5d %11.4f %11.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f "
-                 "%9.4f\n",
-                 b.rank, b.final_time, b.useful, b.retry_compute, b.db_io, b.spill_io,
-                 b.other_busy, b.collective_skew, b.recovery_wait, b.master_wait,
-                 b.comm_overhead, b.idle_other);
+                 "%9.4f %9.4f\n",
+                 b.rank, b.final_time, b.useful, b.retry_compute, b.db_io,
+                 b.checkpoint_io, b.spill_io, b.other_busy, b.collective_skew,
+                 b.recovery_wait, b.master_wait, b.comm_overhead, b.idle_other);
   }
 
   if (report.stragglers.empty()) {
@@ -485,13 +497,13 @@ namespace {
 void json_breakdown(std::FILE* out, const RankBreakdown& b) {
   std::fprintf(out,
                "{\"rank\":%d,\"final_time\":%.17g,\"useful\":%.17g,"
-               "\"retry_compute\":%.17g,\"db_io\":%.17g,"
+               "\"retry_compute\":%.17g,\"db_io\":%.17g,\"checkpoint_io\":%.17g,"
                "\"spill_io\":%.17g,\"other_busy\":%.17g,\"collective_skew\":%.17g,"
                "\"recovery_wait\":%.17g,\"master_wait\":%.17g,\"comm_overhead\":%.17g,"
                "\"idle_other\":%.17g}",
-               b.rank, b.final_time, b.useful, b.retry_compute, b.db_io, b.spill_io,
-               b.other_busy, b.collective_skew, b.recovery_wait, b.master_wait,
-               b.comm_overhead, b.idle_other);
+               b.rank, b.final_time, b.useful, b.retry_compute, b.db_io, b.checkpoint_io,
+               b.spill_io, b.other_busy, b.collective_skew, b.recovery_wait,
+               b.master_wait, b.comm_overhead, b.idle_other);
 }
 
 void json_string(std::FILE* out, const std::string& s) {

@@ -56,8 +56,8 @@ struct CriticalPath {
   int hops = 0;                       ///< rank switches along the path
 };
 
-/// Exact partition of one rank's [0, final_time]. The four busy categories
-/// sum to busy_total(); the four wait categories sum to idle_total();
+/// Exact partition of one rank's [0, final_time]. The busy categories
+/// sum to busy_total(); the wait categories sum to idle_total();
 /// busy_total() + idle_total() == final_time.
 struct RankBreakdown {
   int rank = 0;
@@ -66,6 +66,7 @@ struct RankBreakdown {
   double retry_compute = 0.0;  ///< re-executed map tasks after a fault
   double useful = 0.0;         ///< App spans (search, accumulate, ...)
   double db_io = 0.0;          ///< Io "db_load" spans not under App
+  double checkpoint_io = 0.0;  ///< Io "ckpt_*" spans (durable write/replay)
   double spill_io = 0.0;       ///< other Io spans (out-of-core spill/merge)
   double other_busy = 0.0;     ///< framework compute, send/recv CPU overhead
   // Non-busy partition.
@@ -76,7 +77,7 @@ struct RankBreakdown {
   double idle_other = 0.0;       ///< residual (startup/teardown imbalance)
 
   double busy_total() const {
-    return retry_compute + useful + db_io + spill_io + other_busy;
+    return retry_compute + useful + db_io + checkpoint_io + spill_io + other_busy;
   }
   double idle_total() const {
     return collective_skew + recovery_wait + master_wait + comm_overhead + idle_other;

@@ -22,7 +22,9 @@ int default_ranks(Backend backend) {
 
 LaunchResult launch(const LaunchConfig& config, const std::function<void(Rank&)>& body) {
   const int nranks = config.nranks > 0 ? config.nranks : default_ranks(config.backend);
-  if (config.injector != nullptr) config.injector->plan().validate(nranks);
+  if (config.injector != nullptr) {
+    config.injector->plan().validate(nranks, config.checkpointing);
+  }
   LaunchResult result;
   if (config.backend == Backend::Sim) {
     sim::EngineConfig ec;

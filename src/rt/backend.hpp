@@ -39,6 +39,9 @@ struct LaunchConfig {
   /// Optional fault injector, forwarded to the selected backend. The plan
   /// is validated against the resolved rank count at launch.
   fault::Injector* injector = nullptr;
+  /// True when the run has a checkpoint dir configured; corrupt-checkpoint
+  /// faults are rejected at launch without it.
+  bool checkpointing = false;
 };
 
 struct LaunchResult {

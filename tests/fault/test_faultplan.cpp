@@ -118,6 +118,116 @@ TEST(FaultPlan, ValidateChecksRankBounds) {
   FaultPlan::parse("drop:src=-1,dst=-1").validate(4);  // wildcards are fine
 }
 
+TEST(FaultPlan, ParsesKillAndCorruptClauses) {
+  const FaultPlan plan = FaultPlan::parse(
+      "kill:t=0.5; corrupt:target=ledger; corrupt:target=map,byte=12,count=3; "
+      "corrupt:target=snapshot; corrupt:target=any");
+  ASSERT_EQ(plan.kills.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.kills[0].t, 0.5);
+  ASSERT_EQ(plan.corrupts.size(), 4u);
+  EXPECT_EQ(plan.corrupts[0].target, CorruptTarget::Ledger);
+  EXPECT_EQ(plan.corrupts[0].byte, -1);  // middle of the file
+  EXPECT_EQ(plan.corrupts[0].count, 1);
+  EXPECT_EQ(plan.corrupts[1].target, CorruptTarget::MapLog);
+  EXPECT_EQ(plan.corrupts[1].byte, 12);
+  EXPECT_EQ(plan.corrupts[1].count, 3);
+  EXPECT_EQ(plan.corrupts[2].target, CorruptTarget::Snapshot);
+  EXPECT_EQ(plan.corrupts[3].target, CorruptTarget::Any);
+}
+
+TEST(FaultPlan, ParsesKillAndCorruptJson) {
+  const FaultPlan plan = FaultPlan::parse(
+      R"({"faults":[{"kind":"kill","t":0.25},)"
+      R"({"kind":"corrupt","target":"map","byte":7,"count":2}]})");
+  ASSERT_EQ(plan.kills.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.kills[0].t, 0.25);
+  ASSERT_EQ(plan.corrupts.size(), 1u);
+  EXPECT_EQ(plan.corrupts[0].target, CorruptTarget::MapLog);
+  EXPECT_EQ(plan.corrupts[0].byte, 7);
+  EXPECT_EQ(plan.corrupts[0].count, 2);
+}
+
+TEST(FaultPlan, KillAndCorruptDescribeRoundTrips) {
+  const std::string spec =
+      "kill:t=0.5; corrupt:target=ledger; corrupt:target=map,byte=12,count=3; "
+      "corrupt:target=snapshot; corrupt:target=any,count=2";
+  const FaultPlan plan = FaultPlan::parse(spec);
+  const FaultPlan again = FaultPlan::parse(plan.describe());
+  EXPECT_EQ(plan.describe(), again.describe());
+  ASSERT_EQ(again.kills.size(), 1u);
+  EXPECT_DOUBLE_EQ(again.kills[0].t, 0.5);
+  ASSERT_EQ(again.corrupts.size(), 4u);
+  EXPECT_EQ(again.corrupts[1].byte, 12);
+  EXPECT_EQ(again.corrupts[1].count, 3);
+  EXPECT_EQ(again.corrupts[3].count, 2);
+}
+
+TEST(FaultPlan, RejectsMalformedKillAndCorrupt) {
+  EXPECT_THROW(FaultPlan::parse("kill:t=-1"), InputError);
+  EXPECT_THROW(FaultPlan::parse("kill:rank=1,t=0.5"), InputError);  // no rank field
+  EXPECT_THROW(FaultPlan::parse("corrupt:target=everything"), InputError);
+  EXPECT_THROW(FaultPlan::parse("corrupt:target=map,byte=-3"), InputError);
+  EXPECT_THROW(FaultPlan::parse("corrupt:target=map,count=0"), InputError);
+}
+
+TEST(FaultPlan, ValidateRejectsCorruptWithoutCheckpointing) {
+  FaultPlan kill = FaultPlan::parse("kill:t=0.5");
+  kill.validate(4, /*checkpointing=*/false);  // kills need no checkpoint
+  kill.validate(4, /*checkpointing=*/true);
+  FaultPlan corrupt = FaultPlan::parse("corrupt:target=any");
+  EXPECT_THROW(corrupt.validate(4, /*checkpointing=*/false), InputError);
+  corrupt.validate(4, /*checkpointing=*/true);  // fine with a checkpoint dir
+}
+
+TEST(Injector, KillThrowsOnEveryPollOnceDue) {
+  Injector inj(FaultPlan::parse("kill:t=1.0"));
+  EXPECT_NO_THROW(inj.maybe_crash(0, 0.5));
+  EXPECT_THROW(inj.maybe_crash(1, 1.0), JobKillSignal);
+  // Unlike a crash, the kill keeps firing for every rank at every later
+  // poll: no rank may compute past the kill point.
+  EXPECT_THROW(inj.maybe_crash(0, 1.5), JobKillSignal);
+  EXPECT_THROW(inj.maybe_crash(2, 2.0), JobKillSignal);
+  EXPECT_EQ(inj.stats().kills_fired, 1u);  // counted once
+}
+
+TEST(Injector, KillIsNotACrashSignal) {
+  // The fault-tolerant worker loop catches CrashSignal; a JobKillSignal
+  // must not be swallowed by it.
+  Injector inj(FaultPlan::parse("kill:t=0.0"));
+  bool caught_as_crash = false;
+  try {
+    inj.maybe_crash(0, 0.0);
+  } catch (const CrashSignal&) {
+    caught_as_crash = true;
+  } catch (const JobKillSignal&) {
+  }
+  EXPECT_FALSE(caught_as_crash);
+}
+
+TEST(Injector, TakeCorruptConsumesCountsAndMatchesTargets) {
+  Injector inj(FaultPlan::parse(
+      "corrupt:target=ledger,count=1; corrupt:target=map,byte=5,count=2"));
+  CorruptFault out;
+  // Snapshot writes match neither pending fault.
+  EXPECT_FALSE(inj.take_corrupt(CorruptTarget::Snapshot, out));
+  ASSERT_TRUE(inj.take_corrupt(CorruptTarget::Ledger, out));
+  EXPECT_EQ(out.target, CorruptTarget::Ledger);
+  EXPECT_FALSE(inj.take_corrupt(CorruptTarget::Ledger, out));  // count spent
+  ASSERT_TRUE(inj.take_corrupt(CorruptTarget::MapLog, out));
+  EXPECT_EQ(out.byte, 5);
+  ASSERT_TRUE(inj.take_corrupt(CorruptTarget::MapLog, out));
+  EXPECT_FALSE(inj.take_corrupt(CorruptTarget::MapLog, out));
+  EXPECT_EQ(inj.stats().checkpoints_corrupted, 3u);
+}
+
+TEST(Injector, TakeCorruptAnyMatchesEveryWriteClass) {
+  Injector inj(FaultPlan::parse("corrupt:target=any,count=2"));
+  CorruptFault out;
+  ASSERT_TRUE(inj.take_corrupt(CorruptTarget::Snapshot, out));
+  ASSERT_TRUE(inj.take_corrupt(CorruptTarget::Ledger, out));
+  EXPECT_FALSE(inj.take_corrupt(CorruptTarget::MapLog, out));
+}
+
 TEST(Injector, TimeTriggerFiresOncePerFault) {
   Injector inj(FaultPlan::parse("crash:rank=2@t=1.0"));
   EXPECT_NO_THROW(inj.maybe_crash(2, 0.5));   // not due yet

@@ -13,11 +13,17 @@
 //                  [--trace out.json] [--trace-full]
 //                  [--report] [--report-json report.json]
 //                  [--faults "crash:rank=3@t=0.4"] [--ft-timeout 5] [--ft-retries 3]
+//                  [--checkpoint-dir ckpt/] [--checkpoint-interval 5] [--resume]
 //                  [--virtual-rate 1e-8]
+//
+// Exit codes: 0 success, 1 error, 3 job killed by a kill: fault (restart
+// with --resume to continue from the last checkpoint).
 #include <cstdio>
 #include <filesystem>
 #include <memory>
+#include <sstream>
 
+#include "ckpt/ckpt.hpp"
 #include "common/log.hpp"
 #include "common/options.hpp"
 #include "fault/fault.hpp"
@@ -40,6 +46,10 @@ int main(int argc, char** argv) {
   opts.add("evalue", "10", "E-value cutoff");
   opts.add("max-hits", "500", "max hits kept per query (0 = unlimited)");
   opts.add("block", "1000", "queries per block");
+  opts.add("blocks-per-iter", "0",
+           "query blocks per MapReduce iteration (0 = all in one); each "
+           "iteration is one checkpoint cycle, so smaller values commit "
+           "progress more often");
   opts.add_flag("tapered", "use a tapered block schedule (Section V dynamic chunking)");
   opts.add_flag("locality", "use the location-aware scheduler");
   opts.add_flag("no-filter", "disable low-complexity filtering");
@@ -52,11 +62,17 @@ int main(int argc, char** argv) {
                          "enables the fault-tolerant scheduler");
   opts.add("ft-timeout", "5", "with --faults: seconds before an outstanding task is retried");
   opts.add("ft-retries", "3", "with --faults: retries per task before it is abandoned");
+  opts.add("checkpoint-dir", "", "durable checkpoint directory; enables checkpoint/restart");
+  opts.add("checkpoint-interval", "5",
+           "min virtual seconds between map-log flushes (0 = flush every task)");
+  opts.add_flag("resume", "continue from the checkpoint in --checkpoint-dir, "
+                          "truncating hit files to the last committed cycle");
   opts.add("virtual-rate", "1e-8",
            "sim backend: virtual seconds charged per alignment cell "
            "(query x partition residues), so the virtual timeline reflects "
            "search work and time-triggered faults can fire; 0 disables");
   opts.add("log", "", "log level: debug/info/warn/error/off (default $MRBIO_LOG or warn)");
+  std::unique_ptr<fault::Injector> injector;
   try {
     if (!opts.parse(argc, argv)) return 0;
     if (!opts.str("log").empty()) set_log_level(parse_log_level(opts.str("log")));
@@ -94,25 +110,56 @@ int main(int argc, char** argv) {
       }
     }
 
-    std::filesystem::remove_all(config.output_dir);
+    config.blocks_per_iteration =
+        static_cast<std::size_t>(opts.integer("blocks-per-iter"));
     config.virtual_seconds_per_cell = opts.real("virtual-rate");
     rt::LaunchConfig lc;
     lc.backend = rt::backend_from_name(opts.str("backend"));
     lc.nranks = opts.integer("ranks") > 0 ? static_cast<int>(opts.integer("ranks"))
                                           : rt::default_ranks(lc.backend);
     const int ranks = lc.nranks;
-    std::unique_ptr<fault::Injector> injector;
     if (!opts.str("faults").empty()) {
       const std::string& spec = opts.str("faults");
       fault::FaultPlan plan = std::filesystem::exists(spec)
                                   ? fault::FaultPlan::from_file(spec)
                                   : fault::FaultPlan::parse(spec);
+      // Crash/message faults need the fault-tolerant scheduler to make
+      // progress; kill/corrupt-only plans exercise checkpoint/restart and
+      // run on whichever scheduler the other flags select.
+      const bool needs_ft = !plan.crashes.empty() || !plan.messages.empty();
       injector = std::make_unique<fault::Injector>(std::move(plan));
       lc.injector = injector.get();
-      config.ft.enabled = true;
-      config.ft.task_timeout = opts.real("ft-timeout");
-      config.ft.max_retries = static_cast<int>(opts.integer("ft-retries"));
+      if (needs_ft) {
+        config.ft.enabled = true;
+        config.ft.task_timeout = opts.real("ft-timeout");
+        config.ft.max_retries = static_cast<int>(opts.integer("ft-retries"));
+      }
     }
+    // The fingerprint ties a checkpoint dir to one run configuration:
+    // resuming after changing the inputs or the block schedule would
+    // splice incompatible partial outputs, so open() rejects a mismatch.
+    ckpt::CheckpointConfig ckpt_config;
+    ckpt_config.dir = opts.str("checkpoint-dir");
+    ckpt_config.interval = opts.real("checkpoint-interval");
+    ckpt_config.resume = opts.flag("resume");
+    MRBIO_REQUIRE(!ckpt_config.resume || !ckpt_config.dir.empty(),
+                  "--resume requires --checkpoint-dir");
+    ckpt::Checkpointer checkpointer(ckpt_config, injector.get());
+    if (checkpointer.enabled()) {
+      std::ostringstream fp;
+      fp << "mrblast query=" << opts.str("query") << " db=" << opts.str("db")
+         << " ranks=" << ranks << " evalue=" << opts.real("evalue")
+         << " max-hits=" << opts.integer("max-hits")
+         << " filter=" << config.options.filter_low_complexity
+         << " exclude-self=" << config.options.exclude_self_hits
+         << " locality=" << config.locality_aware
+         << " blocks-per-iter=" << config.blocks_per_iteration << " blocks=";
+      for (const auto b : config.query_block_sizes) fp << b << ',';
+      checkpointer.open(fp.str());
+      config.checkpointer = &checkpointer;
+      lc.checkpointing = true;
+    }
+    if (!checkpointer.resuming()) std::filesystem::remove_all(config.output_dir);
     // --report implies a Full-level recorder (the critical-path walk needs
     // per-message events) and a metrics registry; both only read the active
     // backend's clock, so they never change the measured times.
@@ -150,17 +197,31 @@ int main(int argc, char** argv) {
     }
     if (injector) {
       const fault::InjectorStats fs = injector->stats();
-      std::printf("faults fired: %llu crashes, %llu drops, %llu duplicates, %llu delays\n",
+      std::printf("faults fired: %llu crashes, %llu drops, %llu duplicates, "
+                  "%llu delays, %llu kills, %llu corruptions\n",
                   static_cast<unsigned long long>(fs.crashes_fired),
                   static_cast<unsigned long long>(fs.messages_dropped),
                   static_cast<unsigned long long>(fs.messages_duplicated),
-                  static_cast<unsigned long long>(fs.messages_delayed));
+                  static_cast<unsigned long long>(fs.messages_delayed),
+                  static_cast<unsigned long long>(fs.kills_fired),
+                  static_cast<unsigned long long>(fs.checkpoints_corrupted));
       if (failed > 0) {
         std::printf("WARNING: %llu work units abandoned after %d retries; "
                     "the hit files are PARTIAL\n",
                     static_cast<unsigned long long>(failed),
                     config.ft.max_retries);
       }
+    }
+    if (checkpointer.enabled()) {
+      const ckpt::CheckpointStats cs = checkpointer.stats();
+      std::printf("checkpoint: %llu records (%llu bytes) written, "
+                  "%llu records (%llu bytes) replayed, %llu corrupt dropped\n",
+                  static_cast<unsigned long long>(cs.records_written),
+                  static_cast<unsigned long long>(cs.bytes_written),
+                  static_cast<unsigned long long>(cs.records_replayed),
+                  static_cast<unsigned long long>(cs.bytes_replayed),
+                  static_cast<unsigned long long>(cs.corrupt_records));
+      checkpointer.cleanup_on_success();
     }
     if (recorder && !opts.str("trace").empty()) {
       trace::write_chrome_trace(opts.str("trace"), *recorder);
@@ -185,7 +246,17 @@ int main(int argc, char** argv) {
       }
     }
     return 0;
+  } catch (const fault::JobKillSignal& e) {
+    MRBIO_LOG(Warn, "mrblast_search: job killed: ", e.what());
+    return 3;
   } catch (const std::exception& e) {
+    // A kill can surface as a secondary error (e.g. the sim engine reports
+    // the surviving ranks' deadlock before the kill signal itself).
+    if (injector != nullptr && injector->stats().kills_fired > 0) {
+      MRBIO_LOG(Warn, "mrblast_search: job killed: ", e.what(),
+                " (restart with --resume to continue)");
+      return 3;
+    }
     MRBIO_LOG(ErrorLevel, "mrblast_search: ", e.what());
     return 1;
   }

@@ -9,11 +9,15 @@
 //   mrsom_train --fasta frags.fa --tetra [--backend sim|native] ...
 //
 // Outputs: <out>.cb (codebook), <out>_umatrix.pgm, and quality metrics.
+// Exit codes: 0 success, 1 error, 3 job killed by a kill: fault (restart
+// with --resume to continue from the last checkpointed epoch).
 #include <cstdio>
 #include <filesystem>
 #include <memory>
+#include <sstream>
 
 #include "blast/composition.hpp"
+#include "ckpt/ckpt.hpp"
 #include "blast/sequence.hpp"
 #include "common/image.hpp"
 #include "common/log.hpp"
@@ -56,7 +60,12 @@ int main(int argc, char** argv) {
                          "requires --style master, enables the fault-tolerant scheduler");
   opts.add("ft-timeout", "5", "with --faults: seconds before an outstanding task is retried");
   opts.add("ft-retries", "3", "with --faults: retries per task before it is abandoned");
+  opts.add("checkpoint-dir", "", "durable checkpoint directory; enables checkpoint/restart");
+  opts.add("checkpoint-interval", "5",
+           "min virtual seconds between map-log flushes (0 = flush every task)");
+  opts.add_flag("resume", "continue from the last checkpointed epoch in --checkpoint-dir");
   opts.add("log", "", "log level: debug/info/warn/error/off (default $MRBIO_LOG or warn)");
+  std::unique_ptr<fault::Injector> injector;
   try {
     if (!opts.parse(argc, argv)) return 0;
     if (!opts.str("log").empty()) set_log_level(parse_log_level(opts.str("log")));
@@ -115,20 +124,48 @@ int main(int argc, char** argv) {
     lc.backend = rt::backend_from_name(opts.str("backend"));
     lc.nranks = opts.integer("ranks") > 0 ? static_cast<int>(opts.integer("ranks"))
                                           : rt::default_ranks(lc.backend);
-    std::unique_ptr<fault::Injector> injector;
     if (!opts.str("faults").empty()) {
-      MRBIO_REQUIRE(config.map_style == mrmpi::MapStyle::MasterWorker,
-                    "--faults requires --style master (recovery needs the "
-                    "master-worker scheduler)");
       const std::string& spec = opts.str("faults");
       fault::FaultPlan plan = std::filesystem::exists(spec)
                                   ? fault::FaultPlan::from_file(spec)
                                   : fault::FaultPlan::parse(spec);
+      // Crash/message faults need the fault-tolerant master-worker
+      // scheduler; kill/corrupt-only plans exercise checkpoint/restart
+      // and run on whichever scheduler --style selects.
+      const bool needs_ft = !plan.crashes.empty() || !plan.messages.empty();
+      MRBIO_REQUIRE(!needs_ft || config.map_style == mrmpi::MapStyle::MasterWorker,
+                    "crash/message faults require --style master (recovery "
+                    "needs the master-worker scheduler)");
       injector = std::make_unique<fault::Injector>(std::move(plan));
       lc.injector = injector.get();
-      config.ft.enabled = true;  // forces the deterministic KV reduce path
-      config.ft.task_timeout = opts.real("ft-timeout");
-      config.ft.max_retries = static_cast<int>(opts.integer("ft-retries"));
+      if (needs_ft) {
+        config.ft.enabled = true;  // forces the deterministic KV reduce path
+        config.ft.task_timeout = opts.real("ft-timeout");
+        config.ft.max_retries = static_cast<int>(opts.integer("ft-retries"));
+      }
+    }
+    // Fingerprint: a checkpoint dir is bound to one training configuration;
+    // resuming with different inputs or hyper-parameters is rejected.
+    ckpt::CheckpointConfig ckpt_config;
+    ckpt_config.dir = opts.str("checkpoint-dir");
+    ckpt_config.interval = opts.real("checkpoint-interval");
+    ckpt_config.resume = opts.flag("resume");
+    MRBIO_REQUIRE(!ckpt_config.resume || !ckpt_config.dir.empty(),
+                  "--resume requires --checkpoint-dir");
+    ckpt::Checkpointer checkpointer(ckpt_config, injector.get());
+    if (checkpointer.enabled()) {
+      std::ostringstream fp;
+      fp << "mrsom input=" << (opts.str("matrix").empty() ? opts.str("fasta")
+                                                          : opts.str("matrix"))
+         << " rows=" << view.rows() << " dim=" << view.cols()
+         << " grid=" << opts.integer("rows") << 'x' << opts.integer("cols")
+         << " epochs=" << opts.integer("epochs") << " block=" << opts.integer("block")
+         << " ranks=" << lc.nranks << " style=" << opts.str("style")
+         << " deterministic=" << config.deterministic_reduce
+         << " init=" << opts.str("init") << " seed=" << opts.integer("seed");
+      checkpointer.open(fp.str());
+      config.checkpointer = &checkpointer;
+      lc.checkpointing = true;
     }
     // --report implies a Full-level recorder and a metrics registry; both
     // only read the active backend's clock, so measured times are unchanged.
@@ -153,11 +190,27 @@ int main(int argc, char** argv) {
                 lc.backend == rt::Backend::Sim ? "virtual" : "wall-clock");
     if (injector) {
       const fault::InjectorStats fs = injector->stats();
-      std::printf("faults fired: %llu crashes, %llu drops, %llu duplicates, %llu delays\n",
+      std::printf("faults fired: %llu crashes, %llu drops, %llu duplicates, "
+                  "%llu delays, %llu kills, %llu corruptions\n",
                   static_cast<unsigned long long>(fs.crashes_fired),
                   static_cast<unsigned long long>(fs.messages_dropped),
                   static_cast<unsigned long long>(fs.messages_duplicated),
-                  static_cast<unsigned long long>(fs.messages_delayed));
+                  static_cast<unsigned long long>(fs.messages_delayed),
+                  static_cast<unsigned long long>(fs.kills_fired),
+                  static_cast<unsigned long long>(fs.checkpoints_corrupted));
+    }
+    if (checkpointer.enabled()) {
+      const ckpt::CheckpointStats cs = checkpointer.stats();
+      std::printf("checkpoint: %llu records (%llu bytes) written, "
+                  "%llu records (%llu bytes) replayed, %llu corrupt dropped, "
+                  "%llu snapshots\n",
+                  static_cast<unsigned long long>(cs.records_written),
+                  static_cast<unsigned long long>(cs.bytes_written),
+                  static_cast<unsigned long long>(cs.records_replayed),
+                  static_cast<unsigned long long>(cs.bytes_replayed),
+                  static_cast<unsigned long long>(cs.corrupt_records),
+                  static_cast<unsigned long long>(cs.snapshots_saved));
+      checkpointer.cleanup_on_success();
     }
 
     const std::string prefix = opts.str("out");
@@ -196,7 +249,17 @@ int main(int argc, char** argv) {
       }
     }
     return 0;
+  } catch (const fault::JobKillSignal& e) {
+    MRBIO_LOG(Warn, "mrsom_train: job killed: ", e.what());
+    return 3;
   } catch (const std::exception& e) {
+    // A kill can surface as a secondary error (e.g. the sim engine reports
+    // the surviving ranks' deadlock before the kill signal itself).
+    if (injector != nullptr && injector->stats().kills_fired > 0) {
+      MRBIO_LOG(Warn, "mrsom_train: job killed: ", e.what(),
+                " (restart with --resume to continue)");
+      return 3;
+    }
     MRBIO_LOG(ErrorLevel, "mrsom_train: ", e.what());
     return 1;
   }
