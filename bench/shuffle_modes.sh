@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Flat-vs-optimized shuffle comparison on the all-vs-all similarity-graph
+# workload (the EXPERIMENTS.md "communication-efficient shuffle" table).
+#
+# Usage: bench/shuffle_modes.sh [path-to-mrgraph_build] [nseq] [ranks]
+#
+# Every row must print the same edge checksum; the wire-bytes column is
+# the modeled nominal traffic of collate()'s exchange.
+set -euo pipefail
+
+BIN=${1:-build/tools/mrgraph_build}
+NSEQ=${2:-192}
+RANKS=${3:-8}
+COMMON=(--nseq "$NSEQ" --family 8 --seqlen 200 --block 12 --ranks "$RANKS" --backend sim)
+
+run_mode() {
+  local name=$1
+  shift
+  local out
+  out=$("$BIN" "${COMMON[@]}" "$@")
+  local checksum wire saved stages elapsed
+  checksum=$(sed -n 's/.*checksum \([0-9a-f]*\).*/\1/p' <<<"$out")
+  wire=$(sed -n 's/.*wire \([0-9]*\) nominal.*/\1/p' <<<"$out")
+  saved=$(sed -n 's/.*combiner saved \([0-9]*\).*/\1/p' <<<"$out")
+  stages=$(sed -n 's/.*, \([0-9]*\) stages.*/\1/p' <<<"$out")
+  elapsed=$(sed -n 's/elapsed \([0-9.e-]*\) .*/\1/p' <<<"$out")
+  printf '| %-24s | %10s | %10s | %6s | %12s | %s |\n' \
+    "$name" "$wire" "$saved" "$stages" "$elapsed" "$checksum"
+}
+
+echo "shuffle modes: nseq=$NSEQ ranks=$RANKS (sim backend)"
+printf '| %-24s | %10s | %10s | %6s | %12s | %s |\n' \
+  "mode" "wire bytes" "saved" "stages" "virtual s" "edge checksum"
+printf '|--------------------------|------------|------------|--------|--------------|------------------|\n'
+run_mode "flat"
+run_mode "combiner" --combiner
+run_mode "tree r=2" --exchange tree --radix 2
+run_mode "tree r=4" --exchange tree --radix 4
+run_mode "compressed" --compress
+run_mode "combiner+tree+compress" --combiner --compress --exchange tree --radix 4 --overlap-spill

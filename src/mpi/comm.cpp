@@ -59,11 +59,15 @@ std::vector<std::vector<std::byte>> Comm::alltoallv_nominal(
   const int p = size();
   MRBIO_REQUIRE(sendbufs.size() == static_cast<std::size_t>(p),
                 "alltoallv needs one buffer per rank, got ", sendbufs.size());
-  std::uint64_t total_nominal = 0;
-  for (const std::uint64_t n : nominal_bytes) total_nominal += n;
-  CollectiveSpan span(*this, "alltoallv", total_nominal);
   MRBIO_REQUIRE(nominal_bytes.size() == static_cast<std::size_t>(p),
                 "alltoallv needs one nominal size per rank");
+  // The rank-local buffer is moved below, never serialized or sent, so its
+  // nominal size must not count as wire traffic in the collective span.
+  std::uint64_t total_nominal = 0;
+  for (int d = 0; d < p; ++d) {
+    if (d != rank()) total_nominal += nominal_bytes[static_cast<std::size_t>(d)];
+  }
+  CollectiveSpan span(*this, "alltoallv", total_nominal);
   std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(p));
   out[static_cast<std::size_t>(rank())] = std::move(sendbufs[static_cast<std::size_t>(rank())]);
   for (int offset = 1; offset < p; ++offset) {
@@ -75,6 +79,112 @@ std::vector<std::vector<std::byte>> Comm::alltoallv_nominal(
     const int src = (rank() - offset + p) % p;
     out[static_cast<std::size_t>(src)] = rank_->recv(src, kTagAlltoall).payload;
   }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoallv_staged(
+    std::vector<std::vector<std::byte>> sendbufs,
+    const std::vector<std::uint64_t>& nominal_bytes, int radix, int* stages_out) {
+  const int p = size();
+  MRBIO_REQUIRE(sendbufs.size() == static_cast<std::size_t>(p),
+                "alltoallv_staged needs one buffer per rank, got ", sendbufs.size());
+  MRBIO_REQUIRE(nominal_bytes.size() == static_cast<std::size_t>(p),
+                "alltoallv_staged needs one nominal size per rank");
+  const int r = std::max(radix, 2);
+
+  // One blob per destination, routed digit by digit: a blob held by rank q
+  // with remaining distance rem = (dest - q) mod p moves, at the stage for
+  // digit position j (weight w = r^j), to rank q + digit_j(rem) * w. All
+  // ranks walk the same (j, z) schedule, so each round is exactly one
+  // message to a fixed partner (possibly empty) and one from the mirror
+  // partner — deterministic matching with no counts exchange.
+  struct Blob {
+    std::uint32_t origin;
+    std::uint32_t dest;
+    std::uint64_t nominal;
+    std::vector<std::byte> payload;
+  };
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(p));
+  out[static_cast<std::size_t>(rank())] = std::move(sendbufs[static_cast<std::size_t>(rank())]);
+
+  std::uint64_t wire_nominal = 0;
+  std::vector<Blob> hold;
+  hold.reserve(static_cast<std::size_t>(p) - 1);
+  for (int d = 0; d < p; ++d) {
+    if (d == rank()) continue;
+    Blob b;
+    b.origin = static_cast<std::uint32_t>(rank());
+    b.dest = static_cast<std::uint32_t>(d);
+    b.nominal = nominal_bytes[static_cast<std::size_t>(d)];
+    b.payload = std::move(sendbufs[static_cast<std::size_t>(d)]);
+    hold.push_back(std::move(b));
+  }
+
+  int stages = 0;
+  {
+    CollectiveSpan span(*this, "alltoallv_staged", 0);
+    for (std::uint64_t w = 1; w < static_cast<std::uint64_t>(p);
+         w *= static_cast<std::uint64_t>(r)) {
+      for (int z = 1; z < r; ++z) {
+        const std::uint64_t hop = z * w;
+        if (hop >= static_cast<std::uint64_t>(p)) break;
+        ++stages;
+        const int to = static_cast<int>((static_cast<std::uint64_t>(rank()) + hop) %
+                                        static_cast<std::uint64_t>(p));
+        const int from = static_cast<int>((static_cast<std::uint64_t>(rank()) -
+                                           hop % static_cast<std::uint64_t>(p) +
+                                           static_cast<std::uint64_t>(p)) %
+                                          static_cast<std::uint64_t>(p));
+        ByteWriter w_out;
+        std::uint64_t msg_nominal = 0;
+        std::vector<Blob> keep;
+        keep.reserve(hold.size());
+        for (Blob& b : hold) {
+          const std::uint64_t rem =
+              (b.dest + static_cast<std::uint64_t>(p) -
+               static_cast<std::uint64_t>(rank())) % static_cast<std::uint64_t>(p);
+          if ((rem / w) % static_cast<std::uint64_t>(r) == static_cast<std::uint64_t>(z)) {
+            w_out.put(b.origin);
+            w_out.put(b.dest);
+            w_out.put(b.nominal);
+            w_out.put<std::uint64_t>(b.payload.size());
+            w_out.append(b.payload.data(), b.payload.size());
+            msg_nominal += b.nominal;
+          } else {
+            keep.push_back(std::move(b));
+          }
+        }
+        hold = std::move(keep);
+        wire_nominal += msg_nominal;
+        rank_->send(to, kTagAlltoallStaged, w_out.take(), msg_nominal);
+        const rt::Message m = rank_->recv(from, kTagAlltoallStaged);
+        ByteReader reader(m.payload);
+        while (!reader.done()) {
+          Blob b;
+          b.origin = reader.get<std::uint32_t>();
+          b.dest = reader.get<std::uint32_t>();
+          b.nominal = reader.get<std::uint64_t>();
+          const auto len = reader.get<std::uint64_t>();
+          const auto raw = reader.raw(len);
+          b.payload.assign(raw.begin(), raw.end());
+          hold.push_back(std::move(b));
+        }
+      }
+    }
+  }
+  if (obs::Registry* reg = metrics(); reg != nullptr) {
+    reg->counter("mpi.alltoallv_staged_wire_bytes").inc(wire_nominal);
+  }
+
+  // Every remaining blob is addressed to this rank; origins are unique.
+  for (Blob& b : hold) {
+    MRBIO_CHECK(b.dest == static_cast<std::uint32_t>(rank()),
+                "alltoallv_staged: blob for rank ", b.dest, " stranded on ", rank());
+    auto& slot = out[b.origin];
+    MRBIO_CHECK(slot.empty(), "alltoallv_staged: duplicate blob from rank ", b.origin);
+    slot = std::move(b.payload);
+  }
+  if (stages_out != nullptr) *stages_out = stages;
   return out;
 }
 

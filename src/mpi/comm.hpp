@@ -323,6 +323,19 @@ class Comm {
       std::vector<std::vector<std::byte>> sendbufs,
       const std::vector<std::uint64_t>& nominal_bytes);
 
+  /// Bruck-style radix-r staged personalized all-to-all: every rank sends
+  /// (radix-1) * ceil(log_radix p) messages instead of p-1, with each
+  /// payload forwarded through intermediate ranks. Same contract and
+  /// result as alltoallv_nominal (out[i] is rank i's buffer, the local
+  /// buffer is moved, never sent); the latency/bandwidth trade-off — fewer,
+  /// larger, multi-hop messages — is priced naturally by the per-message
+  /// alpha-beta model. `stages_out` (optional) receives the number of
+  /// communication rounds this rank executed.
+  std::vector<std::vector<std::byte>> alltoallv_staged(
+      std::vector<std::vector<std::byte>> sendbufs,
+      const std::vector<std::uint64_t>& nominal_bytes, int radix,
+      int* stages_out = nullptr);
+
   // ---- phantom collectives: timing-only transfers of nominal size ----
 
   /// Same tree and timing as bcast of `nominal_bytes`, empty payloads.
@@ -405,6 +418,7 @@ class Comm {
   static constexpr int kTagScatter = kUserTagLimit + 7;
   /// Never sent by anyone; sleep_until() posts timed receives on it.
   static constexpr int kTagNever = kUserTagLimit + 8;
+  static constexpr int kTagAlltoallStaged = kUserTagLimit + 9;
 
   int vrank(int root) const { return (rank() - root + size()) % size(); }
   int from_vrank(int vr, int root) const { return (vr + root) % size(); }

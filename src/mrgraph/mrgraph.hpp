@@ -1,0 +1,71 @@
+// All-vs-all similarity-graph construction over MapReduce-MPI.
+//
+// The shuffle-heavy companion workload to mrblast: every sequence is
+// compared against every other sequence (seed-and-extend, ungapped), and
+// each accepted pair emits two edge KVs — one per endpoint — keyed by
+// sequence id. collate() then ships every vertex's adjacency list to its
+// owning rank, which makes the exchange volume quadratic-ish in the hit
+// density and the phase an ideal acceptance benchmark for the combiner /
+// staged-exchange / compressed shuffle paths (every vertex id recurs once
+// per neighbor, so combined framing collapses the repeated keys).
+//
+// reduce() canonicalizes each adjacency list (sorted, deduplicated) and
+// optionally writes per-rank edge files; the returned checksum is an
+// order-independent hash over all edge lines, so it is identical across
+// backends, rank counts, map styles, and shuffle modes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blast/sequence.hpp"
+#include "mpi/comm.hpp"
+#include "mrmpi/mapreduce.hpp"
+
+namespace mrbio::mrgraph {
+
+struct GraphConfig {
+  /// Input sequences; every rank must pass an identical vector.
+  std::vector<blast::Sequence> sequences;
+  /// Sequences per block; one map task compares one block pair (i <= j).
+  std::size_t block_size = 16;
+  /// Seed word length (exact residue match starts an extension).
+  std::size_t word_len = 8;
+  /// X-drop parameter of the ungapped extension.
+  int xdrop = 20;
+  /// Minimum ungapped score for an edge.
+  int min_score = 24;
+  bool dna = true;  ///< DNA scoring (match/mismatch) vs BLOSUM62
+  /// Directory for per-rank edge files ("edges.<rank>.tsv"); "" = none.
+  std::string output_dir;
+  mrmpi::MapStyle map_style = mrmpi::MapStyle::Chunk;
+  /// Shuffle path under test (combiner / exchange mode / compression).
+  mrmpi::ShuffleConfig shuffle;
+  /// Virtual seconds charged per alignment cell (|a| x |b| per pair); a
+  /// no-op on the native backend. Gives the sim timeline a compute part.
+  double virtual_seconds_per_cell = 0.0;
+  /// Paging-policy overrides (0 / false keep the library defaults).
+  std::uint64_t memsize_bytes = 0;
+  bool page_to_disk = false;
+  std::uint64_t page_bytes = 0;
+};
+
+/// Globally-reduced before return: all ranks see the same totals.
+struct GraphStats {
+  std::uint64_t vertices = 0;        ///< sequences with at least one edge
+  std::uint64_t edges = 0;           ///< directed edges written (2x pairs)
+  std::uint64_t pairs_compared = 0;  ///< sequence pairs examined
+  /// Order-independent FNV-sum over all "<id>\t<neighbor>\t<score>" edge
+  /// lines; equal across backends, rank counts and shuffle modes.
+  std::uint64_t edge_checksum = 0;
+  std::uint64_t aggregate_bytes_sent = 0;    ///< nominal wire bytes (all ranks)
+  std::uint64_t shuffle_combined_bytes = 0;  ///< nominal bytes combiner saved
+  std::uint64_t shuffle_stages = 0;          ///< staged-exchange rounds
+  std::string output_file;  ///< this rank's edge file ("" if none)
+};
+
+/// Collective: every rank of `comm` must call with identical config.
+GraphStats build_graph_mr(mpi::Comm& comm, const GraphConfig& config);
+
+}  // namespace mrbio::mrgraph

@@ -6,14 +6,29 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <list>
 #include <numeric>
 #include <unordered_map>
+
+#include "mrmpi/shuffle_codec.hpp"
 
 namespace mrbio::mrmpi {
 
 namespace {
 std::atomic<std::uint64_t> g_store_counter{0};
+
+/// On-disk frame header of a compressed spill page. Stable across runs so
+/// durable (checkpoint-mode) spill files written by a killed run stay
+/// decodable on resume.
+constexpr std::uint32_t kSpillPageMagic = 0x4D525350;  // "MRSP"
+
+struct SpillPageHeader {
+  std::uint32_t magic;
+  std::uint32_t reserved;
+  std::uint64_t raw_len;   ///< page.byte_size after decompression
+  std::uint64_t disk_len;  ///< compressed payload bytes that follow
+};
 
 /// "" resolves to $TMPDIR (the scheduler-provided scratch dir on batch
 /// systems), falling back to /tmp.
@@ -45,6 +60,9 @@ struct KeyValue::Page {
   std::size_t byte_size = 0;     ///< logical size (valid also when spilled)
   bool spilled = false;
   std::uint64_t file_offset = 0;
+  /// Bytes this page occupies in the spill file: byte_size for raw pages,
+  /// header + compressed payload under SpillPolicy::compress.
+  std::uint64_t disk_size = 0;
 };
 
 struct KeyValue::Impl {
@@ -124,17 +142,33 @@ void KeyValue::maybe_spill() {
       if (!policy_.durable) std::remove(impl_->spill_path.c_str());
     }
     std::fseek(impl_->spill_file, static_cast<long>(impl_->spill_end), SEEK_SET);
-    const std::size_t written =
-        std::fwrite(p.buf.data(), 1, p.byte_size, impl_->spill_file);
-    MRBIO_REQUIRE(written == p.byte_size, "short write to spill file");
+    if (policy_.compress) {
+      const std::vector<std::byte> packed =
+          shuffle_compress({p.buf.data(), p.byte_size});
+      SpillPageHeader hdr;
+      hdr.magic = kSpillPageMagic;
+      hdr.reserved = 0;
+      hdr.raw_len = p.byte_size;
+      hdr.disk_len = packed.size();
+      MRBIO_REQUIRE(std::fwrite(&hdr, 1, sizeof(hdr), impl_->spill_file) == sizeof(hdr) &&
+                        std::fwrite(packed.data(), 1, packed.size(), impl_->spill_file) ==
+                            packed.size(),
+                    "short write to spill file");
+      p.disk_size = sizeof(hdr) + packed.size();
+    } else {
+      const std::size_t written =
+          std::fwrite(p.buf.data(), 1, p.byte_size, impl_->spill_file);
+      MRBIO_REQUIRE(written == p.byte_size, "short write to spill file");
+      p.disk_size = p.byte_size;
+    }
     if (policy_.durable) {
       MRBIO_REQUIRE(std::fflush(impl_->spill_file) == 0 &&
                         ::fsync(fileno(impl_->spill_file)) == 0,
                     "cannot sync spill file ", impl_->spill_path);
     }
     p.file_offset = impl_->spill_end;
-    impl_->spill_end += p.byte_size;
-    spilled_bytes_ += p.byte_size;
+    impl_->spill_end += p.disk_size;
+    spilled_bytes_ += p.disk_size;
     release_page_buf(p.buf);
     p.spilled = true;
     ++generation_;
@@ -151,10 +185,25 @@ const KeyValue::Page& KeyValue::load_page(std::size_t page_index) const {
   }
   // Re-read from the spill file into the page's buffer.
   MRBIO_CHECK(impl_->spill_file != nullptr, "spilled page without a spill file");
-  p.buf.resize(p.byte_size);
   std::fseek(impl_->spill_file, static_cast<long>(p.file_offset), SEEK_SET);
-  const std::size_t got = std::fread(p.buf.data(), 1, p.byte_size, impl_->spill_file);
-  MRBIO_REQUIRE(got == p.byte_size, "short read from spill file");
+  if (policy_.compress) {
+    SpillPageHeader hdr;
+    MRBIO_REQUIRE(std::fread(&hdr, 1, sizeof(hdr), impl_->spill_file) == sizeof(hdr),
+                  "short read from spill file");
+    MRBIO_REQUIRE(hdr.magic == kSpillPageMagic && hdr.raw_len == p.byte_size &&
+                      sizeof(hdr) + hdr.disk_len == p.disk_size,
+                  "corrupt compressed spill page in ", impl_->spill_path);
+    std::vector<std::byte> packed(hdr.disk_len);
+    MRBIO_REQUIRE(
+        std::fread(packed.data(), 1, packed.size(), impl_->spill_file) == packed.size(),
+        "short read from spill file");
+    p.buf = shuffle_decompress(packed);
+    MRBIO_CHECK(p.buf.size() == p.byte_size, "compressed spill page size mismatch");
+  } else {
+    p.buf.resize(p.byte_size);
+    const std::size_t got = std::fread(p.buf.data(), 1, p.byte_size, impl_->spill_file);
+    MRBIO_REQUIRE(got == p.byte_size, "short read from spill file");
+  }
   // Track in the LRU; evict cached copies beyond the budget (the page
   // stays spilled, its buffer is just dropped).
   impl_->lru.push_front(page_index);
@@ -364,6 +413,23 @@ std::uint64_t key_hash(std::span<const std::byte> key) {
     h *= 1099511628211ULL;
   }
   return h;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer (Steele, Lea & Flood); every input bit affects
+  // every output bit, so `mix64(h) % p` stays balanced even when h itself
+  // has structured low bits (short or sequential keys under FNV-1a).
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+int key_rank(std::span<const std::byte> key, int nranks) {
+  MRBIO_CHECK(nranks > 0, "key_rank needs a positive rank count");
+  return static_cast<int>(mix64(key_hash(key)) % static_cast<std::uint64_t>(nranks));
 }
 
 }  // namespace mrbio::mrmpi

@@ -62,6 +62,12 @@ struct SpillPolicy {
   /// removes the files on successful completion.
   bool durable = false;
   std::string file_stem;
+  /// Compress pages on their way to the spill file (varint/RLE, see
+  /// shuffle_codec.hpp). Compressed pages are written with a stable
+  /// self-describing frame ([magic][raw_len][disk_len][payload]) so a
+  /// durable spill file remains decodable after a crash; spilled_bytes()
+  /// then reports the on-disk (compressed) size.
+  bool compress = false;
 };
 
 class KeyValue {
@@ -186,5 +192,15 @@ class KeyMultiValue {
 
 /// Deterministic hash of a key used to assign keys to ranks in aggregate().
 std::uint64_t key_hash(std::span<const std::byte> key);
+
+/// splitmix64 finalizer: a full-avalanche bit mixer over a 64-bit value.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Destination rank of a key in aggregate(): mix64(key_hash(key)) % nranks.
+/// The mixing step matters — a raw `hash % nranks` inherits whatever
+/// structure the low bits carry (small-cardinality or sequential integer
+/// keys skew badly); the finalizer spreads every input bit over the
+/// modulus.
+int key_rank(std::span<const std::byte> key, int nranks);
 
 }  // namespace mrbio::mrmpi

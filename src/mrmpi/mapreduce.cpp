@@ -5,10 +5,13 @@
 #include <deque>
 #include <map>
 #include <numeric>
+#include <string>
+#include <unordered_map>
 
 #include "ckpt/ckpt.hpp"
 #include "common/log.hpp"
 #include "common/serialize.hpp"
+#include "mrmpi/shuffle_codec.hpp"
 
 namespace mrbio::mrmpi {
 
@@ -172,6 +175,7 @@ KeyValue MapReduce::make_kv() const {
   if (!config_.page_to_disk) return KeyValue{};
   SpillPolicy policy;
   policy.page_bytes = config_.page_bytes;
+  policy.compress = config_.shuffle.compress;
   policy.max_resident_pages = std::max<std::size_t>(
       2, static_cast<std::size_t>(config_.memsize_bytes / config_.page_bytes));
   policy.dir = config_.spill_dir;
@@ -259,7 +263,7 @@ std::uint64_t MapReduce::run_map(std::uint64_t ntasks, const MapFn& fn, bool app
   }
   have_kmv_ = false;
   stats_.kv_pairs_emitted += kv_.size();
-  charge_spill();
+  charge_spill(/*fresh_store=*/!append);
   span.set_kv(kv_.size(), kv_.nominal_bytes());
   return global_count(kv_.size());
 }
@@ -367,7 +371,7 @@ std::uint64_t MapReduce::map_locality(std::uint64_t ntasks, const AffinityFn& af
   kv_ = std::move(out);
   have_kmv_ = false;
   stats_.kv_pairs_emitted += kv_.size();
-  charge_spill();
+  charge_spill(/*fresh_store=*/true);
   span.set_kv(kv_.size(), kv_.nominal_bytes());
   return global_count(kv_.size());
 }
@@ -1025,54 +1029,179 @@ void MapReduce::run_task_ckpt(const MapFn& fn, std::uint64_t task, KeyValue& out
   out.absorb(std::move(scratch));
 }
 
+namespace {
+
+/// Scales a nominal byte count by real_after / real_before using 128-bit
+/// intermediate math, so paper-scale nominals shrink by exactly the
+/// measured framing/compression ratio without overflow.
+std::uint64_t scale_nominal(std::uint64_t nominal, std::uint64_t real_after,
+                            std::uint64_t real_before) {
+  if (real_before == 0 || nominal == 0) return nominal;
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(nominal) * real_after) / real_before);
+}
+
+}  // namespace
+
 std::uint64_t MapReduce::aggregate() {
   PhaseSpan span(phase_recorder(), comm_, "aggregate");
   const int p = comm_.size();
   const int rank = comm_.rank();
+  const ShuffleConfig& sc = config_.shuffle;
 
-  // Serialize each pair toward its destination rank; track nominal bytes so
-  // the network charge reflects paper-scale payloads.
-  std::vector<ByteWriter> writers(static_cast<std::size_t>(p));
-  std::vector<std::uint64_t> nominal(static_cast<std::size_t>(p), 0);
+  // Route every pair to its destination rank. Pairs are referenced by
+  // index; rank-local pairs are replayed straight into the merged store
+  // later (no serialize/deserialize round trip, no send buffer, no wire
+  // charge), which is what makes an all-keys-local aggregate cost only the
+  // empty exchange.
+  struct DestGroup {
+    std::string key;                  ///< only filled when combining
+    std::vector<std::size_t> pairs;   ///< kv_ indices, emission order
+  };
+  struct Dest {
+    std::vector<DestGroup> groups;    ///< first-occurrence key order
+    std::unordered_map<std::string, std::size_t> group_of;
+    std::uint64_t nominal = 0;
+    std::uint64_t flat_real = 0;      ///< real bytes of the per-pair framing
+  };
+  std::vector<Dest> dests(static_cast<std::size_t>(p));
+  std::size_t index = 0;
   kv_.for_each([&](const KvPair& pair) {
-    const auto dst = static_cast<std::size_t>(key_hash(pair.key) %
-                                              static_cast<std::uint64_t>(p));
-    ByteWriter& w = writers[dst];
-    w.put<std::uint64_t>(pair.key.size());
-    w.append(pair.key.data(), pair.key.size());
-    w.put<std::uint64_t>(pair.value.size());
-    w.append(pair.value.data(), pair.value.size());
-    w.put<std::uint64_t>(pair.nominal_bytes);
-    nominal[dst] += pair.nominal_bytes;
+    Dest& dest = dests[static_cast<std::size_t>(key_rank(pair.key, p))];
+    dest.nominal += pair.nominal_bytes;
+    dest.flat_real += 3 * sizeof(std::uint64_t) + pair.key.size() + pair.value.size();
+    std::string key(reinterpret_cast<const char*>(pair.key.data()), pair.key.size());
+    if (sc.combiner) {
+      auto [it, fresh] = dest.group_of.try_emplace(std::move(key), dest.groups.size());
+      if (fresh) dest.groups.push_back({it->first, {}});
+      dest.groups[it->second].pairs.push_back(index);
+    } else if (dest.groups.empty()) {
+      dest.groups.push_back({{}, {index}});
+    } else {
+      dest.groups.front().pairs.push_back(index);
+    }
+    ++index;
   });
 
+  // Serialize the remote destinations. Per-pair framing:
+  //   [u64 klen][key][u64 vlen][value][u64 nominal]
+  // Combined framing (one record per key, values in emission order):
+  //   [u64 klen][key][u64 nvalues]([u64 vlen][value][u64 nominal])*
+  // The receive side expands combined records back to pairs in the same
+  // order, so the merged KV — and the post-convert() KMV — is identical
+  // in either mode.
   std::vector<std::vector<std::byte>> sendbufs(static_cast<std::size_t>(p));
+  std::vector<std::uint64_t> nominal(static_cast<std::size_t>(p), 0);
   std::uint64_t sent = 0;
+  std::uint64_t combined_saved = 0;
+  std::uint64_t wire_real = 0;
+  std::uint64_t precompress_real = 0;
   for (int d = 0; d < p; ++d) {
-    sendbufs[static_cast<std::size_t>(d)] = writers[static_cast<std::size_t>(d)].take();
-    if (d != rank) sent += nominal[static_cast<std::size_t>(d)];
+    if (d == rank) continue;
+    Dest& dest = dests[static_cast<std::size_t>(d)];
+    ByteWriter w;
+    for (const DestGroup& g : dest.groups) {
+      if (sc.combiner) {
+        w.put<std::uint64_t>(g.key.size());
+        w.append(g.key.data(), g.key.size());
+        w.put<std::uint64_t>(g.pairs.size());
+      }
+      for (const std::size_t i : g.pairs) {
+        const KvPair pair = kv_.pair(i);
+        if (!sc.combiner) {
+          w.put<std::uint64_t>(pair.key.size());
+          w.append(pair.key.data(), pair.key.size());
+        }
+        w.put<std::uint64_t>(pair.value.size());
+        w.append(pair.value.data(), pair.value.size());
+        w.put<std::uint64_t>(pair.nominal_bytes);
+      }
+    }
+    std::vector<std::byte> buf = w.take();
+    std::uint64_t dest_nominal = dest.nominal;
+    if (sc.combiner) {
+      const std::uint64_t scaled = scale_nominal(dest_nominal, buf.size(), dest.flat_real);
+      combined_saved += dest_nominal - scaled;
+      dest_nominal = scaled;
+    }
+    precompress_real += buf.size();
+    if (sc.compress && !buf.empty()) {
+      std::vector<std::byte> packed = shuffle_compress(buf);
+      dest_nominal = scale_nominal(dest_nominal, packed.size(), buf.size());
+      buf = std::move(packed);
+    }
+    wire_real += buf.size();
+    nominal[static_cast<std::size_t>(d)] = dest_nominal;
+    sent += dest_nominal;
+    sendbufs[static_cast<std::size_t>(d)] = std::move(buf);
   }
+
   stats_.aggregate_bytes_sent += sent;
+  stats_.shuffle_combined_bytes += combined_saved;
   if (obs::Registry* reg = metrics(); reg != nullptr) {
     reg->counter("mrmpi.aggregate_bytes").inc(sent);
+    if (sc.combiner) reg->counter("shuffle.combined_bytes").inc(combined_saved);
+    if (sc.compress && wire_real > 0) {
+      reg->gauge("shuffle.compress_ratio")
+          .set(static_cast<double>(precompress_real) / static_cast<double>(wire_real));
+    }
   }
-  auto recvbufs = comm_.alltoallv_nominal(std::move(sendbufs), nominal);
+
+  const double t_exchange = comm_.now();
+  std::vector<std::vector<std::byte>> recvbufs;
+  if (sc.exchange == ExchangeMode::Tree) {
+    int stages = 0;
+    recvbufs = comm_.alltoallv_staged(std::move(sendbufs), nominal, sc.tree_radix, &stages);
+    stats_.shuffle_stages += static_cast<std::uint64_t>(stages);
+    if (obs::Registry* reg = metrics(); reg != nullptr) {
+      reg->counter("shuffle.stages").inc(static_cast<std::uint64_t>(stages));
+    }
+  } else {
+    recvbufs = comm_.alltoallv_nominal(std::move(sendbufs), nominal);
+  }
+  const double exchange_seconds = comm_.now() - t_exchange;
 
   KeyValue merged = make_kv();
-  for (const auto& buf : recvbufs) {
-    ByteReader r(buf);
+  for (int src = 0; src < p; ++src) {
+    if (src == rank) {
+      // Replay rank-local pairs in the exact order the wire path would
+      // have delivered them (grouped when combining).
+      for (const DestGroup& g : dests[static_cast<std::size_t>(rank)].groups) {
+        for (const std::size_t i : g.pairs) {
+          const KvPair pair = kv_.pair(i);
+          merged.add(pair.key, pair.value, pair.nominal_bytes);
+        }
+      }
+      continue;
+    }
+    const auto& raw = recvbufs[static_cast<std::size_t>(src)];
+    std::vector<std::byte> unpacked;
+    if (sc.compress && !raw.empty()) unpacked = shuffle_decompress(raw);
+    ByteReader r(sc.compress && !raw.empty() ? std::span<const std::byte>(unpacked)
+                                             : std::span<const std::byte>(raw));
     while (!r.done()) {
       const auto klen = r.get<std::uint64_t>();
       const auto kbytes = r.raw(klen);
-      const auto vlen = r.get<std::uint64_t>();
-      const auto vbytes = r.raw(vlen);
-      const auto nom = r.get<std::uint64_t>();
-      merged.add(kbytes, vbytes, nom);
+      if (sc.combiner) {
+        const auto nvalues = r.get<std::uint64_t>();
+        for (std::uint64_t v = 0; v < nvalues; ++v) {
+          const auto vlen = r.get<std::uint64_t>();
+          const auto vbytes = r.raw(vlen);
+          const auto nom = r.get<std::uint64_t>();
+          merged.add(kbytes, vbytes, nom);
+        }
+      } else {
+        const auto vlen = r.get<std::uint64_t>();
+        const auto vbytes = r.raw(vlen);
+        const auto nom = r.get<std::uint64_t>();
+        merged.add(kbytes, vbytes, nom);
+      }
     }
   }
   kv_ = std::move(merged);
   have_kmv_ = false;
-  charge_spill();
+  charge_spill(/*fresh_store=*/true,
+               sc.overlap_spill ? exchange_seconds : 0.0, "shuffle_spill");
   span.set_kv(kv_.size(), kv_.nominal_bytes());
   return global_count(kv_.size());
 }
@@ -1082,6 +1211,23 @@ std::uint64_t MapReduce::convert() {
   // Charge the local group-by: one hash+compare pass over the data.
   kmv_ = KeyMultiValue::from_keyvalue(kv_);
   have_kmv_ = true;
+  // The grouped view materializes a second copy of the pair data. Offsets
+  // are 64-bit throughout, so a single group larger than the memory budget
+  // is represented exactly — never truncated — but the overflow is backed
+  // by disk and must be charged like any other spill write.
+  const std::uint64_t nominal = kv_.nominal_bytes();
+  if (nominal > config_.memsize_bytes) {
+    const std::uint64_t over = nominal - config_.memsize_bytes;
+    const double t0 = comm_.now();
+    comm_.compute(static_cast<double>(over) * config_.spill_byte_seconds);
+    if (obs::Registry* reg = metrics(); reg != nullptr) {
+      reg->counter("mrmpi.spill_bytes").inc(over);
+    }
+    if (trace::Recorder* rec = phase_recorder(); rec != nullptr) {
+      rec->add(comm_.rank(), trace::Category::Io, "kmv_spill", t0, comm_.now(), 0, over);
+    }
+    stats_.spilled_bytes += over;
+  }
   span.set_kv(kmv_.size(), kv_.nominal_bytes());
   return global_count(kmv_.size());
 }
@@ -1102,7 +1248,7 @@ std::uint64_t MapReduce::reduce(const ReduceFn& fn) {
   kv_ = std::move(out);
   have_kmv_ = false;
   stats_.kv_pairs_emitted += kv_.size();
-  charge_spill();
+  charge_spill(/*fresh_store=*/true);
   span.set_kv(kv_.size(), kv_.nominal_bytes());
   return global_count(kv_.size());
 }
@@ -1117,7 +1263,7 @@ std::uint64_t MapReduce::compress(const ReduceFn& fn) {
   kv_ = std::move(out);
   have_kmv_ = false;
   stats_.kv_pairs_emitted += kv_.size();
-  charge_spill();
+  charge_spill(/*fresh_store=*/true);
   span.set_kv(kv_.size(), kv_.nominal_bytes());
   return global_count(kv_.size());
 }
@@ -1129,7 +1275,7 @@ std::uint64_t MapReduce::map_kv(const MapKvFn& fn) {
   kv_ = std::move(out);
   have_kmv_ = false;
   stats_.kv_pairs_emitted += kv_.size();
-  charge_spill();
+  charge_spill(/*fresh_store=*/true);
   span.set_kv(kv_.size(), kv_.nominal_bytes());
   return global_count(kv_.size());
 }
@@ -1163,7 +1309,7 @@ std::uint64_t MapReduce::gather() {
     kv_.clear();
   }
   have_kmv_ = false;
-  charge_spill();
+  charge_spill(/*fresh_store=*/true);
   span.set_kv(kv_.size(), kv_.nominal_bytes());
   return global_count(kv_.size());
 }
@@ -1173,19 +1319,34 @@ void MapReduce::sort_keys() {
   have_kmv_ = false;
 }
 
-void MapReduce::charge_spill() {
+void MapReduce::charge_spill(bool fresh_store, double credit_seconds,
+                             const char* span_name) {
+  // A store-replacing op (aggregate, reduce, compress, map_kv, gather, a
+  // non-append map) discards the old pages and writes new ones, so the old
+  // high-water mark must not mask the new store's spill I/O. Without this
+  // reset a collate() whose output shrank below a previous peak was never
+  // charged for respilling — the grow-then-shrink undercharge.
+  if (fresh_store) charged_spill_ = 0;
   const std::uint64_t nominal = kv_.nominal_bytes();
   if (nominal > config_.memsize_bytes) {
     const std::uint64_t spilled = nominal - config_.memsize_bytes;
     if (spilled > charged_spill_) {
       const std::uint64_t fresh = spilled - charged_spill_;
       const double t0 = comm_.now();
-      comm_.compute(static_cast<double>(fresh) * config_.spill_byte_seconds);
+      double seconds = static_cast<double>(fresh) * config_.spill_byte_seconds;
+      if (credit_seconds > 0.0) {
+        // Spill writes overlapped with the exchange: only the tail that
+        // outlives the communication costs wall-clock time.
+        const double saved = std::min(seconds, credit_seconds);
+        stats_.shuffle_overlap_saved_seconds += saved;
+        seconds -= saved;
+      }
+      comm_.compute(seconds);
       if (obs::Registry* reg = metrics(); reg != nullptr) {
         reg->counter("mrmpi.spill_bytes").inc(fresh);
       }
       if (trace::Recorder* rec = phase_recorder(); rec != nullptr) {
-        rec->add(comm_.rank(), trace::Category::Io, "spill", t0, comm_.now(), 0, fresh);
+        rec->add(comm_.rank(), trace::Category::Io, span_name, t0, comm_.now(), 0, fresh);
       }
       stats_.spilled_bytes += fresh;
       charged_spill_ = spilled;

@@ -69,8 +69,43 @@ struct FaultToleranceConfig {
   int max_resends = 20;
 };
 
+/// How aggregate() moves KV pairs between ranks.
+enum class ExchangeMode {
+  Flat,  ///< rotation-scheduled alltoallv, p-1 direct messages per rank
+  Tree,  ///< Bruck-style radix-r staged exchange, (r-1)*ceil(log_r p) messages
+};
+
+/// Communication-efficiency options of the aggregate()/collate() shuffle.
+/// All ranks must use identical settings (the exchange framing depends on
+/// them). Every combination produces byte-identical post-collate() KMV
+/// contents — the combiner is structural (same key sent once per
+/// destination with its value list, orders preserved), the staged exchange
+/// re-orders by origin rank, and the codec round-trips exactly — so modes
+/// differ only in modeled cost, never in results.
+struct ShuffleConfig {
+  /// Pre-aggregate same-key pairs per destination before the exchange:
+  /// each key crosses the wire once per destination, followed by its value
+  /// list. Nominal (timing-model) bytes shrink proportionally to the real
+  /// framing saving, so paper-scale runs see the reduction too.
+  bool combiner = false;
+  ExchangeMode exchange = ExchangeMode::Flat;
+  /// Fan-out of the staged exchange (>= 2); used when exchange == Tree.
+  int tree_radix = 2;
+  /// Varint/RLE-compress exchange buffers on the wire and KV pages in the
+  /// spill files (see shuffle_codec.hpp); nominal bytes scale with the
+  /// real compression ratio.
+  bool compress = false;
+  /// Overlap spill-file I/O with the exchange: virtual seconds spent
+  /// blocked in the exchange are credited against the post-exchange spill
+  /// charge (a rank can drain pages to disk while waiting for the wire).
+  bool overlap_spill = false;
+};
+
 struct MapReduceConfig {
   MapStyle map_style = MapStyle::MasterWorker;
+  /// Shuffle strategy of aggregate()/collate(); defaults reproduce the
+  /// classic flat exchange.
+  ShuffleConfig shuffle;
   /// Fault tolerance of the MasterWorker protocol; off by default.
   FaultToleranceConfig ft;
   /// Per-rank resident budget for KV data, mirroring Sandia's `memsize`.
@@ -107,6 +142,13 @@ struct MapReduceStats {
   std::uint64_t kv_pairs_emitted = 0;    ///< local emissions in map/reduce
   std::uint64_t spilled_bytes = 0;       ///< nominal bytes over the budget
   std::uint64_t aggregate_bytes_sent = 0;///< nominal bytes shipped by aggregate()
+  /// Nominal bytes the combiner kept off the wire (flat framing minus
+  /// combined framing, scaled to nominal sizes).
+  std::uint64_t shuffle_combined_bytes = 0;
+  std::uint64_t shuffle_stages = 0;      ///< staged-exchange rounds executed
+  /// Virtual spill seconds saved by overlapping spill I/O with the
+  /// exchange (shuffle.overlap_spill).
+  double shuffle_overlap_saved_seconds = 0.0;
   // Fault-tolerance counters (master side, meaningful on rank 0).
   std::uint64_t tasks_retried = 0;       ///< reassignments after timeout/crash
   std::uint64_t worker_deaths = 0;       ///< crash notifications observed
@@ -236,8 +278,14 @@ class MapReduce {
   /// ("map_task_retry") so the report can price recovery re-execution.
   void run_task(const MapFn& fn, std::uint64_t task, KeyValue& out, trace::Recorder* rec,
                 const char* span_name = "map_task");
-  /// Applies the spill cost model after KV growth.
-  void charge_spill();
+  /// Applies the spill cost model after KV growth. `fresh_store` marks a
+  /// kv_ that was replaced by a newly built store: its whole over-budget
+  /// portion is new I/O, so the high-water mark resets instead of only
+  /// charging growth beyond the previous store's peak. `credit_seconds`
+  /// is deducted from the charge (spill I/O overlapped with the shuffle
+  /// exchange); the charged remainder is traced under `span_name`.
+  void charge_spill(bool fresh_store = false, double credit_seconds = 0.0,
+                    const char* span_name = "spill");
   std::uint64_t global_count(std::uint64_t local) ;
 
   // --- checkpoint/restart hooks (all no-ops when no checkpointer) ---

@@ -1,0 +1,101 @@
+#include "mrmpi/shuffle_codec.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mrbio::mrmpi {
+
+namespace {
+
+constexpr std::size_t kMaxLiteral = 128;  ///< ctrl 0x00..0x7F -> 1..128 bytes
+constexpr std::size_t kMinRepeat = 3;     ///< shorter runs ride as literals
+constexpr std::size_t kMaxRepeat = 130;   ///< ctrl 0x80..0xFF -> 3..130 bytes
+
+void put_varint(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+std::uint64_t get_varint(std::span<const std::byte> in, std::size_t* pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    MRBIO_REQUIRE(*pos < in.size(), "shuffle codec: truncated varint header");
+    MRBIO_REQUIRE(shift < 64, "shuffle codec: varint overflow");
+    const auto b = static_cast<std::uint64_t>(in[(*pos)++]);
+    v |= (b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+}  // namespace
+
+std::vector<std::byte> shuffle_compress(std::span<const std::byte> raw) {
+  std::vector<std::byte> out;
+  out.reserve(raw.size() / 2 + 16);
+  put_varint(out, raw.size());
+
+  std::size_t lit_start = 0;  ///< first byte of the pending literal run
+  std::size_t i = 0;
+  auto flush_literals = [&](std::size_t end) {
+    while (lit_start < end) {
+      const std::size_t n = std::min(end - lit_start, kMaxLiteral);
+      out.push_back(static_cast<std::byte>(n - 1));
+      out.insert(out.end(), raw.begin() + static_cast<std::ptrdiff_t>(lit_start),
+                 raw.begin() + static_cast<std::ptrdiff_t>(lit_start + n));
+      lit_start += n;
+    }
+  };
+
+  while (i < raw.size()) {
+    std::size_t run = 1;
+    while (i + run < raw.size() && raw[i + run] == raw[i] && run < kMaxRepeat) ++run;
+    if (run >= kMinRepeat) {
+      flush_literals(i);
+      out.push_back(static_cast<std::byte>(0x80 + (run - kMinRepeat)));
+      out.push_back(raw[i]);
+      i += run;
+      lit_start = i;
+    } else {
+      i += run;  // short run travels inside the literal buffer
+    }
+  }
+  flush_literals(raw.size());
+  return out;
+}
+
+std::uint64_t shuffle_decoded_size(std::span<const std::byte> frame) {
+  std::size_t pos = 0;
+  return get_varint(frame, &pos);
+}
+
+std::vector<std::byte> shuffle_decompress(std::span<const std::byte> frame) {
+  std::size_t pos = 0;
+  const std::uint64_t raw_len = get_varint(frame, &pos);
+  std::vector<std::byte> out;
+  out.reserve(raw_len);
+  while (pos < frame.size()) {
+    const auto ctrl = static_cast<std::size_t>(frame[pos++]);
+    if (ctrl < 0x80) {
+      const std::size_t n = ctrl + 1;
+      MRBIO_REQUIRE(pos + n <= frame.size(), "shuffle codec: truncated literal run");
+      out.insert(out.end(), frame.begin() + static_cast<std::ptrdiff_t>(pos),
+                 frame.begin() + static_cast<std::ptrdiff_t>(pos + n));
+      pos += n;
+    } else {
+      MRBIO_REQUIRE(pos < frame.size(), "shuffle codec: truncated repeat run");
+      const std::size_t n = ctrl - 0x80 + kMinRepeat;
+      out.insert(out.end(), n, frame[pos++]);
+    }
+    MRBIO_REQUIRE(out.size() <= raw_len, "shuffle codec: frame overruns its header");
+  }
+  MRBIO_REQUIRE(out.size() == raw_len, "shuffle codec: frame shorter than its header");
+  return out;
+}
+
+}  // namespace mrbio::mrmpi

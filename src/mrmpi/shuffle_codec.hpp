@@ -1,0 +1,35 @@
+// Lightweight varint/RLE codec for shuffle buffers and spill pages.
+//
+// KV exchange buffers and spill pages are dominated by the length-prefixed
+// framing ([u64 klen][key][u64 vlen][value][u64 nominal]): the u64 fields
+// are mostly zero bytes, and padded or repetitive values compress further.
+// A byte-wise run-length scheme with a varint length header captures that
+// redundancy at near-memcpy speed with no dependencies — the point is a
+// *modeled* bandwidth saving (nominal bytes scale with the real ratio),
+// not a state-of-the-art ratio.
+//
+// Frame: [varint raw_len][tokens...]
+//   token 0x00..0x7F: literal run, (ctrl + 1) verbatim bytes follow
+//   token 0x80..0xFF: repeat run, next byte repeated (ctrl - 0x80 + 3) times
+//
+// Runs shorter than 3 are carried as literals (a 2-byte repeat token never
+// wins there). decode(encode(x)) == x for every input; decode throws
+// mrbio::InputError on truncated or oversized frames, so a corrupt spill
+// page or wire buffer fails loudly instead of yielding wrong KV data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mrbio::mrmpi {
+
+std::vector<std::byte> shuffle_compress(std::span<const std::byte> raw);
+
+std::vector<std::byte> shuffle_decompress(std::span<const std::byte> frame);
+
+/// Decoded length of a frame without decoding it (the varint header).
+std::uint64_t shuffle_decoded_size(std::span<const std::byte> frame);
+
+}  // namespace mrbio::mrmpi

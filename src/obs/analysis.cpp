@@ -106,6 +106,12 @@ bool is_ckpt_io(const Event& e) {
   return e.cat == Category::Io && std::string_view(e.name).substr(0, 4) == "ckpt";
 }
 
+bool is_shuffle_io(const Event& e) {
+  // "shuffle_spill": post-exchange spill writes that may overlap the
+  // alltoall; reported separately so the overlap win is visible.
+  return e.cat == Category::Io && std::string_view(e.name).substr(0, 7) == "shuffle";
+}
+
 // ---------------------------------------------------------------------------
 // Per-rank final time: recorded value when present, else last span end.
 
@@ -270,8 +276,8 @@ RankBreakdown breakdown_rank(const Recorder& rec, int rank, double final_time) {
   b.rank = rank;
   b.final_time = final_time;
 
-  std::vector<Interval> busy, retry, app, io_db, io_ckpt, io_spill, coll, fwait, mwait,
-      comm;
+  std::vector<Interval> busy, retry, app, io_db, io_ckpt, io_shuffle, io_spill, coll,
+      fwait, mwait, comm;
   const bool full = rec.level() == trace::Level::Full;
   for (const Event& e : rec.rank_events(rank)) {
     const Interval iv{e.t0, e.t1};
@@ -284,7 +290,11 @@ RankBreakdown breakdown_rank(const Recorder& rec, int rank, double final_time) {
         app.push_back(iv);
         break;
       case Category::Io:
-        (is_db_io(e) ? io_db : is_ckpt_io(e) ? io_ckpt : io_spill).push_back(iv);
+        (is_db_io(e)        ? io_db
+         : is_ckpt_io(e)    ? io_ckpt
+         : is_shuffle_io(e) ? io_shuffle
+                            : io_spill)
+            .push_back(iv);
         break;
       case Category::Collective:
         coll.push_back(iv);
@@ -315,6 +325,7 @@ RankBreakdown breakdown_rank(const Recorder& rec, int rank, double final_time) {
   merge_intervals(app);
   merge_intervals(io_db);
   merge_intervals(io_ckpt);
+  merge_intervals(io_shuffle);
   merge_intervals(io_spill);
   merge_intervals(coll);
   merge_intervals(fwait);
@@ -331,9 +342,11 @@ RankBreakdown breakdown_rank(const Recorder& rec, int rank, double final_time) {
   covered = merged_union(std::move(covered), io_db);
   b.checkpoint_io = measure_minus(io_ckpt, covered);
   covered = merged_union(std::move(covered), io_ckpt);
+  b.shuffle_io = measure_minus(io_shuffle, covered);
+  covered = merged_union(std::move(covered), io_shuffle);
   b.spill_io = measure_minus(io_spill, covered);
   b.other_busy = clamp0(busy_total - b.retry_compute - b.useful - b.db_io -
-                        b.checkpoint_io - b.spill_io);
+                        b.checkpoint_io - b.shuffle_io - b.spill_io);
 
   // Idle chain: Fault spans (reassignment waits, retry-later naps) claim
   // their time ahead of master-wait and generic communication.
@@ -373,6 +386,7 @@ Report analyze(const Recorder& rec, const AnalyzeOptions& opts) {
     rep.total.useful += b.useful;
     rep.total.db_io += b.db_io;
     rep.total.checkpoint_io += b.checkpoint_io;
+    rep.total.shuffle_io += b.shuffle_io;
     rep.total.spill_io += b.spill_io;
     rep.total.other_busy += b.other_busy;
     rep.total.collective_skew += b.collective_skew;
@@ -423,6 +437,7 @@ constexpr CatRow kBusyRows[] = {
     {"retry_compute", &RankBreakdown::retry_compute},
     {"db_io", &RankBreakdown::db_io},
     {"checkpoint_io", &RankBreakdown::checkpoint_io},
+    {"shuffle_io", &RankBreakdown::shuffle_io},
     {"spill_io", &RankBreakdown::spill_io},
     {"other_busy", &RankBreakdown::other_busy},
 };
@@ -468,17 +483,18 @@ void print_report(std::FILE* out, const Report& report, std::size_t max_rank_row
   const std::size_t nrows =
       std::min(max_rank_rows, report.ranks.size());
   std::fprintf(out, "\n-- per-rank breakdown (first %zu of %d) --\n", nrows, report.nranks);
-  std::fprintf(out, "%5s %11s %11s %9s %9s %9s %9s %9s %9s %9s %9s %9s %9s\n", "rank",
-               "final", "useful", "retry", "db_io", "ckpt", "spill", "obusy", "cskew",
-               "rwait", "mwait", "comm", "idle");
+  std::fprintf(out, "%5s %11s %11s %9s %9s %9s %9s %9s %9s %9s %9s %9s %9s %9s\n",
+               "rank", "final", "useful", "retry", "db_io", "ckpt", "shuf", "spill",
+               "obusy", "cskew", "rwait", "mwait", "comm", "idle");
   for (std::size_t i = 0; i < nrows; ++i) {
     const RankBreakdown& b = report.ranks[i];
     std::fprintf(out,
                  "%5d %11.4f %11.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f "
-                 "%9.4f %9.4f\n",
+                 "%9.4f %9.4f %9.4f\n",
                  b.rank, b.final_time, b.useful, b.retry_compute, b.db_io,
-                 b.checkpoint_io, b.spill_io, b.other_busy, b.collective_skew,
-                 b.recovery_wait, b.master_wait, b.comm_overhead, b.idle_other);
+                 b.checkpoint_io, b.shuffle_io, b.spill_io, b.other_busy,
+                 b.collective_skew, b.recovery_wait, b.master_wait, b.comm_overhead,
+                 b.idle_other);
   }
 
   if (report.stragglers.empty()) {
@@ -498,12 +514,13 @@ void json_breakdown(std::FILE* out, const RankBreakdown& b) {
   std::fprintf(out,
                "{\"rank\":%d,\"final_time\":%.17g,\"useful\":%.17g,"
                "\"retry_compute\":%.17g,\"db_io\":%.17g,\"checkpoint_io\":%.17g,"
-               "\"spill_io\":%.17g,\"other_busy\":%.17g,\"collective_skew\":%.17g,"
-               "\"recovery_wait\":%.17g,\"master_wait\":%.17g,\"comm_overhead\":%.17g,"
+               "\"shuffle_io\":%.17g,\"spill_io\":%.17g,\"other_busy\":%.17g,"
+               "\"collective_skew\":%.17g,\"recovery_wait\":%.17g,"
+               "\"master_wait\":%.17g,\"comm_overhead\":%.17g,"
                "\"idle_other\":%.17g}",
                b.rank, b.final_time, b.useful, b.retry_compute, b.db_io, b.checkpoint_io,
-               b.spill_io, b.other_busy, b.collective_skew, b.recovery_wait,
-               b.master_wait, b.comm_overhead, b.idle_other);
+               b.shuffle_io, b.spill_io, b.other_busy, b.collective_skew,
+               b.recovery_wait, b.master_wait, b.comm_overhead, b.idle_other);
 }
 
 void json_string(std::FILE* out, const std::string& s) {

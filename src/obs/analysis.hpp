@@ -67,6 +67,7 @@ struct RankBreakdown {
   double useful = 0.0;         ///< App spans (search, accumulate, ...)
   double db_io = 0.0;          ///< Io "db_load" spans not under App
   double checkpoint_io = 0.0;  ///< Io "ckpt_*" spans (durable write/replay)
+  double shuffle_io = 0.0;     ///< Io "shuffle_*" spans (exchange-overlapped spill)
   double spill_io = 0.0;       ///< other Io spans (out-of-core spill/merge)
   double other_busy = 0.0;     ///< framework compute, send/recv CPU overhead
   // Non-busy partition.
@@ -77,7 +78,8 @@ struct RankBreakdown {
   double idle_other = 0.0;       ///< residual (startup/teardown imbalance)
 
   double busy_total() const {
-    return retry_compute + useful + db_io + checkpoint_io + spill_io + other_busy;
+    return retry_compute + useful + db_io + checkpoint_io + shuffle_io + spill_io +
+           other_busy;
   }
   double idle_total() const {
     return collective_skew + recovery_wait + master_wait + comm_overhead + idle_other;

@@ -216,8 +216,9 @@ TEST(MapReduce, AggregatePlacesKeyOnHashRank) {
   ASSERT_EQ(key_ranks.size(), 5u);
   for (const auto& [key, ranks] : key_ranks) {
     EXPECT_EQ(ranks.size(), 1u) << "key " << key << " split across ranks";
-    const std::uint64_t h = key_hash(std::as_bytes(std::span(key.data(), key.size())));
-    EXPECT_EQ(*ranks.begin(), static_cast<int>(h % 4)) << key;
+    EXPECT_EQ(*ranks.begin(),
+              key_rank(std::as_bytes(std::span(key.data(), key.size())), 4))
+        << key;
   }
 }
 

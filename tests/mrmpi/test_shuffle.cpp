@@ -1,0 +1,449 @@
+// The communication-efficient shuffle: codec roundtrips, destination-rank
+// mixing, the staged exchange against the flat one, the self-send and
+// spill-accounting regressions, and byte-identical collate() results
+// across every shuffle mode.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "mrmpi/mapreduce.hpp"
+#include "mrmpi/shuffle_codec.hpp"
+#include "sim/engine.hpp"
+
+namespace mrbio::mrmpi {
+namespace {
+
+std::string to_string(std::span<const std::byte> s) {
+  return {reinterpret_cast<const char*>(s.data()), s.size()};
+}
+
+std::span<const std::byte> as_bytes(const std::string& s) {
+  return std::as_bytes(std::span(s.data(), s.size()));
+}
+
+double run_mr(int n, MapReduceConfig cfg,
+              const std::function<void(MapReduce&, mpi::Comm&)>& body) {
+  sim::EngineConfig ec;
+  ec.nprocs = n;
+  ec.stack_bytes = 512 * 1024;
+  sim::Engine engine(ec);
+  engine.run([&](sim::Process& p) {
+    mpi::Comm comm(p);
+    MapReduce mr(comm, cfg);
+    body(mr, comm);
+  });
+  return engine.elapsed();
+}
+
+// ---------------------------------------------------------------------------
+// Varint/RLE codec
+
+std::vector<std::byte> bytes_of(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(ShuffleCodec, RoundTripsEmptyLiteralAndRuns) {
+  for (const auto& raw :
+       {std::vector<std::byte>{}, bytes_of({1, 2, 3}), std::vector<std::byte>(1000, std::byte{7}),
+        bytes_of({5, 5, 9, 9, 9, 9, 9, 1, 2, 3, 3, 3, 3})}) {
+    const auto packed = shuffle_compress(raw);
+    EXPECT_EQ(shuffle_decoded_size(packed), raw.size());
+    EXPECT_EQ(shuffle_decompress(packed), raw);
+  }
+}
+
+TEST(ShuffleCodec, RoundTripsRandomPayloads) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::byte> raw(rng() % 4096);
+    for (auto& b : raw) {
+      // Mix of high-entropy and runs so both code paths execute.
+      b = static_cast<std::byte>(rng() % (trial % 2 == 0 ? 256 : 3));
+    }
+    const auto packed = shuffle_compress(raw);
+    EXPECT_EQ(shuffle_decompress(packed), raw);
+  }
+}
+
+TEST(ShuffleCodec, CompressesRepetitivePayloads) {
+  const std::vector<std::byte> raw(64 * 1024, std::byte{0});
+  const auto packed = shuffle_compress(raw);
+  // Repeat runs cap at 130 bytes per 2-byte control pair: ~64x.
+  EXPECT_LT(packed.size() * 50, raw.size());
+}
+
+TEST(ShuffleCodec, RejectsTruncatedFrames) {
+  auto packed = shuffle_compress(bytes_of({1, 2, 3, 4, 5, 6, 7, 8}));
+  packed.pop_back();
+  EXPECT_THROW(shuffle_decompress(packed), Error);
+  EXPECT_THROW(shuffle_decompress({}), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Destination-rank mixing (the small-cardinality skew fix)
+
+TEST(ShuffleHash, SequentialKeysSpreadEvenly) {
+  // Adversarial sets: sequential decimal ids, fixed-prefix ids, and tiny
+  // binary counters — exactly the inputs where the unmixed FNV hash
+  // funnelled everything onto a few ranks.
+  const int nranks = 8;
+  for (const char* prefix : {"", "seq_", "chr1:"}) {
+    std::vector<std::uint64_t> per_rank(nranks, 0);
+    const int nkeys = 4000;
+    for (int i = 0; i < nkeys; ++i) {
+      const std::string key = std::string(prefix) + std::to_string(i);
+      const int r = key_rank(as_bytes(key), nranks);
+      ASSERT_GE(r, 0);
+      ASSERT_LT(r, nranks);
+      ++per_rank[static_cast<std::size_t>(r)];
+    }
+    const std::uint64_t max = *std::max_element(per_rank.begin(), per_rank.end());
+    const double mean = static_cast<double>(nkeys) / nranks;
+    EXPECT_LT(static_cast<double>(max), 2.0 * mean) << "prefix " << prefix;
+  }
+}
+
+TEST(ShuffleHash, BinaryCounterKeysSpreadEvenly) {
+  const int nranks = 6;
+  std::vector<std::uint64_t> per_rank(nranks, 0);
+  const std::uint32_t nkeys = 3000;
+  for (std::uint32_t i = 0; i < nkeys; ++i) {
+    const auto key = std::as_bytes(std::span(&i, 1));
+    ++per_rank[static_cast<std::size_t>(key_rank(key, nranks))];
+  }
+  const std::uint64_t max = *std::max_element(per_rank.begin(), per_rank.end());
+  EXPECT_LT(static_cast<double>(max), 2.0 * static_cast<double>(nkeys) / nranks);
+}
+
+// ---------------------------------------------------------------------------
+// Self-send regression: keys that all land on their emitting rank must
+// neither charge wire bytes nor scale aggregate() cost with payload size.
+
+/// A key string `r<rank>x<n>` with key_rank(key, nranks) == rank.
+std::string local_key(int rank, int nranks, int salt) {
+  for (int n = salt;; ++n) {
+    const std::string candidate =
+        "r" + std::to_string(rank) + "x" + std::to_string(n);
+    if (key_rank(as_bytes(candidate), nranks) == rank) return candidate;
+  }
+}
+
+TEST(ShuffleSelfSend, AllLocalKeysChargeNoWireBytes) {
+  const int nranks = 4;
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::Stride;
+  std::mutex mu;
+  std::uint64_t total_sent = 0;
+  std::uint64_t total_pairs = 0;
+  run_mr(nranks, cfg, [&](MapReduce& mr, mpi::Comm& comm) {
+    mr.map(static_cast<std::uint64_t>(nranks), [&](std::uint64_t, KeyValue& kv) {
+      for (int i = 0; i < 32; ++i) {
+        kv.add(local_key(comm.rank(), nranks, i), std::string(1024, 'v'));
+      }
+    });
+    mr.aggregate();
+    std::lock_guard<std::mutex> lock(mu);
+    total_sent += mr.stats().aggregate_bytes_sent;
+    total_pairs += mr.kv().size();
+  });
+  EXPECT_EQ(total_sent, 0u);
+  EXPECT_EQ(total_pairs, 32u * nranks);
+}
+
+TEST(ShuffleSelfSend, AggregateTimeIndependentOfLocalPayload) {
+  // With every key rank-local the payload never crosses the wire, so the
+  // simulated aggregate must cost the same for 1 KiB and 1 MiB values.
+  const int nranks = 4;
+  const auto run_with_value_bytes = [&](std::size_t value_bytes) {
+    MapReduceConfig cfg;
+    cfg.map_style = MapStyle::Stride;
+    return run_mr(nranks, cfg, [&](MapReduce& mr, mpi::Comm& comm) {
+      mr.map(static_cast<std::uint64_t>(nranks), [&](std::uint64_t, KeyValue& kv) {
+        for (int i = 0; i < 4; ++i) {
+          kv.add(local_key(comm.rank(), nranks, i), std::string(value_bytes, 'v'));
+        }
+      });
+      mr.aggregate();
+    });
+  };
+  EXPECT_DOUBLE_EQ(run_with_value_bytes(1 << 10), run_with_value_bytes(1 << 20));
+}
+
+// ---------------------------------------------------------------------------
+// Spill accounting: a store-replacing cycle that grows past the budget and
+// then shrinks must charge the second cycle's spill too.
+
+TEST(ShuffleSpill, StoreReplacementChargesRespill) {
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::Chunk;
+  cfg.memsize_bytes = 4 * 1024;
+  std::mutex mu;
+  std::uint64_t spilled = 0;
+  run_mr(1, cfg, [&](MapReduce& mr, mpi::Comm&) {
+    mr.map(1, [&](std::uint64_t, KeyValue& kv) {
+      for (int i = 0; i < 64; ++i) kv.add("k" + std::to_string(i), std::string(1024, 'a'));
+    });
+    // Shrinks the store (~16 KiB) but still past the 4 KiB budget: these
+    // are new pages and must be charged, not hidden by the 64 KiB
+    // high-water mark of the map cycle.
+    mr.map_kv([&](const KvPair& pair, KeyValue& out) {
+      const std::string key = to_string(pair.key);
+      if (key.size() >= 2 && (key[1] - '0') % 4 == 0) out.add(pair.key, pair.value);
+    });
+    std::lock_guard<std::mutex> lock(mu);
+    spilled = mr.stats().spilled_bytes;
+  });
+  // First cycle spills ~(64 KiB + keys) - 4 KiB; the replacement store
+  // spills again beyond the budget instead of riding the old high-water.
+  EXPECT_GT(spilled, 64u * 1024);
+}
+
+TEST(ShuffleSpill, OversizedGroupSurvivesConvert) {
+  // One key whose value list alone dwarfs memsize_bytes: convert() must
+  // deliver every value (64-bit offsets, no silent truncation).
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::Chunk;
+  cfg.memsize_bytes = 1024;
+  const int nvalues = 256;
+  std::mutex mu;
+  std::size_t seen_values = 0;
+  std::set<std::string> distinct;
+  run_mr(2, cfg, [&](MapReduce& mr, mpi::Comm&) {
+    mr.map(2, [&](std::uint64_t task, KeyValue& kv) {
+      for (int i = 0; i < nvalues / 2; ++i) {
+        kv.add("giant", "t" + std::to_string(task) + "v" + std::to_string(i) +
+                            std::string(512, 'x'));
+      }
+    });
+    mr.collate();
+    mr.reduce([&](const KmvGroup& group, KeyValue&) {
+      std::lock_guard<std::mutex> lock(mu);
+      seen_values += group.values.size();
+      for (const auto& v : group.values) {
+        distinct.insert(to_string(v).substr(0, 8));
+      }
+    });
+  });
+  EXPECT_EQ(seen_values, static_cast<std::size_t>(nvalues));
+  EXPECT_EQ(distinct.size(), static_cast<std::size_t>(nvalues));
+}
+
+// ---------------------------------------------------------------------------
+// Staged exchange vs flat: identical delivery, counted stages.
+
+TEST(ShuffleExchange, StagedMatchesFlatAcrossRadices) {
+  for (const int nranks : {1, 2, 3, 4, 7, 8}) {
+    for (const int radix : {2, 3, 4, 16}) {
+      sim::EngineConfig ec;
+      ec.nprocs = nranks;
+      ec.stack_bytes = 512 * 1024;
+      sim::Engine engine(ec);
+      std::mutex mu;
+      bool all_equal = true;
+      engine.run([&](sim::Process& p) {
+        mpi::Comm comm(p);
+        const int rank = comm.rank();
+        const auto make_bufs = [&] {
+          std::vector<std::vector<std::byte>> bufs(static_cast<std::size_t>(nranks));
+          for (int d = 0; d < nranks; ++d) {
+            // Distinct, uneven payloads; one destination gets nothing.
+            const int len = (d == (rank + 1) % nranks) ? 0 : 16 + 13 * rank + 7 * d;
+            bufs[static_cast<std::size_t>(d)].assign(
+                static_cast<std::size_t>(len),
+                static_cast<std::byte>((rank * 37 + d * 11) & 0xFF));
+          }
+          return bufs;
+        };
+        std::vector<std::uint64_t> nominal(static_cast<std::size_t>(nranks), 100);
+        const auto flat = comm.alltoallv_nominal(make_bufs(), nominal);
+        int stages = 0;
+        const auto staged = comm.alltoallv_staged(make_bufs(), nominal, radix, &stages);
+        std::lock_guard<std::mutex> lock(mu);
+        all_equal = all_equal && (flat == staged);
+        if (nranks > 1) {
+          EXPECT_GT(stages, 0) << "p=" << nranks << " r=" << radix;
+        } else {
+          EXPECT_EQ(stages, 0);
+        }
+      });
+      EXPECT_TRUE(all_equal) << "p=" << nranks << " radix=" << radix;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-mode equivalence: every shuffle configuration must produce the
+// byte-identical KMV after collate().
+
+std::vector<ShuffleConfig> all_shuffle_modes() {
+  std::vector<ShuffleConfig> modes;
+  modes.push_back({});  // flat
+  ShuffleConfig combined;
+  combined.combiner = true;
+  modes.push_back(combined);
+  ShuffleConfig tree;
+  tree.exchange = ExchangeMode::Tree;
+  tree.tree_radix = 2;
+  modes.push_back(tree);
+  ShuffleConfig tree3 = tree;
+  tree3.tree_radix = 3;
+  tree3.combiner = true;
+  modes.push_back(tree3);
+  ShuffleConfig compressed;
+  compressed.compress = true;
+  modes.push_back(compressed);
+  ShuffleConfig everything;
+  everything.combiner = true;
+  everything.exchange = ExchangeMode::Tree;
+  everything.tree_radix = 4;
+  everything.compress = true;
+  everything.overlap_spill = true;
+  modes.push_back(everything);
+  return modes;
+}
+
+/// Canonical dump of the post-collate() KMV: group order, key bytes,
+/// value order and value bytes all included, tagged per rank.
+std::map<int, std::string> collate_dump(int nranks, const ShuffleConfig& shuffle) {
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::Chunk;
+  cfg.shuffle = shuffle;
+  std::mutex mu;
+  std::map<int, std::string> dumps;
+  run_mr(nranks, cfg, [&](MapReduce& mr, mpi::Comm& comm) {
+    Rng rng(1234);  // same stream everywhere; tasks pick their slice
+    const std::uint64_t ntasks = 24;
+    mr.map(ntasks, [&](std::uint64_t task, KeyValue& kv) {
+      Rng task_rng(1000 + task * 7919);
+      const int npairs = 20 + static_cast<int>(task_rng() % 30);
+      for (int i = 0; i < npairs; ++i) {
+        const std::string key = "key" + std::to_string(task_rng() % 17);
+        std::string value = "t" + std::to_string(task) + "i" + std::to_string(i) + ":";
+        const std::size_t vlen = task_rng() % 64;
+        for (std::size_t b = 0; b < vlen; ++b) {
+          value.push_back(static_cast<char>('a' + task_rng() % 26));
+        }
+        kv.add(key, value);
+      }
+    });
+    (void)rng;
+    mr.collate();
+    std::string dump;
+    for (std::size_t g = 0; g < mr.kmv().size(); ++g) {
+      const KmvGroup group = mr.kmv().group(g);
+      dump += to_string(group.key) + "=[";
+      for (const auto& v : group.values) dump += to_string(v) + ",";
+      dump += "];";
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    dumps[comm.rank()] = std::move(dump);
+  });
+  return dumps;
+}
+
+TEST(ShuffleModes, CollateBytesIdenticalAcrossModes) {
+  for (const int nranks : {1, 3, 4}) {
+    const auto baseline = collate_dump(nranks, ShuffleConfig{});
+    ASSERT_EQ(baseline.size(), static_cast<std::size_t>(nranks));
+    const auto modes = all_shuffle_modes();
+    for (std::size_t m = 1; m < modes.size(); ++m) {
+      EXPECT_EQ(collate_dump(nranks, modes[m]), baseline)
+          << "mode " << m << " p=" << nranks;
+    }
+  }
+}
+
+TEST(ShuffleModes, CombinerReportsSavingsOnRepeatedKeys) {
+  ShuffleConfig combined;
+  combined.combiner = true;
+  MapReduceConfig flat_cfg;
+  flat_cfg.map_style = MapStyle::Chunk;
+  MapReduceConfig comb_cfg = flat_cfg;
+  comb_cfg.shuffle = combined;
+  std::mutex mu;
+  std::uint64_t flat_sent = 0;
+  std::uint64_t comb_sent = 0;
+  std::uint64_t comb_saved = 0;
+  const auto emit = [](std::uint64_t task, KeyValue& kv) {
+    for (int i = 0; i < 50; ++i) {
+      kv.add("hot" + std::to_string(i % 5), "v" + std::to_string(task));
+    }
+  };
+  run_mr(4, flat_cfg, [&](MapReduce& mr, mpi::Comm&) {
+    mr.map(8, emit);
+    mr.aggregate();
+    std::lock_guard<std::mutex> lock(mu);
+    flat_sent += mr.stats().aggregate_bytes_sent;
+  });
+  run_mr(4, comb_cfg, [&](MapReduce& mr, mpi::Comm&) {
+    mr.map(8, emit);
+    mr.aggregate();
+    std::lock_guard<std::mutex> lock(mu);
+    comb_sent += mr.stats().aggregate_bytes_sent;
+    comb_saved += mr.stats().shuffle_combined_bytes;
+  });
+  EXPECT_LT(comb_sent, flat_sent);
+  EXPECT_EQ(comb_saved, flat_sent - comb_sent);
+  // The acceptance bar: repeated keys must save at least 20% of the wire.
+  EXPECT_LT(static_cast<double>(comb_sent), 0.8 * static_cast<double>(flat_sent));
+}
+
+TEST(ShuffleModes, TreeExchangeCountsStages) {
+  ShuffleConfig tree;
+  tree.exchange = ExchangeMode::Tree;
+  tree.tree_radix = 2;
+  MapReduceConfig cfg;
+  cfg.map_style = MapStyle::Chunk;
+  cfg.shuffle = tree;
+  std::mutex mu;
+  std::uint64_t stages = 0;
+  run_mr(8, cfg, [&](MapReduce& mr, mpi::Comm&) {
+    mr.map(8, [&](std::uint64_t task, KeyValue& kv) {
+      kv.add("k" + std::to_string(task), "v");
+    });
+    mr.aggregate();
+    std::lock_guard<std::mutex> lock(mu);
+    stages += mr.stats().shuffle_stages;
+  });
+  // log2(8) = 3 digit stages of one hop each per rank.
+  EXPECT_EQ(stages, 8u * 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Compressed spill pages
+
+TEST(ShuffleSpillPages, CompressedPagesRoundTrip) {
+  SpillPolicy policy;
+  policy.page_bytes = 4 * 1024;
+  policy.max_resident_pages = 2;
+  policy.compress = true;
+  KeyValue kv(policy);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 200; ++i) {
+    keys.push_back("key" + std::to_string(i));
+    kv.add(keys.back(), std::string(256, static_cast<char>('a' + i % 3)));
+  }
+  EXPECT_GT(kv.spilled_bytes(), 0u);
+  // Repetitive values: on-disk pages must be much smaller than raw.
+  EXPECT_LT(kv.spilled_bytes() * 4, kv.bytes());
+  std::size_t i = 0;
+  kv.for_each([&](const KvPair& pair) {
+    EXPECT_EQ(to_string(pair.key), keys[i]);
+    EXPECT_EQ(pair.value.size(), 256u);
+    ++i;
+  });
+  EXPECT_EQ(i, keys.size());
+}
+
+}  // namespace
+}  // namespace mrbio::mrmpi
