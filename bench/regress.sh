@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Perf-regression gate: run the canonical mrbio_bench workload matrix and
+# compare against the committed baseline. The sim backend is deterministic,
+# so a drift outside tolerance is a real (intentional or not) model change.
+#
+#   bench/regress.sh [--smoke|--full] [--update-baseline] [--build-dir DIR]
+#
+# Produces BENCH_<schema>.json in the current directory. Exits nonzero when
+# any metric drifts outside its tolerance (see tools/mrbio_bench.cpp).
+# --update-baseline rewrites the committed baseline instead of comparing;
+# commit the result together with the change that moved the numbers.
+set -euo pipefail
+
+repo_dir="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_dir/build"
+suite=smoke
+update=0
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) suite=smoke ;;
+    --full) suite=full ;;
+    --update-baseline) update=1 ;;
+    --build-dir) build_dir="$2"; shift ;;
+    *) echo "usage: bench/regress.sh [--smoke|--full] [--update-baseline] [--build-dir DIR]" >&2
+       exit 1 ;;
+  esac
+  shift
+done
+
+bench="$build_dir/tools/mrbio_bench"
+if [ ! -x "$bench" ]; then
+  echo "regress.sh: $bench not built (cmake --build $build_dir --target mrbio_bench)" >&2
+  exit 1
+fi
+
+if [ "$suite" = smoke ]; then
+  baseline="$repo_dir/bench/baseline.json"
+else
+  baseline="$repo_dir/bench/baseline-full.json"
+fi
+
+# The series number bumps whenever the workload matrix itself changes
+# (which also requires a fresh baseline); the JSON carries schema_version
+# separately.
+series=7
+out="BENCH_${series}.json"
+"$bench" run --suite "$suite" --out "$out"
+
+if [ "$update" = 1 ]; then
+  cp "$out" "$baseline"
+  echo "baseline updated: $baseline"
+  exit 0
+fi
+
+exec "$bench" compare --baseline "$baseline" --candidate "$out"

@@ -25,6 +25,8 @@ int initial_level() {
 
 std::atomic<int> g_level{initial_level()};
 std::mutex g_mutex;
+LogSinkFn g_sink = nullptr;  // guarded by g_mutex
+void* g_sink_ctx = nullptr;  // guarded by g_mutex
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -55,10 +57,17 @@ LogLevel parse_log_level(const std::string& name) {
   throw InputError("unknown log level: " + name);
 }
 
+void set_log_sink(LogSinkFn fn, void* ctx) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = fn;
+  g_sink_ctx = fn == nullptr ? nullptr : ctx;
+}
+
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
   std::lock_guard<std::mutex> lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  if (g_sink != nullptr) g_sink(g_sink_ctx, level, msg.c_str());
 }
 }  // namespace detail
 

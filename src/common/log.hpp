@@ -21,6 +21,15 @@ void set_log_level(LogLevel level);
 /// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
 LogLevel parse_log_level(const std::string& name);
 
+/// Optional structured sink: when installed, every emitted log line is
+/// forwarded to `fn(ctx, level, msg)` *in addition to* stderr — the
+/// plain-text stream stays byte-identical whether or not a sink is set.
+/// The sink is called under the logger's line mutex, so implementations
+/// must not log recursively. Pass fn = nullptr to uninstall (do this
+/// before destroying whatever `ctx` points at).
+using LogSinkFn = void (*)(void* ctx, LogLevel level, const char* msg);
+void set_log_sink(LogSinkFn fn, void* ctx);
+
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);
 }

@@ -12,6 +12,7 @@
 #include "common/log.hpp"
 #include "common/serialize.hpp"
 #include "mrmpi/shuffle_codec.hpp"
+#include "obs/timeseries.hpp"
 
 namespace mrbio::mrmpi {
 
@@ -291,6 +292,10 @@ void MapReduce::run_task(const MapFn& fn, std::uint64_t task, KeyValue& out,
     reg->counter("mrmpi.map_tasks").inc();
     reg->histogram("mrmpi.task_seconds").observe(comm_.now() - t0);
   }
+  if (obs::TimeSeries* ts = comm_.runtime().timeseries(); ts != nullptr) {
+    ts->sample(comm_.rank(), "mrmpi.tasks_done", comm_.now(),
+               static_cast<double>(stats_.map_tasks_run));
+  }
 }
 
 void MapReduce::run_master(std::uint64_t ntasks,
@@ -325,6 +330,10 @@ void MapReduce::run_master(std::uint64_t ntasks,
     }
     if (obs::Registry* reg = metrics(); reg != nullptr) {
       reg->histogram("mrmpi.master_service_seconds").observe(comm_.now() - t0);
+    }
+    if (obs::TimeSeries* ts = comm_.runtime().timeseries(); ts != nullptr) {
+      ts->sample(comm_.rank(), "mrmpi.pending_tasks", comm_.now(),
+                 static_cast<double>(ntasks - std::min(next, ntasks)));
     }
   }
 }
@@ -434,6 +443,10 @@ void MapReduce::run_master_locality(std::uint64_t ntasks, const AffinityFn& affi
     }
     if (obs::Registry* reg = metrics(); reg != nullptr) {
       reg->histogram("mrmpi.master_service_seconds").observe(comm_.now() - t0);
+    }
+    if (obs::TimeSeries* ts = comm_.runtime().timeseries(); ts != nullptr) {
+      ts->sample(comm_.rank(), "mrmpi.pending_tasks", comm_.now(),
+                 static_cast<double>(remaining));
     }
   }
 }
@@ -605,6 +618,11 @@ void MapReduce::run_master_ft(std::uint64_t ntasks, const AffinityFn* affinity,
       if (reg != nullptr) {
         reg->histogram("ft.retry_latency_seconds").observe(now - e.granted);
       }
+      if (obs::EventLog* el = comm_.runtime().eventlog(); el != nullptr) {
+        el->log(LogLevel::Warn, comm_.rank(), "mrmpi",
+                format_msg("task ", t, " attempt ", e.attempt, " timed out on worker ",
+                           e.owner));
+      }
       if (e.attempt >= static_cast<std::uint32_t>(1 + ft.max_retries)) {
         e.state = TaskState::Failed;
         ++nfailed;
@@ -624,6 +642,10 @@ void MapReduce::run_master_ft(std::uint64_t ntasks, const AffinityFn* affinity,
 
   while (true) {
     handle_expiries();
+    if (obs::TimeSeries* ts = comm_.runtime().timeseries(); ts != nullptr) {
+      ts->sample(comm_.rank(), "mrmpi.pending_tasks", comm_.now(),
+                 static_cast<double>(npending));
+    }
 
     // Endgame: every worker has left (or died) but reverted/never-granted
     // tasks remain — run them on the master so a late crash can never
@@ -1141,9 +1163,13 @@ std::uint64_t MapReduce::aggregate() {
   if (obs::Registry* reg = metrics(); reg != nullptr) {
     reg->counter("mrmpi.aggregate_bytes").inc(sent);
     if (sc.combiner) reg->counter("shuffle.combined_bytes").inc(combined_saved);
-    if (sc.compress && wire_real > 0) {
+    if (sc.compress) {
+      // An empty exchange compresses nothing; report the identity ratio
+      // instead of leaving a 0/0 artifact in the gauge.
       reg->gauge("shuffle.compress_ratio")
-          .set(static_cast<double>(precompress_real) / static_cast<double>(wire_real));
+          .set(wire_real > 0
+                   ? static_cast<double>(precompress_real) / static_cast<double>(wire_real)
+                   : 1.0);
     }
   }
 

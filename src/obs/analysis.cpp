@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 
 namespace mrbio::obs {
 
@@ -67,6 +68,25 @@ std::vector<Interval> merged_union(std::vector<Interval> a, const std::vector<In
   a.insert(a.end(), b.begin(), b.end());
   merge_intervals(a);
   return a;
+}
+
+// Intersection of two merged interval lists (result is merged too).
+std::vector<Interval> intersect(const std::vector<Interval>& a,
+                                const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double lo = std::max(a[i].first, b[j].first);
+    const double hi = std::min(a[i].second, b[j].second);
+    if (lo < hi) out.emplace_back(lo, hi);
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
 }
 
 double clamp0(double v) { return v < 0.0 ? 0.0 : v; }
@@ -271,96 +291,221 @@ CriticalPath walk_critical_path(const Recorder& rec, double makespan,
 // ---------------------------------------------------------------------------
 // Idle-time decomposition.
 
-RankBreakdown breakdown_rank(const Recorder& rec, int rank, double final_time) {
-  RankBreakdown b;
-  b.rank = rank;
-  b.final_time = final_time;
+// Per-category interval sets of one rank, all merged. Collected once per
+// rank and reused for the whole-run breakdown and the phase-restricted
+// attribution (via restrict_to).
+struct RankIntervals {
+  std::vector<Interval> busy, retry, app, io_db, io_ckpt, io_shuffle, io_spill,
+      coll, fwait, mwait, comm;
+};
 
-  std::vector<Interval> busy, retry, app, io_db, io_ckpt, io_shuffle, io_spill, coll,
-      fwait, mwait, comm;
+RankIntervals collect_intervals(const Recorder& rec, int rank) {
+  RankIntervals v;
   const bool full = rec.level() == trace::Level::Full;
   for (const Event& e : rec.rank_events(rank)) {
     const Interval iv{e.t0, e.t1};
-    if (is_busy_cat(e.cat)) busy.push_back(iv);
+    if (is_busy_cat(e.cat)) v.busy.push_back(iv);
     if (e.cat == Category::Task && std::string_view(e.name) == "map_task_retry") {
-      retry.push_back(iv);
+      v.retry.push_back(iv);
     }
     switch (e.cat) {
       case Category::App:
-        app.push_back(iv);
+        v.app.push_back(iv);
         break;
       case Category::Io:
-        (is_db_io(e)        ? io_db
-         : is_ckpt_io(e)    ? io_ckpt
-         : is_shuffle_io(e) ? io_shuffle
-                            : io_spill)
+        (is_db_io(e)        ? v.io_db
+         : is_ckpt_io(e)    ? v.io_ckpt
+         : is_shuffle_io(e) ? v.io_shuffle
+                            : v.io_spill)
             .push_back(iv);
         break;
       case Category::Collective:
-        coll.push_back(iv);
+        v.coll.push_back(iv);
         break;
       case Category::Fault:
-        fwait.push_back(iv);
+        v.fwait.push_back(iv);
         break;
       case Category::RecvWait:
         // A worker blocked on the master (rank 0) is master-wait; any
         // other receive is generic communication.
-        (rank != 0 && e.peer == 0 ? mwait : comm).push_back(iv);
+        (rank != 0 && e.peer == 0 ? v.mwait : v.comm).push_back(iv);
         break;
       case Category::Send:
-        comm.push_back(iv);
+        v.comm.push_back(iv);
         break;
       case Category::Phase:
         // Without per-message events, worker idle inside the map phase is
         // the best available master-wait signal.
-        if (!full && rank != 0 && std::string_view(e.name) == "map") mwait.push_back(iv);
+        if (!full && rank != 0 && std::string_view(e.name) == "map") {
+          v.mwait.push_back(iv);
+        }
         break;
       default:
         break;
     }
   }
+  merge_intervals(v.busy);
+  merge_intervals(v.retry);
+  merge_intervals(v.app);
+  merge_intervals(v.io_db);
+  merge_intervals(v.io_ckpt);
+  merge_intervals(v.io_shuffle);
+  merge_intervals(v.io_spill);
+  merge_intervals(v.coll);
+  merge_intervals(v.fwait);
+  merge_intervals(v.mwait);
+  merge_intervals(v.comm);
+  return v;
+}
 
-  merge_intervals(busy);
-  merge_intervals(retry);
-  merge_intervals(app);
-  merge_intervals(io_db);
-  merge_intervals(io_ckpt);
-  merge_intervals(io_shuffle);
-  merge_intervals(io_spill);
-  merge_intervals(coll);
-  merge_intervals(fwait);
-  merge_intervals(mwait);
-  merge_intervals(comm);
+RankIntervals restrict_to(const RankIntervals& v, const std::vector<Interval>& window) {
+  RankIntervals r;
+  r.busy = intersect(v.busy, window);
+  r.retry = intersect(v.retry, window);
+  r.app = intersect(v.app, window);
+  r.io_db = intersect(v.io_db, window);
+  r.io_ckpt = intersect(v.io_ckpt, window);
+  r.io_shuffle = intersect(v.io_shuffle, window);
+  r.io_spill = intersect(v.io_spill, window);
+  r.coll = intersect(v.coll, window);
+  r.fwait = intersect(v.fwait, window);
+  r.mwait = intersect(v.mwait, window);
+  r.comm = intersect(v.comm, window);
+  return r;
+}
+
+/// The category chains over a pre-collected interval set. `total_time` is
+/// the rank's final time for the whole-run breakdown, or the measure of the
+/// restriction window for phase-local attribution.
+RankBreakdown breakdown_from(const RankIntervals& v, int rank, double total_time) {
+  RankBreakdown b;
+  b.rank = rank;
+  b.final_time = total_time;
 
   // Busy chain: re-executed task time is carved out first — the App/Io
   // spans nested inside a retried task are recovery cost, not useful work.
-  const double busy_total = measure(busy);
-  b.retry_compute = measure(retry);
-  b.useful = measure_minus(app, retry);
-  auto covered = merged_union(retry, app);
-  b.db_io = measure_minus(io_db, covered);
-  covered = merged_union(std::move(covered), io_db);
-  b.checkpoint_io = measure_minus(io_ckpt, covered);
-  covered = merged_union(std::move(covered), io_ckpt);
-  b.shuffle_io = measure_minus(io_shuffle, covered);
-  covered = merged_union(std::move(covered), io_shuffle);
-  b.spill_io = measure_minus(io_spill, covered);
+  const double busy_total = measure(v.busy);
+  b.retry_compute = measure(v.retry);
+  b.useful = measure_minus(v.app, v.retry);
+  auto covered = merged_union(v.retry, v.app);
+  b.db_io = measure_minus(v.io_db, covered);
+  covered = merged_union(std::move(covered), v.io_db);
+  b.checkpoint_io = measure_minus(v.io_ckpt, covered);
+  covered = merged_union(std::move(covered), v.io_ckpt);
+  b.shuffle_io = measure_minus(v.io_shuffle, covered);
+  covered = merged_union(std::move(covered), v.io_shuffle);
+  b.spill_io = measure_minus(v.io_spill, covered);
   b.other_busy = clamp0(busy_total - b.retry_compute - b.useful - b.db_io -
                         b.checkpoint_io - b.shuffle_io - b.spill_io);
 
   // Idle chain: Fault spans (reassignment waits, retry-later naps) claim
   // their time ahead of master-wait and generic communication.
-  const double idle_total = clamp0(final_time - busy_total);
-  b.collective_skew = measure_minus(coll, busy);
-  covered = merged_union(std::move(busy), coll);
-  b.recovery_wait = measure_minus(fwait, covered);
-  covered = merged_union(std::move(covered), fwait);
-  b.master_wait = measure_minus(mwait, covered);
-  covered = merged_union(std::move(covered), mwait);
-  b.comm_overhead = measure_minus(comm, covered);
+  const double idle_total = clamp0(total_time - busy_total);
+  b.collective_skew = measure_minus(v.coll, v.busy);
+  covered = merged_union(v.busy, v.coll);
+  b.recovery_wait = measure_minus(v.fwait, covered);
+  covered = merged_union(std::move(covered), v.fwait);
+  b.master_wait = measure_minus(v.mwait, covered);
+  covered = merged_union(std::move(covered), v.mwait);
+  b.comm_overhead = measure_minus(v.comm, covered);
   b.idle_other = clamp0(idle_total - b.collective_skew - b.recovery_wait -
                         b.master_wait - b.comm_overhead);
   return b;
+}
+
+/// Collapses a breakdown into the coarse attribution buckets used by the
+/// straggler and phase-skew reports; returns the largest (ties favour the
+/// earlier bucket, i.e. compute first).
+std::pair<std::string, double> dominant_bucket(const RankBreakdown& b) {
+  const std::pair<const char*, double> buckets[] = {
+      {"compute", b.useful + b.retry_compute + b.other_busy},
+      {"db_io", b.db_io},
+      {"checkpoint_io", b.checkpoint_io},
+      {"shuffle_io", b.shuffle_io},
+      {"spill_io", b.spill_io},
+      {"collective_skew", b.collective_skew},
+      {"recovery_wait", b.recovery_wait},
+      {"recv_wait", b.master_wait + b.comm_overhead},
+      {"idle", b.idle_other},
+  };
+  std::pair<std::string, double> best{buckets[0].first, buckets[0].second};
+  for (const auto& [name, v] : buckets) {
+    if (v > best.second) best = {name, v};
+  }
+  return best;
+}
+
+/// Per-phase imbalance statistics: one entry per Phase-span name, stats
+/// over all ranks (absent ranks count as 0 s), top-k slowest ranks with
+/// their dominant in-phase category. Sorted by max seconds descending.
+std::vector<PhaseSkew> compute_phase_skew(const Recorder& rec,
+                                          const std::vector<RankIntervals>& ivs,
+                                          std::size_t top_k) {
+  const int nranks = rec.nranks();
+  // phase name -> per-rank phase windows.
+  std::map<std::string, std::vector<std::vector<Interval>>> phases;
+  for (int r = 0; r < nranks; ++r) {
+    for (const Event& e : rec.rank_events(r)) {
+      if (e.cat != Category::Phase) continue;
+      auto [it, inserted] = phases.try_emplace(std::string(e.name));
+      if (inserted) it->second.resize(static_cast<std::size_t>(nranks));
+      it->second[static_cast<std::size_t>(r)].emplace_back(e.t0, e.t1);
+    }
+  }
+
+  std::vector<PhaseSkew> out;
+  out.reserve(phases.size());
+  for (auto& [name, windows] : phases) {
+    PhaseSkew ps;
+    ps.phase = name;
+    std::vector<double> seconds(static_cast<std::size_t>(nranks), 0.0);
+    for (int r = 0; r < nranks; ++r) {
+      auto& w = windows[static_cast<std::size_t>(r)];
+      merge_intervals(w);
+      seconds[static_cast<std::size_t>(r)] = measure(w);
+    }
+    double sum = 0.0;
+    for (int r = 0; r < nranks; ++r) {
+      const double s = seconds[static_cast<std::size_t>(r)];
+      sum += s;
+      if (s > 0.0) ++ps.ranks_active;
+      if (s > ps.max) {
+        ps.max = s;
+        ps.max_rank = r;
+      }
+    }
+    ps.mean = nranks > 0 ? sum / static_cast<double>(nranks) : 0.0;
+    if (ps.mean > 0.0) {
+      double var = 0.0;
+      for (double s : seconds) var += (s - ps.mean) * (s - ps.mean);
+      var /= static_cast<double>(nranks);
+      ps.cov = std::sqrt(var) / ps.mean;
+    }
+
+    std::vector<int> order(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) order[static_cast<std::size_t>(r)] = r;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const double sa = seconds[static_cast<std::size_t>(a)];
+      const double sb = seconds[static_cast<std::size_t>(b)];
+      if (sa != sb) return sa > sb;
+      return a < b;
+    });
+    for (int r : order) {
+      if (ps.top.size() >= top_k) break;
+      const double s = seconds[static_cast<std::size_t>(r)];
+      if (s <= 0.0) break;
+      const RankIntervals local =
+          restrict_to(ivs[static_cast<std::size_t>(r)], windows[static_cast<std::size_t>(r)]);
+      auto [dom, dom_s] = dominant_bucket(breakdown_from(local, r, s));
+      ps.top.push_back({r, s, std::move(dom), dom_s});
+    }
+    out.push_back(std::move(ps));
+  }
+  std::sort(out.begin(), out.end(), [](const PhaseSkew& a, const PhaseSkew& b) {
+    if (a.max != b.max) return a.max > b.max;
+    return a.phase < b.phase;
+  });
+  return out;
 }
 
 }  // namespace
@@ -378,9 +523,14 @@ Report analyze(const Recorder& rec, const AnalyzeOptions& opts) {
 
   rep.path = walk_critical_path(rec, rep.makespan, finals);
 
+  std::vector<RankIntervals> ivs;
+  ivs.reserve(static_cast<std::size_t>(rep.nranks));
+  for (int r = 0; r < rep.nranks; ++r) ivs.push_back(collect_intervals(rec, r));
+
   rep.total.rank = -1;
   for (int r = 0; r < rep.nranks; ++r) {
-    RankBreakdown b = breakdown_rank(rec, r, finals[static_cast<std::size_t>(r)]);
+    RankBreakdown b = breakdown_from(ivs[static_cast<std::size_t>(r)], r,
+                                     finals[static_cast<std::size_t>(r)]);
     rep.total.final_time += b.final_time;
     rep.total.retry_compute += b.retry_compute;
     rep.total.useful += b.useful;
@@ -410,7 +560,9 @@ Report analyze(const Recorder& rec, const AnalyzeOptions& opts) {
       for (int r = 0; r < rep.nranks; ++r) {
         const double busy = busys[static_cast<std::size_t>(r)];
         if (busy > opts.straggler_k * rep.median_busy) {
-          rep.stragglers.push_back({r, busy, busy / rep.median_busy});
+          auto [dom, dom_s] = dominant_bucket(rep.ranks[static_cast<std::size_t>(r)]);
+          rep.stragglers.push_back(
+              {r, busy, busy / rep.median_busy, std::move(dom), dom_s});
         }
       }
       std::sort(rep.stragglers.begin(), rep.stragglers.end(),
@@ -420,6 +572,8 @@ Report analyze(const Recorder& rec, const AnalyzeOptions& opts) {
                 });
     }
   }
+
+  rep.phase_skew = compute_phase_skew(rec, ivs, opts.skew_top_k);
   return rep;
 }
 
@@ -497,13 +651,29 @@ void print_report(std::FILE* out, const Report& report, std::size_t max_rank_row
                  b.idle_other);
   }
 
+  if (!report.phase_skew.empty()) {
+    std::fprintf(out, "\n-- per-phase skew (per-rank seconds, stats over all %d ranks) --\n",
+                 report.nranks);
+    std::fprintf(out, "%-20s %6s %11s %11s %9s %7s   %s\n", "phase", "active",
+                 "mean", "max", "max_rank", "cov", "slowest (dominant)");
+    for (const PhaseSkew& ps : report.phase_skew) {
+      std::fprintf(out, "%-20s %6d %11.4f %11.4f %9d %7.3f  ", ps.phase.c_str(),
+                   ps.ranks_active, ps.mean, ps.max, ps.max_rank, ps.cov);
+      for (const RankPhaseTime& t : ps.top) {
+        std::fprintf(out, " %d:%s(%.4f)", t.rank, t.dominant.c_str(), t.seconds);
+      }
+      std::fputc('\n', out);
+    }
+  }
+
   if (report.stragglers.empty()) {
     std::fprintf(out, "\nstragglers: none (median busy %.6f s)\n", report.median_busy);
   } else {
     std::fprintf(out, "\nstragglers (busy > k x median %.6f s):\n", report.median_busy);
     for (const Straggler& s : report.stragglers) {
-      std::fprintf(out, "  rank %d: busy %.6f s (%.2fx median)\n", s.rank,
-                   s.busy_seconds, s.ratio);
+      std::fprintf(out, "  rank %d: busy %.6f s (%.2fx median), dominant %s (%.6f s)\n",
+                   s.rank, s.busy_seconds, s.ratio, s.dominant.c_str(),
+                   s.dominant_seconds);
     }
   }
 }
@@ -534,7 +704,8 @@ void json_string(std::FILE* out, const std::string& s) {
 
 }  // namespace
 
-void write_report_json(std::FILE* out, const Report& report, const Registry* metrics) {
+void write_report_json(std::FILE* out, const Report& report, const Registry* metrics,
+                       const TimeSeries* timeseries) {
   std::fprintf(out, "{\"nranks\":%d,\"level\":\"%s\",\"makespan\":%.17g,", report.nranks,
                report.level == trace::Level::Full ? "full" : "phases", report.makespan);
   std::fprintf(out, "\"critical_path\":{\"length\":%.17g,\"hops\":%d,\"by_label\":[",
@@ -565,13 +736,38 @@ void write_report_json(std::FILE* out, const Report& report, const Registry* met
   for (std::size_t i = 0; i < report.stragglers.size(); ++i) {
     const Straggler& s = report.stragglers[i];
     if (i != 0) std::fputc(',', out);
-    std::fprintf(out, "{\"rank\":%d,\"busy_seconds\":%.17g,\"ratio\":%.17g}", s.rank,
-                 s.busy_seconds, s.ratio);
+    std::fprintf(out, "{\"rank\":%d,\"busy_seconds\":%.17g,\"ratio\":%.17g,\"dominant\":",
+                 s.rank, s.busy_seconds, s.ratio);
+    json_string(out, s.dominant);
+    std::fprintf(out, ",\"dominant_seconds\":%.17g}", s.dominant_seconds);
+  }
+  std::fputs("],\"phase_skew\":[", out);
+  for (std::size_t i = 0; i < report.phase_skew.size(); ++i) {
+    const PhaseSkew& ps = report.phase_skew[i];
+    if (i != 0) std::fputc(',', out);
+    std::fputs("{\"phase\":", out);
+    json_string(out, ps.phase);
+    std::fprintf(out,
+                 ",\"ranks_active\":%d,\"mean\":%.17g,\"max\":%.17g,"
+                 "\"max_rank\":%d,\"cov\":%.17g,\"top\":[",
+                 ps.ranks_active, ps.mean, ps.max, ps.max_rank, ps.cov);
+    for (std::size_t j = 0; j < ps.top.size(); ++j) {
+      const RankPhaseTime& t = ps.top[j];
+      if (j != 0) std::fputc(',', out);
+      std::fprintf(out, "{\"rank\":%d,\"seconds\":%.17g,\"dominant\":", t.rank, t.seconds);
+      json_string(out, t.dominant);
+      std::fprintf(out, ",\"dominant_seconds\":%.17g}", t.dominant_seconds);
+    }
+    std::fputs("]}", out);
   }
   std::fputs("]", out);
   if (metrics != nullptr) {
     std::fputs(",\"metrics\":", out);
     metrics->write_json(out);
+  }
+  if (timeseries != nullptr) {
+    std::fputs(",\"timeseries\":", out);
+    timeseries->write_json(out);
   }
   std::fputs("}", out);
 }

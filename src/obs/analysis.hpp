@@ -34,6 +34,7 @@
 namespace mrbio::obs {
 
 class Registry;
+class TimeSeries;
 
 /// One maximal stretch of the critical path on a single rank.
 struct PathSegment {
@@ -90,11 +91,41 @@ struct Straggler {
   int rank = 0;
   double busy_seconds = 0.0;
   double ratio = 0.0;  ///< busy_seconds / median busy across ranks
+  /// Dominant attribution bucket over the rank's whole timeline:
+  /// "compute" (useful + retry + framework busy), one of the Io categories,
+  /// "collective_skew", "recovery_wait", "recv_wait" (master-wait +
+  /// communication), or "idle".
+  std::string dominant;
+  double dominant_seconds = 0.0;
+};
+
+/// One rank's share of a phase, with its dominant category *within that
+/// phase's windows* (same buckets as Straggler::dominant).
+struct RankPhaseTime {
+  int rank = 0;
+  double seconds = 0.0;
+  std::string dominant;
+  double dominant_seconds = 0.0;
+};
+
+/// Imbalance statistics of one Phase-category span name across ranks.
+/// Statistics are over ALL ranks (a rank that never entered the phase
+/// contributes 0 s), so a master-only phase shows high CoV by design.
+struct PhaseSkew {
+  std::string phase;
+  int ranks_active = 0;  ///< ranks with > 0 s in this phase
+  double mean = 0.0;     ///< mean per-rank seconds over all ranks
+  double max = 0.0;      ///< slowest rank's seconds
+  int max_rank = -1;
+  double cov = 0.0;      ///< coefficient of variation: stddev / mean
+  std::vector<RankPhaseTime> top;  ///< top-k slowest ranks, descending
 };
 
 struct AnalyzeOptions {
   /// Ranks whose busy time exceeds k * median are reported as stragglers.
   double straggler_k = 1.5;
+  /// Slowest ranks listed per phase in the skew table.
+  std::size_t skew_top_k = 3;
 };
 
 struct Report {
@@ -106,18 +137,22 @@ struct Report {
   RankBreakdown total;  ///< element-wise sum over ranks (rank = -1)
   std::vector<Straggler> stragglers;
   double median_busy = 0.0;
+  std::vector<PhaseSkew> phase_skew;  ///< descending by max rank seconds
 };
 
 Report analyze(const trace::Recorder& rec, const AnalyzeOptions& opts = {});
 
 /// Human-readable report: critical-path blame table, idle decomposition,
-/// per-rank rows (first `max_rank_rows`), straggler list.
+/// per-rank rows (first `max_rank_rows`), per-phase skew, straggler list.
 void print_report(std::FILE* out, const Report& report,
                   std::size_t max_rank_rows = 16);
 
 /// Machine-readable JSON (one object, no trailing newline). When `metrics`
-/// is non-null its instruments are embedded under "metrics".
+/// is non-null its instruments are embedded under "metrics"; when
+/// `timeseries` is non-null its sampled channels are embedded under
+/// "timeseries".
 void write_report_json(std::FILE* out, const Report& report,
-                       const Registry* metrics = nullptr);
+                       const Registry* metrics = nullptr,
+                       const TimeSeries* timeseries = nullptr);
 
 }  // namespace mrbio::obs

@@ -1,0 +1,145 @@
+// Time-series telemetry: bounded ring-buffer samplers plus a structured
+// JSONL event log.
+//
+// TimeSeries holds one ring buffer per (rank, channel). Producers call
+// sample() with the rank's own clock — virtual seconds on the DES, steady
+// seconds since run start on the native backend — and the series records at
+// most one point per cadence window per channel, so a hot path can call
+// sample() on every message without flooding the buffer. record() bypasses
+// the cadence gate for sparse, always-interesting points (phase edges,
+// final values). When a ring fills, the oldest point is overwritten; the
+// overwrite count is reported so truncation is never silent.
+//
+// Thread safety: each rank owns a lane guarded by its own mutex, so
+// concurrent rank threads on the native backend never contend with each
+// other, and a background sampler thread may read/write any lane at any
+// time. Like Registry and trace::Recorder, attaching a TimeSeries never
+// changes simulated times: producers only read clocks and sizes the
+// runtime already computed.
+//
+// EventLog is a mutex-guarded JSONL writer unifying the ad-hoc MRBIO_LOG
+// text lines into machine-readable records:
+//   {"t":<monotonic s>,"severity":"info","rank":3,"component":"mrmpi","msg":"..."}
+// Rank -1 means "no rank context" (driver code, bridged stderr lines).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace mrbio::obs {
+
+struct TimeSeriesConfig {
+  /// Minimum spacing (seconds, in the producer's time base) between
+  /// recorded points of one channel. sample() calls inside the window are
+  /// dropped; record() ignores the gate.
+  double cadence = 0.01;
+  /// Ring capacity per (rank, channel). Oldest points are overwritten.
+  std::size_t capacity = 512;
+};
+
+struct TsPoint {
+  double t = 0.0;
+  double v = 0.0;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(int nranks, TimeSeriesConfig config = {});
+
+  int nranks() const { return static_cast<int>(lanes_.size()); }
+  const TimeSeriesConfig& config() const { return config_; }
+
+  /// Cadence-gated sample: records (t, v) on `channel` of `rank` unless a
+  /// point was already recorded within the last cadence window. Out-of-range
+  /// ranks are ignored (defensive; engines never pass one).
+  void sample(int rank, std::string_view channel, double t, double v);
+
+  /// Unconditional sample: always records, still ring-bounded.
+  void record(int rank, std::string_view channel, double t, double v);
+
+  /// Channel names present on `rank`, in name order.
+  std::vector<std::string> channels(int rank) const;
+
+  /// Points of one channel in chronological order (ring unrolled).
+  std::vector<TsPoint> points(int rank, std::string_view channel) const;
+
+  /// Points recorded (survived the cadence gate), including overwritten ones.
+  std::uint64_t total_samples() const { return recorded_.load(std::memory_order_relaxed); }
+  /// Points lost to ring overwrite.
+  std::uint64_t dropped_samples() const { return overwritten_.load(std::memory_order_relaxed); }
+
+  /// One JSON object (no trailing newline, embeddable):
+  /// {"cadence":..,"capacity":..,"recorded":..,"overwritten":..,
+  ///  "ranks":[{"rank":0,"channels":{"busy_seconds":[[t,v],...]}},...]}
+  /// Ranks with no channels are omitted.
+  void write_json(std::FILE* out) const;
+
+  /// One JSONL line per (rank, channel):
+  /// {"rank":0,"channel":"busy_seconds","points":[[t,v],...]}
+  void write_jsonl(std::FILE* out) const;
+
+ private:
+  struct Series {
+    double next_t = -1e300;       ///< earliest time the gate admits
+    std::vector<TsPoint> ring;
+    std::size_t head = 0;         ///< next write slot once ring is full
+    bool full = false;
+    std::uint64_t overwritten = 0;
+  };
+
+  struct Lane {
+    mutable std::mutex mutex;
+    std::map<std::string, Series, std::less<>> series;
+  };
+
+  void push(int rank, std::string_view channel, double t, double v, bool gated);
+
+  TimeSeriesConfig config_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> overwritten_{0};
+};
+
+/// Append-only structured log. One JSON object per line; flushed per event
+/// so a crashing run leaves a readable prefix. Timestamps are monotonic
+/// seconds since construction (host steady clock).
+class EventLog {
+ public:
+  /// Opens `path` for writing (truncates). Throws mrbio::Error on failure.
+  explicit EventLog(const std::string& path);
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Appends one event. Thread-safe. `rank` -1 = no rank context.
+  void log(LogLevel severity, int rank, std::string_view component,
+           std::string_view message);
+
+  std::uint64_t events() const { return events_.load(std::memory_order_relaxed); }
+  const std::string& path() const { return path_; }
+
+  /// Adapter with the mrbio::LogSinkFn signature: routes a bridged
+  /// MRBIO_LOG line into the EventLog passed as `ctx` (component "log",
+  /// rank -1). Install with set_log_sink(&EventLog::log_sink, &elog).
+  static void log_sink(void* ctx, LogLevel level, const char* msg);
+
+ private:
+  std::string path_;
+  std::FILE* out_ = nullptr;
+  std::mutex mutex_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> events_{0};
+};
+
+}  // namespace mrbio::obs

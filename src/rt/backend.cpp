@@ -34,6 +34,8 @@ LaunchResult launch(const LaunchConfig& config, const std::function<void(Rank&)>
     ec.recorder = config.recorder;
     ec.metrics = config.metrics;
     ec.injector = config.injector;
+    ec.timeseries = config.timeseries;
+    ec.eventlog = config.eventlog;
     sim::Engine engine(ec);
     engine.run([&](sim::Process& proc) {
       SimRank rank(proc);
@@ -51,6 +53,8 @@ LaunchResult launch(const LaunchConfig& config, const std::function<void(Rank&)>
     nc.metrics = config.metrics;
     nc.recv_timeout = config.native_recv_timeout;
     nc.injector = config.injector;
+    nc.timeseries = config.timeseries;
+    nc.eventlog = config.eventlog;
     NativeEngine engine(nc);
     engine.run(body);
     result.elapsed = engine.elapsed();

@@ -42,6 +42,11 @@ struct LaunchConfig {
   /// True when the run has a checkpoint dir configured; corrupt-checkpoint
   /// faults are rejected at launch without it.
   bool checkpointing = false;
+  /// Optional time-series sampler, forwarded to the selected backend and
+  /// reachable via Rank::timeseries().
+  obs::TimeSeries* timeseries = nullptr;
+  /// Optional structured event log, reachable via Rank::eventlog().
+  obs::EventLog* eventlog = nullptr;
 };
 
 struct LaunchResult {

@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "trace/trace.hpp"
 
 namespace mrbio::rt {
@@ -49,7 +50,8 @@ struct NativeEngine::Impl {
   explicit Impl(int n)
       : nranks(n),
         mailboxes(static_cast<std::size_t>(n)),
-        rank_state(static_cast<std::size_t>(n)) {
+        rank_state(static_cast<std::size_t>(n)),
+        rank_sent_bytes(static_cast<std::size_t>(n)) {
     for (auto& mb : mailboxes) mb = std::make_unique<Mailbox>();
   }
 
@@ -92,6 +94,9 @@ struct NativeEngine::Impl {
   /// Per-rank lifecycle, values of PeerState. Written once by the owning
   /// thread as it exits (release); read with acquire by peers.
   std::vector<std::atomic<std::uint8_t>> rank_state;
+  /// Per-rank cumulative nominal bytes sent, readable by the background
+  /// time-series sampler while rank threads are still sending.
+  std::vector<std::atomic<std::uint64_t>> rank_sent_bytes;
   std::vector<double> final_times;
   double elapsed_seconds = 0.0;
   bool ran = false;
@@ -164,6 +169,13 @@ class NativeEngine::Impl::RankHandle final : public Rank {
     impl_.messages.fetch_add(pushed, std::memory_order_relaxed);
     impl_.payload_bytes.fetch_add(real_bytes * pushed, std::memory_order_relaxed);
     impl_.nominal_bytes.fetch_add(nominal_bytes * pushed, std::memory_order_relaxed);
+    if (auto* ts = config_.timeseries; ts != nullptr) {
+      const std::uint64_t total =
+          impl_.rank_sent_bytes[static_cast<std::size_t>(rank_)].fetch_add(
+              nominal_bytes * pushed, std::memory_order_relaxed) +
+          nominal_bytes * pushed;
+      ts->sample(rank_, "sent_bytes", impl_.now(), static_cast<double>(total));
+    }
     if (auto* rec = config_.recorder; rec != nullptr && rec->full()) {
       rec->add_edge(rank_, trace::Category::Send, "send", t0, impl_.now(),
                     nominal_bytes, dst, seq, arrival);
@@ -214,6 +226,10 @@ class NativeEngine::Impl::RankHandle final : public Rank {
         }
         Entry entry = std::move(*it);
         mb.queue.erase(it);
+        if (auto* ts = config_.timeseries; ts != nullptr) {
+          ts->sample(rank_, "mailbox_depth", now,
+                     static_cast<double>(mb.queue.size()));
+        }
         lock.unlock();
         if (auto* rec = config_.recorder; rec != nullptr && rec->full()) {
           rec->add_edge(rank_, trace::Category::RecvWait, "recv", post_time,
@@ -295,6 +311,8 @@ class NativeEngine::Impl::RankHandle final : public Rank {
   trace::Recorder* tracer() const override { return config_.recorder; }
   obs::Registry* metrics() const override { return config_.metrics; }
   fault::Injector* faults() const override { return config_.injector; }
+  obs::TimeSeries* timeseries() const override { return config_.timeseries; }
+  obs::EventLog* eventlog() const override { return config_.eventlog; }
 
  private:
   Impl& impl_;
@@ -322,6 +340,34 @@ void NativeEngine::run(const std::function<void(Rank&)>& body) {
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
   impl_->start = std::chrono::steady_clock::now();
 
+  // Background sampler: snapshots every rank's queue depth and cumulative
+  // sent bytes at the sampler's cadence, concurrently with the rank
+  // threads' own event-driven samples (the per-lane locks inside
+  // TimeSeries make this safe).
+  std::atomic<bool> sampler_stop{false};
+  std::thread sampler;
+  if (obs::TimeSeries* ts = config_.timeseries; ts != nullptr) {
+    sampler = std::thread([this, ts, &sampler_stop] {
+      const double cadence = std::max(ts->config().cadence, 1e-3);
+      while (!sampler_stop.load(std::memory_order_acquire)) {
+        const double t = impl_->now();
+        for (int r = 0; r < impl_->nranks; ++r) {
+          std::size_t depth = 0;
+          {
+            Impl::Mailbox& mb = *impl_->mailboxes[static_cast<std::size_t>(r)];
+            std::lock_guard<std::mutex> lock(mb.mutex);
+            depth = mb.queue.size();
+          }
+          ts->sample(r, "mailbox_depth", t, static_cast<double>(depth));
+          ts->sample(r, "sent_bytes", t,
+                     static_cast<double>(impl_->rank_sent_bytes[static_cast<std::size_t>(r)]
+                                             .load(std::memory_order_relaxed)));
+        }
+        std::this_thread::sleep_for(std::chrono::duration<double>(cadence));
+      }
+    });
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
@@ -343,6 +389,10 @@ void NativeEngine::run(const std::function<void(Rank&)>& body) {
     });
   }
   for (std::thread& t : threads) t.join();
+  if (sampler.joinable()) {
+    sampler_stop.store(true, std::memory_order_release);
+    sampler.join();
+  }
 
   impl_->elapsed_seconds = 0.0;
   for (double ft : impl_->final_times) {

@@ -44,6 +44,14 @@ struct NativeConfig {
   /// slow-rank factors into real sleep; crash triggers are polled by the
   /// fault-tolerant scheduler through Rank::faults().
   fault::Injector* injector = nullptr;
+  /// Optional time-series sampler (must be thread-safe; obs::TimeSeries
+  /// is). The backend feeds per-rank sent_bytes and mailbox_depth channels
+  /// stamped with steady-clock seconds, both event-driven from the rank
+  /// threads and from a background sampler thread that runs at the
+  /// sampler's cadence for the duration of run().
+  obs::TimeSeries* timeseries = nullptr;
+  /// Optional structured event log, reachable through Rank::eventlog().
+  obs::EventLog* eventlog = nullptr;
 };
 
 /// Aggregate counters collected over a run.

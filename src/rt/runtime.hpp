@@ -36,6 +36,8 @@ class Recorder;
 
 namespace mrbio::obs {
 class Registry;
+class TimeSeries;
+class EventLog;
 }
 
 namespace mrbio::fault {
@@ -154,6 +156,14 @@ class Rank : public Transport, public Clock {
   /// fault-tolerant scheduler polls it for crash triggers; the engines
   /// consult it themselves for message and slow-rank faults.
   virtual fault::Injector* faults() const { return nullptr; }
+
+  /// The run's time-series sampler, or null when sampling is off. Layers
+  /// above the engine sample their own channels (queue depths, tasks done)
+  /// stamped with this rank's clock.
+  virtual obs::TimeSeries* timeseries() const { return nullptr; }
+
+  /// The run's structured event log, or null when not enabled.
+  virtual obs::EventLog* eventlog() const { return nullptr; }
 };
 
 }  // namespace mrbio::rt

@@ -62,6 +62,8 @@ class SimRank final : public Rank {
   trace::Recorder* tracer() const override { return proc_->tracer(); }
   obs::Registry* metrics() const override { return proc_->metrics(); }
   fault::Injector* faults() const override { return proc_->faults(); }
+  obs::TimeSeries* timeseries() const override { return proc_->timeseries(); }
+  obs::EventLog* eventlog() const override { return proc_->eventlog(); }
 
   sim::Process& process() { return *proc_; }
 

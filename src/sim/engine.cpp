@@ -14,6 +14,7 @@
 #include "common/error.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "trace/trace.hpp"
 
 namespace mrbio::sim {
@@ -80,6 +81,10 @@ struct Engine::Impl {
     std::deque<MailboxEntry> mailbox;  ///< delivered, unmatched; arrival-sorted
     std::exception_ptr error;
     double final_time = 0.0;
+
+    // Cumulative per-rank telemetry fed to the optional TimeSeries sampler.
+    double busy_seconds = 0.0;
+    std::uint64_t sent_bytes = 0;
   };
 
   explicit Impl(const EngineConfig& config)
@@ -176,6 +181,10 @@ struct Engine::Impl {
     } else {
       const double arrival = entry.msg.arrival;
       insert_mailbox(dst, std::move(entry));
+      if (auto* ts = cfg.timeseries; ts != nullptr) {
+        ts->sample(event.dst, "mailbox_depth", arrival,
+                   static_cast<double>(dst.mailbox.size()));
+      }
       // The non-matching delivery may have been the last thing keeping a
       // timed receive on this source alive.
       if (dst.state == State::BlockedRecv && dst.has_deadline && dst.want_src == src &&
@@ -439,6 +448,10 @@ obs::Registry* Process::metrics() const { return engine_->config().metrics; }
 
 fault::Injector* Process::faults() const { return engine_->config().injector; }
 
+obs::TimeSeries* Process::timeseries() const { return engine_->config().timeseries; }
+
+obs::EventLog* Process::eventlog() const { return engine_->config().eventlog; }
+
 void Process::compute(double seconds) {
   MRBIO_REQUIRE(seconds >= 0.0, "compute() needs non-negative time, got ", seconds);
   auto& impl = *engine_->impl_;
@@ -451,7 +464,11 @@ void Process::compute(double seconds) {
   const double t0 = vtime_;
   vtime_ += seconds;
   impl.stats.total_compute += seconds;
+  pcb.busy_seconds += seconds;
   if (impl.h_compute != nullptr) impl.h_compute->observe(seconds);
+  if (auto* ts = impl.cfg.timeseries; ts != nullptr) {
+    ts->sample(rank_, "busy_seconds", vtime_, pcb.busy_seconds);
+  }
   if (auto* rec = impl.cfg.recorder; rec != nullptr && rec->full()) {
     rec->add(rank_, trace::Category::Compute, "compute", t0, vtime_);
   }
@@ -508,6 +525,10 @@ void Process::send(int dst, int tag, std::vector<std::byte> payload,
   impl.events.push(InFlight{msg.arrival, seq, dst, std::move(msg)});
   const double t0 = vtime_;
   vtime_ += net.send_overhead;
+  pcb.sent_bytes += nominal_bytes;
+  if (auto* ts = impl.cfg.timeseries; ts != nullptr) {
+    ts->sample(rank_, "sent_bytes", vtime_, static_cast<double>(pcb.sent_bytes));
+  }
   if (auto* rec = impl.cfg.recorder; rec != nullptr && rec->full()) {
     rec->add_edge(rank_, trace::Category::Send, "send", t0, vtime_, nominal_bytes,
                   dst, seq, arrival);
@@ -529,6 +550,10 @@ Message Process::recv(int src, int tag) {
       const std::uint64_t seq = it->seq;
       pcb.mailbox.erase(it);
       vtime_ = std::max(vtime_, out.arrival) + impl.cfg.net.recv_overhead;
+      if (auto* ts = impl.cfg.timeseries; ts != nullptr) {
+        ts->sample(rank_, "mailbox_depth", vtime_,
+                   static_cast<double>(pcb.mailbox.size()));
+      }
       if (auto* rec = impl.cfg.recorder; rec != nullptr && rec->full()) {
         rec->add_edge(rank_, trace::Category::RecvWait, "recv", post_time, vtime_,
                       out.nominal_bytes, out.source, seq, out.arrival);

@@ -36,6 +36,8 @@ class Recorder;
 
 namespace mrbio::obs {
 class Registry;
+class TimeSeries;
+class EventLog;
 }
 
 namespace mrbio::fault {
@@ -82,6 +84,13 @@ struct EngineConfig {
   /// on slow ranks; crash triggers are polled by the layers above through
   /// Process::faults(). Null (the default) injects nothing.
   fault::Injector* injector = nullptr;
+  /// Optional time-series sampler. The engine feeds per-rank busy_seconds,
+  /// sent_bytes and mailbox_depth channels stamped with virtual time;
+  /// layers above reach it through Process::timeseries(). Cadence-gated,
+  /// so enabling it never changes simulated times.
+  obs::TimeSeries* timeseries = nullptr;
+  /// Optional structured event log, reachable through Process::eventlog().
+  obs::EventLog* eventlog = nullptr;
 };
 
 /// Aggregate counters collected over a run.
@@ -146,6 +155,12 @@ class Process {
 
   /// The run's fault injector, or null when no faults are planned.
   fault::Injector* faults() const;
+
+  /// The run's time-series sampler, or null when sampling is off.
+  obs::TimeSeries* timeseries() const;
+
+  /// The run's structured event log, or null when not enabled.
+  obs::EventLog* eventlog() const;
 
   static constexpr int kAnySource = -1;
   static constexpr int kAnyTag = -1;

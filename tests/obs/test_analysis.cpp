@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <functional>
@@ -155,6 +156,83 @@ TEST(Stragglers, RanksAboveKTimesMedianAreListed) {
   ASSERT_EQ(report.stragglers.size(), 1u);
   EXPECT_EQ(report.stragglers[0].rank, 2);
   EXPECT_DOUBLE_EQ(report.stragglers[0].ratio, 10.0);
+  // The straggler's timeline is all App work -> compute-bound attribution.
+  EXPECT_EQ(report.stragglers[0].dominant, "compute");
+  EXPECT_DOUBLE_EQ(report.stragglers[0].dominant_seconds, 10.0);
+}
+
+// Hand-built 4-rank phase with known skew statistics:
+//   "map" windows: rank0 [0,1], rank1 [0,2], rank2 [0,4], rank3 absent.
+//   Seconds over ALL ranks: {1, 2, 4, 0} -> mean 1.75, max 4 @ rank 2,
+//   population stddev sqrt(8.75/4), CoV = stddev / mean ~ 0.845154.
+TEST(PhaseSkew, HandBuiltPhaseHasKnownCovAndTopK) {
+  Recorder rec(4);
+  rec.add(0, Category::Phase, "map", 0.0, 1.0);
+  rec.add(1, Category::Phase, "map", 0.0, 2.0);
+  rec.add(2, Category::Phase, "map", 0.0, 4.0);
+  // In-phase content for the dominant attribution: rank 2 computes the
+  // whole window, rank 1 is blocked in a collective, rank 0 computes.
+  rec.add(0, Category::App, "work", 0.0, 1.0);
+  rec.add(1, Category::Collective, "reduce", 0.0, 2.0);
+  rec.add(2, Category::App, "work", 0.0, 4.0);
+  for (int r = 0; r < 4; ++r) rec.set_final_time(r, 4.0);
+
+  AnalyzeOptions opts;
+  opts.skew_top_k = 2;
+  const Report report = analyze(rec, opts);
+  ASSERT_EQ(report.phase_skew.size(), 1u);
+  const PhaseSkew& skew = report.phase_skew[0];
+  EXPECT_EQ(skew.phase, "map");
+  EXPECT_EQ(skew.ranks_active, 3);
+  EXPECT_DOUBLE_EQ(skew.mean, 1.75);
+  EXPECT_DOUBLE_EQ(skew.max, 4.0);
+  EXPECT_EQ(skew.max_rank, 2);
+  EXPECT_NEAR(skew.cov, std::sqrt(8.75 / 4.0) / 1.75, 1e-12);
+
+  ASSERT_EQ(skew.top.size(), 2u);  // top-k honored
+  EXPECT_EQ(skew.top[0].rank, 2);
+  EXPECT_DOUBLE_EQ(skew.top[0].seconds, 4.0);
+  EXPECT_EQ(skew.top[0].dominant, "compute");
+  EXPECT_DOUBLE_EQ(skew.top[0].dominant_seconds, 4.0);
+  EXPECT_EQ(skew.top[1].rank, 1);
+  EXPECT_DOUBLE_EQ(skew.top[1].seconds, 2.0);
+  EXPECT_EQ(skew.top[1].dominant, "collective_skew");
+  EXPECT_DOUBLE_EQ(skew.top[1].dominant_seconds, 2.0);
+}
+
+// Two phases sort by descending max rank seconds, and the in-phase
+// dominant attribution is restricted to each phase's own windows: the same
+// rank is compute-bound in one phase and recv-wait-bound in the other.
+TEST(PhaseSkew, PhasesSortByMaxAndAttributionIsPerPhase) {
+  Recorder rec(2, Level::Full);
+  rec.add(0, Category::Phase, "map", 0.0, 1.0);
+  rec.add(0, Category::Phase, "exchange", 1.0, 6.0);
+  rec.add(1, Category::Phase, "map", 0.0, 1.0);
+  rec.add(1, Category::Phase, "exchange", 1.0, 6.0);
+  rec.add(0, Category::App, "work", 0.0, 1.0);
+  rec.add(1, Category::App, "work", 0.0, 1.0);
+  // During "exchange", rank 1 waits on a receive the whole time.
+  rec.add(0, Category::Compute, "compute", 1.0, 6.0);
+  rec.add(1, Category::RecvWait, "recv", 1.0, 6.0);
+  rec.set_final_time(0, 6.0);
+  rec.set_final_time(1, 6.0);
+
+  const Report report = analyze(rec);
+  ASSERT_EQ(report.phase_skew.size(), 2u);
+  EXPECT_EQ(report.phase_skew[0].phase, "exchange");  // max 5 s sorts first
+  EXPECT_EQ(report.phase_skew[1].phase, "map");
+  const PhaseSkew& exchange = report.phase_skew[0];
+  ASSERT_EQ(exchange.top.size(), 2u);
+  for (const RankPhaseTime& t : exchange.top) {
+    if (t.rank == 0) {
+      EXPECT_EQ(t.dominant, "compute");
+    } else {
+      EXPECT_EQ(t.dominant, "recv_wait");
+      EXPECT_DOUBLE_EQ(t.dominant_seconds, 5.0);
+    }
+  }
+  const PhaseSkew& map = report.phase_skew[1];
+  for (const RankPhaseTime& t : map.top) EXPECT_EQ(t.dominant, "compute");
 }
 
 // ISSUE acceptance: on a fig3-style run the critical-path length equals the

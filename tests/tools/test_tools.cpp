@@ -40,8 +40,11 @@ class ToolsTest : public ::testing::Test {
     return std::system(full.c_str());
   }
 
-  std::string stdout_text() const {
-    std::ifstream in(dir_ / "stdout.txt");
+  std::string stdout_text() const { return slurp(dir_ / "stdout.txt"); }
+  std::string stderr_text() const { return slurp(dir_ / "stderr.txt"); }
+
+  static std::string slurp(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
     return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
   }
 
@@ -234,6 +237,99 @@ TEST_F(ToolsTest, CodebookRoundTrip) {
 TEST_F(ToolsTest, CorruptCodebookRejected) {
   std::ofstream(path("junk.cb")) << "not a codebook";
   EXPECT_THROW(som::load_codebook(path("junk.cb")), InputError);
+}
+
+// ISSUE 7 satellites: --timeseries-out / --metrics-out without --report,
+// and the timeseries + phase-skew sections of --report-json.
+TEST_F(ToolsTest, ObservabilityOutputsOnGraphDriver) {
+  // --metrics-out and --timeseries-out alone (no --report): raw registry
+  // dump and a JSONL stream of sampled channels.
+  ASSERT_EQ(run(tool("mrgraph_build") + " --nseq 32 --family 8 --ranks 4" +
+                " --compute-cell 1e-7 --metrics-out " + path("metrics.json") +
+                " --timeseries-out " + path("ts.jsonl")),
+            0);
+  const std::string metrics = slurp(path("metrics.json"));
+  EXPECT_NE(metrics.find("\"counters\""), std::string::npos);
+  EXPECT_NE(metrics.find("mrmpi.map_tasks"), std::string::npos);
+  const std::string ts = slurp(path("ts.jsonl"));
+  EXPECT_NE(ts.find("\"channel\":\"busy_seconds\""), std::string::npos);
+  EXPECT_NE(ts.find("\"channel\":\"mrmpi.tasks_done\""), std::string::npos);
+
+  // --report-json embeds the same data plus the new skew analysis.
+  ASSERT_EQ(run(tool("mrgraph_build") + " --nseq 32 --family 8 --ranks 4" +
+                " --compute-cell 1e-7 --report-json " + path("report.json")),
+            0);
+  const std::string report = slurp(path("report.json"));
+  EXPECT_NE(report.find("\"phase_skew\":"), std::string::npos);
+  EXPECT_NE(report.find("\"stragglers\":"), std::string::npos);
+  EXPECT_NE(report.find("\"timeseries\":"), std::string::npos);
+  EXPECT_NE(report.find("\"metrics\":"), std::string::npos);
+}
+
+// ISSUE 7 acceptance: a slow: fault plan must surface the injected rank in
+// the stragglers section with a compute-bound dominant attribution (the
+// slow rank spends its extra time in stretched compute charges).
+TEST_F(ToolsTest, SlowFaultRankNamedInStragglers) {
+  ASSERT_EQ(run(tool("mrgraph_build") + " --nseq 48 --family 8 --ranks 4" +
+                " --compute-cell 1e-7 --faults \"slow:rank=2,factor=8\"" +
+                " --report-json " + path("report.json")),
+            0);
+  const std::string report = slurp(path("report.json"));
+  const auto at = report.find("\"stragglers\":[{\"rank\":2,");
+  ASSERT_NE(at, std::string::npos) << report;
+  const std::string entry = report.substr(at, report.find(']', at) - at);
+  EXPECT_NE(entry.find("\"dominant\":\"compute\""), std::string::npos) << entry;
+}
+
+// ISSUE 7 satellite: installing the structured event-log sink must leave
+// the plain-text stderr stream byte-identical. The empty checkpoint dir
+// with --resume deterministically emits one Warn line to compare.
+TEST_F(ToolsTest, LogJsonKeepsStderrByteIdentical) {
+  Rng rng(21);
+  std::vector<blast::Sequence> frags;
+  for (int i = 0; i < 30; ++i) {
+    frags.push_back(blast::random_sequence(rng, "f" + std::to_string(i), 600,
+                                           blast::SeqType::Dna));
+  }
+  blast::write_fasta_file(path("frags.fa"), frags, blast::SeqType::Dna);
+  const std::string train = tool("mrsom_train") + " --fasta " + path("frags.fa") +
+                            " --tetra --rows 4 --cols 4 --epochs 2 --ranks 3" +
+                            " --checkpoint-dir " + path("ckpt") + " --resume" +
+                            " --out " + path("som");
+
+  ASSERT_EQ(run(train), 0);  // cleanup_on_success leaves ckpt/ absent again
+  const std::string plain_stderr = stderr_text();
+  ASSERT_NE(plain_stderr.find("no checkpoint found"), std::string::npos);
+
+  ASSERT_EQ(run(train + " --log-json " + path("events.jsonl")), 0);
+  EXPECT_EQ(stderr_text(), plain_stderr);  // byte-identical with the sink on
+
+  const std::string events = slurp(path("events.jsonl"));
+  EXPECT_NE(events.find("\"severity\":\"warn\""), std::string::npos);
+  EXPECT_NE(events.find("no checkpoint found"), std::string::npos);
+}
+
+// ISSUE 7 acceptance: the bench matrix round-trips through compare against
+// itself, and a perturbed metric beyond tolerance makes compare fail.
+TEST_F(ToolsTest, BenchRoundTripAndPerturbedCompareFails) {
+  ASSERT_EQ(run(tool("mrbio_bench") + " run --suite smoke --out " + path("bench.json")),
+            0);
+  ASSERT_EQ(run(tool("mrbio_bench") + " compare --baseline " + path("bench.json") +
+                " --candidate " + path("bench.json")),
+            0);
+  EXPECT_NE(stdout_text().find("all metrics within tolerance"), std::string::npos);
+
+  // Push the first makespan far outside its 5% tolerance.
+  std::string perturbed = slurp(path("bench.json"));
+  const auto key = perturbed.find("\"makespan\":");
+  ASSERT_NE(key, std::string::npos);
+  const auto value_at = key + std::string("\"makespan\":").size();
+  perturbed.replace(value_at, perturbed.find(',', value_at) - value_at, "1e9");
+  std::ofstream(path("perturbed.json")) << perturbed;
+  EXPECT_NE(run(tool("mrbio_bench") + " compare --baseline " + path("bench.json") +
+                " --candidate " + path("perturbed.json")),
+            0);
+  EXPECT_NE(stdout_text().find("REGRESSION"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,487 @@
+// mrbio_bench: canonical perf-regression workload matrix. Runs the three
+// simulated applications (mrblast, mrsom, mrgraph) at fixed seeds and
+// rank counts on the deterministic DES backend and emits one
+// schema-versioned JSON file of headline metrics per workload:
+//
+//   makespan       virtual seconds of the whole run
+//   throughput     work items per virtual second (queries, vector-epochs,
+//                  sequence pairs)
+//   wire_bytes     nominal bytes on the simulated wire, all ranks
+//   shuffle_ratio  share of wire bytes moved by the KV shuffle
+//                  (mrmpi.aggregate_bytes / wire_bytes)
+//   peak_skew      busiest rank's busy seconds / mean rank busy seconds
+//
+// Because the sim backend is deterministic, identical code produces
+// bit-identical metrics; `compare` therefore gates CI without flakiness,
+// and the per-metric tolerances only absorb intentional model changes.
+//
+//   mrbio_bench run [--suite smoke|full] [--out BENCH.json]
+//   mrbio_bench compare --baseline bench/baseline.json --candidate BENCH.json
+//                       [--tol-scale 1.0]
+//
+// Exit codes: 0 pass, 1 regression or error, 2 baseline/candidate
+// incompatible (schema, suite, or rank count mismatch).
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blast/sequence.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/options.hpp"
+#include "common/rng.hpp"
+#include "mrblast/mrblast.hpp"
+#include "mrgraph/mrgraph.hpp"
+#include "mrsom/mrsom.hpp"
+#include "obs/analysis.hpp"
+#include "obs/metrics.hpp"
+#include "rt/backend.hpp"
+#include "trace/trace.hpp"
+
+using namespace mrbio;
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+constexpr int kRanks = 8;
+
+struct WorkloadMetrics {
+  double makespan = 0.0;
+  double throughput = 0.0;
+  double wire_bytes = 0.0;  ///< integral, but compared like the others
+  double shuffle_ratio = 0.0;
+  double peak_skew = 0.0;
+};
+
+struct BenchFile {
+  int schema_version = 0;
+  std::string suite;
+  int ranks = 0;
+  // Ordered so run/compare output and the JSON files are stable.
+  std::map<std::string, WorkloadMetrics> workloads;
+};
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader, just enough for BENCH files (objects, numbers,
+// strings; arrays/bools/null parsed but unused). The trace layer's reader
+// is line-oriented and can't parse nested objects, hence this one.
+
+struct JsonValue {
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    MRBIO_REQUIRE(pos_ == text_.size(), "trailing bytes after JSON value");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    MRBIO_REQUIRE(pos_ < text_.size(), "unexpected end of JSON");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    MRBIO_REQUIRE(peek() == c, "expected '", std::string(1, c), "' in JSON");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    JsonValue v;
+    switch (peek()) {
+      case '{': {
+        v.kind = JsonValue::Kind::Object;
+        ++pos_;
+        if (!consume('}')) {
+          do {
+            const std::string key = string_body();
+            expect(':');
+            v.object.emplace(key, value());
+          } while (consume(','));
+          expect('}');
+        }
+        return v;
+      }
+      case '[': {
+        v.kind = JsonValue::Kind::Array;
+        ++pos_;
+        if (!consume(']')) {
+          do {
+            v.array.push_back(value());
+          } while (consume(','));
+          expect(']');
+        }
+        return v;
+      }
+      case '"':
+        v.kind = JsonValue::Kind::String;
+        v.string = string_body();
+        return v;
+      case 't':
+      case 'f':
+        v.kind = JsonValue::Kind::Bool;
+        v.boolean = consume_word("true");
+        if (!v.boolean) MRBIO_REQUIRE(consume_word("false"), "bad JSON literal");
+        return v;
+      case 'n':
+        MRBIO_REQUIRE(consume_word("null"), "bad JSON literal");
+        return v;
+      default: {
+        v.kind = JsonValue::Kind::Number;
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E')) {
+          ++pos_;
+        }
+        MRBIO_REQUIRE(pos_ > start, "bad JSON number");
+        v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+        return v;
+      }
+    }
+  }
+
+  /// Parses a double-quoted string (cursor on the opening quote). BENCH
+  /// keys are plain identifiers, so only the \" and \\ escapes matter.
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      MRBIO_REQUIRE(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        MRBIO_REQUIRE(pos_ < text_.size(), "unterminated JSON escape");
+        out.push_back(text_[pos_++]);
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  MRBIO_REQUIRE(f != nullptr, "cannot open ", path);
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Run mode.
+
+/// Paper-scale Infiniband-ish network so wire time is nonzero but small.
+sim::NetworkModel bench_net() {
+  sim::NetworkModel net;
+  net.latency = 2.3e-6;
+  net.byte_time = 6.7e-10;
+  return net;
+}
+
+/// Runs one workload body on the sim backend and fills the generic
+/// metrics; `items` is the workload's throughput numerator.
+WorkloadMetrics run_workload(const std::function<void(mpi::Comm&)>& body,
+                             const std::function<double()>& items) {
+  trace::Recorder recorder(kRanks, trace::Level::Full);
+  obs::Registry registry;
+  rt::LaunchConfig lc;
+  lc.backend = rt::Backend::Sim;
+  lc.nranks = kRanks;
+  lc.net = bench_net();
+  lc.recorder = &recorder;
+  lc.metrics = &registry;
+  const rt::LaunchResult run = rt::launch(lc, [&](rt::Rank& rank) {
+    mpi::Comm comm(rank);
+    body(comm);
+  });
+
+  WorkloadMetrics m;
+  m.makespan = run.elapsed;
+  m.throughput = run.elapsed > 0.0 ? items() / run.elapsed : 0.0;
+  m.wire_bytes = static_cast<double>(run.nominal_bytes);
+  const obs::Counter* agg = registry.find_counter("mrmpi.aggregate_bytes");
+  m.shuffle_ratio = (agg != nullptr && run.nominal_bytes > 0)
+                        ? static_cast<double>(agg->value()) / m.wire_bytes
+                        : 0.0;
+  const obs::Report report = obs::analyze(recorder);
+  double max_busy = 0.0;
+  double sum_busy = 0.0;
+  for (const obs::RankBreakdown& r : report.ranks) {
+    max_busy = std::max(max_busy, r.busy_total());
+    sum_busy += r.busy_total();
+  }
+  const double mean_busy = sum_busy / static_cast<double>(kRanks);
+  m.peak_skew = mean_busy > 0.0 ? max_busy / mean_busy : 1.0;
+  return m;
+}
+
+BenchFile run_suite(const std::string& suite) {
+  MRBIO_REQUIRE(suite == "smoke" || suite == "full", "--suite must be smoke or full");
+  const bool smoke = suite == "smoke";
+  BenchFile out;
+  out.schema_version = kSchemaVersion;
+  out.suite = suite;
+  out.ranks = kRanks;
+
+  {  // mrblast: master-worker matrix search over the synthetic workload.
+    mrblast::SimRunConfig config;
+    config.workload.total_queries = smoke ? 4'000 : 20'000;
+    config.workload.queries_per_block = 500;
+    config.workload.db_partitions = smoke ? 8 : 16;
+    config.workload.seed = 1234;
+    config.map_style = mrmpi::MapStyle::MasterWorker;
+    out.workloads["blast"] = run_workload(
+        [&](mpi::Comm& comm) { mrblast::run_blast_sim(comm, config); },
+        [&] { return static_cast<double>(config.workload.total_queries); });
+  }
+  {  // mrsom: chunk-scheduled batch training (the paper's Fig. 6 shape).
+    mrsom::SimSomConfig config;
+    config.num_vectors = smoke ? 8'192 : 40'960;
+    config.dim = smoke ? 64 : 256;
+    config.grid = som::SomGrid{smoke ? 20u : 50u, smoke ? 20u : 50u};
+    config.epochs = smoke ? 3 : 10;
+    config.map_style = mrmpi::MapStyle::Chunk;
+    out.workloads["som"] = run_workload(
+        [&](mpi::Comm& comm) { mrsom::run_som_sim(comm, config); },
+        [&] {
+          return static_cast<double>(config.num_vectors) *
+                 static_cast<double>(config.epochs);
+        });
+  }
+  {  // mrgraph: all-pairs similarity graph; exercises the KV shuffle
+    // (combiner + compression), so shuffle_ratio is meaningful here.
+    mrgraph::GraphConfig config;
+    Rng rng(42);
+    const std::size_t nseq = smoke ? 48 : 128;
+    blast::Sequence ancestor;
+    for (std::size_t i = 0; i < nseq; ++i) {
+      if (i % 8 == 0) {
+        ancestor = blast::random_sequence(rng, "f" + std::to_string(i), 200,
+                                          blast::SeqType::Dna);
+      }
+      config.sequences.push_back(blast::mutate(rng, ancestor, "s" + std::to_string(i),
+                                               0.05, blast::SeqType::Dna));
+    }
+    config.shuffle.combiner = true;
+    config.shuffle.compress = true;
+    config.virtual_seconds_per_cell = 1e-8;
+    double pairs = 0.0;
+    out.workloads["graph"] = run_workload(
+        [&](mpi::Comm& comm) {
+          const mrgraph::GraphStats stats = mrgraph::build_graph_mr(comm, config);
+          if (comm.rank() == 0) pairs = static_cast<double>(stats.pairs_compared);
+        },
+        [&] { return pairs; });
+  }
+  return out;
+}
+
+void write_bench_json(std::FILE* f, const BenchFile& b) {
+  std::fprintf(f, "{\"schema_version\":%d,\"suite\":\"%s\",\"ranks\":%d,\"workloads\":{",
+               b.schema_version, b.suite.c_str(), b.ranks);
+  bool first = true;
+  for (const auto& [name, m] : b.workloads) {
+    std::fprintf(f,
+                 "%s\"%s\":{\"makespan\":%.17g,\"throughput\":%.17g,"
+                 "\"wire_bytes\":%.17g,\"shuffle_ratio\":%.17g,\"peak_skew\":%.17g}",
+                 first ? "" : ",", name.c_str(), m.makespan, m.throughput,
+                 m.wire_bytes, m.shuffle_ratio, m.peak_skew);
+    first = false;
+  }
+  std::fprintf(f, "}}\n");
+}
+
+// ---------------------------------------------------------------------------
+// Compare mode.
+
+double require_number(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  MRBIO_REQUIRE(v != nullptr && v->kind == JsonValue::Kind::Number,
+                "missing numeric field '", key, "'");
+  return v->number;
+}
+
+BenchFile parse_bench_file(const std::string& path) {
+  const JsonValue root = JsonParser(read_file(path)).parse();
+  MRBIO_REQUIRE(root.kind == JsonValue::Kind::Object, path, ": not a JSON object");
+  BenchFile b;
+  b.schema_version = static_cast<int>(require_number(root, "schema_version"));
+  const JsonValue* suite = root.find("suite");
+  MRBIO_REQUIRE(suite != nullptr && suite->kind == JsonValue::Kind::String,
+                path, ": missing suite");
+  b.suite = suite->string;
+  b.ranks = static_cast<int>(require_number(root, "ranks"));
+  const JsonValue* workloads = root.find("workloads");
+  MRBIO_REQUIRE(workloads != nullptr && workloads->kind == JsonValue::Kind::Object,
+                path, ": missing workloads");
+  for (const auto& [name, obj] : workloads->object) {
+    WorkloadMetrics m;
+    m.makespan = require_number(obj, "makespan");
+    m.throughput = require_number(obj, "throughput");
+    m.wire_bytes = require_number(obj, "wire_bytes");
+    m.shuffle_ratio = require_number(obj, "shuffle_ratio");
+    m.peak_skew = require_number(obj, "peak_skew");
+    b.workloads.emplace(name, m);
+  }
+  return b;
+}
+
+struct MetricSpec {
+  const char* name;
+  double WorkloadMetrics::* field;
+  double tolerance;  ///< max relative drift vs baseline
+};
+
+/// Per-metric relative tolerances. The sim metrics are deterministic, so
+/// these bound *intentional* drift: time-like metrics get 5%, traffic is
+/// nearly exact, skew is the noisiest model output.
+constexpr MetricSpec kMetrics[] = {
+    {"makespan", &WorkloadMetrics::makespan, 0.05},
+    {"throughput", &WorkloadMetrics::throughput, 0.05},
+    {"wire_bytes", &WorkloadMetrics::wire_bytes, 0.01},
+    {"shuffle_ratio", &WorkloadMetrics::shuffle_ratio, 0.02},
+    {"peak_skew", &WorkloadMetrics::peak_skew, 0.10},
+};
+
+int compare(const BenchFile& base, const BenchFile& cand, double tol_scale) {
+  if (base.schema_version != cand.schema_version || base.suite != cand.suite ||
+      base.ranks != cand.ranks) {
+    std::fprintf(stderr,
+                 "incompatible BENCH files: schema %d/%d suite %s/%s ranks %d/%d\n",
+                 base.schema_version, cand.schema_version, base.suite.c_str(),
+                 cand.suite.c_str(), base.ranks, cand.ranks);
+    return 2;
+  }
+  int failures = 0;
+  std::printf("%-8s %-14s %14s %14s %9s %7s  %s\n", "workload", "metric", "baseline",
+              "candidate", "drift", "tol", "status");
+  for (const auto& [name, b] : base.workloads) {
+    const auto it = cand.workloads.find(name);
+    if (it == cand.workloads.end()) {
+      std::printf("%-8s missing from candidate\n", name.c_str());
+      ++failures;
+      continue;
+    }
+    for (const MetricSpec& spec : kMetrics) {
+      const double bv = b.*spec.field;
+      const double cv = it->second.*spec.field;
+      const double drift = std::fabs(cv - bv) / std::max(std::fabs(bv), 1e-12);
+      const double tol = spec.tolerance * tol_scale;
+      const bool ok = drift <= tol;
+      if (!ok) ++failures;
+      std::printf("%-8s %-14s %14.6g %14.6g %8.2f%% %6.1f%%  %s\n", name.c_str(),
+                  spec.name, bv, cv, 100.0 * drift, 100.0 * tol,
+                  ok ? "ok" : "REGRESSION");
+    }
+  }
+  for (const auto& [name, m] : cand.workloads) {
+    (void)m;
+    if (base.workloads.find(name) == base.workloads.end()) {
+      std::printf("%-8s new in candidate (not gated)\n", name.c_str());
+    }
+  }
+  if (failures > 0) {
+    std::printf("%d metric(s) outside tolerance\n", failures);
+    return 1;
+  }
+  std::printf("all metrics within tolerance\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(
+      "mrbio_bench: deterministic perf-regression matrix (run | compare)\n"
+      "  mrbio_bench run --suite smoke --out BENCH.json\n"
+      "  mrbio_bench compare --baseline bench/baseline.json --candidate BENCH.json");
+  opts.add("suite", "smoke", "run: workload scale, smoke or full");
+  opts.add("out", "", "run: write the BENCH JSON here (default stdout)");
+  opts.add("baseline", "", "compare: committed baseline BENCH JSON (required)");
+  opts.add("candidate", "", "compare: freshly produced BENCH JSON (required)");
+  opts.add("tol-scale", "1",
+           "compare: multiplier on every per-metric tolerance (e.g. 2 relaxes "
+           "all gates 2x)");
+  opts.add("log", "", "log level: debug/info/warn/error/off");
+  try {
+    if (!opts.parse(argc, argv)) return 0;
+    if (!opts.str("log").empty()) set_log_level(parse_log_level(opts.str("log")));
+    MRBIO_REQUIRE(opts.positional().size() == 1,
+                  "expected one mode argument: run or compare\n", opts.usage());
+    const std::string& mode = opts.positional().front();
+    if (mode == "run") {
+      const BenchFile b = run_suite(opts.str("suite"));
+      if (opts.str("out").empty()) {
+        write_bench_json(stdout, b);
+      } else {
+        std::FILE* f = std::fopen(opts.str("out").c_str(), "w");
+        MRBIO_REQUIRE(f != nullptr, "cannot open ", opts.str("out"));
+        write_bench_json(f, b);
+        std::fclose(f);
+        std::printf("bench: %s (suite %s, %d ranks)\n", opts.str("out").c_str(),
+                    b.suite.c_str(), b.ranks);
+      }
+      return 0;
+    }
+    if (mode == "compare") {
+      MRBIO_REQUIRE(!opts.str("baseline").empty() && !opts.str("candidate").empty(),
+                    "compare needs --baseline and --candidate");
+      return compare(parse_bench_file(opts.str("baseline")),
+                     parse_bench_file(opts.str("candidate")),
+                     opts.real("tol-scale"));
+    }
+    MRBIO_REQUIRE(false, "unknown mode '", mode, "' (expected run or compare)");
+  } catch (const std::exception& e) {
+    MRBIO_LOG(ErrorLevel, "mrbio_bench: ", e.what());
+    return 1;
+  }
+  return 1;
+}

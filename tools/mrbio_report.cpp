@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   opts.add("trace", "", "Chrome-tracing JSON written by the simulators (required)");
   opts.add("json", "", "also write the report as machine-readable JSON to this path");
   opts.add("straggler-k", "1.5", "flag ranks with busy time > k x median");
+  opts.add("skew-top-k", "3", "slowest ranks listed per phase in the skew table");
   opts.add("rank-rows", "16", "per-rank table rows to print");
   opts.add("log", "", "log level: debug/info/warn/error/off (default $MRBIO_LOG or warn)");
   try {
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
     const trace::LoadedTrace loaded = trace::read_chrome_trace(opts.str("trace"));
     obs::AnalyzeOptions aopts;
     aopts.straggler_k = opts.real("straggler-k");
+    aopts.skew_top_k = static_cast<std::size_t>(opts.integer("skew-top-k"));
     const obs::Report report = obs::analyze(loaded.recorder, aopts);
     obs::print_report(stdout, report,
                       static_cast<std::size_t>(opts.integer("rank-rows")));

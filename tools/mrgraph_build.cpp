@@ -11,15 +11,18 @@
 // shuffle modes; the shuffle counters (wire bytes, combiner savings,
 // stages, compression ratio) quantify what each mode changes.
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 
 #include "blast/sequence.hpp"
 #include "common/log.hpp"
 #include "common/options.hpp"
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "mrgraph/mrgraph.hpp"
 #include "obs/analysis.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "rt/backend.hpp"
 #include "trace/trace.hpp"
 
@@ -52,10 +55,31 @@ int main(int argc, char** argv) {
   opts.add("trace", "", "write a Chrome-tracing JSON timeline to this path");
   opts.add_flag("report", "print a critical-path / idle-time performance report");
   opts.add("report-json", "", "write the performance report as JSON to this path");
+  opts.add("timeseries-out", "",
+           "write sampled per-rank counter time series as JSONL to this path");
+  opts.add("metrics-out", "", "write the raw metrics registry as JSON to this path");
+  opts.add("log-json", "",
+           "also write every log line as a structured JSONL event to this path");
+  opts.add("faults", "", "fault plan: spec/JSON string, or a path to a plan file "
+                         "(slow:/delay: faults shape the sim timeline)");
   opts.add("log", "", "log level: debug/info/warn/error/off");
+  std::unique_ptr<fault::Injector> injector;
   try {
     if (!opts.parse(argc, argv)) return 0;
     if (!opts.str("log").empty()) set_log_level(parse_log_level(opts.str("log")));
+    // Install the event-log sink before anything that can emit MRBIO_LOG
+    // lines (fault-plan parsing), so --log-json captures the whole run,
+    // not just the launch.
+    std::unique_ptr<obs::EventLog> eventlog;
+    if (!opts.str("log-json").empty()) {
+      eventlog = std::make_unique<obs::EventLog>(opts.str("log-json"));
+      set_log_sink(&obs::EventLog::log_sink, eventlog.get());
+    }
+    // Uninstall the sink before `eventlog` is destroyed, on every exit path.
+    const auto sink_guard = std::unique_ptr<void, void (*)(void*)>(
+        eventlog.get(), [](void* p) {
+          if (p != nullptr) set_log_sink(nullptr, nullptr);
+        });
 
     mrgraph::GraphConfig config;
     if (!opts.str("fasta").empty()) {
@@ -106,6 +130,24 @@ int main(int argc, char** argv) {
     lc.backend = rt::backend_from_name(opts.str("backend"));
     lc.nranks = opts.integer("ranks") > 0 ? static_cast<int>(opts.integer("ranks"))
                                           : rt::default_ranks(lc.backend);
+    if (!opts.str("faults").empty()) {
+      const std::string& spec = opts.str("faults");
+      fault::FaultPlan plan = std::filesystem::exists(spec)
+                                  ? fault::FaultPlan::from_file(spec)
+                                  : fault::FaultPlan::parse(spec);
+      // mrgraph has no fault-tolerant scheduler or checkpointing: losing a
+      // rank or a message would stall the single MapReduce cycle, so only
+      // timeline-shaping faults (slow:, delay:, dup:) are accepted here.
+      bool shaping_only = plan.crashes.empty() && plan.kills.empty() &&
+                          plan.corrupts.empty();
+      for (const fault::MessageFault& m : plan.messages) {
+        shaping_only = shaping_only && m.kind != fault::MessageFault::Kind::Drop;
+      }
+      MRBIO_REQUIRE(shaping_only,
+                    "mrgraph_build supports only slow:/delay:/dup: faults");
+      injector = std::make_unique<fault::Injector>(std::move(plan));
+      lc.injector = injector.get();
+    }
     const bool want_report = opts.flag("report") || !opts.str("report-json").empty();
     std::unique_ptr<trace::Recorder> recorder;
     if (!opts.str("trace").empty() || want_report) {
@@ -115,7 +157,13 @@ int main(int argc, char** argv) {
       lc.recorder = recorder.get();
     }
     obs::Registry registry;
-    if (want_report) lc.metrics = &registry;
+    if (want_report || !opts.str("metrics-out").empty()) lc.metrics = &registry;
+    std::unique_ptr<obs::TimeSeries> timeseries;
+    if (!opts.str("timeseries-out").empty() || want_report) {
+      timeseries = std::make_unique<obs::TimeSeries>(lc.nranks);
+      lc.timeseries = timeseries.get();
+    }
+    lc.eventlog = eventlog.get();
 
     mrgraph::GraphStats stats;
     const rt::LaunchResult run = rt::launch(lc, [&](rt::Rank& rank) {
@@ -150,11 +198,26 @@ int main(int argc, char** argv) {
         if (!opts.str("report-json").empty()) {
           std::FILE* f = std::fopen(opts.str("report-json").c_str(), "w");
           MRBIO_REQUIRE(f != nullptr, "cannot open ", opts.str("report-json"));
-          obs::write_report_json(f, report, &registry);
+          obs::write_report_json(f, report, &registry, timeseries.get());
           std::fclose(f);
           std::printf("report JSON written to %s\n", opts.str("report-json").c_str());
         }
       }
+    }
+    if (!opts.str("timeseries-out").empty()) {
+      std::FILE* f = std::fopen(opts.str("timeseries-out").c_str(), "w");
+      MRBIO_REQUIRE(f != nullptr, "cannot open ", opts.str("timeseries-out"));
+      timeseries->write_jsonl(f);
+      std::fclose(f);
+      std::printf("timeseries written to %s\n", opts.str("timeseries-out").c_str());
+    }
+    if (!opts.str("metrics-out").empty()) {
+      std::FILE* f = std::fopen(opts.str("metrics-out").c_str(), "w");
+      MRBIO_REQUIRE(f != nullptr, "cannot open ", opts.str("metrics-out"));
+      registry.write_json(f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("metrics written to %s\n", opts.str("metrics-out").c_str());
     }
     return 0;
   } catch (const Error& e) {

@@ -27,6 +27,7 @@
 #include "mrsom/mrsom.hpp"
 #include "obs/analysis.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "rt/backend.hpp"
 #include "trace/trace.hpp"
 
@@ -56,6 +57,11 @@ int main(int argc, char** argv) {
   opts.add_flag("trace-full", "with --trace: also record per-message/compute events");
   opts.add_flag("report", "print a critical-path / idle-time performance report");
   opts.add("report-json", "", "write the performance report as JSON to this path");
+  opts.add("timeseries-out", "",
+           "write sampled per-rank counter time series as JSONL to this path");
+  opts.add("metrics-out", "", "write the raw metrics registry as JSON to this path");
+  opts.add("log-json", "",
+           "also write every log line as a structured JSONL event to this path");
   opts.add("faults", "", "fault plan: spec/JSON string, or a path to a plan file; "
                          "requires --style master, enables the fault-tolerant scheduler");
   opts.add("ft-timeout", "5", "with --faults: seconds before an outstanding task is retried");
@@ -69,6 +75,19 @@ int main(int argc, char** argv) {
   try {
     if (!opts.parse(argc, argv)) return 0;
     if (!opts.str("log").empty()) set_log_level(parse_log_level(opts.str("log")));
+    // Install the event-log sink before anything that can emit MRBIO_LOG
+    // lines (checkpoint open, fault-plan parsing), so --log-json captures
+    // the whole run, not just the launch.
+    std::unique_ptr<obs::EventLog> eventlog;
+    if (!opts.str("log-json").empty()) {
+      eventlog = std::make_unique<obs::EventLog>(opts.str("log-json"));
+      set_log_sink(&obs::EventLog::log_sink, eventlog.get());
+    }
+    // Uninstall the sink before `eventlog` is destroyed, on every exit path.
+    const auto sink_guard = std::unique_ptr<void, void (*)(void*)>(
+        eventlog.get(), [](void* p) {
+          if (p != nullptr) set_log_sink(nullptr, nullptr);
+        });
     MRBIO_REQUIRE(opts.str("matrix").empty() != opts.str("fasta").empty(),
                   "provide exactly one of --matrix or --fasta\n", opts.usage());
 
@@ -178,7 +197,13 @@ int main(int argc, char** argv) {
       lc.recorder = recorder.get();
     }
     obs::Registry registry;
-    if (want_report) lc.metrics = &registry;
+    if (want_report || !opts.str("metrics-out").empty()) lc.metrics = &registry;
+    std::unique_ptr<obs::TimeSeries> timeseries;
+    if (!opts.str("timeseries-out").empty() || want_report) {
+      timeseries = std::make_unique<obs::TimeSeries>(lc.nranks);
+      lc.timeseries = timeseries.get();
+    }
+    lc.eventlog = eventlog.get();
     som::Codebook cb;
     const rt::LaunchResult run = rt::launch(lc, [&](rt::Rank& rank) {
       mpi::Comm comm(rank);
@@ -242,11 +267,26 @@ int main(int argc, char** argv) {
       if (!opts.str("report-json").empty()) {
         std::FILE* f = std::fopen(opts.str("report-json").c_str(), "w");
         MRBIO_REQUIRE(f != nullptr, "cannot open ", opts.str("report-json"));
-        obs::write_report_json(f, report, &registry);
+        obs::write_report_json(f, report, &registry, timeseries.get());
         std::fputc('\n', f);
         std::fclose(f);
         std::printf("report: %s\n", opts.str("report-json").c_str());
       }
+    }
+    if (!opts.str("timeseries-out").empty()) {
+      std::FILE* f = std::fopen(opts.str("timeseries-out").c_str(), "w");
+      MRBIO_REQUIRE(f != nullptr, "cannot open ", opts.str("timeseries-out"));
+      timeseries->write_jsonl(f);
+      std::fclose(f);
+      std::printf("timeseries: %s\n", opts.str("timeseries-out").c_str());
+    }
+    if (!opts.str("metrics-out").empty()) {
+      std::FILE* f = std::fopen(opts.str("metrics-out").c_str(), "w");
+      MRBIO_REQUIRE(f != nullptr, "cannot open ", opts.str("metrics-out"));
+      registry.write_json(f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("metrics: %s\n", opts.str("metrics-out").c_str());
     }
     return 0;
   } catch (const fault::JobKillSignal& e) {
