@@ -113,6 +113,7 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
 
   mrmpi::MapReduceConfig mr_config;
   mr_config.map_style = config.map_style;
+  mr_config.scheduler = config.scheduler;
   mr_config.ft = config.ft;
   if (config.memsize_bytes != 0) mr_config.memsize_bytes = config.memsize_bytes;
   if (config.page_bytes != 0) mr_config.page_bytes = config.page_bytes;
@@ -253,7 +254,12 @@ RealRunResult run_blast_mr(mpi::Comm& comm, const RealRunConfig& config) {
       }
       (void)vol;
     };
-    if (config.locality_aware && config.map_style == mrmpi::MapStyle::MasterWorker) {
+    const bool master_sched =
+        config.scheduler == sched::Policy::Master ||
+        config.scheduler == sched::Policy::MasterFt ||
+        (config.scheduler == sched::Policy::Auto &&
+         config.map_style == mrmpi::MapStyle::MasterWorker);
+    if (config.locality_aware && master_sched) {
       mr.map_locality(units, [&](std::uint64_t unit) { return unit % nparts; }, map_fn);
     } else {
       mr.map(units, map_fn);
@@ -370,6 +376,7 @@ BlastxRunResult run_blastx_mr(mpi::Comm& comm, const BlastxRunConfig& config) {
 
   mrmpi::MapReduceConfig mr_config;
   mr_config.map_style = config.map_style;
+  mr_config.scheduler = config.scheduler;
   mr_config.ft = config.ft;
   mrmpi::MapReduce mr(comm, mr_config);
 
@@ -470,6 +477,7 @@ SimRunStats run_blast_sim(mpi::Comm& comm, const SimRunConfig& config) {
 
   mrmpi::MapReduceConfig mr_config;
   mr_config.map_style = config.map_style;
+  mr_config.scheduler = config.scheduler;
   mr_config.ft = config.ft;
   mrmpi::MapReduce mr(comm, mr_config);
 
@@ -524,7 +532,12 @@ SimRunStats run_blast_sim(mpi::Comm& comm, const SimRunConfig& config) {
       kv.add(std::as_bytes(std::span(key.data(), key.size())), {},
              wl.unit_hit_bytes(unit));
     };
-    if (config.locality_aware && config.map_style == mrmpi::MapStyle::MasterWorker) {
+    const bool master_sched =
+        config.scheduler == sched::Policy::Master ||
+        config.scheduler == sched::Policy::MasterFt ||
+        (config.scheduler == sched::Policy::Auto &&
+         config.map_style == mrmpi::MapStyle::MasterWorker);
+    if (config.locality_aware && master_sched) {
       mr.map_locality(
           units, [&](std::uint64_t iter_unit) { return iter_unit % nparts; }, map_fn);
     } else {

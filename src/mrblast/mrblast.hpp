@@ -47,7 +47,11 @@ struct RealRunConfig {
   /// Directory for per-rank result files ("hits.<rank>.tsv").
   std::string output_dir;
   mrmpi::MapStyle map_style = mrmpi::MapStyle::MasterWorker;
-  /// Use the location-aware scheduler (applies in master-worker mode).
+  /// Scheduling policy override; Auto derives from map_style (see
+  /// mrmpi::MapReduceConfig::scheduler). sched::Policy::Steal selects
+  /// decentralized work stealing.
+  sched::Policy scheduler = sched::Policy::Auto;
+  /// Use the location-aware scheduler (applies under a master policy).
   bool locality_aware = false;
   /// Blocks per MapReduce iteration; 0 = all blocks in one cycle.
   std::size_t blocks_per_iteration = 0;
@@ -100,7 +104,11 @@ struct BlastxRunConfig {
   blast::SearchOptions options;
   std::string output_dir;
   mrmpi::MapStyle map_style = mrmpi::MapStyle::MasterWorker;
-  /// Fault tolerance of the master-worker map.
+  /// Scheduling policy override; Auto derives from map_style (see
+  /// mrmpi::MapReduceConfig::scheduler). sched::Policy::Steal selects
+  /// decentralized work stealing.
+  sched::Policy scheduler = sched::Policy::Auto;
+  /// Fault tolerance of the remote schedulers.
   mrmpi::FaultToleranceConfig ft;
 };
 
@@ -120,8 +128,12 @@ BlastxRunResult run_blastx_mr(mpi::Comm& comm, const BlastxRunConfig& config);
 struct SimRunConfig {
   workload::BlastWorkloadConfig workload;
   mrmpi::MapStyle map_style = mrmpi::MapStyle::MasterWorker;
+  /// Scheduling policy override; Auto derives from map_style (see
+  /// mrmpi::MapReduceConfig::scheduler). sched::Policy::Steal selects
+  /// decentralized work stealing.
+  sched::Policy scheduler = sched::Policy::Auto;
   /// Use the location-aware scheduler keyed on the DB partition (applies
-  /// in master-worker mode).
+  /// under a master policy).
   bool locality_aware = false;
   /// Blocks per MapReduce iteration; 0 = all blocks in one cycle.
   std::size_t blocks_per_iteration = 0;

@@ -81,6 +81,7 @@ GraphStats build_graph_mr(mpi::Comm& comm, const GraphConfig& config) {
 
   mrmpi::MapReduceConfig mr_config;
   mr_config.map_style = config.map_style;
+  mr_config.scheduler = config.scheduler;
   mr_config.shuffle = config.shuffle;
   if (config.memsize_bytes > 0) mr_config.memsize_bytes = config.memsize_bytes;
   if (config.page_to_disk) mr_config.page_to_disk = true;

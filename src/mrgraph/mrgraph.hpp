@@ -40,6 +40,10 @@ struct GraphConfig {
   /// Directory for per-rank edge files ("edges.<rank>.tsv"); "" = none.
   std::string output_dir;
   mrmpi::MapStyle map_style = mrmpi::MapStyle::Chunk;
+  /// Scheduling policy override; Auto derives from map_style (see
+  /// mrmpi::MapReduceConfig::scheduler). sched::Policy::Steal selects
+  /// decentralized work stealing.
+  sched::Policy scheduler = sched::Policy::Auto;
   /// Shuffle path under test (combiner / exchange mode / compression).
   mrmpi::ShuffleConfig shuffle;
   /// Virtual seconds charged per alignment cell (|a| x |b| per pair); a

@@ -17,97 +17,6 @@
 namespace mrbio::mrmpi {
 
 namespace {
-// Tags inside the user range, reserved by convention for this library.
-// Being user tags, they are subject to injected message faults, which is
-// what the fault-tolerant protocol's sequence numbers and resends absorb.
-constexpr int kTagTask = 990001;   ///< master -> worker: task id or -1 stop
-constexpr int kTagDone = 990002;   ///< worker -> master: ready for work
-
-// ---------------------------------------------------------------------------
-// Fault-tolerant master-worker wire protocol.
-//
-// Each worker request carries a monotonically increasing sequence number
-// and the worker's incarnation (respawn count); each grant echoes the
-// sequence it answers. Lost messages are handled by resending the request
-// and replaying the cached grant; duplicated or stale messages are
-// discarded by sequence comparison. A grant both commits (or discards)
-// the task the worker just finished and assigns the next one, so the
-// exactly-once decision and the scheduling decision travel in one
-// message.
-
-/// Grant `assign` sentinels (non-negative values are task ids).
-constexpr std::int64_t kAssignStop = -1;        ///< leave the protocol
-constexpr std::int64_t kAssignRetryLater = -2;  ///< nothing now; poll again
-
-struct WireReq {
-  std::uint32_t incarnation = 0;  ///< respawn count of this worker
-  std::uint32_t seq = 0;          ///< request sequence, never reused
-  std::uint8_t dead = 0;          ///< 1 = permanent death notification
-  std::int64_t completed_task = -1;  ///< task finished since last grant
-  std::uint32_t attempt = 0;         ///< attempt number of completed_task
-};
-
-struct WireGrant {
-  std::uint32_t seq = 0;     ///< echo of the request this answers
-  std::uint8_t commit = 0;   ///< absorb (1) or discard (0) the staged task
-  std::int64_t assign = kAssignStop;
-  std::uint32_t attempt = 0;  ///< attempt number of the assigned task
-};
-
-std::vector<std::byte> pack_req(const WireReq& r) {
-  ByteWriter w;
-  w.put(r.incarnation);
-  w.put(r.seq);
-  w.put(r.dead);
-  w.put(r.completed_task);
-  w.put(r.attempt);
-  return w.take();
-}
-
-WireReq unpack_req(const rt::Message& m) {
-  ByteReader r(m.payload);
-  WireReq req;
-  req.incarnation = r.get<std::uint32_t>();
-  req.seq = r.get<std::uint32_t>();
-  req.dead = r.get<std::uint8_t>();
-  req.completed_task = r.get<std::int64_t>();
-  req.attempt = r.get<std::uint32_t>();
-  return req;
-}
-
-std::vector<std::byte> pack_grant(const WireGrant& g) {
-  ByteWriter w;
-  w.put(g.seq);
-  w.put(g.commit);
-  w.put(g.assign);
-  w.put(g.attempt);
-  return w.take();
-}
-
-WireGrant unpack_grant(const rt::Message& m) {
-  ByteReader r(m.payload);
-  WireGrant g;
-  g.seq = r.get<std::uint32_t>();
-  g.commit = r.get<std::uint8_t>();
-  g.assign = r.get<std::int64_t>();
-  g.attempt = r.get<std::uint32_t>();
-  return g;
-}
-
-/// Master-side lifecycle of one task in the exactly-once work ledger.
-enum class TaskState : std::uint8_t { Pending, Outstanding, Done, Failed };
-
-struct TaskEntry {
-  TaskState state = TaskState::Pending;
-  int owner = -1;               ///< worker the newest attempt was granted to
-  std::uint32_t owner_inc = 0;  ///< that worker's incarnation at grant time
-  std::uint32_t attempt = 0;    ///< attempts granted so far
-  double granted = 0.0;         ///< grant time of the newest attempt
-  double deadline = 0.0;        ///< service deadline of the newest attempt
-};
-
-/// RAII Phase span on this rank's lane; a null recorder makes it a no-op.
-/// KV attributes are attached at scope exit via set_kv().
 // ---------------------------------------------------------------------------
 // Map-log record payload (one per committed task):
 //
@@ -136,6 +45,8 @@ bool decode_task_id(std::span<const std::byte> payload, std::uint64_t ntasks,
   }
 }
 
+/// RAII Phase span on this rank's lane; a null recorder makes it a no-op.
+/// KV attributes are attached at scope exit via set_kv().
 class PhaseSpan {
  public:
   PhaseSpan(trace::Recorder* rec, mpi::Comm& comm, const char* name)
@@ -205,56 +116,15 @@ std::uint64_t MapReduce::run_map(std::uint64_t ntasks, const MapFn& fn, bool app
   PhaseSpan span(rec, comm_, "map");
   failed_tasks_.clear();
   KeyValue out = make_kv();
-  const int rank = comm_.rank();
-  const int p = comm_.size();
+  const sched::Policy policy = resolve_policy();
 
   // Replay any checkpointed task outputs for this cycle into `out` before
-  // scheduling; remote master-worker runs share the claims so the master
-  // can pre-mark restored tasks as committed.
-  const bool shared = config_.map_style == MapStyle::MasterWorker && p > 1;
+  // scheduling; remotely scheduled runs (master-worker, steal) share the
+  // claims so the scheduler can pre-mark restored tasks as committed.
+  const bool shared = sched::is_remote(policy) && comm_.size() > 1;
   const std::vector<CkptDoneTask> ckpt_done = ckpt_begin_map(ntasks, out, shared);
 
-  switch (config_.map_style) {
-    case MapStyle::Chunk: {
-      const std::uint64_t lo = ntasks * static_cast<std::uint64_t>(rank) /
-                               static_cast<std::uint64_t>(p);
-      const std::uint64_t hi = ntasks * (static_cast<std::uint64_t>(rank) + 1) /
-                               static_cast<std::uint64_t>(p);
-      for (std::uint64_t t = lo; t < hi; ++t) {
-        run_task_ckpt(fn, t, out, rec);
-      }
-      break;
-    }
-    case MapStyle::Stride: {
-      for (std::uint64_t t = static_cast<std::uint64_t>(rank); t < ntasks;
-           t += static_cast<std::uint64_t>(p)) {
-        run_task_ckpt(fn, t, out, rec);
-      }
-      break;
-    }
-    case MapStyle::MasterWorker: {
-      if (p == 1) {
-        for (std::uint64_t t = 0; t < ntasks; ++t) {
-          run_task_ckpt(fn, t, out, rec);
-        }
-      } else if (rank == 0) {
-        if (config_.ft.enabled) {
-          run_master_ft(ntasks, nullptr, fn, out, ckpt_done);
-        } else {
-          std::set<std::uint64_t> done_ids;
-          for (const CkptDoneTask& d : ckpt_done) done_ids.insert(d.task);
-          run_master(ntasks, done_ids);
-        }
-      } else {
-        if (config_.ft.enabled) {
-          run_worker_ft(fn, out);
-        } else {
-          run_worker(fn, out);
-        }
-      }
-      break;
-    }
-  }
+  run_sched(policy, ntasks, nullptr, fn, out, ckpt_done);
   ckpt_end_map();
 
   if (append) {
@@ -298,56 +168,6 @@ void MapReduce::run_task(const MapFn& fn, std::uint64_t task, KeyValue& out,
   }
 }
 
-void MapReduce::run_master(std::uint64_t ntasks,
-                           const std::set<std::uint64_t>& ckpt_done) {
-  trace::Recorder* rec = phase_recorder();
-  const int workers = comm_.size() - 1;
-  std::uint64_t next = 0;
-  int stopped = 0;
-  // Restored tasks were already replayed on their owners; never hand
-  // them out again.
-  auto skip_done = [&] {
-    while (next < ntasks && ckpt_done.count(next) != 0) ++next;
-  };
-  skip_done();
-  // Each worker announces readiness (initially and after each task); the
-  // master answers with the next task id, or -1 when exhausted.
-  while (stopped < workers) {
-    int src = -1;
-    comm_.recv_value<std::uint8_t>(mpi::kAnySource, kTagDone, &src);
-    const double t0 = comm_.now();
-    if (next < ntasks) {
-      comm_.send_value<std::int64_t>(src, kTagTask, static_cast<std::int64_t>(next));
-      ++next;
-      skip_done();
-    } else {
-      comm_.send_value<std::int64_t>(src, kTagTask, -1);
-      ++stopped;
-    }
-    if (rec != nullptr) {
-      // Master service latency: request handled -> reply sent.
-      rec->add(comm_.rank(), trace::Category::Phase, "mw_service", t0, comm_.now());
-    }
-    if (obs::Registry* reg = metrics(); reg != nullptr) {
-      reg->histogram("mrmpi.master_service_seconds").observe(comm_.now() - t0);
-    }
-    if (obs::TimeSeries* ts = comm_.runtime().timeseries(); ts != nullptr) {
-      ts->sample(comm_.rank(), "mrmpi.pending_tasks", comm_.now(),
-                 static_cast<double>(ntasks - std::min(next, ntasks)));
-    }
-  }
-}
-
-void MapReduce::run_worker(const MapFn& fn, KeyValue& out) {
-  trace::Recorder* rec = phase_recorder();
-  for (;;) {
-    comm_.send_value<std::uint8_t>(0, kTagDone, 1);
-    const auto task = comm_.recv_value<std::int64_t>(0, kTagTask);
-    if (task < 0) break;
-    run_task_ckpt(fn, static_cast<std::uint64_t>(task), out, rec);
-  }
-}
-
 std::uint64_t MapReduce::map_locality(std::uint64_t ntasks, const AffinityFn& affinity,
                                       const MapFn& fn) {
   MRBIO_REQUIRE(affinity != nullptr, "map_locality needs an affinity function");
@@ -355,27 +175,16 @@ std::uint64_t MapReduce::map_locality(std::uint64_t ntasks, const AffinityFn& af
   PhaseSpan span(rec, comm_, "map");
   failed_tasks_.clear();
   KeyValue out = make_kv();
+  // Locality scheduling needs a central grant loop, so static policies
+  // upgrade to the master; steal keeps its decentralized path and ignores
+  // the affinity function (the ledger backstop still honours it).
+  sched::Policy policy = resolve_policy();
+  if (policy == sched::Policy::Chunk || policy == sched::Policy::Stride) {
+    policy = sched::Policy::Master;
+  }
   const std::vector<CkptDoneTask> ckpt_done =
       ckpt_begin_map(ntasks, out, /*shared=*/comm_.size() > 1);
-  if (comm_.size() == 1) {
-    for (std::uint64_t t = 0; t < ntasks; ++t) {
-      run_task_ckpt(fn, t, out, rec);
-    }
-  } else if (comm_.rank() == 0) {
-    if (config_.ft.enabled) {
-      run_master_ft(ntasks, &affinity, fn, out, ckpt_done);
-    } else {
-      std::set<std::uint64_t> done_ids;
-      for (const CkptDoneTask& d : ckpt_done) done_ids.insert(d.task);
-      run_master_locality(ntasks, affinity, done_ids);
-    }
-  } else {
-    if (config_.ft.enabled) {
-      run_worker_ft(fn, out);
-    } else {
-      run_worker(fn, out);
-    }
-  }
+  run_sched(policy, ntasks, &affinity, fn, out, ckpt_done);
   ckpt_end_map();
   kv_ = std::move(out);
   have_kmv_ = false;
@@ -385,507 +194,77 @@ std::uint64_t MapReduce::map_locality(std::uint64_t ntasks, const AffinityFn& af
   return global_count(kv_.size());
 }
 
-void MapReduce::run_master_locality(std::uint64_t ntasks, const AffinityFn& affinity,
-                                    const std::set<std::uint64_t>& ckpt_done) {
-  trace::Recorder* rec = phase_recorder();
-  // Pending tasks grouped by locality key; within a key, FIFO by task id.
-  // Tasks restored from a checkpoint are already accounted for on their
-  // owners and never enter the queue.
-  std::map<std::uint64_t, std::deque<std::uint64_t>> pending;
-  std::uint64_t remaining = 0;
-  for (std::uint64_t t = 0; t < ntasks; ++t) {
-    if (ckpt_done.count(t) != 0) continue;
-    pending[affinity(t)].push_back(t);
-    ++remaining;
+/// Maps the scheduler strategies' execution hooks onto this object's KV
+/// stores and checkpoint journal. One staging buffer suffices: the
+/// fault-tolerant protocols run at most one uncommitted task at a time.
+class MapReduce::ExecImpl final : public sched::Executor {
+ public:
+  ExecImpl(MapReduce& mr, const MapFn& fn, KeyValue& out, trace::Recorder* rec)
+      : mr_(mr), fn_(fn), out_(out), rec_(rec), staging_(mr.make_kv()) {}
+
+  void run_direct(std::uint64_t task, bool retry) override {
+    mr_.run_task_ckpt(fn_, task, out_, rec_, retry ? "map_task_retry" : "map_task");
   }
 
-  std::map<int, std::uint64_t> worker_key;  ///< last key each worker ran
-  const int workers = comm_.size() - 1;
-  int stopped = 0;
-  while (stopped < workers) {
-    int src = -1;
-    comm_.recv_value<std::uint8_t>(mpi::kAnySource, kTagDone, &src);
-    const double t0 = comm_.now();
-    if (remaining == 0) {
-      comm_.send_value<std::int64_t>(src, kTagTask, -1);
-      ++stopped;
-      if (rec != nullptr) {
-        rec->add(comm_.rank(), trace::Category::Phase, "mw_service", t0, comm_.now());
-      }
-      continue;
-    }
-    // Prefer the worker's current key; otherwise hand it the key with the
-    // most remaining tasks so future requests can stay local to it.
-    auto it = pending.end();
-    const auto known = worker_key.find(src);
-    if (known != worker_key.end()) {
-      it = pending.find(known->second);
-      if (it != pending.end() && it->second.empty()) it = pending.end();
-    }
-    if (it == pending.end()) {
-      std::size_t best = 0;
-      for (auto cand = pending.begin(); cand != pending.end(); ++cand) {
-        if (cand->second.size() > best) {
-          best = cand->second.size();
-          it = cand;
-        }
-      }
-    }
-    MRBIO_CHECK(it != pending.end() && !it->second.empty(), "scheduler lost tasks");
-    const std::uint64_t task = it->second.front();
-    it->second.pop_front();
-    if (it->second.empty()) pending.erase(it);
-    worker_key[src] = affinity(task);
-    comm_.send_value<std::int64_t>(src, kTagTask, static_cast<std::int64_t>(task));
-    --remaining;
-    if (rec != nullptr) {
-      rec->add(comm_.rank(), trace::Category::Phase, "mw_service", t0, comm_.now());
-    }
-    if (obs::Registry* reg = metrics(); reg != nullptr) {
-      reg->histogram("mrmpi.master_service_seconds").observe(comm_.now() - t0);
-    }
-    if (obs::TimeSeries* ts = comm_.runtime().timeseries(); ts != nullptr) {
-      ts->sample(comm_.rank(), "mrmpi.pending_tasks", comm_.now(),
-                 static_cast<double>(remaining));
-    }
+  void run_staged(std::uint64_t task, bool retry) override {
+    mr_.run_task(fn_, task, staging_, rec_, retry ? "map_task_retry" : "map_task");
   }
+
+  void commit_staged(std::uint64_t task) override {
+    // Journal at the commit decision, not at task completion: discarded
+    // attempts never reach the map log.
+    mr_.ckpt_record_task(task, staging_);
+    out_.absorb(std::move(staging_));
+    staging_ = mr_.make_kv();
+  }
+
+  void discard_staged() override { staging_ = mr_.make_kv(); }
+
+  void on_crash() override {
+    // Simulated process death: everything the old incarnation held in
+    // memory — staged emissions AND previously committed results — is
+    // lost; the ledger learns this from the incarnation bump (or the dead
+    // flag) and reverts the affected entries.
+    out_.clear();
+    staging_ = mr_.make_kv();
+  }
+
+ private:
+  MapReduce& mr_;
+  const MapFn& fn_;
+  KeyValue& out_;
+  trace::Recorder* rec_;
+  KeyValue staging_;
+};
+
+sched::Policy MapReduce::resolve_policy() const {
+  if (config_.scheduler != sched::Policy::Auto) return config_.scheduler;
+  switch (config_.map_style) {
+    case MapStyle::Chunk: return sched::Policy::Chunk;
+    case MapStyle::Stride: return sched::Policy::Stride;
+    case MapStyle::MasterWorker: return sched::Policy::Master;
+  }
+  return sched::Policy::Master;
 }
 
-void MapReduce::run_master_ft(std::uint64_t ntasks, const AffinityFn* affinity,
-                              const MapFn& fn, KeyValue& out,
-                              const std::vector<CkptDoneTask>& ckpt_done) {
+void MapReduce::run_sched(sched::Policy policy, std::uint64_t ntasks,
+                          const AffinityFn* affinity, const MapFn& fn, KeyValue& out,
+                          const std::vector<CkptDoneTask>& ckpt_done) {
   trace::Recorder* rec = phase_recorder();
-  obs::Registry* reg = metrics();
-  const FaultToleranceConfig& ft = config_.ft;
-  const int nworkers = comm_.size() - 1;
-  fault::Injector* inj = comm_.runtime().faults();
-
-  failed_tasks_.clear();
-
-  // The exactly-once work ledger, plus pending-task buckets keyed by
-  // locality (one bucket, key 0, in plain FIFO mode). Buckets may hold
-  // stale ids — a task can transition away from Pending while queued — so
-  // every pop re-checks the ledger; the state counters below are the
-  // authoritative progress measure.
-  std::vector<TaskEntry> ledger(ntasks);
-  std::map<std::uint64_t, std::deque<std::uint64_t>> pending;
-  auto task_key = [&](std::uint64_t t) {
-    return affinity != nullptr ? (*affinity)(t) : std::uint64_t{0};
-  };
-  for (std::uint64_t t = 0; t < ntasks; ++t) pending[task_key(t)].push_back(t);
-  std::uint64_t npending = ntasks;
-  std::uint64_t noutstanding = 0;
-  std::uint64_t ndone = 0;
-  std::uint64_t nfailed = 0;
-
-  // Tasks restored from a checkpoint enter the ledger as already committed
-  // by their restoring rank, at that rank's CURRENT incarnation: if the
-  // keeper crashes later, revert_worker() puts exactly these tasks back in
-  // play, the same as freshly committed ones (the replayed data died with
-  // the process). The pending buckets keep their stale ids; pop_bucket
-  // re-checks the ledger and discards them.
-  for (const CkptDoneTask& d : ckpt_done) {
-    TaskEntry& e = ledger[d.task];
-    if (e.state != TaskState::Pending) continue;
-    e.state = TaskState::Done;
-    e.owner = d.owner;
-    e.owner_inc = d.owner_inc;
-    --npending;
-    ++ndone;
-  }
-
-  // Outstanding-attempt deadlines, lazily invalidated: an entry counts
-  // only if the ledger still shows that exact deadline outstanding.
-  std::multimap<double, std::uint64_t> expiry;
-
-  // Per-worker transport state persists across map() calls (see the
-  // ft_workers_ comment in the header); only the per-map stop flag resets.
-  // Workers that announced a permanent death in an earlier map are
-  // accounted up front — they may re-announce, but the master must not
-  // depend on that announcement arriving (it can be dropped).
-  ft_workers_.resize(static_cast<std::size_t>(comm_.size()));
-  std::vector<FtWorkerView>& workers = ft_workers_;
-  std::map<int, std::uint64_t> worker_key;  ///< last locality key per worker
-  int accounted = 0;  ///< workers currently stopped or dead
-  for (FtWorkerView& w : workers) {
-    w.stopped = false;
-    if (w.dead) ++accounted;
-  }
-
-  // Crash notifications can still be in flight when the last worker is
-  // stopped, so with an injector present the master lingers for a quiet
-  // window before leaving (see DESIGN.md for the delay-bound assumption).
-  const double quiet_window =
-      inj != nullptr ? std::max(4.0 * ft.worker_poll, 0.2) : 0.0;
-  double quiet_since = comm_.now();
-
-  auto settled = [&] { return ndone + nfailed == ntasks; };
-
-  auto attempt_timeout = [&](std::uint32_t attempt) {
-    return ft.task_timeout * std::pow(ft.backoff, static_cast<double>(attempt - 1));
-  };
-
-  // Pops the next genuinely Pending task from `it`'s bucket, discarding
-  // stale entries; erases emptied buckets. Returns -1 if none.
-  auto pop_bucket = [&](auto it) -> std::int64_t {
-    while (!it->second.empty()) {
-      const std::uint64_t t = it->second.front();
-      it->second.pop_front();
-      if (ledger[t].state == TaskState::Pending) {
-        if (it->second.empty()) pending.erase(it);
-        return static_cast<std::int64_t>(t);
-      }
-    }
-    pending.erase(it);
-    return -1;
-  };
-
-  // Locality-aware choice, same policy as run_master_locality: prefer the
-  // worker's current key, else drain the largest bucket.
-  auto pick_task = [&](int src) -> std::int64_t {
-    if (npending == 0) return -1;
-    if (affinity != nullptr) {
-      const auto known = worker_key.find(src);
-      if (known != worker_key.end()) {
-        const auto it = pending.find(known->second);
-        if (it != pending.end()) {
-          const std::int64_t t = pop_bucket(it);
-          if (t >= 0) return t;
-        }
-      }
-    }
-    while (!pending.empty()) {
-      auto it = pending.begin();
-      if (affinity != nullptr) {
-        for (auto cand = pending.begin(); cand != pending.end(); ++cand) {
-          if (cand->second.size() > it->second.size()) it = cand;
-        }
-      }
-      const std::int64_t t = pop_bucket(it);
-      if (t >= 0) return t;
-    }
-    return -1;
-  };
-
-  auto grant_task = [&](int src, std::uint64_t task) {
-    TaskEntry& e = ledger[task];
-    e.state = TaskState::Outstanding;
-    e.owner = src;
-    e.owner_inc = workers[static_cast<std::size_t>(src)].incarnation;
-    ++e.attempt;
-    e.granted = comm_.now();
-    e.deadline = e.granted + attempt_timeout(e.attempt);
-    expiry.emplace(e.deadline, task);
-    --npending;
-    ++noutstanding;
-    if (affinity != nullptr) worker_key[src] = task_key(task);
-  };
-
-  // Reverts every task owned by `w` at an incarnation older than
-  // `live_inc` back to Pending: the data those attempts produced lived in
-  // the crashed process and is gone, whether or not it was committed.
-  auto revert_worker = [&](int w, std::uint32_t live_inc) {
-    for (std::uint64_t t = 0; t < ntasks; ++t) {
-      TaskEntry& e = ledger[t];
-      if (e.owner != w || e.owner_inc >= live_inc) continue;
-      if (e.state != TaskState::Outstanding && e.state != TaskState::Done) continue;
-      if (e.state == TaskState::Outstanding) {
-        --noutstanding;
-      } else {
-        --ndone;
-      }
-      e.state = TaskState::Pending;
-      e.owner = -1;
-      pending[task_key(t)].push_back(t);
-      ++npending;
-    }
-  };
-
-  // Expires overdue outstanding attempts: retry with a longer deadline
-  // later, or declare the task failed once the budget is spent. Returns
-  // true if anything expired (the wait that noticed it was recovery time).
-  auto handle_expiries = [&] {
-    const double now = comm_.now();
-    bool any = false;
-    while (!expiry.empty() && expiry.begin()->first <= now) {
-      const std::uint64_t t = expiry.begin()->second;
-      const double dl = expiry.begin()->first;
-      expiry.erase(expiry.begin());
-      TaskEntry& e = ledger[t];
-      if (e.state != TaskState::Outstanding || e.deadline != dl) continue;  // stale
-      any = true;
-      --noutstanding;
-      if (reg != nullptr) {
-        reg->histogram("ft.retry_latency_seconds").observe(now - e.granted);
-      }
-      if (obs::EventLog* el = comm_.runtime().eventlog(); el != nullptr) {
-        el->log(LogLevel::Warn, comm_.rank(), "mrmpi",
-                format_msg("task ", t, " attempt ", e.attempt, " timed out on worker ",
-                           e.owner));
-      }
-      if (e.attempt >= static_cast<std::uint32_t>(1 + ft.max_retries)) {
-        e.state = TaskState::Failed;
-        ++nfailed;
-        ++stats_.tasks_failed;
-        if (reg != nullptr) reg->counter("ft.tasks_failed").inc();
-      } else {
-        e.state = TaskState::Pending;
-        e.owner = -1;
-        pending[task_key(t)].push_back(t);
-        ++npending;
-        ++stats_.tasks_retried;
-        if (reg != nullptr) reg->counter("ft.tasks_retried").inc();
-      }
-    }
-    return any;
-  };
-
-  while (true) {
-    handle_expiries();
-    if (obs::TimeSeries* ts = comm_.runtime().timeseries(); ts != nullptr) {
-      ts->sample(comm_.rank(), "mrmpi.pending_tasks", comm_.now(),
-                 static_cast<double>(npending));
-    }
-
-    // Endgame: every worker has left (or died) but reverted/never-granted
-    // tasks remain — run them on the master so a late crash can never
-    // strand work. Graceful degradation beats byte-identity loss.
-    if (accounted == nworkers && npending > 0) {
-      for (std::int64_t t = pick_task(0); t >= 0; t = pick_task(0)) {
-        const std::uint64_t task = static_cast<std::uint64_t>(t);
-        TaskEntry& e = ledger[task];
-        ++e.attempt;
-        run_task_ckpt(fn, task, out, rec,
-                      e.attempt > 1 ? "map_task_retry" : "map_task");
-        e.state = TaskState::Done;
-        e.owner = 0;
-        --npending;
-        ++ndone;
-      }
-      quiet_since = comm_.now();  // restart the crash-notification window
-    }
-
-    if (accounted == nworkers && settled() &&
-        comm_.now() >= quiet_since + quiet_window) {
-      break;
-    }
-
-    double wake = comm_.now() + ft.task_timeout;  // heartbeat
-    if (!expiry.empty()) wake = std::min(wake, expiry.begin()->first);
-    if (accounted == nworkers && settled()) {
-      wake = std::min(wake, quiet_since + quiet_window);
-    }
-
-    rt::Message m;
-    const double t_wait = comm_.now();
-    const rt::RecvStatus st = comm_.recv_bytes_deadline(mpi::kAnySource, kTagDone, wake, &m);
-    if (st != rt::RecvStatus::Ok) {
-      const bool recovered = handle_expiries();
-      const bool draining = accounted == nworkers && settled();
-      if (rec != nullptr && (recovered || draining)) {
-        rec->add(comm_.rank(), trace::Category::Fault, "recovery_wait", t_wait,
-                 comm_.now());
-      }
-      continue;
-    }
-
-    quiet_since = comm_.now();
-    const WireReq req = unpack_req(m);
-    const int src = m.source;
-    MRBIO_CHECK(src >= 1 && src < comm_.size(), "ft request from bad rank ", src);
-    FtWorkerView& w = workers[static_cast<std::size_t>(src)];
-
-    if (req.seq < w.last_seq) continue;  // ancient duplicate: drop
-    if (req.seq == w.last_seq) {
-      // Resend of an answered request: replay the cached grant verbatim.
-      comm_.send_bytes(src, kTagTask, w.cached_grant);
-      continue;
-    }
-
-    const double t0 = comm_.now();
-
-    if (req.incarnation > w.incarnation) {
-      // The worker respawned: everything its older incarnations produced
-      // died with them. Put those tasks back in play.
-      ++stats_.worker_deaths;
-      if (reg != nullptr) reg->counter("ft.worker_deaths").inc();
-      revert_worker(src, req.incarnation);
-      w.incarnation = req.incarnation;
-      worker_key.erase(src);
-      if (w.stopped) {
-        // It was told to leave but crashed first; it is back in the pool.
-        w.stopped = false;
-        --accounted;
-      }
-    }
-
-    WireGrant g;
-    g.seq = req.seq;
-
-    if (req.dead != 0) {
-      // Permanent death: acknowledge with STOP so the notification loop
-      // ends; the incarnation bump above already reverted its tasks.
-      if (!w.dead) {
-        w.dead = true;
-        if (!w.stopped) ++accounted;
-      }
-      g.commit = 0;
-      g.assign = kAssignStop;
-    } else {
-      if (req.completed_task >= 0) {
-        const std::uint64_t task = static_cast<std::uint64_t>(req.completed_task);
-        MRBIO_CHECK(task < ntasks, "ft completion for bad task ", task);
-        TaskEntry& e = ledger[task];
-        if (e.state == TaskState::Done) {
-          g.commit = 0;  // another attempt won; discard this copy
-        } else {
-          // Commit even if the attempt was presumed lost (Pending again
-          // after a timeout) or written off (Failed): the work is real
-          // and the worker holds the data.
-          g.commit = 1;
-          if (e.state == TaskState::Pending) --npending;
-          if (e.state == TaskState::Outstanding) --noutstanding;
-          if (e.state == TaskState::Failed) {
-            --nfailed;
-            --stats_.tasks_failed;
-          }
-          e.state = TaskState::Done;
-          e.owner = src;
-          e.owner_inc = req.incarnation;
-          ++ndone;
-        }
-      }
-      const std::int64_t task = pick_task(src);
-      if (task >= 0) {
-        grant_task(src, static_cast<std::uint64_t>(task));
-        g.assign = task;
-        g.attempt = ledger[static_cast<std::uint64_t>(task)].attempt;
-      } else if (settled()) {
-        g.assign = kAssignStop;
-        if (!w.stopped) {
-          w.stopped = true;
-          ++accounted;
-        }
-      } else {
-        // Work may reappear if an outstanding attempt times out.
-        g.assign = kAssignRetryLater;
-      }
-    }
-
-    w.last_seq = req.seq;
-    w.cached_grant = pack_grant(g);
-    comm_.send_bytes(src, kTagTask, w.cached_grant);
-
-    if (rec != nullptr) {
-      rec->add(comm_.rank(), trace::Category::Phase, "mw_service", t0, comm_.now());
-    }
-    if (reg != nullptr) {
-      reg->histogram("mrmpi.master_service_seconds").observe(comm_.now() - t0);
-    }
-  }
-
-  for (std::uint64_t t = 0; t < ntasks; ++t) {
-    if (ledger[t].state == TaskState::Failed) failed_tasks_.push_back(t);
-  }
-}
-
-void MapReduce::run_worker_ft(const MapFn& fn, KeyValue& out) {
-  trace::Recorder* rec = phase_recorder();
-  const FaultToleranceConfig& ft = config_.ft;
-  fault::Injector* inj = comm_.runtime().faults();
-  const int me = comm_.rank();
-
-  // Protocol identity (ft_incarnation_, ft_seq_) survives both simulated
-  // crashes (a supervisor restarting the worker would replay its
-  // transport-level counters) and map() boundaries — a delayed grant from
-  // an earlier map must never match a fresh request by seq aliasing.
-  /// Permanent crash: only announce, take no work. A rank that crashed
-  /// permanently in an earlier map() of this run stays out of every later
-  /// task protocol too (it still participates in collectives).
-  bool dead = inj != nullptr && inj->permanently_crashed(me);
-
-  // State of the current (crashable) incarnation.
-  std::int64_t completed = -1;  ///< finished task awaiting its commit
-  std::uint32_t completed_attempt = 0;
-  KeyValue staging = make_kv();  ///< emissions of `completed`
-
-  while (true) {
-    try {
-      if (inj != nullptr && !dead) inj->maybe_crash(me, comm_.now());
-
-      WireReq req;
-      req.incarnation = ft_incarnation_;
-      req.seq = ++ft_seq_;
-      req.dead = dead ? 1 : 0;
-      req.completed_task = completed;
-      req.attempt = completed_attempt;
-      const std::vector<std::byte> wire = pack_req(req);
-      comm_.send_bytes(0, kTagDone, wire);
-
-      WireGrant g;
-      int resends = 0;
-      while (true) {
-        rt::Message m;
-        const rt::RecvStatus st = comm_.recv_bytes_deadline(
-            0, kTagTask, comm_.now() + ft.worker_poll, &m);
-        MRBIO_CHECK(st != rt::RecvStatus::PeerDead, "rank ", me,
-                    ": master (rank 0) died; the run cannot recover");
-        if (st == rt::RecvStatus::Timeout) {
-          if (inj != nullptr && !dead) inj->maybe_crash(me, comm_.now());
-          ++resends;
-          MRBIO_CHECK(resends <= ft.max_resends, "rank ", me,
-                      ": master unresponsive after ", resends,
-                      " request resends; giving up");
-          comm_.send_bytes(0, kTagDone, wire);
-          continue;
-        }
-        g = unpack_grant(m);
-        if (g.seq == req.seq) break;
-        // Stale grant for an earlier (resent) request: drain and re-wait.
-      }
-
-      if (completed >= 0) {
-        if (g.commit != 0) {
-          // Journal at the commit decision, not at task completion:
-          // discarded attempts never reach the map log.
-          ckpt_record_task(static_cast<std::uint64_t>(completed), staging);
-          out.absorb(std::move(staging));
-        }
-        staging = make_kv();
-        completed = -1;
-        completed_attempt = 0;
-      }
-      if (g.assign == kAssignStop) return;
-      if (g.assign == kAssignRetryLater) {
-        const double t0 = comm_.now();
-        comm_.sleep_until(comm_.now() + ft.worker_poll);
-        if (rec != nullptr) {
-          rec->add(me, trace::Category::Fault, "retry_wait", t0, comm_.now());
-        }
-        continue;
-      }
-      const std::uint64_t task = static_cast<std::uint64_t>(g.assign);
-      run_task(fn, task, staging, rec,
-               g.attempt > 1 ? "map_task_retry" : "map_task");
-      completed = g.assign;
-      completed_attempt = g.attempt;
-    } catch (const fault::CrashSignal&) {
-      // Simulated process death. Everything the old incarnation held in
-      // memory — staged emissions AND previously committed results — is
-      // lost; the master learns this from the incarnation bump (or the
-      // dead flag) and reverts the affected ledger entries.
-      out.clear();
-      staging = make_kv();
-      completed = -1;
-      completed_attempt = 0;
-      ++ft_incarnation_;
-      dead = inj != nullptr && inj->permanently_crashed(me);
-      if (rec != nullptr) {
-        rec->add(me, trace::Category::Fault,
-                 dead ? "worker_died" : "worker_respawn", comm_.now(), comm_.now());
-      }
-    }
-  }
+  ExecImpl exec(*this, fn, out, rec);
+  sched::SchedStats sstats;
+  sched::MapContext ctx{comm_,          ntasks,        affinity,   config_.ft,
+                        config_.steal,  rec,           &exec,      &sched_state_,
+                        &ckpt_done,     &sstats,       &failed_tasks_};
+  sched::make_scheduler(policy)->execute(ctx);
+  // The fault counters are signed per map (a task can un-fail); the net is
+  // non-negative by the time the scheduler returns.
+  stats_.tasks_retried += static_cast<std::uint64_t>(sstats.tasks_retried);
+  stats_.worker_deaths += static_cast<std::uint64_t>(sstats.worker_deaths);
+  stats_.tasks_failed += static_cast<std::uint64_t>(sstats.tasks_failed);
+  stats_.steals_attempted += sstats.steals_attempted;
+  stats_.steals_succeeded += sstats.steals_succeeded;
+  stats_.tasks_stolen += sstats.tasks_stolen;
 }
 
 std::vector<MapReduce::CkptDoneTask> MapReduce::ckpt_begin_map(std::uint64_t ntasks,
@@ -925,7 +304,7 @@ std::vector<MapReduce::CkptDoneTask> MapReduce::ckpt_begin_map(std::uint64_t nta
     // claim carries the claimant's current incarnation so the master's
     // ledger reverts it correctly if that rank crashes later.
     ByteWriter w;
-    w.put<std::uint32_t>(ft_incarnation_);
+    w.put<std::uint32_t>(sched_state_.incarnation);
     w.put<std::uint64_t>(static_cast<std::uint64_t>(mine.size()));
     for (const auto& [t, payload] : mine) w.put<std::uint64_t>(t);
     const std::vector<std::vector<std::byte>> all = comm_.allgather_bytes(w.take());
@@ -946,7 +325,7 @@ std::vector<MapReduce::CkptDoneTask> MapReduce::ckpt_begin_map(std::uint64_t nta
   } else {
     for (const auto& [t, payload] : mine) {
       keep.insert(t);
-      done.push_back(CkptDoneTask{t, rank, ft_incarnation_});
+      done.push_back(CkptDoneTask{t, rank, sched_state_.incarnation});
     }
   }
 

@@ -24,6 +24,7 @@
 
 #include "mpi/comm.hpp"
 #include "mrmpi/keyvalue.hpp"
+#include "sched/sched.hpp"
 
 namespace mrbio::ckpt {
 class Checkpointer;
@@ -39,35 +40,21 @@ enum class MapStyle {
   MasterWorker,  ///< rank 0 schedules tasks to idle workers (mapstyle 2)
 };
 
-/// Fault tolerance for the MasterWorker styles (map() and map_locality()).
+/// Fault tolerance for the remote schedulers (MasterWorker / Steal).
 ///
-/// When enabled, the master-worker protocol is replaced by a
-/// failure-aware one: every grant carries a sequence number and a commit
-/// decision, workers buffer each task's emissions in a staging store that
-/// is absorbed only after the master commits the task (the exactly-once
+/// When enabled, the scheduling protocol is replaced by a failure-aware
+/// one: every grant carries a sequence number and a commit decision,
+/// workers buffer each task's emissions in a staging store that is
+/// absorbed only after the master commits the task (the exactly-once
 /// work ledger), lost protocol messages are resent, tasks owned by crashed
 /// or timed-out workers are reassigned with exponential backoff, and a
 /// task that exhausts its retry budget is recorded as failed instead of
 /// wedging the run (graceful degradation to partial results; see
-/// MapReduce::failed_tasks()).
+/// MapReduce::failed_tasks()). The knobs live in sched::FtConfig.
 ///
 /// Timeouts are in the backend's time base: virtual seconds on the DES,
 /// wall-clock seconds on the native backend.
-struct FaultToleranceConfig {
-  bool enabled = false;
-  /// Base service deadline for one task (grant to completion report).
-  double task_timeout = 5.0;
-  /// Deadline multiplier per extra attempt of the same task.
-  double backoff = 2.0;
-  /// Extra attempts per task beyond the first; a task failing
-  /// 1 + max_retries times is declared failed.
-  int max_retries = 3;
-  /// Worker-side poll interval: retry-later naps and request resends.
-  double worker_poll = 0.05;
-  /// Consecutive unanswered request resends before a worker gives up and
-  /// fails the run (the master is gone for good).
-  int max_resends = 20;
-};
+using FaultToleranceConfig = sched::FtConfig;
 
 /// How aggregate() moves KV pairs between ranks.
 enum class ExchangeMode {
@@ -103,6 +90,18 @@ struct ShuffleConfig {
 
 struct MapReduceConfig {
   MapStyle map_style = MapStyle::MasterWorker;
+  /// Scheduling policy of map()/map_locality(). Auto (the default) derives
+  /// the policy from map_style — Chunk/Stride map to their static
+  /// schedulers, MasterWorker to the master policy (upgraded to the
+  /// fault-tolerant ledger when ft.enabled) — so existing configurations
+  /// behave exactly as before. Any other value overrides map_style:
+  /// sched::Policy::Steal selects decentralized work stealing (per-rank
+  /// deques seeded with the chunk partition, randomized victim selection,
+  /// token termination; with ft.enabled rank 0 additionally runs the
+  /// exactly-once ledger and every commit goes through it).
+  sched::Policy scheduler = sched::Policy::Auto;
+  /// Work-stealing knobs (batch size, victim-selection seed, idle backoff).
+  sched::StealConfig steal;
   /// Shuffle strategy of aggregate()/collate(); defaults reproduce the
   /// classic flat exchange.
   ShuffleConfig shuffle;
@@ -153,6 +152,10 @@ struct MapReduceStats {
   std::uint64_t tasks_retried = 0;       ///< reassignments after timeout/crash
   std::uint64_t worker_deaths = 0;       ///< crash notifications observed
   std::uint64_t tasks_failed = 0;        ///< tasks that exhausted max_retries
+  // Work-stealing counters (per rank; steal policy only).
+  std::uint64_t steals_attempted = 0;    ///< steal requests this rank sent
+  std::uint64_t steals_succeeded = 0;    ///< requests answered with work
+  std::uint64_t tasks_stolen = 0;        ///< tasks gained via stealing
 };
 
 class MapReduce {
@@ -248,27 +251,22 @@ class MapReduce {
   /// fault-tolerant master records it as committed by `owner` at that
   /// worker's current incarnation, so a later crash of the owner reverts
   /// it exactly like any other committed task.
-  struct CkptDoneTask {
-    std::uint64_t task;
-    int owner;
-    std::uint32_t owner_inc;
-  };
+  using CkptDoneTask = sched::DoneTask;
+
+  /// The sched::Executor this object hands to the scheduler strategies:
+  /// maps task execution, staging, commit/discard and crash-reset onto
+  /// this object's KeyValue stores and checkpoint journal.
+  class ExecImpl;
 
   std::uint64_t run_map(std::uint64_t ntasks, const MapFn& fn, bool append);
-  void run_master(std::uint64_t ntasks, const std::set<std::uint64_t>& ckpt_done);
-  void run_master_locality(std::uint64_t ntasks, const AffinityFn& affinity,
-                           const std::set<std::uint64_t>& ckpt_done);
-  /// Fault-tolerant master: serves both the plain and the locality-aware
-  /// scheduler (null affinity = plain FIFO order). Needs the map function
-  /// because the endgame runs tasks reverted after every worker left (or
-  /// died) locally on rank 0, emitting into `out`.
-  void run_master_ft(std::uint64_t ntasks, const AffinityFn* affinity, const MapFn& fn,
-                     KeyValue& out, const std::vector<CkptDoneTask>& ckpt_done);
+  /// config_.scheduler with Auto resolved from map_style (and ft.enabled).
+  sched::Policy resolve_policy() const;
+  /// Builds the sched::MapContext (executor, protocol state, restored
+  /// tasks) and runs the selected strategy, merging its stats into stats_.
+  void run_sched(sched::Policy policy, std::uint64_t ntasks, const AffinityFn* affinity,
+                 const MapFn& fn, KeyValue& out, const std::vector<CkptDoneTask>& ckpt_done);
   /// A KeyValue configured with this object's paging policy.
   KeyValue make_kv() const;
-  void run_worker(const MapFn& fn, KeyValue& out);
-  /// Fault-tolerant worker: staged emissions, crash respawn, resends.
-  void run_worker_ft(const MapFn& fn, KeyValue& out);
   /// The engine recorder, or null when tracing is off (either globally or
   /// via config_.trace_phases).
   trace::Recorder* phase_recorder();
@@ -310,15 +308,6 @@ class MapReduce {
   void run_task_ckpt(const MapFn& fn, std::uint64_t task, KeyValue& out, trace::Recorder* rec,
                      const char* span_name = "map_task");
 
-  /// Master-side view of one worker in the fault-tolerant protocol.
-  struct FtWorkerView {
-    std::uint32_t incarnation = 0;
-    std::uint32_t last_seq = 0;  ///< newest request seq answered (0 = none)
-    std::vector<std::byte> cached_grant;  ///< replay buffer for last_seq
-    bool stopped = false;  ///< told to leave; may return with a new incarnation
-    bool dead = false;     ///< announced a permanent crash
-  };
-
   mpi::Comm& comm_;
   MapReduceConfig config_;
   KeyValue kv_;
@@ -328,15 +317,13 @@ class MapReduce {
   MapReduceStats stats_;
   std::vector<std::uint64_t> failed_tasks_;
 
-  // Fault-tolerance transport state. This lives on the MapReduce object,
-  // not inside one map() call, because delayed or duplicated protocol
-  // messages can outlive the map that sent them: sequence numbers must be
-  // monotone for the whole life of this object or a stale grant from map N
-  // could alias (and answer) a fresh request in map N+1. `stopped` is the
-  // only per-map field and is reset when a new master loop starts.
-  std::vector<FtWorkerView> ft_workers_;  ///< master side, indexed by rank
-  std::uint32_t ft_seq_ = 0;              ///< worker side: last request seq sent
-  std::uint32_t ft_incarnation_ = 0;      ///< worker side: respawn count
+  // Scheduler transport state (sequence numbers, incarnations, grant and
+  // steal replay caches, the steal epoch). This lives on the MapReduce
+  // object, not inside one map() call, because delayed or duplicated
+  // protocol messages can outlive the map that sent them: sequence numbers
+  // must be monotone for the whole life of this object or a stale grant
+  // from map N could alias (and answer) a fresh request in map N+1.
+  sched::ProtocolState sched_state_;
 
   /// Per-map journaling state; reset by ckpt_begin_map.
   struct CkptMapState {

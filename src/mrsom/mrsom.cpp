@@ -41,13 +41,15 @@ som::Codebook train_som_mr(mpi::Comm& comm, const MatrixView& data,
   // Crash recovery replays map blocks on other workers, so every block's
   // contribution must travel the exactly-once KV path, not a shared
   // rank-local accumulator.
-  const bool deterministic = config.deterministic_reduce || config.ft.enabled;
+  const bool deterministic = config.deterministic_reduce || config.ft.enabled ||
+                             config.scheduler == sched::Policy::Steal;
 
   ckpt::Checkpointer* cp = config.checkpointer;
   const bool ckpt_on = cp != nullptr && cp->enabled();
 
   mrmpi::MapReduceConfig mr_config;
   mr_config.map_style = config.map_style;
+  mr_config.scheduler = config.scheduler;
   mr_config.ft = config.ft;
   // Map-log journaling needs every block's output in the KV store; the
   // non-deterministic path accumulates outside it, so there the map log
@@ -276,6 +278,7 @@ SimSomStats run_som_sim(mpi::Comm& comm, const SimSomConfig& config) {
 
   mrmpi::MapReduceConfig mr_config;
   mr_config.map_style = config.map_style;
+  mr_config.scheduler = config.scheduler;
   mr_config.ft = config.ft;
   mrmpi::MapReduce mr(comm, mr_config);
 

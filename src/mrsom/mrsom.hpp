@@ -27,8 +27,12 @@ struct ParallelSomConfig {
   som::SomParams params;
   std::size_t block_vectors = 40;  ///< input vectors per work unit (Fig. 6)
   mrmpi::MapStyle map_style = mrmpi::MapStyle::MasterWorker;
-  /// Fault tolerance of the master-worker map (see mrmpi::FaultToleranceConfig).
-  /// Enabling it forces deterministic_reduce: the direct-MPI accumulator
+  /// Scheduling policy override; Auto derives from map_style (see
+  /// mrmpi::MapReduceConfig::scheduler). sched::Policy::Steal selects
+  /// decentralized work stealing.
+  sched::Policy scheduler = sched::Policy::Auto;
+  /// Fault tolerance of the remote maps (see mrmpi::FaultToleranceConfig).
+  /// Enabling it (or the steal policy) forces deterministic_reduce: the direct-MPI accumulator
   /// reduction cannot survive worker respawns, the KV path can.
   mrmpi::FaultToleranceConfig ft;
   /// Route each block's accumulator through the KV store (key = block id)
@@ -66,7 +70,11 @@ struct SimSomConfig {
   std::size_t epochs = 10;
   std::size_t block_vectors = 40;
   mrmpi::MapStyle map_style = mrmpi::MapStyle::MasterWorker;
-  /// Fault tolerance of the master-worker map.
+  /// Scheduling policy override; Auto derives from map_style (see
+  /// mrmpi::MapReduceConfig::scheduler). sched::Policy::Steal selects
+  /// decentralized work stealing.
+  sched::Policy scheduler = sched::Policy::Auto;
+  /// Fault tolerance of the remote maps.
   mrmpi::FaultToleranceConfig ft;
   /// Seconds per (dim x cell) pair per input vector. The default yields
   /// roughly minutes-per-epoch serial times at the paper's dimensions

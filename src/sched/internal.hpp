@@ -1,0 +1,201 @@
+// Shared internals of the scheduler strategies: wire formats and the
+// cross-strategy entry points (the fault-tolerant ledger serves both the
+// master-worker and the steal policy). Not part of the public surface.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "rt/runtime.hpp"
+#include "sched/sched.hpp"
+#include "sched/tags.hpp"
+
+namespace mrbio::sched {
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant master-worker wire protocol.
+//
+// Each worker request carries a monotonically increasing sequence number
+// and the worker's incarnation (respawn count); each grant echoes the
+// sequence it answers. Lost messages are handled by resending the request
+// and replaying the cached grant; duplicated or stale messages are
+// discarded by sequence comparison. A grant both commits (or discards)
+// the task the worker just finished and assigns the next one, so the
+// exactly-once decision and the scheduling decision travel in one
+// message.
+
+/// Grant `assign` sentinels (non-negative values are task ids).
+inline constexpr std::int64_t kAssignStop = -1;        ///< leave the protocol
+inline constexpr std::int64_t kAssignRetryLater = -2;  ///< nothing now; poll again
+
+struct WireReq {
+  std::uint32_t incarnation = 0;  ///< respawn count of this worker
+  std::uint32_t seq = 0;          ///< request sequence, never reused
+  std::uint8_t dead = 0;          ///< 1 = permanent death notification
+  std::int64_t completed_task = -1;  ///< task finished since last grant
+  std::uint32_t attempt = 0;         ///< attempt number of completed_task
+  /// 1 = the worker is out of local work and asks the ledger for a task.
+  /// Under the steal policy the ledger only grants to askers (workers
+  /// with live deques report completions with wants = 0); the plain
+  /// master-worker protocol always asks.
+  std::uint8_t wants = 1;
+};
+
+struct WireGrant {
+  std::uint32_t seq = 0;     ///< echo of the request this answers
+  std::uint8_t commit = 0;   ///< absorb (1) or discard (0) the staged task
+  std::int64_t assign = kAssignStop;
+  std::uint32_t attempt = 0;  ///< attempt number of the assigned task
+};
+
+inline std::vector<std::byte> pack_req(const WireReq& r) {
+  ByteWriter w;
+  w.put(r.incarnation);
+  w.put(r.seq);
+  w.put(r.dead);
+  w.put(r.completed_task);
+  w.put(r.attempt);
+  w.put(r.wants);
+  return w.take();
+}
+
+inline WireReq unpack_req(const rt::Message& m) {
+  ByteReader r(m.payload);
+  WireReq req;
+  req.incarnation = r.get<std::uint32_t>();
+  req.seq = r.get<std::uint32_t>();
+  req.dead = r.get<std::uint8_t>();
+  req.completed_task = r.get<std::int64_t>();
+  req.attempt = r.get<std::uint32_t>();
+  req.wants = r.get<std::uint8_t>();
+  return req;
+}
+
+inline std::vector<std::byte> pack_grant(const WireGrant& g) {
+  ByteWriter w;
+  w.put(g.seq);
+  w.put(g.commit);
+  w.put(g.assign);
+  w.put(g.attempt);
+  return w.take();
+}
+
+inline WireGrant unpack_grant(const rt::Message& m) {
+  ByteReader r(m.payload);
+  WireGrant g;
+  g.seq = r.get<std::uint32_t>();
+  g.commit = r.get<std::uint8_t>();
+  g.assign = r.get<std::int64_t>();
+  g.attempt = r.get<std::uint32_t>();
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing wire protocol. Every message is stamped with the sender's
+// map epoch; a message whose epoch differs from the receiver's current
+// map is a straggler from an earlier phase and is dropped.
+
+struct StealReq {
+  std::uint32_t epoch = 0;
+  std::uint32_t seq = 0;  ///< thief-side sequence, monotone across victims
+  std::uint32_t max = 0;  ///< upper bound on tasks in the response
+};
+
+struct StealResp {
+  std::uint32_t epoch = 0;
+  std::uint32_t seq = 0;  ///< echo of the request
+  std::vector<std::uint64_t> tasks;
+};
+
+/// Safra-style termination token, circulated rank -> (rank + 1) % P.
+struct StealToken {
+  std::uint32_t epoch = 0;
+  std::uint8_t black = 0;  ///< a counted message was received mid-probe
+  std::int64_t count = 0;  ///< accumulated work-message balance
+};
+
+inline std::vector<std::byte> pack_steal_req(const StealReq& r) {
+  ByteWriter w;
+  w.put(r.epoch);
+  w.put(r.seq);
+  w.put(r.max);
+  return w.take();
+}
+
+inline StealReq unpack_steal_req(const rt::Message& m) {
+  ByteReader r(m.payload);
+  StealReq rq;
+  rq.epoch = r.get<std::uint32_t>();
+  rq.seq = r.get<std::uint32_t>();
+  rq.max = r.get<std::uint32_t>();
+  return rq;
+}
+
+inline std::vector<std::byte> pack_steal_resp(const StealResp& resp) {
+  ByteWriter w;
+  w.put(resp.epoch);
+  w.put(resp.seq);
+  w.put(static_cast<std::uint32_t>(resp.tasks.size()));
+  for (const std::uint64_t t : resp.tasks) w.put(t);
+  return w.take();
+}
+
+inline StealResp unpack_steal_resp(const rt::Message& m) {
+  ByteReader r(m.payload);
+  StealResp resp;
+  resp.epoch = r.get<std::uint32_t>();
+  resp.seq = r.get<std::uint32_t>();
+  const auto n = r.get<std::uint32_t>();
+  resp.tasks.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) resp.tasks.push_back(r.get<std::uint64_t>());
+  return resp;
+}
+
+inline std::vector<std::byte> pack_token(const StealToken& t) {
+  ByteWriter w;
+  w.put(t.epoch);
+  w.put(t.black);
+  w.put(t.count);
+  return w.take();
+}
+
+inline StealToken unpack_token(const rt::Message& m) {
+  ByteReader r(m.payload);
+  StealToken t;
+  t.epoch = r.get<std::uint32_t>();
+  t.black = r.get<std::uint8_t>();
+  t.count = r.get<std::int64_t>();
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers and cross-strategy entry points.
+
+/// Static chunk partition: tasks [lo, hi) of rank `idx` among `n` parts.
+inline std::uint64_t chunk_lo(std::uint64_t ntasks, int idx, int n) {
+  return ntasks * static_cast<std::uint64_t>(idx) / static_cast<std::uint64_t>(n);
+}
+inline std::uint64_t chunk_hi(std::uint64_t ntasks, int idx, int n) {
+  return ntasks * (static_cast<std::uint64_t>(idx) + 1) / static_cast<std::uint64_t>(n);
+}
+
+/// Degenerate single-rank map: run every task locally in order.
+void run_all_local(MapContext& ctx);
+
+/// The exactly-once ledger on rank 0 (plain-FIFO or locality order via
+/// ctx.affinity). The ledger grants Pending tasks only to workers that
+/// asked (WireReq::wants); plain fault-tolerant workers always ask, while
+/// steal workers ask only once drained — their deque and stolen tasks
+/// stay Pending here until the first completion report commits them, and
+/// first-commit-wins deduplicates any grant/deque overlap.
+void run_ledger_master(MapContext& ctx);
+
+/// Fault-tolerant worker of the master-worker policy.
+void run_ft_worker(MapContext& ctx);
+
+/// Strategy factories (one per translation unit).
+std::unique_ptr<Scheduler> make_master_scheduler(bool force_ft);
+std::unique_ptr<Scheduler> make_steal_scheduler();
+
+}  // namespace mrbio::sched

@@ -1,0 +1,189 @@
+// The master-worker strategy (Sandia mapstyle 2): rank 0 grants task ids
+// to idle workers, optionally preferring locality-key affinity. The
+// fault-tolerant variant lives in master_ft.cpp; this file holds the
+// plain protocol and the strategy object that picks between them.
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "obs/timeseries.hpp"
+#include "sched/internal.hpp"
+
+namespace mrbio::sched {
+
+namespace {
+
+/// Plain master loop: workers announce readiness on kTagDone, the master
+/// answers with the next task id or -1 when exhausted.
+void run_plain_master(MapContext& ctx) {
+  mpi::Comm& comm = ctx.comm;
+  trace::Recorder* rec = ctx.rec;
+  const int workers = comm.size() - 1;
+  const std::uint64_t ntasks = ctx.ntasks;
+  // Restored tasks were already replayed on their owners; never hand
+  // them out again.
+  std::set<std::uint64_t> ckpt_done;
+  if (ctx.restored != nullptr) {
+    for (const DoneTask& d : *ctx.restored) ckpt_done.insert(d.task);
+  }
+  std::uint64_t next = 0;
+  int stopped = 0;
+  auto skip_done = [&] {
+    while (next < ntasks && ckpt_done.count(next) != 0) ++next;
+  };
+  skip_done();
+  while (stopped < workers) {
+    int src = -1;
+    comm.recv_value<std::uint8_t>(mpi::kAnySource, kTagDone, &src);
+    const double t0 = comm.now();
+    if (next < ntasks) {
+      comm.send_value<std::int64_t>(src, kTagTask, static_cast<std::int64_t>(next));
+      ++next;
+      skip_done();
+    } else {
+      comm.send_value<std::int64_t>(src, kTagTask, -1);
+      ++stopped;
+    }
+    if (rec != nullptr) {
+      // Master service latency: request handled -> reply sent.
+      rec->add(comm.rank(), trace::Category::Phase, "mw_service", t0, comm.now());
+    }
+    if (obs::Registry* reg = comm.metrics(); reg != nullptr) {
+      reg->histogram("mrmpi.master_service_seconds").observe(comm.now() - t0);
+    }
+    if (obs::TimeSeries* ts = comm.runtime().timeseries(); ts != nullptr) {
+      ts->sample(comm.rank(), "mrmpi.pending_tasks", comm.now(),
+                 static_cast<double>(ntasks - std::min(next, ntasks)));
+    }
+  }
+}
+
+/// Locality-aware master: prefer the worker's current key, else drain the
+/// key with the most remaining tasks.
+void run_locality_master(MapContext& ctx) {
+  mpi::Comm& comm = ctx.comm;
+  trace::Recorder* rec = ctx.rec;
+  const AffinityFn& affinity = *ctx.affinity;
+  // Pending tasks grouped by locality key; within a key, FIFO by task id.
+  // Tasks restored from a checkpoint are already accounted for on their
+  // owners and never enter the queue.
+  std::set<std::uint64_t> ckpt_done;
+  if (ctx.restored != nullptr) {
+    for (const DoneTask& d : *ctx.restored) ckpt_done.insert(d.task);
+  }
+  std::map<std::uint64_t, std::deque<std::uint64_t>> pending;
+  std::uint64_t remaining = 0;
+  for (std::uint64_t t = 0; t < ctx.ntasks; ++t) {
+    if (ckpt_done.count(t) != 0) continue;
+    pending[affinity(t)].push_back(t);
+    ++remaining;
+  }
+
+  std::map<int, std::uint64_t> worker_key;  ///< last key each worker ran
+  const int workers = comm.size() - 1;
+  int stopped = 0;
+  while (stopped < workers) {
+    int src = -1;
+    comm.recv_value<std::uint8_t>(mpi::kAnySource, kTagDone, &src);
+    const double t0 = comm.now();
+    if (remaining == 0) {
+      comm.send_value<std::int64_t>(src, kTagTask, -1);
+      ++stopped;
+      if (rec != nullptr) {
+        rec->add(comm.rank(), trace::Category::Phase, "mw_service", t0, comm.now());
+      }
+      continue;
+    }
+    // Prefer the worker's current key; otherwise hand it the key with the
+    // most remaining tasks so future requests can stay local to it.
+    auto it = pending.end();
+    const auto known = worker_key.find(src);
+    if (known != worker_key.end()) {
+      it = pending.find(known->second);
+      if (it != pending.end() && it->second.empty()) it = pending.end();
+    }
+    if (it == pending.end()) {
+      std::size_t best = 0;
+      for (auto cand = pending.begin(); cand != pending.end(); ++cand) {
+        if (cand->second.size() > best) {
+          best = cand->second.size();
+          it = cand;
+        }
+      }
+    }
+    MRBIO_CHECK(it != pending.end() && !it->second.empty(),
+                "locality scheduler lost tasks: worker ", src, " asked with key ",
+                known != worker_key.end() ? static_cast<std::int64_t>(known->second)
+                                          : std::int64_t{-1},
+                ", ", remaining, " tasks still pending across ", pending.size(),
+                " keys but no bucket is drainable");
+    const std::uint64_t task = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty()) pending.erase(it);
+    worker_key[src] = affinity(task);
+    comm.send_value<std::int64_t>(src, kTagTask, static_cast<std::int64_t>(task));
+    --remaining;
+    if (rec != nullptr) {
+      rec->add(comm.rank(), trace::Category::Phase, "mw_service", t0, comm.now());
+    }
+    if (obs::Registry* reg = comm.metrics(); reg != nullptr) {
+      reg->histogram("mrmpi.master_service_seconds").observe(comm.now() - t0);
+    }
+    if (obs::TimeSeries* ts = comm.runtime().timeseries(); ts != nullptr) {
+      ts->sample(comm.rank(), "mrmpi.pending_tasks", comm.now(),
+                 static_cast<double>(remaining));
+    }
+  }
+}
+
+void run_plain_worker(MapContext& ctx) {
+  mpi::Comm& comm = ctx.comm;
+  for (;;) {
+    comm.send_value<std::uint8_t>(0, kTagDone, 1);
+    const auto task = comm.recv_value<std::int64_t>(0, kTagTask);
+    if (task < 0) break;
+    ctx.exec->run_direct(static_cast<std::uint64_t>(task), /*retry=*/false);
+  }
+}
+
+class MasterScheduler final : public Scheduler {
+ public:
+  explicit MasterScheduler(bool force_ft) : force_ft_(force_ft) {}
+  const char* name() const override { return force_ft_ ? "master-ft" : "master"; }
+
+  void execute(MapContext& ctx) override {
+    if (ctx.comm.size() == 1) {
+      run_all_local(ctx);
+      return;
+    }
+    const bool ft = force_ft_ || ctx.ft.enabled;
+    if (ctx.comm.rank() == 0) {
+      if (ft) {
+        run_ledger_master(ctx);
+      } else if (ctx.affinity != nullptr) {
+        run_locality_master(ctx);
+      } else {
+        run_plain_master(ctx);
+      }
+    } else {
+      if (ft) {
+        run_ft_worker(ctx);
+      } else {
+        run_plain_worker(ctx);
+      }
+    }
+  }
+
+ private:
+  bool force_ft_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_master_scheduler(bool force_ft) {
+  return std::make_unique<MasterScheduler>(force_ft);
+}
+
+}  // namespace mrbio::sched

@@ -664,8 +664,11 @@ bool Process::has_message(int src, int tag) const {
   impl.check_abort(pcb);
   // Make everything that should have arrived by now visible first.
   impl.drain_events_until(vtime_);
+  // The mailbox may hold entries delivered by a peer whose clock runs ahead
+  // of ours (drain_events_until is global); a probe must stay causal and
+  // only report messages that have arrived by *this* rank's current time.
   for (const auto& entry : pcb.mailbox) {
-    if (matches(entry, src, tag)) return true;
+    if (entry.msg.arrival <= vtime_ && matches(entry, src, tag)) return true;
   }
   return false;
 }

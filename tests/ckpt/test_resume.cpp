@@ -23,6 +23,7 @@
 #include "mrsom/mrsom.hpp"
 #include "obs/metrics.hpp"
 #include "rt/backend.hpp"
+#include "sched/sched.hpp"
 #include "som/som.hpp"
 
 namespace mrbio {
@@ -98,6 +99,7 @@ mrblast::RealRunConfig blast_config(const BlastBed& bed, const std::string& out_
 
 struct BlastRun {
   double elapsed = 0.0;
+  double task_work = 0.0;  ///< total map-task compute across ranks (virtual s)
   bool killed = false;
   std::uint64_t map_tasks = 0;
   std::uint64_t tasks_restored = 0;
@@ -122,10 +124,15 @@ BlastRun run_blast(const mrblast::RealRunConfig& config, fault::Injector* inject
   } catch (const Error&) {
     out.killed = true;
     EXPECT_NE(injector, nullptr) << "fault-free run threw";
-    if (injector != nullptr) EXPECT_GE(injector->stats().kills_fired, 1u);
+    if (injector != nullptr) {
+      EXPECT_GE(injector->stats().kills_fired, 1u);
+    }
   }
   if (const obs::Counter* c = registry.find_counter("mrmpi.map_tasks")) {
     out.map_tasks = c->value();
+  }
+  if (const obs::Histogram* h = registry.find_histogram("mrmpi.task_seconds")) {
+    out.task_work = h->sum();
   }
   if (const obs::Counter* c = registry.find_counter("ckpt.tasks_restored")) {
     out.tasks_restored = c->value();
@@ -190,6 +197,59 @@ TEST_F(ResumeTest, BlastKillResumeIsByteIdenticalAndSkipsCommittedTasks) {
   EXPECT_EQ(resumed.map_tasks + resumed.tasks_restored, clean.map_tasks);
   cp.cleanup_on_success();
   EXPECT_FALSE(std::filesystem::exists(path("ckpt")));
+}
+
+TEST_F(ResumeTest, BlastStealSchedulerKillResumeIsByteIdentical) {
+  // Same kill -> resume cycle under the work-stealing scheduler: hits are
+  // shuffled to deterministic ranks before writing, so the output must
+  // match a clean master-worker run byte for byte even though the
+  // task -> rank placement differs, and resuming must skip the committed
+  // prefix (restored tasks are excluded from the deque seeds and claimed
+  // as done in the shared ledger).
+  const BlastBed bed = make_blast_bed(path("db"));
+
+  auto clean_config = blast_config(bed, path("out_clean"));
+  const BlastRun clean = run_blast(clean_config, nullptr);
+  ASSERT_FALSE(clean.killed);
+
+  // Kill polls only fire at task starts, and under steal the map window
+  // is much shorter than the job elapsed (all ranks run tasks, and token
+  // termination idles the tail), so a fraction of any run's elapsed can
+  // land after the last task start and never fire. Half the ideal map
+  // makespan — total task work spread over every rank — is mid-map by
+  // construction.
+  auto probe_config = blast_config(bed, path("out_probe"));
+  probe_config.scheduler = sched::Policy::Steal;
+  const BlastRun probe = run_blast(probe_config, nullptr);
+  ASSERT_FALSE(probe.killed);
+  ASSERT_GT(probe.task_work, 0.0);
+
+  ckpt::CheckpointConfig cc;
+  cc.dir = path("ckpt");
+  cc.interval = 0.0;
+  fault::Injector killer(fault::FaultPlan::parse(
+      "kill:t=" + std::to_string(0.5 * probe.task_work / kRanks)));
+  auto config = blast_config(bed, path("out_resumed"));
+  config.scheduler = sched::Policy::Steal;
+  {
+    ckpt::Checkpointer cp(cc, &killer);
+    cp.open("blast steal");
+    config.checkpointer = &cp;
+    const BlastRun killed = run_blast(config, &killer);
+    ASSERT_TRUE(killed.killed);
+  }
+
+  cc.resume = true;
+  ckpt::Checkpointer cp(cc, nullptr);
+  cp.open("blast steal");
+  ASSERT_TRUE(cp.resuming());
+  config.checkpointer = &cp;
+  const BlastRun resumed = run_blast(config, nullptr);
+  ASSERT_FALSE(resumed.killed);
+
+  expect_same_hits(path("out_clean"), path("out_resumed"));
+  EXPECT_GT(resumed.tasks_restored, 0u) << "kill fired before any task committed";
+  EXPECT_LT(resumed.map_tasks, clean.map_tasks);
 }
 
 TEST_F(ResumeTest, BlastResumeSurvivesCorruptMapLogs) {

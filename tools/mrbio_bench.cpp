@@ -40,6 +40,7 @@
 #include "obs/analysis.hpp"
 #include "obs/metrics.hpp"
 #include "rt/backend.hpp"
+#include "sched/sched.hpp"
 #include "trace/trace.hpp"
 
 using namespace mrbio;
@@ -279,6 +280,19 @@ BenchFile run_suite(const std::string& suite) {
     config.workload.seed = 1234;
     config.map_style = mrmpi::MapStyle::MasterWorker;
     out.workloads["blast"] = run_workload(
+        [&](mpi::Comm& comm) { mrblast::run_blast_sim(comm, config); },
+        [&] { return static_cast<double>(config.workload.total_queries); });
+  }
+  {  // mrblast under decentralized work stealing: identical inputs to
+    // "blast", so the pair gates the steal scheduler's overhead against
+    // the centralized master on every run.
+    mrblast::SimRunConfig config;
+    config.workload.total_queries = smoke ? 4'000 : 20'000;
+    config.workload.queries_per_block = 500;
+    config.workload.db_partitions = smoke ? 8 : 16;
+    config.workload.seed = 1234;
+    config.scheduler = sched::Policy::Steal;
+    out.workloads["blast_steal"] = run_workload(
         [&](mpi::Comm& comm) { mrblast::run_blast_sim(comm, config); },
         [&] { return static_cast<double>(config.workload.total_queries); });
   }

@@ -54,6 +54,9 @@ int main(int argc, char** argv) {
            "iteration is one checkpoint cycle, so smaller values commit "
            "progress more often");
   opts.add_flag("tapered", "use a tapered block schedule (Section V dynamic chunking)");
+  opts.add("scheduler", "auto",
+           "map scheduler: auto|chunk|stride|master|master-ft|steal "
+           "(auto follows the default master-worker style)");
   opts.add_flag("locality", "use the location-aware scheduler");
   opts.add_flag("no-filter", "disable low-complexity filtering");
   opts.add_flag("exclude-self", "drop hits of shredded fragments on their parent");
@@ -114,6 +117,7 @@ int main(int argc, char** argv) {
     config.partition_paths = db.volume_paths;
     config.output_dir = opts.str("out");
     config.locality_aware = opts.flag("locality");
+    config.scheduler = sched::parse_policy(opts.str("scheduler"));
 
     // Indexed-FASTA input: count records, derive the block schedule.
     const blast::FastaIndex index(opts.str("query"),
@@ -144,10 +148,16 @@ int main(int argc, char** argv) {
       fault::FaultPlan plan = std::filesystem::exists(spec)
                                   ? fault::FaultPlan::from_file(spec)
                                   : fault::FaultPlan::parse(spec);
-      // Crash/message faults need the fault-tolerant scheduler to make
-      // progress; kill/corrupt-only plans exercise checkpoint/restart and
-      // run on whichever scheduler the other flags select.
-      const bool needs_ft = !plan.crashes.empty() || !plan.messages.empty();
+      // Crash/message faults need a fault-tolerant scheduling protocol
+      // (master ledger, or steal backed by the ledger) to make progress;
+      // kill/corrupt-only plans exercise checkpoint/restart and run on
+      // whichever scheduler the other flags select.
+      const bool needs_ft = plan.requires_ft();
+      MRBIO_REQUIRE(!needs_ft || config.scheduler == sched::Policy::Auto ||
+                        sched::is_remote(config.scheduler),
+                    "crash/message faults require --scheduler "
+                    "auto/master/master-ft/steal (recovery needs a remote "
+                    "scheduling protocol)");
       injector = std::make_unique<fault::Injector>(std::move(plan));
       lc.injector = injector.get();
       if (needs_ft) {
@@ -174,6 +184,7 @@ int main(int argc, char** argv) {
          << " filter=" << config.options.filter_low_complexity
          << " exclude-self=" << config.options.exclude_self_hits
          << " locality=" << config.locality_aware
+         << " scheduler=" << sched::policy_name(config.scheduler)
          << " blocks-per-iter=" << config.blocks_per_iteration << " blocks=";
       for (const auto b : config.query_block_sizes) fp << b << ',';
       checkpointer.open(fp.str());

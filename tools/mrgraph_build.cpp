@@ -43,6 +43,9 @@ int main(int argc, char** argv) {
   opts.add("backend", "sim", "runtime backend: sim or native");
   opts.add("ranks", "0", "ranks; 0 = backend default");
   opts.add("style", "chunk", "map style: chunk or master");
+  opts.add("scheduler", "auto",
+           "map scheduler: auto|chunk|stride|master|master-ft|steal "
+           "(auto follows --style)");
   opts.add_flag("combiner", "pre-aggregate same-key pairs per destination");
   opts.add("exchange", "flat", "exchange algorithm: flat or tree");
   opts.add("radix", "2", "tree exchange radix (>= 2)");
@@ -116,6 +119,7 @@ int main(int argc, char** argv) {
                   "--style must be chunk or master");
     config.map_style = opts.str("style") == "chunk" ? mrmpi::MapStyle::Chunk
                                                     : mrmpi::MapStyle::MasterWorker;
+    config.scheduler = sched::parse_policy(opts.str("scheduler"));
     config.shuffle.combiner = opts.flag("combiner");
     MRBIO_REQUIRE(opts.str("exchange") == "flat" || opts.str("exchange") == "tree",
                   "--exchange must be flat or tree");
@@ -142,9 +146,19 @@ int main(int argc, char** argv) {
                           plan.corrupts.empty();
       for (const fault::MessageFault& m : plan.messages) {
         shaping_only = shaping_only && m.kind != fault::MessageFault::Kind::Drop;
+        // Without the ledger (mrgraph has no fault tolerance), a duplicated
+        // steal response would hand the same claims out twice and the lost
+        // second copy would wedge token termination; the master grant loop
+        // tolerates duplication, stealing does not.
+        if (config.scheduler == sched::Policy::Steal) {
+          shaping_only = shaping_only && m.kind != fault::MessageFault::Kind::Duplicate;
+        }
       }
       MRBIO_REQUIRE(shaping_only,
-                    "mrgraph_build supports only slow:/delay:/dup: faults");
+                    config.scheduler == sched::Policy::Steal
+                        ? "mrgraph_build with --scheduler steal supports only "
+                          "slow:/delay: faults"
+                        : "mrgraph_build supports only slow:/delay:/dup: faults");
       injector = std::make_unique<fault::Injector>(std::move(plan));
       lc.injector = injector.get();
     }

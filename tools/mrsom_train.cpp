@@ -46,9 +46,12 @@ int main(int argc, char** argv) {
   opts.add("backend", "sim", "runtime backend: sim (discrete-event) or native (threads)");
   opts.add("ranks", "0", "MPI ranks; 0 = backend default (sim: 8, native: hardware threads)");
   opts.add("style", "chunk", "map style: chunk (deterministic) or master (load-balanced)");
+  opts.add("scheduler", "auto",
+           "map scheduler: auto|chunk|stride|master|master-ft|steal "
+           "(auto follows --style)");
   opts.add_flag("deterministic",
-                "with --style master: schedule-independent reduction, so the "
-                "codebook bytes match a fault-tolerant (--faults) run");
+                "with a dynamic scheduler: schedule-independent reduction, so "
+                "the codebook bytes match a fault-tolerant (--faults) run");
   opts.add("init", "pca", "codebook initialization: pca or random");
   opts.add("seed", "2011", "random seed");
   opts.add("out", "mrsom", "output prefix");
@@ -137,7 +140,13 @@ int main(int argc, char** argv) {
                   "--style must be chunk or master");
     config.map_style = opts.str("style") == "chunk" ? mrmpi::MapStyle::Chunk
                                                     : mrmpi::MapStyle::MasterWorker;
+    config.scheduler = sched::parse_policy(opts.str("scheduler"));
     config.deterministic_reduce = opts.flag("deterministic");
+    // The policy the run will actually use, for fault gating below.
+    const bool remote_sched =
+        sched::is_remote(config.scheduler) ||
+        (config.scheduler == sched::Policy::Auto &&
+         config.map_style == mrmpi::MapStyle::MasterWorker);
 
     rt::LaunchConfig lc;
     lc.backend = rt::backend_from_name(opts.str("backend"));
@@ -148,13 +157,15 @@ int main(int argc, char** argv) {
       fault::FaultPlan plan = std::filesystem::exists(spec)
                                   ? fault::FaultPlan::from_file(spec)
                                   : fault::FaultPlan::parse(spec);
-      // Crash/message faults need the fault-tolerant master-worker
-      // scheduler; kill/corrupt-only plans exercise checkpoint/restart
-      // and run on whichever scheduler --style selects.
-      const bool needs_ft = !plan.crashes.empty() || !plan.messages.empty();
-      MRBIO_REQUIRE(!needs_ft || config.map_style == mrmpi::MapStyle::MasterWorker,
-                    "crash/message faults require --style master (recovery "
-                    "needs the master-worker scheduler)");
+      // Crash/message faults need a fault-tolerant scheduling protocol
+      // (the master ledger, or steal backed by it); kill/corrupt-only
+      // plans exercise checkpoint/restart and run on whichever scheduler
+      // --style/--scheduler selects.
+      const bool needs_ft = plan.requires_ft();
+      MRBIO_REQUIRE(!needs_ft || remote_sched,
+                    "crash/message faults require --style master or "
+                    "--scheduler master/master-ft/steal (recovery needs a "
+                    "remote scheduling protocol)");
       injector = std::make_unique<fault::Injector>(std::move(plan));
       lc.injector = injector.get();
       if (needs_ft) {
@@ -180,6 +191,7 @@ int main(int argc, char** argv) {
          << " grid=" << opts.integer("rows") << 'x' << opts.integer("cols")
          << " epochs=" << opts.integer("epochs") << " block=" << opts.integer("block")
          << " ranks=" << lc.nranks << " style=" << opts.str("style")
+         << " scheduler=" << sched::policy_name(config.scheduler)
          << " deterministic=" << config.deterministic_reduce
          << " init=" << opts.str("init") << " seed=" << opts.integer("seed");
       checkpointer.open(fp.str());
