@@ -1,7 +1,13 @@
 // Kernel micro-benchmarks (google-benchmark): the inner loops whose
 // throughput determines the constants of the cost models used by the
-// figure reproductions.
+// figure reproductions. Every SIMD kernel is registered once per ISA
+// level this machine can run (BM_Simd*/scalar, /sse4.1, /avx2), and a
+// side-by-side speedup table versus the scalar oracle is printed before
+// the benchmark run.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
 
 #include "blast/extend.hpp"
 #include "blast/filter.hpp"
@@ -9,6 +15,7 @@
 #include "blast/sequence.hpp"
 #include "blast/translate.hpp"
 #include "mrmpi/keyvalue.hpp"
+#include "simd/simd.hpp"
 #include "som/som.hpp"
 
 using namespace mrbio;
@@ -177,6 +184,295 @@ void BM_KeyHash(benchmark::State& state) {
 }
 BENCHMARK(BM_KeyHash);
 
+// ---------------------------------------------------------------------------
+// SIMD kernel variants, one registration per runnable ISA level
+
+/// Shared inputs of the per-ISA kernel benchmarks.
+struct SimdBenchData {
+  static const SimdBenchData& get() {
+    static const SimdBenchData d;
+    return d;
+  }
+
+  // diag_scan: identical sequences + match-favouring table, so the scan
+  // always consumes all n pairs (the calibration workload's shape).
+  std::vector<std::uint8_t> seq = random_dna(4'096, 21);
+  std::vector<int> table = [] {
+    std::vector<int> t(32 * 32, -2);
+    for (int a = 0; a < 32; ++a) t[static_cast<std::size_t>(a) * 32 + a] = 1;
+    return t;
+  }();
+
+  // gapped_row_prep: a 256-column window.
+  std::vector<int> h_prev = [] {
+    Rng rng(22);
+    std::vector<int> v(256);
+    for (int& x : v) x = static_cast<int>(rng.below(200)) - 60;
+    return v;
+  }();
+  std::vector<int> f_prev = h_prev;
+  std::vector<std::uint8_t> b_lo = random_dna(257, 23);
+  std::vector<int> score_row = std::vector<int>(32, -3);
+
+  // word scans over 100k residues.
+  std::vector<std::uint8_t> dna = random_dna(100'000, 24);
+  std::vector<std::uint8_t> prot = [] {
+    auto v = random_protein(100'000, 25);
+    v.resize(v.size() + 2, 31);  // prot_words reads s[m+1]
+    return v;
+  }();
+
+  // SOM vectors, dim 256.
+  std::vector<float> xa = [] {
+    Rng rng(26);
+    std::vector<float> v(256);
+    for (float& f : v) f = static_cast<float>(rng.uniform());
+    return v;
+  }();
+  std::vector<float> xb = [] {
+    Rng rng(27);
+    std::vector<float> v(256);
+    for (float& f : v) f = static_cast<float>(rng.uniform());
+    return v;
+  }();
+};
+
+void BM_SimdDiagScan(benchmark::State& state, simd::Isa isa) {
+  const SimdBenchData& d = SimdBenchData::get();
+  const simd::Kernels& k = simd::kernels(isa);
+  for (auto _ : state) {
+    const simd::DiagScanResult r = k.diag_scan(d.seq.data(), d.seq.data(), d.seq.size(),
+                                               false, d.table.data(), 0, 0, 1 << 28);
+    benchmark::DoNotOptimize(r.best);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(d.seq.size()));
+}
+
+void BM_SimdGappedRowPrep(benchmark::State& state, simd::Isa isa) {
+  const SimdBenchData& d = SimdBenchData::get();
+  const simd::Kernels& k = simd::kernels(isa);
+  std::vector<int> d_out(257), f_out(257);
+  std::vector<std::uint8_t> flags(257);
+  for (auto _ : state) {
+    k.gapped_row_prep(d.h_prev.data(), d.f_prev.data(), d.h_prev.size(), d.b_lo.data(),
+                      d.score_row.data(), 7, 2, 257, d_out.data(), f_out.data(),
+                      flags.data());
+    benchmark::DoNotOptimize(d_out[1]);
+  }
+  state.SetItemsProcessed(state.iterations() * 257);
+}
+
+void BM_SimdDnaWords(benchmark::State& state, simd::Isa isa) {
+  const SimdBenchData& d = SimdBenchData::get();
+  const simd::Kernels& k = simd::kernels(isa);
+  const std::uint32_t mask = (1u << 22) - 1;
+  std::uint32_t codes[48];
+  for (auto _ : state) {
+    std::uint32_t word = 0;
+    std::uint64_t hist = 0;
+    std::uint64_t valid = 0;
+    std::uint64_t sum = 0;
+    for (std::size_t base = 0; base < d.dna.size(); base += 48) {
+      const std::size_t m = std::min<std::size_t>(48, d.dna.size() - base);
+      k.dna_words(d.dna.data() + base, m, 11, mask, &word, &hist, codes, &valid);
+      sum += valid;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(d.dna.size()));
+}
+
+void BM_SimdProtWords(benchmark::State& state, simd::Isa isa) {
+  const SimdBenchData& d = SimdBenchData::get();
+  const simd::Kernels& k = simd::kernels(isa);
+  const std::size_t last = d.prot.size() - 2 - 3;  // keep s[m+1] readable
+  std::uint16_t codes[64];
+  for (auto _ : state) {
+    std::uint64_t valid = 0;
+    std::uint64_t sum = 0;
+    for (std::size_t base = 0; base <= last; base += 64) {
+      const std::size_t m = std::min<std::size_t>(64, last - base + 1);
+      k.prot_words(d.prot.data() + base, m, codes, &valid);
+      sum += valid;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(last));
+}
+
+void BM_SimdDist2(benchmark::State& state, simd::Isa isa) {
+  const SimdBenchData& d = SimdBenchData::get();
+  const simd::Kernels& k = simd::kernels(isa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.dist2_f32(d.xa.data(), d.xb.data(), d.xa.size()));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(d.xa.size()));
+}
+
+void BM_SimdOnlineUpdate(benchmark::State& state, simd::Isa isa) {
+  const SimdBenchData& d = SimdBenchData::get();
+  const simd::Kernels& k = simd::kernels(isa);
+  std::vector<float> w = d.xa;
+  for (auto _ : state) {
+    k.online_update_f32(w.data(), d.xb.data(), w.size(), 1e-4);
+    benchmark::DoNotOptimize(w[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(d.xa.size()));
+}
+
+void register_simd_benchmarks() {
+  using Fn = void (*)(benchmark::State&, simd::Isa);
+  constexpr std::pair<const char*, Fn> kKernels[] = {
+      {"BM_SimdDiagScan", BM_SimdDiagScan},
+      {"BM_SimdGappedRowPrep", BM_SimdGappedRowPrep},
+      {"BM_SimdDnaWords", BM_SimdDnaWords},
+      {"BM_SimdProtWords", BM_SimdProtWords},
+      {"BM_SimdDist2", BM_SimdDist2},
+      {"BM_SimdOnlineUpdate", BM_SimdOnlineUpdate},
+  };
+  for (const auto& [name, fn] : kKernels) {
+    for (const simd::Isa isa : simd::runnable_isas()) {
+      benchmark::RegisterBenchmark(
+          (std::string(name) + "/" + simd::isa_name(isa)).c_str(), fn, isa);
+    }
+  }
+}
+
+/// Quick self-timed side-by-side table: items/s per level and speedup vs
+/// scalar, independent of the google-benchmark output format.
+void print_simd_speedups() {
+  const auto time_loop = [](const auto& body, double items_per_call) {
+    using clock = std::chrono::steady_clock;
+    // Warm up, then run for ~40 ms.
+    body();
+    const clock::time_point t0 = clock::now();
+    std::size_t calls = 0;
+    while (std::chrono::duration<double>(clock::now() - t0).count() < 0.04) {
+      for (int i = 0; i < 8; ++i) body();
+      calls += 8;
+    }
+    const double secs = std::chrono::duration<double>(clock::now() - t0).count();
+    return items_per_call * static_cast<double>(calls) / secs;
+  };
+
+  const std::vector<simd::Isa> isas = simd::runnable_isas();
+  std::printf("\n-- SIMD kernel speedups vs scalar (items/s; higher is better) --\n");
+  std::printf("%-22s", "kernel");
+  for (const simd::Isa isa : isas) std::printf(" %14s", simd::isa_name(isa));
+  std::printf("  best speedup\n");
+
+  const auto report = [&](const char* name, const auto& make_body,
+                          double items_per_call) {
+    std::printf("%-22s", name);
+    double scalar_rate = 0.0;
+    double best = 0.0;
+    for (const simd::Isa isa : isas) {
+      const auto body = make_body(isa);
+      const double rate = time_loop(body, items_per_call);
+      if (isa == simd::Isa::Scalar) scalar_rate = rate;
+      best = std::max(best, scalar_rate > 0.0 ? rate / scalar_rate : 0.0);
+      std::printf(" %14.4g", rate);
+    }
+    std::printf("  %.2fx\n", best);
+  };
+
+  const SimdBenchData& d = SimdBenchData::get();
+  report(
+      "diag_scan",
+      [&](simd::Isa isa) {
+        const simd::Kernels* k = &simd::kernels(isa);
+        return [&d, k] {
+          benchmark::DoNotOptimize(k->diag_scan(d.seq.data(), d.seq.data(), d.seq.size(),
+                                               false, d.table.data(), 0, 0, 1 << 28));
+        };
+      },
+      static_cast<double>(d.seq.size()));
+  report(
+      "gapped_row_prep",
+      [&](simd::Isa isa) {
+        const simd::Kernels* k = &simd::kernels(isa);
+        return [&d, k] {
+          int d_out[257], f_out[257];
+          std::uint8_t flags[257];
+          k->gapped_row_prep(d.h_prev.data(), d.f_prev.data(), d.h_prev.size(),
+                            d.b_lo.data(), d.score_row.data(), 7, 2, 257, d_out, f_out,
+                            flags);
+          benchmark::DoNotOptimize(d_out[1]);
+        };
+      },
+      257.0);
+  report(
+      "dna_words",
+      [&](simd::Isa isa) {
+        const simd::Kernels* k = &simd::kernels(isa);
+        return [&d, k] {
+          const std::uint32_t mask = (1u << 22) - 1;
+          std::uint32_t codes[48];
+          std::uint32_t word = 0;
+          std::uint64_t hist = 0, valid = 0, sum = 0;
+          for (std::size_t base = 0; base < d.dna.size(); base += 48) {
+            const std::size_t m = std::min<std::size_t>(48, d.dna.size() - base);
+            k->dna_words(d.dna.data() + base, m, 11, mask, &word, &hist, codes, &valid);
+            sum += valid;
+          }
+          benchmark::DoNotOptimize(sum);
+        };
+      },
+      static_cast<double>(d.dna.size()));
+  report(
+      "prot_words",
+      [&](simd::Isa isa) {
+        const simd::Kernels* k = &simd::kernels(isa);
+        return [&d, k] {
+          const std::size_t last = d.prot.size() - 2 - 3;
+          std::uint16_t codes[64];
+          std::uint64_t valid = 0, sum = 0;
+          for (std::size_t base = 0; base <= last; base += 64) {
+            const std::size_t m = std::min<std::size_t>(64, last - base + 1);
+            k->prot_words(d.prot.data() + base, m, codes, &valid);
+            sum += valid;
+          }
+          benchmark::DoNotOptimize(sum);
+        };
+      },
+      static_cast<double>(d.prot.size()));
+  report(
+      "dist2_f32",
+      [&](simd::Isa isa) {
+        const simd::Kernels* k = &simd::kernels(isa);
+        return [&d, k] {
+          benchmark::DoNotOptimize(k->dist2_f32(d.xa.data(), d.xb.data(), d.xa.size()));
+        };
+      },
+      static_cast<double>(d.xa.size()));
+  report(
+      "online_update_f32",
+      [&](simd::Isa isa) {
+        const simd::Kernels* k = &simd::kernels(isa);
+        return [&d, k] {
+          static std::vector<float> w = d.xa;
+          k->online_update_f32(w.data(), d.xb.data(), w.size(), 1e-4);
+          benchmark::DoNotOptimize(w[0]);
+        };
+      },
+      static_cast<double>(d.xa.size()));
+
+  std::printf("calibrated seconds/cell:");
+  for (const simd::Isa isa : isas) {
+    std::printf(" %s=%.3g", simd::isa_name(isa),
+                simd::calibrated_seconds_per_cell(isa));
+  }
+  std::printf("\n\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_simd_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  print_simd_speedups();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -43,7 +43,7 @@ fi
 # The series number bumps whenever the workload matrix itself changes
 # (which also requires a fresh baseline); the JSON carries schema_version
 # separately.
-series=8
+series=9
 out="BENCH_${series}.json"
 "$bench" run --suite "$suite" --out "$out"
 

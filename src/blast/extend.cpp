@@ -4,6 +4,7 @@
 #include <climits>
 
 #include "common/error.hpp"
+#include "simd/simd.hpp"
 
 namespace mrbio::blast {
 
@@ -28,19 +29,18 @@ UngappedSegment extend_ungapped(std::span<const std::uint8_t> query,
     }
   }
 
+  const simd::Kernels& kern = simd::kernels();
+
   // Rightward X-drop extension.
   {
-    int run = score;
-    std::size_t q = q_pos + word_len;
-    std::size_t s = s_pos + word_len;
-    while (q < query.size() && s < subject.size() && run > best - xdrop) {
-      run += scorer.score(query[q], subject[s]);
-      ++q;
-      ++s;
-      if (run > best) {
-        best = run;
-        best_q_end = q;
-      }
+    const std::size_t n = std::min(query.size() - (q_pos + word_len),
+                                   subject.size() - (s_pos + word_len));
+    const simd::DiagScanResult r =
+        kern.diag_scan(query.data() + q_pos + word_len, subject.data() + s_pos + word_len, n,
+                       false, scorer.table(), score, best, xdrop);
+    if (r.best > best) {
+      best = r.best;
+      best_q_end = q_pos + word_len + r.best_len;
     }
   }
   seg.q_end = best_q_end;
@@ -50,23 +50,13 @@ UngappedSegment extend_ungapped(std::span<const std::uint8_t> query,
   // Leftward X-drop extension from just before the seed.
   int left_gain = 0;
   {
-    int run = 0;
-    int best_left = 0;
-    std::size_t back = 0;
-    std::size_t best_back = 0;
-    while (q_pos > back && s_pos > back && run > best_left - xdrop) {
-      const std::size_t q = q_pos - back - 1;
-      const std::size_t s = s_pos - back - 1;
-      run += scorer.score(query[q], subject[s]);
-      ++back;
-      if (run > best_left) {
-        best_left = run;
-        best_back = back;
-      }
-    }
-    seg.q_start = q_pos - best_back;
-    seg.s_start = s_pos - best_back;
-    left_gain = best_left;
+    const std::size_t n = std::min(q_pos, s_pos);
+    const simd::DiagScanResult r =
+        kern.diag_scan(query.data() + q_pos, subject.data() + s_pos, n, true, scorer.table(),
+                       0, 0, xdrop);
+    seg.q_start = q_pos - r.best_len;
+    seg.s_start = s_pos - r.best_len;
+    left_gain = r.best;
   }
 
   seg.score = right_best + left_gain;
@@ -80,7 +70,7 @@ UngappedSegment extend_ungapped(std::span<const std::uint8_t> query,
 
 namespace {
 
-constexpr int kNegInf = INT_MIN / 4;
+constexpr int kNegInf = simd::kNegInf;  // == INT_MIN / 4, shared with the kernels
 
 // Traceback flags per cell.
 constexpr std::uint8_t kHDiag = 0;
@@ -117,6 +107,15 @@ DirResult extend_dir(std::span<const std::uint8_t> a, std::span<const std::uint8
                      const Scorer& scorer, int xdrop) {
   const int open_first = scorer.gap_open() + scorer.gap_extend();  ///< cost of gap length 1
   const int ext = scorer.gap_extend();
+  const simd::Kernels& kern = simd::kernels();
+
+  // Per-row F/D candidates, precomputed by the dispatched kernel. The
+  // sequential E-chain, pruning and traceback below stay scalar and are
+  // shared by every ISA level, which is what keeps gapped alignments
+  // bit-identical across --simd settings.
+  std::vector<int> d_buf;
+  std::vector<int> f_buf;
+  std::vector<std::uint8_t> fflag_buf;
 
   std::vector<TbRow> rows;
   int best = 0;
@@ -156,8 +155,20 @@ DirResult extend_dir(std::span<const std::uint8_t> a, std::span<const std::uint8
     row.lo = lo;
     std::vector<int> h_cur;
     std::vector<int> f_cur;
-    h_cur.reserve(hi - lo + 1);
-    f_cur.reserve(hi - lo + 1);
+    const std::size_t m = hi - lo + 1;
+    h_cur.reserve(m);
+    f_cur.reserve(m);
+
+    // Vertical (gap in b) and diagonal candidates for the whole row: both
+    // read only the previous row, so they vectorize. lo == lo_prev, so
+    // window offsets t = j - lo line up with the previous row directly.
+    d_buf.resize(m);
+    f_buf.resize(m);
+    fflag_buf.resize(m);
+    const int* score_row = scorer.table() + static_cast<std::size_t>(a[i - 1]) * kScoreDim;
+    kern.gapped_row_prep(h_prev.data(), f_prev.data(), h_prev.size(), b.data() + lo,
+                         score_row, open_first, ext, m, d_buf.data(), f_buf.data(),
+                         fflag_buf.data());
 
     int e_run = kNegInf;  // E state carried left-to-right within the row
     bool any_alive = false;
@@ -165,20 +176,9 @@ DirResult extend_dir(std::span<const std::uint8_t> a, std::span<const std::uint8
     std::size_t last_alive = 0;
 
     for (std::size_t j = lo; j <= hi; ++j) {
-      // Vertical (gap in b): from previous row, same j.
-      int f = kNegInf;
-      std::uint8_t tb = 0;
-      if (j >= lo_prev && j <= hi_prev) {
-        const std::size_t pj = j - lo_prev;
-        const int from_h = h_prev[pj] > kNegInf ? h_prev[pj] - open_first : kNegInf;
-        const int from_f = f_prev[pj] > kNegInf ? f_prev[pj] - ext : kNegInf;
-        if (from_f > from_h) {
-          f = from_f;
-          tb |= kFExtend;
-        } else {
-          f = from_h;
-        }
-      }
+      const std::size_t t = j - lo;
+      int f = f_buf[t];
+      std::uint8_t tb = fflag_buf[t] ? kFExtend : std::uint8_t{0};
 
       // Horizontal (gap in a): from current row, previous j.
       int e = kNegInf;
@@ -195,12 +195,7 @@ DirResult extend_dir(std::span<const std::uint8_t> a, std::span<const std::uint8
       }
       e_run = e;
 
-      // Diagonal.
-      int d = kNegInf;
-      if (j > 0 && j - 1 >= lo_prev && j - 1 <= hi_prev) {
-        const int prev = h_prev[j - 1 - lo_prev];
-        if (prev > kNegInf) d = prev + scorer.score(a[i - 1], b[j - 1]);
-      }
+      const int d = d_buf[t];
 
       int h = std::max({d, e, f});
       if (h == d && d > kNegInf) {

@@ -1,8 +1,10 @@
 #include "blast/lookup.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/error.hpp"
+#include "simd/simd.hpp"
 
 namespace mrbio::blast {
 
@@ -13,20 +15,29 @@ NucLookup::NucLookup(std::span<const std::uint8_t> concat, int word_size)
                 word_size);
   const std::size_t nbuckets = std::size_t{1} << (2 * word_size);
   const std::uint32_t mask = static_cast<std::uint32_t>(nbuckets - 1);
+  const simd::Kernels& kern = simd::kernels();
 
-  // Pass 1: count words. A word is indexable only if all its bases are
-  // unambiguous; `run` tracks the number of consecutive clean bases.
+  // Both passes scan the concatenation in 48-byte blocks through the
+  // word-scan kernel: codes[i] is the rolling packed word ending at block
+  // position i, and a set valid bit means all word_size bases ending
+  // there are unambiguous (the kernel carries word/history across
+  // blocks). A word is indexable only if it's valid — garbage codes at
+  // invalid positions are never read.
+  constexpr std::size_t kBlock = 48;
+  std::uint32_t codes[kBlock];
+  std::uint64_t valid = 0;
+
+  // Pass 1: count words.
   std::vector<std::uint32_t> counts(nbuckets + 1, 0);
   std::uint32_t word = 0;
-  int run = 0;
-  for (std::size_t i = 0; i < concat.size(); ++i) {
-    const std::uint8_t c = concat[i];
-    if (c < kDnaAlphabet) {
-      word = ((word << 2) | c) & mask;
-      ++run;
-      if (run >= word_size) ++counts[word];
-    } else {
-      run = 0;
+  std::uint64_t hist = 0;
+  for (std::size_t base = 0; base < concat.size(); base += kBlock) {
+    const std::size_t m = std::min(kBlock, concat.size() - base);
+    kern.dna_words(concat.data() + base, m, word_size, mask, &word, &hist, codes, &valid);
+    while (valid != 0) {
+      const int i = std::countr_zero(valid);
+      valid &= valid - 1;
+      ++counts[codes[i]];
     }
   }
 
@@ -34,21 +45,19 @@ NucLookup::NucLookup(std::span<const std::uint8_t> concat, int word_size)
   for (std::size_t b = 0; b < nbuckets; ++b) starts_[b + 1] = starts_[b] + counts[b];
   positions_.resize(starts_[nbuckets]);
 
-  // Pass 2: fill. Positions are the offsets of the word's first base.
+  // Pass 2: fill. Positions are the offsets of the word's first base;
+  // valid bits iterate lowest-first, so positions stay in ascending order.
   std::vector<std::uint32_t> cursor(starts_.begin(), starts_.end() - 1);
   word = 0;
-  run = 0;
-  for (std::size_t i = 0; i < concat.size(); ++i) {
-    const std::uint8_t c = concat[i];
-    if (c < kDnaAlphabet) {
-      word = ((word << 2) | c) & mask;
-      ++run;
-      if (run >= word_size) {
-        positions_[cursor[word]++] =
-            static_cast<std::uint32_t>(i + 1 - static_cast<std::size_t>(word_size));
-      }
-    } else {
-      run = 0;
+  hist = 0;
+  for (std::size_t base = 0; base < concat.size(); base += kBlock) {
+    const std::size_t m = std::min(kBlock, concat.size() - base);
+    kern.dna_words(concat.data() + base, m, word_size, mask, &word, &hist, codes, &valid);
+    while (valid != 0) {
+      const int i = std::countr_zero(valid);
+      valid &= valid - 1;
+      positions_[cursor[codes[i]]++] = static_cast<std::uint32_t>(
+          base + static_cast<std::size_t>(i) + 1 - static_cast<std::size_t>(word_size));
     }
   }
 }
@@ -69,31 +78,47 @@ ProtLookup::ProtLookup(std::span<const std::uint8_t> concat, int threshold,
     row_max[static_cast<std::size_t>(a)] = mx;
   }
 
-  // Collect (bucket, position) pairs, then bucket-sort into the flat table.
+  // Collect (bucket, position) pairs, then bucket-sort into the flat
+  // table. The word-scan kernel yields packed codes plus a validity mask
+  // per 64-position block (a set bit means all three residues are
+  // standard); only the neighbourhood enumeration stays scalar.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
-  for (std::size_t i = 0; i + kWordSize <= concat.size(); ++i) {
-    const std::uint8_t q0 = concat[i];
-    const std::uint8_t q1 = concat[i + 1];
-    const std::uint8_t q2 = concat[i + 2];
-    if (q0 >= kProtAlphabet || q1 >= kProtAlphabet || q2 >= kProtAlphabet) continue;
-    const auto pos = static_cast<std::uint32_t>(i);
+  if (concat.size() >= kWordSize) {
+    const simd::Kernels& kern = simd::kernels();
+    constexpr std::size_t kBlock = 64;
+    std::uint16_t codes[kBlock];
+    std::uint64_t valid = 0;
+    const std::size_t last = concat.size() - kWordSize;  // last word start
+    for (std::size_t base = 0; base <= last; base += kBlock) {
+      const std::size_t m = std::min(kBlock, last - base + 1);
+      kern.prot_words(concat.data() + base, m, codes, &valid);
+      while (valid != 0) {
+        const int bi = std::countr_zero(valid);
+        valid &= valid - 1;
+        const std::size_t i = base + static_cast<std::size_t>(bi);
+        const auto pos = static_cast<std::uint32_t>(i);
 
-    if (threshold <= 0) {
-      entries.emplace_back(pack(q0, q1, q2), pos);
-      continue;
-    }
+        if (threshold <= 0) {
+          entries.emplace_back(codes[bi], pos);
+          continue;
+        }
 
-    const int max1 = row_max[q1];
-    const int max2 = row_max[q2];
-    for (std::uint8_t w0 = 0; w0 < kProtAlphabet; ++w0) {
-      const int s0 = scorer.score(q0, w0);
-      if (s0 + max1 + max2 < threshold) continue;
-      for (std::uint8_t w1 = 0; w1 < kProtAlphabet; ++w1) {
-        const int s01 = s0 + scorer.score(q1, w1);
-        if (s01 + max2 < threshold) continue;
-        for (std::uint8_t w2 = 0; w2 < kProtAlphabet; ++w2) {
-          if (s01 + scorer.score(q2, w2) >= threshold) {
-            entries.emplace_back(pack(w0, w1, w2), pos);
+        const std::uint8_t q0 = concat[i];
+        const std::uint8_t q1 = concat[i + 1];
+        const std::uint8_t q2 = concat[i + 2];
+        const int max1 = row_max[q1];
+        const int max2 = row_max[q2];
+        for (std::uint8_t w0 = 0; w0 < kProtAlphabet; ++w0) {
+          const int s0 = scorer.score(q0, w0);
+          if (s0 + max1 + max2 < threshold) continue;
+          for (std::uint8_t w1 = 0; w1 < kProtAlphabet; ++w1) {
+            const int s01 = s0 + scorer.score(q1, w1);
+            if (s01 + max2 < threshold) continue;
+            for (std::uint8_t w2 = 0; w2 < kProtAlphabet; ++w2) {
+              if (s01 + scorer.score(q2, w2) >= threshold) {
+                entries.emplace_back(pack(w0, w1, w2), pos);
+              }
+            }
           }
         }
       }

@@ -39,6 +39,9 @@ class Scorer {
   /// Score of the best possible residue pairing (used for seed thresholds).
   int max_score() const { return max_score_; }
 
+  /// The raw 32x32 row-major table, for the SIMD extension kernels.
+  const int* table() const { return table_.data(); }
+
   int gap_open() const { return gap_open_; }
   int gap_extend() const { return gap_extend_; }
   SeqType type() const { return type_; }

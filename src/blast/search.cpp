@@ -1,6 +1,7 @@
 #include "blast/search.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <span>
 
@@ -8,6 +9,7 @@
 #include "blast/filter.hpp"
 #include "blast/lookup.hpp"
 #include "common/error.hpp"
+#include "simd/simd.hpp"
 
 namespace mrbio::blast {
 
@@ -248,34 +250,45 @@ std::vector<QueryResult> BlastSearcher::search(const std::vector<Sequence>& quer
       d.last_end = std::max(d.last_end, static_cast<std::int64_t>(aln.s_end));
     };
 
+    // Subject word scans run through the dispatched word kernels in
+    // blocks; valid bits iterate lowest-first, so word hits arrive in the
+    // same ascending subject order as the scalar scans did.
+    const simd::Kernels& kern = simd::kernels();
     if (dna) {
       const auto w = static_cast<std::size_t>(options_.word_size);
       const std::uint32_t mask =
           static_cast<std::uint32_t>((std::uint64_t{1} << (2 * w)) - 1);
+      constexpr std::size_t kBlock = 48;
+      std::uint32_t codes[kBlock];
+      std::uint64_t valid = 0;
       std::uint32_t word = 0;
-      std::size_t run = 0;
-      for (std::size_t i = 0; i < sdata.size(); ++i) {
-        const std::uint8_t c = sdata[i];
-        if (c < kDnaAlphabet) {
-          word = ((word << 2) | c) & mask;
-          ++run;
-          if (run >= w) {
-            for (const std::uint32_t qpos : nuc_lookup->hits(word)) {
-              handle_hit(qpos, i + 1 - w);
-            }
+      std::uint64_t hist = 0;
+      for (std::size_t base = 0; base < sdata.size(); base += kBlock) {
+        const std::size_t m = std::min(kBlock, sdata.size() - base);
+        kern.dna_words(sdata.data() + base, m, options_.word_size, mask, &word, &hist,
+                       codes, &valid);
+        while (valid != 0) {
+          const int bi = std::countr_zero(valid);
+          valid &= valid - 1;
+          for (const std::uint32_t qpos : nuc_lookup->hits(codes[bi])) {
+            handle_hit(qpos, base + static_cast<std::size_t>(bi) + 1 - w);
           }
-        } else {
-          run = 0;
         }
       }
     } else {
-      for (std::size_t i = 0; i + ProtLookup::kWordSize <= sdata.size(); ++i) {
-        const std::uint8_t a = sdata[i];
-        const std::uint8_t b = sdata[i + 1];
-        const std::uint8_t c = sdata[i + 2];
-        if (a >= kProtAlphabet || b >= kProtAlphabet || c >= kProtAlphabet) continue;
-        for (const std::uint32_t qpos : prot_lookup->hits(ProtLookup::pack(a, b, c))) {
-          handle_hit(qpos, i);
+      constexpr std::size_t kBlock = 64;
+      std::uint16_t codes[kBlock];
+      std::uint64_t valid = 0;
+      const std::size_t last = sdata.size() - ProtLookup::kWordSize;  // last word start
+      for (std::size_t base = 0; base <= last; base += kBlock) {
+        const std::size_t m = std::min(kBlock, last - base + 1);
+        kern.prot_words(sdata.data() + base, m, codes, &valid);
+        while (valid != 0) {
+          const int bi = std::countr_zero(valid);
+          valid &= valid - 1;
+          for (const std::uint32_t qpos : prot_lookup->hits(codes[bi])) {
+            handle_hit(qpos, base + static_cast<std::size_t>(bi));
+          }
         }
       }
     }

@@ -29,6 +29,15 @@
 
 namespace mrbio::mrblast {
 
+/// Default for RealRunConfig::virtual_seconds_per_cell: the measured
+/// wall-clock cost per alignment cell of the ungapped diag-scan kernel
+/// (~1 ns/cell on a current x86-64 core; see
+/// simd::calibrated_seconds_per_cell, which measures the live value).
+/// Hard-coded rather than calibrated at startup so sim timelines — and
+/// everything diffed against them in CI — stay byte-identical across
+/// machines and runs. Pass --virtual-rate to override.
+inline constexpr double kDefaultVirtualSecondsPerCell = 1e-9;
+
 struct RealRunConfig {
   /// Query blocks (the pre-split FASTA files of the paper's pipeline).
   /// Leave empty to use the indexed-FASTA input below instead.
@@ -63,8 +72,11 @@ struct RealRunConfig {
   /// pure communication: without a charge, time-triggered fault plans
   /// ("crash:rank=3@t=0.4") never fire and the report shows no useful
   /// compute. Deterministic (derived from input sizes, never from wall
-  /// time); a no-op on the native backend. 0 disables.
-  double virtual_seconds_per_cell = 0.0;
+  /// time); a no-op on the native backend. 0 disables. The default is the
+  /// measured per-cell cost of the SIMD diag-scan kernel (see
+  /// kDefaultVirtualSecondsPerCell) so virtual timelines track the real
+  /// engine speed out of the box.
+  double virtual_seconds_per_cell = kDefaultVirtualSecondsPerCell;
   /// Overrides of the MapReduce paging policy (0 / false keep the library
   /// defaults). Tests use these to force tiny resident budgets so the
   /// out-of-core path runs under checkpointing.

@@ -1,0 +1,271 @@
+// AVX2 kernel variant (256-bit lanes).
+//
+// The diagonal X-drop scan processes 8 residue pairs per step: scores are
+// fetched with a 32-bit gather over the 32x32 table, turned into running
+// sums with a log-step in-register prefix sum (slli within each 128-bit
+// half, then the low half's total broadcast into the high half), and the
+// stop/best bookkeeping is finalized over the 8 materialized sums with
+// the scalar recurrence — so the X-drop cutoff fires on exactly the pair
+// it would in the oracle and best/best_len keep the oracle's strict-'>'
+// first-attainment tie-break.
+//
+// The gapped row prep vectorizes the F/D candidate precompute (compare/
+// subtract/blend plus a gather through the score row); the sequential
+// E-chain, pruning and traceback stay in the shared scalar DP core, which
+// is what makes gapped paths bit-identical by construction.
+//
+// FP kernels use 4 double lanes in the canonical striped order; -ffp-
+// contract=off on this file keeps mul/add sequences unfused, matching
+// the scalar oracle operation for operation.
+#include "simd/kernels_detail.hpp"
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+namespace mrbio::simd::detail {
+namespace {
+
+DiagScanResult avx2_diag_scan(const std::uint8_t* a, const std::uint8_t* b, std::size_t n,
+                              bool reverse, const int* table, int run, int best, int xdrop) {
+  std::size_t best_len = 0;
+  std::size_t k = 0;
+  alignas(32) int runs[8];
+  // Reverses the low 8 bytes (the reverse-scan pairs load back-to-front).
+  const __m128i rev8 = _mm_set_epi8(-1, -1, -1, -1, -1, -1, -1, -1, 0, 1, 2, 3, 4, 5, 6, 7);
+  while (k + 8 <= n) {
+    if (run <= best - xdrop) return DiagScanResult{best, best_len};
+    __m128i ab;
+    __m128i bb;
+    if (reverse) {
+      ab = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a - k - 8));
+      bb = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b - k - 8));
+      ab = _mm_shuffle_epi8(ab, rev8);
+      bb = _mm_shuffle_epi8(bb, rev8);
+    } else {
+      ab = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + k));
+      bb = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + k));
+    }
+    const __m256i av = _mm256_cvtepu8_epi32(ab);
+    const __m256i bv = _mm256_cvtepu8_epi32(bb);
+    const __m256i idx = _mm256_add_epi32(_mm256_slli_epi32(av, 5), bv);
+    __m256i x = _mm256_i32gather_epi32(table, idx, 4);
+    // Prefix sums within each 128-bit half, then carry the low half's
+    // total (lane 3) into all high-half lanes.
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 8));
+    const __m256i lane3 = _mm256_permutevar8x32_epi32(x, _mm256_set1_epi32(3));
+    x = _mm256_add_epi32(x, _mm256_blend_epi32(_mm256_setzero_si256(), lane3, 0xF0));
+    x = _mm256_add_epi32(x, _mm256_set1_epi32(run));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(runs), x);
+    for (std::size_t j = 0; j < 8; ++j) {
+      if (run <= best - xdrop) return DiagScanResult{best, best_len};
+      run = runs[j];
+      if (run > best) {
+        best = run;
+        best_len = k + j + 1;
+      }
+    }
+    k += 8;
+  }
+  // Fewer than 8 pairs left: shared scalar tail, continuing from (run, best).
+  const std::uint8_t* ta = reverse ? a - k : a + k;
+  const std::uint8_t* tb = reverse ? b - k : b + k;
+  const DiagScanResult tail =
+      scalar_diag_scan(ta, tb, n - k, reverse, table, run, best, xdrop);
+  if (tail.best > best) return DiagScanResult{tail.best, k + tail.best_len};
+  return DiagScanResult{best, best_len};
+}
+
+void avx2_gapped_row_prep(const int* h_prev, const int* f_prev, std::size_t prev_n,
+                          const std::uint8_t* b_lo, const int* score_row, int open_first,
+                          int ext, std::size_t m, int* d_out, int* f_out,
+                          std::uint8_t* fflag_out) {
+  const __m256i neg = _mm256_set1_epi32(kNegInf);
+  const __m256i vopen = _mm256_set1_epi32(open_first);
+  const __m256i vext = _mm256_set1_epi32(ext);
+
+  // F candidate and its flag, columns [0, min(m, prev_n)).
+  const std::size_t fn = m < prev_n ? m : prev_n;
+  std::size_t t = 0;
+  for (; t + 8 <= fn; t += 8) {
+    const __m256i h = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h_prev + t));
+    const __m256i f = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(f_prev + t));
+    const __m256i from_h =
+        _mm256_blendv_epi8(neg, _mm256_sub_epi32(h, vopen), _mm256_cmpgt_epi32(h, neg));
+    const __m256i from_f =
+        _mm256_blendv_epi8(neg, _mm256_sub_epi32(f, vext), _mm256_cmpgt_epi32(f, neg));
+    const __m256i takef = _mm256_cmpgt_epi32(from_f, from_h);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(f_out + t),
+                        _mm256_blendv_epi8(from_h, from_f, takef));
+    const int bits = _mm256_movemask_ps(_mm256_castsi256_ps(takef));
+    for (int j = 0; j < 8; ++j) fflag_out[t + j] = static_cast<std::uint8_t>((bits >> j) & 1);
+  }
+  for (; t < fn; ++t) {
+    const int from_h = h_prev[t] > kNegInf ? h_prev[t] - open_first : kNegInf;
+    const int from_f = f_prev[t] > kNegInf ? f_prev[t] - ext : kNegInf;
+    if (from_f > from_h) {
+      f_out[t] = from_f;
+      fflag_out[t] = 1;
+    } else {
+      f_out[t] = from_h;
+      fflag_out[t] = 0;
+    }
+  }
+  for (; t < m; ++t) {
+    f_out[t] = kNegInf;
+    fflag_out[t] = 0;
+  }
+
+  // D candidate: columns [1, min(m, prev_n + 1)).
+  d_out[0] = kNegInf;
+  const std::size_t dn = m < prev_n + 1 ? m : prev_n + 1;
+  t = 1;
+  for (; t + 8 <= dn; t += 8) {
+    const __m256i h = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h_prev + t - 1));
+    const __m256i bytes = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b_lo + t - 1)));
+    const __m256i sc = _mm256_i32gather_epi32(score_row, bytes, 4);
+    const __m256i d =
+        _mm256_blendv_epi8(neg, _mm256_add_epi32(h, sc), _mm256_cmpgt_epi32(h, neg));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d_out + t), d);
+  }
+  for (; t < dn; ++t) {
+    d_out[t] = h_prev[t - 1] > kNegInf ? h_prev[t - 1] + score_row[b_lo[t - 1]] : kNegInf;
+  }
+  for (; t < m; ++t) d_out[t] = kNegInf;
+}
+
+void avx2_prot_words(const std::uint8_t* s, std::size_t m, std::uint16_t* codes,
+                     std::uint64_t* valid) {
+  std::uint64_t v = 0;
+  const __m128i c19 = _mm_set1_epi8(19);
+  const __m256i m400 = _mm256_set1_epi16(400);
+  const __m256i m20 = _mm256_set1_epi16(20);
+  std::size_t i = 0;
+  for (; i + 16 <= m; i += 16) {
+    // Contract guarantees s[m + 1] is readable, so the +2 load is safe.
+    const __m128i b0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + i));
+    const __m128i b1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + i + 1));
+    const __m128i b2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + i + 2));
+    const __m256i code = _mm256_add_epi16(
+        _mm256_add_epi16(_mm256_mullo_epi16(_mm256_cvtepu8_epi16(b0), m400),
+                         _mm256_mullo_epi16(_mm256_cvtepu8_epi16(b1), m20)),
+        _mm256_cvtepu8_epi16(b2));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(codes + i), code);
+    const __m128i ok =
+        _mm_and_si128(_mm_and_si128(_mm_cmpeq_epi8(_mm_min_epu8(b0, c19), b0),
+                                    _mm_cmpeq_epi8(_mm_min_epu8(b1, c19), b1)),
+                      _mm_cmpeq_epi8(_mm_min_epu8(b2, c19), b2));
+    const auto bits = static_cast<std::uint32_t>(_mm_movemask_epi8(ok)) & 0xFFFFu;
+    v |= static_cast<std::uint64_t>(bits) << i;
+  }
+  prot_words_range(s, i, m, codes, &v);
+  *valid = v;
+}
+
+void avx2_dna_words(const std::uint8_t* s, std::size_t m, int word_size, std::uint32_t mask,
+                    std::uint32_t* word_io, std::uint64_t* hist_io, std::uint32_t* codes,
+                    std::uint64_t* valid_out) {
+  dna_codes_only(s, m, mask, word_io, codes);
+  std::uint64_t clean = 0;
+  const __m256i c3 = _mm256_set1_epi8(3);
+  std::size_t i = 0;
+  for (; i + 32 <= m; i += 32) {
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i));
+    const __m256i ok = _mm256_cmpeq_epi8(_mm256_min_epu8(b, c3), b);
+    clean |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(_mm256_movemask_epi8(ok)))
+             << i;
+  }
+  for (; i < m; ++i) {
+    if (s[i] < 4) clean |= std::uint64_t{1} << i;
+  }
+  *valid_out = dna_valid_from_clean(clean, m, word_size, hist_io);
+}
+
+double avx2_dist2(const float* a, const float* b, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();  // lanes are the 4 canonical partials
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i)),
+                                     _mm256_cvtps_pd(_mm_loadu_ps(b + i)));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d0, d0));
+    const __m256d d1 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i + 4)),
+                                     _mm256_cvtps_pd(_mm_loadu_ps(b + i + 4)));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d1, d1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i)),
+                                    _mm256_cvtps_pd(_mm_loadu_ps(b + i)));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  alignas(32) double p[4];
+  _mm256_store_pd(p, acc);
+  dist2_partials(a, b, i, n, p);
+  return combine_partials(p);
+}
+
+void avx2_scaled_accum(float* acc, const float* x, std::size_t n, double h) {
+  const __m256d vh = _mm256_set1_pd(h);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xf = _mm256_loadu_ps(x + i);
+    const __m128 lo = _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(xf)), vh));
+    const __m128 hi = _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(xf, 1)), vh));
+    const __m256 add = _mm256_insertf128_ps(_mm256_castps128_ps256(lo), hi, 1);
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(_mm256_loadu_ps(acc + i), add));
+  }
+  scaled_accum_range(acc, x, i, n, h);
+}
+
+void avx2_online_update(float* w, const float* x, std::size_t n, double ah) {
+  const __m256d vh = _mm256_set1_pd(ah);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 wf = _mm256_loadu_ps(w + i);
+    const __m256 diff = _mm256_sub_ps(_mm256_loadu_ps(x + i), wf);
+    const __m128 lo = _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(diff)), vh));
+    const __m128 hi = _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(diff, 1)), vh));
+    const __m256 upd = _mm256_insertf128_ps(_mm256_castps128_ps256(lo), hi, 1);
+    _mm256_storeu_ps(w + i, _mm256_add_ps(wf, upd));
+  }
+  online_update_range(w, x, i, n, ah);
+}
+
+void avx2_add(float* a, const float* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(a + i, _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  add_range(a, b, i, n);
+}
+
+void avx2_scale_assign(float* w, const float* num, std::size_t n, float denom) {
+  const __m256 vd = _mm256_set1_ps(denom);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(w + i, _mm256_div_ps(_mm256_loadu_ps(num + i), vd));
+  }
+  scale_assign_range(w, num, i, n, denom);
+}
+
+}  // namespace
+
+const Kernels* avx2_kernels() {
+  static const Kernels k = {
+      &avx2_diag_scan,     &avx2_gapped_row_prep, &avx2_prot_words,
+      &avx2_dna_words,     &avx2_dist2,           &avx2_scaled_accum,
+      &avx2_online_update, &avx2_add,             &avx2_scale_assign,
+  };
+  return &k;
+}
+
+}  // namespace mrbio::simd::detail
+
+#else  // no AVX2 in this build
+
+namespace mrbio::simd::detail {
+const Kernels* avx2_kernels() { return nullptr; }
+}  // namespace mrbio::simd::detail
+
+#endif

@@ -1,0 +1,206 @@
+// Shared scalar kernel bodies — the executable spec of simd.hpp's kernel
+// contracts. kernels_scalar.cpp wraps these verbatim; the SSE4.1/AVX2
+// translation units reuse them for loop tails and for kernels they leave
+// scalar, so every variant's edge handling is literally the same code.
+//
+// FP rule: these bodies spell out the canonical operation sequence
+// (striped partials, explicit double<->float casts). Every TU including
+// this header is compiled with -ffp-contract=off so no variant fuses a
+// multiply-add the others don't.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/simd.hpp"
+
+namespace mrbio::simd::detail {
+
+/// Variant tables, defined by their respective translation units. The
+/// SSE4.1/AVX2 getters return nullptr when the binary was built without
+/// that variant (non-x86 target or compiler lacking the -m flag).
+const Kernels& scalar_kernels();
+const Kernels* sse41_kernels();
+const Kernels* avx2_kernels();
+
+// ---- diag_scan ----
+
+inline DiagScanResult scalar_diag_scan(const std::uint8_t* a, const std::uint8_t* b,
+                                       std::size_t n, bool reverse, const int* table,
+                                       int run, int best, int xdrop) {
+  std::size_t best_len = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (run <= best - xdrop) break;
+    const std::uint8_t ac = reverse ? a[-static_cast<std::ptrdiff_t>(k) - 1] : a[k];
+    const std::uint8_t bc = reverse ? b[-static_cast<std::ptrdiff_t>(k) - 1] : b[k];
+    run += table[static_cast<std::size_t>(ac) * 32 + bc];
+    if (run > best) {
+      best = run;
+      best_len = k + 1;
+    }
+  }
+  return DiagScanResult{best, best_len};
+}
+
+// ---- gapped_row_prep ----
+
+inline void scalar_gapped_row_prep(const int* h_prev, const int* f_prev, std::size_t prev_n,
+                                   const std::uint8_t* b_lo, const int* score_row,
+                                   int open_first, int ext, std::size_t m, int* d_out,
+                                   int* f_out, std::uint8_t* fflag_out) {
+  for (std::size_t t = 0; t < m; ++t) {
+    int f = kNegInf;
+    std::uint8_t flag = 0;
+    if (t < prev_n) {
+      const int from_h = h_prev[t] > kNegInf ? h_prev[t] - open_first : kNegInf;
+      const int from_f = f_prev[t] > kNegInf ? f_prev[t] - ext : kNegInf;
+      if (from_f > from_h) {
+        f = from_f;
+        flag = 1;
+      } else {
+        f = from_h;
+      }
+    }
+    f_out[t] = f;
+    fflag_out[t] = flag;
+    int d = kNegInf;
+    if (t >= 1 && t - 1 < prev_n && h_prev[t - 1] > kNegInf) {
+      d = h_prev[t - 1] + score_row[b_lo[t - 1]];
+    }
+    d_out[t] = d;
+  }
+}
+
+// ---- word scans ----
+
+/// Protein word codes/validity for positions [begin, end), OR-ing valid
+/// bits into *valid (bit i corresponds to position i of the block).
+inline void prot_words_range(const std::uint8_t* s, std::size_t begin, std::size_t end,
+                             std::uint16_t* codes, std::uint64_t* valid) {
+  for (std::size_t i = begin; i < end; ++i) {
+    codes[i] = static_cast<std::uint16_t>((s[i] * 20u + s[i + 1]) * 20u + s[i + 2]);
+    if (s[i] < 20 && s[i + 1] < 20 && s[i + 2] < 20) *valid |= std::uint64_t{1} << i;
+  }
+}
+
+inline void scalar_prot_words(const std::uint8_t* s, std::size_t m, std::uint16_t* codes,
+                              std::uint64_t* valid) {
+  *valid = 0;
+  prot_words_range(s, 0, m, codes, valid);
+}
+
+/// Rolling-word codes for a block plus the per-byte cleanliness mask
+/// (bit i set iff s[i] < 4). Shared by every variant; vector variants
+/// only recompute the cleanliness mask with wide compares.
+inline std::uint64_t dna_codes_and_clean(const std::uint8_t* s, std::size_t m,
+                                         std::uint32_t mask, std::uint32_t* word_io,
+                                         std::uint32_t* codes) {
+  std::uint64_t clean = 0;
+  std::uint32_t word = *word_io;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint8_t c = s[i];
+    word = ((word << 2) | (c & 3u)) & mask;
+    codes[i] = word;
+    if (c < 4) clean |= std::uint64_t{1} << i;
+  }
+  *word_io = word;
+  return clean;
+}
+
+/// Rolling-word codes only, for vector variants that compute the
+/// cleanliness mask with wide compares instead.
+inline void dna_codes_only(const std::uint8_t* s, std::size_t m, std::uint32_t mask,
+                           std::uint32_t* word_io, std::uint32_t* codes) {
+  std::uint32_t word = *word_io;
+  for (std::size_t i = 0; i < m; ++i) {
+    word = ((word << 2) | (s[i] & 3u)) & mask;
+    codes[i] = word;
+  }
+  *word_io = word;
+}
+
+/// Turns a block cleanliness mask into the valid-word mask and advances
+/// the carried history. E is the cleanliness bitstream, LSB oldest: bits
+/// [0, w-1) are the carried history (previous w-1 bytes), bit w-1+i is
+/// byte i of the block. A word ending at i is valid iff E bits i..i+w-1
+/// are all set.
+inline std::uint64_t dna_valid_from_clean(std::uint64_t clean, std::size_t m, int word_size,
+                                          std::uint64_t* hist_io) {
+  const int w1 = word_size - 1;
+  const std::uint64_t e = (clean << w1) | *hist_io;
+  std::uint64_t valid = e;
+  for (int j = 1; j <= w1; ++j) valid &= e >> j;
+  *hist_io = (e >> m) & ((std::uint64_t{1} << w1) - 1);
+  if (m < 64) valid &= (std::uint64_t{1} << m) - 1;
+  return valid;
+}
+
+inline void scalar_dna_words(const std::uint8_t* s, std::size_t m, int word_size,
+                             std::uint32_t mask, std::uint32_t* word_io,
+                             std::uint64_t* hist_io, std::uint32_t* codes,
+                             std::uint64_t* valid_out) {
+  const std::uint64_t clean = dna_codes_and_clean(s, m, mask, word_io, codes);
+  *valid_out = dna_valid_from_clean(clean, m, word_size, hist_io);
+}
+
+// ---- striped floating point ----
+
+/// Accumulates the canonical striped partials over [begin, end): partial
+/// l gathers elements with i % 4 == l in ascending i.
+inline void dist2_partials(const float* a, const float* b, std::size_t begin, std::size_t end,
+                           double p[4]) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    p[i & 3] += d * d;
+  }
+}
+
+/// The canonical partial combine; matches the two-stage horizontal
+/// reduction of a 4-lane double vector.
+inline double combine_partials(const double p[4]) { return (p[0] + p[2]) + (p[1] + p[3]); }
+
+inline double scalar_dist2(const float* a, const float* b, std::size_t n) {
+  double p[4] = {0.0, 0.0, 0.0, 0.0};
+  dist2_partials(a, b, 0, n, p);
+  return combine_partials(p);
+}
+
+inline void scaled_accum_range(float* acc, const float* x, std::size_t begin, std::size_t end,
+                               double h) {
+  for (std::size_t i = begin; i < end; ++i) {
+    acc[i] += static_cast<float>(h * static_cast<double>(x[i]));
+  }
+}
+
+inline void online_update_range(float* w, const float* x, std::size_t begin, std::size_t end,
+                                double ah) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const float diff = x[i] - w[i];
+    w[i] += static_cast<float>(ah * static_cast<double>(diff));
+  }
+}
+
+inline void add_range(float* a, const float* b, std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) a[i] += b[i];
+}
+
+inline void scale_assign_range(float* w, const float* num, std::size_t begin, std::size_t end,
+                               float denom) {
+  for (std::size_t i = begin; i < end; ++i) w[i] = num[i] / denom;
+}
+
+inline void scalar_scaled_accum(float* acc, const float* x, std::size_t n, double h) {
+  scaled_accum_range(acc, x, 0, n, h);
+}
+
+inline void scalar_online_update(float* w, const float* x, std::size_t n, double ah) {
+  online_update_range(w, x, 0, n, ah);
+}
+
+inline void scalar_add(float* a, const float* b, std::size_t n) { add_range(a, b, 0, n); }
+
+inline void scalar_scale_assign(float* w, const float* num, std::size_t n, float denom) {
+  scale_assign_range(w, num, 0, n, denom);
+}
+
+}  // namespace mrbio::simd::detail

@@ -1,0 +1,17 @@
+// The scalar kernel variant: thin wrappers over kernels_detail.hpp. This
+// table is the oracle the differential suite diffs every vector variant
+// against, and the fallback dispatched on machines without SSE4.1/AVX2.
+#include "simd/kernels_detail.hpp"
+
+namespace mrbio::simd::detail {
+
+const Kernels& scalar_kernels() {
+  static const Kernels k = {
+      &scalar_diag_scan,     &scalar_gapped_row_prep, &scalar_prot_words,
+      &scalar_dna_words,     &scalar_dist2,           &scalar_scaled_accum,
+      &scalar_online_update, &scalar_add,             &scalar_scale_assign,
+  };
+  return k;
+}
+
+}  // namespace mrbio::simd::detail

@@ -1,0 +1,157 @@
+// SSE4.1 kernel variant (128-bit lanes).
+//
+// Vectorized here: the word-scan kernels (byte compares + movemask for
+// validity, 8-wide 16-bit packing for protein codes) and all the
+// floating-point kernels (4 floats / 2+2 doubles per step, in the
+// canonical striped order). The diagonal scan and gapped row prep gain
+// nothing at 128 bits without a gather instruction, so this table keeps
+// the scalar bodies for them — the AVX2 variant vectorizes those.
+//
+// Compiled with -msse4.1 only for this translation unit; the table is
+// reachable solely through the runtime dispatch in simd.cpp, which
+// checks cpuid first.
+#include "simd/kernels_detail.hpp"
+
+#if defined(__SSE4_1__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <smmintrin.h>
+
+namespace mrbio::simd::detail {
+namespace {
+
+void sse41_prot_words(const std::uint8_t* s, std::size_t m, std::uint16_t* codes,
+                      std::uint64_t* valid) {
+  std::uint64_t v = 0;
+  const __m128i c19 = _mm_set1_epi8(19);
+  const __m128i m400 = _mm_set1_epi16(400);
+  const __m128i m20 = _mm_set1_epi16(20);
+  std::size_t i = 0;
+  for (; i + 8 <= m; i += 8) {
+    // Contract guarantees s[m + 1] is readable, so the +2 load is safe.
+    const __m128i b0 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(s + i));
+    const __m128i b1 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(s + i + 1));
+    const __m128i b2 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(s + i + 2));
+    const __m128i w0 = _mm_cvtepu8_epi16(b0);
+    const __m128i w1 = _mm_cvtepu8_epi16(b1);
+    const __m128i w2 = _mm_cvtepu8_epi16(b2);
+    const __m128i code = _mm_add_epi16(
+        _mm_add_epi16(_mm_mullo_epi16(w0, m400), _mm_mullo_epi16(w1, m20)), w2);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(codes + i), code);
+    const __m128i ok =
+        _mm_and_si128(_mm_and_si128(_mm_cmpeq_epi8(_mm_min_epu8(b0, c19), b0),
+                                    _mm_cmpeq_epi8(_mm_min_epu8(b1, c19), b1)),
+                      _mm_cmpeq_epi8(_mm_min_epu8(b2, c19), b2));
+    // loadl zeroes bytes 8..15, which compare "clean"; keep the low 8 bits.
+    const auto bits = static_cast<std::uint32_t>(_mm_movemask_epi8(ok)) & 0xFFu;
+    v |= static_cast<std::uint64_t>(bits) << i;
+  }
+  prot_words_range(s, i, m, codes, &v);
+  *valid = v;
+}
+
+void sse41_dna_words(const std::uint8_t* s, std::size_t m, int word_size, std::uint32_t mask,
+                     std::uint32_t* word_io, std::uint64_t* hist_io, std::uint32_t* codes,
+                     std::uint64_t* valid_out) {
+  dna_codes_only(s, m, mask, word_io, codes);
+  std::uint64_t clean = 0;
+  const __m128i c3 = _mm_set1_epi8(3);
+  std::size_t i = 0;
+  for (; i + 16 <= m; i += 16) {
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + i));
+    const __m128i ok = _mm_cmpeq_epi8(_mm_min_epu8(b, c3), b);
+    const auto bits = static_cast<std::uint32_t>(_mm_movemask_epi8(ok)) & 0xFFFFu;
+    clean |= static_cast<std::uint64_t>(bits) << i;
+  }
+  for (; i < m; ++i) {
+    if (s[i] < 4) clean |= std::uint64_t{1} << i;
+  }
+  *valid_out = dna_valid_from_clean(clean, m, word_size, hist_io);
+}
+
+double sse41_dist2(const float* a, const float* b, std::size_t n) {
+  __m128d acc01 = _mm_setzero_pd();  // partials 0, 1
+  __m128d acc23 = _mm_setzero_pd();  // partials 2, 3
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 af = _mm_loadu_ps(a + i);
+    const __m128 bf = _mm_loadu_ps(b + i);
+    const __m128d a01 = _mm_cvtps_pd(af);
+    const __m128d a23 = _mm_cvtps_pd(_mm_movehl_ps(af, af));
+    const __m128d b01 = _mm_cvtps_pd(bf);
+    const __m128d b23 = _mm_cvtps_pd(_mm_movehl_ps(bf, bf));
+    const __m128d d01 = _mm_sub_pd(a01, b01);
+    const __m128d d23 = _mm_sub_pd(a23, b23);
+    acc01 = _mm_add_pd(acc01, _mm_mul_pd(d01, d01));
+    acc23 = _mm_add_pd(acc23, _mm_mul_pd(d23, d23));
+  }
+  alignas(16) double p[4];
+  _mm_store_pd(p, acc01);
+  _mm_store_pd(p + 2, acc23);
+  dist2_partials(a, b, i, n, p);
+  return combine_partials(p);
+}
+
+void sse41_scaled_accum(float* acc, const float* x, std::size_t n, double h) {
+  const __m128d vh = _mm_set1_pd(h);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 xf = _mm_loadu_ps(x + i);
+    const __m128d lo = _mm_mul_pd(_mm_cvtps_pd(xf), vh);
+    const __m128d hi = _mm_mul_pd(_mm_cvtps_pd(_mm_movehl_ps(xf, xf)), vh);
+    const __m128 add = _mm_movelh_ps(_mm_cvtpd_ps(lo), _mm_cvtpd_ps(hi));
+    _mm_storeu_ps(acc + i, _mm_add_ps(_mm_loadu_ps(acc + i), add));
+  }
+  scaled_accum_range(acc, x, i, n, h);
+}
+
+void sse41_online_update(float* w, const float* x, std::size_t n, double ah) {
+  const __m128d vh = _mm_set1_pd(ah);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 wf = _mm_loadu_ps(w + i);
+    const __m128 diff = _mm_sub_ps(_mm_loadu_ps(x + i), wf);
+    const __m128d lo = _mm_mul_pd(_mm_cvtps_pd(diff), vh);
+    const __m128d hi = _mm_mul_pd(_mm_cvtps_pd(_mm_movehl_ps(diff, diff)), vh);
+    const __m128 upd = _mm_movelh_ps(_mm_cvtpd_ps(lo), _mm_cvtpd_ps(hi));
+    _mm_storeu_ps(w + i, _mm_add_ps(wf, upd));
+  }
+  online_update_range(w, x, i, n, ah);
+}
+
+void sse41_add(float* a, const float* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(a + i, _mm_add_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i)));
+  }
+  add_range(a, b, i, n);
+}
+
+void sse41_scale_assign(float* w, const float* num, std::size_t n, float denom) {
+  const __m128 vd = _mm_set1_ps(denom);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(w + i, _mm_div_ps(_mm_loadu_ps(num + i), vd));
+  }
+  scale_assign_range(w, num, i, n, denom);
+}
+
+}  // namespace
+
+const Kernels* sse41_kernels() {
+  static const Kernels k = {
+      &scalar_diag_scan,    &scalar_gapped_row_prep, &sse41_prot_words,
+      &sse41_dna_words,     &sse41_dist2,            &sse41_scaled_accum,
+      &sse41_online_update, &sse41_add,              &sse41_scale_assign,
+  };
+  return &k;
+}
+
+}  // namespace mrbio::simd::detail
+
+#else  // no SSE4.1 in this build
+
+namespace mrbio::simd::detail {
+const Kernels* sse41_kernels() { return nullptr; }
+}  // namespace mrbio::simd::detail
+
+#endif

@@ -1,0 +1,198 @@
+#include "simd/simd.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "simd/kernels_detail.hpp"
+
+namespace mrbio::simd {
+
+namespace {
+
+bool cpu_supports(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar:
+      return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case Isa::Sse41:
+      return __builtin_cpu_supports("sse4.1") != 0;
+    case Isa::Avx2:
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+    case Isa::Sse41:
+    case Isa::Avx2:
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// The explicit per-process pin (set_isa); -1 = none.
+std::atomic<int> g_override{-1};
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar:
+      return "scalar";
+    case Isa::Sse41:
+      return "sse4.1";
+    case Isa::Avx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+Isa parse_isa(const std::string& name) {
+  std::string s = name;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (s == "scalar") return Isa::Scalar;
+  if (s == "sse" || s == "sse4.1" || s == "sse41") return Isa::Sse41;
+  if (s == "avx2") return Isa::Avx2;
+  if (s == "auto") return detected_isa();
+  throw InputError("unknown SIMD level '" + name +
+                   "' (expected scalar, sse4.1, avx2, or auto)");
+}
+
+bool isa_compiled(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar:
+      return true;
+    case Isa::Sse41:
+      return detail::sse41_kernels() != nullptr;
+    case Isa::Avx2:
+      return detail::avx2_kernels() != nullptr;
+  }
+  return false;
+}
+
+bool isa_runnable(Isa isa) { return isa_compiled(isa) && cpu_supports(isa); }
+
+Isa detected_isa() {
+  static const Isa detected = [] {
+    if (isa_runnable(Isa::Avx2)) return Isa::Avx2;
+    if (isa_runnable(Isa::Sse41)) return Isa::Sse41;
+    return Isa::Scalar;
+  }();
+  return detected;
+}
+
+std::vector<Isa> runnable_isas() {
+  std::vector<Isa> out;
+  for (const Isa isa : {Isa::Scalar, Isa::Sse41, Isa::Avx2}) {
+    if (isa_runnable(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+Isa resolve_default(const char* env_value) {
+  if (env_value == nullptr || *env_value == '\0') return detected_isa();
+  const Isa isa = parse_isa(env_value);
+  MRBIO_REQUIRE(isa_runnable(isa), "MRBIO_SIMD=", env_value, " requests SIMD level ",
+                isa_name(isa), ", which is not available on this machine");
+  return isa;
+}
+
+Isa active_isa() {
+  const int pin = g_override.load(std::memory_order_relaxed);
+  if (pin >= 0) return static_cast<Isa>(pin);
+  static const Isa env_default = resolve_default(std::getenv("MRBIO_SIMD"));
+  return env_default;
+}
+
+void set_isa(Isa isa) {
+  MRBIO_REQUIRE(isa_runnable(isa), "SIMD level ", isa_name(isa),
+                " is not available on this machine (compiled: ", isa_compiled(isa) ? "yes" : "no",
+                ")");
+  g_override.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void clear_isa_override() { g_override.store(-1, std::memory_order_relaxed); }
+
+const Kernels& kernels(Isa isa) {
+  MRBIO_REQUIRE(isa_runnable(isa), "SIMD level ", isa_name(isa),
+                " is not available on this machine");
+  switch (isa) {
+    case Isa::Sse41:
+      return *detail::sse41_kernels();
+    case Isa::Avx2:
+      return *detail::avx2_kernels();
+    case Isa::Scalar:
+      break;
+  }
+  return detail::scalar_kernels();
+}
+
+const Kernels& kernels() { return kernels(active_isa()); }
+
+namespace {
+
+/// Self-contained match/mismatch table and sequence pair for calibration;
+/// identical sequences keep the running score climbing so the X-drop
+/// never fires and the scan covers every cell.
+struct CalibrationInput {
+  std::array<int, 32 * 32> table{};
+  std::vector<std::uint8_t> seq;
+
+  CalibrationInput() {
+    for (int a = 0; a < 32; ++a) {
+      for (int b = 0; b < 32; ++b) table[static_cast<std::size_t>(a) * 32 + b] = a == b ? 1 : -2;
+    }
+    seq.resize(4096);
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;  // deterministic bases
+    for (std::uint8_t& c : seq) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      c = static_cast<std::uint8_t>((state >> 60) & 3u);
+    }
+  }
+};
+
+}  // namespace
+
+double calibrated_seconds_per_cell(Isa isa) {
+  static std::mutex mu;
+  static std::array<double, 3> cache{0.0, 0.0, 0.0};
+  const auto slot = static_cast<std::size_t>(isa);
+  std::lock_guard<std::mutex> lock(mu);
+  if (cache[slot] > 0.0) return cache[slot];
+
+  static const CalibrationInput in;
+  const Kernels& k = kernels(isa);
+  const int huge_xdrop = 1 << 20;
+  using clock = std::chrono::steady_clock;
+
+  // Warm up once, then time enough repetitions to dominate clock noise.
+  volatile int sink =
+      k.diag_scan(in.seq.data(), in.seq.data(), in.seq.size(), false, in.table.data(), 0, 0,
+                  huge_xdrop)
+          .best;
+  std::size_t cells = 0;
+  const auto start = clock::now();
+  auto elapsed = clock::duration::zero();
+  do {
+    for (int rep = 0; rep < 16; ++rep) {
+      sink = k.diag_scan(in.seq.data(), in.seq.data(), in.seq.size(), false, in.table.data(),
+                         0, 0, huge_xdrop)
+                 .best;
+      cells += in.seq.size();
+    }
+    elapsed = clock::now() - start;
+  } while (elapsed < std::chrono::milliseconds(2));
+  (void)sink;
+
+  const double secs = std::chrono::duration<double>(elapsed).count();
+  cache[slot] = secs / static_cast<double>(cells);
+  return cache[slot];
+}
+
+double calibrated_seconds_per_cell() { return calibrated_seconds_per_cell(active_isa()); }
+
+}  // namespace mrbio::simd

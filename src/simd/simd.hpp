@@ -1,0 +1,150 @@
+// Runtime-dispatched SIMD kernel layer for the alignment and SOM hot
+// loops (ROADMAP item 2).
+//
+// Three ISA variants of every kernel are compiled into the binary on
+// x86-64 -- scalar, SSE4.1 and AVX2 -- and one is selected at run time:
+//
+//   explicit set_isa()  >  $MRBIO_SIMD  >  cpuid detection
+//
+// (drivers expose set_isa as --simd). The scalar variant is the *oracle*:
+// every vector kernel is required to be bit-identical to it, which the
+// differential suite under tests/simd enforces. Two design rules make
+// that possible:
+//
+//   - integer kernels (extension scans, gapped DP row prep, word packing)
+//     replicate the scalar recurrence exactly -- including X-drop
+//     stopping points and tie-break directions -- so any evaluation
+//     order gives the same bits;
+//   - floating-point kernels fix a canonical *striped* reduction order
+//     (partial sum l accumulates elements i with i % 4 == l, combined as
+//     (p0+p2)+(p1+p3)), which every variant implements with the same
+//     per-partial addition sequence and no FMA contraction.
+//
+// Because of the second rule the scalar fallbacks here are the canonical
+// definition of e.g. som::dist2 -- "scalar" does not mean "legacy order".
+#pragma once
+
+#include <climits>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrbio::simd {
+
+/// Instruction-set levels, ascending. Values are stable (used in logs).
+enum class Isa : int { Scalar = 0, Sse41 = 1, Avx2 = 2 };
+
+const char* isa_name(Isa isa);
+/// Parses "scalar", "sse"/"sse4.1"/"sse41", "avx2" or "auto" (= detected).
+Isa parse_isa(const std::string& name);
+
+/// True when the variant's code is compiled into this binary.
+bool isa_compiled(Isa isa);
+/// True when the variant is compiled *and* this CPU can execute it.
+bool isa_runnable(Isa isa);
+/// Best runnable level of this machine (cpuid).
+Isa detected_isa();
+/// All runnable levels, ascending (Scalar always included).
+std::vector<Isa> runnable_isas();
+
+/// The level kernels() dispatches to; see the precedence above.
+Isa active_isa();
+/// Pin the level explicitly (the drivers' --simd flag). Requires a
+/// runnable level; throws InputError otherwise.
+void set_isa(Isa isa);
+/// Drop the explicit pin, falling back to $MRBIO_SIMD / detection.
+void clear_isa_override();
+/// Pure resolution helper (exposed for tests): maps an env string
+/// (nullptr/"" = unset) to the level the lazy default would pick.
+Isa resolve_default(const char* env_value);
+
+/// DP "minus infinity": low enough that any addition of scores or gap
+/// penalties stays far below zero, high enough never to underflow int.
+inline constexpr int kNegInf = INT_MIN / 4;
+
+/// Result of a diagonal X-drop scan.
+struct DiagScanResult {
+  int best;              ///< best running score seen (>= best_in)
+  std::size_t best_len;  ///< pairs consumed up to and including the best
+                         ///< column; 0 when no column improved best_in
+};
+
+/// Kernel table of one ISA variant. All function pointers are non-null.
+///
+/// Exact contracts (the scalar variant is the executable spec):
+///
+/// diag_scan -- X-drop scan along one diagonal. Pair k is
+///   (a[k], b[k]) forward, or (a[-1-k], b[-1-k]) when `reverse` (a/b then
+///   point one past the scan start). Starting from running score `run_in`
+///   and best-so-far `best_in`, each step first checks
+///   `run > best - xdrop` (with the values after the previous step), then
+///   adds table[a_k * 32 + b_k]; a strict improvement records best and
+///   best_len = k + 1. Stops at the first failed check or after n pairs.
+///
+/// gapped_row_prep -- per-row precompute of extend_dir's vertical (F) and
+///   diagonal (D) candidates for m columns, given the previous row's H/F
+///   windows of prev_n entries starting at the same column:
+///     t < prev_n:  from_h = h_prev[t] > kNegInf ? h_prev[t]-open_first
+///                                               : kNegInf   (F source)
+///                  from_f = f_prev[t] > kNegInf ? f_prev[t]-ext : kNegInf
+///                  f_out[t] = max, fflag_out[t] = from_f > from_h
+///     otherwise    f_out[t] = kNegInf, fflag_out[t] = 0
+///     1 <= t <= prev_n and h_prev[t-1] > kNegInf:
+///                  d_out[t] = h_prev[t-1] + score_row[b_lo[t-1]]
+///     otherwise    d_out[t] = kNegInf
+///   (b_lo points at the subject byte of the window's first column; only
+///   b_lo[0..m-2] are read.)
+///
+/// prot_words -- codes_out[i] = (s[i]*20 + s[i+1])*20 + s[i+2] as if all
+///   three bytes were residues, valid bit i set iff they are all < 20.
+///   m <= 64; s[m+1] must be readable.
+///
+/// dna_words -- rolling 2-bit word scan of m bytes (m <= 48). word_io
+///   carries the packed word across calls (updated as
+///   word = ((word << 2) | (c & 3)) & mask for every byte), hist_io the
+///   cleanliness of the previous word_size-1 bytes (bit j, j ascending
+///   toward older, as maintained by the kernel; start both at 0).
+///   codes_out[i] = word after consuming s[i]; valid bit i set iff the
+///   word_size bytes ending at i are all < 4.
+///
+/// dist2_f32 -- canonical striped squared distance: partial l sums
+///   (double(a[i]) - double(b[i]))^2 over i % 4 == l in ascending i,
+///   result (p0+p2) + (p1+p3).
+///
+/// scaled_accum_f32  -- acc[i] += float(h * x[i])          (h double)
+/// online_update_f32 -- w[i] += float(ah * (x[i] - w[i]))  (float sub,
+///                      double multiply, as the expression implies)
+/// add_f32           -- a[i] += b[i]
+/// scale_assign_f32  -- w[i] = num[i] / denom
+struct Kernels {
+  DiagScanResult (*diag_scan)(const std::uint8_t* a, const std::uint8_t* b,
+                              std::size_t n, bool reverse, const int* table,
+                              int run_in, int best_in, int xdrop);
+  void (*gapped_row_prep)(const int* h_prev, const int* f_prev, std::size_t prev_n,
+                          const std::uint8_t* b_lo, const int* score_row,
+                          int open_first, int ext, std::size_t m, int* d_out,
+                          int* f_out, std::uint8_t* fflag_out);
+  void (*prot_words)(const std::uint8_t* s, std::size_t m, std::uint16_t* codes_out,
+                     std::uint64_t* valid_out);
+  void (*dna_words)(const std::uint8_t* s, std::size_t m, int word_size,
+                    std::uint32_t mask, std::uint32_t* word_io, std::uint64_t* hist_io,
+                    std::uint32_t* codes_out, std::uint64_t* valid_out);
+  double (*dist2_f32)(const float* a, const float* b, std::size_t n);
+  void (*scaled_accum_f32)(float* acc, const float* x, std::size_t n, double h);
+  void (*online_update_f32)(float* w, const float* x, std::size_t n, double ah);
+  void (*add_f32)(float* a, const float* b, std::size_t n);
+  void (*scale_assign_f32)(float* w, const float* num, std::size_t n, float denom);
+};
+
+/// Kernel table of a specific level (throws InputError if not runnable).
+const Kernels& kernels(Isa isa);
+/// Kernel table of the active level.
+const Kernels& kernels();
+
+/// Measured wall seconds per alignment cell of the level's diag_scan
+/// kernel (a short self-timing run, cached per level per process). Feeds
+/// the workload oracle so sim timelines track the real engine speed.
+double calibrated_seconds_per_cell(Isa isa);
+double calibrated_seconds_per_cell();
+
+}  // namespace mrbio::simd

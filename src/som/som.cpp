@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "simd/simd.hpp"
 
 namespace mrbio::som {
 
@@ -143,12 +144,10 @@ void Codebook::init_pca(const MatrixView& data) {
 
 double dist2(std::span<const float> a, std::span<const float> b) {
   MRBIO_CHECK(a.size() == b.size(), "dist2 dimension mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
-    acc += d * d;
-  }
-  return acc;
+  // Canonical striped reduction (4 double partials over i % 4, combined
+  // as (p0+p2)+(p1+p3)): every dispatched ISA variant accumulates in this
+  // exact order, so distances are bit-identical across --simd levels.
+  return simd::kernels().dist2_f32(a.data(), b.data(), a.size());
 }
 
 std::size_t find_bmu(const Codebook& cb, std::span<const float> x) {
@@ -209,12 +208,10 @@ double BatchAccumulator::add(const Codebook& cb, std::span<const float> x, doubl
                              Kernel kernel) {
   const std::size_t bmu = find_bmu(cb, x);
   const double qerr = dist2(x, cb.vector(bmu));
+  const simd::Kernels& kern = simd::kernels();
   for (std::size_t j = 0; j < grid_.cells(); ++j) {
     const double h = neighborhood(grid_, bmu, j, sigma, kernel);
-    auto nrow = num_.row(j);
-    for (std::size_t i = 0; i < dim_; ++i) {
-      nrow[i] += static_cast<float>(h * x[i]);
-    }
+    kern.scaled_accum_f32(num_.row(j).data(), x.data(), dim_, h);
     denom_[j] += static_cast<float>(h);
   }
   return qerr;
@@ -223,18 +220,16 @@ double BatchAccumulator::add(const Codebook& cb, std::span<const float> x, doubl
 void BatchAccumulator::merge(const BatchAccumulator& other) {
   MRBIO_CHECK(num_.size() == other.num_.size() && denom_.size() == other.denom_.size(),
               "BatchAccumulator shape mismatch");
-  for (std::size_t i = 0; i < num_.size(); ++i) num_.data()[i] += other.num_.data()[i];
-  for (std::size_t i = 0; i < denom_.size(); ++i) denom_[i] += other.denom_[i];
+  const simd::Kernels& kern = simd::kernels();
+  kern.add_f32(num_.data(), other.num_.data(), num_.size());
+  kern.add_f32(denom_.data(), other.denom_.data(), denom_.size());
 }
 
 void BatchAccumulator::apply(Codebook& cb) const {
+  const simd::Kernels& kern = simd::kernels();
   for (std::size_t j = 0; j < grid_.cells(); ++j) {
     if (denom_[j] <= 0.0f) continue;
-    auto w = cb.vector(j);
-    const auto n = num_.row(j);
-    for (std::size_t i = 0; i < dim_; ++i) {
-      w[i] = n[i] / denom_[j];
-    }
+    kern.scale_assign_f32(cb.vector(j).data(), num_.row(j).data(), dim_, denom_[j]);
   }
 }
 
@@ -270,13 +265,11 @@ void train_online(Codebook& cb, const MatrixView& data, const SomParams& params,
           params.alpha_start +
           (params.alpha_end - params.alpha_start) *
               (total_steps > 1 ? static_cast<double>(step) / (total_steps - 1) : 0.0);
+      const simd::Kernels& kern = simd::kernels();
       for (std::size_t j = 0; j < cb.grid().cells(); ++j) {
         const double h = neighborhood(cb.grid(), bmu, j, sigma, params.kernel);
         if (h < 1e-6) continue;
-        auto w = cb.vector(j);
-        for (std::size_t i = 0; i < cb.dim(); ++i) {
-          w[i] += static_cast<float>(alpha * h * (x[i] - w[i]));
-        }
+        kern.online_update_f32(cb.vector(j).data(), x.data(), cb.dim(), alpha * h);
       }
     }
   }

@@ -75,6 +75,9 @@ class Codebook {
 };
 
 /// Squared Euclidean distance between an input and a code vector (Eq. 1).
+/// Accumulates in the canonical striped order of the SIMD kernel layer
+/// (4 double partials over i % 4, combined as (p0+p2)+(p1+p3)), so the
+/// result is bit-identical across scalar/SSE4.1/AVX2 dispatch.
 double dist2(std::span<const float> a, std::span<const float> b);
 
 /// Best Matching Unit (Eq. 2). Ties break to the lowest cell index so runs

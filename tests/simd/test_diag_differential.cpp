@@ -1,0 +1,359 @@
+// Differential tests of the alignment-extension kernels: every runnable
+// ISA variant must be bit-identical to an independently written scalar
+// reference — on random inputs, on adversarial score profiles (X-drop
+// boundary hits, sentinel walls, huge magnitudes), and through the full
+// extend_ungapped / extend_gapped entry points.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "blast/extend.hpp"
+#include "blast/score.hpp"
+#include "common/rng.hpp"
+#include "simd/simd.hpp"
+
+namespace mrbio::simd {
+namespace {
+
+struct IsaPinGuard {
+  ~IsaPinGuard() { clear_isa_override(); }
+};
+
+// ---------------------------------------------------------------------------
+// Independent references (deliberately re-derived from the documented
+// contract, not shared with src/simd)
+
+DiagScanResult ref_diag_scan(const std::uint8_t* a, const std::uint8_t* b,
+                             std::size_t n, bool reverse, const int* table, int run,
+                             int best, int xdrop) {
+  std::size_t best_len = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (run <= best - xdrop) break;
+    const std::uint8_t ak = reverse ? a[-static_cast<std::ptrdiff_t>(k) - 1] : a[k];
+    const std::uint8_t bk = reverse ? b[-static_cast<std::ptrdiff_t>(k) - 1] : b[k];
+    run += table[static_cast<std::size_t>(ak) * 32 + bk];
+    if (run > best) {
+      best = run;
+      best_len = k + 1;
+    }
+  }
+  return {best, best_len};
+}
+
+void ref_row_prep(const int* h_prev, const int* f_prev, std::size_t prev_n,
+                  const std::uint8_t* b_lo, const int* score_row, int open_first,
+                  int ext, std::size_t m, int* d_out, int* f_out,
+                  std::uint8_t* fflag_out) {
+  for (std::size_t t = 0; t < m; ++t) {
+    if (t < prev_n) {
+      const int from_h = h_prev[t] > kNegInf ? h_prev[t] - open_first : kNegInf;
+      const int from_f = f_prev[t] > kNegInf ? f_prev[t] - ext : kNegInf;
+      f_out[t] = from_f > from_h ? from_f : from_h;
+      fflag_out[t] = from_f > from_h ? 1 : 0;
+    } else {
+      f_out[t] = kNegInf;
+      fflag_out[t] = 0;
+    }
+    if (t >= 1 && t <= prev_n && h_prev[t - 1] > kNegInf) {
+      d_out[t] = h_prev[t - 1] + score_row[b_lo[t - 1]];
+    } else {
+      d_out[t] = kNegInf;
+    }
+  }
+}
+
+/// Random 32x32 table; entries in [lo, hi], sentinel row/column poisoned.
+std::vector<int> random_table(Rng& rng, int lo, int hi) {
+  std::vector<int> table(32 * 32, 0);
+  for (int& v : table) v = lo + static_cast<int>(rng.below(static_cast<std::uint64_t>(hi - lo + 1)));
+  for (int i = 0; i < 32; ++i) {
+    table[static_cast<std::size_t>(i) * 32 + 31] = -16384;
+    table[static_cast<std::size_t>(31) * 32 + i] = -16384;
+  }
+  return table;
+}
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t n, bool protein) {
+  std::vector<std::uint8_t> s(n);
+  for (auto& c : s) {
+    const double u = rng.uniform();
+    if (u < 0.03) {
+      c = 31;  // sentinel
+    } else if (u < 0.08) {
+      c = protein ? 20 : 4;  // ambiguity code
+    } else {
+      c = static_cast<std::uint8_t>(rng.below(protein ? 20 : 4));
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// diag_scan
+
+TEST(DiagScanDifferential, RandomSequencesAllIsas) {
+  Rng rng(42);
+  const std::vector<Isa> isas = runnable_isas();
+  for (int iter = 0; iter < 400; ++iter) {
+    const bool protein = rng.uniform() < 0.5;
+    const std::vector<int> table = random_table(rng, -6, 5);
+    const std::size_t n = rng.below(70);  // straddles the 8-pair block size
+    const std::vector<std::uint8_t> a = random_bytes(rng, n, protein);
+    const std::vector<std::uint8_t> b = random_bytes(rng, n, protein);
+    const bool reverse = rng.uniform() < 0.5;
+    const int run_in = static_cast<int>(rng.below(20));
+    const int best_in = run_in + static_cast<int>(rng.below(10));
+    const int xdrop = static_cast<int>(rng.below(30));
+
+    const std::uint8_t* pa = reverse ? a.data() + n : a.data();
+    const std::uint8_t* pb = reverse ? b.data() + n : b.data();
+    const DiagScanResult want =
+        ref_diag_scan(pa, pb, n, reverse, table.data(), run_in, best_in, xdrop);
+    for (Isa isa : isas) {
+      const DiagScanResult got =
+          kernels(isa).diag_scan(pa, pb, n, reverse, table.data(), run_in, best_in, xdrop);
+      EXPECT_EQ(got.best, want.best)
+          << isa_name(isa) << " iter " << iter << " n=" << n << " rev=" << reverse;
+      EXPECT_EQ(got.best_len, want.best_len)
+          << isa_name(isa) << " iter " << iter << " n=" << n << " rev=" << reverse;
+    }
+  }
+}
+
+TEST(DiagScanDifferential, EmptyScanReturnsInputs) {
+  const std::vector<int> table(32 * 32, 1);
+  const std::uint8_t byte = 0;
+  for (Isa isa : runnable_isas()) {
+    for (bool reverse : {false, true}) {
+      const DiagScanResult r =
+          kernels(isa).diag_scan(&byte, &byte, 0, reverse, table.data(), 7, 9, 5);
+      EXPECT_EQ(r.best, 9) << isa_name(isa);
+      EXPECT_EQ(r.best_len, 0u) << isa_name(isa);
+    }
+  }
+}
+
+// The scan must stop at exactly run == best - xdrop, even when the stop
+// lands in the middle of a vector block. Construct a profile that climbs,
+// then decays by exactly one per pair so every stopping offset is hit.
+TEST(DiagScanDifferential, XdropBoundaryExactStops) {
+  std::vector<int> table(32 * 32, 0);
+  table[0 * 32 + 0] = 3;   // (0,0): climb
+  table[1 * 32 + 1] = -1;  // (1,1): decay by exactly 1
+  for (std::size_t climb = 0; climb < 4; ++climb) {
+    for (std::size_t tail = 0; tail < 24; ++tail) {
+      std::vector<std::uint8_t> seq(climb + tail);
+      for (std::size_t i = 0; i < climb; ++i) seq[i] = 0;
+      for (std::size_t i = climb; i < seq.size(); ++i) seq[i] = 1;
+      for (int xdrop : {0, 1, 2, 5, 7, 8, 9, 100}) {
+        const DiagScanResult want = ref_diag_scan(seq.data(), seq.data(), seq.size(),
+                                                  false, table.data(), 0, 0, xdrop);
+        for (Isa isa : runnable_isas()) {
+          const DiagScanResult got = kernels(isa).diag_scan(
+              seq.data(), seq.data(), seq.size(), false, table.data(), 0, 0, xdrop);
+          EXPECT_EQ(got.best, want.best)
+              << isa_name(isa) << " climb=" << climb << " tail=" << tail
+              << " xdrop=" << xdrop;
+          EXPECT_EQ(got.best_len, want.best_len)
+              << isa_name(isa) << " climb=" << climb << " tail=" << tail
+              << " xdrop=" << xdrop;
+        }
+      }
+    }
+  }
+}
+
+// Sentinel-adjacent seeds and huge-magnitude scores: the -16384 sentinel
+// wall next to large positive match scores stresses any narrowing in the
+// vector lanes (our lanes are 32-bit; this guards against regressions).
+TEST(DiagScanDifferential, SentinelWallsAndHugeScores) {
+  Rng rng(7);
+  for (int iter = 0; iter < 120; ++iter) {
+    std::vector<int> table = random_table(rng, -30000, 29999);
+    const std::size_t n = 1 + rng.below(40);
+    std::vector<std::uint8_t> a = random_bytes(rng, n, false);
+    std::vector<std::uint8_t> b = random_bytes(rng, n, false);
+    a[rng.below(n)] = 31;  // guarantee at least one sentinel hit
+    const int xdrop = static_cast<int>(rng.below(40000));
+    const DiagScanResult want =
+        ref_diag_scan(a.data(), b.data(), n, false, table.data(), 0, 0, xdrop);
+    for (Isa isa : runnable_isas()) {
+      const DiagScanResult got =
+          kernels(isa).diag_scan(a.data(), b.data(), n, false, table.data(), 0, 0, xdrop);
+      EXPECT_EQ(got.best, want.best) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(got.best_len, want.best_len) << isa_name(isa) << " iter " << iter;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// gapped_row_prep
+
+TEST(RowPrepDifferential, RandomWindowsAllIsas) {
+  Rng rng(1337);
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::size_t prev_n = rng.below(36);
+    // Typical row growth is m = prev_n + 1 but the window can also shrink.
+    const std::size_t m = 1 + rng.below(prev_n + 3);
+    std::vector<int> h_prev(prev_n), f_prev(prev_n);
+    for (std::size_t t = 0; t < prev_n; ++t) {
+      h_prev[t] = rng.uniform() < 0.25 ? kNegInf
+                                       : static_cast<int>(rng.below(200)) - 100;
+      f_prev[t] = rng.uniform() < 0.25 ? kNegInf
+                                       : static_cast<int>(rng.below(200)) - 100;
+    }
+    std::vector<std::uint8_t> b_lo(m);
+    for (auto& c : b_lo) c = static_cast<std::uint8_t>(rng.below(32));
+    std::vector<int> score_row(32);
+    for (int& v : score_row) v = static_cast<int>(rng.below(13)) - 6;
+    const int open_first = 1 + static_cast<int>(rng.below(12));
+    const int ext = 1 + static_cast<int>(rng.below(4));
+
+    std::vector<int> d_want(m), f_want(m), d_got(m), f_got(m);
+    std::vector<std::uint8_t> flag_want(m), flag_got(m);
+    ref_row_prep(h_prev.data(), f_prev.data(), prev_n, b_lo.data(), score_row.data(),
+                 open_first, ext, m, d_want.data(), f_want.data(), flag_want.data());
+    for (Isa isa : runnable_isas()) {
+      kernels(isa).gapped_row_prep(h_prev.data(), f_prev.data(), prev_n, b_lo.data(),
+                                   score_row.data(), open_first, ext, m, d_got.data(),
+                                   f_got.data(), flag_got.data());
+      EXPECT_EQ(d_got, d_want) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(f_got, f_want) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(flag_got, flag_want) << isa_name(isa) << " iter " << iter;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full extension entry points across pinned ISA levels
+
+/// Query/subject homolog pair plus an exact-match anchor for the seed.
+struct HomologPair {
+  std::vector<std::uint8_t> query, subject;
+  std::size_t q_seed = 0, s_seed = 0;
+};
+
+HomologPair random_homologs(Rng& rng, bool protein) {
+  HomologPair p;
+  const std::size_t len = 40 + rng.below(160);
+  p.query = random_bytes(rng, len, protein);
+  p.subject = p.query;
+  for (auto& c : p.subject) {
+    if (rng.uniform() < 0.1) c = static_cast<std::uint8_t>(rng.below(protein ? 20 : 4));
+  }
+  p.q_seed = 4 + rng.below(len - 8);
+  p.s_seed = p.q_seed;
+  p.subject[p.s_seed] = p.query[p.q_seed];  // genuine residue match
+  return p;
+}
+
+TEST(ExtendDifferential, UngappedIdenticalAcrossIsaLevels) {
+  IsaPinGuard guard;
+  Rng rng(2024);
+  const blast::Scorer dna = blast::Scorer::dna();
+  const blast::Scorer prot = blast::Scorer::blosum62();
+  for (int iter = 0; iter < 80; ++iter) {
+    const bool protein = rng.uniform() < 0.5;
+    const blast::Scorer& scorer = protein ? prot : dna;
+    const HomologPair p = random_homologs(rng, protein);
+    const std::size_t word_len = protein ? 3 : 8;
+    const int xdrop = 5 + static_cast<int>(rng.below(30));
+    const std::size_t q_pos = std::min(p.q_seed, p.query.size() - word_len);
+    const std::size_t s_pos = std::min(p.s_seed, p.subject.size() - word_len);
+
+    set_isa(Isa::Scalar);
+    const blast::UngappedSegment want = blast::extend_ungapped(
+        p.query, p.subject, q_pos, s_pos, word_len, scorer, xdrop);
+    for (Isa isa : runnable_isas()) {
+      set_isa(isa);
+      const blast::UngappedSegment got = blast::extend_ungapped(
+          p.query, p.subject, q_pos, s_pos, word_len, scorer, xdrop);
+      EXPECT_EQ(got.score, want.score) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(got.q_start, want.q_start) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(got.q_end, want.q_end) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(got.s_start, want.s_start) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(got.s_end, want.s_end) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(got.q_best, want.q_best) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(got.s_best, want.s_best) << isa_name(isa) << " iter " << iter;
+    }
+  }
+}
+
+TEST(ExtendDifferential, UngappedSeedAtSequenceEdges) {
+  IsaPinGuard guard;
+  const blast::Scorer scorer = blast::Scorer::dna();
+  std::vector<std::uint8_t> q(24, 0), s(24, 0);
+  struct Case {
+    std::size_t q_pos, s_pos;
+  };
+  // Seed flush at the start (left scan length 0) and flush at the end
+  // (right scan length 0).
+  for (const Case c : {Case{0, 0}, Case{16, 16}, Case{0, 16}, Case{16, 0}}) {
+    set_isa(Isa::Scalar);
+    const blast::UngappedSegment want =
+        blast::extend_ungapped(q, s, c.q_pos, c.s_pos, 8, scorer, 10);
+    for (Isa isa : runnable_isas()) {
+      set_isa(isa);
+      const blast::UngappedSegment got =
+          blast::extend_ungapped(q, s, c.q_pos, c.s_pos, 8, scorer, 10);
+      EXPECT_EQ(got.score, want.score) << isa_name(isa);
+      EXPECT_EQ(got.q_start, want.q_start) << isa_name(isa);
+      EXPECT_EQ(got.q_end, want.q_end) << isa_name(isa);
+      EXPECT_EQ(got.s_end, want.s_end) << isa_name(isa);
+    }
+  }
+}
+
+TEST(ExtendDifferential, GappedIdenticalAcrossIsaLevels) {
+  IsaPinGuard guard;
+  Rng rng(777);
+  const blast::Scorer dna = blast::Scorer::dna();
+  const blast::Scorer prot = blast::Scorer::blosum62();
+  for (int iter = 0; iter < 60; ++iter) {
+    const bool protein = rng.uniform() < 0.5;
+    const blast::Scorer& scorer = protein ? prot : dna;
+    HomologPair p = random_homologs(rng, protein);
+    // Sprinkle indels so the gapped DP genuinely opens gaps.
+    for (int d = 0; d < 3; ++d) {
+      const std::size_t at = rng.below(p.subject.size());
+      if (at == p.s_seed) continue;
+      if (rng.uniform() < 0.5) {
+        p.subject.erase(p.subject.begin() + static_cast<std::ptrdiff_t>(at));
+        if (at < p.s_seed) --p.s_seed;
+      } else {
+        p.subject.insert(p.subject.begin() + static_cast<std::ptrdiff_t>(at),
+                         static_cast<std::uint8_t>(rng.below(protein ? 20 : 4)));
+        if (at <= p.s_seed) ++p.s_seed;
+      }
+    }
+    p.subject[p.s_seed] = p.query[p.q_seed];
+    const int xdrop = 10 + static_cast<int>(rng.below(30));
+
+    set_isa(Isa::Scalar);
+    const blast::GappedAlignment want =
+        blast::extend_gapped(p.query, p.subject, p.q_seed, p.s_seed, scorer, xdrop);
+    for (Isa isa : runnable_isas()) {
+      set_isa(isa);
+      const blast::GappedAlignment got =
+          blast::extend_gapped(p.query, p.subject, p.q_seed, p.s_seed, scorer, xdrop);
+      EXPECT_EQ(got.score, want.score) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(got.q_start, want.q_start) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(got.q_end, want.q_end) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(got.s_start, want.s_start) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(got.s_end, want.s_end) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(got.identities, want.identities) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(got.align_len, want.align_len) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(got.gaps, want.gaps) << isa_name(isa) << " iter " << iter;
+      ASSERT_EQ(got.ops.size(), want.ops.size()) << isa_name(isa) << " iter " << iter;
+      for (std::size_t i = 0; i < want.ops.size(); ++i) {
+        EXPECT_EQ(got.ops[i].type, want.ops[i].type) << isa_name(isa) << " op " << i;
+        EXPECT_EQ(got.ops[i].len, want.ops[i].len) << isa_name(isa) << " op " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrbio::simd

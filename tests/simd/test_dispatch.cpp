@@ -1,0 +1,113 @@
+// Runtime ISA dispatch: name round-trips, precedence of the explicit
+// pin over the environment default, and sanity of the calibration timer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "simd/simd.hpp"
+
+namespace mrbio::simd {
+namespace {
+
+/// Restores the session default afterwards so tests don't leak a pin.
+struct IsaPinGuard {
+  ~IsaPinGuard() { clear_isa_override(); }
+};
+
+TEST(SimdDispatch, NamesRoundTrip) {
+  for (Isa isa : {Isa::Scalar, Isa::Sse41, Isa::Avx2}) {
+    EXPECT_EQ(parse_isa(isa_name(isa)), isa);
+  }
+  EXPECT_STREQ(isa_name(Isa::Scalar), "scalar");
+  EXPECT_STREQ(isa_name(Isa::Sse41), "sse4.1");
+  EXPECT_STREQ(isa_name(Isa::Avx2), "avx2");
+}
+
+TEST(SimdDispatch, ParseAcceptsAliasesAndCase) {
+  EXPECT_EQ(parse_isa("sse"), Isa::Sse41);
+  EXPECT_EQ(parse_isa("sse41"), Isa::Sse41);
+  EXPECT_EQ(parse_isa("SSE4.1"), Isa::Sse41);
+  EXPECT_EQ(parse_isa("AVX2"), Isa::Avx2);
+  EXPECT_EQ(parse_isa("Scalar"), Isa::Scalar);
+  EXPECT_EQ(parse_isa("auto"), detected_isa());
+}
+
+TEST(SimdDispatch, ParseRejectsUnknown) {
+  EXPECT_THROW(parse_isa("avx512"), InputError);
+  EXPECT_THROW(parse_isa(""), InputError);
+  EXPECT_THROW(parse_isa("fastest"), InputError);
+}
+
+TEST(SimdDispatch, ScalarAlwaysRunnable) {
+  EXPECT_TRUE(isa_compiled(Isa::Scalar));
+  EXPECT_TRUE(isa_runnable(Isa::Scalar));
+  const std::vector<Isa> isas = runnable_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), Isa::Scalar);
+  EXPECT_TRUE(std::is_sorted(isas.begin(), isas.end()));
+  for (Isa isa : isas) {
+    EXPECT_TRUE(isa_compiled(isa));
+    EXPECT_TRUE(isa_runnable(isa));
+  }
+  EXPECT_TRUE(isa_runnable(detected_isa()));
+}
+
+TEST(SimdDispatch, KernelTablesAreComplete) {
+  for (Isa isa : runnable_isas()) {
+    const Kernels& k = kernels(isa);
+    EXPECT_NE(k.diag_scan, nullptr) << isa_name(isa);
+    EXPECT_NE(k.gapped_row_prep, nullptr) << isa_name(isa);
+    EXPECT_NE(k.prot_words, nullptr) << isa_name(isa);
+    EXPECT_NE(k.dna_words, nullptr) << isa_name(isa);
+    EXPECT_NE(k.dist2_f32, nullptr) << isa_name(isa);
+    EXPECT_NE(k.scaled_accum_f32, nullptr) << isa_name(isa);
+    EXPECT_NE(k.online_update_f32, nullptr) << isa_name(isa);
+    EXPECT_NE(k.add_f32, nullptr) << isa_name(isa);
+    EXPECT_NE(k.scale_assign_f32, nullptr) << isa_name(isa);
+  }
+}
+
+TEST(SimdDispatch, ExplicitPinWinsAndClears) {
+  IsaPinGuard guard;
+  const Isa session_default = active_isa();
+  for (Isa isa : runnable_isas()) {
+    set_isa(isa);
+    EXPECT_EQ(active_isa(), isa);
+    EXPECT_EQ(&kernels(), &kernels(isa));
+  }
+  clear_isa_override();
+  EXPECT_EQ(active_isa(), session_default);
+}
+
+TEST(SimdDispatch, ResolveDefaultMapsEnvStrings) {
+  EXPECT_EQ(resolve_default(nullptr), detected_isa());
+  EXPECT_EQ(resolve_default(""), detected_isa());
+  EXPECT_EQ(resolve_default("scalar"), Isa::Scalar);
+  EXPECT_EQ(resolve_default("auto"), detected_isa());
+  EXPECT_THROW(resolve_default("turbo"), InputError);
+}
+
+TEST(SimdDispatch, UnrunnableLevelsAreRejected) {
+  for (Isa isa : {Isa::Sse41, Isa::Avx2}) {
+    if (isa_runnable(isa)) continue;
+    IsaPinGuard guard;
+    EXPECT_THROW(set_isa(isa), InputError) << isa_name(isa);
+    EXPECT_THROW(kernels(isa), InputError) << isa_name(isa);
+  }
+}
+
+TEST(SimdDispatch, CalibrationIsPositiveAndCached) {
+  for (Isa isa : runnable_isas()) {
+    const double rate = calibrated_seconds_per_cell(isa);
+    EXPECT_GT(rate, 0.0) << isa_name(isa);
+    EXPECT_LT(rate, 1e-3) << isa_name(isa);  // > 1 ms/cell would be absurd
+    // Cached: the second call must return the identical measurement.
+    EXPECT_EQ(calibrated_seconds_per_cell(isa), rate) << isa_name(isa);
+  }
+  EXPECT_EQ(calibrated_seconds_per_cell(),
+            calibrated_seconds_per_cell(active_isa()));
+}
+
+}  // namespace
+}  // namespace mrbio::simd

@@ -1,0 +1,306 @@
+// End-to-end differential: full application results must be
+// byte-identical across every SIMD level — through the BlastSearcher
+// pipeline, through the mrblast driver on both backends and both
+// schedulers, under a worker-crash fault plan, and through mrsom
+// training. The SIMD level may change speed; it must never change bits.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "blast/dbformat.hpp"
+#include "blast/search.hpp"
+#include "blast/sequence.hpp"
+#include "common/rng.hpp"
+#include "fault/fault.hpp"
+#include "mpi/comm.hpp"
+#include "mrblast/mrblast.hpp"
+#include "mrsom/mrsom.hpp"
+#include "rt/backend.hpp"
+#include "sim/engine.hpp"
+#include "simd/simd.hpp"
+#include "som/som.hpp"
+
+namespace mrbio::simd {
+namespace {
+
+constexpr int kRanks = 4;
+
+struct IsaPinGuard {
+  ~IsaPinGuard() { clear_isa_override(); }
+};
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// BlastSearcher pipeline differential (serial, no driver)
+
+TEST(SimdE2e, BlastSearcherHitsIdenticalAcrossIsaLevels) {
+  IsaPinGuard guard;
+  const auto work = std::filesystem::temp_directory_path() / "mrbio_simd_searcher";
+  std::filesystem::remove_all(work);
+  std::filesystem::create_directories(work);
+
+  for (const blast::SeqType type : {blast::SeqType::Dna, blast::SeqType::Protein}) {
+    Rng rng(321);
+    std::vector<blast::Sequence> genomes;
+    const std::size_t len = type == blast::SeqType::Dna ? 1'200 : 500;
+    for (int g = 0; g < 2; ++g) {
+      genomes.push_back(blast::random_sequence(
+          rng, "g" + std::to_string(g), len, type));
+    }
+    const std::string tag = type == blast::SeqType::Dna ? "dna" : "prot";
+    const blast::DbInfo db =
+        blast::build_db(genomes, (work / ("db_" + tag)).string(), type, 100'000);
+    ASSERT_EQ(db.volume_paths.size(), 1u);
+    auto volume = std::make_shared<const blast::DbVolume>(
+        blast::DbVolume::load(db.volume_paths[0]));
+
+    std::vector<blast::Sequence> queries;
+    const std::size_t frag = type == blast::SeqType::Dna ? 150 : 60;
+    for (const auto& piece : blast::shred({genomes[0]}, frag, frag / 2)) {
+      queries.push_back(blast::mutate(rng, piece, piece.id, 0.03, type));
+    }
+
+    blast::SearchOptions options =
+        type == blast::SeqType::Protein ? blast::make_protein_options()
+                                        : blast::SearchOptions{};
+    options.filter_low_complexity = false;
+
+    auto run = [&](Isa isa) {
+      set_isa(isa);
+      blast::BlastSearcher searcher(volume, options);
+      std::ostringstream out;
+      for (const auto& result : searcher.search(queries)) {
+        out << result.query_id << '\n';
+        for (const auto& h : result.hsps) {
+          out << h.subject_id << ' ' << h.raw_score << ' ' << h.evalue << ' '
+              << h.q_start << '-' << h.q_end << ' ' << h.s_start << '-' << h.s_end
+              << ' ' << h.identities << '/' << h.align_len << '\n';
+        }
+      }
+      return out.str();
+    };
+
+    set_isa(Isa::Scalar);
+    const std::string want = run(Isa::Scalar);
+    EXPECT_FALSE(want.empty());
+    for (Isa isa : runnable_isas()) {
+      EXPECT_EQ(run(isa), want) << isa_name(isa) << " " << tag;
+    }
+  }
+  std::filesystem::remove_all(work);
+}
+
+// ---------------------------------------------------------------------------
+// mrblast driver: ISA x backend x scheduler x faults
+
+class MrBlastSimdE2e : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    work_ = std::filesystem::temp_directory_path() / "mrbio_simd_e2e_blast";
+    std::filesystem::remove_all(work_);
+    std::filesystem::create_directories(work_);
+
+    Rng rng(4321);
+    std::vector<blast::Sequence> genomes;
+    for (int g = 0; g < 3; ++g) {
+      genomes.push_back(blast::random_sequence(rng, "genome" + std::to_string(g),
+                                               800, blast::SeqType::Dna));
+    }
+    db_ = blast::build_db(genomes, (work_ / "db").string(), blast::SeqType::Dna, 1'200);
+
+    std::vector<blast::Sequence> queries;
+    for (const auto& frag : blast::shred({genomes[0], genomes[1]}, 200, 150)) {
+      queries.push_back(blast::mutate(rng, frag, frag.id, 0.02, blast::SeqType::Dna));
+    }
+    for (std::size_t i = 0; i < queries.size(); i += 4) {
+      blocks_.emplace_back(
+          queries.begin() + static_cast<std::ptrdiff_t>(i),
+          queries.begin() + static_cast<std::ptrdiff_t>(std::min(i + 4, queries.size())));
+    }
+  }
+  void TearDown() override { std::filesystem::remove_all(work_); }
+
+  mrblast::RealRunConfig base_config(const std::string& tag) const {
+    mrblast::RealRunConfig config;
+    config.query_blocks = blocks_;
+    config.partition_paths = db_.volume_paths;
+    config.options.evalue_cutoff = 1e-6;
+    config.options.filter_low_complexity = false;
+    config.output_dir = (work_ / ("out_" + tag)).string();
+    return config;
+  }
+
+  /// Runs the driver on the simulator backend; returns output files.
+  std::map<std::string, std::string> run_sim(const mrblast::RealRunConfig& config,
+                                             fault::Injector* injector = nullptr) {
+    sim::EngineConfig ec;
+    ec.nprocs = kRanks;
+    ec.injector = injector;
+    sim::Engine engine(ec);
+    engine.run([&](sim::Process& p) {
+      mpi::Comm comm(p);
+      mrblast::run_blast_mr(comm, config);
+    });
+    return collect(config.output_dir);
+  }
+
+  /// Runs the driver on the native multithreaded backend.
+  std::map<std::string, std::string> run_native(const mrblast::RealRunConfig& config) {
+    rt::LaunchConfig lc;
+    lc.backend = rt::Backend::Native;
+    lc.nranks = kRanks;
+    rt::launch(lc, [&](rt::Rank& rank) {
+      mpi::Comm comm(rank);
+      mrblast::run_blast_mr(comm, config);
+    });
+    return collect(config.output_dir);
+  }
+
+  std::map<std::string, std::string> collect(const std::string& dir) {
+    std::map<std::string, std::string> files;
+    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+      files[e.path().filename().string()] = slurp(e.path());
+    }
+    return files;
+  }
+
+  void expect_same(const std::map<std::string, std::string>& got,
+                   const std::map<std::string, std::string>& want,
+                   const std::string& label) {
+    ASSERT_EQ(got.size(), want.size()) << label;
+    for (const auto& [name, content] : want) {
+      ASSERT_TRUE(got.count(name)) << label << " missing " << name;
+      EXPECT_EQ(got.at(name), content) << label << " " << name;
+    }
+  }
+
+  std::filesystem::path work_;
+  blast::DbInfo db_;
+  std::vector<std::vector<blast::Sequence>> blocks_;
+};
+
+TEST_F(MrBlastSimdE2e, HitFilesIdenticalAcrossIsaBackendSchedulerAndFaults) {
+  IsaPinGuard guard;
+
+  set_isa(Isa::Scalar);
+  const auto baseline = run_sim(base_config("scalar_chunk"));
+  ASSERT_FALSE(baseline.empty());
+
+  for (Isa isa : runnable_isas()) {
+    set_isa(isa);
+    const std::string level = isa_name(isa);
+
+    // Simulator backend, both schedulers.
+    {
+      auto config = base_config(level + "_chunk");
+      config.scheduler = sched::Policy::Chunk;
+      expect_same(run_sim(config), baseline, level + " sim/chunk");
+    }
+    {
+      auto config = base_config(level + "_steal");
+      config.scheduler = sched::Policy::Steal;
+      expect_same(run_sim(config), baseline, level + " sim/steal");
+    }
+
+    // Native backend.
+    {
+      auto config = base_config(level + "_native");
+      expect_same(run_native(config), baseline, level + " native");
+    }
+
+    // Simulator backend under a worker crash with fault tolerance on.
+    {
+      auto config = base_config(level + "_crash");
+      config.ft.enabled = true;
+      config.ft.task_timeout = 2.0;
+      fault::FaultPlan plan;
+      fault::CrashFault crash;
+      crash.rank = 1;
+      crash.task = 2;
+      plan.crashes.push_back(crash);
+      plan.validate(kRanks);
+      fault::Injector injector(plan);
+      expect_same(run_sim(config, &injector), baseline, level + " sim/crash");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// mrsom driver: ISA x backend
+
+TEST(SimdE2e, MrSomCodebookIdenticalAcrossIsaLevelsAndBackends) {
+  IsaPinGuard guard;
+  Rng data_rng(77);
+  Matrix data(80, 6);
+  for (std::size_t r = 0; r < data.rows(); ++r)
+    for (std::size_t c = 0; c < data.cols(); ++c)
+      data(r, c) = static_cast<float>(data_rng.uniform());
+  som::Codebook initial(som::SomGrid{5, 5}, data.cols());
+  initial.init_pca(data.view());
+
+  mrsom::ParallelSomConfig config;
+  config.params.epochs = 3;
+  config.block_vectors = 10;
+  config.deterministic_reduce = true;
+
+  auto train_sim = [&](Isa isa) {
+    set_isa(isa);
+    sim::EngineConfig ec;
+    ec.nprocs = kRanks;
+    sim::Engine engine(ec);
+    som::Codebook cb;
+    engine.run([&](sim::Process& p) {
+      mpi::Comm comm(p);
+      som::Codebook trained = mrsom::train_som_mr(comm, data.view(), initial, config);
+      if (p.rank() == 0) cb = std::move(trained);
+    });
+    return cb;
+  };
+  auto train_native = [&](Isa isa) {
+    set_isa(isa);
+    rt::LaunchConfig lc;
+    lc.backend = rt::Backend::Native;
+    lc.nranks = kRanks;
+    som::Codebook cb;
+    rt::launch(lc, [&](rt::Rank& rank) {
+      mpi::Comm comm(rank);
+      som::Codebook trained = mrsom::train_som_mr(comm, data.view(), initial, config);
+      if (rank.rank() == 0) cb = std::move(trained);
+    });
+    return cb;
+  };
+
+  const som::Codebook want = train_sim(Isa::Scalar);
+  const std::size_t bytes =
+      want.weights().rows() * want.weights().cols() * sizeof(float);
+  ASSERT_GT(bytes, 0u);
+  for (Isa isa : runnable_isas()) {
+    const som::Codebook sim_cb = train_sim(isa);
+    EXPECT_EQ(std::memcmp(sim_cb.weights().row(0).data(), want.weights().row(0).data(),
+                          bytes),
+              0)
+        << isa_name(isa) << " sim";
+    const som::Codebook native_cb = train_native(isa);
+    EXPECT_EQ(std::memcmp(native_cb.weights().row(0).data(),
+                          want.weights().row(0).data(), bytes),
+              0)
+        << isa_name(isa) << " native";
+  }
+}
+
+}  // namespace
+}  // namespace mrbio::simd

@@ -1,0 +1,262 @@
+// Differential tests of the floating-point SOM kernels: every variant
+// must produce bit-identical float/double results (the canonical striped
+// reduction makes that well-defined), and the full training entry points
+// must yield byte-identical codebooks under every pinned ISA level.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "simd/simd.hpp"
+#include "som/som.hpp"
+
+namespace mrbio::simd {
+namespace {
+
+struct IsaPinGuard {
+  ~IsaPinGuard() { clear_isa_override(); }
+};
+
+// ---------------------------------------------------------------------------
+// Independent references (the documented canonical semantics)
+
+double ref_dist2(const float* a, const float* b, std::size_t n) {
+  double p[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    p[i % 4] += d * d;
+  }
+  return (p[0] + p[2]) + (p[1] + p[3]);
+}
+
+void ref_scaled_accum(float* acc, const float* x, std::size_t n, double h) {
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[i] += static_cast<float>(h * static_cast<double>(x[i]));
+  }
+}
+
+void ref_online_update(float* w, const float* x, std::size_t n, double ah) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float diff = x[i] - w[i];
+    w[i] += static_cast<float>(ah * static_cast<double>(diff));
+  }
+}
+
+/// Mixed-magnitude random floats (exercise rounding, not just tiny values).
+std::vector<float> random_floats(Rng& rng, std::size_t n) {
+  std::vector<float> v(n);
+  for (auto& f : v) {
+    const double mag = rng.uniform() < 0.2   ? 1e6
+                       : rng.uniform() < 0.3 ? 1e-6
+                                             : 1.0;
+    f = static_cast<float>((rng.uniform() - 0.5) * 2.0 * mag);
+  }
+  return v;
+}
+
+void expect_bitwise_eq(std::span<const float> got, std::span<const float> want,
+                       const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(got[i]), std::bit_cast<std::uint32_t>(want[i]))
+        << label << " element " << i << ": " << got[i] << " vs " << want[i];
+  }
+}
+
+const std::size_t kLengths[] = {0, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 100, 257};
+
+TEST(SomKernelDifferential, Dist2Bitwise) {
+  Rng rng(11);
+  for (const std::size_t n : kLengths) {
+    const std::vector<float> a = random_floats(rng, n);
+    const std::vector<float> b = random_floats(rng, n);
+    const double want = ref_dist2(a.data(), b.data(), n);
+    for (Isa isa : runnable_isas()) {
+      const double got = kernels(isa).dist2_f32(a.data(), b.data(), n);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(got), std::bit_cast<std::uint64_t>(want))
+          << isa_name(isa) << " n=" << n << ": " << got << " vs " << want;
+    }
+  }
+}
+
+TEST(SomKernelDifferential, ScaledAccumBitwise) {
+  Rng rng(12);
+  for (const std::size_t n : kLengths) {
+    const std::vector<float> x = random_floats(rng, n);
+    const std::vector<float> acc0 = random_floats(rng, n);
+    const double h = rng.uniform(0.0, 2.0);
+    std::vector<float> want = acc0;
+    ref_scaled_accum(want.data(), x.data(), n, h);
+    for (Isa isa : runnable_isas()) {
+      std::vector<float> got = acc0;
+      kernels(isa).scaled_accum_f32(got.data(), x.data(), n, h);
+      expect_bitwise_eq(got, want, isa_name(isa));
+    }
+  }
+}
+
+TEST(SomKernelDifferential, OnlineUpdateBitwise) {
+  Rng rng(13);
+  for (const std::size_t n : kLengths) {
+    const std::vector<float> x = random_floats(rng, n);
+    const std::vector<float> w0 = random_floats(rng, n);
+    const double ah = rng.uniform(0.0, 0.5);
+    std::vector<float> want = w0;
+    ref_online_update(want.data(), x.data(), n, ah);
+    for (Isa isa : runnable_isas()) {
+      std::vector<float> got = w0;
+      kernels(isa).online_update_f32(got.data(), x.data(), n, ah);
+      expect_bitwise_eq(got, want, isa_name(isa));
+    }
+  }
+}
+
+TEST(SomKernelDifferential, AddAndScaleAssignBitwise) {
+  Rng rng(14);
+  for (const std::size_t n : kLengths) {
+    const std::vector<float> b = random_floats(rng, n);
+    const std::vector<float> a0 = random_floats(rng, n);
+    const std::vector<float> num = random_floats(rng, n);
+    const float denom = static_cast<float>(rng.uniform(0.5, 3.0));
+
+    std::vector<float> add_want = a0;
+    for (std::size_t i = 0; i < n; ++i) add_want[i] += b[i];
+    std::vector<float> scale_want(n);
+    for (std::size_t i = 0; i < n; ++i) scale_want[i] = num[i] / denom;
+
+    for (Isa isa : runnable_isas()) {
+      std::vector<float> add_got = a0;
+      kernels(isa).add_f32(add_got.data(), b.data(), n);
+      expect_bitwise_eq(add_got, add_want, isa_name(isa));
+      std::vector<float> scale_got(n);
+      kernels(isa).scale_assign_f32(scale_got.data(), num.data(), n, denom);
+      expect_bitwise_eq(scale_got, scale_want, isa_name(isa));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full SOM entry points across pinned ISA levels
+
+Matrix random_data(Rng& rng, std::size_t rows, std::size_t cols) {
+  Matrix data(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      data(r, c) = static_cast<float>(rng.uniform());
+  return data;
+}
+
+TEST(SomTrainingDifferential, FindBmuIdenticalAcrossIsaLevels) {
+  IsaPinGuard guard;
+  Rng rng(21);
+  // Dims 7 and 12 exercise vector tails; duplicate rows exercise the
+  // lowest-index tie-break.
+  for (const std::size_t dim : {std::size_t{7}, std::size_t{12}}) {
+    som::Codebook cb(som::SomGrid{6, 6}, dim);
+    cb.init_random(rng);
+    std::copy(cb.vector(14).begin(), cb.vector(14).end(), cb.vector(3).begin());
+    for (int iter = 0; iter < 40; ++iter) {
+      const std::vector<float> x = random_floats(rng, dim);
+      set_isa(Isa::Scalar);
+      const std::size_t want = som::find_bmu(cb, x);
+      for (Isa isa : runnable_isas()) {
+        set_isa(isa);
+        EXPECT_EQ(som::find_bmu(cb, x), want) << isa_name(isa) << " iter " << iter;
+      }
+    }
+  }
+}
+
+TEST(SomTrainingDifferential, TrainBatchCodebookByteIdentical) {
+  IsaPinGuard guard;
+  Rng data_rng(31);
+  const Matrix data = random_data(data_rng, 90, 9);
+  som::SomParams params;
+  params.epochs = 4;
+
+  auto train = [&](Isa isa) {
+    set_isa(isa);
+    Rng init_rng(5);
+    som::Codebook cb(som::SomGrid{5, 4}, data.cols());
+    cb.init_random(init_rng);
+    som::train_batch(cb, data.view(), params);
+    return cb;
+  };
+
+  const som::Codebook want = train(Isa::Scalar);
+  for (Isa isa : runnable_isas()) {
+    const som::Codebook got = train(isa);
+    ASSERT_EQ(got.weights().rows(), want.weights().rows());
+    EXPECT_EQ(std::memcmp(got.weights().row(0).data(), want.weights().row(0).data(),
+                          want.weights().rows() * want.weights().cols() * sizeof(float)),
+              0)
+        << isa_name(isa);
+  }
+}
+
+TEST(SomTrainingDifferential, TrainOnlineCodebookByteIdentical) {
+  IsaPinGuard guard;
+  Rng data_rng(41);
+  const Matrix data = random_data(data_rng, 70, 6);
+  som::SomParams params;
+  params.epochs = 3;
+
+  auto train = [&](Isa isa) {
+    set_isa(isa);
+    Rng init_rng(6);
+    som::Codebook cb(som::SomGrid{4, 4}, data.cols());
+    cb.init_random(init_rng);
+    Rng train_rng(7);
+    som::train_online(cb, data.view(), params, train_rng);
+    return cb;
+  };
+
+  const som::Codebook want = train(Isa::Scalar);
+  for (Isa isa : runnable_isas()) {
+    const som::Codebook got = train(isa);
+    ASSERT_EQ(got.weights().rows(), want.weights().rows());
+    EXPECT_EQ(std::memcmp(got.weights().row(0).data(), want.weights().row(0).data(),
+                          want.weights().rows() * want.weights().cols() * sizeof(float)),
+              0)
+        << isa_name(isa);
+  }
+}
+
+TEST(SomTrainingDifferential, BatchAccumulatorMergeApplyIdentical) {
+  IsaPinGuard guard;
+  Rng rng(51);
+  const Matrix data = random_data(rng, 40, 8);
+  som::Codebook base(som::SomGrid{4, 3}, data.cols());
+  base.init_random(rng);
+
+  auto accumulate = [&](Isa isa) {
+    set_isa(isa);
+    som::Codebook cb = base;
+    // Two shards merged, as the parallel decomposition does.
+    som::BatchAccumulator acc1(cb.grid(), cb.dim());
+    som::BatchAccumulator acc2(cb.grid(), cb.dim());
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+      auto& acc = r < data.rows() / 2 ? acc1 : acc2;
+      acc.add(cb, data.view().row(r), 1.5);
+    }
+    acc1.merge(acc2);
+    acc1.apply(cb);
+    return cb;
+  };
+
+  const som::Codebook want = accumulate(Isa::Scalar);
+  for (Isa isa : runnable_isas()) {
+    const som::Codebook got = accumulate(isa);
+    EXPECT_EQ(std::memcmp(got.weights().row(0).data(), want.weights().row(0).data(),
+                          want.weights().rows() * want.weights().cols() * sizeof(float)),
+              0)
+        << isa_name(isa);
+  }
+}
+
+}  // namespace
+}  // namespace mrbio::simd

@@ -1,0 +1,276 @@
+// Differential tests of the word-scan kernels: packed codes, validity
+// masks, and the carried rolling state must match an independent
+// run-counter reference and be identical across every runnable ISA — for
+// all alphabet edge bytes, all word sizes, and arbitrary block splits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "blast/lookup.hpp"
+#include "blast/score.hpp"
+#include "common/rng.hpp"
+#include "simd/simd.hpp"
+
+namespace mrbio::simd {
+namespace {
+
+struct IsaPinGuard {
+  ~IsaPinGuard() { clear_isa_override(); }
+};
+
+// ---------------------------------------------------------------------------
+// prot_words
+
+void ref_prot_words(const std::uint8_t* s, std::size_t m, std::uint16_t* codes,
+                    std::uint64_t* valid) {
+  *valid = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    codes[i] = static_cast<std::uint16_t>(
+        (static_cast<unsigned>(s[i]) * 20u + s[i + 1]) * 20u + s[i + 2]);
+    if (s[i] < 20 && s[i + 1] < 20 && s[i + 2] < 20) {
+      *valid |= std::uint64_t{1} << i;
+    }
+  }
+}
+
+/// Only codes at valid positions are meaningful; invalid lanes may hold
+/// anything, so compare exactly that.
+void expect_same_valid_codes(std::uint64_t valid_want, const std::uint16_t* want,
+                             std::uint64_t valid_got, const std::uint16_t* got,
+                             std::size_t m, const char* label) {
+  EXPECT_EQ(valid_got, valid_want) << label;
+  for (std::size_t i = 0; i < m; ++i) {
+    if ((valid_want >> i) & 1) {
+      EXPECT_EQ(got[i], want[i]) << label << " pos " << i;
+    }
+  }
+}
+
+TEST(ProtWordsDifferential, RandomResiduesAllIsas) {
+  Rng rng(5);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t m = rng.below(65);
+    std::vector<std::uint8_t> s(m + 2);
+    for (auto& c : s) {
+      const double u = rng.uniform();
+      c = u < 0.05   ? std::uint8_t{31}
+          : u < 0.12 ? std::uint8_t{20}
+                     : static_cast<std::uint8_t>(rng.below(20));
+    }
+    std::uint16_t want_codes[64];
+    std::uint64_t want_valid = 0;
+    ref_prot_words(s.data(), m, want_codes, &want_valid);
+    for (Isa isa : runnable_isas()) {
+      std::uint16_t codes[64];
+      std::uint64_t valid = 0;
+      kernels(isa).prot_words(s.data(), m, codes, &valid);
+      expect_same_valid_codes(want_valid, want_codes, valid, codes, m, isa_name(isa));
+    }
+  }
+}
+
+// Every byte value must classify correctly: 0..19 residue, >= 20 invalid.
+TEST(ProtWordsDifferential, AllEdgeBytesClassify) {
+  for (int mid = 0; mid < 256; ++mid) {
+    std::uint8_t s[6] = {0, static_cast<std::uint8_t>(mid), 1, 2, 3, 4};
+    std::uint16_t want_codes[64];
+    std::uint64_t want_valid = 0;
+    ref_prot_words(s, 4, want_codes, &want_valid);
+    for (Isa isa : runnable_isas()) {
+      std::uint16_t codes[64];
+      std::uint64_t valid = 0;
+      kernels(isa).prot_words(s, 4, codes, &valid);
+      expect_same_valid_codes(want_valid, want_codes, valid, codes, 4, isa_name(isa));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// dna_words
+
+/// Independent whole-sequence reference using the classic run counter:
+/// (end offset, packed word) for every position where the last word_size
+/// bases are unambiguous.
+std::vector<std::pair<std::size_t, std::uint32_t>> ref_dna_scan(
+    std::span<const std::uint8_t> s, int w) {
+  const std::uint32_t mask = (std::uint32_t{1} << (2 * w)) - 1;
+  std::uint32_t word = 0;
+  int run = 0;
+  std::vector<std::pair<std::size_t, std::uint32_t>> out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] >= 4) {
+      run = 0;
+      continue;
+    }
+    word = ((word << 2) | s[i]) & mask;
+    if (++run >= w) out.emplace_back(i, word);
+  }
+  return out;
+}
+
+/// Streams `s` through the kernel in blocks of `block` bytes, collecting
+/// (end offset, code) at valid positions.
+std::vector<std::pair<std::size_t, std::uint32_t>> kernel_dna_scan(
+    const Kernels& kern, std::span<const std::uint8_t> s, int w, std::size_t block) {
+  const std::uint32_t mask = (std::uint32_t{1} << (2 * w)) - 1;
+  std::uint32_t word = 0;
+  std::uint64_t hist = 0;
+  std::uint32_t codes[48];
+  std::uint64_t valid = 0;
+  std::vector<std::pair<std::size_t, std::uint32_t>> out;
+  for (std::size_t base = 0; base < s.size(); base += block) {
+    const std::size_t m = std::min(block, s.size() - base);
+    kern.dna_words(s.data() + base, m, w, mask, &word, &hist, codes, &valid);
+    while (valid != 0) {
+      const int i = std::countr_zero(valid);
+      valid &= valid - 1;
+      out.emplace_back(base + static_cast<std::size_t>(i), codes[i]);
+    }
+  }
+  return out;
+}
+
+TEST(DnaWordsDifferential, MatchesRunCounterReferenceAcrossBlockSplits) {
+  Rng rng(31);
+  for (int w : {4, 7, 11, 13}) {
+    for (int iter = 0; iter < 30; ++iter) {
+      const std::size_t n = rng.below(300);
+      std::vector<std::uint8_t> s(n);
+      for (auto& c : s) {
+        const double u = rng.uniform();
+        c = u < 0.06   ? std::uint8_t{4}
+            : u < 0.09 ? std::uint8_t{31}
+                       : static_cast<std::uint8_t>(rng.below(4));
+      }
+      const auto want = ref_dna_scan(s, w);
+      for (Isa isa : runnable_isas()) {
+        for (std::size_t block : {std::size_t{48}, std::size_t{17}, std::size_t{1}}) {
+          const auto got = kernel_dna_scan(kernels(isa), s, w, block);
+          EXPECT_EQ(got, want)
+              << isa_name(isa) << " w=" << w << " block=" << block << " iter " << iter;
+        }
+      }
+    }
+  }
+}
+
+// The carried state (word_io / hist_io) is part of the contract — a block
+// processed by one variant must leave the exact state any other variant
+// would, or mixed-dispatch streams would diverge.
+TEST(DnaWordsDifferential, CarriedStateIdenticalAcrossIsas) {
+  Rng rng(83);
+  const int w = 11;
+  const std::uint32_t mask = (std::uint32_t{1} << (2 * w)) - 1;
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t m = 1 + rng.below(48);
+    std::vector<std::uint8_t> s(m);
+    for (auto& c : s) {
+      c = rng.uniform() < 0.1 ? std::uint8_t{4}
+                              : static_cast<std::uint8_t>(rng.below(4));
+    }
+    const std::uint32_t word_in = static_cast<std::uint32_t>(rng.below(mask + 1));
+    const std::uint64_t hist_in = rng.below(std::uint64_t{1} << (w - 1));
+
+    std::uint32_t want_word = 0;
+    std::uint64_t want_hist = 0;
+    std::uint64_t want_valid = 0;
+    std::uint32_t want_codes[48];
+    bool first = true;
+    for (Isa isa : runnable_isas()) {
+      std::uint32_t word = word_in;
+      std::uint64_t hist = hist_in;
+      std::uint64_t valid = 0;
+      std::uint32_t codes[48];
+      kernels(isa).dna_words(s.data(), m, w, mask, &word, &hist, codes, &valid);
+      if (first) {
+        want_word = word;
+        want_hist = hist;
+        want_valid = valid;
+        std::copy(codes, codes + m, want_codes);
+        first = false;
+        continue;
+      }
+      EXPECT_EQ(word, want_word) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(hist, want_hist) << isa_name(isa) << " iter " << iter;
+      EXPECT_EQ(valid, want_valid) << isa_name(isa) << " iter " << iter;
+      for (std::size_t i = 0; i < m; ++i) {
+        if ((want_valid >> i) & 1) {
+          EXPECT_EQ(codes[i], want_codes[i]) << isa_name(isa) << " pos " << i;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lookup tables built under each pinned level must be identical.
+
+TEST(LookupDifferential, NucLookupIdenticalAcrossIsaLevels) {
+  IsaPinGuard guard;
+  Rng rng(99);
+  std::vector<std::uint8_t> concat(600);
+  for (auto& c : concat) {
+    const double u = rng.uniform();
+    c = u < 0.05   ? std::uint8_t{4}
+        : u < 0.08 ? std::uint8_t{31}
+                   : static_cast<std::uint8_t>(rng.below(4));
+  }
+  for (int w : {4, 6}) {
+    set_isa(Isa::Scalar);
+    const blast::NucLookup want(concat, w);
+    const std::uint32_t nbuckets = std::uint32_t{1} << (2 * w);
+    for (Isa isa : runnable_isas()) {
+      set_isa(isa);
+      const blast::NucLookup got(concat, w);
+      ASSERT_EQ(got.total_positions(), want.total_positions())
+          << isa_name(isa) << " w=" << w;
+      for (std::uint32_t bucket = 0; bucket < nbuckets; ++bucket) {
+        const auto ws = want.hits(bucket);
+        const auto gs = got.hits(bucket);
+        ASSERT_EQ(gs.size(), ws.size()) << isa_name(isa) << " bucket " << bucket;
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+          EXPECT_EQ(gs[i], ws[i]) << isa_name(isa) << " bucket " << bucket;
+        }
+      }
+    }
+  }
+}
+
+TEST(LookupDifferential, ProtLookupIdenticalAcrossIsaLevels) {
+  IsaPinGuard guard;
+  Rng rng(101);
+  std::vector<std::uint8_t> concat(300);
+  for (auto& c : concat) {
+    const double u = rng.uniform();
+    c = u < 0.04   ? std::uint8_t{31}
+        : u < 0.08 ? std::uint8_t{20}
+                   : static_cast<std::uint8_t>(rng.below(20));
+  }
+  const blast::Scorer scorer = blast::Scorer::blosum62();
+  for (int threshold : {0, 11}) {
+    set_isa(Isa::Scalar);
+    const blast::ProtLookup want(concat, threshold, scorer);
+    for (Isa isa : runnable_isas()) {
+      set_isa(isa);
+      const blast::ProtLookup got(concat, threshold, scorer);
+      ASSERT_EQ(got.total_positions(), want.total_positions())
+          << isa_name(isa) << " T=" << threshold;
+      for (std::uint32_t bucket = 0; bucket < blast::ProtLookup::kIndexSize; ++bucket) {
+        const auto ws = want.hits(bucket);
+        const auto gs = got.hits(bucket);
+        ASSERT_EQ(gs.size(), ws.size()) << isa_name(isa) << " bucket " << bucket;
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+          EXPECT_EQ(gs[i], ws[i]) << isa_name(isa) << " bucket " << bucket;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrbio::simd

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 
 #include "blast/sequence.hpp"
 #include "common/mmap_file.hpp"
@@ -137,6 +138,47 @@ TEST_F(ToolsTest, FullBlastPipeline) {
     }
   }
   EXPECT_EQ(self_hits, 0u);
+}
+
+TEST_F(ToolsTest, SimdFlagSelectsLevelWithIdenticalHits) {
+  Rng rng(23);
+  std::vector<blast::Sequence> genomes;
+  for (int g = 0; g < 2; ++g) {
+    genomes.push_back(
+        blast::random_sequence(rng, "genome" + std::to_string(g), 900, blast::SeqType::Dna));
+  }
+  blast::write_fasta_file(path("genomes.fa"), genomes, blast::SeqType::Dna);
+  ASSERT_EQ(run(tool("shred_fasta") + " --in " + path("genomes.fa") + " --out " +
+                path("reads.fa") + " --length 200 --overlap 100"),
+            0);
+  ASSERT_EQ(run(tool("mrformatdb") + " --in " + path("genomes.fa") + " --out " +
+                path("db") + " --volume-residues 2000"),
+            0);
+
+  auto hits_of = [&](const std::string& out) {
+    std::map<std::string, std::string> files;
+    for (const auto& entry : fs::directory_iterator(path(out))) {
+      files[entry.path().filename().string()] = slurp(entry.path());
+    }
+    return files;
+  };
+  const std::string base_cmd = tool("mrblast_search") + " --query " + path("reads.fa") +
+                               " --db " + path("db.mal") +
+                               " --ranks 3 --block 5 --evalue 1e-6 --no-filter";
+
+  // Every level (and the env-var spelling) produces byte-identical hits.
+  ASSERT_EQ(run(base_cmd + " --out " + path("hits_scalar") + " --simd scalar"), 0);
+  const auto want = hits_of("hits_scalar");
+  ASSERT_FALSE(want.empty());
+  ASSERT_EQ(run(base_cmd + " --out " + path("hits_auto") + " --simd auto"), 0);
+  EXPECT_EQ(hits_of("hits_auto"), want);
+  ASSERT_EQ(run("MRBIO_SIMD=scalar " + base_cmd + " --out " + path("hits_env")), 0);
+  EXPECT_EQ(hits_of("hits_env"), want);
+
+  // Unknown levels are rejected up front.
+  EXPECT_NE(run(base_cmd + " --out " + path("hits_bad") + " --simd avx512"), 0);
+  EXPECT_NE(run(tool("mrsom_train") + " --simd turbo"), 0);
+  EXPECT_NE(run(tool("mrgraph_build") + " --simd turbo"), 0);
 }
 
 TEST_F(ToolsTest, ProteinPipeline) {

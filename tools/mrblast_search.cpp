@@ -16,7 +16,7 @@
 //                  [--log-json events.jsonl]
 //                  [--faults "crash:rank=3@t=0.4"] [--ft-timeout 5] [--ft-retries 3]
 //                  [--checkpoint-dir ckpt/] [--checkpoint-interval 5] [--resume]
-//                  [--virtual-rate 1e-8]
+//                  [--virtual-rate auto] [--simd scalar|sse|avx2|auto]
 //
 // Exit codes: 0 success, 1 error, 3 job killed by a kill: fault (restart
 // with --resume to continue from the last checkpoint).
@@ -34,6 +34,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "rt/backend.hpp"
+#include "simd/simd.hpp"
 #include "trace/trace.hpp"
 
 using namespace mrbio;
@@ -78,10 +79,15 @@ int main(int argc, char** argv) {
            "min virtual seconds between map-log flushes (0 = flush every task)");
   opts.add_flag("resume", "continue from the checkpoint in --checkpoint-dir, "
                           "truncating hit files to the last committed cycle");
-  opts.add("virtual-rate", "1e-8",
+  opts.add("virtual-rate", "auto",
            "sim backend: virtual seconds charged per alignment cell "
            "(query x partition residues), so the virtual timeline reflects "
-           "search work and time-triggered faults can fire; 0 disables");
+           "search work and time-triggered faults can fire; 0 disables, "
+           "auto = the measured per-cell kernel constant");
+  opts.add("simd", "auto",
+           "SIMD level for the alignment kernels: scalar|sse|avx2|auto "
+           "(auto = best this CPU supports; results are bit-identical "
+           "across levels)");
   opts.add("log", "", "log level: debug/info/warn/error/off (default $MRBIO_LOG or warn)");
   std::unique_ptr<fault::Injector> injector;
   try {
@@ -137,7 +143,13 @@ int main(int argc, char** argv) {
 
     config.blocks_per_iteration =
         static_cast<std::size_t>(opts.integer("blocks-per-iter"));
-    config.virtual_seconds_per_cell = opts.real("virtual-rate");
+    if (opts.str("virtual-rate") != "auto") {
+      config.virtual_seconds_per_cell = opts.real("virtual-rate");
+    }
+    // Not part of the checkpoint fingerprint: every level computes the
+    // same bits, so a resume may legitimately switch levels.
+    simd::set_isa(simd::parse_isa(opts.str("simd")));
+    MRBIO_LOG(Info, "simd level: ", simd::isa_name(simd::active_isa()));
     rt::LaunchConfig lc;
     lc.backend = rt::backend_from_name(opts.str("backend"));
     lc.nranks = opts.integer("ranks") > 0 ? static_cast<int>(opts.integer("ranks"))

@@ -24,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "rt/backend.hpp"
+#include "simd/simd.hpp"
 #include "trace/trace.hpp"
 
 using namespace mrbio;
@@ -65,11 +66,17 @@ int main(int argc, char** argv) {
            "also write every log line as a structured JSONL event to this path");
   opts.add("faults", "", "fault plan: spec/JSON string, or a path to a plan file "
                          "(slow:/delay: faults shape the sim timeline)");
+  opts.add("simd", "auto",
+           "SIMD level for the extension kernels: scalar|sse|avx2|auto "
+           "(auto = best this CPU supports; results are bit-identical "
+           "across levels)");
   opts.add("log", "", "log level: debug/info/warn/error/off");
   std::unique_ptr<fault::Injector> injector;
   try {
     if (!opts.parse(argc, argv)) return 0;
     if (!opts.str("log").empty()) set_log_level(parse_log_level(opts.str("log")));
+    simd::set_isa(simd::parse_isa(opts.str("simd")));
+    MRBIO_LOG(Info, "simd level: ", simd::isa_name(simd::active_isa()));
     // Install the event-log sink before anything that can emit MRBIO_LOG
     // lines (fault-plan parsing), so --log-json captures the whole run,
     // not just the launch.

@@ -29,6 +29,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "rt/backend.hpp"
+#include "simd/simd.hpp"
 #include "trace/trace.hpp"
 
 using namespace mrbio;
@@ -73,11 +74,17 @@ int main(int argc, char** argv) {
   opts.add("checkpoint-interval", "5",
            "min virtual seconds between map-log flushes (0 = flush every task)");
   opts.add_flag("resume", "continue from the last checkpointed epoch in --checkpoint-dir");
+  opts.add("simd", "auto",
+           "SIMD level for the BMU/accumulator kernels: scalar|sse|avx2|auto "
+           "(auto = best this CPU supports; results are bit-identical "
+           "across levels)");
   opts.add("log", "", "log level: debug/info/warn/error/off (default $MRBIO_LOG or warn)");
   std::unique_ptr<fault::Injector> injector;
   try {
     if (!opts.parse(argc, argv)) return 0;
     if (!opts.str("log").empty()) set_log_level(parse_log_level(opts.str("log")));
+    simd::set_isa(simd::parse_isa(opts.str("simd")));
+    MRBIO_LOG(Info, "simd level: ", simd::isa_name(simd::active_isa()));
     // Install the event-log sink before anything that can emit MRBIO_LOG
     // lines (checkpoint open, fault-plan parsing), so --log-json captures
     // the whole run, not just the launch.
