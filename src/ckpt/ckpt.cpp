@@ -134,6 +134,11 @@ std::string Checkpointer::map_log_path(int rank, std::uint64_t cycle) const {
          ".log";
 }
 
+std::string Checkpointer::shard_log_path(int shard, std::uint64_t cycle) const {
+  return config_.dir + "/shard." + std::to_string(shard) + ".c" +
+         std::to_string(cycle) + ".log";
+}
+
 std::string Checkpointer::spill_dir() const { return config_.dir + "/spill"; }
 
 void Checkpointer::remove_own_files() {
@@ -144,6 +149,8 @@ void Checkpointer::remove_own_files() {
                       (name.rfind("snap.", 0) == 0 && name.size() > 9 &&
                        name.compare(name.size() - 4, 4, ".bin") == 0) ||
                       (name.rfind("map.r", 0) == 0 && name.size() > 9 &&
+                       name.compare(name.size() - 4, 4, ".log") == 0) ||
+                      (name.rfind("shard.", 0) == 0 && name.size() > 10 &&
                        name.compare(name.size() - 4, 4, ".log") == 0);
     if (ours) {
       fs::remove(entry.path(), ec);
@@ -303,6 +310,43 @@ std::unique_ptr<RecordWriter> Checkpointer::open_map_log(int rank, std::uint64_t
   return std::make_unique<RecordWriter>(map_log_path(rank, cycle), valid_end);
 }
 
+std::uint64_t Checkpointer::read_shard_log(
+    int shard, std::uint64_t cycle,
+    const std::function<void(std::span<const std::byte>)>& fn) {
+  RecordReader reader(shard_log_path(shard, cycle));
+  std::vector<std::byte> payload;
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;
+  ReadStatus st;
+  while ((st = reader.next(payload)) == ReadStatus::Ok) {
+    ++records;
+    bytes += payload.size();
+    fn(payload);
+  }
+  if (st == ReadStatus::Corrupt) {
+    note_corrupt();
+    MRBIO_LOG(Warn, "checkpoint shard journal ", shard_log_path(shard, cycle),
+              " has a corrupt record after offset ", reader.valid_end(),
+              "; tasks of shard ", shard, " committed after that point will re-run");
+  }
+  note_replayed(records, bytes);
+  return reader.valid_end();
+}
+
+std::unique_ptr<RecordWriter> Checkpointer::open_shard_log(int shard,
+                                                           std::uint64_t cycle,
+                                                           std::uint64_t valid_end) {
+  return std::make_unique<RecordWriter>(shard_log_path(shard, cycle), valid_end);
+}
+
+bool Checkpointer::any_shard_log(std::uint64_t cycle, int nshards) const {
+  for (int s = 0; s < nshards; ++s) {
+    std::error_code ec;
+    if (fs::exists(shard_log_path(s, cycle), ec)) return true;
+  }
+  return false;
+}
+
 void Checkpointer::remove_map_log(int rank, std::uint64_t cycle) {
   std::error_code ec;
   fs::remove(map_log_path(rank, cycle), ec);
@@ -348,6 +392,11 @@ void Checkpointer::after_ledger_write() {
 void Checkpointer::after_map_log_write(int rank, std::uint64_t cycle) {
   std::lock_guard<std::mutex> lock(mutex_);
   maybe_corrupt(map_log_path(rank, cycle), fault::CorruptTarget::MapLog);
+}
+
+void Checkpointer::after_shard_log_write(int shard, std::uint64_t cycle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  maybe_corrupt(shard_log_path(shard, cycle), fault::CorruptTarget::Shard);
 }
 
 void Checkpointer::after_snapshot_write(const std::string& name) {

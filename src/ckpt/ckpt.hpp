@@ -154,6 +154,22 @@ class Checkpointer {
   void save_snapshot(const std::string& name, std::span<const std::byte> payload);
   bool load_snapshot(const std::string& name, std::vector<std::byte>& out);
 
+  // -- Per-shard, per-cycle commit journals of the sharded exactly-once
+  // ledger (`shard.<S>.c<C>.log`). A shard owner appends each commit
+  // decision BEFORE granting it, so a deterministic successor can replay
+  // the log after the owner's death; kill->resume reads every shard's
+  // journal to decide which map-log records are truly committed.
+  // Corruption of one journal degrades only that shard's task range.
+  std::string shard_log_path(int shard, std::uint64_t cycle) const;
+  std::uint64_t read_shard_log(int shard, std::uint64_t cycle,
+                               const std::function<void(std::span<const std::byte>)>& fn);
+  std::unique_ptr<RecordWriter> open_shard_log(int shard, std::uint64_t cycle,
+                                               std::uint64_t valid_end);
+  /// True when any shard journal exists for `cycle` (given `nshards`
+  /// possible shards) — i.e. a previous (killed) sharded run got far
+  /// enough to journal commits.
+  bool any_shard_log(std::uint64_t cycle, int nshards) const;
+
   // -- Per-rank, per-cycle map-task logs.
   std::string map_log_path(int rank, std::uint64_t cycle) const;
   /// Replays every intact record through `fn`; returns the truncation
@@ -183,6 +199,7 @@ class Checkpointer {
   // consumes at most one pending corrupt fault from the injector.
   void after_ledger_write();
   void after_map_log_write(int rank, std::uint64_t cycle);
+  void after_shard_log_write(int shard, std::uint64_t cycle);
   void after_snapshot_write(const std::string& name);
 
  private:

@@ -1,0 +1,142 @@
+#include "fault/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mrbio::fault {
+
+namespace {
+
+// log10(e): converts the normalized silence (gap / mean) into the
+// phi-accrual scale under an exponential inter-arrival model.
+constexpr double kLog10E = 0.43429448190325176;
+
+// EWMA weight for new inter-arrival samples: recent behavior dominates
+// within ~10 arrivals without a sliding-window allocation per peer.
+constexpr double kGapAlpha = 0.2;
+
+double to_real(const std::string& field, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    MRBIO_REQUIRE(used == value.size(), "heartbeat config: bad number for ", field,
+                  ": '", value, "'");
+    return v;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw InputError(format_msg("heartbeat config: bad number for ", field, ": '",
+                                value, "'"));
+  }
+}
+
+}  // namespace
+
+HeartbeatConfig HeartbeatConfig::parse(const std::string& spec) {
+  HeartbeatConfig config;
+  config.enabled = true;
+  std::string field;
+  std::istringstream in(spec);
+  while (std::getline(in, field, ',')) {
+    // Trim surrounding whitespace.
+    const auto b = field.find_first_not_of(" \t");
+    const auto e = field.find_last_not_of(" \t");
+    field = b == std::string::npos ? std::string() : field.substr(b, e - b + 1);
+    if (field.empty()) continue;
+    if (field == "on") {
+      config.enabled = true;
+      continue;
+    }
+    if (field == "off") {
+      config.enabled = false;
+      continue;
+    }
+    const std::size_t eq = field.find('=');
+    MRBIO_REQUIRE(eq != std::string::npos && eq > 0,
+                  "heartbeat config: expected key=value, got '", field, "'");
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    MRBIO_REQUIRE(!value.empty(), "heartbeat config: empty value for ", key);
+    if (key == "interval") {
+      config.interval = to_real(key, value);
+      MRBIO_REQUIRE(config.interval > 0.0,
+                    "heartbeat config: interval must be positive");
+    } else if (key == "phi") {
+      config.threshold = to_real(key, value);
+      MRBIO_REQUIRE(config.threshold > 0.0,
+                    "heartbeat config: phi threshold must be positive");
+    } else if (key == "samples") {
+      const double v = to_real(key, value);
+      // Range-check before the int cast: a fuzzer-sized value like 1e300
+      // would make the cast itself undefined behaviour.
+      MRBIO_REQUIRE(v >= 1.0 && v <= 1e6 && v == std::floor(v),
+                    "heartbeat config: samples must be a positive integer");
+      config.min_samples = static_cast<int>(v);
+    } else {
+      throw InputError(format_msg("heartbeat config: unknown key '", key,
+                                  "' (expected interval/phi/samples/on/off)"));
+    }
+  }
+  return config;
+}
+
+void PhiAccrualDetector::heard(int peer, double now) {
+  if (peer < 0) return;
+  const auto i = static_cast<std::size_t>(peer);
+  if (i >= peers_.size()) {
+    peers_.resize(i + 1);
+    known_.resize(i + 1, false);
+  }
+  PeerState& s = peers_[i];
+  if (!known_[i]) {
+    known_[i] = true;
+    s.last = now;
+    s.mean_gap = config_.interval;
+    s.samples = 1;
+    return;
+  }
+  const double gap = std::max(0.0, now - s.last);
+  s.mean_gap = s.samples == 1 ? std::max(gap, config_.interval)
+                              : (1.0 - kGapAlpha) * s.mean_gap + kGapAlpha * gap;
+  s.last = now;
+  ++s.samples;
+}
+
+const PhiAccrualDetector::PeerState* PhiAccrualDetector::find(int peer) const {
+  if (peer < 0) return nullptr;
+  const auto i = static_cast<std::size_t>(peer);
+  if (i >= peers_.size() || !known_[i]) return nullptr;
+  return &peers_[i];
+}
+
+double PhiAccrualDetector::phi(int peer, double now) const {
+  const PeerState* s = find(peer);
+  if (s == nullptr || s->samples < config_.min_samples) return 0.0;
+  const double mean = std::max(s->mean_gap, config_.interval);
+  const double silence = std::max(0.0, now - s->last);
+  return kLog10E * silence / mean;
+}
+
+bool PhiAccrualDetector::suspect(int peer, double now) const {
+  return phi(peer, now) > config_.threshold;
+}
+
+void PhiAccrualDetector::forget(int peer) {
+  if (peer < 0) return;
+  const auto i = static_cast<std::size_t>(peer);
+  if (i < peers_.size()) {
+    peers_[i] = PeerState{};
+    known_[i] = false;
+  }
+}
+
+double PhiAccrualDetector::max_phi(double now) const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (known_[i]) best = std::max(best, phi(static_cast<int>(i), now));
+  }
+  return best;
+}
+
+}  // namespace mrbio::fault

@@ -1,0 +1,87 @@
+// Lightweight phi-accrual failure detection for the scheduling protocols.
+//
+// The detector piggybacks on protocol traffic: every message a scheduler
+// receives from a peer is a heartbeat (heard()), so no extra wire traffic
+// is generated. For each peer it keeps an exponentially weighted mean of
+// the inter-arrival gaps and expresses the current silence as a suspicion
+// level
+//
+//   phi(peer, now) = log10(e) * (now - last_heard) / mean_gap
+//
+// which is the phi-accrual statistic of Hayashibara et al. under an
+// exponential inter-arrival model: phi = 1 means the silence is ~10x the
+// mean gap, phi = 2 is ~100x, and so on. A peer is suspected once phi
+// exceeds the configured threshold — but only after a minimum number of
+// samples, so a peer that has simply not spoken yet is never evicted.
+//
+// Schedulers use suspicion to evict workers early (revert and re-grant
+// their outstanding tasks before the full per-attempt timeout) and to
+// trigger ledger-shard failover. Eviction is always safe: the exactly-
+// once commit ledger discards duplicate completions, so a false positive
+// costs duplicated compute, never correctness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mrbio::fault {
+
+/// Tuning for the heartbeat/phi-accrual detector. Defaults are off: the
+/// drivers enable it explicitly (--heartbeat) so library users and tests
+/// that construct FtConfig directly keep the pure timeout behavior.
+struct HeartbeatConfig {
+  bool enabled = false;
+  double interval = 0.25;   ///< floor for the learned mean gap (seconds)
+  double threshold = 8.0;   ///< suspect when phi exceeds this
+  int min_samples = 3;      ///< arrivals required before suspicion is allowed
+
+  /// Parses "interval=0.5,phi=6,samples=4" (any subset; bare "on"/"off"
+  /// toggles). Throws InputError on malformed fields, non-positive
+  /// intervals, or non-positive thresholds.
+  static HeartbeatConfig parse(const std::string& spec);
+};
+
+/// Per-peer phi-accrual suspicion state. Not thread-safe: each scheduler
+/// loop owns one detector for the peers it watches.
+class PhiAccrualDetector {
+ public:
+  PhiAccrualDetector() = default;
+  explicit PhiAccrualDetector(HeartbeatConfig config) : config_(config) {}
+
+  const HeartbeatConfig& config() const { return config_; }
+
+  /// Records one arrival from `peer` at time `now`.
+  void heard(int peer, double now);
+
+  /// Current suspicion level for `peer`; 0 before min_samples arrivals.
+  double phi(int peer, double now) const;
+
+  /// True when `peer` has been silent long enough that phi exceeds the
+  /// threshold (and at least min_samples arrivals were seen).
+  bool suspect(int peer, double now) const;
+
+  /// Forgets `peer` (e.g. after an eviction, so a recovered peer starts
+  /// with a clean window instead of an inflated mean).
+  void forget(int peer);
+
+  /// Largest phi over all tracked peers; feeds the fault.phi_max gauge.
+  double max_phi(double now) const;
+
+ private:
+  struct PeerState {
+    double last = 0.0;      ///< time of the most recent arrival
+    double mean_gap = 0.0;  ///< EWMA of inter-arrival gaps
+    int samples = 0;
+  };
+
+  const PeerState* find(int peer) const;
+
+  HeartbeatConfig config_;
+  std::vector<PeerState> peers_;  ///< indexed by rank, grown on demand
+  std::vector<bool> known_;
+};
+
+}  // namespace mrbio::fault

@@ -146,11 +146,13 @@ void add_clause(FaultPlan& plan, const std::string& kind,
         c.target = CorruptTarget::MapLog;
       } else if (*target == "snapshot") {
         c.target = CorruptTarget::Snapshot;
+      } else if (*target == "shard") {
+        c.target = CorruptTarget::Shard;
       } else if (*target == "any") {
         c.target = CorruptTarget::Any;
       } else {
         throw InputError(format_msg("fault plan: corrupt target must be ",
-                                    "ledger/map/snapshot/any, got '", *target, "'"));
+                                    "ledger/map/snapshot/shard/any, got '", *target, "'"));
       }
     }
     if (const std::string* byte = get("byte")) {
@@ -338,12 +340,14 @@ class JsonReader {
 
 }  // namespace
 
-void FaultPlan::validate(int nranks, bool checkpointing) const {
+void FaultPlan::validate(int nranks, bool checkpointing, bool master_failover) const {
   for (const CrashFault& c : crashes) {
     MRBIO_REQUIRE(c.rank >= 0 && c.rank < nranks, "fault plan: crash rank ", c.rank,
                   " outside [0, ", nranks, ")");
-    MRBIO_REQUIRE(c.rank != 0, "fault plan: rank 0 is the master-worker scheduler and ",
-                  "cannot crash");
+    MRBIO_REQUIRE(c.rank != 0 || master_failover,
+                  "fault plan: rank 0 is the master-worker scheduler and cannot ",
+                  "crash (use --scheduler steal, whose sharded ledger elects a ",
+                  "successor)");
   }
   for (const MessageFault& m : messages) {
     MRBIO_REQUIRE(m.src >= -1 && m.src < nranks, "fault plan: message src ", m.src,
@@ -395,6 +399,7 @@ std::string FaultPlan::describe() const {
     const char* target = c.target == CorruptTarget::Ledger     ? "ledger"
                          : c.target == CorruptTarget::MapLog   ? "map"
                          : c.target == CorruptTarget::Snapshot ? "snapshot"
+                         : c.target == CorruptTarget::Shard    ? "shard"
                                                                : "any";
     sep() << "corrupt:target=" << target;
     if (c.byte >= 0) os << ",byte=" << c.byte;

@@ -114,8 +114,9 @@ struct KillFault {
   double t = 0.0;
 };
 
-/// Which checkpoint file class a corrupt fault targets.
-enum class CorruptTarget : std::uint8_t { Ledger, MapLog, Snapshot, Any };
+/// Which checkpoint file class a corrupt fault targets. Shard is the
+/// per-shard commit journal of the sharded exactly-once ledger.
+enum class CorruptTarget : std::uint8_t { Ledger, MapLog, Snapshot, Shard, Any };
 
 /// Flips one byte of a freshly written checkpoint file. Applies to the
 /// next `count` matching durable writes; `byte` is an absolute offset
@@ -148,10 +149,13 @@ struct FaultPlan {
   bool requires_ft() const { return !crashes.empty() || !messages.empty(); }
 
   /// Throws mrbio::InputError when a fault references a rank outside
-  /// [0, nranks), a crash targets the master (rank 0), or a corrupt-
-  /// checkpoint fault is present with no checkpoint dir configured
-  /// (`checkpointing` false).
-  void validate(int nranks, bool checkpointing = false) const;
+  /// [0, nranks), a crash targets the master (rank 0) without a scheduler
+  /// that supports master failover (`master_failover` true relaxes that —
+  /// the sharded steal-ft ledger elects a deterministic successor), or a
+  /// corrupt-checkpoint fault is present with no checkpoint dir
+  /// configured (`checkpointing` false).
+  void validate(int nranks, bool checkpointing = false,
+                bool master_failover = false) const;
 
   /// Canonical spec-string form (parse(describe()) round-trips).
   std::string describe() const;

@@ -46,6 +46,7 @@ namespace mrbio::mpi {
 
 constexpr int kAnySource = rt::kAnySource;
 constexpr int kAnyTag = rt::kAnyTag;
+constexpr int kAnyUserTag = rt::kAnyUserTag;
 constexpr int kUserTagLimit = 1 << 20;
 // The fault layer sits below mpi and gates message faults on its own copy
 // of the user-tag boundary; the two must agree.

@@ -83,6 +83,8 @@ GraphStats build_graph_mr(mpi::Comm& comm, const GraphConfig& config) {
   mr_config.map_style = config.map_style;
   mr_config.scheduler = config.scheduler;
   mr_config.shuffle = config.shuffle;
+  mr_config.ft = config.ft;
+  mr_config.checkpointer = config.checkpointer;
   if (config.memsize_bytes > 0) mr_config.memsize_bytes = config.memsize_bytes;
   if (config.page_to_disk) mr_config.page_to_disk = true;
   if (config.page_bytes > 0) mr_config.page_bytes = config.page_bytes;
@@ -131,8 +133,12 @@ GraphStats build_graph_mr(mpi::Comm& comm, const GraphConfig& config) {
 
   // The shuffle under test: ship each vertex's adjacency list to the rank
   // that owns the vertex id, then canonicalize it so output bytes are a
-  // pure function of the input.
-  mr.collate();
+  // pure function of the input. Sorting keys before grouping makes group
+  // order — and therefore edge-file line order — independent of KV
+  // arrival order, which fault retries and checkpoint restores reshuffle.
+  mr.aggregate();
+  mr.sort_keys();
+  mr.convert();
 
   std::FILE* out = nullptr;
   std::string output_file;

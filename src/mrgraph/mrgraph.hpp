@@ -53,6 +53,11 @@ struct GraphConfig {
   std::uint64_t memsize_bytes = 0;
   bool page_to_disk = false;
   std::uint64_t page_bytes = 0;
+  /// Fault tolerance for the map phase: crash/message faults need
+  /// ft.enabled plus a remote scheduler (master/master-ft/steal).
+  sched::FtConfig ft;
+  /// Optional checkpoint/restart of the map phase (kill/corrupt plans).
+  ckpt::Checkpointer* checkpointer = nullptr;
 };
 
 /// Globally-reduced before return: all ranks see the same totals.

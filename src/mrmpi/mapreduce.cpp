@@ -122,7 +122,9 @@ std::uint64_t MapReduce::run_map(std::uint64_t ntasks, const MapFn& fn, bool app
   // scheduling; remotely scheduled runs (master-worker, steal) share the
   // claims so the scheduler can pre-mark restored tasks as committed.
   const bool shared = sched::is_remote(policy) && comm_.size() > 1;
-  const std::vector<CkptDoneTask> ckpt_done = ckpt_begin_map(ntasks, out, shared);
+  const bool sharded = policy == sched::Policy::Steal && config_.ft.enabled;
+  const std::vector<CkptDoneTask> ckpt_done =
+      ckpt_begin_map(ntasks, out, shared, shared && sharded);
 
   run_sched(policy, ntasks, nullptr, fn, out, ckpt_done);
   ckpt_end_map();
@@ -182,8 +184,10 @@ std::uint64_t MapReduce::map_locality(std::uint64_t ntasks, const AffinityFn& af
   if (policy == sched::Policy::Chunk || policy == sched::Policy::Stride) {
     policy = sched::Policy::Master;
   }
-  const std::vector<CkptDoneTask> ckpt_done =
-      ckpt_begin_map(ntasks, out, /*shared=*/comm_.size() > 1);
+  const bool loc_shared = comm_.size() > 1;
+  const std::vector<CkptDoneTask> ckpt_done = ckpt_begin_map(
+      ntasks, out, loc_shared,
+      loc_shared && policy == sched::Policy::Steal && config_.ft.enabled);
   run_sched(policy, ntasks, &affinity, fn, out, ckpt_done);
   ckpt_end_map();
   kv_ = std::move(out);
@@ -229,6 +233,17 @@ class MapReduce::ExecImpl final : public sched::Executor {
     staging_ = mr_.make_kv();
   }
 
+  bool shard_journal_enabled() const override { return mr_.ckpt_shard_enabled(); }
+
+  void shard_journal_replay(
+      int shard, const std::function<void(const std::vector<std::byte>&)>& fn) override {
+    mr_.ckpt_shard_replay(shard, fn);
+  }
+
+  void shard_journal_append(int shard, const std::vector<std::byte>& payload) override {
+    mr_.ckpt_shard_append(shard, payload);
+  }
+
  private:
   MapReduce& mr_;
   const MapFn& fn_;
@@ -265,10 +280,13 @@ void MapReduce::run_sched(sched::Policy policy, std::uint64_t ntasks,
   stats_.steals_attempted += sstats.steals_attempted;
   stats_.steals_succeeded += sstats.steals_succeeded;
   stats_.tasks_stolen += sstats.tasks_stolen;
+  stats_.workers_evicted += sstats.evictions;
+  stats_.ledger_failovers += sstats.failovers;
 }
 
 std::vector<MapReduce::CkptDoneTask> MapReduce::ckpt_begin_map(std::uint64_t ntasks,
-                                                              KeyValue& out, bool shared) {
+                                                              KeyValue& out, bool shared,
+                                                              bool sharded) {
   std::vector<CkptDoneTask> done;
   ckpt_ = CkptMapState{};
   ckpt::Checkpointer* cp = config_.checkpointer;
@@ -308,19 +326,63 @@ std::vector<MapReduce::CkptDoneTask> MapReduce::ckpt_begin_map(std::uint64_t nta
     w.put<std::uint64_t>(static_cast<std::uint64_t>(mine.size()));
     for (const auto& [t, payload] : mine) w.put<std::uint64_t>(t);
     const std::vector<std::vector<std::byte>> all = comm_.allgather_bytes(w.take());
-    std::map<std::uint64_t, CkptDoneTask> claims;
+    std::map<std::uint64_t, std::vector<CkptDoneTask>> claims;  // rank-ascending
     for (std::size_t r = 0; r < all.size(); ++r) {
       ByteReader br(all[r]);
       const auto inc = br.get<std::uint32_t>();
       const auto n = br.get<std::uint64_t>();
       for (std::uint64_t i = 0; i < n; ++i) {
         const auto t = br.get<std::uint64_t>();
-        claims.emplace(t, CkptDoneTask{t, static_cast<int>(r), inc});
+        claims[t].push_back(CkptDoneTask{t, static_cast<int>(r), inc});
       }
     }
-    for (const auto& [t, claim] : claims) {
-      done.push_back(claim);
-      if (claim.owner == rank) keep.insert(t);
+
+    // Sharded steal-ft resume: overlay the shard journals, the commit
+    // authority of that protocol. A claimed task with no surviving journal
+    // decision (the journal's tail was corrupted or never written) is
+    // dropped and re-runs — which is how corrupting one shard's journal
+    // degrades exactly that shard's task range and nothing else. Every
+    // rank reads every journal, so the ranks agree on the overlay without
+    // another exchange.
+    std::map<std::uint64_t, sched::DoneTask> commits;
+    bool use_journal = false;
+    if (sharded) {
+      const int nshards = sched::shard_count(config_.ft, comm_.size());
+      if (cp->any_shard_log(ckpt_.cycle, nshards)) {
+        use_journal = true;
+        for (int s = 0; s < nshards; ++s) {
+          cp->read_shard_log(s, ckpt_.cycle, [&](std::span<const std::byte> payload) {
+            sched::apply_shard_record(payload, commits);
+          });
+        }
+      }
+    }
+
+    std::uint64_t dropped = 0;
+    for (const auto& [t, list] : claims) {
+      const CkptDoneTask* pick = &list.front();
+      if (use_journal) {
+        const auto it = commits.find(t);
+        if (it == commits.end()) {
+          ++dropped;
+          continue;  // journal lost the commit: the task re-runs
+        }
+        // Prefer the journaled committer's copy; when its map log lost the
+        // payload (kill between the journal sync and a map-log flush) any
+        // other claimant's copy is byte-identical (deterministic map fn).
+        for (const CkptDoneTask& c : list) {
+          if (c.owner == it->second.owner) {
+            pick = &c;
+            break;
+          }
+        }
+      }
+      done.push_back(*pick);
+      if (pick->owner == rank) keep.insert(t);
+    }
+    if (dropped > 0 && rank == 0) {
+      MRBIO_LOG(Warn, "checkpoint: ", dropped,
+                " restored task(s) had no surviving shard-journal commit and will re-run");
     }
   } else {
     for (const auto& [t, payload] : mine) {
@@ -414,7 +476,42 @@ void MapReduce::ckpt_end_map() {
   if (!ckpt_.active) return;
   ckpt_flush();
   ckpt_.log.reset();
+  ckpt_.shard_logs.clear();
   ckpt_.active = false;
+}
+
+void MapReduce::ckpt_shard_replay(
+    int shard, const std::function<void(const std::vector<std::byte>&)>& fn) {
+  if (!ckpt_.active) return;
+  ckpt::Checkpointer* cp = config_.checkpointer;
+  std::vector<std::byte> copy;
+  const std::uint64_t valid_end =
+      cp->read_shard_log(shard, ckpt_.cycle, [&](std::span<const std::byte> payload) {
+        copy.assign(payload.begin(), payload.end());
+        fn(copy);
+      });
+  comm_.compute(static_cast<double>(valid_end) * cp->config().byte_seconds);
+  ckpt_.shard_logs[shard] = cp->open_shard_log(shard, ckpt_.cycle, valid_end);
+}
+
+void MapReduce::ckpt_shard_append(int shard, const std::vector<std::byte>& payload) {
+  if (!ckpt_.active) return;
+  ckpt::Checkpointer* cp = config_.checkpointer;
+  std::unique_ptr<ckpt::RecordWriter>& log = ckpt_.shard_logs[shard];
+  if (log == nullptr) {
+    // Adoption without a prior replay call: position after the last intact
+    // record so the successor never clobbers the dead owner's journal.
+    ckpt_.shard_logs.erase(shard);
+    ckpt_shard_replay(shard, [](const std::vector<std::byte>&) {});
+    return ckpt_shard_append(shard, payload);
+  }
+  const std::uint64_t before = log->bytes_written();
+  log->append(payload);
+  log->sync();  // write-ahead: durable before the grant leaves this rank
+  const std::uint64_t bytes = log->bytes_written() - before;
+  cp->note_written(1, bytes);
+  comm_.compute(static_cast<double>(bytes) * cp->config().byte_seconds);
+  cp->after_shard_log_write(shard, ckpt_.cycle);
 }
 
 void MapReduce::run_task_ckpt(const MapFn& fn, std::uint64_t task, KeyValue& out,

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 
@@ -156,6 +157,9 @@ struct MapReduceStats {
   std::uint64_t steals_attempted = 0;    ///< steal requests this rank sent
   std::uint64_t steals_succeeded = 0;    ///< requests answered with work
   std::uint64_t tasks_stolen = 0;        ///< tasks gained via stealing
+  // Failure-detection counters (fault-tolerant paths only).
+  std::uint64_t workers_evicted = 0;     ///< phi-accrual early expirations
+  std::uint64_t ledger_failovers = 0;    ///< shards adopted from dead owners
 };
 
 class MapReduce {
@@ -294,8 +298,13 @@ class MapReduce {
   /// scheduling) the ranks allgather their replayed task ids and the
   /// lowest rank keeps each task; the returned list is the global set of
   /// restored tasks for the master's ledger. Without sharing the returned
-  /// list covers only this rank's tasks.
-  std::vector<CkptDoneTask> ckpt_begin_map(std::uint64_t ntasks, KeyValue& out, bool shared);
+  /// list covers only this rank's tasks. With `sharded` (the sharded
+  /// steal-ft ledger) and existing shard journals, the journals are the
+  /// commit authority: a map-log record only counts when the journal's
+  /// surviving decision for that task exists, so corrupting one shard's
+  /// journal re-runs only that shard's range.
+  std::vector<CkptDoneTask> ckpt_begin_map(std::uint64_t ntasks, KeyValue& out, bool shared,
+                                           bool sharded);
   /// Journals one committed task's emissions; flushes when the checkpoint
   /// interval has elapsed.
   void ckpt_record_task(std::uint64_t task, const KeyValue& emitted);
@@ -307,6 +316,13 @@ class MapReduce {
   /// run into a scratch store that is journaled and then absorbed.
   void run_task_ckpt(const MapFn& fn, std::uint64_t task, KeyValue& out, trace::Recorder* rec,
                      const char* span_name = "map_task");
+  // Sharded-ledger journal passthrough for sched::Executor: replay
+  // positions the shard's writer after the last intact record; append is
+  // write-ahead (synced before the scheduler sends the matching grant).
+  bool ckpt_shard_enabled() const { return ckpt_.active; }
+  void ckpt_shard_replay(int shard,
+                         const std::function<void(const std::vector<std::byte>&)>& fn);
+  void ckpt_shard_append(int shard, const std::vector<std::byte>& payload);
 
   mpi::Comm& comm_;
   MapReduceConfig config_;
@@ -336,6 +352,9 @@ class MapReduce {
     double last_flush = 0.0;
     /// Tasks whose output was replayed from the log (skip on re-execution).
     std::set<std::uint64_t> restored;
+    /// Shard-journal writers owned by this rank's shard ledgers (sharded
+    /// steal-ft only), keyed by shard id; opened lazily at replay.
+    std::map<int, std::unique_ptr<ckpt::RecordWriter>> shard_logs;
   };
   CkptMapState ckpt_;
   /// Distinguishes durable spill files of the KeyValue stores this object

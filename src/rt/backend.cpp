@@ -23,7 +23,8 @@ int default_ranks(Backend backend) {
 LaunchResult launch(const LaunchConfig& config, const std::function<void(Rank&)>& body) {
   const int nranks = config.nranks > 0 ? config.nranks : default_ranks(config.backend);
   if (config.injector != nullptr) {
-    config.injector->plan().validate(nranks, config.checkpointing);
+    config.injector->plan().validate(nranks, config.checkpointing,
+                                     config.master_failover);
   }
   LaunchResult result;
   if (config.backend == Backend::Sim) {

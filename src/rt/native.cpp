@@ -24,7 +24,10 @@ namespace {
 struct AbortSignal {};
 
 bool matches(const Message& m, int src, int tag) {
-  return (src == kAnySource || m.source == src) && (tag == kAnyTag || m.tag == tag);
+  if (src != kAnySource && m.source != src) return false;
+  if (tag == kAnyTag) return true;
+  if (tag == kAnyUserTag) return m.tag < fault::kUserTagLimit;
+  return m.tag == tag;
 }
 
 }  // namespace

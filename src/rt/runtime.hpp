@@ -48,6 +48,11 @@ namespace mrbio::rt {
 
 constexpr int kAnySource = -1;
 constexpr int kAnyTag = -1;
+/// Matches any tag in the application range [0, 1 << 20) but never the
+/// transport-internal tags (collectives, sleep timers). Long-serving
+/// protocol loops must use this instead of kAnyTag so they cannot swallow
+/// collective traffic from ranks that have already left the phase.
+constexpr int kAnyUserTag = -2;
 
 /// Result of a timed receive (recv_deadline).
 enum class RecvStatus : std::uint8_t {

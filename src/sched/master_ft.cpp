@@ -10,6 +10,8 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/rng.hpp"
+#include "fault/detector.hpp"
 #include "obs/timeseries.hpp"
 #include "sched/internal.hpp"
 
@@ -103,8 +105,16 @@ void run_ledger_master(MapContext& ctx) {
 
   auto settled = [&] { return ndone + nfailed == ntasks; };
 
+  // Adaptive timeout: grant-to-commit service times feed the estimator,
+  // so --ft-timeout 0 tracks ~4 x p99 of the observed task cost instead
+  // of a fixed guess. The phi-accrual detector scores the gap since each
+  // worker's last protocol message (its requests double as heartbeats).
+  TimeoutEstimator est;
+  fault::PhiAccrualDetector det(ft.heartbeat);
+
   auto attempt_timeout = [&](std::uint32_t attempt) {
-    return ft.task_timeout * std::pow(ft.backoff, static_cast<double>(attempt - 1));
+    return effective_timeout(ft, est) *
+           std::pow(ft.backoff, static_cast<double>(attempt - 1));
   };
 
   // Pops the next genuinely Pending task from `it`'s bucket, discarding
@@ -222,7 +232,39 @@ void run_ledger_master(MapContext& ctx) {
     return any;
   };
 
+  // Evicts workers the phi-accrual detector suspects: their outstanding
+  // attempts expire immediately instead of waiting out the full task
+  // timeout. Off unless --heartbeat enables the detector.
+  auto evict_suspects = [&] {
+    if (!det.config().enabled) return;
+    const double now = comm.now();
+    for (int r = 1; r < comm.size(); ++r) {
+      FtWorkerView& w = workers[static_cast<std::size_t>(r)];
+      if (w.dead || w.stopped || !det.suspect(r, now)) continue;
+      bool any = false;
+      for (std::uint64_t t = 0; t < ntasks; ++t) {
+        TaskEntry& e = ledger[t];
+        if (e.state != TaskState::Outstanding || e.owner != r) continue;
+        // Pull the deadline forward: the shared expiry path does the
+        // retry-or-fail accounting on the next handle_expiries().
+        expiry.emplace(now, t);
+        e.deadline = now;
+        any = true;
+      }
+      if (any) {
+        ++sstats.evictions;
+        if (reg != nullptr) reg->counter("ft.evictions").inc();
+        if (rec != nullptr) {
+          rec->add(comm.rank(), trace::Category::Fault, "phi_evict", now, now);
+        }
+      }
+      det.forget(r);  // a recovered worker re-earns trust from a clean window
+    }
+    if (reg != nullptr) reg->gauge("fault.phi_max").set(det.max_phi(now));
+  };
+
   while (true) {
+    evict_suspects();
     handle_expiries();
     if (obs::TimeSeries* ts = comm.runtime().timeseries(); ts != nullptr) {
       ts->sample(comm.rank(), "mrmpi.pending_tasks", comm.now(),
@@ -251,7 +293,8 @@ void run_ledger_master(MapContext& ctx) {
       break;
     }
 
-    double wake = comm.now() + ft.task_timeout;  // heartbeat
+    double wake = comm.now() + effective_timeout(ft, est);  // heartbeat
+    if (det.config().enabled) wake = std::min(wake, comm.now() + det.config().interval);
     if (!expiry.empty()) wake = std::min(wake, expiry.begin()->first);
     if (accounted == nworkers && settled()) {
       wake = std::min(wake, quiet_since + quiet_window);
@@ -274,6 +317,7 @@ void run_ledger_master(MapContext& ctx) {
     const WireReq req = unpack_req(m);
     const int src = m.source;
     MRBIO_CHECK(src >= 1 && src < comm.size(), "ft request from bad rank ", src);
+    det.heard(src, comm.now());
     FtWorkerView& w = workers[static_cast<std::size_t>(src)];
 
     if (req.seq < w.last_seq) continue;  // ancient duplicate: drop
@@ -327,7 +371,10 @@ void run_ledger_master(MapContext& ctx) {
           // the ledger until their first completion report lands here.
           g.commit = 1;
           if (e.state == TaskState::Pending) --npending;
-          if (e.state == TaskState::Outstanding) --noutstanding;
+          if (e.state == TaskState::Outstanding) {
+            --noutstanding;
+            est.observe(comm.now() - e.granted);
+          }
           if (e.state == TaskState::Failed) {
             --nfailed;
             --sstats.tasks_failed;
@@ -395,6 +442,14 @@ void run_ft_worker(MapContext& ctx) {
   /// task protocol too (it still participates in collectives).
   bool dead = inj != nullptr && inj->permanently_crashed(me);
 
+  // Retry-wait pacing: seeded jitter plus a capped exponential ramp, so
+  // idle workers' poll storms decohere instead of hammering the master in
+  // lockstep, while the timeline stays a pure function of (seed, epoch,
+  // rank). The ramp resets whenever the master hands out anything real.
+  Rng rng(mix64(ctx.steal.seed ^ (static_cast<std::uint64_t>(ps.epoch) << 24) ^
+                static_cast<std::uint64_t>(me) ^ 0x9e3779b97f4a7c15ULL));
+  int idle_rounds = 0;
+
   // State of the current (crashable) incarnation.
   std::int64_t completed = -1;  ///< finished task awaiting its commit
   std::uint32_t completed_attempt = 0;
@@ -448,12 +503,16 @@ void run_ft_worker(MapContext& ctx) {
       if (g.assign == kAssignStop) return;
       if (g.assign == kAssignRetryLater) {
         const double t0 = comm.now();
-        comm.sleep_until(comm.now() + ft.worker_poll);
+        const double ramp =
+            std::min(std::pow(ft.backoff, static_cast<double>(idle_rounds)), 8.0);
+        if (idle_rounds < 16) ++idle_rounds;
+        comm.sleep_until(comm.now() + jittered(ft.worker_poll * ramp, rng));
         if (rec != nullptr) {
           rec->add(me, trace::Category::Fault, "retry_wait", t0, comm.now());
         }
         continue;
       }
+      idle_rounds = 0;
       const std::uint64_t task = static_cast<std::uint64_t>(g.assign);
       ctx.exec->run_staged(task, /*retry=*/g.attempt > 1);
       completed = g.assign;

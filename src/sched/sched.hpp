@@ -20,9 +20,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "fault/detector.hpp"
 #include "mpi/comm.hpp"
 
 namespace mrbio::trace {
@@ -65,6 +67,9 @@ const char* policy_name(Policy policy);
 struct FtConfig {
   bool enabled = false;
   /// Base service deadline for one task (grant to completion report).
+  /// <= 0 selects the adaptive default: 4x the p99 of the observed
+  /// grant-to-commit service times (with a floor of the worker poll and a
+  /// 5 s bootstrap until enough tasks have completed).
   double task_timeout = 5.0;
   /// Deadline multiplier per extra attempt of the same task.
   double backoff = 2.0;
@@ -76,6 +81,14 @@ struct FtConfig {
   /// Consecutive unanswered request resends before a worker gives up and
   /// fails the run (the master is gone for good).
   int max_resends = 20;
+  /// Sharded steal-ft ledger: how many ranks own a slice of the commit
+  /// ledger. 0 = every rank owns its seeded task range (fully
+  /// decentralized); 1 reproduces the single-coordinator shape.
+  int ledger_ranks = 0;
+  /// Optional phi-accrual failure detection piggybacked on protocol
+  /// traffic; drives early worker eviction and shard failover. Defaults
+  /// off: drivers enable it via --heartbeat.
+  fault::HeartbeatConfig heartbeat;
 };
 
 /// Tuning of the work-stealing policy.
@@ -117,6 +130,8 @@ struct SchedStats {
   std::uint64_t steals_attempted = 0;  ///< steal requests sent by this rank
   std::uint64_t steals_succeeded = 0;  ///< requests that returned >= 1 task
   std::uint64_t tasks_stolen = 0;      ///< tasks this rank acquired by stealing
+  std::uint64_t evictions = 0;   ///< workers evicted on phi-accrual suspicion
+  std::uint64_t failovers = 0;   ///< ledger shards adopted from a dead owner
 };
 
 /// How the host runs and commits tasks. Schedulers never touch KV or
@@ -139,6 +154,27 @@ class Executor {
   /// Simulated process death: every in-memory result this rank holds —
   /// staged and committed — is gone.
   virtual void on_crash() = 0;
+
+  // Sharded-ledger journal hooks. A shard owner journals every commit
+  // decision to its own CRC32-framed log BEFORE granting it (write-ahead),
+  // so a successor replaying the log after the owner's death never
+  // re-grants a committed task. All three default to "no durable journal"
+  // so executors without checkpointing need not care.
+  /// True when shard journals are durable (a checkpoint dir is active).
+  virtual bool shard_journal_enabled() const { return false; }
+  /// Replays the existing journal of `shard`, invoking `fn(payload)` per
+  /// intact record, and positions the journal for appending after the
+  /// last intact record (torn/corrupt tails are truncated).
+  virtual void shard_journal_replay(
+      int shard, const std::function<void(const std::vector<std::byte>&)>& fn) {
+    (void)shard;
+    (void)fn;
+  }
+  /// Appends one framed record to `shard`'s journal and syncs it.
+  virtual void shard_journal_append(int shard, const std::vector<std::byte>& payload) {
+    (void)shard;
+    (void)payload;
+  }
 };
 
 /// Master-side view of one worker in the fault-tolerant protocol.
@@ -170,6 +206,15 @@ struct ProtocolState {
   std::uint32_t steal_seq = 0;        ///< thief: last steal request seq sent
   std::uint32_t epoch = 0;            ///< map phases started on this rank
   std::map<int, StealPeerView> steal_peers;  ///< victim: replay cache per thief
+
+  // Sharded steal-ft ledger state. Client sequence numbers and the shard
+  // owners' replay caches model supervisor-restored transport state (like
+  // steal_peers); death knowledge and shard adoption must survive across
+  // maps so a rank that died in map N stays dead — and its shard stays
+  // with the successor — in map N+1.
+  std::map<int, std::uint32_t> owner_seq;    ///< client: last req seq per owner
+  std::map<int, FtWorkerView> shard_clients; ///< owner: replay cache per client
+  std::vector<std::uint8_t> peers_dead;      ///< acked permanent deaths, by rank
 };
 
 /// Affinity: task -> locality key (same signature as mrmpi::AffinityFn).
@@ -219,5 +264,25 @@ constexpr bool is_remote(Policy policy) {
   return policy == Policy::Master || policy == Policy::MasterFt ||
          policy == Policy::Steal;
 }
+
+/// Resolved shard count of the sharded steal-ft ledger: ft.ledger_ranks
+/// clamped to [1, nranks], with the 0 default meaning "one shard per
+/// rank". Public because the host's resume merge enumerates the shard
+/// journals with it.
+inline int shard_count(const FtConfig& ft, int nranks) {
+  const int l = ft.ledger_ranks <= 0 ? nranks : ft.ledger_ranks;
+  return l < 1 ? 1 : (l > nranks ? nranks : l);
+}
+
+/// Applies one shard-journal record to the cumulative task -> committer
+/// map: a commit record inserts or overwrites its task's entry, a revert
+/// record (written when an owner learns a rank's incarnation bumped or
+/// died) removes every entry that rank had committed. Records are applied
+/// in journal order, so "remove all by that rank" is exact — commits by
+/// the rank's next incarnation only appear after the revert. Malformed
+/// payloads are ignored. Shared by the sharded scheduler's failover
+/// replay and the host's kill->resume merge.
+void apply_shard_record(std::span<const std::byte> payload,
+                        std::map<std::uint64_t, DoneTask>& commits);
 
 }  // namespace mrbio::sched

@@ -20,16 +20,13 @@
 // the probe. Every steal-layer message carries the map epoch, so a
 // straggler from map N is recognized and dropped in map N+1.
 //
-// Fault-tolerant variant: rank 0 runs the exactly-once ledger
-// (master_ft.cpp) as a backstop, workers 1..P-1 run deques over the
-// remaining ranks. Deque and stolen tasks are *claims*: they stay
-// Pending in the ledger until their completion report commits them, so a
-// crashed worker's unexecuted claims are simply re-granted to drained
-// workers (no timeout needed), and first-commit-wins deduplicates any
-// grant/claim overlap. Peer-to-peer steal reliability uses the same
-// seq + resend + cached-replay scheme as the master protocol; a thief
-// that abandons a victim loses nothing, because undelivered stolen tasks
-// are still Pending in the ledger.
+// Fault-tolerant variant: the exactly-once commit ledger is sharded by
+// task range across the ranks (sharded.cpp) — every rank runs its deque
+// AND owns the ledger slice of its seeded range, with deterministic
+// successor failover when an owner (including rank 0) dies. Deque and
+// stolen tasks are *claims*: they stay Pending in their shard until the
+// completion report commits them, and first-commit-wins deduplicates any
+// grant/claim overlap.
 #include <algorithm>
 #include <deque>
 #include <set>
@@ -230,7 +227,7 @@ void run_steal_plain(MapContext& ctx, std::uint32_t epoch) {
                                      : std::max(next_attempt, comm.now() + kServeWindow);
     rt::Message m;
     const rt::RecvStatus st =
-        comm.recv_bytes_deadline(mpi::kAnySource, mpi::kAnyTag, deadline, &m);
+        comm.recv_bytes_deadline(mpi::kAnySource, mpi::kAnyUserTag, deadline, &m);
     if (st != rt::RecvStatus::Ok) {
       // An any-source wait cannot report PeerDead, so a crashed victim
       // must be caught here: without the ledger the token can never
@@ -277,243 +274,13 @@ void run_steal_plain(MapContext& ctx, std::uint32_t epoch) {
         nap = ctx.steal.backoff_init;
         next_attempt = comm.now();
       } else {
-        next_attempt = comm.now() + nap;
+        next_attempt = comm.now() + jittered(nap, rng);
         nap = std::min(nap * 2.0, ctx.steal.backoff_max);
       }
       continue;
     }
     MRBIO_CHECK(false, "rank ", me, ": unexpected tag ", m.tag,
                 " from rank ", m.source, " in the steal map loop");
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Fault-tolerant steal worker (rank 0 runs the ledger, master_ft.cpp).
-
-void run_steal_worker_ft(MapContext& ctx, std::uint32_t epoch) {
-  mpi::Comm& comm = ctx.comm;
-  trace::Recorder* rec = ctx.rec;
-  obs::Registry* reg = comm.metrics();
-  const FtConfig& ft = ctx.ft;
-  SchedStats& sstats = *ctx.stats;
-  ProtocolState& ps = *ctx.proto;
-  fault::Injector* inj = comm.runtime().faults();
-  const int me = comm.rank();
-  const int p = comm.size();
-  const int nworkers = p - 1;
-
-  bool dead = inj != nullptr && inj->permanently_crashed(me);
-
-  // This worker's slice of the static partition over the workers. A
-  // permanently dead rank takes no claims: the ledger holds its slice as
-  // Pending and re-grants it to drained survivors.
-  std::deque<std::uint64_t> dq;
-  if (!dead) {
-    std::set<std::uint64_t> restored;
-    if (ctx.restored != nullptr) {
-      for (const DoneTask& d : *ctx.restored) restored.insert(d.task);
-    }
-    const std::uint64_t hi = chunk_hi(ctx.ntasks, me - 1, nworkers);
-    for (std::uint64_t t = chunk_lo(ctx.ntasks, me - 1, nworkers); t < hi; ++t) {
-      if (restored.count(t) == 0) dq.push_back(t);
-    }
-  }
-
-  Rng rng = make_steal_rng(ctx.steal, epoch, me);
-  std::int64_t completed = -1;  ///< finished task awaiting its commit
-  std::uint32_t completed_attempt = 0;
-
-  auto serve_one = [&](const rt::Message& m) {
-    const StealReq rq = unpack_steal_req(m);
-    if (rq.epoch != epoch) return;
-    StealPeerView& peer = ps.steal_peers[m.source];
-    if (rq.seq == peer.last_seq) {
-      // Resent request: replay the cached response verbatim so a dropped
-      // response never loses the claims it carried. The cache lives in
-      // ProtocolState and survives a simulated crash of this process —
-      // like the ledger's grant cache, it models supervisor-restored
-      // transport state.
-      comm.send_bytes(m.source, kTagStealResp, peer.cached_resp);
-      return;
-    }
-    if (rq.seq < peer.last_seq) return;  // ancient duplicate
-    StealResp resp;
-    resp.epoch = epoch;
-    resp.seq = rq.seq;
-    resp.tasks = give_tasks(dq, rq.max, ctx.steal.batch);
-    peer.last_seq = rq.seq;
-    peer.cached_resp = pack_steal_resp(resp);
-    comm.send_bytes(m.source, kTagStealResp, peer.cached_resp);
-  };
-  auto serve_steals = [&] {
-    while (comm.has_message(mpi::kAnySource, kTagSteal)) {
-      serve_one(comm.recv_bytes(mpi::kAnySource, kTagSteal));
-    }
-  };
-
-  // One full randomized sweep over the other workers; returns with
-  // whatever landed in the deque. Bounded per victim: a victim stuck in
-  // a long task (or crashed) only costs max_resends polls, and an
-  // abandoned request loses nothing (see the file comment).
-  auto steal_sweep = [&] {
-    if (nworkers < 2) return;
-    const double t0 = comm.now();
-    std::vector<int> order;
-    order.reserve(static_cast<std::size_t>(nworkers - 1));
-    for (int r = 1; r < p; ++r) {
-      if (r != me) order.push_back(r);
-    }
-    for (std::size_t i = order.size() - 1; i > 0; --i) {
-      std::swap(order[i], order[rng.below(i + 1)]);
-    }
-    for (const int victim : order) {
-      const std::uint32_t seq = ++ps.steal_seq;
-      StealReq rq;
-      rq.epoch = epoch;
-      rq.seq = seq;
-      rq.max = static_cast<std::uint32_t>(ctx.steal.batch);
-      const std::vector<std::byte> wire = pack_steal_req(rq);
-      comm.send_bytes(victim, kTagSteal, wire);
-      ++sstats.steals_attempted;
-      if (reg != nullptr) reg->counter("sched.steals_attempted").inc();
-      int resends = 0;
-      while (true) {
-        if (inj != nullptr && !dead) inj->maybe_crash(me, comm.now());
-        serve_steals();
-        rt::Message m;
-        const rt::RecvStatus st = comm.recv_bytes_deadline(
-            victim, kTagStealResp, comm.now() + ft.worker_poll, &m);
-        if (st == rt::RecvStatus::PeerDead) break;
-        if (st == rt::RecvStatus::Timeout) {
-          if (++resends > ctx.steal.max_resends) break;  // give up on victim
-          comm.send_bytes(victim, kTagSteal, wire);
-          continue;
-        }
-        const StealResp resp = unpack_steal_resp(m);
-        if (resp.epoch != epoch) continue;
-        if (resp.seq != seq) {
-          // Answer to an earlier abandoned request: the victim already
-          // gave those claims away, so queue any tasks it carries (the
-          // ledger's first-commit-wins absorbs rare duplicates).
-          for (const std::uint64_t t : resp.tasks) dq.push_back(t);
-          continue;
-        }
-        if (!resp.tasks.empty()) {
-          for (const std::uint64_t t : resp.tasks) dq.push_back(t);
-          ++sstats.steals_succeeded;
-          sstats.tasks_stolen += resp.tasks.size();
-          if (reg != nullptr) {
-            reg->counter("sched.steals_succeeded").inc();
-            reg->counter("sched.tasks_stolen").inc(resp.tasks.size());
-          }
-        }
-        break;
-      }
-      if (!dq.empty()) break;
-    }
-    if (rec != nullptr) {
-      rec->add(me, trace::Category::Fault, "steal_wait", t0, comm.now());
-    }
-  };
-
-  while (true) {
-    try {
-      if (inj != nullptr && !dead) inj->maybe_crash(me, comm.now());
-      if (!dead) serve_steals();
-
-      if (!dead && completed < 0 && !dq.empty()) {
-        const std::uint64_t t = dq.front();
-        dq.pop_front();
-        ctx.exec->run_staged(t, /*retry=*/false);
-        completed = static_cast<std::int64_t>(t);
-        completed_attempt = 1;
-        // Fall through: report the completion (wants = 0) right away so
-        // the commit reaches the ledger before the next task runs.
-      }
-      bool wants = false;
-      if (!dead && completed < 0) {
-        steal_sweep();
-        if (!dq.empty()) continue;
-        wants = true;  // drained and nothing to steal: ask the ledger
-      }
-
-      WireReq req;
-      req.incarnation = ps.incarnation;
-      req.seq = ++ps.seq;
-      req.dead = dead ? 1 : 0;
-      req.completed_task = completed;
-      req.attempt = completed_attempt;
-      req.wants = wants ? 1 : 0;
-      const std::vector<std::byte> wire = pack_req(req);
-      comm.send_bytes(0, kTagDone, wire);
-
-      WireGrant g;
-      int resends = 0;
-      while (true) {
-        if (!dead) serve_steals();
-        rt::Message m;
-        const rt::RecvStatus st = comm.recv_bytes_deadline(
-            0, kTagTask, comm.now() + ft.worker_poll, &m);
-        MRBIO_CHECK(st != rt::RecvStatus::PeerDead, "rank ", me,
-                    ": master (rank 0) died; the run cannot recover");
-        if (st == rt::RecvStatus::Timeout) {
-          if (inj != nullptr && !dead) inj->maybe_crash(me, comm.now());
-          ++resends;
-          MRBIO_CHECK(resends <= ft.max_resends, "rank ", me,
-                      ": master unresponsive after ", resends,
-                      " request resends; giving up");
-          comm.send_bytes(0, kTagDone, wire);
-          continue;
-        }
-        g = unpack_grant(m);
-        if (g.seq == req.seq) break;
-        // Stale grant for an earlier (resent) request: drain and re-wait.
-      }
-
-      if (completed >= 0) {
-        if (g.commit != 0) {
-          ctx.exec->commit_staged(static_cast<std::uint64_t>(completed));
-        } else {
-          ctx.exec->discard_staged();
-        }
-        completed = -1;
-        completed_attempt = 0;
-      }
-      if (g.assign == kAssignStop) return;
-      if (g.assign >= 0) {
-        const std::uint64_t task = static_cast<std::uint64_t>(g.assign);
-        ctx.exec->run_staged(task, /*retry=*/g.attempt > 1);
-        completed = g.assign;
-        completed_attempt = g.attempt;
-        continue;
-      }
-      if (g.assign == kAssignRetryLater && wants) {
-        // Nothing anywhere yet (other workers still hold claims): nap,
-        // but serve a thief immediately if one shows up.
-        const double t0 = comm.now();
-        rt::Message m;
-        const rt::RecvStatus st = comm.recv_bytes_deadline(
-            mpi::kAnySource, kTagSteal, comm.now() + ft.worker_poll, &m);
-        if (st == rt::RecvStatus::Ok) serve_one(m);
-        if (rec != nullptr) {
-          rec->add(me, trace::Category::Fault, "retry_wait", t0, comm.now());
-        }
-      }
-    } catch (const fault::CrashSignal&) {
-      // Simulated process death: staged and committed results are gone,
-      // and so are the unexecuted claims in the deque — they are still
-      // Pending in the ledger and will be granted to drained survivors.
-      ctx.exec->on_crash();
-      dq.clear();
-      completed = -1;
-      completed_attempt = 0;
-      ++ps.incarnation;
-      dead = inj != nullptr && inj->permanently_crashed(me);
-      if (rec != nullptr) {
-        rec->add(me, trace::Category::Fault,
-                 dead ? "worker_died" : "worker_respawn", comm.now(), comm.now());
-      }
-    }
   }
 }
 
@@ -531,11 +298,7 @@ class StealScheduler final : public Scheduler {
       return;
     }
     if (ctx.ft.enabled) {
-      if (ctx.comm.rank() == 0) {
-        run_ledger_master(ctx);
-      } else {
-        run_steal_worker_ft(ctx, epoch);
-      }
+      run_sharded_steal(ctx, epoch);
     } else {
       run_steal_plain(ctx, epoch);
     }

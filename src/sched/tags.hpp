@@ -50,6 +50,13 @@ constexpr int kTagStealResp = reserved_tag(4);  ///< victim -> thief: stolen bat
 constexpr int kTagToken = reserved_tag(5);      ///< termination token (ring)
 constexpr int kTagStop = reserved_tag(6);       ///< rank 0 -> all: leave the map
 
-static_assert(is_reserved_tag(kTagTask) && is_reserved_tag(kTagStop));
+// --- sharded-ledger protocol (steal-ft) ---
+constexpr int kTagObit = reserved_tag(7);      ///< dying rank -> all: death notice
+constexpr int kTagObitAck = reserved_tag(8);   ///< peer -> dying rank: obit ack
+constexpr int kTagExit = reserved_tag(9);      ///< worker -> owners: done mapping
+constexpr int kTagExitAck = reserved_tag(10);  ///< owner -> worker: exit ack
+constexpr int kTagShardImage = reserved_tag(11);  ///< dying owner -> successor
+
+static_assert(is_reserved_tag(kTagTask) && is_reserved_tag(kTagShardImage));
 
 }  // namespace mrbio::sched

@@ -31,8 +31,10 @@ struct MailboxEntry {
 };
 
 bool matches(const MailboxEntry& e, int want_src, int want_tag) {
-  return (want_src == Process::kAnySource || e.msg.source == want_src) &&
-         (want_tag == Process::kAnyTag || e.msg.tag == want_tag);
+  if (want_src != Process::kAnySource && e.msg.source != want_src) return false;
+  if (want_tag == Process::kAnyTag) return true;
+  if (want_tag == Process::kAnyUserTag) return e.msg.tag < fault::kUserTagLimit;
+  return e.msg.tag == want_tag;
 }
 
 /// Ordering of deliveries and matches: arrival time, then send sequence.

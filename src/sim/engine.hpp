@@ -164,6 +164,7 @@ class Process {
 
   static constexpr int kAnySource = -1;
   static constexpr int kAnyTag = -1;
+  static constexpr int kAnyUserTag = -2;
 
  private:
   friend class Engine;

@@ -12,6 +12,7 @@
 #include "blast/fasta_index.hpp"
 #include "blast/sequence.hpp"
 #include "common/error.hpp"
+#include <unistd.h>
 
 namespace mrbio::blast {
 namespace {
@@ -40,7 +41,8 @@ class TempDir {
   TempDir() {
     static int counter = 0;
     path_ = std::filesystem::temp_directory_path() /
-            ("mrbio_loader_" + std::to_string(counter++));
+            ("mrbio_loader_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++));
     std::filesystem::remove_all(path_);
     std::filesystem::create_directories(path_);
   }

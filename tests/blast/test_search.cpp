@@ -7,6 +7,7 @@
 #include <filesystem>
 
 #include "common/rng.hpp"
+#include <unistd.h>
 
 namespace mrbio::blast {
 namespace {
@@ -16,7 +17,8 @@ namespace {
 std::shared_ptr<const DbVolume> make_volume(const std::vector<Sequence>& seqs,
                                             SeqType type) {
   static int counter = 0;
-  const auto dir = std::filesystem::temp_directory_path() / "mrbio_search_test";
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("mrbio_search_test_" + std::to_string(::getpid()));
   std::filesystem::create_directories(dir);
   const std::string base = (dir / ("db" + std::to_string(counter++))).string();
   const DbInfo info = build_db(seqs, base, type, 1ull << 40);

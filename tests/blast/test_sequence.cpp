@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "common/error.hpp"
+#include <unistd.h>
 
 namespace mrbio::blast {
 namespace {
@@ -57,7 +58,7 @@ TEST(Fasta, RoundTripThroughText) {
 }
 
 TEST(Fasta, FileRoundTrip) {
-  const auto dir = std::filesystem::temp_directory_path() / "mrbio_fasta_test";
+  const auto dir = std::filesystem::temp_directory_path() / ("mrbio_fasta_test_" + std::to_string(::getpid()));
   std::filesystem::create_directories(dir);
   const std::string path = (dir / "t.fa").string();
   Rng rng(4);

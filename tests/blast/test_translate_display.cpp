@@ -7,6 +7,7 @@
 #include "blast/display.hpp"
 #include "blast/translate.hpp"
 #include "common/error.hpp"
+#include <unistd.h>
 
 namespace mrbio::blast {
 namespace {
@@ -75,7 +76,7 @@ TEST(Translate, FrameLabels) {
 class BlastxTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "mrbio_blastx";
+    dir_ = std::filesystem::temp_directory_path() / ("mrbio_blastx_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
     // A protein database containing the translation of a known ORF.
     Rng rng(70);
@@ -184,7 +185,8 @@ class DisplayTest : public ::testing::Test {
   static Hsp search_one(const std::vector<Sequence>& db, const Sequence& query,
                         SeqType type, Sequence* subject_out) {
     static int counter = 0;
-    const auto dir = std::filesystem::temp_directory_path() / "mrbio_display";
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("mrbio_display_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir);
     const DbInfo info = build_db(db, (dir / ("d" + std::to_string(counter++))).string(),
                                  type, 1ull << 30);

@@ -9,6 +9,7 @@
 
 #include <cstring>
 #include <filesystem>
+#include <unistd.h>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -42,9 +43,12 @@ void flip_byte(const std::string& path, std::uint64_t offset) {
 class CkptTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Keyed by pid: ctest -j runs each test case as its own process, so a
+    // plain static counter would collide on the same /tmp path.
     static int counter = 0;
     dir_ = (std::filesystem::temp_directory_path() /
-            ("mrbio_ckpt_" + std::to_string(counter++)))
+            ("mrbio_ckpt_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++)))
                .string();
     std::filesystem::remove_all(dir_);
   }

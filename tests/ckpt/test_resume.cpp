@@ -7,6 +7,7 @@
 
 #include <cstring>
 #include <filesystem>
+#include <unistd.h>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -39,9 +40,12 @@ std::string slurp(const std::string& path) {
 class ResumeTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Keyed by pid: ctest -j runs each test case as its own process, so a
+    // plain static counter would collide on the same /tmp path.
     static int counter = 0;
     dir_ = std::filesystem::temp_directory_path() /
-           ("mrbio_resume_" + std::to_string(counter++));
+           ("mrbio_resume_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
   }
@@ -250,6 +254,81 @@ TEST_F(ResumeTest, BlastStealSchedulerKillResumeIsByteIdentical) {
   expect_same_hits(path("out_clean"), path("out_resumed"));
   EXPECT_GT(resumed.tasks_restored, 0u) << "kill fired before any task committed";
   EXPECT_LT(resumed.map_tasks, clean.map_tasks);
+}
+
+TEST_F(ResumeTest, BlastShardCorruptionDegradesOnlyThatShard) {
+  // Kill a sharded-ledger steal run mid-map, then flip a byte in exactly
+  // one shard's commit journal before resuming. The CRC framing must
+  // reject the damaged tail, the lost range must recompute, the other
+  // shards' commits must still restore, and the final hits must stay
+  // byte-identical to the fault-free run.
+  const BlastBed bed = make_blast_bed(path("db"));
+
+  auto clean_config = blast_config(bed, path("out_clean"));
+  const BlastRun clean = run_blast(clean_config, nullptr);
+  ASSERT_FALSE(clean.killed);
+
+  auto probe_config = blast_config(bed, path("out_probe"));
+  probe_config.scheduler = sched::Policy::Steal;
+  probe_config.ft.enabled = true;
+  const BlastRun probe = run_blast(probe_config, nullptr);
+  ASSERT_FALSE(probe.killed);
+  ASSERT_GT(probe.task_work, 0.0);
+
+  ckpt::CheckpointConfig cc;
+  cc.dir = path("ckpt");
+  cc.interval = 0.0;
+  fault::Injector killer(fault::FaultPlan::parse(
+      "kill:t=" + std::to_string(0.5 * probe.task_work / kRanks)));
+  auto config = blast_config(bed, path("out_resumed"));
+  config.scheduler = sched::Policy::Steal;
+  config.ft.enabled = true;
+  {
+    ckpt::Checkpointer cp(cc, &killer);
+    cp.open("blast shard corrupt");
+    config.checkpointer = &cp;
+    const BlastRun killed = run_blast(config, &killer);
+    ASSERT_TRUE(killed.killed);
+  }
+
+  // Corrupt the busiest shard journal: the one with the most committed
+  // bytes loses the most work, making the containment check meaningful.
+  std::filesystem::path victim;
+  std::uintmax_t victim_size = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(path("ckpt"))) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("shard.", 0) == 0 && entry.file_size() > victim_size) {
+      victim = entry.path();
+      victim_size = entry.file_size();
+    }
+  }
+  ASSERT_FALSE(victim.empty()) << "kill fired before any shard journal existed";
+  {
+    std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(8);
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(8);
+    f.write(&b, 1);
+  }
+
+  cc.resume = true;
+  ckpt::Checkpointer cp(cc, nullptr);
+  cp.open("blast shard corrupt");
+  ASSERT_TRUE(cp.resuming());
+  config.checkpointer = &cp;
+  const BlastRun resumed = run_blast(config, nullptr);
+  ASSERT_FALSE(resumed.killed);
+
+  expect_same_hits(path("out_clean"), path("out_resumed"));
+  // The undamaged shards still restored their commits...
+  EXPECT_GT(resumed.tasks_restored, 0u)
+      << "corrupting one shard wiped every shard's commits";
+  // ...while the corrupted shard's range (at least) re-executed.
+  EXPECT_GT(resumed.map_tasks, 0u);
+  EXPECT_EQ(resumed.map_tasks + resumed.tasks_restored, clean.map_tasks);
 }
 
 TEST_F(ResumeTest, BlastResumeSurvivesCorruptMapLogs) {

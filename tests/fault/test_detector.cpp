@@ -1,0 +1,164 @@
+// Phi-accrual failure detection: heartbeat-config parsing (including
+// fuzz-style malformed specs — zero intervals, bad thresholds, mutated
+// bytes must throw InputError, never crash) and the detector's suspicion
+// dynamics (regular traffic stays trusted, silence accrues phi, the
+// min-samples gate suppresses cold-start false positives, forget() wipes
+// a peer's window).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fault/detector.hpp"
+
+namespace mrbio::fault {
+namespace {
+
+TEST(HeartbeatConfig, ParsesFieldsAndToggles) {
+  const HeartbeatConfig def;
+  EXPECT_FALSE(def.enabled);
+
+  const HeartbeatConfig on = HeartbeatConfig::parse("on");
+  EXPECT_TRUE(on.enabled);
+  EXPECT_DOUBLE_EQ(on.interval, def.interval);
+  EXPECT_DOUBLE_EQ(on.threshold, def.threshold);
+
+  EXPECT_FALSE(HeartbeatConfig::parse("off").enabled);
+  // Parsing any spec enables the detector unless "off" says otherwise.
+  EXPECT_TRUE(HeartbeatConfig::parse("interval=0.5").enabled);
+
+  const HeartbeatConfig full = HeartbeatConfig::parse(" interval=0.5 , phi=6, samples=4");
+  EXPECT_TRUE(full.enabled);
+  EXPECT_DOUBLE_EQ(full.interval, 0.5);
+  EXPECT_DOUBLE_EQ(full.threshold, 6.0);
+  EXPECT_EQ(full.min_samples, 4);
+}
+
+TEST(HeartbeatConfig, RejectsMalformedSpecs) {
+  // Zero/negative intervals and thresholds.
+  EXPECT_THROW(HeartbeatConfig::parse("interval=0"), InputError);
+  EXPECT_THROW(HeartbeatConfig::parse("interval=-0.5"), InputError);
+  EXPECT_THROW(HeartbeatConfig::parse("phi=0"), InputError);
+  EXPECT_THROW(HeartbeatConfig::parse("phi=-8"), InputError);
+  // Non-integer or non-positive sample gates.
+  EXPECT_THROW(HeartbeatConfig::parse("samples=0"), InputError);
+  EXPECT_THROW(HeartbeatConfig::parse("samples=-2"), InputError);
+  EXPECT_THROW(HeartbeatConfig::parse("samples=2.5"), InputError);
+  // Malformed numbers, keys and shapes.
+  EXPECT_THROW(HeartbeatConfig::parse("interval=fast"), InputError);
+  EXPECT_THROW(HeartbeatConfig::parse("interval=0.5x"), InputError);
+  EXPECT_THROW(HeartbeatConfig::parse("interval="), InputError);
+  EXPECT_THROW(HeartbeatConfig::parse("=0.5"), InputError);
+  EXPECT_THROW(HeartbeatConfig::parse("cadence=0.5"), InputError);
+  EXPECT_THROW(HeartbeatConfig::parse("interval"), InputError);
+  EXPECT_THROW(HeartbeatConfig::parse("interval=0.5 phi=6"), InputError);
+}
+
+TEST(HeartbeatConfig, FuzzedSpecsThrowInputErrorOrParse) {
+  // Seeded byte-level mutations of valid specs: every outcome must be a
+  // clean parse or an InputError — no other exception type, no crash.
+  const std::vector<std::string> seeds = {
+      "interval=0.5,phi=6,samples=4", "on", "off", "phi=8", "samples=3,on"};
+  Rng rng(0xfeedULL);
+  const std::string alphabet = "iphsamples=0123456789.,-=xon \t";
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string s = seeds[static_cast<std::size_t>(rng.uniform() * seeds.size())];
+    const int edits = 1 + static_cast<int>(rng.uniform() * 4);
+    for (int e = 0; e < edits; ++e) {
+      const auto pos = static_cast<std::size_t>(rng.uniform() * (s.size() + 1));
+      const char c = alphabet[static_cast<std::size_t>(rng.uniform() * alphabet.size())];
+      switch (static_cast<int>(rng.uniform() * 3)) {
+        case 0: s.insert(pos, 1, c); break;
+        case 1: if (!s.empty()) s.erase(pos % s.size(), 1); break;
+        default: if (!s.empty()) s[pos % s.size()] = c; break;
+      }
+    }
+    try {
+      const HeartbeatConfig cfg = HeartbeatConfig::parse(s);
+      EXPECT_GT(cfg.interval, 0.0) << s;
+      EXPECT_GT(cfg.threshold, 0.0) << s;
+      EXPECT_GE(cfg.min_samples, 1) << s;
+    } catch (const InputError&) {
+      // Expected for malformed mutants.
+    }
+  }
+}
+
+HeartbeatConfig tuned() {
+  HeartbeatConfig cfg;
+  cfg.enabled = true;
+  cfg.interval = 0.1;
+  cfg.threshold = 8.0;
+  cfg.min_samples = 3;
+  return cfg;
+}
+
+TEST(PhiAccrual, RegularTrafficStaysTrusted) {
+  PhiAccrualDetector det(tuned());
+  double now = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    det.heard(1, now);
+    now += 0.1;
+  }
+  EXPECT_LT(det.phi(1, now), 1.0);
+  EXPECT_FALSE(det.suspect(1, now));
+}
+
+TEST(PhiAccrual, SilenceAccruesSuspicion) {
+  PhiAccrualDetector det(tuned());
+  double now = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    det.heard(2, now);
+    now += 0.1;
+  }
+  EXPECT_FALSE(det.suspect(2, now + 0.2));  // one missed beat is not death
+  // Phi grows monotonically with silence and eventually crosses the bar.
+  const double early = det.phi(2, now + 0.5);
+  const double later = det.phi(2, now + 5.0);
+  EXPECT_GT(later, early);
+  EXPECT_TRUE(det.suspect(2, now + 5.0));
+}
+
+TEST(PhiAccrual, MinSamplesGateSuppressesColdStart) {
+  PhiAccrualDetector det(tuned());
+  det.heard(3, 0.0);
+  det.heard(3, 0.1);  // two arrivals < min_samples=3
+  EXPECT_DOUBLE_EQ(det.phi(3, 100.0), 0.0);
+  EXPECT_FALSE(det.suspect(3, 100.0));
+  // A peer never heard from at all is never suspected.
+  EXPECT_FALSE(det.suspect(9, 100.0));
+  det.heard(3, 0.2);  // third arrival arms the detector
+  EXPECT_TRUE(det.suspect(3, 100.0));
+}
+
+TEST(PhiAccrual, ForgetWipesThePeerWindow) {
+  PhiAccrualDetector det(tuned());
+  double now = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    det.heard(1, now);
+    now += 0.1;
+  }
+  ASSERT_TRUE(det.suspect(1, now + 10.0));
+  det.forget(1);
+  EXPECT_FALSE(det.suspect(1, now + 10.0));
+  EXPECT_DOUBLE_EQ(det.phi(1, now + 10.0), 0.0);
+}
+
+TEST(PhiAccrual, MaxPhiTracksTheWorstPeer) {
+  PhiAccrualDetector det(tuned());
+  double now = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    det.heard(1, now);
+    det.heard(2, now);
+    now += 0.1;
+  }
+  det.heard(1, now + 1.0);  // peer 1 keeps talking, peer 2 goes silent
+  const double m = det.max_phi(now + 2.0);
+  EXPECT_DOUBLE_EQ(m, det.phi(2, now + 2.0));
+  EXPECT_GT(m, det.phi(1, now + 2.0));
+}
+
+}  // namespace
+}  // namespace mrbio::fault

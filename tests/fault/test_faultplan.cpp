@@ -9,6 +9,7 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace mrbio::fault {
 namespace {
@@ -116,6 +117,54 @@ TEST(FaultPlan, ValidateChecksRankBounds) {
   EXPECT_THROW(FaultPlan::parse("drop:src=7,dst=0").validate(4), InputError);
   EXPECT_THROW(FaultPlan::parse("slow:rank=-1,factor=2").validate(4), InputError);
   FaultPlan::parse("drop:src=-1,dst=-1").validate(4);  // wildcards are fine
+}
+
+TEST(FaultPlan, ValidateGatesRankZeroCrashOnMasterFailover) {
+  // Killing rank 0 is only survivable when the scheduler elects a ledger
+  // successor; validate() rejects the plan unless the launch advertises
+  // master failover.
+  FaultPlan plan = FaultPlan::parse("crash:rank=0@t=0.4");
+  EXPECT_THROW(plan.validate(4), InputError);
+  EXPECT_THROW(plan.validate(4, /*checkpointing=*/true), InputError);
+  plan.validate(4, /*checkpointing=*/false, /*master_failover=*/true);
+  // Non-zero ranks never needed the gate.
+  FaultPlan::parse("crash:rank=2@t=0.4").validate(4, false, false);
+}
+
+TEST(FaultPlan, FuzzedSpecsThrowInputErrorOrParse) {
+  // Seeded byte-level mutations of valid plans: parse() must either
+  // produce a plan or throw InputError — no other exception, no crash.
+  const std::vector<std::string> seeds = {
+      "crash:rank=3@t=0.4",
+      "crash:rank=1,task=2,mode=permanent",
+      "drop:src=1,dst=0,count=2; dup:dst=3; delay:src=2,by=0.05,count=4",
+      "slow:rank=2,factor=4",
+      "kill:t=0.5; corrupt:target=map,byte=12,count=3",
+      R"({"faults":[{"kind":"crash","rank":3,"t":0.4}]})"};
+  Rng rng(0xfa0177ULL);
+  const std::string alphabet =
+      "crashdroplwkiltcorup:;,=@-0123456789.{}[]\"tsrcdstmodefactor ";
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string s = seeds[static_cast<std::size_t>(rng.uniform() * seeds.size())];
+    const int edits = 1 + static_cast<int>(rng.uniform() * 4);
+    for (int e = 0; e < edits; ++e) {
+      const auto pos = static_cast<std::size_t>(rng.uniform() * (s.size() + 1));
+      const char c =
+          alphabet[static_cast<std::size_t>(rng.uniform() * alphabet.size())];
+      switch (static_cast<int>(rng.uniform() * 3)) {
+        case 0: s.insert(pos, 1, c); break;
+        case 1: if (!s.empty()) s.erase(pos % s.size(), 1); break;
+        default: if (!s.empty()) s[pos % s.size()] = c; break;
+      }
+    }
+    try {
+      const FaultPlan plan = FaultPlan::parse(s);
+      // Whatever parsed must also survive a describe round trip.
+      FaultPlan::parse(plan.describe());
+    } catch (const InputError&) {
+      // Expected for malformed mutants.
+    }
+  }
 }
 
 TEST(FaultPlan, ParsesKillAndCorruptClauses) {

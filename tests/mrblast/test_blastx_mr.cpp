@@ -11,6 +11,7 @@
 #include "blast/translate.hpp"
 #include "mrblast/mrblast.hpp"
 #include "sim/engine.hpp"
+#include <unistd.h>
 
 namespace mrbio::mrblast {
 namespace {
@@ -41,7 +42,7 @@ std::string back_translate(std::span<const std::uint8_t> prot) {
 class BlastxMrTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "mrbio_blastx_mr";
+    dir_ = fs::temp_directory_path() / ("mrbio_blastx_mr_" + std::to_string(::getpid()));
     fs::create_directories(dir_);
     Rng rng(90);
     for (int i = 0; i < 6; ++i) {

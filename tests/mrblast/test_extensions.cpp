@@ -11,6 +11,7 @@
 
 #include "mrblast/mrblast.hpp"
 #include "sim/engine.hpp"
+#include <unistd.h>
 
 namespace mrbio::mrblast {
 namespace {
@@ -151,7 +152,7 @@ TEST(SimStatsReduction, AllRanksSeeGlobalTotals) {
 class IndexedInputTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "mrbio_indexed_input";
+    dir_ = std::filesystem::temp_directory_path() / ("mrbio_indexed_input_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
     Rng rng(123);
     std::vector<blast::Sequence> genomes;

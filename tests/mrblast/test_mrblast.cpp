@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "sim/engine.hpp"
+#include <unistd.h>
 
 namespace mrbio::mrblast {
 namespace {
@@ -32,7 +33,8 @@ Testbed make_testbed(std::uint64_t partition_residues = 1500) {
   static int counter = 0;
   Testbed tb;
   tb.dir = std::filesystem::temp_directory_path() /
-           ("mrbio_mrblast_" + std::to_string(counter++));
+           ("mrbio_mrblast_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
   std::filesystem::create_directories(tb.dir);
 
   Rng rng(77);
@@ -164,7 +166,7 @@ TEST(MrBlastReal, MatchesUnpartitionedSearch) {
   const Testbed whole = [&] {
     Testbed w;
     static int c2 = 1000;
-    w.dir = std::filesystem::temp_directory_path() / ("mrbio_whole_" + std::to_string(c2++));
+    w.dir = std::filesystem::temp_directory_path() / ("mrbio_whole_" + std::to_string(::getpid()) + "_" + std::to_string(c2++));
     std::filesystem::create_directories(w.dir);
     w.genome = tb.genome;
     w.query_blocks = tb.query_blocks;

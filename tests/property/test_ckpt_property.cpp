@@ -19,6 +19,7 @@
 #include "mpi/comm.hpp"
 #include "mrblast/mrblast.hpp"
 #include "rt/backend.hpp"
+#include <unistd.h>
 
 namespace mrbio {
 namespace {
@@ -50,7 +51,8 @@ struct Bed {
   Bed() {
     static int counter = 0;
     dir = std::filesystem::temp_directory_path() /
-          ("mrbio_ckpt_prop_" + std::to_string(counter++));
+          ("mrbio_ckpt_prop_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++));
     std::filesystem::remove_all(dir);
     std::filesystem::create_directories(dir);
     Rng rng(424242);

@@ -22,6 +22,7 @@
 #include "mrsom/mrsom.hpp"
 #include "sim/engine.hpp"
 #include "som/som.hpp"
+#include <unistd.h>
 
 namespace mrbio {
 namespace {
@@ -86,7 +87,7 @@ std::string slurp(const std::filesystem::path& path) {
 class BlastFaultProperty : public ::testing::Test {
  protected:
   void SetUp() override {
-    work_ = std::filesystem::temp_directory_path() / "mrbio_fault_prop_blast";
+    work_ = std::filesystem::temp_directory_path() / ("mrbio_fault_prop_blast_" + std::to_string(::getpid()));
     std::filesystem::remove_all(work_);
     std::filesystem::create_directories(work_);
 

@@ -7,6 +7,7 @@
 #include <filesystem>
 
 #include "blast/search.hpp"
+#include <unistd.h>
 
 namespace mrbio::blast {
 namespace {
@@ -19,7 +20,8 @@ struct Fixture {
 
 Fixture make_fixture(std::uint64_t seed, double divergence) {
   static int counter = 0;
-  const auto dir = std::filesystem::temp_directory_path() / "mrbio_sweep";
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("mrbio_sweep_" + std::to_string(::getpid()));
   std::filesystem::create_directories(dir);
   Rng rng(seed);
   std::vector<Sequence> db;

@@ -21,6 +21,7 @@
 #include "mrmpi/mapreduce.hpp"
 #include "mrsom/mrsom.hpp"
 #include "rt/backend.hpp"
+#include <unistd.h>
 
 namespace mrbio::rt {
 namespace {
@@ -113,7 +114,7 @@ TEST(BackendEquivalence, CompressThenCollateOnNative) {
 class BlastEquivalence : public ::testing::Test {
  protected:
   void SetUp() override {
-    work_ = std::filesystem::temp_directory_path() / "mrbio_rt_equiv_blast";
+    work_ = std::filesystem::temp_directory_path() / ("mrbio_rt_equiv_blast_" + std::to_string(::getpid()));
     std::filesystem::remove_all(work_);
     std::filesystem::create_directories(work_);
 

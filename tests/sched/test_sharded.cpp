@@ -1,0 +1,256 @@
+// Sharded-ledger specifics of the fault-tolerant steal scheduler: ledger
+// failover when a shard owner — including rank 0 — crashes permanently
+// mid-map, exactly-once output across ledger_ranks shapes and heartbeat
+// eviction, and checkpoint integration (a full run journals every commit
+// per shard; corrupting exactly one shard's journal re-executes only that
+// shard's task range on resume).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ckpt/ckpt.hpp"
+#include "common/error.hpp"
+#include "fault/fault.hpp"
+#include "mpi/comm.hpp"
+#include "mrmpi/mapreduce.hpp"
+#include "sched/internal.hpp"
+#include "sched/sched.hpp"
+#include "sim/engine.hpp"
+
+namespace mrbio::mrmpi {
+namespace {
+
+struct ShardedRun {
+  std::multiset<std::uint64_t> emitted;   ///< tasks present in the final kv
+  std::multiset<std::uint64_t> executed;  ///< every map-fn invocation
+  std::map<int, std::uint64_t> emitted_by_rank;
+  std::vector<std::uint64_t> failed;
+  MapReduceStats stats;  ///< summed across all ranks
+};
+
+/// Runs `ntasks` self-emitting tasks on `n` ranks under the sharded steal
+/// ledger (steal + ft.enabled), with full control of the FtConfig and an
+/// optional checkpointer.
+ShardedRun run_sharded(int n, std::uint64_t ntasks, const std::string& plan,
+                       const sched::FtConfig& ft,
+                       ckpt::Checkpointer* checkpointer = nullptr,
+                       double task_cost = 0.01) {
+  fault::Injector injector(fault::FaultPlan::parse(plan));
+  injector.plan().validate(n, /*checkpointing=*/checkpointer != nullptr,
+                           /*master_failover=*/true);
+  sim::EngineConfig ec;
+  ec.nprocs = n;
+  ec.stack_bytes = 512 * 1024;
+  if (!plan.empty()) ec.injector = &injector;
+  sim::Engine engine(ec);
+
+  MapReduceConfig cfg;
+  cfg.scheduler = sched::Policy::Steal;
+  cfg.ft = ft;
+  cfg.ft.enabled = true;
+  cfg.checkpointer = checkpointer;
+
+  ShardedRun out;
+  std::mutex mu;
+  engine.run([&](sim::Process& p) {
+    mpi::Comm comm(p);
+    MapReduce mr(comm, cfg);
+    mr.map(ntasks, [&](std::uint64_t t, KeyValue& kv) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        out.executed.insert(t);
+      }
+      if (task_cost > 0.0) comm.compute(task_cost);
+      kv.add("task", std::to_string(t));
+    });
+    std::lock_guard<std::mutex> lock(mu);
+    mr.kv().for_each([&](const KvPair& pair) {
+      const std::string v(reinterpret_cast<const char*>(pair.value.data()),
+                          pair.value.size());
+      out.emitted.insert(std::stoull(v));
+      out.emitted_by_rank[comm.rank()]++;
+    });
+    const MapReduceStats& s = mr.stats();
+    out.stats.tasks_retried += s.tasks_retried;
+    out.stats.worker_deaths += s.worker_deaths;
+    out.stats.tasks_failed += s.tasks_failed;
+    const std::vector<std::uint64_t> f = mr.failed_tasks();
+    out.failed.insert(out.failed.end(), f.begin(), f.end());
+  });
+  return out;
+}
+
+void expect_exactly_once(const ShardedRun& run, std::uint64_t ntasks) {
+  EXPECT_EQ(run.emitted.size(), ntasks);
+  for (std::uint64_t t = 0; t < ntasks; ++t) {
+    EXPECT_EQ(run.emitted.count(t), 1u) << "task " << t;
+  }
+  EXPECT_TRUE(run.failed.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Ledger failover
+
+TEST(Sharded, Rank0PermanentCrashFailsOverToSuccessor) {
+  // Rank 0 owns the first ledger shard; its permanent death mid-map must
+  // hand the shard to a deterministic successor that replays the commits
+  // and keeps granting — every task still lands exactly once.
+  sched::FtConfig ft;
+  const ShardedRun run =
+      run_sharded(4, 24, "crash:rank=0,t=0.05,mode=permanent", ft);
+  expect_exactly_once(run, 24);
+  EXPECT_GE(run.stats.worker_deaths, 1u);
+  EXPECT_EQ(run.emitted_by_rank.count(0), 0u) << "a dead rank kept its kv";
+}
+
+TEST(Sharded, EveryRankCrashTargetFailsOver) {
+  // No rank is special: the ledger protocol survives the permanent loss
+  // of any single rank, not just the traditional master.
+  for (int victim = 0; victim < 4; ++victim) {
+    sched::FtConfig ft;
+    const ShardedRun run = run_sharded(
+        4, 24, "crash:rank=" + std::to_string(victim) + ",t=0.03,mode=permanent",
+        ft);
+    expect_exactly_once(run, 24);
+    EXPECT_GE(run.stats.worker_deaths, 1u) << "victim " << victim;
+  }
+}
+
+TEST(Sharded, LedgerRanksShapesSurviveACrash) {
+  // ledger_ranks sweeps the custody spectrum: 1 = single coordinator,
+  // P = fully decentralized, values between split custody. All shapes
+  // must deliver exactly-once under the same mid-map crash.
+  for (const int shards : {1, 2, 3, 0 /* = every rank */}) {
+    sched::FtConfig ft;
+    ft.ledger_ranks = shards;
+    const ShardedRun run =
+        run_sharded(4, 22, "crash:rank=2,t=0.05,mode=permanent", ft);
+    expect_exactly_once(run, 22);
+    EXPECT_GE(run.stats.worker_deaths, 1u) << "ledger_ranks " << shards;
+  }
+}
+
+TEST(Sharded, HeartbeatEvictionKeepsExactlyOnce) {
+  // With the phi-accrual detector on, a permanently dead rank is evicted
+  // on suspicion (ahead of its task deadlines); eviction must never break
+  // exactly-once or strand the dead rank's seeded range.
+  sched::FtConfig ft;
+  ft.heartbeat = fault::HeartbeatConfig::parse("interval=0.05,phi=4,samples=3");
+  const ShardedRun run =
+      run_sharded(4, 24, "crash:rank=1,t=0.06,mode=permanent", ft);
+  expect_exactly_once(run, 24);
+  EXPECT_GE(run.stats.worker_deaths, 1u);
+}
+
+TEST(Sharded, AdaptiveTimeoutRecoversACrash) {
+  // task_timeout <= 0 selects the adaptive deadline (4 x observed p99);
+  // recovery must still work when no explicit timeout was configured.
+  sched::FtConfig ft;
+  ft.task_timeout = 0.0;
+  const ShardedRun run =
+      run_sharded(4, 24, "crash:rank=3,t=0.05,mode=permanent", ft);
+  expect_exactly_once(run, 24);
+  EXPECT_GE(run.stats.worker_deaths, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Shard journals under checkpointing
+
+class ShardedCkptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mrbio_sharded_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ShardedCkptTest, CorruptingOneShardJournalReexecutesOnlyItsRange) {
+  constexpr int kRanks = 4;
+  constexpr std::uint64_t kTasks = 32;
+  ckpt::CheckpointConfig cc;
+  cc.dir = path("ckpt");
+  cc.interval = 0.0;
+
+  // Full fault-free run: every commit lands in its owner's shard journal.
+  {
+    ckpt::Checkpointer cp(cc, nullptr);
+    cp.open("sharded corrupt");
+    sched::FtConfig ft;
+    const ShardedRun full = run_sharded(kRanks, kTasks, "", ft, &cp);
+    expect_exactly_once(full, kTasks);
+    EXPECT_EQ(full.executed.size(), kTasks);
+  }
+  for (int s = 0; s < kRanks; ++s) {
+    ASSERT_TRUE(std::filesystem::exists(
+        path("ckpt") + "/shard." + std::to_string(s) + ".c0.log"))
+        << "shard " << s;
+  }
+
+  // Flip one byte near the front of shard 1's journal: the CRC framing
+  // must reject the log, and only shard 1's task range may re-run.
+  const std::string victim = path("ckpt") + "/shard.1.c0.log";
+  {
+    std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(8);
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(8);
+    f.write(&b, 1);
+  }
+
+  cc.resume = true;
+  ckpt::Checkpointer cp(cc, nullptr);
+  cp.open("sharded corrupt");
+  ASSERT_TRUE(cp.resuming());
+  sched::FtConfig ft;
+  const ShardedRun resumed = run_sharded(kRanks, kTasks, "", ft, &cp);
+  expect_exactly_once(resumed, kTasks);
+
+  // Degradation is contained: shard 1 lost (some of) its commits and its
+  // tasks re-ran; every other shard's range was restored, not re-executed.
+  const auto lo = sched::chunk_lo(kTasks, 1, kRanks);
+  const auto hi = sched::chunk_hi(kTasks, 1, kRanks);
+  EXPECT_FALSE(resumed.executed.empty())
+      << "corruption went unnoticed: nothing re-ran";
+  for (const std::uint64_t t : resumed.executed) {
+    EXPECT_GE(t, lo) << "task outside the corrupted shard re-ran";
+    EXPECT_LT(t, hi) << "task outside the corrupted shard re-ran";
+    EXPECT_EQ(sched::shard_of(t, kTasks, kRanks), 1);
+  }
+}
+
+TEST_F(ShardedCkptTest, Rank0CrashWithCheckpointStillCompletes) {
+  // The acceptance shape: rank 0 dies permanently mid-map while the run
+  // checkpoints; the shard successor replays rank 0's durable journal and
+  // the job completes with every task exactly once.
+  ckpt::CheckpointConfig cc;
+  cc.dir = path("ckpt");
+  cc.interval = 0.0;
+  ckpt::Checkpointer cp(cc, nullptr);
+  cp.open("sharded rank0");
+  sched::FtConfig ft;
+  const ShardedRun run =
+      run_sharded(4, 24, "crash:rank=0,t=0.05,mode=permanent", ft, &cp);
+  expect_exactly_once(run, 24);
+  EXPECT_GE(run.stats.worker_deaths, 1u);
+}
+
+}  // namespace
+}  // namespace mrbio::mrmpi

@@ -77,17 +77,18 @@ StealRun run_sched(int n, std::uint64_t ntasks, sched::Policy policy,
       out.emitted.insert(std::stoull(v));
       out.emitted_by_rank[comm.rank()]++;
     });
-    // Steal counters live on the rank that stole; ledger counters on rank 0.
+    // Steal counters live on the rank that stole; ledger counters are
+    // sharded — deaths on the rank that crashed, retries/failures on the
+    // owner of the task's shard — so every ledger stat is summed too.
     const MapReduceStats& s = mr.stats();
     out.stats.steals_attempted += s.steals_attempted;
     out.stats.steals_succeeded += s.steals_succeeded;
     out.stats.tasks_stolen += s.tasks_stolen;
-    if (comm.rank() == 0) {
-      out.stats.tasks_retried = s.tasks_retried;
-      out.stats.worker_deaths = s.worker_deaths;
-      out.stats.tasks_failed = s.tasks_failed;
-      out.failed = mr.failed_tasks();
-    }
+    out.stats.tasks_retried += s.tasks_retried;
+    out.stats.worker_deaths += s.worker_deaths;
+    out.stats.tasks_failed += s.tasks_failed;
+    const std::vector<std::uint64_t> f = mr.failed_tasks();
+    out.failed.insert(out.failed.end(), f.begin(), f.end());
   });
   out.elapsed = engine.elapsed();
   return out;
@@ -158,10 +159,15 @@ TEST(Steal, SingleTaskManyRanks) {
   }
 }
 
-TEST(Steal, LedgerRankRunsNoTasksUnderFt) {
+TEST(Steal, EveryRankRunsTasksUnderFt) {
+  // The sharded ledger has no dedicated master: every rank owns a slice
+  // of the ledger *and* works its seeded chunk, so rank 0 emits too.
   const StealRun run = run_sched(4, 20, sched::Policy::Steal, "", /*ft=*/true);
   expect_exactly_once(run, 20);
-  EXPECT_EQ(run.emitted_by_rank.count(0), 0u);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_GT(run.emitted_by_rank.count(r) != 0u ? run.emitted_by_rank.at(r) : 0u, 0u)
+        << "rank " << r;
+  }
 }
 
 TEST(Steal, ConsecutiveMapsAreEpochIsolated) {

@@ -26,6 +26,7 @@
 #include "sim/engine.hpp"
 #include "simd/simd.hpp"
 #include "som/som.hpp"
+#include <unistd.h>
 
 namespace mrbio::simd {
 namespace {
@@ -49,7 +50,7 @@ std::string slurp(const std::filesystem::path& path) {
 
 TEST(SimdE2e, BlastSearcherHitsIdenticalAcrossIsaLevels) {
   IsaPinGuard guard;
-  const auto work = std::filesystem::temp_directory_path() / "mrbio_simd_searcher";
+  const auto work = std::filesystem::temp_directory_path() / ("mrbio_simd_searcher_" + std::to_string(::getpid()));
   std::filesystem::remove_all(work);
   std::filesystem::create_directories(work);
 
@@ -110,7 +111,7 @@ TEST(SimdE2e, BlastSearcherHitsIdenticalAcrossIsaLevels) {
 class MrBlastSimdE2e : public ::testing::Test {
  protected:
   void SetUp() override {
-    work_ = std::filesystem::temp_directory_path() / "mrbio_simd_e2e_blast";
+    work_ = std::filesystem::temp_directory_path() / ("mrbio_simd_e2e_blast_" + std::to_string(::getpid()));
     std::filesystem::remove_all(work_);
     std::filesystem::create_directories(work_);
 

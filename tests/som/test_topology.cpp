@@ -7,6 +7,7 @@
 #include <filesystem>
 
 #include "som/som.hpp"
+#include <unistd.h>
 
 namespace mrbio::som {
 namespace {
@@ -132,7 +133,7 @@ TEST(Topology, UMatrixUsesHexNeighbours) {
 }
 
 TEST(Topology, CodebookPersistsTopology) {
-  const auto dir = std::filesystem::temp_directory_path() / "mrbio_topo";
+  const auto dir = std::filesystem::temp_directory_path() / ("mrbio_topo_" + std::to_string(::getpid()));
   std::filesystem::create_directories(dir);
   SomGrid g{3, 5, GridTopology::Hexagonal};
   g.toroidal = true;

@@ -323,6 +323,42 @@ TEST_F(ToolsTest, SlowFaultRankNamedInStragglers) {
   EXPECT_NE(entry.find("\"dominant\":\"compute\""), std::string::npos) << entry;
 }
 
+// ISSUE 10 satellite: crash/kill fault plans are legal on mrgraph_build now
+// that commits are sharded — a mid-map crash (even of rank 0, the
+// traditional master) must still yield a byte-identical similarity graph.
+TEST_F(ToolsTest, GraphMidMapCrashYieldsByteIdenticalEdges) {
+  // --block 4 on 32 sequences gives 36 block-pair tasks whose start-time
+  // polls span the map window, so a t=0.2 crash lands mid-map.
+  const std::string base = tool("mrgraph_build") +
+                           " --nseq 32 --family 8 --block 4 --ranks 4" +
+                           " --scheduler steal --compute-cell 1e-7";
+  ASSERT_EQ(run(base + " --out-dir " + path("edges_clean")), 0);
+
+  ASSERT_EQ(run(base + " --out-dir " + path("edges_crash") +
+                " --faults \"crash:rank=2,t=0.2\""),
+            0);
+  // Rank 0's crash exercises ledger-shard failover rather than plain
+  // task retry; it is only accepted under the sharded steal scheduler.
+  ASSERT_EQ(run(base + " --out-dir " + path("edges_master_crash") +
+                " --faults \"crash:rank=0,t=0.2,mode=permanent\"" +
+                " --checkpoint-dir " + path("graph_ckpt")),
+            0);
+
+  for (int r = 0; r < 4; ++r) {
+    const std::string name = "edges." + std::to_string(r) + ".tsv";
+    const std::string clean = slurp(path("edges_clean") + "/" + name);
+    ASSERT_FALSE(clean.empty()) << name;
+    EXPECT_EQ(slurp(path("edges_crash") + "/" + name), clean) << name;
+    EXPECT_EQ(slurp(path("edges_master_crash") + "/" + name), clean) << name;
+  }
+
+  // Without a failover-capable scheduler the same plans are rejected
+  // up front instead of failing mid-run.
+  EXPECT_NE(run(tool("mrgraph_build") + " --nseq 32 --family 8 --ranks 4" +
+                " --faults \"crash:rank=1,t=0.2\""),
+            0);
+}
+
 // ISSUE 7 satellite: installing the structured event-log sink must leave
 // the plain-text stderr stream byte-identical. The empty checkpoint dir
 // with --resume deterministically emits one Warn line to compare.

@@ -28,6 +28,7 @@
 #include "ckpt/ckpt.hpp"
 #include "common/log.hpp"
 #include "common/options.hpp"
+#include "fault/detector.hpp"
 #include "fault/fault.hpp"
 #include "mrblast/mrblast.hpp"
 #include "obs/analysis.hpp"
@@ -72,8 +73,18 @@ int main(int argc, char** argv) {
            "also write every log line as a structured JSONL event to this path");
   opts.add("faults", "", "fault plan: spec/JSON string, or a path to a plan file; "
                          "enables the fault-tolerant scheduler");
-  opts.add("ft-timeout", "5", "with --faults: seconds before an outstanding task is retried");
+  opts.add("ft-timeout", "auto",
+           "with --faults: seconds before an outstanding task is retried; "
+           "auto adapts to ~4x the p99 of observed task cost (5 s until "
+           "enough tasks have completed)");
   opts.add("ft-retries", "3", "with --faults: retries per task before it is abandoned");
+  opts.add("ledger-ranks", "0",
+           "with --scheduler steal faults: ranks owning a commit-ledger "
+           "shard (0 = every rank owns its seeded range; 1 = single "
+           "coordinator)");
+  opts.add("heartbeat", "",
+           "phi-accrual failure detection piggybacked on scheduler traffic, "
+           "e.g. \"interval=0.5,phi=6,samples=4\" or \"on\" (empty = off)");
   opts.add("checkpoint-dir", "", "durable checkpoint directory; enables checkpoint/restart");
   opts.add("checkpoint-interval", "5",
            "min virtual seconds between map-log flushes (0 = flush every task)");
@@ -174,8 +185,18 @@ int main(int argc, char** argv) {
       lc.injector = injector.get();
       if (needs_ft) {
         config.ft.enabled = true;
-        config.ft.task_timeout = opts.real("ft-timeout");
+        // "auto" (task_timeout <= 0) tracks ~4x the p99 of observed
+        // grant-to-commit service times instead of a fixed guess.
+        config.ft.task_timeout =
+            opts.str("ft-timeout") == "auto" ? 0.0 : opts.real("ft-timeout");
         config.ft.max_retries = static_cast<int>(opts.integer("ft-retries"));
+        config.ft.ledger_ranks = static_cast<int>(opts.integer("ledger-ranks"));
+        if (!opts.str("heartbeat").empty()) {
+          config.ft.heartbeat = fault::HeartbeatConfig::parse(opts.str("heartbeat"));
+        }
+        // The sharded steal ledger elects a deterministic successor for a
+        // dead shard owner, so rank-0 crash plans are legal under it.
+        lc.master_failover = config.scheduler == sched::Policy::Steal;
       }
     }
     // The fingerprint ties a checkpoint dir to one run configuration:

@@ -13,11 +13,14 @@
 #include <cstdio>
 #include <filesystem>
 #include <memory>
+#include <sstream>
 
 #include "blast/sequence.hpp"
+#include "ckpt/ckpt.hpp"
 #include "common/log.hpp"
 #include "common/options.hpp"
 #include "common/rng.hpp"
+#include "fault/detector.hpp"
 #include "fault/fault.hpp"
 #include "mrgraph/mrgraph.hpp"
 #include "obs/analysis.hpp"
@@ -64,8 +67,24 @@ int main(int argc, char** argv) {
   opts.add("metrics-out", "", "write the raw metrics registry as JSON to this path");
   opts.add("log-json", "",
            "also write every log line as a structured JSONL event to this path");
-  opts.add("faults", "", "fault plan: spec/JSON string, or a path to a plan file "
-                         "(slow:/delay: faults shape the sim timeline)");
+  opts.add("faults", "", "fault plan: spec/JSON string, or a path to a plan file; "
+                         "crash/drop plans enable the fault-tolerant scheduler");
+  opts.add("ft-timeout", "auto",
+           "with --faults: seconds before an outstanding task is retried; "
+           "auto adapts to ~4x the p99 of observed task cost (5 s until "
+           "enough tasks have completed)");
+  opts.add("ft-retries", "3", "with --faults: retries per task before it is abandoned");
+  opts.add("ledger-ranks", "0",
+           "with --scheduler steal faults: ranks owning a commit-ledger "
+           "shard (0 = every rank owns its seeded range; 1 = single "
+           "coordinator)");
+  opts.add("heartbeat", "",
+           "phi-accrual failure detection piggybacked on scheduler traffic, "
+           "e.g. \"interval=0.5,phi=6,samples=4\" or \"on\" (empty = off)");
+  opts.add("checkpoint-dir", "", "durable checkpoint directory; enables checkpoint/restart");
+  opts.add("checkpoint-interval", "5",
+           "min virtual seconds between map-log flushes (0 = flush every task)");
+  opts.add_flag("resume", "continue from the checkpoint in --checkpoint-dir");
   opts.add("simd", "auto",
            "SIMD level for the extension kernels: scalar|sse|avx2|auto "
            "(auto = best this CPU supports; results are bit-identical "
@@ -146,28 +165,66 @@ int main(int argc, char** argv) {
       fault::FaultPlan plan = std::filesystem::exists(spec)
                                   ? fault::FaultPlan::from_file(spec)
                                   : fault::FaultPlan::parse(spec);
-      // mrgraph has no fault-tolerant scheduler or checkpointing: losing a
-      // rank or a message would stall the single MapReduce cycle, so only
-      // timeline-shaping faults (slow:, delay:, dup:) are accepted here.
-      bool shaping_only = plan.crashes.empty() && plan.kills.empty() &&
-                          plan.corrupts.empty();
+      // Crash/drop faults need a fault-tolerant scheduling protocol (the
+      // master ledger, or steal backed by the sharded commit ledger) to
+      // make progress; dup/delay/slow plans only shape the timeline and
+      // run on any scheduler — except dup under plain steal, where the
+      // ledger is what absorbs the duplicated claims. kill/corrupt plans
+      // exercise checkpoint/restart and need --checkpoint-dir (validated
+      // at launch).
+      bool needs_ft = !plan.crashes.empty();
       for (const fault::MessageFault& m : plan.messages) {
-        shaping_only = shaping_only && m.kind != fault::MessageFault::Kind::Drop;
-        // Without the ledger (mrgraph has no fault tolerance), a duplicated
-        // steal response would hand the same claims out twice and the lost
-        // second copy would wedge token termination; the master grant loop
-        // tolerates duplication, stealing does not.
-        if (config.scheduler == sched::Policy::Steal) {
-          shaping_only = shaping_only && m.kind != fault::MessageFault::Kind::Duplicate;
-        }
+        needs_ft = needs_ft || m.kind == fault::MessageFault::Kind::Drop ||
+                   (config.scheduler == sched::Policy::Steal &&
+                    m.kind == fault::MessageFault::Kind::Duplicate);
       }
-      MRBIO_REQUIRE(shaping_only,
-                    config.scheduler == sched::Policy::Steal
-                        ? "mrgraph_build with --scheduler steal supports only "
-                          "slow:/delay: faults"
-                        : "mrgraph_build supports only slow:/delay:/dup: faults");
+      const bool remote_sched =
+          sched::is_remote(config.scheduler) ||
+          (config.scheduler == sched::Policy::Auto &&
+           config.map_style == mrmpi::MapStyle::MasterWorker);
+      MRBIO_REQUIRE(!needs_ft || remote_sched,
+                    "crash/drop faults require --style master or --scheduler "
+                    "master/master-ft/steal (recovery needs a remote "
+                    "scheduling protocol)");
       injector = std::make_unique<fault::Injector>(std::move(plan));
       lc.injector = injector.get();
+      if (needs_ft) {
+        config.ft.enabled = true;
+        // "auto" (task_timeout <= 0) tracks ~4x the p99 of observed
+        // grant-to-commit service times instead of a fixed guess.
+        config.ft.task_timeout =
+            opts.str("ft-timeout") == "auto" ? 0.0 : opts.real("ft-timeout");
+        config.ft.max_retries = static_cast<int>(opts.integer("ft-retries"));
+        config.ft.ledger_ranks = static_cast<int>(opts.integer("ledger-ranks"));
+        if (!opts.str("heartbeat").empty()) {
+          config.ft.heartbeat = fault::HeartbeatConfig::parse(opts.str("heartbeat"));
+        }
+        // The sharded steal ledger elects a deterministic successor for a
+        // dead shard owner, so rank-0 crash plans are legal under it.
+        lc.master_failover = config.scheduler == sched::Policy::Steal;
+      }
+    }
+    // Fingerprint: a checkpoint dir is bound to one graph configuration;
+    // resuming with different inputs or cut-offs is rejected.
+    ckpt::CheckpointConfig ckpt_config;
+    ckpt_config.dir = opts.str("checkpoint-dir");
+    ckpt_config.interval = opts.real("checkpoint-interval");
+    ckpt_config.resume = opts.flag("resume");
+    MRBIO_REQUIRE(!ckpt_config.resume || !ckpt_config.dir.empty(),
+                  "--resume requires --checkpoint-dir");
+    ckpt::Checkpointer checkpointer(ckpt_config, injector.get());
+    if (checkpointer.enabled()) {
+      std::ostringstream fp;
+      fp << "mrgraph input=" << (opts.str("fasta").empty() ? "synthetic" : opts.str("fasta"))
+         << " nseq=" << config.sequences.size() << " seed=" << opts.integer("seed")
+         << " mutate=" << opts.real("mutate") << " block=" << config.block_size
+         << " word=" << config.word_len << " min-score=" << config.min_score
+         << " xdrop=" << config.xdrop << " ranks=" << lc.nranks
+         << " style=" << opts.str("style")
+         << " scheduler=" << sched::policy_name(config.scheduler);
+      checkpointer.open(fp.str());
+      config.checkpointer = &checkpointer;
+      lc.checkpointing = true;
     }
     const bool want_report = opts.flag("report") || !opts.str("report-json").empty();
     std::unique_ptr<trace::Recorder> recorder;
@@ -241,7 +298,17 @@ int main(int argc, char** argv) {
       std::printf("metrics written to %s\n", opts.str("metrics-out").c_str());
     }
     return 0;
+  } catch (const fault::JobKillSignal& e) {
+    MRBIO_LOG(Warn, "mrgraph_build: job killed: ", e.what());
+    return 3;
   } catch (const Error& e) {
+    // A kill can surface as a secondary error (e.g. the sim engine reports
+    // the surviving ranks' deadlock before the kill signal itself).
+    if (injector != nullptr && injector->stats().kills_fired > 0) {
+      MRBIO_LOG(Warn, "mrgraph_build: job killed: ", e.what(),
+                " (restart with --resume to continue)");
+      return 3;
+    }
     std::fprintf(stderr, "mrgraph_build: %s\n", e.what());
     return 1;
   }
